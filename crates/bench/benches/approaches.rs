@@ -1,0 +1,26 @@
+//! End-to-end approach benchmarks: small campaigns for each approach
+//! (Table 2's time-cost ordering at reduced scale: Varity's pipeline is the
+//! cheapest per program; the LLM-based approaches add generation work and,
+//! in reality, API latency which is accounted separately).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llm4fp::{ApproachKind, Campaign, CampaignConfig};
+
+fn bench_approaches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaigns_10_programs");
+    group.sample_size(10);
+    for approach in ApproachKind::ALL {
+        group.bench_function(approach.name(), |b| {
+            b.iter(|| {
+                Campaign::new(
+                    CampaignConfig::new(approach).with_budget(10).with_seed(7).with_threads(2),
+                )
+                .run()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_approaches);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Virtual-compiler benchmarks: lowering + pass pipeline and execution cost
+//! per configuration, plus an ablation of the strict vs fast-math pipelines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llm4fp_compiler::{compile, CompilerConfig, CompilerId, OptLevel};
+use llm4fp_generator::{InputGenerator, SimulatedLlm, LlmClient, PromptBuilder};
+
+fn setup_program() -> (llm4fp_fpir::Program, llm4fp_fpir::InputSet) {
+    let mut llm = SimulatedLlm::new(11);
+    let prompt = PromptBuilder::new(Default::default()).grammar_based();
+    let program = llm4fp_fpir::parse_compute(&llm.generate(&prompt).source).unwrap();
+    let inputs = InputGenerator::new(12).generate(&program);
+    (program, inputs)
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("virtual_compiler");
+    group.sample_size(30);
+    let (program, inputs) = setup_program();
+
+    for (label, config) in [
+        ("compile_gcc_O0_nofma", CompilerConfig::new(CompilerId::Gcc, OptLevel::O0Nofma)),
+        ("compile_gcc_O3", CompilerConfig::new(CompilerId::Gcc, OptLevel::O3)),
+        ("compile_nvcc_O3_fastmath", CompilerConfig::new(CompilerId::Nvcc, OptLevel::O3Fastmath)),
+    ] {
+        group.bench_function(label, |b| b.iter(|| compile(&program, config).unwrap()));
+    }
+
+    for (label, config) in [
+        ("execute_gcc_O0_nofma", CompilerConfig::new(CompilerId::Gcc, OptLevel::O0Nofma)),
+        ("execute_nvcc_O3_fastmath", CompilerConfig::new(CompilerId::Nvcc, OptLevel::O3Fastmath)),
+    ] {
+        let artifact = compile(&program, config).unwrap();
+        group.bench_function(label, |b| b.iter(|| artifact.execute(&inputs).unwrap()));
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiler);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Generation-stage benchmarks: the per-program cost of each generation
+//! approach (the dominant term of Table 2's time-cost column, minus the
+//! simulated API latency which is reported separately).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llm4fp_generator::{InputGenerator, LlmClient, PromptBuilder, SimulatedLlm, VarityGenerator};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(30);
+
+    group.bench_function("varity_program", |b| {
+        let mut gen = VarityGenerator::new(1);
+        b.iter(|| gen.generate())
+    });
+
+    group.bench_function("simulated_llm_grammar_based", |b| {
+        let mut llm = SimulatedLlm::new(2);
+        let prompt = PromptBuilder::new(Default::default()).grammar_based();
+        b.iter(|| llm.generate(&prompt))
+    });
+
+    group.bench_function("simulated_llm_feedback_mutation", |b| {
+        let mut llm = SimulatedLlm::new(3);
+        let seed = llm4fp_fpir::to_compute_source(&VarityGenerator::new(9).generate());
+        let prompt = PromptBuilder::new(Default::default()).feedback_mutation(&seed);
+        b.iter(|| llm.generate(&prompt))
+    });
+
+    group.bench_function("input_set", |b| {
+        let program = VarityGenerator::new(4).generate();
+        let mut inputs = InputGenerator::new(5);
+        b.iter(|| inputs.generate(&program))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Runs every experiment (Tables 1-5 and Figure 3) from a single set of
+//! campaigns and prints a complete report, suitable for pasting into
+//! EXPERIMENTS.md.
+
+use llm4fp::report::{figure3, table1, table2, table3, table4, table5, Table2Row};
+use llm4fp::ApproachKind;
+use llm4fp_bench::{run_all_approaches, ExpOptions};
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    let results = run_all_approaches(opts);
+    println!("# LLM4FP reproduction — full experiment run");
+    println!("\nBudget: {} programs per approach, seed {}\n", opts.programs, opts.seed);
+
+    println!("## Table 1\n\n{}", table1());
+
+    let mut rows = Vec::new();
+    for result in &results {
+        let diversity = result.measure_diversity();
+        rows.push(Table2Row::from_parts(result, &diversity));
+    }
+    println!("## Table 2\n\n{}", table2(&rows));
+
+    let varity = &results[0];
+    let llm4fp = results
+        .iter()
+        .find(|r| r.config.approach == ApproachKind::Llm4Fp)
+        .expect("LLM4FP campaign present");
+    println!("## Figure 3\n\n{}", figure3(varity, llm4fp));
+    println!("## Table 3\n\n{}", table3(llm4fp));
+    println!("## Table 4\n\n{}", table4(varity, llm4fp));
+    println!("## Table 5\n\n{}", table5(varity, llm4fp));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 3: inconsistency counts per value-class kind,
+//! Varity vs LLM4FP.
+
+use llm4fp::report::figure3;
+use llm4fp_bench::{run_varity_and_llm4fp, ExpOptions};
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    let (varity, llm4fp) = run_varity_and_llm4fp(opts);
+    println!("\nFigure 3: Inconsistency counts of different kinds ({} programs/approach)\n", opts.programs);
+    print!("{}", figure3(&varity, &llm4fp));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 1: the optimization levels and compiler flags of the
+//! evaluation matrix (a static configuration check).
+
+fn main() {
+    println!("Table 1: Optimization Levels and Compiler Flags\n");
+    print!("{}", llm4fp::report::table1());
+}

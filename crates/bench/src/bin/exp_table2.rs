@@ -1,0 +1,28 @@
+//! Regenerates Table 2: inconsistency rate, inconsistency count, time cost
+//! and CodeBLEU diversity for Varity, Direct-Prompt, Grammar-Guided and
+//! LLM4FP.
+
+use llm4fp::report::{table2, Table2Row};
+use llm4fp_bench::{run_all_approaches, ExpOptions};
+use llm4fp_metrics::CloneType;
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    let results = run_all_approaches(opts);
+    let mut rows = Vec::new();
+    for result in &results {
+        let diversity = result.measure_diversity();
+        println!(
+            "[{}] generation failures: {}, programs with inconsistencies: {}, clones (T1/T2/T2c): {}/{}/{}",
+            result.config.approach.name(),
+            result.generation_failures,
+            result.aggregates.triggering_programs,
+            diversity.clone_pairs(CloneType::Type1),
+            diversity.clone_pairs(CloneType::Type2),
+            diversity.clone_pairs(CloneType::Type2c),
+        );
+        rows.push(Table2Row::from_parts(result, &diversity));
+    }
+    println!("\nTable 2: Comparing LLM4FP with baselines ({} programs/approach)\n", opts.programs);
+    print!("{}", table2(&rows));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table 4: inconsistency rates and digit differences per
+//! compiler pair and optimization level, Varity vs LLM4FP.
+
+use llm4fp::report::table4;
+use llm4fp_bench::{run_varity_and_llm4fp, ExpOptions};
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    let (varity, llm4fp) = run_varity_and_llm4fp(opts);
+    println!("\nTable 4: Inconsistency rates and digit differences per compiler pair ({} programs/approach)\n", opts.programs);
+    print!("{}", table4(&varity, &llm4fp));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table 5: inconsistency rates of every optimization level
+//! against O0_nofma within each compiler, Varity vs LLM4FP.
+
+use llm4fp::report::table5;
+use llm4fp_bench::{run_varity_and_llm4fp, ExpOptions};
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    let (varity, llm4fp) = run_varity_and_llm4fp(opts);
+    println!("\nTable 5: Inconsistency rates vs O0_nofma within each compiler ({} programs/approach)\n", opts.programs);
+    print!("{}", table5(&varity, &llm4fp));
+}

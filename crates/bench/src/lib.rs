@@ -1,0 +1,145 @@
+//! # llm4fp-bench
+//!
+//! Shared harness for the experiment binaries (`exp_table1` … `exp_all`)
+//! that regenerate every table and figure of the paper, and for the
+//! Criterion benchmarks that measure the cost of each pipeline stage.
+//!
+//! Every experiment binary accepts:
+//!
+//! * `--programs N` — program budget per approach (default 150, chosen so a
+//!   full experiment finishes in well under a minute on a laptop);
+//! * `--paper` — use the paper's budget of 1,000 programs per approach;
+//! * `--seed S` — base RNG seed (default 42);
+//! * `--threads T` — worker threads for the differential-testing matrix.
+
+#![deny(unsafe_code)]
+
+use llm4fp::{ApproachKind, Campaign, CampaignConfig, CampaignResult};
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpOptions {
+    pub programs: usize,
+    pub seed: u64,
+    pub threads: usize,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions { programs: 150, seed: 42, threads: 4 }
+    }
+}
+
+impl ExpOptions {
+    /// Parse options from an iterator of CLI arguments (excluding argv[0]).
+    /// Unknown arguments are rejected with an error message.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut opts = ExpOptions::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--paper" => opts.programs = 1_000,
+                "--programs" => {
+                    let v = iter.next().ok_or("--programs needs a value")?;
+                    opts.programs = v.parse().map_err(|_| format!("invalid --programs {v}"))?;
+                }
+                "--seed" => {
+                    let v = iter.next().ok_or("--seed needs a value")?;
+                    opts.seed = v.parse().map_err(|_| format!("invalid --seed {v}"))?;
+                }
+                "--threads" => {
+                    let v = iter.next().ok_or("--threads needs a value")?;
+                    opts.threads = v.parse().map_err(|_| format!("invalid --threads {v}"))?;
+                }
+                "--help" | "-h" => {
+                    return Err("usage: [--programs N] [--paper] [--seed S] [--threads T]".into())
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        if opts.programs == 0 {
+            return Err("--programs must be positive".into());
+        }
+        Ok(opts)
+    }
+
+    /// Parse from the process environment.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Campaign configuration for one approach under these options.
+    pub fn campaign_config(&self, approach: ApproachKind) -> CampaignConfig {
+        CampaignConfig::new(approach)
+            .with_budget(self.programs)
+            .with_seed(self.seed)
+            .with_threads(self.threads)
+    }
+}
+
+/// Run one campaign for the given approach.
+pub fn run_campaign(opts: ExpOptions, approach: ApproachKind) -> CampaignResult {
+    eprintln!(
+        "[llm4fp-bench] running {} campaign: {} programs, seed {}",
+        approach.name(),
+        opts.programs,
+        opts.seed
+    );
+    Campaign::new(opts.campaign_config(approach)).run()
+}
+
+/// Run the Varity and LLM4FP campaigns (the pair most tables compare).
+pub fn run_varity_and_llm4fp(opts: ExpOptions) -> (CampaignResult, CampaignResult) {
+    (run_campaign(opts, ApproachKind::Varity), run_campaign(opts, ApproachKind::Llm4Fp))
+}
+
+/// Run all four approaches in Table 2 order.
+pub fn run_all_approaches(opts: ExpOptions) -> Vec<CampaignResult> {
+    ApproachKind::ALL.iter().map(|&a| run_campaign(opts, a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_parsing_handles_all_flags() {
+        let opts = ExpOptions::parse(
+            ["--programs", "25", "--seed", "7", "--threads", "2"].map(String::from),
+        )
+        .unwrap();
+        assert_eq!(opts, ExpOptions { programs: 25, seed: 7, threads: 2 });
+        let paper = ExpOptions::parse(["--paper".to_string()]).unwrap();
+        assert_eq!(paper.programs, 1_000);
+        assert!(ExpOptions::parse(["--programs".to_string(), "zero".to_string()]).is_err());
+        assert!(ExpOptions::parse(["--bogus".to_string()]).is_err());
+        assert!(ExpOptions::parse(["--programs".to_string(), "0".to_string()]).is_err());
+        assert_eq!(ExpOptions::parse(std::iter::empty::<String>()).unwrap(), ExpOptions::default());
+    }
+
+    #[test]
+    fn campaign_config_reflects_options() {
+        let opts = ExpOptions { programs: 9, seed: 123, threads: 3 };
+        let cfg = opts.campaign_config(ApproachKind::GrammarGuided);
+        assert_eq!(cfg.programs, 9);
+        assert_eq!(cfg.seed, 123);
+        assert_eq!(cfg.threads, 3);
+        assert_eq!(cfg.approach, ApproachKind::GrammarGuided);
+    }
+
+    #[test]
+    fn tiny_experiment_pipeline_end_to_end() {
+        let opts = ExpOptions { programs: 6, seed: 1, threads: 2 };
+        let results = run_all_approaches(opts);
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert_eq!(r.aggregates.programs, 6);
+        }
+    }
+}

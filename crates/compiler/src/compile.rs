@@ -1,0 +1,182 @@
+//! The compilation entry point: validation → lowering → pass pipeline →
+//! an executable [`CompiledProgram`].
+
+use serde::{Deserialize, Serialize};
+
+use llm4fp_fpir::{validate, InputSet, Param, Precision, Program, ValidationError};
+
+use crate::config::{CompilerConfig, Semantics};
+use crate::interp::{ExecError, ExecResult, Interpreter, DEFAULT_FUEL};
+use crate::ir::{count_in_body, OExpr, OStmt};
+use crate::lower::lower_program;
+use crate::passes::run_pipeline;
+
+/// Why a program failed to compile.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompileError {
+    /// Static validation rejected the program (uninitialized variables,
+    /// out-of-bounds accesses, oversized loops, ...). The paper counts such
+    /// programs as generation failures: they never reach differential
+    /// testing.
+    Invalid(Vec<ValidationError>),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Invalid(errors) => {
+                write!(f, "program rejected by validation: ")?;
+                for (i, e) in errors.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// An executable artifact: the optimized body plus the semantics it must be
+/// executed under. This plays the role of the binary produced by a real
+/// compiler invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledProgram {
+    /// The configuration that produced this artifact.
+    pub config: CompilerConfig,
+    /// Program precision.
+    pub precision: Precision,
+    /// `compute` parameters (used to bind inputs at execution time).
+    pub params: Vec<Param>,
+    /// Optimized statement list.
+    pub body: Vec<OStmt>,
+    /// Floating-point semantics the interpreter must honour.
+    pub semantics: Semantics,
+}
+
+impl CompiledProgram {
+    /// Execute on one input set with the default fuel budget.
+    pub fn execute(&self, inputs: &InputSet) -> Result<ExecResult, ExecError> {
+        self.execute_with_fuel(inputs, DEFAULT_FUEL)
+    }
+
+    /// Execute with an explicit fuel budget (mainly for tests that exercise
+    /// the runaway-loop protection).
+    pub fn execute_with_fuel(&self, inputs: &InputSet, fuel: u64) -> Result<ExecResult, ExecError> {
+        let interp = Interpreter::new(self.precision, &self.params, inputs, &self.semantics, fuel)?;
+        interp.run(&self.body)
+    }
+
+    /// Number of fused multiply-add operations the pass pipeline introduced
+    /// (used by tests and the ablation benchmarks).
+    pub fn fma_count(&self) -> usize {
+        count_in_body(&self.body, |e| matches!(e, OExpr::Fma { .. }))
+    }
+
+    /// Number of reciprocal operations introduced by fast-math.
+    pub fn recip_count(&self) -> usize {
+        count_in_body(&self.body, |e| matches!(e, OExpr::Recip { .. }))
+    }
+}
+
+/// Compile a program under one configuration.
+///
+/// Validation failures are reported as [`CompileError::Invalid`]; valid
+/// programs always compile (the virtual compiler has no resource limits of
+/// its own — execution is bounded separately by fuel).
+pub fn compile(program: &Program, config: CompilerConfig) -> Result<CompiledProgram, CompileError> {
+    let problems = validate(program);
+    if !problems.is_empty() {
+        return Err(CompileError::Invalid(problems));
+    }
+    let semantics = config.semantics();
+    let body = run_pipeline(lower_program(program), &semantics);
+    Ok(CompiledProgram {
+        config,
+        precision: program.precision,
+        params: program.params.clone(),
+        body,
+        semantics,
+    })
+}
+
+/// Compile a program under every configuration of the full evaluation
+/// matrix (3 compilers × 6 levels), returning the artifacts in matrix order.
+pub fn compile_matrix(program: &Program) -> Result<Vec<CompiledProgram>, CompileError> {
+    CompilerConfig::full_matrix().into_iter().map(|cfg| compile(program, cfg)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CompilerId, OptLevel};
+    use llm4fp_fpir::{parse_compute, InputValue};
+
+    #[test]
+    fn invalid_programs_are_rejected_with_details() {
+        let program =
+            parse_compute("void compute(double x) { comp = undeclared_variable + x; }").unwrap();
+        match compile(&program, CompilerConfig::new(CompilerId::Gcc, OptLevel::O0)) {
+            Err(CompileError::Invalid(errors)) => {
+                assert!(errors.iter().any(|e| e.message.contains("undeclared_variable")));
+            }
+            other => panic!("expected validation failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compile_matrix_produces_all_18_artifacts() {
+        let program = parse_compute("void compute(double x) { comp = x * x + 1.0; }").unwrap();
+        let artifacts = compile_matrix(&program).unwrap();
+        assert_eq!(artifacts.len(), 18);
+        // nvcc artifacts contract even at O0; strict artifacts never do.
+        let nvcc_o0 = artifacts
+            .iter()
+            .find(|a| a.config == CompilerConfig::new(CompilerId::Nvcc, OptLevel::O0))
+            .unwrap();
+        assert_eq!(nvcc_o0.fma_count(), 1);
+        for a in &artifacts {
+            if a.config.level == OptLevel::O0Nofma {
+                assert_eq!(a.fma_count(), 0, "{}", a.config);
+            }
+        }
+    }
+
+    #[test]
+    fn strict_configurations_agree_with_each_other_on_pure_arithmetic() {
+        // Without math calls, O0_nofma results are identical across all three
+        // compilers: IEEE arithmetic is deterministic.
+        let program = parse_compute(
+            "void compute(double x, double y) {\n\
+             comp = (x + y) * (x - y);\n\
+             comp /= x * y + 1.0;\n\
+             }",
+        )
+        .unwrap();
+        let inputs = InputSet::new()
+            .with("x", InputValue::Fp(1.25))
+            .with("y", InputValue::Fp(-7.5));
+        let mut bits = std::collections::HashSet::new();
+        for &c in &CompilerId::ALL {
+            let artifact = compile(&program, CompilerConfig::new(c, OptLevel::O0Nofma)).unwrap();
+            bits.insert(artifact.execute(&inputs).unwrap().bits());
+        }
+        assert_eq!(bits.len(), 1);
+    }
+
+    #[test]
+    fn compiled_artifacts_are_serializable() {
+        // Experiment records persist compiled artifacts; confirm the Serialize
+        // and Deserialize impls exist and the artifact is cloneable/eq.
+        fn assert_roundtrippable<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_roundtrippable::<CompiledProgram>();
+        let program = parse_compute("void compute(double x) { comp = x + 1.0; }").unwrap();
+        let artifact =
+            compile(&program, CompilerConfig::new(CompilerId::Clang, OptLevel::O2)).unwrap();
+        assert_eq!(artifact.clone(), artifact);
+        assert_eq!(artifact.recip_count(), 0);
+    }
+}

@@ -1,0 +1,521 @@
+//! The execution back end: a bit-exact IEEE-754 interpreter for optimized
+//! programs.
+//!
+//! The interpreter evaluates the optimized IR under the floating-point
+//! semantics selected at compile time: every arithmetic operation is rounded
+//! to the program's precision, FMA nodes are evaluated with a single
+//! rounding, math calls dispatch into the configured math library, and
+//! (under fast-math) subnormal results are flushed to zero. The final value
+//! of `comp` — the value the generated C program would print — is returned
+//! with its exact bit pattern.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use llm4fp_fpir::{BinOp, IndexExpr, InputSet, InputValue, MathFunc, Param, ParamType, Precision};
+use llm4fp_mathlib::{flush_to_zero, MathLib};
+
+use crate::config::Semantics;
+use crate::ir::{OExpr, OStmt};
+
+/// Default execution fuel: an upper bound on executed statements plus loop
+/// iterations, protecting the harness from pathological programs.
+pub const DEFAULT_FUEL: u64 = 4_000_000;
+
+/// Runtime failure of a virtual execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The fuel budget was exhausted (runaway loops).
+    FuelExhausted,
+    /// A scalar variable was read before any assignment.
+    UnknownVariable(String),
+    /// An array was accessed that is neither a parameter nor declared.
+    UnknownArray(String),
+    /// An array access fell outside the array bounds.
+    IndexOutOfBounds { array: String, index: i64, len: usize },
+    /// The input set does not provide a value for a parameter.
+    MissingInput(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::FuelExhausted => write!(f, "execution fuel exhausted"),
+            ExecError::UnknownVariable(v) => write!(f, "read of unassigned variable `{v}`"),
+            ExecError::UnknownArray(a) => write!(f, "access to unknown array `{a}`"),
+            ExecError::IndexOutOfBounds { array, index, len } => {
+                write!(f, "index {index} out of bounds for `{array}` (length {len})")
+            }
+            ExecError::MissingInput(p) => write!(f, "missing input for parameter `{p}`"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The result of executing a compiled program on one input set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecResult {
+    /// Final value of `comp` (already rounded to the program precision).
+    pub value: f64,
+    /// Precision the program was compiled for.
+    pub precision: Precision,
+    /// Number of IR statements / loop iterations executed.
+    pub steps: u64,
+}
+
+impl ExecResult {
+    /// Bit pattern of the printed result (32-bit patterns are zero-extended).
+    pub fn bits(&self) -> u64 {
+        match self.precision {
+            Precision::F64 => self.value.to_bits(),
+            Precision::F32 => (self.value as f32).to_bits() as u64,
+        }
+    }
+
+    /// The hexadecimal encoding the generated program would print — the
+    /// string the differential tester compares (16 characters for FP64,
+    /// 8 for FP32).
+    pub fn hex(&self) -> String {
+        match self.precision {
+            Precision::F64 => format!("{:016x}", self.bits()),
+            Precision::F32 => format!("{:08x}", self.bits() as u32),
+        }
+    }
+}
+
+/// Interpreter for one (program, semantics) pair.
+pub struct Interpreter<'a> {
+    precision: Precision,
+    semantics: &'a Semantics,
+    math: Arc<dyn MathLib>,
+    scalars: HashMap<String, f64>,
+    ints: HashMap<String, i64>,
+    arrays: HashMap<String, Vec<f64>>,
+    fuel: u64,
+    steps: u64,
+}
+
+impl<'a> Interpreter<'a> {
+    /// Create an interpreter and bind the `compute` parameters from `inputs`.
+    pub fn new(
+        precision: Precision,
+        params: &[Param],
+        inputs: &InputSet,
+        semantics: &'a Semantics,
+        fuel: u64,
+    ) -> Result<Self, ExecError> {
+        let mut interp = Interpreter {
+            precision,
+            semantics,
+            math: semantics.math_lib.instantiate(),
+            scalars: HashMap::new(),
+            ints: HashMap::new(),
+            arrays: HashMap::new(),
+            fuel,
+            steps: 0,
+        };
+        for p in params {
+            match (p.ty, inputs.get(&p.name)) {
+                (ParamType::Int, Some(InputValue::Int(v))) => {
+                    interp.ints.insert(p.name.clone(), *v);
+                }
+                (ParamType::Fp, Some(InputValue::Fp(v))) => {
+                    interp.scalars.insert(p.name.clone(), interp.round(*v));
+                }
+                (ParamType::FpArray(len), Some(InputValue::FpArray(vals))) => {
+                    let mut buf: Vec<f64> =
+                        vals.iter().take(len).map(|&v| interp.round(v)).collect();
+                    buf.resize(len, 0.0);
+                    interp.arrays.insert(p.name.clone(), buf);
+                }
+                _ => return Err(ExecError::MissingInput(p.name.clone())),
+            }
+        }
+        // The accumulator is implicitly declared and zero-initialized.
+        interp.scalars.insert(llm4fp_fpir::COMP.to_string(), 0.0);
+        Ok(interp)
+    }
+
+    /// Execute a body and return the final value of `comp`.
+    pub fn run(mut self, body: &[OStmt]) -> Result<ExecResult, ExecError> {
+        self.exec_block(body)?;
+        let value = *self
+            .scalars
+            .get(llm4fp_fpir::COMP)
+            .expect("comp is always initialized");
+        Ok(ExecResult { value, precision: self.precision, steps: self.steps })
+    }
+
+    fn burn(&mut self) -> Result<(), ExecError> {
+        if self.fuel == 0 {
+            return Err(ExecError::FuelExhausted);
+        }
+        self.fuel -= 1;
+        self.steps += 1;
+        Ok(())
+    }
+
+    fn exec_block(&mut self, body: &[OStmt]) -> Result<(), ExecError> {
+        for stmt in body {
+            self.exec_stmt(stmt)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, stmt: &OStmt) -> Result<(), ExecError> {
+        self.burn()?;
+        match stmt {
+            OStmt::Assign { target, expr } => {
+                let v = self.eval(expr)?;
+                self.scalars.insert(target.clone(), v);
+            }
+            OStmt::Store { array, index, expr } => {
+                let v = self.eval(expr)?;
+                let idx = self.resolve_index(array, index)?;
+                let buf = self
+                    .arrays
+                    .get_mut(array)
+                    .ok_or_else(|| ExecError::UnknownArray(array.clone()))?;
+                buf[idx] = v;
+            }
+            OStmt::DeclArray { name, size, init } => {
+                let mut buf: Vec<f64> = init.iter().take(*size).map(|&v| self.round(v)).collect();
+                buf.resize(*size, 0.0);
+                self.arrays.insert(name.clone(), buf);
+            }
+            OStmt::If { cond, then_block } => {
+                let lhs = self.eval(&cond.lhs)?;
+                let rhs = self.eval(&cond.rhs)?;
+                if cond.op.eval(lhs, rhs) {
+                    self.exec_block(then_block)?;
+                }
+            }
+            OStmt::For { var, bound, body } => {
+                let shadowed = self.ints.get(var).copied();
+                for i in 0..*bound {
+                    self.burn()?;
+                    self.ints.insert(var.clone(), i);
+                    self.exec_block(body)?;
+                }
+                match shadowed {
+                    Some(old) => {
+                        self.ints.insert(var.clone(), old);
+                    }
+                    None => {
+                        self.ints.remove(var);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Round an exact `f64` to the program precision.
+    fn round(&self, v: f64) -> f64 {
+        match self.precision {
+            Precision::F64 => v,
+            Precision::F32 => v as f32 as f64,
+        }
+    }
+
+    /// Round an arithmetic result, applying flush-to-zero when the semantics
+    /// require it.
+    fn finish(&self, v: f64) -> f64 {
+        let v = self.round(v);
+        if self.semantics.flush_to_zero {
+            flush_to_zero(v)
+        } else {
+            v
+        }
+    }
+
+    fn eval(&mut self, expr: &OExpr) -> Result<f64, ExecError> {
+        Ok(match expr {
+            OExpr::Const(v) => self.round(*v),
+            OExpr::Var(name) => {
+                if let Some(v) = self.scalars.get(name) {
+                    *v
+                } else if let Some(i) = self.ints.get(name) {
+                    self.round(*i as f64)
+                } else {
+                    return Err(ExecError::UnknownVariable(name.clone()));
+                }
+            }
+            OExpr::Index { array, index } => {
+                let idx = self.resolve_index(array, index)?;
+                let buf =
+                    self.arrays.get(array).ok_or_else(|| ExecError::UnknownArray(array.clone()))?;
+                buf[idx]
+            }
+            OExpr::Neg(inner) => -self.eval(inner)?,
+            OExpr::Bin { op, lhs, rhs } => {
+                let a = self.eval(lhs)?;
+                let b = self.eval(rhs)?;
+                let raw = match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                };
+                self.finish(raw)
+            }
+            OExpr::Fma { a, b, c } => {
+                let a = self.eval(a)?;
+                let b = self.eval(b)?;
+                let c = self.eval(c)?;
+                let raw = match self.precision {
+                    Precision::F64 => a.mul_add(b, c),
+                    Precision::F32 => ((a as f32).mul_add(b as f32, c as f32)) as f64,
+                };
+                self.finish(raw)
+            }
+            OExpr::Recip { value, approx } => {
+                let v = self.eval(value)?;
+                let raw = if *approx {
+                    llm4fp_mathlib::FastMathLib::new().approx_recip(v)
+                } else {
+                    1.0 / v
+                };
+                self.finish(raw)
+            }
+            OExpr::Call { func, args } => {
+                let mut vals = [0.0f64; 3];
+                for (slot, arg) in vals.iter_mut().zip(args.iter()) {
+                    *slot = self.eval(arg)?;
+                }
+                let raw = self.dispatch(*func, &vals[..args.len()]);
+                // Math results are rounded to precision but never flushed:
+                // FTZ applies to arithmetic, library calls return normals.
+                self.round(raw)
+            }
+        })
+    }
+
+    fn resolve_index(&mut self, array: &str, index: &IndexExpr) -> Result<usize, ExecError> {
+        let var_value = match index.var() {
+            None => 0,
+            Some(v) => *self.ints.get(v).unwrap_or(&0),
+        };
+        let idx = index.eval(var_value);
+        let len = self.arrays.get(array).map(|b| b.len()).unwrap_or(0);
+        if self.arrays.get(array).is_none() {
+            return Err(ExecError::UnknownArray(array.to_string()));
+        }
+        if idx < 0 || idx as usize >= len {
+            return Err(ExecError::IndexOutOfBounds { array: array.to_string(), index: idx, len });
+        }
+        Ok(idx as usize)
+    }
+
+    fn dispatch(&self, func: MathFunc, args: &[f64]) -> f64 {
+        let m = &self.math;
+        let a = args.first().copied().unwrap_or(0.0);
+        let b = args.get(1).copied().unwrap_or(0.0);
+        let c = args.get(2).copied().unwrap_or(0.0);
+        match func {
+            MathFunc::Sin => m.sin(a),
+            MathFunc::Cos => m.cos(a),
+            MathFunc::Tan => m.tan(a),
+            MathFunc::Asin => m.asin(a),
+            MathFunc::Acos => m.acos(a),
+            MathFunc::Atan => m.atan(a),
+            MathFunc::Atan2 => m.atan2(a, b),
+            MathFunc::Sinh => m.sinh(a),
+            MathFunc::Cosh => m.cosh(a),
+            MathFunc::Tanh => m.tanh(a),
+            MathFunc::Exp => m.exp(a),
+            MathFunc::Exp2 => m.exp2(a),
+            MathFunc::Expm1 => m.expm1(a),
+            MathFunc::Log => m.log(a),
+            MathFunc::Log2 => m.log2(a),
+            MathFunc::Log10 => m.log10(a),
+            MathFunc::Log1p => m.log1p(a),
+            MathFunc::Sqrt => m.sqrt(a),
+            MathFunc::Cbrt => m.cbrt(a),
+            MathFunc::Pow => m.pow(a, b),
+            MathFunc::Hypot => m.hypot(a, b),
+            MathFunc::Fabs => m.fabs(a),
+            MathFunc::Floor => m.floor(a),
+            MathFunc::Ceil => m.ceil(a),
+            MathFunc::Trunc => m.trunc(a),
+            MathFunc::Round => m.round(a),
+            MathFunc::Fmin => m.fmin(a, b),
+            MathFunc::Fmax => m.fmax(a, b),
+            MathFunc::Fmod => m.fmod(a, b),
+            MathFunc::Fma => m.fma(a, b, c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::config::{CompilerConfig, CompilerId, OptLevel};
+    use llm4fp_fpir::parse_compute;
+
+    fn run(src: &str, inputs: &InputSet, cfg: CompilerConfig) -> ExecResult {
+        let program = parse_compute(src).unwrap();
+        compile(&program, cfg).unwrap().execute(inputs).unwrap()
+    }
+
+    fn strict() -> CompilerConfig {
+        CompilerConfig::new(CompilerId::Gcc, OptLevel::O0Nofma)
+    }
+
+    #[test]
+    fn straight_line_arithmetic_matches_direct_evaluation() {
+        let src = "void compute(double x, double y) { comp = x * y + 2.5; comp /= y - 0.5; }";
+        let inputs =
+            InputSet::new().with("x", InputValue::Fp(3.0)).with("y", InputValue::Fp(2.0));
+        let r = run(src, &inputs, strict());
+        let expected = (3.0f64 * 2.0 + 2.5) / (2.0 - 0.5);
+        assert_eq!(r.value.to_bits(), expected.to_bits());
+        assert_eq!(r.hex(), format!("{:016x}", expected.to_bits()));
+    }
+
+    #[test]
+    fn loops_conditionals_and_arrays_execute_correctly() {
+        let src = "void compute(double *a, double s) {\n\
+                   double acc = 0.0;\n\
+                   for (int i = 0; i < 4; ++i) {\n\
+                     acc += a[i] * s;\n\
+                   }\n\
+                   if (acc > 5.0) { comp = acc - 5.0; }\n\
+                   if (acc <= 5.0) { comp = acc; }\n\
+                   }";
+        let inputs = InputSet::new()
+            .with("a", InputValue::FpArray(vec![1.0, 2.0, 3.0, 4.0]))
+            .with("s", InputValue::Fp(1.0));
+        let r = run(src, &inputs, strict());
+        assert_eq!(r.value, 5.0); // 10 > 5 -> 10 - 5
+        let inputs2 = InputSet::new()
+            .with("a", InputValue::FpArray(vec![1.0, 1.0, 1.0, 1.0]))
+            .with("s", InputValue::Fp(0.5));
+        assert_eq!(run(src, &inputs2, strict()).value, 2.0);
+    }
+
+    #[test]
+    fn f32_programs_round_every_operation() {
+        let src = "void compute(float x) { comp = x / 3.0; comp *= 3.0; }";
+        let inputs = InputSet::new().with("x", InputValue::Fp(1.0));
+        let program = parse_compute(src).unwrap();
+        let r = compile(&program, strict()).unwrap().execute(&inputs).unwrap();
+        let expected = ((1.0f32 / 3.0f32) * 3.0f32) as f64;
+        assert_eq!(r.value.to_bits(), expected.to_bits());
+        assert_eq!(r.hex().len(), 8);
+    }
+
+    #[test]
+    fn fma_contraction_changes_bits_for_sensitive_inputs() {
+        // x*y + z where x*y needs more than 53 bits: contraction keeps them.
+        let src = "void compute(double x, double y, double z) { comp = x * y + z; }";
+        let x = 1.0 + 2f64.powi(-30);
+        let inputs = InputSet::new()
+            .with("x", InputValue::Fp(x))
+            .with("y", InputValue::Fp(x))
+            .with("z", InputValue::Fp(-1.0));
+        let strict_r = run(src, &inputs, strict());
+        let contracted = run(src, &inputs, CompilerConfig::new(CompilerId::Nvcc, OptLevel::O0));
+        assert_ne!(strict_r.bits(), contracted.bits());
+        assert_eq!(strict_r.bits(), ((x * x) - 1.0).to_bits());
+        assert_eq!(contracted.bits(), x.mul_add(x, -1.0).to_bits());
+    }
+
+    #[test]
+    fn division_by_zero_and_domain_errors_follow_ieee() {
+        let src = "void compute(double x) { comp = x / (x - x); }";
+        let inputs = InputSet::new().with("x", InputValue::Fp(2.0));
+        let r = run(src, &inputs, strict());
+        assert!(r.value.is_infinite());
+        let src2 = "void compute(double x) { comp = sqrt(x); }";
+        let neg = InputSet::new().with("x", InputValue::Fp(-4.0));
+        assert!(run(src2, &neg, strict()).value.is_nan());
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reported() {
+        let src = "void compute(double x) {\n\
+                   for (int i = 0; i < 200; ++i) {\n\
+                     for (int j = 0; j < 200; ++j) {\n\
+                       for (int k = 0; k < 200; ++k) { comp += x; }\n\
+                     }\n\
+                   }\n\
+                   }";
+        let program = parse_compute(src).unwrap();
+        let compiled = compile(&program, strict()).unwrap();
+        let inputs = InputSet::new().with("x", InputValue::Fp(1.0));
+        let err = compiled.execute_with_fuel(&inputs, 10_000).unwrap_err();
+        assert_eq!(err, ExecError::FuelExhausted);
+    }
+
+    #[test]
+    fn missing_inputs_and_unknown_arrays_error_out() {
+        let src = "void compute(double x) { comp = x; }";
+        let program = parse_compute(src).unwrap();
+        let compiled = compile(&program, strict()).unwrap();
+        assert_eq!(
+            compiled.execute(&InputSet::new()).unwrap_err(),
+            ExecError::MissingInput("x".into())
+        );
+    }
+
+    #[test]
+    fn loop_variable_scoping_restores_outer_bindings() {
+        // The loop variable of the inner loop shadows an int parameter of the
+        // same name; afterwards the parameter value must be visible again.
+        let src = "void compute(int i, double x) {\n\
+                   comp = 0.0;\n\
+                   for (int i = 0; i < 3; ++i) { comp += x; }\n\
+                   comp += i;\n\
+                   }";
+        let inputs =
+            InputSet::new().with("i", InputValue::Int(10)).with("x", InputValue::Fp(1.0));
+        let r = run(src, &inputs, strict());
+        assert_eq!(r.value, 13.0);
+    }
+
+    #[test]
+    fn math_calls_use_the_configured_library() {
+        let src = "void compute(double x) { comp = sin(x) + exp(x); }";
+        let probe = InputSet::new().with("x", InputValue::Fp(0.7));
+        let host = run(src, &probe, CompilerConfig::new(CompilerId::Gcc, OptLevel::O0Nofma));
+        assert_eq!(host.bits(), (0.7f64.sin() + 0.7f64.exp()).to_bits());
+        // Across a set of inputs the device library must disagree with the
+        // host in the last bits at least sometimes, and the fast-math library
+        // must be visibly less accurate while staying numerically close.
+        let mut device_differs = 0;
+        let mut fast_differs = 0;
+        for i in 1..40 {
+            let x = (i as f64) * 0.17;
+            let inputs = InputSet::new().with("x", InputValue::Fp(x));
+            let host = run(src, &inputs, CompilerConfig::new(CompilerId::Gcc, OptLevel::O0Nofma));
+            let device =
+                run(src, &inputs, CompilerConfig::new(CompilerId::Nvcc, OptLevel::O0Nofma));
+            let fast =
+                run(src, &inputs, CompilerConfig::new(CompilerId::Nvcc, OptLevel::O3Fastmath));
+            assert!((device.value - host.value).abs() <= 1e-9 * host.value.abs().max(1.0));
+            assert!((fast.value - host.value).abs() <= 1e-3 * host.value.abs().max(1.0));
+            if device.bits() != host.bits() {
+                device_differs += 1;
+            }
+            if fast.bits() != device.bits() {
+                fast_differs += 1;
+            }
+        }
+        assert!(device_differs > 0, "device library never disagreed with the host");
+        assert!(fast_differs > 10, "fast-math library should disagree almost always");
+    }
+
+    #[test]
+    fn flush_to_zero_only_under_fastmath() {
+        let src = "void compute(double x) { comp = x * 0.5; }";
+        let tiny = f64::MIN_POSITIVE; // x * 0.5 is subnormal
+        let inputs = InputSet::new().with("x", InputValue::Fp(tiny));
+        let normal = run(src, &inputs, CompilerConfig::new(CompilerId::Gcc, OptLevel::O3));
+        let fast = run(src, &inputs, CompilerConfig::new(CompilerId::Gcc, OptLevel::O3Fastmath));
+        assert!(normal.value > 0.0);
+        assert_eq!(fast.value, 0.0);
+    }
+}

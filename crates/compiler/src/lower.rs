@@ -1,0 +1,177 @@
+//! Front end: lowering the source AST ([`llm4fp_fpir`]) into the virtual
+//! compiler's IR.
+//!
+//! Lowering is semantics-preserving and identical for every compiler
+//! configuration: it strips parentheses (they only exist to fix evaluation
+//! order, which the tree structure already encodes), desugars compound
+//! assignments (`comp += e` becomes `comp = comp + e`, which is also what
+//! allows the contraction pass to fuse accumulator updates the way real
+//! compilers do), and converts declarations into ordinary assignments.
+
+use llm4fp_fpir::{AssignOp, Block, Expr, Program, Stmt};
+
+use crate::ir::{OCond, OExpr, OStmt};
+
+/// Lower a full program body.
+pub fn lower_program(program: &Program) -> Vec<OStmt> {
+    lower_block(&program.body)
+}
+
+/// Lower one block.
+pub fn lower_block(block: &Block) -> Vec<OStmt> {
+    block.stmts.iter().map(lower_stmt).collect()
+}
+
+fn lower_stmt(stmt: &Stmt) -> OStmt {
+    match stmt {
+        Stmt::Assign { target, op, expr } => OStmt::Assign {
+            target: target.clone(),
+            expr: desugar_compound(OExpr::Var(target.clone()), *op, lower_expr(expr)),
+        },
+        Stmt::DeclScalar { name, expr } => {
+            OStmt::Assign { target: name.clone(), expr: lower_expr(expr) }
+        }
+        Stmt::DeclArray { name, size, init } => {
+            OStmt::DeclArray { name: name.clone(), size: *size, init: init.clone() }
+        }
+        Stmt::AssignIndex { array, index, op, expr } => OStmt::Store {
+            array: array.clone(),
+            index: index.clone(),
+            expr: desugar_compound(
+                OExpr::Index { array: array.clone(), index: index.clone() },
+                *op,
+                lower_expr(expr),
+            ),
+        },
+        Stmt::If { cond, then_block } => OStmt::If {
+            cond: OCond { lhs: lower_expr(&cond.lhs), op: cond.op, rhs: lower_expr(&cond.rhs) },
+            then_block: lower_block(then_block),
+        },
+        Stmt::For { var, bound, body } => {
+            OStmt::For { var: var.clone(), bound: *bound, body: lower_block(body) }
+        }
+    }
+}
+
+fn desugar_compound(current: OExpr, op: AssignOp, rhs: OExpr) -> OExpr {
+    match op.bin_op() {
+        None => rhs,
+        Some(bin) => OExpr::bin(bin, current, rhs),
+    }
+}
+
+/// Lower one expression, dropping parentheses and converting integer
+/// literals to floating-point constants (C's usual arithmetic conversions:
+/// every expression in the grammar is evaluated in the program's fp type).
+pub fn lower_expr(expr: &Expr) -> OExpr {
+    match expr {
+        Expr::Num(v) => OExpr::Const(*v),
+        Expr::Int(v) => OExpr::Const(*v as f64),
+        Expr::Var(name) => OExpr::Var(name.clone()),
+        Expr::Index { array, index } => {
+            OExpr::Index { array: array.clone(), index: index.clone() }
+        }
+        Expr::Paren(inner) => lower_expr(inner),
+        Expr::Neg(inner) => OExpr::Neg(Box::new(lower_expr(inner))),
+        Expr::Bin { op, lhs, rhs } => OExpr::bin(*op, lower_expr(lhs), lower_expr(rhs)),
+        Expr::Call { func, args } => {
+            OExpr::Call { func: *func, args: args.iter().map(lower_expr).collect() }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm4fp_fpir::{parse_compute, BinOp};
+
+    fn lower_src(src: &str) -> Vec<OStmt> {
+        lower_program(&parse_compute(src).unwrap())
+    }
+
+    #[test]
+    fn parentheses_disappear_but_association_is_kept() {
+        let body = lower_src(
+            "void compute(double a, double b, double c) { comp = (a + b) + c; comp = a + (b + c); }",
+        );
+        let (first, second) = match (&body[0], &body[1]) {
+            (OStmt::Assign { expr: e1, .. }, OStmt::Assign { expr: e2, .. }) => (e1, e2),
+            _ => panic!("expected two assignments"),
+        };
+        assert_ne!(first, second, "association must survive lowering");
+        assert!(matches!(first, OExpr::Bin { op: BinOp::Add, lhs, .. } if matches!(**lhs, OExpr::Bin { .. })));
+        assert!(matches!(second, OExpr::Bin { op: BinOp::Add, rhs, .. } if matches!(**rhs, OExpr::Bin { .. })));
+    }
+
+    #[test]
+    fn compound_assignments_are_desugared() {
+        let body = lower_src("void compute(double x) { comp += x * 2.0; }");
+        match &body[0] {
+            OStmt::Assign { target, expr } => {
+                assert_eq!(target, "comp");
+                match expr {
+                    OExpr::Bin { op: BinOp::Add, lhs, rhs } => {
+                        assert_eq!(**lhs, OExpr::Var("comp".into()));
+                        assert!(matches!(**rhs, OExpr::Bin { op: BinOp::Mul, .. }));
+                    }
+                    other => panic!("expected desugared add, got {other:?}"),
+                }
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_compound_stores_read_the_element() {
+        let body = lower_src(
+            "void compute(double *a) { for (int i = 0; i < 4; ++i) { a[i] *= 2.0; } }",
+        );
+        match &body[0] {
+            OStmt::For { body, .. } => match &body[0] {
+                OStmt::Store { array, expr, .. } => {
+                    assert_eq!(array, "a");
+                    assert!(matches!(expr, OExpr::Bin { op: BinOp::Mul, .. }));
+                    assert_eq!(
+                        expr.count_matching(&|e| matches!(e, OExpr::Index { .. })),
+                        1,
+                        "the desugared store reads the element once"
+                    );
+                }
+                other => panic!("expected store, got {other:?}"),
+            },
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn declarations_and_int_literals_lower_to_assignments_and_constants() {
+        let body = lower_src("void compute(int n) { double t0 = 2 + 0.5; comp = t0; }");
+        match &body[0] {
+            OStmt::Assign { target, expr } => {
+                assert_eq!(target, "t0");
+                assert_eq!(expr.count_matching(&|e| matches!(e, OExpr::Const(_))), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_flow_structure_is_preserved() {
+        let body = lower_src(
+            "void compute(double x) {\n\
+             double buf[2] = {1.0, 2.0};\n\
+             for (int i = 0; i < 2; ++i) {\n\
+               if (x > 0.5) { comp += buf[i]; }\n\
+             }\n\
+            }",
+        );
+        assert_eq!(body.len(), 2);
+        assert!(matches!(body[0], OStmt::DeclArray { size: 2, .. }));
+        match &body[1] {
+            OStmt::For { bound: 2, body, .. } => {
+                assert!(matches!(body[0], OStmt::If { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! The optimization pass pipeline.
+//!
+//! Each pass is a tree rewrite over [`OStmt`] bodies, parameterized by the
+//! [`Semantics`] derived from a [`crate::CompilerConfig`]:
+//!
+//! 1. **Constant folding** (`-O1` and above) — folds arithmetic on literal
+//!    constants with correct rounding (value-preserving).
+//! 2. **Algebraic simplification** (fast-math only) — `x - x → 0`,
+//!    `x * 0 → 0`, `x + 0 → x`, `x * 1 → x`, `x / 1 → x`. Invalid under
+//!    IEEE semantics when `x` is NaN, infinite or signed zero, which is one
+//!    of the ways `O3_fastmath` produces extreme-value inconsistencies.
+//! 3. **Reassociation** (fast-math only) — flattens chains of `+` / `*` and
+//!    rebuilds them in a personality-specific order, changing rounding.
+//! 4. **Reciprocal division** (fast-math only) — `x / y → x * (1/y)`, with
+//!    an approximate reciprocal on the device personality.
+//! 5. **FMA contraction** — fuses `a*b ± c` into a single-rounding FMA
+//!    according to the personality's [`ContractionStyle`].
+//!
+//! The contraction pass runs last so that reassociation (when enabled)
+//! changes which multiply-add pairs are adjacent — mirroring how real
+//! backends contract after the IR has been reshaped.
+
+use llm4fp_fpir::BinOp;
+
+use crate::config::{ContractionStyle, ReassocStyle, Semantics};
+use crate::ir::{OExpr, OStmt};
+
+/// Run the full pipeline for the given semantics.
+pub fn run_pipeline(body: Vec<OStmt>, sem: &Semantics) -> Vec<OStmt> {
+    let mut body = body;
+    if sem.const_fold {
+        body = map_body(body, &const_fold_expr);
+    }
+    if sem.algebraic_simplify {
+        body = map_body(body, &algebraic_simplify_expr);
+    }
+    if sem.fast_math && sem.reassoc != ReassocStyle::SourceOrder {
+        let style = sem.reassoc;
+        body = map_body(body, &move |e| reassociate_expr(e, style));
+    }
+    if sem.recip_division {
+        let approx = sem.approx_recip;
+        body = map_body(body, &move |e| recip_division_expr(e, approx));
+    }
+    if sem.contraction != ContractionStyle::Off {
+        let style = sem.contraction;
+        body = map_body(body, &move |e| contract_expr(e, style));
+    }
+    body
+}
+
+/// Apply an expression rewriter to every expression in a body.
+fn map_body(body: Vec<OStmt>, rewrite: &impl Fn(OExpr) -> OExpr) -> Vec<OStmt> {
+    body.into_iter().map(|s| s.map_exprs(rewrite)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// 1. Constant folding
+// ---------------------------------------------------------------------------
+
+/// Fold arithmetic on literals, bottom-up. Only plain binary arithmetic and
+/// negation are folded (with the same rounding the interpreter would apply),
+/// so folding never changes the program's result — it models the
+/// value-preserving part of `-O1`/`-O2`/`-O3`.
+pub fn const_fold_expr(expr: OExpr) -> OExpr {
+    let expr = map_children(expr, &const_fold_expr);
+    match &expr {
+        OExpr::Neg(inner) => {
+            if let Some(v) = inner.as_const() {
+                return OExpr::Const(-v);
+            }
+        }
+        OExpr::Bin { op, lhs, rhs } => {
+            if let (Some(a), Some(b)) = (lhs.as_const(), rhs.as_const()) {
+                let v = match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                };
+                // NaN/Inf results are kept symbolic (not folded): real
+                // compilers avoid folding traps/exceptional values at
+                // compile time.
+                if v.is_finite() {
+                    return OExpr::Const(v);
+                }
+            }
+        }
+        _ => {}
+    }
+    expr
+}
+
+// ---------------------------------------------------------------------------
+// 2. Algebraic simplification (fast-math)
+// ---------------------------------------------------------------------------
+
+/// Value-unsafe algebraic identities applied under fast-math.
+pub fn algebraic_simplify_expr(expr: OExpr) -> OExpr {
+    let expr = map_children(expr, &algebraic_simplify_expr);
+    if let OExpr::Bin { op, lhs, rhs } = &expr {
+        match op {
+            BinOp::Sub if lhs == rhs => return OExpr::Const(0.0),
+            BinOp::Add => {
+                if rhs.as_const() == Some(0.0) {
+                    return (**lhs).clone();
+                }
+                if lhs.as_const() == Some(0.0) {
+                    return (**rhs).clone();
+                }
+            }
+            BinOp::Mul => {
+                if lhs.as_const() == Some(0.0) || rhs.as_const() == Some(0.0) {
+                    return OExpr::Const(0.0);
+                }
+                if rhs.as_const() == Some(1.0) {
+                    return (**lhs).clone();
+                }
+                if lhs.as_const() == Some(1.0) {
+                    return (**rhs).clone();
+                }
+            }
+            BinOp::Div => {
+                if rhs.as_const() == Some(1.0) {
+                    return (**lhs).clone();
+                }
+            }
+            _ => {}
+        }
+    }
+    expr
+}
+
+// ---------------------------------------------------------------------------
+// 3. Reassociation (fast-math)
+// ---------------------------------------------------------------------------
+
+/// Reassociate chains of the associative operators according to `style`.
+pub fn reassociate_expr(expr: OExpr, style: ReassocStyle) -> OExpr {
+    let expr = map_children(expr, &|e| reassociate_expr(e, style));
+    if let OExpr::Bin { op, .. } = &expr {
+        if op.is_associative() {
+            let op = *op;
+            let mut operands = Vec::new();
+            flatten_chain(&expr, op, &mut operands);
+            if operands.len() > 2 {
+                return rebuild_chain(op, operands, style);
+            }
+        }
+    }
+    expr
+}
+
+/// Collect the operands of a maximal chain of `op` (e.g. `a + b + c + d`).
+fn flatten_chain(expr: &OExpr, op: BinOp, out: &mut Vec<OExpr>) {
+    match expr {
+        OExpr::Bin { op: o, lhs, rhs } if *o == op => {
+            flatten_chain(lhs, op, out);
+            flatten_chain(rhs, op, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+fn rebuild_chain(op: BinOp, operands: Vec<OExpr>, style: ReassocStyle) -> OExpr {
+    match style {
+        ReassocStyle::SourceOrder => fold_left(op, operands),
+        ReassocStyle::Reversed => {
+            let mut ops = operands;
+            ops.reverse();
+            fold_left(op, ops)
+        }
+        ReassocStyle::ConstantsFirst => {
+            let (consts, rest): (Vec<_>, Vec<_>) =
+                operands.into_iter().partition(|e| matches!(e, OExpr::Const(_)));
+            let mut ordered = consts;
+            ordered.extend(rest);
+            fold_left(op, ordered)
+        }
+        ReassocStyle::BalancedTree => build_balanced(op, &operands),
+    }
+}
+
+fn fold_left(op: BinOp, operands: Vec<OExpr>) -> OExpr {
+    let mut iter = operands.into_iter();
+    let first = iter.next().expect("chain has at least one operand");
+    iter.fold(first, |acc, next| OExpr::bin(op, acc, next))
+}
+
+fn build_balanced(op: BinOp, operands: &[OExpr]) -> OExpr {
+    match operands.len() {
+        0 => unreachable!("chain cannot be empty"),
+        1 => operands[0].clone(),
+        n => {
+            let mid = n / 2;
+            OExpr::bin(op, build_balanced(op, &operands[..mid]), build_balanced(op, &operands[mid..]))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. Reciprocal division (fast-math)
+// ---------------------------------------------------------------------------
+
+/// Rewrite divisions into multiplications by a (possibly approximate)
+/// reciprocal.
+pub fn recip_division_expr(expr: OExpr, approx: bool) -> OExpr {
+    let expr = map_children(expr, &|e| recip_division_expr(e, approx));
+    if let OExpr::Bin { op: BinOp::Div, lhs, rhs } = expr {
+        // `1 / y` stays a plain reciprocal of y; `x / y` becomes x * (1/y).
+        let recip = OExpr::Recip { value: rhs, approx };
+        if lhs.as_const() == Some(1.0) {
+            return recip;
+        }
+        return OExpr::Bin { op: BinOp::Mul, lhs, rhs: Box::new(recip) };
+    }
+    expr
+}
+
+// ---------------------------------------------------------------------------
+// 5. FMA contraction
+// ---------------------------------------------------------------------------
+
+/// Contract `a*b ± c` shapes into fused multiply-adds.
+pub fn contract_expr(expr: OExpr, style: ContractionStyle) -> OExpr {
+    let expr = map_children(expr, &|e| contract_expr(e, style));
+    if style == ContractionStyle::Off {
+        return expr;
+    }
+    if let OExpr::Bin { op, lhs, rhs } = &expr {
+        match op {
+            BinOp::Add => {
+                // a*b + c (both styles)
+                if let OExpr::Bin { op: BinOp::Mul, lhs: a, rhs: b } = &**lhs {
+                    return OExpr::fma((**a).clone(), (**b).clone(), (**rhs).clone());
+                }
+                // c + a*b (aggressive only)
+                if style == ContractionStyle::Aggressive {
+                    if let OExpr::Bin { op: BinOp::Mul, lhs: a, rhs: b } = &**rhs {
+                        return OExpr::fma((**a).clone(), (**b).clone(), (**lhs).clone());
+                    }
+                }
+            }
+            BinOp::Sub => {
+                // a*b - c  →  fma(a, b, -c) (both styles)
+                if let OExpr::Bin { op: BinOp::Mul, lhs: a, rhs: b } = &**lhs {
+                    return OExpr::fma(
+                        (**a).clone(),
+                        (**b).clone(),
+                        OExpr::Neg(Box::new((**rhs).clone())),
+                    );
+                }
+                // c - a*b  →  fma(-a, b, c) (aggressive only)
+                if style == ContractionStyle::Aggressive {
+                    if let OExpr::Bin { op: BinOp::Mul, lhs: a, rhs: b } = &**rhs {
+                        return OExpr::fma(
+                            OExpr::Neg(Box::new((**a).clone())),
+                            (**b).clone(),
+                            (**lhs).clone(),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    expr
+}
+
+// ---------------------------------------------------------------------------
+// shared helpers
+// ---------------------------------------------------------------------------
+
+/// Rebuild an expression with its children rewritten by `f` (the children
+/// only — the caller decides what to do with the node itself).
+fn map_children(expr: OExpr, f: &impl Fn(OExpr) -> OExpr) -> OExpr {
+    match expr {
+        OExpr::Neg(inner) => OExpr::Neg(Box::new(f(*inner))),
+        OExpr::Bin { op, lhs, rhs } => {
+            OExpr::Bin { op, lhs: Box::new(f(*lhs)), rhs: Box::new(f(*rhs)) }
+        }
+        OExpr::Fma { a, b, c } => {
+            OExpr::Fma { a: Box::new(f(*a)), b: Box::new(f(*b)), c: Box::new(f(*c)) }
+        }
+        OExpr::Recip { value, approx } => OExpr::Recip { value: Box::new(f(*value)), approx },
+        OExpr::Call { func, args } => {
+            OExpr::Call { func, args: args.into_iter().map(f).collect() }
+        }
+        leaf @ (OExpr::Const(_) | OExpr::Var(_) | OExpr::Index { .. }) => leaf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CompilerConfig, CompilerId, OptLevel};
+    use crate::ir::count_in_body;
+    use crate::lower::lower_program;
+    use llm4fp_fpir::parse_compute;
+
+    fn lower_src(src: &str) -> Vec<OStmt> {
+        lower_program(&parse_compute(src).unwrap())
+    }
+
+    fn sem(compiler: CompilerId, level: OptLevel) -> Semantics {
+        CompilerConfig::new(compiler, level).semantics()
+    }
+
+    #[test]
+    fn const_folding_folds_literal_arithmetic_only() {
+        let e = const_fold_expr(OExpr::bin(
+            BinOp::Mul,
+            OExpr::bin(BinOp::Add, OExpr::Const(1.5), OExpr::Const(2.5)),
+            OExpr::var("x"),
+        ));
+        match e {
+            OExpr::Bin { op: BinOp::Mul, lhs, .. } => assert_eq!(lhs.as_const(), Some(4.0)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Division by literal zero is left symbolic.
+        let e = const_fold_expr(OExpr::bin(BinOp::Div, OExpr::Const(1.0), OExpr::Const(0.0)));
+        assert!(matches!(e, OExpr::Bin { .. }));
+    }
+
+    #[test]
+    fn algebraic_simplification_applies_unsafe_identities() {
+        let x_minus_x = OExpr::bin(BinOp::Sub, OExpr::var("x"), OExpr::var("x"));
+        assert_eq!(algebraic_simplify_expr(x_minus_x).as_const(), Some(0.0));
+        let x_times_0 = OExpr::bin(BinOp::Mul, OExpr::var("x"), OExpr::Const(0.0));
+        assert_eq!(algebraic_simplify_expr(x_times_0).as_const(), Some(0.0));
+        let x_plus_0 = OExpr::bin(BinOp::Add, OExpr::Const(0.0), OExpr::var("x"));
+        assert_eq!(algebraic_simplify_expr(x_plus_0), OExpr::var("x"));
+        let x_div_1 = OExpr::bin(BinOp::Div, OExpr::var("x"), OExpr::Const(1.0));
+        assert_eq!(algebraic_simplify_expr(x_div_1), OExpr::var("x"));
+        // x - y is untouched.
+        let x_minus_y = OExpr::bin(BinOp::Sub, OExpr::var("x"), OExpr::var("y"));
+        assert_eq!(algebraic_simplify_expr(x_minus_y.clone()), x_minus_y);
+    }
+
+    #[test]
+    fn reassociation_styles_produce_different_trees() {
+        let chain = OExpr::bin(
+            BinOp::Add,
+            OExpr::bin(
+                BinOp::Add,
+                OExpr::bin(BinOp::Add, OExpr::var("a"), OExpr::var("b")),
+                OExpr::Const(3.0),
+            ),
+            OExpr::var("d"),
+        );
+        let balanced = reassociate_expr(chain.clone(), ReassocStyle::BalancedTree);
+        let constants_first = reassociate_expr(chain.clone(), ReassocStyle::ConstantsFirst);
+        let reversed = reassociate_expr(chain.clone(), ReassocStyle::Reversed);
+        assert_ne!(balanced, chain);
+        assert_ne!(constants_first, balanced);
+        assert_ne!(reversed, balanced);
+        // Constants-first puts the literal in the leftmost position.
+        fn leftmost(e: &OExpr) -> &OExpr {
+            match e {
+                OExpr::Bin { lhs, .. } => leftmost(lhs),
+                other => other,
+            }
+        }
+        assert_eq!(leftmost(&constants_first).as_const(), Some(3.0));
+        assert_eq!(leftmost(&reversed), &OExpr::var("d"));
+        // All styles keep the same operand multiset (same size).
+        assert_eq!(balanced.size(), chain.size());
+        assert_eq!(reversed.size(), chain.size());
+    }
+
+    #[test]
+    fn short_chains_are_not_reassociated() {
+        let two = OExpr::bin(BinOp::Add, OExpr::var("a"), OExpr::var("b"));
+        assert_eq!(reassociate_expr(two.clone(), ReassocStyle::BalancedTree), two);
+        // Non-associative operators are never flattened.
+        let subs = OExpr::bin(
+            BinOp::Sub,
+            OExpr::bin(BinOp::Sub, OExpr::var("a"), OExpr::var("b")),
+            OExpr::var("c"),
+        );
+        assert_eq!(reassociate_expr(subs.clone(), ReassocStyle::Reversed), subs);
+    }
+
+    #[test]
+    fn reciprocal_division_rewrites_divisions() {
+        let div = OExpr::bin(BinOp::Div, OExpr::var("x"), OExpr::var("y"));
+        match recip_division_expr(div, false) {
+            OExpr::Bin { op: BinOp::Mul, rhs, .. } => {
+                assert!(matches!(*rhs, OExpr::Recip { approx: false, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let one_over = OExpr::bin(BinOp::Div, OExpr::Const(1.0), OExpr::var("y"));
+        assert!(matches!(recip_division_expr(one_over, true), OExpr::Recip { approx: true, .. }));
+    }
+
+    #[test]
+    fn contraction_styles_cover_different_patterns() {
+        let mul_left = OExpr::bin(
+            BinOp::Add,
+            OExpr::bin(BinOp::Mul, OExpr::var("a"), OExpr::var("b")),
+            OExpr::var("c"),
+        );
+        let mul_right = OExpr::bin(
+            BinOp::Add,
+            OExpr::var("c"),
+            OExpr::bin(BinOp::Mul, OExpr::var("a"), OExpr::var("b")),
+        );
+        assert!(matches!(contract_expr(mul_left.clone(), ContractionStyle::MulOnLeft), OExpr::Fma { .. }));
+        assert!(matches!(contract_expr(mul_left, ContractionStyle::Aggressive), OExpr::Fma { .. }));
+        // The conservative style leaves `c + a*b` alone; the aggressive one fuses it.
+        assert!(matches!(contract_expr(mul_right.clone(), ContractionStyle::MulOnLeft), OExpr::Bin { .. }));
+        assert!(matches!(contract_expr(mul_right, ContractionStyle::Aggressive), OExpr::Fma { .. }));
+        // Subtraction with the multiply on the right needs a negated operand.
+        let sub_right = OExpr::bin(
+            BinOp::Sub,
+            OExpr::var("c"),
+            OExpr::bin(BinOp::Mul, OExpr::var("a"), OExpr::var("b")),
+        );
+        match contract_expr(sub_right, ContractionStyle::Aggressive) {
+            OExpr::Fma { a, .. } => assert!(matches!(*a, OExpr::Neg(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            contract_expr(
+                OExpr::bin(BinOp::Add, OExpr::bin(BinOp::Mul, OExpr::var("a"), OExpr::var("b")), OExpr::var("c")),
+                ContractionStyle::Off
+            ),
+            OExpr::Bin { .. }
+        ));
+    }
+
+    #[test]
+    fn pipeline_matches_table1_expectations_per_configuration() {
+        let src = "void compute(double x, double y, double z) {\n\
+                   comp = x * y + z;\n\
+                   comp += x / y;\n\
+                   comp = comp + x + y + z + 1.0;\n\
+                   }";
+        // O0_nofma: nothing happens.
+        let strict = run_pipeline(lower_src(src), &sem(CompilerId::Gcc, OptLevel::O0Nofma));
+        assert_eq!(count_in_body(&strict, |e| matches!(e, OExpr::Fma { .. })), 0);
+        assert_eq!(count_in_body(&strict, |e| matches!(e, OExpr::Recip { .. })), 0);
+
+        // gcc -O2 contracts but does not touch division or association.
+        let gcc_o2 = run_pipeline(lower_src(src), &sem(CompilerId::Gcc, OptLevel::O2));
+        assert!(count_in_body(&gcc_o2, |e| matches!(e, OExpr::Fma { .. })) >= 1);
+        assert_eq!(count_in_body(&gcc_o2, |e| matches!(e, OExpr::Recip { .. })), 0);
+
+        // nvcc -O0 already contracts (fmad default), hosts at -O0 do not.
+        let nvcc_o0 = run_pipeline(lower_src(src), &sem(CompilerId::Nvcc, OptLevel::O0));
+        let gcc_o0 = run_pipeline(lower_src(src), &sem(CompilerId::Gcc, OptLevel::O0));
+        assert!(count_in_body(&nvcc_o0, |e| matches!(e, OExpr::Fma { .. })) >= 1);
+        assert_eq!(count_in_body(&gcc_o0, |e| matches!(e, OExpr::Fma { .. })), 0);
+
+        // Fast-math introduces reciprocals everywhere and approximate ones on
+        // the device.
+        let gcc_fast = run_pipeline(lower_src(src), &sem(CompilerId::Gcc, OptLevel::O3Fastmath));
+        let nvcc_fast = run_pipeline(lower_src(src), &sem(CompilerId::Nvcc, OptLevel::O3Fastmath));
+        assert!(count_in_body(&gcc_fast, |e| matches!(e, OExpr::Recip { approx: false, .. })) >= 1);
+        assert!(count_in_body(&nvcc_fast, |e| matches!(e, OExpr::Recip { approx: true, .. })) >= 1);
+
+        // The three personalities produce three different fast-math bodies.
+        let clang_fast = run_pipeline(lower_src(src), &sem(CompilerId::Clang, OptLevel::O3Fastmath));
+        assert_ne!(gcc_fast, clang_fast);
+        assert_ne!(gcc_fast, nvcc_fast);
+        assert_ne!(clang_fast, nvcc_fast);
+    }
+
+    #[test]
+    fn pipeline_is_identity_preserving_for_structure() {
+        // Control flow shape survives every pipeline.
+        let src = "void compute(double *a, double s) {\n\
+                   for (int i = 0; i < 4; ++i) {\n\
+                     if (s > 0.0) { comp += a[i] * s + 1.0; }\n\
+                   }\n\
+                   }";
+        for &c in &CompilerId::ALL {
+            for &l in &OptLevel::ALL {
+                let body = run_pipeline(lower_src(src), &sem(c, l));
+                assert_eq!(body.len(), 1);
+                match &body[0] {
+                    OStmt::For { bound: 4, body, .. } => assert!(matches!(body[0], OStmt::If { .. })),
+                    other => panic!("loop structure lost for {c} {l}: {other:?}"),
+                }
+            }
+        }
+    }
+}

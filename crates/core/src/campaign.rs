@@ -1,0 +1,375 @@
+//! The campaign loop: Figure 1 of the paper, end to end.
+//!
+//! Each iteration selects a generation strategy, obtains a candidate program
+//! (from the Varity generator or from the LLM client), pairs it with a fresh
+//! input set, pushes it through the compilation driver and differential
+//! tester, folds the outcome into the aggregates, and — when the program
+//! triggered at least one inconsistency — adds it to the successful set that
+//! Feedback-Based Mutation draws from.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use llm4fp_difftest::{Aggregates, DiffTester};
+use llm4fp_fpir::{program_id, to_compute_source, validate, Program};
+use llm4fp_generator::{
+    llm::SimulatedLlmConfig, InputGenerator, LlmClient, PromptBuilder, SimulatedLlm, Strategy,
+    VarityGenerator,
+};
+use llm4fp_metrics::DiversityReport;
+
+use crate::config::{ApproachKind, CampaignConfig};
+
+/// How one program of the campaign was produced and what it did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramRecord {
+    /// Sequence number within the campaign (0-based).
+    pub index: usize,
+    /// Structural program id (empty for generation failures).
+    pub program_id: String,
+    /// Strategy that produced the program.
+    pub strategy: String,
+    /// Whether generation produced a valid program at all.
+    pub valid: bool,
+    /// Number of inconsistencies this program triggered.
+    pub inconsistencies: usize,
+    /// Whether the program entered the successful set.
+    pub successful: bool,
+}
+
+/// Everything a finished campaign reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// The configuration that produced this result.
+    pub config: CampaignConfig,
+    /// Aggregated differential-testing statistics (Tables 2–5, Figure 3).
+    pub aggregates: Aggregates,
+    /// Per-program records, in generation order.
+    pub records: Vec<ProgramRecord>,
+    /// Sources of all valid generated programs (used for diversity metrics
+    /// and for EXPERIMENTS.md artifacts).
+    pub sources: Vec<String>,
+    /// Sources of the programs that triggered inconsistencies.
+    pub successful_sources: Vec<String>,
+    /// Number of generation attempts that produced invalid programs.
+    pub generation_failures: usize,
+    /// Number of LLM calls made (0 for Varity).
+    pub llm_calls: u64,
+    /// Total simulated LLM API latency (what the wall clock would have spent
+    /// waiting on the API; reported, not slept).
+    pub simulated_llm_time: Duration,
+    /// Wall-clock time actually spent generating, compiling and executing.
+    pub pipeline_time: Duration,
+}
+
+impl CampaignResult {
+    /// The headline inconsistency rate (Table 2).
+    pub fn inconsistency_rate(&self) -> f64 {
+        self.aggregates.inconsistency_rate()
+    }
+
+    /// Total number of inconsistencies (Table 2).
+    pub fn inconsistencies(&self) -> u64 {
+        self.aggregates.inconsistencies
+    }
+
+    /// Total reported time cost: pipeline time plus the latency the LLM API
+    /// calls would have added (Table 2's time-cost column).
+    pub fn total_time_cost(&self) -> Duration {
+        self.pipeline_time + self.simulated_llm_time
+    }
+
+    /// Measure corpus diversity (average pairwise CodeBLEU + clone report).
+    pub fn measure_diversity(&self) -> DiversityReport {
+        DiversityReport::measure(
+            &self.sources,
+            self.config.threads.max(1),
+            self.config.max_codebleu_pairs,
+        )
+    }
+}
+
+/// The campaign driver.
+pub struct Campaign {
+    config: CampaignConfig,
+}
+
+impl Campaign {
+    pub fn new(config: CampaignConfig) -> Self {
+        Campaign { config }
+    }
+
+    /// Run the whole campaign. Deterministic for a given configuration.
+    pub fn run(&self) -> CampaignResult {
+        self.config.validate().expect("invalid campaign configuration");
+        let cfg = &self.config;
+        let start = Instant::now();
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut varity = VarityGenerator::new(cfg.seed ^ 0x5eed_0001);
+        let mut llm = SimulatedLlm::with_config(
+            cfg.seed ^ 0x5eed_0002,
+            SimulatedLlmConfig {
+                sampling: cfg.sampling,
+                direct_prompt_invalid_rate: cfg.direct_prompt_invalid_rate,
+                ..SimulatedLlmConfig::default()
+            },
+        );
+        let mut input_gen = InputGenerator::new(cfg.seed ^ 0x5eed_0003);
+        let prompt_builder = PromptBuilder::new(cfg.precision);
+        let tester = DiffTester::with_matrix(cfg.compilers.clone(), cfg.levels.clone())
+            .with_threads(cfg.threads);
+        let comparisons_per_program = tester.comparisons_per_program();
+
+        // The successful set is shared state of the feedback loop. A mutex
+        // keeps the container ready for future parallel generation without
+        // changing behaviour for the sequential loop used here.
+        let successful: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+        let mut aggregates = Aggregates::new();
+        let mut records = Vec::with_capacity(cfg.programs);
+        let mut sources = Vec::new();
+        let mut generation_failures = 0usize;
+        let mut simulated_llm_time = Duration::ZERO;
+
+        for index in 0..cfg.programs {
+            let (strategy_label, program) = self.generate_one(
+                &mut rng,
+                &mut varity,
+                &mut llm,
+                &prompt_builder,
+                &successful,
+                &mut simulated_llm_time,
+            );
+
+            let Some(program) = program else {
+                generation_failures += 1;
+                aggregates.add_result(
+                    &llm4fp_difftest::ProgramDiffResult {
+                        program_id: String::new(),
+                        outcomes: Vec::new(),
+                        records: Vec::new(),
+                        comparisons_performed: 0,
+                    },
+                    comparisons_per_program,
+                );
+                records.push(ProgramRecord {
+                    index,
+                    program_id: String::new(),
+                    strategy: strategy_label,
+                    valid: false,
+                    inconsistencies: 0,
+                    successful: false,
+                });
+                continue;
+            };
+
+            let inputs = input_gen.generate(&program).truncated(cfg.precision);
+            let result = tester.run(&program, &inputs);
+            let baseline = tester.compare_vs_baseline(&result.outcomes);
+            aggregates.add_result(&result, comparisons_per_program);
+            aggregates.add_baseline_comparisons(&baseline);
+
+            let source = to_compute_source(&program);
+            let triggered = result.triggered_inconsistency();
+            if triggered {
+                successful.lock().push(source.clone());
+            }
+            records.push(ProgramRecord {
+                index,
+                program_id: program_id(&program),
+                strategy: strategy_label,
+                valid: true,
+                inconsistencies: result.records.len(),
+                successful: triggered,
+            });
+            sources.push(source);
+        }
+
+        let successful_sources = successful.into_inner();
+        CampaignResult {
+            config: cfg.clone(),
+            aggregates,
+            records,
+            sources,
+            successful_sources,
+            generation_failures,
+            llm_calls: llm.calls(),
+            simulated_llm_time,
+            pipeline_time: start.elapsed(),
+        }
+    }
+
+    /// Produce one candidate program according to the configured approach.
+    /// Returns the strategy label and `None` when generation failed
+    /// (unparseable or invalid LLM output).
+    fn generate_one(
+        &self,
+        rng: &mut StdRng,
+        varity: &mut VarityGenerator,
+        llm: &mut SimulatedLlm,
+        prompts: &PromptBuilder,
+        successful: &Mutex<Vec<String>>,
+        simulated_llm_time: &mut Duration,
+    ) -> (String, Option<Program>) {
+        let cfg = &self.config;
+        match cfg.approach {
+            ApproachKind::Varity => ("varity".to_string(), Some(varity.generate())),
+            ApproachKind::DirectPrompt => {
+                let prompt = prompts.direct_prompt();
+                let response = llm.generate(&prompt);
+                *simulated_llm_time += response.simulated_latency;
+                (Strategy::DirectPrompt.name().to_string(), parse_valid(&response.source))
+            }
+            ApproachKind::GrammarGuided => {
+                let prompt = prompts.grammar_based();
+                let response = llm.generate(&prompt);
+                *simulated_llm_time += response.simulated_latency;
+                (Strategy::GrammarBased.name().to_string(), parse_valid(&response.source))
+            }
+            ApproachKind::Llm4Fp => {
+                // The first program always comes from Grammar-Based
+                // Generation; afterwards the strategy is drawn with the
+                // configured probability (0.3 grammar / 0.7 feedback).
+                let seed_source = {
+                    let set = successful.lock();
+                    if set.is_empty() || rng.gen_bool(cfg.grammar_probability) {
+                        None
+                    } else {
+                        set.choose(rng).cloned()
+                    }
+                };
+                match seed_source {
+                    None => {
+                        let prompt = prompts.grammar_based();
+                        let response = llm.generate(&prompt);
+                        *simulated_llm_time += response.simulated_latency;
+                        (Strategy::GrammarBased.name().to_string(), parse_valid(&response.source))
+                    }
+                    Some(seed) => {
+                        let prompt = prompts.feedback_mutation(&seed);
+                        let response = llm.generate(&prompt);
+                        *simulated_llm_time += response.simulated_latency;
+                        (
+                            Strategy::FeedbackMutation.name().to_string(),
+                            parse_valid(&response.source),
+                        )
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn parse_valid(source: &str) -> Option<Program> {
+    let program = llm4fp_fpir::parse_compute(source).ok()?;
+    if validate(&program).is_empty() {
+        Some(program)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(approach: ApproachKind, budget: usize) -> CampaignResult {
+        Campaign::new(CampaignConfig::new(approach).with_budget(budget).with_seed(11).with_threads(2))
+            .run()
+    }
+
+    #[test]
+    fn varity_campaign_runs_and_accounts_every_program() {
+        let result = small(ApproachKind::Varity, 30);
+        assert_eq!(result.aggregates.programs, 30);
+        assert_eq!(result.aggregates.total_comparisons, 30 * 18);
+        assert_eq!(result.records.len(), 30);
+        assert_eq!(result.llm_calls, 0);
+        assert_eq!(result.simulated_llm_time, Duration::ZERO);
+        assert_eq!(result.sources.len() + result.generation_failures, 30);
+        assert!(result.inconsistency_rate() <= 1.0);
+    }
+
+    #[test]
+    fn llm4fp_campaign_builds_a_successful_set_and_uses_feedback() {
+        let result = small(ApproachKind::Llm4Fp, 40);
+        assert_eq!(result.aggregates.programs, 40);
+        assert!(result.llm_calls >= 40);
+        assert!(result.simulated_llm_time > Duration::ZERO);
+        assert!(!result.successful_sources.is_empty(), "no program triggered inconsistencies");
+        // Once the successful set is non-empty, feedback mutation is used.
+        assert!(
+            result.records.iter().any(|r| r.strategy == "feedback-mutation"),
+            "feedback strategy never selected"
+        );
+        // Successful records are exactly those with inconsistencies.
+        for r in &result.records {
+            assert_eq!(r.successful, r.inconsistencies > 0);
+        }
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_for_a_seed() {
+        let a = small(ApproachKind::GrammarGuided, 12);
+        let b = small(ApproachKind::GrammarGuided, 12);
+        assert_eq!(a.aggregates.inconsistencies, b.aggregates.inconsistencies);
+        assert_eq!(a.sources, b.sources);
+        assert_eq!(a.generation_failures, b.generation_failures);
+    }
+
+    #[test]
+    fn llm_approaches_detect_more_than_varity_on_equal_budgets() {
+        // The central RQ1 ordering on a small budget: LLM4FP >= Grammar-Guided
+        // and both above Varity. (Small budgets keep this test fast; the
+        // bench binaries reproduce the full-scale numbers.)
+        let varity = small(ApproachKind::Varity, 40);
+        let grammar = small(ApproachKind::GrammarGuided, 40);
+        let llm4fp = small(ApproachKind::Llm4Fp, 40);
+        assert!(
+            grammar.inconsistency_rate() > varity.inconsistency_rate(),
+            "grammar {} vs varity {}",
+            grammar.inconsistency_rate(),
+            varity.inconsistency_rate()
+        );
+        assert!(
+            llm4fp.inconsistency_rate() >= grammar.inconsistency_rate() * 0.8,
+            "llm4fp {} vs grammar {}",
+            llm4fp.inconsistency_rate(),
+            grammar.inconsistency_rate()
+        );
+        assert!(llm4fp.inconsistency_rate() > varity.inconsistency_rate());
+    }
+
+    #[test]
+    fn direct_prompt_counts_generation_failures_in_the_denominator() {
+        let mut config = CampaignConfig::new(ApproachKind::DirectPrompt)
+            .with_budget(30)
+            .with_seed(5)
+            .with_threads(2);
+        config.direct_prompt_invalid_rate = 0.5;
+        let result = Campaign::new(config).run();
+        assert!(result.generation_failures > 0);
+        assert_eq!(result.aggregates.programs, 30);
+        assert_eq!(result.aggregates.total_comparisons, 30 * 18);
+        assert_eq!(result.sources.len(), 30 - result.generation_failures);
+    }
+
+    #[test]
+    fn diversity_report_is_computable_from_a_campaign() {
+        let result = small(ApproachKind::Llm4Fp, 12);
+        let report = result.measure_diversity();
+        assert_eq!(report.programs, result.sources.len());
+        assert!(report.avg_codebleu > 0.0 && report.avg_codebleu < 1.0);
+    }
+
+    #[test]
+    fn total_time_cost_includes_simulated_latency() {
+        let result = small(ApproachKind::GrammarGuided, 5);
+        assert!(result.total_time_cost() >= result.simulated_llm_time);
+        assert!(result.simulated_llm_time >= Duration::from_secs(5 * 9));
+    }
+}

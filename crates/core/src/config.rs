@@ -1,0 +1,223 @@
+//! Campaign configuration: the evaluated approaches and their parameters.
+
+use serde::{Deserialize, Serialize};
+
+use llm4fp_compiler::{CompilerId, OptLevel};
+use llm4fp_fpir::Precision;
+use llm4fp_generator::SamplingParams;
+
+/// The four approaches compared in RQ1 (Section 3.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ApproachKind {
+    /// Varity: unguided random grammar-based generation.
+    Varity,
+    /// Direct-Prompt: LLM generation without grammar or examples.
+    DirectPrompt,
+    /// Grammar-Guided: LLM generation with the Figure 2 grammar.
+    GrammarGuided,
+    /// LLM4FP: Grammar-Guided plus the Feedback-Based Mutation loop.
+    Llm4Fp,
+}
+
+impl ApproachKind {
+    /// All approaches in the order Table 2 lists them.
+    pub const ALL: [ApproachKind; 4] = [
+        ApproachKind::Varity,
+        ApproachKind::DirectPrompt,
+        ApproachKind::GrammarGuided,
+        ApproachKind::Llm4Fp,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            ApproachKind::Varity => "Varity",
+            ApproachKind::DirectPrompt => "Direct-Prompt",
+            ApproachKind::GrammarGuided => "Grammar-Guided",
+            ApproachKind::Llm4Fp => "LLM4FP",
+        }
+    }
+
+    /// True for the approaches that call the (simulated) LLM.
+    pub fn uses_llm(self) -> bool {
+        !matches!(self, ApproachKind::Varity)
+    }
+
+    /// True for the approach that uses the feedback loop.
+    pub fn uses_feedback(self) -> bool {
+        matches!(self, ApproachKind::Llm4Fp)
+    }
+}
+
+impl std::fmt::Display for ApproachKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full configuration of one campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Which approach generates the programs.
+    pub approach: ApproachKind,
+    /// Program budget N (the paper uses 1,000 per approach).
+    pub programs: usize,
+    /// Base RNG seed (generation, inputs and the simulated LLM derive their
+    /// seeds from it, so a campaign is fully reproducible).
+    pub seed: u64,
+    /// Floating-point precision of generated programs (FP64 by default).
+    pub precision: Precision,
+    /// Probability of choosing Grammar-Based Generation once the successful
+    /// set is non-empty (the paper uses 0.3; feedback mutation gets 0.7).
+    pub grammar_probability: f64,
+    /// Compilers under test.
+    pub compilers: Vec<CompilerId>,
+    /// Optimization levels under test.
+    pub levels: Vec<OptLevel>,
+    /// Worker threads for the differential-testing matrix.
+    pub threads: usize,
+    /// LLM sampling parameters.
+    pub sampling: SamplingParams,
+    /// Probability that a Direct-Prompt generation is invalid (models the
+    /// lack of grammar guidance).
+    pub direct_prompt_invalid_rate: f64,
+    /// Upper bound on the number of program pairs scored for the CodeBLEU
+    /// diversity report (the full quadratic pairing is used when it fits).
+    pub max_codebleu_pairs: usize,
+}
+
+impl CampaignConfig {
+    /// Default configuration for an approach: paper-faithful parameters with
+    /// a reduced default budget (use [`Self::paper_scale`] or
+    /// [`Self::with_budget`] to change it).
+    pub fn new(approach: ApproachKind) -> Self {
+        CampaignConfig {
+            approach,
+            programs: 100,
+            seed: 0xfeed_f00d,
+            precision: Precision::F64,
+            grammar_probability: 0.3,
+            compilers: CompilerId::ALL.to_vec(),
+            levels: OptLevel::ALL.to_vec(),
+            threads: 4,
+            sampling: SamplingParams::paper_defaults(),
+            direct_prompt_invalid_rate: 0.08,
+            max_codebleu_pairs: 20_000,
+        }
+    }
+
+    /// The paper's full budget of 1,000 programs per approach.
+    pub fn paper_scale(approach: ApproachKind) -> Self {
+        Self::new(approach).with_budget(1_000)
+    }
+
+    /// Set the program budget.
+    pub fn with_budget(mut self, programs: usize) -> Self {
+        self.programs = programs;
+        self
+    }
+
+    /// Set the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the precision.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Set the number of matrix worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Total number of pairwise comparisons this campaign contributes to the
+    /// denominator of the inconsistency rate.
+    pub fn total_comparisons(&self) -> usize {
+        let c = self.compilers.len();
+        c * (c - 1) / 2 * self.levels.len() * self.programs
+    }
+
+    /// Basic sanity checks (probabilities in range, non-empty matrix).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.programs == 0 {
+            return Err("program budget must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.grammar_probability) {
+            return Err("grammar_probability must be within [0, 1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.direct_prompt_invalid_rate) {
+            return Err("direct_prompt_invalid_rate must be within [0, 1]".into());
+        }
+        if self.compilers.len() < 2 {
+            return Err("at least two compilers are required for differential testing".into());
+        }
+        if self.levels.is_empty() {
+            return Err("at least one optimization level is required".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approach_properties_match_the_paper() {
+        assert_eq!(ApproachKind::ALL.len(), 4);
+        assert_eq!(ApproachKind::Varity.name(), "Varity");
+        assert_eq!(ApproachKind::Llm4Fp.to_string(), "LLM4FP");
+        assert!(!ApproachKind::Varity.uses_llm());
+        assert!(ApproachKind::DirectPrompt.uses_llm());
+        assert!(ApproachKind::Llm4Fp.uses_feedback());
+        assert!(!ApproachKind::GrammarGuided.uses_feedback());
+    }
+
+    #[test]
+    fn paper_scale_matches_section_3_1_3() {
+        let cfg = CampaignConfig::paper_scale(ApproachKind::Llm4Fp);
+        assert_eq!(cfg.programs, 1_000);
+        assert_eq!(cfg.compilers.len(), 3);
+        assert_eq!(cfg.levels.len(), 6);
+        assert_eq!(cfg.total_comparisons(), 18_000);
+        assert_eq!(cfg.grammar_probability, 0.3);
+        assert_eq!(cfg.precision, Precision::F64);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_and_validation() {
+        let cfg = CampaignConfig::new(ApproachKind::Varity)
+            .with_budget(10)
+            .with_seed(3)
+            .with_threads(0)
+            .with_precision(Precision::F32);
+        assert_eq!(cfg.programs, 10);
+        assert_eq!(cfg.seed, 3);
+        assert_eq!(cfg.threads, 1);
+        assert_eq!(cfg.precision, Precision::F32);
+
+        let mut bad = CampaignConfig::new(ApproachKind::Varity);
+        bad.programs = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = CampaignConfig::new(ApproachKind::Varity);
+        bad.grammar_probability = 1.5;
+        assert!(bad.validate().is_err());
+        let mut bad = CampaignConfig::new(ApproachKind::Varity);
+        bad.compilers.truncate(1);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn configs_serialize_round_trip() {
+        let cfg = CampaignConfig::paper_scale(ApproachKind::GrammarGuided);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: CampaignConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,326 @@
+//! Rendering campaign results in the layout of the paper's tables and
+//! figures.
+//!
+//! Each function takes finished [`CampaignResult`]s and returns the table as
+//! plain text (fixed-width columns); the experiment binaries in
+//! `llm4fp-bench` print these and also persist the underlying numbers as
+//! JSON for EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use llm4fp_compiler::{CompilerId, OptLevel};
+use llm4fp_difftest::{InconsistencyKind, ValueClass};
+use llm4fp_metrics::DiversityReport;
+
+use crate::campaign::CampaignResult;
+
+/// Format a duration as `hh:mm:ss` (the unit Table 2 uses).
+pub fn format_hms(d: Duration) -> String {
+    let secs = d.as_secs();
+    format!("{:02}:{:02}:{:02}", secs / 3600, (secs % 3600) / 60, secs % 60)
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    pub approach: String,
+    pub inconsistency_rate: f64,
+    pub inconsistencies: u64,
+    pub time_cost: Duration,
+    pub codebleu: f64,
+}
+
+impl Table2Row {
+    /// Build the row for one campaign (computes the diversity report, which
+    /// is the expensive part).
+    pub fn from_campaign(result: &CampaignResult) -> Table2Row {
+        let diversity = result.measure_diversity();
+        Self::from_parts(result, &diversity)
+    }
+
+    /// Build the row when the diversity report is already available.
+    pub fn from_parts(result: &CampaignResult, diversity: &DiversityReport) -> Table2Row {
+        Table2Row {
+            approach: result.config.approach.name().to_string(),
+            inconsistency_rate: result.inconsistency_rate(),
+            inconsistencies: result.inconsistencies(),
+            time_cost: result.total_time_cost(),
+            codebleu: diversity.avg_codebleu,
+        }
+    }
+}
+
+/// Render Table 2: approach comparison (inconsistency rate, count, time
+/// cost, CodeBLEU).
+pub fn table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>10} {:>12} {:>10}",
+        "Approach", "Incons. Rate", "# Incons.", "Time Cost", "CodeBLEU"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>11.2}% {:>10} {:>12} {:>10.4}",
+            row.approach,
+            100.0 * row.inconsistency_rate,
+            row.inconsistencies,
+            format_hms(row.time_cost),
+            row.codebleu
+        );
+    }
+    out
+}
+
+/// Render Figure 3: inconsistency counts per kind for two approaches
+/// (Varity vs LLM4FP in the paper).
+pub fn figure3(varity: &CampaignResult, llm4fp: &CampaignResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10} {:>10}",
+        "Kind",
+        varity.config.approach.name(),
+        llm4fp.config.approach.name()
+    );
+    for kind in InconsistencyKind::figure3_order() {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>10}",
+            kind.label(),
+            varity.aggregates.kinds.count(kind),
+            llm4fp.aggregates.kinds.count(kind)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10} {:>10}",
+        "Total",
+        varity.aggregates.inconsistencies,
+        llm4fp.aggregates.inconsistencies
+    );
+    out
+}
+
+/// The five kind columns of Table 3.
+fn table3_kinds() -> Vec<InconsistencyKind> {
+    use ValueClass::*;
+    vec![
+        InconsistencyKind::new(Real, Real),
+        InconsistencyKind::new(Real, Zero),
+        InconsistencyKind::new(Real, PosInf),
+        InconsistencyKind::new(Real, NegInf),
+        InconsistencyKind::new(PosInf, NegInf),
+    ]
+}
+
+/// Render Table 3: inconsistency counts per kind across optimization levels
+/// for one approach (LLM4FP in the paper).
+pub fn table3(result: &CampaignResult) -> String {
+    let mut out = String::new();
+    let kinds = table3_kinds();
+    let header: Vec<String> = kinds.iter().map(|k| k.label()).collect();
+    let _ = writeln!(out, "{:<14} {}", "Level", header.join("  "));
+    for level in &result.config.levels {
+        let cells: Vec<String> = kinds
+            .iter()
+            .map(|k| {
+                let count = result.aggregates.kinds.count_at(*level, *k);
+                if count == 0 {
+                    format!("{:>12}", "-")
+                } else {
+                    format!("{count:>12}")
+                }
+            })
+            .collect();
+        let _ = writeln!(out, "{:<14} {}", level.name(), cells.join("  "));
+    }
+    let _ = writeln!(out, "Total {:>8}", result.aggregates.inconsistencies);
+    out
+}
+
+/// Render Table 4: inconsistency rates and digit differences (min/max/avg)
+/// per compiler pair and level, for two approaches side by side.
+pub fn table4(varity: &CampaignResult, llm4fp: &CampaignResult) -> String {
+    let mut out = String::new();
+    let pairs = CompilerId::pairs();
+    let pair_name = |p: (CompilerId, CompilerId)| format!("{},{}", p.0.name(), p.1.name());
+    let _ = writeln!(
+        out,
+        "{:<14} {:<38} | {:<38}",
+        "",
+        varity.config.approach.name(),
+        llm4fp.config.approach.name()
+    );
+    let header: Vec<String> = pairs.iter().map(|&p| format!("{:>12}", pair_name(p))).collect();
+    let _ = writeln!(out, "{:<14} {} | {}", "Level", header.join(" "), header.join(" "));
+    for level in &varity.config.levels {
+        let mut cells = Vec::new();
+        for result in [varity, llm4fp] {
+            for &pair in &pairs {
+                let programs = result.aggregates.programs;
+                let rate = result.aggregates.pair_level.rate(pair, *level, programs);
+                let stats = result.aggregates.pair_level.digit_stats(pair, *level);
+                cells.push(format!(
+                    "{:>6.2}% ({}/{}/{:.2})",
+                    100.0 * rate,
+                    stats.min,
+                    stats.max,
+                    stats.mean()
+                ));
+            }
+        }
+        let (left, right) = cells.split_at(pairs.len());
+        let _ = writeln!(out, "{:<14} {} | {}", level.name(), left.join(" "), right.join(" "));
+    }
+    // Total row.
+    let mut totals = Vec::new();
+    for result in [varity, llm4fp] {
+        for &pair in &pairs {
+            let rate = result.aggregates.pair_level.pair_rate(
+                pair,
+                result.aggregates.programs,
+                result.config.levels.len(),
+            );
+            totals.push(format!("{:>11.2}%", 100.0 * rate));
+        }
+    }
+    let (left, right) = totals.split_at(pairs.len());
+    let _ = writeln!(out, "{:<14} {} | {}", "Total", left.join(" "), right.join(" "));
+    out
+}
+
+/// Render Table 5: inconsistency rate of each level vs `O0_nofma` within
+/// each compiler, for two approaches side by side.
+pub fn table5(varity: &CampaignResult, llm4fp: &CampaignResult) -> String {
+    let mut out = String::new();
+    let compilers = [CompilerId::Gcc, CompilerId::Clang, CompilerId::Nvcc];
+    let _ = writeln!(
+        out,
+        "{:<14} {:<26} | {:<26}",
+        "",
+        varity.config.approach.name(),
+        llm4fp.config.approach.name()
+    );
+    let header: Vec<String> = compilers.iter().map(|c| format!("{:>8}", c.name())).collect();
+    let _ = writeln!(out, "{:<14} {} | {}", "Level", header.join(" "), header.join(" "));
+    for level in OptLevel::ALL.iter().filter(|&&l| l != OptLevel::O0Nofma) {
+        let mut cells = Vec::new();
+        for result in [varity, llm4fp] {
+            for &c in &compilers {
+                let rate =
+                    result.aggregates.vs_baseline.rate(c, *level, result.aggregates.programs);
+                if result.aggregates.vs_baseline.differing(c, *level) == 0 {
+                    cells.push(format!("{:>8}", "-"));
+                } else {
+                    cells.push(format!("{:>7.2}%", 100.0 * rate));
+                }
+            }
+        }
+        let (left, right) = cells.split_at(compilers.len());
+        let _ = writeln!(out, "{:<14} {} | {}", level.name(), left.join(" "), right.join(" "));
+    }
+    let mut totals = Vec::new();
+    for result in [varity, llm4fp] {
+        for &c in &compilers {
+            let rate = result.aggregates.vs_baseline.compiler_rate(
+                c,
+                result.aggregates.programs,
+                result.config.levels.len(),
+            );
+            totals.push(format!("{:>7.2}%", 100.0 * rate));
+        }
+    }
+    let (left, right) = totals.split_at(compilers.len());
+    let _ = writeln!(out, "{:<14} {} | {}", "Total", left.join(" "), right.join(" "));
+    out
+}
+
+/// Render Table 1 (the optimization levels and flags) — a static sanity
+/// check that the virtual matrix matches the paper's configuration.
+pub fn table1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<14} {:<28} {:<24}", "Level", "gcc/clang", "nvcc");
+    for level in OptLevel::ALL {
+        let _ = writeln!(
+            out,
+            "{:<14} {:<28} {:<24}",
+            level.name(),
+            level.flags(CompilerId::Gcc).join(" "),
+            level.flags(CompilerId::Nvcc).join(" ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ApproachKind, Campaign, CampaignConfig};
+
+    fn tiny(approach: ApproachKind) -> CampaignResult {
+        Campaign::new(CampaignConfig::new(approach).with_budget(15).with_seed(3).with_threads(2))
+            .run()
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_hms(Duration::from_secs(0)), "00:00:00");
+        assert_eq!(format_hms(Duration::from_secs(30 * 60 + 42)), "00:30:42");
+        assert_eq!(format_hms(Duration::from_secs(5 * 3600 + 37 * 60 + 42)), "05:37:42");
+    }
+
+    #[test]
+    fn table1_lists_all_six_levels_with_paper_flags() {
+        let t = table1();
+        assert!(t.contains("O0_nofma"));
+        assert!(t.contains("-ffp-contract=off"));
+        assert!(t.contains("--fmad=false"));
+        assert!(t.contains("-ffast-math"));
+        assert!(t.contains("--use_fast_math"));
+        assert_eq!(t.lines().count(), 7);
+    }
+
+    #[test]
+    fn tables_render_for_real_campaigns() {
+        let varity = tiny(ApproachKind::Varity);
+        let llm4fp = tiny(ApproachKind::Llm4Fp);
+        let rows =
+            vec![Table2Row::from_campaign(&varity), Table2Row::from_campaign(&llm4fp)];
+        let t2 = table2(&rows);
+        assert!(t2.contains("Varity"));
+        assert!(t2.contains("LLM4FP"));
+        assert!(t2.contains('%'));
+
+        let f3 = figure3(&varity, &llm4fp);
+        assert!(f3.contains("{Real, Real}"));
+        assert!(f3.contains("Total"));
+        assert_eq!(f3.lines().count(), 13); // header + 11 kinds + total
+
+        let t3 = table3(&llm4fp);
+        assert!(t3.contains("O3_fastmath"));
+        assert!(t3.contains("Total"));
+
+        let t4 = table4(&varity, &llm4fp);
+        assert!(t4.contains("gcc,nvcc"));
+        assert!(t4.contains("O0_nofma"));
+        assert!(t4.lines().count() >= 9);
+
+        let t5 = table5(&varity, &llm4fp);
+        assert!(t5.contains("gcc"));
+        assert!(t5.contains("O3_fastmath"));
+        assert!(!t5.contains("O0_nofma "), "Table 5 compares against O0_nofma, not with it");
+    }
+
+    #[test]
+    fn table2_rows_reflect_campaign_metrics() {
+        let varity = tiny(ApproachKind::Varity);
+        let row = Table2Row::from_campaign(&varity);
+        assert_eq!(row.approach, "Varity");
+        assert!((row.inconsistency_rate - varity.inconsistency_rate()).abs() < 1e-12);
+        assert_eq!(row.inconsistencies, varity.inconsistencies());
+        assert!(row.codebleu > 0.0 && row.codebleu < 1.0);
+    }
+}

@@ -1,0 +1,418 @@
+//! The compilation driver and execution matrix.
+//!
+//! For each generated program the driver compiles one artifact per
+//! configuration (compiler × optimization level), runs every artifact that
+//! compiled on the program's input set, and performs the pairwise output
+//! comparisons. Compilation and execution of the matrix are parallelized
+//! with crossbeam scoped threads; results are deterministic regardless of
+//! the number of worker threads.
+
+use crossbeam::thread;
+use serde::{Deserialize, Serialize};
+
+use llm4fp_compiler::{compile, CompilerConfig, CompilerId, OptLevel};
+use llm4fp_fpir::{program_id, InputSet, Program};
+
+use crate::compare::{classify, digit_difference, DiffRecord};
+
+/// Outcome of building + running one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The artifact compiled and executed; these are the printed bits.
+    Ok { value: f64, bits: u64, hex: String },
+    /// The virtual compiler rejected the program.
+    CompileFail { reason: String },
+    /// The artifact compiled but execution failed (fuel, runtime error).
+    ExecFail { reason: String },
+}
+
+impl Outcome {
+    /// The executed value, if the configuration produced one.
+    pub fn value(&self) -> Option<f64> {
+        match self {
+            Outcome::Ok { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    pub fn bits(&self) -> Option<u64> {
+        match self {
+            Outcome::Ok { bits, .. } => Some(*bits),
+            _ => None,
+        }
+    }
+
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Outcome::Ok { .. })
+    }
+}
+
+/// The outcome of one configuration of the matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigOutcome {
+    pub config: CompilerConfig,
+    pub outcome: Outcome,
+}
+
+/// Everything the differential tester learned about one program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramDiffResult {
+    /// Structural identifier of the program.
+    pub program_id: String,
+    /// Per-configuration outcomes, in matrix order.
+    pub outcomes: Vec<ConfigOutcome>,
+    /// All pairwise same-level inconsistencies found.
+    pub records: Vec<DiffRecord>,
+    /// Number of pairwise comparisons actually performed (both sides ran).
+    pub comparisons_performed: usize,
+}
+
+impl ProgramDiffResult {
+    /// True when at least one inconsistency was found — the program then
+    /// joins the "successful" set used by Feedback-Based Mutation.
+    pub fn triggered_inconsistency(&self) -> bool {
+        !self.records.is_empty()
+    }
+
+    /// The outcome of a specific configuration.
+    pub fn outcome_of(&self, config: CompilerConfig) -> Option<&Outcome> {
+        self.outcomes.iter().find(|o| o.config == config).map(|o| &o.outcome)
+    }
+
+    /// Number of configurations that compiled and executed successfully.
+    pub fn ok_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.outcome.is_ok()).count()
+    }
+}
+
+/// The differential tester.
+#[derive(Debug, Clone)]
+pub struct DiffTester {
+    /// Compilers under test (defaults to gcc, clang, nvcc).
+    pub compilers: Vec<CompilerId>,
+    /// Optimization levels under test (defaults to the six of Table 1).
+    pub levels: Vec<OptLevel>,
+    /// Number of worker threads for the matrix (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for DiffTester {
+    fn default() -> Self {
+        DiffTester {
+            compilers: CompilerId::ALL.to_vec(),
+            levels: OptLevel::ALL.to_vec(),
+            threads: 4,
+        }
+    }
+}
+
+impl DiffTester {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restrict or reorder the configuration matrix.
+    pub fn with_matrix(compilers: Vec<CompilerId>, levels: Vec<OptLevel>) -> Self {
+        DiffTester { compilers, levels, threads: 4 }
+    }
+
+    /// Use `threads` workers when building/executing the matrix.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// All configurations of this tester's matrix, compiler-major.
+    pub fn configurations(&self) -> Vec<CompilerConfig> {
+        let mut out = Vec::with_capacity(self.compilers.len() * self.levels.len());
+        for &c in &self.compilers {
+            for &l in &self.levels {
+                out.push(CompilerConfig::new(c, l));
+            }
+        }
+        out
+    }
+
+    /// Compiler pairs compared at each level (host-host first, then
+    /// host-device, matching Table 4's column order).
+    pub fn compiler_pairs(&self) -> Vec<(CompilerId, CompilerId)> {
+        let mut pairs = Vec::new();
+        for (i, &a) in self.compilers.iter().enumerate() {
+            for &b in self.compilers.iter().skip(i + 1) {
+                pairs.push((a, b));
+            }
+        }
+        pairs
+    }
+
+    /// Total number of pairwise comparisons per program:
+    /// `(C choose 2) × O` — the denominator of the paper's inconsistency
+    /// rate once multiplied by the number of programs.
+    pub fn comparisons_per_program(&self) -> usize {
+        let c = self.compilers.len();
+        c * (c - 1) / 2 * self.levels.len()
+    }
+
+    /// Compile and execute the full matrix for one program, then compare
+    /// every compiler pair at every level.
+    pub fn run(&self, program: &Program, inputs: &InputSet) -> ProgramDiffResult {
+        let configs = self.configurations();
+        let outcomes = self.build_and_run(program, inputs, &configs);
+        let records = self.compare_all(program, &outcomes);
+        let comparisons_performed = self
+            .compiler_pairs()
+            .iter()
+            .flat_map(|&(a, b)| {
+                self.levels.iter().map(move |&l| (a, b, l))
+            })
+            .filter(|&(a, b, l)| {
+                let oa = outcomes.iter().find(|o| o.config == CompilerConfig::new(a, l));
+                let ob = outcomes.iter().find(|o| o.config == CompilerConfig::new(b, l));
+                matches!((oa, ob), (Some(x), Some(y)) if x.outcome.is_ok() && y.outcome.is_ok())
+            })
+            .count();
+        ProgramDiffResult {
+            program_id: program_id(program),
+            outcomes,
+            records,
+            comparisons_performed,
+        }
+    }
+
+    fn build_and_run(
+        &self,
+        program: &Program,
+        inputs: &InputSet,
+        configs: &[CompilerConfig],
+    ) -> Vec<ConfigOutcome> {
+        let threads = self.threads.min(configs.len()).max(1);
+        if threads == 1 {
+            return configs.iter().map(|&cfg| run_one(program, inputs, cfg)).collect();
+        }
+        let chunk_size = configs.len().div_ceil(threads);
+        let mut results: Vec<Vec<ConfigOutcome>> = Vec::new();
+        thread::scope(|scope| {
+            let handles: Vec<_> = configs
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        chunk.iter().map(|&cfg| run_one(program, inputs, cfg)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("matrix worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        results.into_iter().flatten().collect()
+    }
+
+    fn compare_all(&self, program: &Program, outcomes: &[ConfigOutcome]) -> Vec<DiffRecord> {
+        let mut records = Vec::new();
+        let id = program_id(program);
+        for &(a, b) in &self.compiler_pairs() {
+            for &level in &self.levels {
+                let oa = outcomes.iter().find(|o| o.config == CompilerConfig::new(a, level));
+                let ob = outcomes.iter().find(|o| o.config == CompilerConfig::new(b, level));
+                let (Some(oa), Some(ob)) = (oa, ob) else { continue };
+                let (Outcome::Ok { value: va, bits: ba, .. }, Outcome::Ok { value: vb, bits: bb, .. }) =
+                    (&oa.outcome, &ob.outcome)
+                else {
+                    continue;
+                };
+                if ba != bb {
+                    records.push(DiffRecord {
+                        program_id: id.clone(),
+                        level,
+                        pair: (a, b),
+                        value_a: *va,
+                        value_b: *vb,
+                        bits_a: *ba,
+                        bits_b: *bb,
+                        class_a: classify(*va),
+                        class_b: classify(*vb),
+                        digit_diff: digit_difference(*ba, *bb, program.precision),
+                    });
+                }
+            }
+        }
+        records
+    }
+
+    /// RQ4-style comparison: within each compiler, compare every level
+    /// against `O0_nofma`. Returns `(compiler, level, differs)` tuples for
+    /// levels other than the baseline where both sides executed.
+    pub fn compare_vs_baseline(
+        &self,
+        outcomes: &[ConfigOutcome],
+    ) -> Vec<(CompilerId, OptLevel, bool)> {
+        let mut results = Vec::new();
+        for &c in &self.compilers {
+            let baseline = outcomes
+                .iter()
+                .find(|o| o.config == CompilerConfig::new(c, OptLevel::O0Nofma))
+                .and_then(|o| o.outcome.bits());
+            let Some(base_bits) = baseline else { continue };
+            for &l in &self.levels {
+                if l == OptLevel::O0Nofma {
+                    continue;
+                }
+                if let Some(bits) = outcomes
+                    .iter()
+                    .find(|o| o.config == CompilerConfig::new(c, l))
+                    .and_then(|o| o.outcome.bits())
+                {
+                    results.push((c, l, bits != base_bits));
+                }
+            }
+        }
+        results
+    }
+}
+
+fn run_one(program: &Program, inputs: &InputSet, config: CompilerConfig) -> ConfigOutcome {
+    let outcome = match compile(program, config) {
+        Err(e) => Outcome::CompileFail { reason: e.to_string() },
+        Ok(artifact) => match artifact.execute(inputs) {
+            Err(e) => Outcome::ExecFail { reason: e.to_string() },
+            Ok(result) => {
+                Outcome::Ok { value: result.value, bits: result.bits(), hex: result.hex() }
+            }
+        },
+    };
+    ConfigOutcome { config, outcome }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm4fp_fpir::{parse_compute, InputValue};
+
+    fn inputs_x(v: f64) -> InputSet {
+        InputSet::new().with("x", InputValue::Fp(v))
+    }
+
+    #[test]
+    fn identical_programs_produce_no_records_for_pure_arithmetic_at_strict_levels() {
+        // A program with no math calls and no FMA opportunities is bitwise
+        // identical everywhere: zero inconsistencies.
+        let program = parse_compute("void compute(double x) { comp = x + 1.0; comp = comp - x; }")
+            .unwrap();
+        let tester = DiffTester::new();
+        let result = tester.run(&program, &inputs_x(0.375));
+        assert_eq!(result.records.len(), 0);
+        assert_eq!(result.ok_count(), 18);
+        assert_eq!(result.comparisons_performed, 18);
+        assert!(!result.triggered_inconsistency());
+    }
+
+    #[test]
+    fn math_heavy_programs_trigger_host_device_inconsistencies() {
+        let program = parse_compute(
+            "void compute(double x, double y) {\n\
+             comp = sin(x) * y + exp(x) / (y + 2.0);\n\
+             comp += log(x * x + 1.0) * tanh(y);\n\
+             }",
+        )
+        .unwrap();
+        let inputs = InputSet::new()
+            .with("x", InputValue::Fp(1.7))
+            .with("y", InputValue::Fp(-0.3));
+        let result = DiffTester::new().run(&program, &inputs);
+        assert!(result.triggered_inconsistency());
+        // Host–device pairs must dominate.
+        let host_device = result
+            .records
+            .iter()
+            .filter(|r| r.pair.0 == CompilerId::Nvcc || r.pair.1 == CompilerId::Nvcc)
+            .count();
+        let host_host = result.records.len() - host_device;
+        assert!(host_device >= host_host, "{host_device} vs {host_host}");
+        // Every record involves two successfully executed configurations and
+        // a nonzero digit difference.
+        for r in &result.records {
+            assert!(r.digit_diff >= 1);
+            assert_ne!(r.bits_a, r.bits_b);
+        }
+    }
+
+    #[test]
+    fn fma_sensitive_program_differs_between_strict_and_contracting_configs() {
+        let program =
+            parse_compute("void compute(double x, double y, double z) { comp = x * y + z; }")
+                .unwrap();
+        let x = 1.0 + 2f64.powi(-30);
+        let inputs = InputSet::new()
+            .with("x", InputValue::Fp(x))
+            .with("y", InputValue::Fp(x))
+            .with("z", InputValue::Fp(-1.0));
+        let tester = DiffTester::new();
+        let result = tester.run(&program, &inputs);
+        // gcc (no contraction at O0) vs nvcc (contraction at O0) differ at O0.
+        assert!(result.records.iter().any(|r| r.level == OptLevel::O0
+            && r.pair == (CompilerId::Gcc, CompilerId::Nvcc)));
+        // RQ4 comparison: nvcc O0 differs from nvcc O0_nofma.
+        let vs = tester.compare_vs_baseline(&result.outcomes);
+        assert!(vs
+            .iter()
+            .any(|&(c, l, differs)| c == CompilerId::Nvcc && l == OptLevel::O0 && differs));
+        assert!(vs
+            .iter()
+            .any(|&(c, l, differs)| c == CompilerId::Gcc && l == OptLevel::O0 && !differs));
+    }
+
+    #[test]
+    fn compile_failures_reduce_performed_comparisons_but_not_the_matrix() {
+        let program =
+            parse_compute("void compute(double x) { comp = x + undeclared_thing; }").unwrap();
+        let result = DiffTester::new().run(&program, &inputs_x(1.0));
+        assert_eq!(result.ok_count(), 0);
+        assert_eq!(result.comparisons_performed, 0);
+        assert_eq!(result.records.len(), 0);
+        assert_eq!(result.outcomes.len(), 18);
+        assert!(result.outcomes.iter().all(|o| matches!(o.outcome, Outcome::CompileFail { .. })));
+    }
+
+    #[test]
+    fn sequential_and_parallel_runs_agree() {
+        let program = parse_compute(
+            "void compute(double x, double *a) {\n\
+             for (int i = 0; i < 8; ++i) { comp += a[i] * x + cos(x); }\n\
+             comp /= x + 3.0;\n\
+             }",
+        )
+        .unwrap();
+        let inputs = InputSet::new()
+            .with("x", InputValue::Fp(2.25))
+            .with("a", InputValue::FpArray(vec![1.0, -2.0, 3.0, -4.0, 5.5, 0.25, 7.0, 8.125]));
+        let sequential = DiffTester::new().with_threads(1).run(&program, &inputs);
+        let parallel = DiffTester::new().with_threads(6).run(&program, &inputs);
+        assert_eq!(sequential.records, parallel.records);
+        assert_eq!(sequential.outcomes, parallel.outcomes);
+    }
+
+    #[test]
+    fn matrix_accessors_report_the_expected_shape() {
+        let tester = DiffTester::new();
+        assert_eq!(tester.configurations().len(), 18);
+        assert_eq!(tester.compiler_pairs().len(), 3);
+        assert_eq!(tester.comparisons_per_program(), 18);
+        let reduced = DiffTester::with_matrix(
+            vec![CompilerId::Gcc, CompilerId::Nvcc],
+            vec![OptLevel::O0, OptLevel::O3],
+        );
+        assert_eq!(reduced.configurations().len(), 4);
+        assert_eq!(reduced.comparisons_per_program(), 2);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let ok = Outcome::Ok { value: 1.5, bits: 1.5f64.to_bits(), hex: "x".into() };
+        assert_eq!(ok.value(), Some(1.5));
+        assert!(ok.is_ok());
+        let fail = Outcome::ExecFail { reason: "fuel".into() };
+        assert_eq!(fail.bits(), None);
+        assert!(!fail.is_ok());
+    }
+}

@@ -1,0 +1,94 @@
+//! Structural hashing of programs.
+//!
+//! The feedback loop keeps a set of "successful" programs; a structural hash
+//! over the canonical token stream lets the campaign deduplicate programs
+//! that are textually identical up to whitespace, and gives experiment
+//! records a stable identifier.
+
+use crate::ast::Program;
+use crate::printer::to_compute_source;
+use crate::tokens::token_texts;
+
+/// 64-bit FNV-1a over a byte stream.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Hash of the program's canonical token stream (whitespace- and
+/// comment-insensitive).
+pub fn program_hash(program: &Program) -> u64 {
+    let src = to_compute_source(program);
+    source_hash(&src)
+}
+
+/// Hash of arbitrary C source, applied to its token stream so formatting
+/// differences do not change the hash.
+pub fn source_hash(src: &str) -> u64 {
+    let tokens = token_texts(src);
+    let mut bytes = Vec::with_capacity(src.len());
+    for t in tokens {
+        bytes.extend_from_slice(t.as_bytes());
+        bytes.push(0xff); // separator so "ab","c" != "a","bc"
+    }
+    fnv1a(bytes)
+}
+
+/// Short printable identifier derived from the hash (16 hex characters).
+pub fn program_id(program: &Program) -> String {
+    format!("{:016x}", program_hash(program))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AssignOp, Block, Expr, Precision, Program, Stmt};
+
+    fn program_with_constant(c: f64) -> Program {
+        Program {
+            precision: Precision::F64,
+            params: vec![],
+            body: Block::new(vec![Stmt::Assign {
+                target: crate::COMP.into(),
+                op: AssignOp::Assign,
+                expr: Expr::Num(c),
+            }]),
+        }
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_sensitive_to_content() {
+        let a = program_with_constant(1.5);
+        let b = program_with_constant(1.5);
+        let c = program_with_constant(2.5);
+        assert_eq!(program_hash(&a), program_hash(&b));
+        assert_ne!(program_hash(&a), program_hash(&c));
+    }
+
+    #[test]
+    fn source_hash_ignores_whitespace_and_comments() {
+        let a = source_hash("comp = a + b;");
+        let b = source_hash("comp   =\n a /* note */ + b ;");
+        assert_eq!(a, b);
+        let c = source_hash("comp = a - b;");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn token_separator_prevents_concatenation_collisions() {
+        assert_ne!(source_hash("ab c"), source_hash("a bc"));
+    }
+
+    #[test]
+    fn program_id_is_16_hex_chars() {
+        let id = program_id(&program_with_constant(0.25));
+        assert_eq!(id.len(), 16);
+        assert!(id.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

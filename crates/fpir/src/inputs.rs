@@ -1,0 +1,249 @@
+//! Concrete input values for a program's `compute` parameters.
+//!
+//! Each generated program is paired with a unique input set (Section 3.1.3
+//! of the paper). An [`InputSet`] binds every parameter name to a value of
+//! the matching kind; the printers bake these values into the emitted
+//! `main`, and the virtual compiler's interpreter reads them directly.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::{Param, ParamType, Precision, Program};
+
+/// A value bound to one `compute` parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InputValue {
+    /// Value for an `int` parameter.
+    Int(i64),
+    /// Value for a floating-point scalar parameter.
+    Fp(f64),
+    /// Values for a floating-point array parameter.
+    FpArray(Vec<f64>),
+}
+
+impl InputValue {
+    /// The parameter kind this value is compatible with (array lengths are
+    /// checked separately by [`InputSet::matches`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            InputValue::Int(_) => "int",
+            InputValue::Fp(_) => "fp",
+            InputValue::FpArray(_) => "fp[]",
+        }
+    }
+}
+
+/// A complete assignment of values to the parameters of one program.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct InputSet {
+    values: BTreeMap<String, InputValue>,
+}
+
+impl InputSet {
+    /// Empty input set (valid only for parameter-less programs).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a value to a parameter name, replacing any previous binding.
+    pub fn insert(&mut self, name: impl Into<String>, value: InputValue) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// Builder-style [`insert`](Self::insert).
+    pub fn with(mut self, name: impl Into<String>, value: InputValue) -> Self {
+        self.insert(name, value);
+        self
+    }
+
+    /// Look up the value bound to `name`.
+    pub fn get(&self, name: &str) -> Option<&InputValue> {
+        self.values.get(name)
+    }
+
+    /// Integer value bound to `name`, if that binding exists and is an int.
+    pub fn get_int(&self, name: &str) -> Option<i64> {
+        match self.values.get(name) {
+            Some(InputValue::Int(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Scalar fp value bound to `name`.
+    pub fn get_fp(&self, name: &str) -> Option<f64> {
+        match self.values.get(name) {
+            Some(InputValue::Fp(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Array value bound to `name`.
+    pub fn get_array(&self, name: &str) -> Option<&[f64]> {
+        match self.values.get(name) {
+            Some(InputValue::FpArray(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Number of bound parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameter is bound.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate over `(name, value)` pairs in deterministic (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &InputValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Check that this input set provides a type- and length-compatible value
+    /// for every parameter of `program` (extra bindings are allowed and
+    /// ignored). Returns the first mismatch as an error message.
+    pub fn matches(&self, program: &Program) -> Result<(), String> {
+        for param in &program.params {
+            match (self.values.get(&param.name), param.ty) {
+                (Some(InputValue::Int(_)), ParamType::Int) => {}
+                (Some(InputValue::Fp(_)), ParamType::Fp) => {}
+                (Some(InputValue::FpArray(v)), ParamType::FpArray(len)) => {
+                    if v.len() < len {
+                        return Err(format!(
+                            "array input `{}` has {} elements but the parameter needs {}",
+                            param.name,
+                            v.len(),
+                            len
+                        ));
+                    }
+                }
+                (Some(other), ty) => {
+                    return Err(format!(
+                        "input `{}` has kind {} but the parameter is {:?}",
+                        param.name,
+                        other.kind(),
+                        ty
+                    ));
+                }
+                (None, _) => {
+                    return Err(format!("missing input for parameter `{}`", param.name));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Truncate every fp value in the set to the given precision (used when
+    /// running the same inputs through an FP32 program so that the virtual
+    /// and real backends see identical starting values).
+    pub fn truncated(&self, precision: Precision) -> InputSet {
+        if precision == Precision::F64 {
+            return self.clone();
+        }
+        let mut out = InputSet::new();
+        for (name, value) in self.iter() {
+            let v = match value {
+                InputValue::Int(i) => InputValue::Int(*i),
+                InputValue::Fp(f) => InputValue::Fp(*f as f32 as f64),
+                InputValue::FpArray(a) => {
+                    InputValue::FpArray(a.iter().map(|&x| x as f32 as f64).collect())
+                }
+            };
+            out.insert(name, v);
+        }
+        out
+    }
+}
+
+/// Build a default (all ones / length-respecting) input set for a parameter
+/// list — handy for tests and quickstart examples.
+pub fn default_inputs(params: &[Param]) -> InputSet {
+    let mut set = InputSet::new();
+    for p in params {
+        let v = match p.ty {
+            ParamType::Int => InputValue::Int(4),
+            ParamType::Fp => InputValue::Fp(1.0),
+            ParamType::FpArray(len) => InputValue::FpArray(vec![1.0; len]),
+        };
+        set.insert(&p.name, v);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Block, Precision};
+
+    fn program_with(params: Vec<Param>) -> Program {
+        Program { precision: Precision::F64, params, body: Block::default() }
+    }
+
+    #[test]
+    fn matches_accepts_compatible_inputs() {
+        let p = program_with(vec![
+            Param::new("n", ParamType::Int),
+            Param::new("x", ParamType::Fp),
+            Param::new("a", ParamType::FpArray(3)),
+        ]);
+        let inputs = InputSet::new()
+            .with("n", InputValue::Int(5))
+            .with("x", InputValue::Fp(2.5))
+            .with("a", InputValue::FpArray(vec![1.0, 2.0, 3.0]));
+        assert!(inputs.matches(&p).is_ok());
+    }
+
+    #[test]
+    fn matches_rejects_missing_and_mismatched() {
+        let p = program_with(vec![Param::new("x", ParamType::Fp)]);
+        let empty = InputSet::new();
+        assert!(empty.matches(&p).unwrap_err().contains("missing"));
+        let wrong = InputSet::new().with("x", InputValue::Int(1));
+        assert!(wrong.matches(&p).unwrap_err().contains("kind"));
+    }
+
+    #[test]
+    fn matches_rejects_short_arrays() {
+        let p = program_with(vec![Param::new("a", ParamType::FpArray(4))]);
+        let short = InputSet::new().with("a", InputValue::FpArray(vec![1.0]));
+        assert!(short.matches(&p).unwrap_err().contains("elements"));
+    }
+
+    #[test]
+    fn default_inputs_match_their_params() {
+        let params = vec![
+            Param::new("n", ParamType::Int),
+            Param::new("x", ParamType::Fp),
+            Param::new("buf", ParamType::FpArray(8)),
+        ];
+        let p = program_with(params.clone());
+        assert!(default_inputs(&params).matches(&p).is_ok());
+    }
+
+    #[test]
+    fn truncation_to_f32_is_idempotent() {
+        let set = InputSet::new().with("x", InputValue::Fp(0.1)).with("y", InputValue::Fp(1.0));
+        let once = set.truncated(Precision::F32);
+        let twice = once.truncated(Precision::F32);
+        assert_eq!(once, twice);
+        assert_eq!(once.get_fp("x"), Some(0.1f32 as f64));
+        // F64 truncation is the identity.
+        assert_eq!(set.truncated(Precision::F64), set);
+    }
+
+    #[test]
+    fn accessors_return_expected_kinds() {
+        let set = InputSet::new()
+            .with("n", InputValue::Int(7))
+            .with("x", InputValue::Fp(3.25))
+            .with("a", InputValue::FpArray(vec![1.0, 2.0]));
+        assert_eq!(set.get_int("n"), Some(7));
+        assert_eq!(set.get_fp("x"), Some(3.25));
+        assert_eq!(set.get_array("a"), Some(&[1.0, 2.0][..]));
+        assert_eq!(set.get_int("x"), None);
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+    }
+}

@@ -1,0 +1,798 @@
+//! Recursive-descent parser for the `compute`-function C subset.
+//!
+//! The parser accepts the code produced by [`crate::printer::to_compute_source`]
+//! (and reasonable hand-written variants within the grammar) and rebuilds a
+//! [`Program`]. It is used for printer/parser round-trip testing, for
+//! re-importing externally stored successful programs, and by the simulated
+//! LLM when it mutates a seed program that is only available as text.
+
+use crate::ast::{
+    AssignOp, BinOp, Block, BoolExpr, CmpOp, Expr, IndexExpr, Param, ParamType, Precision,
+    Program, Stmt,
+};
+use crate::mathfn::MathFunc;
+use crate::tokens::{tokenize, Token, TokenKind};
+use crate::COMP;
+
+/// Array length assumed for pointer parameters, whose length is not part of
+/// the C signature. Programs built by the generators always carry their true
+/// length; this default only applies to re-parsed source.
+pub const PARSED_ARRAY_LEN: usize = 8;
+
+/// Parse failure: a message plus the index of the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub position: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at token {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse the text of a `compute` function (optionally preceded by includes
+/// or a `__global__` qualifier) into a [`Program`].
+///
+/// Pointer-parameter lengths are not part of a C signature, so after parsing
+/// the body is analysed and each array parameter is assigned the smallest
+/// length that makes every observed access in-bounds (falling back to
+/// [`PARSED_ARRAY_LEN`] for arrays that are never indexed).
+pub fn parse_compute(src: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(src);
+    let mut p = Parser { tokens, pos: 0, precision: Precision::F64 };
+    let mut program = p.parse_program()?;
+    infer_array_param_lengths(&mut program);
+    Ok(program)
+}
+
+/// Determine the minimum length each array parameter needs so that all
+/// accesses in the body are within bounds, and update the parameter types
+/// accordingly (never shrinking below [`PARSED_ARRAY_LEN`]'s lower sibling
+/// of 2, and defaulting to [`PARSED_ARRAY_LEN`] when unused).
+fn infer_array_param_lengths(program: &mut Program) {
+    use std::collections::HashMap;
+
+    fn index_requirement(index: &IndexExpr, loop_bounds: &[(String, i64)]) -> i64 {
+        let bound_of = |var: &str| {
+            loop_bounds.iter().rev().find(|(v, _)| v == var).map(|(_, b)| *b)
+        };
+        match index {
+            IndexExpr::Const(k) => k + 1,
+            IndexExpr::Var(v) => bound_of(v).unwrap_or(PARSED_ARRAY_LEN as i64),
+            IndexExpr::Offset { var, offset } => {
+                bound_of(var).map(|b| b + offset.max(&0)).unwrap_or(PARSED_ARRAY_LEN as i64)
+            }
+            IndexExpr::Mod { modulus, .. } => (*modulus).max(1),
+        }
+    }
+
+    fn scan_expr(
+        expr: &Expr,
+        loop_bounds: &[(String, i64)],
+        required: &mut HashMap<String, i64>,
+    ) {
+        expr.visit(&mut |e| {
+            if let Expr::Index { array, index } = e {
+                let need = index_requirement(index, loop_bounds);
+                let entry = required.entry(array.clone()).or_insert(0);
+                *entry = (*entry).max(need);
+            }
+        });
+    }
+
+    fn scan_block(
+        block: &crate::ast::Block,
+        loop_bounds: &mut Vec<(String, i64)>,
+        required: &mut HashMap<String, i64>,
+    ) {
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::Assign { expr, .. } | Stmt::DeclScalar { expr, .. } => {
+                    scan_expr(expr, loop_bounds, required)
+                }
+                Stmt::DeclArray { .. } => {}
+                Stmt::AssignIndex { array, index, expr, .. } => {
+                    let need = index_requirement(index, loop_bounds);
+                    let entry = required.entry(array.clone()).or_insert(0);
+                    *entry = (*entry).max(need);
+                    scan_expr(expr, loop_bounds, required);
+                }
+                Stmt::If { cond, then_block } => {
+                    scan_expr(&cond.lhs, loop_bounds, required);
+                    scan_expr(&cond.rhs, loop_bounds, required);
+                    scan_block(then_block, loop_bounds, required);
+                }
+                Stmt::For { var, bound, body } => {
+                    loop_bounds.push((var.clone(), *bound));
+                    scan_block(body, loop_bounds, required);
+                    loop_bounds.pop();
+                }
+            }
+        }
+    }
+
+    let mut required = HashMap::new();
+    let mut loop_bounds = Vec::new();
+    scan_block(&program.body, &mut loop_bounds, &mut required);
+    for param in &mut program.params {
+        if let ParamType::FpArray(len) = &mut param.ty {
+            let need = required.get(&param.name).copied().unwrap_or(PARSED_ARRAY_LEN as i64);
+            *len = need.clamp(2, crate::MAX_ARRAY_LEN as i64) as usize;
+        }
+    }
+}
+
+/// Parse a C floating-point literal (decimal, scientific or hexadecimal,
+/// with an optional `f`/`F` suffix). Returns `None` for malformed input.
+pub fn parse_c_fp_literal(text: &str) -> Option<f64> {
+    let t = text.trim().trim_end_matches(['f', 'F', 'l', 'L']);
+    if t.starts_with("0x") || t.starts_with("0X") || t.starts_with("-0x") || t.starts_with("-0X") {
+        return parse_hex_float(t);
+    }
+    t.parse::<f64>().ok()
+}
+
+fn parse_hex_float(t: &str) -> Option<f64> {
+    let neg = t.starts_with('-');
+    let t = t.trim_start_matches('-');
+    let t = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X"))?;
+    let (mant, exp) = match t.split_once(['p', 'P']) {
+        Some((m, e)) => (m, e.parse::<i32>().ok()?),
+        None => (t, 0),
+    };
+    let (int_part, frac_part) = match mant.split_once('.') {
+        Some((i, f)) => (i, f),
+        None => (mant, ""),
+    };
+    let mut value = if int_part.is_empty() {
+        0.0
+    } else {
+        u64::from_str_radix(int_part, 16).ok()? as f64
+    };
+    let mut scale = 1.0 / 16.0;
+    for c in frac_part.chars() {
+        value += (c.to_digit(16)? as f64) * scale;
+        scale /= 16.0;
+    }
+    let v = value * 2f64.powi(exp);
+    Some(if neg { -v } else { v })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    precision: Precision,
+}
+
+impl Parser {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: message.into(), position: self.pos })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_text(&self) -> &str {
+        self.tokens.get(self.pos).map(|t| t.text.as_str()).unwrap_or("")
+    }
+
+    fn peek_text_at(&self, offset: usize) -> &str {
+        self.tokens.get(self.pos + offset).map(|t| t.text.as_str()).unwrap_or("")
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, text: &str) -> bool {
+        if self.peek_text() == text {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, text: &str) -> Result<(), ParseError> {
+        if self.eat(text) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{text}`, found `{}`", self.peek_text()))
+        }
+    }
+
+    fn parse_program(&mut self) -> Result<Program, ParseError> {
+        // Skip anything before the compute definition (qualifiers, blank
+        // tokens from stripped includes, ...).
+        while self.peek().is_some() && !self.at_compute_signature() {
+            self.pos += 1;
+        }
+        if self.peek().is_none() {
+            return self.err("no `compute` function found");
+        }
+        // `__global__`? `void compute (`
+        self.eat("__global__");
+        self.expect("void")?;
+        self.expect("compute")?;
+        self.expect("(")?;
+        let params = self.parse_params()?;
+        self.expect(")")?;
+        self.expect("{")?;
+        let body = self.parse_block()?;
+        Ok(Program { precision: self.precision, params, body })
+    }
+
+    fn at_compute_signature(&self) -> bool {
+        (self.peek_text() == "void" && self.peek_text_at(1) == "compute")
+            || (self.peek_text() == "__global__"
+                && self.peek_text_at(1) == "void"
+                && self.peek_text_at(2) == "compute")
+    }
+
+    fn parse_params(&mut self) -> Result<Vec<Param>, ParseError> {
+        let mut params = Vec::new();
+        if self.peek_text() == ")" {
+            return Ok(params);
+        }
+        loop {
+            let ty_tok = self.bump().ok_or(ParseError {
+                message: "unexpected end of input in parameter list".into(),
+                position: self.pos,
+            })?;
+            match ty_tok.text.as_str() {
+                "int" => {
+                    let name = self.parse_ident()?;
+                    params.push(Param::new(name, ParamType::Int));
+                }
+                "double" | "float" => {
+                    if ty_tok.text == "float" {
+                        self.precision = Precision::F32;
+                    }
+                    let is_ptr = self.eat("*");
+                    let name = self.parse_ident()?;
+                    // Synthetic output parameter added by the CUDA printer.
+                    if name == "llm4fp_out" {
+                        if !self.eat(",") {
+                            break;
+                        }
+                        continue;
+                    }
+                    let ty = if is_ptr { ParamType::FpArray(PARSED_ARRAY_LEN) } else { ParamType::Fp };
+                    params.push(Param::new(name, ty));
+                }
+                other => return self.err(format!("unexpected parameter type `{other}`")),
+            }
+            if !self.eat(",") {
+                break;
+            }
+        }
+        Ok(params)
+    }
+
+    fn parse_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(t) if t.kind == TokenKind::Ident => Ok(self.bump().unwrap().text),
+            _ => self.err(format!("expected identifier, found `{}`", self.peek_text())),
+        }
+    }
+
+    fn parse_block(&mut self) -> Result<Block, ParseError> {
+        let mut block = Block::default();
+        loop {
+            match self.peek_text() {
+                "" => return self.err("unexpected end of input inside block"),
+                "}" => {
+                    self.pos += 1;
+                    return Ok(block);
+                }
+                _ => {
+                    if let Some(stmt) = self.parse_stmt()? {
+                        block.push(stmt);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parse one statement. Returns `Ok(None)` for statements that belong to
+    /// the printer's prologue/epilogue and are not part of the logical
+    /// program (the implicit `comp` declaration, the bit-printing lines).
+    fn parse_stmt(&mut self) -> Result<Option<Stmt>, ParseError> {
+        let text = self.peek_text().to_string();
+        match text.as_str() {
+            "for" => return self.parse_for().map(Some),
+            "if" => return self.parse_if().map(Some),
+            "union" => {
+                self.skip_union_decl();
+                return Ok(None);
+            }
+            "return" => {
+                self.skip_to_semicolon();
+                return Ok(None);
+            }
+            "double" | "float" => return self.parse_decl(),
+            "*" => {
+                // `*llm4fp_out = comp;` from the device epilogue.
+                self.skip_to_semicolon();
+                return Ok(None);
+            }
+            _ => {}
+        }
+        if self.peek().map(|t| t.kind) == Some(TokenKind::Ident) {
+            if text == "printf" || text == "llm4fp_bits" {
+                self.skip_to_semicolon();
+                return Ok(None);
+            }
+            return self.parse_assignment().map(Some);
+        }
+        self.err(format!("unexpected token `{text}` at statement position"))
+    }
+
+    fn skip_to_semicolon(&mut self) {
+        while let Some(t) = self.bump() {
+            if t.text == ";" {
+                break;
+            }
+        }
+    }
+
+    /// Skip an anonymous-union declaration (`union { ... } name;`) emitted by
+    /// the printing epilogue: consume the balanced braces, then the trailing
+    /// declarator up to its semicolon.
+    fn skip_union_decl(&mut self) {
+        self.expect("union").ok();
+        if self.eat("{") {
+            let mut depth = 1usize;
+            while depth > 0 {
+                match self.bump() {
+                    Some(t) if t.text == "{" => depth += 1,
+                    Some(t) if t.text == "}" => depth -= 1,
+                    Some(_) => {}
+                    None => return,
+                }
+            }
+        }
+        self.skip_to_semicolon();
+    }
+
+    fn parse_decl(&mut self) -> Result<Option<Stmt>, ParseError> {
+        let ty = self.bump().unwrap().text;
+        if ty == "float" {
+            self.precision = Precision::F32;
+        }
+        let name = self.parse_ident()?;
+        if self.eat("[") {
+            let size = self.parse_int_literal()? as usize;
+            self.expect("]")?;
+            self.expect("=")?;
+            self.expect("{")?;
+            let mut init = Vec::new();
+            while self.peek_text() != "}" {
+                let neg = self.eat("-");
+                let v = self.parse_fp_or_int_literal()?;
+                init.push(if neg { -v } else { v });
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.expect("}")?;
+            self.expect(";")?;
+            // `= {0}` is the zero-initializer idiom, not a one-element array.
+            if init == [0.0] {
+                init.clear();
+            }
+            return Ok(Some(Stmt::DeclArray { name, size, init }));
+        }
+        self.expect("=")?;
+        let expr = self.parse_expr()?;
+        self.expect(";")?;
+        // The implicit accumulator prologue emitted by the printer.
+        if name == COMP {
+            if matches!(expr.strip_parens(), Expr::Num(v) if *v == 0.0) {
+                return Ok(None);
+            }
+            return Ok(Some(Stmt::Assign { target: name, op: AssignOp::Assign, expr }));
+        }
+        Ok(Some(Stmt::DeclScalar { name, expr }))
+    }
+
+    fn parse_assignment(&mut self) -> Result<Stmt, ParseError> {
+        let name = self.parse_ident()?;
+        if self.eat("[") {
+            let index = self.parse_index_expr()?;
+            self.expect("]")?;
+            let op = self.parse_assign_op()?;
+            let expr = self.parse_expr()?;
+            self.expect(";")?;
+            return Ok(Stmt::AssignIndex { array: name, index, op, expr });
+        }
+        let op = self.parse_assign_op()?;
+        let expr = self.parse_expr()?;
+        self.expect(";")?;
+        Ok(Stmt::Assign { target: name, op, expr })
+    }
+
+    fn parse_assign_op(&mut self) -> Result<AssignOp, ParseError> {
+        let op = match self.peek_text() {
+            "=" => AssignOp::Assign,
+            "+=" => AssignOp::Add,
+            "-=" => AssignOp::Sub,
+            "*=" => AssignOp::Mul,
+            "/=" => AssignOp::Div,
+            other => return self.err(format!("expected assignment operator, found `{other}`")),
+        };
+        self.pos += 1;
+        Ok(op)
+    }
+
+    fn parse_for(&mut self) -> Result<Stmt, ParseError> {
+        self.expect("for")?;
+        self.expect("(")?;
+        self.expect("int")?;
+        let var = self.parse_ident()?;
+        self.expect("=")?;
+        let _start = self.parse_int_literal()?;
+        self.expect(";")?;
+        let cond_var = self.parse_ident()?;
+        if cond_var != var {
+            return self.err("loop condition must test the loop variable");
+        }
+        self.expect("<")?;
+        let bound = self.parse_int_literal()?;
+        self.expect(";")?;
+        // `++i` or `i++`
+        if self.eat("++") {
+            let inc_var = self.parse_ident()?;
+            if inc_var != var {
+                return self.err("loop increment must update the loop variable");
+            }
+        } else {
+            let inc_var = self.parse_ident()?;
+            if inc_var != var {
+                return self.err("loop increment must update the loop variable");
+            }
+            self.expect("++")?;
+        }
+        self.expect(")")?;
+        self.expect("{")?;
+        let body = self.parse_block()?;
+        Ok(Stmt::For { var, bound, body })
+    }
+
+    fn parse_if(&mut self) -> Result<Stmt, ParseError> {
+        self.expect("if")?;
+        self.expect("(")?;
+        let lhs = self.parse_expr()?;
+        let op = match self.peek_text() {
+            "<" => CmpOp::Lt,
+            "<=" => CmpOp::Le,
+            ">" => CmpOp::Gt,
+            ">=" => CmpOp::Ge,
+            "==" => CmpOp::Eq,
+            "!=" => CmpOp::Ne,
+            other => return self.err(format!("expected comparison operator, found `{other}`")),
+        };
+        self.pos += 1;
+        let rhs = self.parse_expr()?;
+        self.expect(")")?;
+        self.expect("{")?;
+        let then_block = self.parse_block()?;
+        Ok(Stmt::If { cond: BoolExpr { lhs, op, rhs }, then_block })
+    }
+
+    fn parse_index_expr(&mut self) -> Result<IndexExpr, ParseError> {
+        match self.peek().map(|t| t.kind) {
+            Some(TokenKind::IntLit) => {
+                let v = self.parse_int_literal()?;
+                Ok(IndexExpr::Const(v))
+            }
+            Some(TokenKind::Ident) => {
+                let var = self.parse_ident()?;
+                match self.peek_text() {
+                    "+" => {
+                        self.pos += 1;
+                        let off = self.parse_int_literal()?;
+                        Ok(IndexExpr::Offset { var, offset: off })
+                    }
+                    "-" => {
+                        self.pos += 1;
+                        let off = self.parse_int_literal()?;
+                        Ok(IndexExpr::Offset { var, offset: -off })
+                    }
+                    "%" => {
+                        self.pos += 1;
+                        let m = self.parse_int_literal()?;
+                        Ok(IndexExpr::Mod { var, modulus: m })
+                    }
+                    _ => Ok(IndexExpr::Var(var)),
+                }
+            }
+            _ => self.err(format!("invalid array index `{}`", self.peek_text())),
+        }
+    }
+
+    fn parse_int_literal(&mut self) -> Result<i64, ParseError> {
+        match self.peek() {
+            Some(t) if t.kind == TokenKind::IntLit => {
+                let text = self.bump().unwrap().text;
+                let digits: String = text.chars().take_while(|c| c.is_ascii_digit()).collect();
+                digits
+                    .parse::<i64>()
+                    .map_err(|_| ParseError {
+                        message: format!("invalid integer literal `{text}`"),
+                        position: self.pos,
+                    })
+            }
+            _ => self.err(format!("expected integer literal, found `{}`", self.peek_text())),
+        }
+    }
+
+    fn parse_fp_or_int_literal(&mut self) -> Result<f64, ParseError> {
+        match self.peek() {
+            Some(t) if t.kind == TokenKind::FpLit || t.kind == TokenKind::IntLit => {
+                let text = self.bump().unwrap().text;
+                parse_c_fp_literal(&text).ok_or(ParseError {
+                    message: format!("invalid floating-point literal `{text}`"),
+                    position: self.pos,
+                })
+            }
+            _ => self.err(format!("expected numeric literal, found `{}`", self.peek_text())),
+        }
+    }
+
+    // Expression grammar: additive -> multiplicative -> unary -> primary.
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek_text() {
+                "+" => BinOp::Add,
+                "-" => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_mul()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek_text() {
+                "*" => BinOp::Mul,
+                "/" => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_unary()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat("-") {
+            let inner = self.parse_unary()?;
+            // Fold negation of literals so that `-0x1.8p+1` parses to the
+            // same node the printer emitted it from (keeps print→parse→print
+            // a fixpoint).
+            return Ok(match inner {
+                Expr::Num(v) => Expr::Num(-v),
+                Expr::Int(v) => Expr::Int(-v),
+                other => Expr::Neg(Box::new(other)),
+            });
+        }
+        if self.eat("+") {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        let tok = match self.peek() {
+            Some(t) => t.clone(),
+            None => return self.err("unexpected end of input in expression"),
+        };
+        match tok.kind {
+            TokenKind::FpLit => {
+                self.pos += 1;
+                let v = parse_c_fp_literal(&tok.text).ok_or(ParseError {
+                    message: format!("invalid floating-point literal `{}`", tok.text),
+                    position: self.pos,
+                })?;
+                Ok(Expr::Num(v))
+            }
+            TokenKind::IntLit => {
+                self.pos += 1;
+                let digits: String = tok.text.chars().take_while(|c| c.is_ascii_digit()).collect();
+                let v = digits.parse::<i64>().map_err(|_| ParseError {
+                    message: format!("invalid integer literal `{}`", tok.text),
+                    position: self.pos,
+                })?;
+                Ok(Expr::Int(v))
+            }
+            TokenKind::Ident => {
+                self.pos += 1;
+                // Function call?
+                if self.peek_text() == "(" {
+                    let func = MathFunc::from_c_name(&tok.text).ok_or(ParseError {
+                        message: format!("unknown function `{}`", tok.text),
+                        position: self.pos,
+                    })?;
+                    self.expect("(")?;
+                    let mut args = Vec::new();
+                    if self.peek_text() != ")" {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(")")?;
+                    if args.len() != func.arity() {
+                        return self.err(format!(
+                            "`{}` expects {} arguments, found {}",
+                            func,
+                            func.arity(),
+                            args.len()
+                        ));
+                    }
+                    return Ok(Expr::Call { func, args });
+                }
+                // Array access?
+                if self.eat("[") {
+                    let index = self.parse_index_expr()?;
+                    self.expect("]")?;
+                    return Ok(Expr::Index { array: tok.text, index });
+                }
+                Ok(Expr::Var(tok.text))
+            }
+            TokenKind::Punct if tok.text == "(" => {
+                self.pos += 1;
+                let inner = self.parse_expr()?;
+                self.expect(")")?;
+                Ok(inner.paren())
+            }
+            _ => self.err(format!("unexpected token `{}` in expression", tok.text)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::default_inputs;
+    use crate::printer::{to_c_source, to_compute_source};
+
+    #[test]
+    fn parses_minimal_compute() {
+        let src = "void compute(double x) {\n double comp = 0.0;\n comp = x * 2.0;\n}";
+        let p = parse_compute(src).unwrap();
+        assert_eq!(p.precision, Precision::F64);
+        assert_eq!(p.params.len(), 1);
+        assert_eq!(p.body.stmts.len(), 1);
+    }
+
+    #[test]
+    fn parses_loops_conditionals_and_calls() {
+        let src = r#"
+void compute(double x, int n, double *a) {
+    double comp = 0.0;
+    double t0 = x * 0.5;
+    for (int i = 0; i < 4; ++i) {
+        comp += a[i] * t0;
+    }
+    if (comp > 1.0) {
+        comp = sqrt(comp);
+    }
+    union { double d; unsigned long long u; } llm4fp_bits;
+    llm4fp_bits.d = comp;
+    printf("%016llx\n", llm4fp_bits.u);
+}
+"#;
+        let p = parse_compute(src).unwrap();
+        assert_eq!(p.params.len(), 3);
+        assert_eq!(p.body.stmts.len(), 3);
+        assert!(matches!(p.body.stmts[1], Stmt::For { bound: 4, .. }));
+        assert!(matches!(p.body.stmts[2], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn print_parse_print_is_a_fixpoint() {
+        let src = r#"
+void compute(double x, double y, double *a) {
+    double comp = 0.0;
+    double t0 = (x + y) * 0.5;
+    double buf[3] = {1.0, 2.5, -3.0};
+    for (int i = 0; i < 3; ++i) {
+        buf[i] = buf[i] + a[i % 4];
+        comp += sin(buf[i]) / (t0 + 1.5);
+    }
+    if (comp < 10.0) {
+        comp = fma(comp, t0, y);
+    }
+}
+"#;
+        let p1 = parse_compute(src).unwrap();
+        let printed1 = to_compute_source(&p1);
+        let p2 = parse_compute(&printed1).unwrap();
+        let printed2 = to_compute_source(&p2);
+        assert_eq!(printed1, printed2);
+    }
+
+    #[test]
+    fn round_trips_full_printed_file() {
+        let src = r#"
+void compute(float x, float *v) {
+    float comp = 0.0f;
+    comp = x;
+    for (int k = 0; k < 2; ++k) {
+        comp *= v[k];
+    }
+}
+"#;
+        let p = parse_compute(src).unwrap();
+        assert_eq!(p.precision, Precision::F32);
+        let full = to_c_source(&p, &default_inputs(&p.params));
+        let reparsed = parse_compute(&full).unwrap();
+        assert_eq!(to_compute_source(&p), to_compute_source(&reparsed));
+    }
+
+    #[test]
+    fn rejects_unknown_functions_and_malformed_loops() {
+        assert!(parse_compute("void compute(double x) { comp = frobnicate(x); }").is_err());
+        assert!(parse_compute("void compute(double x) { for (int i = 0; j < 4; ++i) {} }")
+            .is_err());
+        assert!(parse_compute("int main(void) { return 0; }").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_arity_calls() {
+        assert!(parse_compute("void compute(double x) { comp = pow(x); }").is_err());
+        assert!(parse_compute("void compute(double x) { comp = sin(x, x); }").is_err());
+    }
+
+    #[test]
+    fn parses_cuda_kernel_signature() {
+        let src = r#"
+__global__ void compute(double x, double *llm4fp_out) {
+    double comp = 0.0;
+    comp = cos(x);
+    *llm4fp_out = comp;
+}
+"#;
+        let p = parse_compute(src).unwrap();
+        assert_eq!(p.params.len(), 1);
+        assert_eq!(p.body.stmts.len(), 1);
+    }
+
+    #[test]
+    fn fp_literal_parser_handles_all_forms() {
+        assert_eq!(parse_c_fp_literal("2.0"), Some(2.0));
+        assert_eq!(parse_c_fp_literal("2.5f"), Some(2.5));
+        assert_eq!(parse_c_fp_literal("1e3"), Some(1000.0));
+        assert_eq!(parse_c_fp_literal("0x1.8p+1"), Some(3.0));
+        assert_eq!(parse_c_fp_literal("-0x1p-1"), Some(-0.5));
+        assert_eq!(parse_c_fp_literal("abc"), None);
+    }
+
+    #[test]
+    fn hex_literals_round_trip_through_parser() {
+        for &v in &[0.1, -7.25e-12, 3.0e100, 2.2250738585072014e-308] {
+            let lit = crate::ast::c_fp_literal(v, Precision::F64);
+            let parsed = parse_c_fp_literal(lit.trim_end_matches('f')).unwrap();
+            assert_eq!(parsed.to_bits(), v.to_bits(), "{lit}");
+        }
+    }
+}

@@ -1,0 +1,895 @@
+//! The HPC idiom knowledge base used by the simulated LLM.
+//!
+//! The insight behind LLM4FP is that a language model has "seen" a large
+//! amount of numerical source code and therefore produces semantically
+//! plausible floating-point computations (reductions, polynomial evaluation,
+//! stencils, iterative refinement, compensated summation, ...) rather than
+//! arbitrary operator soup. The simulated LLM draws from this module's
+//! idiom builders to get the same effect: programs whose computations look
+//! like (small) HPC kernels, exercise the math library, and contain the
+//! multiply-add / long-chain / division shapes that compilers treat
+//! differently.
+
+use rand::prelude::*;
+
+use llm4fp_fpir::{
+    AssignOp, BinOp, Block, BoolExpr, CmpOp, Expr, IndexExpr, MathFunc, Param, ParamType,
+    Precision, Program, Stmt, COMP,
+};
+
+use crate::sampling::SamplingParams;
+
+/// All idiom kinds the knowledge base can instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IdiomKind {
+    DotProduct,
+    Axpy,
+    HornerPolynomial,
+    NewtonSqrt,
+    KahanSum,
+    Stencil1D,
+    ExponentialDecay,
+    TrigIdentity,
+    LogSumExp,
+    VectorNormalize,
+    TaylorSeries,
+    RunningVariance,
+    TrapezoidIntegration,
+    HarmonicSum,
+    FmaChain,
+    Cancellation,
+    GeometricMean,
+    ConditionalClamp,
+}
+
+impl IdiomKind {
+    /// Every idiom, in a stable order.
+    pub const ALL: [IdiomKind; 18] = [
+        IdiomKind::DotProduct,
+        IdiomKind::Axpy,
+        IdiomKind::HornerPolynomial,
+        IdiomKind::NewtonSqrt,
+        IdiomKind::KahanSum,
+        IdiomKind::Stencil1D,
+        IdiomKind::ExponentialDecay,
+        IdiomKind::TrigIdentity,
+        IdiomKind::LogSumExp,
+        IdiomKind::VectorNormalize,
+        IdiomKind::TaylorSeries,
+        IdiomKind::RunningVariance,
+        IdiomKind::TrapezoidIntegration,
+        IdiomKind::HarmonicSum,
+        IdiomKind::FmaChain,
+        IdiomKind::Cancellation,
+        IdiomKind::GeometricMean,
+        IdiomKind::ConditionalClamp,
+    ];
+
+    /// A short human-readable label (used in reports and benches).
+    pub fn name(self) -> &'static str {
+        match self {
+            IdiomKind::DotProduct => "dot-product",
+            IdiomKind::Axpy => "axpy",
+            IdiomKind::HornerPolynomial => "horner-polynomial",
+            IdiomKind::NewtonSqrt => "newton-sqrt",
+            IdiomKind::KahanSum => "kahan-sum",
+            IdiomKind::Stencil1D => "stencil-1d",
+            IdiomKind::ExponentialDecay => "exponential-decay",
+            IdiomKind::TrigIdentity => "trig-identity",
+            IdiomKind::LogSumExp => "log-sum-exp",
+            IdiomKind::VectorNormalize => "vector-normalize",
+            IdiomKind::TaylorSeries => "taylor-series",
+            IdiomKind::RunningVariance => "running-variance",
+            IdiomKind::TrapezoidIntegration => "trapezoid-integration",
+            IdiomKind::HarmonicSum => "harmonic-sum",
+            IdiomKind::FmaChain => "fma-chain",
+            IdiomKind::Cancellation => "cancellation",
+            IdiomKind::GeometricMean => "geometric-mean",
+            IdiomKind::ConditionalClamp => "conditional-clamp",
+        }
+    }
+}
+
+/// Incrementally builds a program: tracks parameters, declared temporaries
+/// and arrays so that idioms can reference (and share) state, and so the
+/// result always passes validation.
+pub struct ProgramBuilder {
+    precision: Precision,
+    params: Vec<Param>,
+    stmts: Vec<Stmt>,
+    scalars: Vec<String>,
+    arrays: Vec<(String, usize)>,
+    temp_counter: usize,
+    loop_counter: usize,
+    pub used_idioms: Vec<IdiomKind>,
+    pub used_funcs: Vec<MathFunc>,
+    naming_seed: usize,
+}
+
+/// Scalar parameter name pools; which pool is used depends on the builder's
+/// naming seed, so different programs use different identifier families
+/// (this matters for diversity metrics: real LLM output varies its naming).
+const SCALAR_NAMES: [&[&str]; 4] = [
+    &["x", "y", "z", "w", "u", "v"],
+    &["alpha", "beta", "gamma", "delta", "omega", "theta"],
+    &["a0", "b0", "c0", "d0", "e0", "f0"],
+    &["val", "scale", "shift", "rate", "bias", "gain"],
+];
+
+const ARRAY_NAMES: [&[&str]; 4] = [
+    &["arr", "buf", "data", "vec"],
+    &["xs", "ys", "zs", "ws"],
+    &["input", "coeff", "weight", "sample"],
+    &["p", "q", "r", "s"],
+];
+
+impl ProgramBuilder {
+    pub fn new(precision: Precision, naming_seed: usize) -> Self {
+        ProgramBuilder {
+            precision,
+            params: Vec::new(),
+            stmts: Vec::new(),
+            scalars: Vec::new(),
+            arrays: Vec::new(),
+            temp_counter: 0,
+            loop_counter: 0,
+            used_idioms: Vec::new(),
+            used_funcs: Vec::new(),
+            naming_seed,
+        }
+    }
+
+    /// Finish and return the program.
+    pub fn finish(self) -> Program {
+        Program { precision: self.precision, params: self.params, body: Block::new(self.stmts) }
+    }
+
+    /// Number of statements added so far.
+    pub fn stmt_count(&self) -> usize {
+        self.stmts.len()
+    }
+
+    fn fresh_temp(&mut self) -> String {
+        let name = format!("t{}", self.temp_counter);
+        self.temp_counter += 1;
+        name
+    }
+
+    fn fresh_loop_var(&mut self) -> String {
+        let pool = ["i", "j", "k", "m", "n2", "idx"];
+        let name = pool[self.loop_counter % pool.len()].to_string();
+        self.loop_counter += 1;
+        name
+    }
+
+    /// Get (or create) a scalar fp parameter.
+    pub fn scalar_param(&mut self, rng: &mut impl Rng) -> String {
+        let existing: Vec<String> = self
+            .params
+            .iter()
+            .filter(|p| p.ty == ParamType::Fp)
+            .map(|p| p.name.clone())
+            .collect();
+        if !existing.is_empty() && rng.gen_bool(0.6) {
+            return existing.choose(rng).unwrap().clone();
+        }
+        let pool = SCALAR_NAMES[self.naming_seed % SCALAR_NAMES.len()];
+        for candidate in pool {
+            if !self.params.iter().any(|p| p.name == *candidate) {
+                self.params.push(Param::new(*candidate, ParamType::Fp));
+                return (*candidate).to_string();
+            }
+        }
+        let name = format!("s{}", self.params.len());
+        self.params.push(Param::new(&name, ParamType::Fp));
+        name
+    }
+
+    /// Get (or create) an fp-array parameter, returning its name and length.
+    pub fn array_param(&mut self, rng: &mut impl Rng) -> (String, usize) {
+        let existing: Vec<(String, usize)> = self
+            .params
+            .iter()
+            .filter_map(|p| match p.ty {
+                ParamType::FpArray(len) => Some((p.name.clone(), len)),
+                _ => None,
+            })
+            .collect();
+        if !existing.is_empty() && rng.gen_bool(0.5) {
+            return existing.choose(rng).unwrap().clone();
+        }
+        let len = *[4usize, 6, 8, 12, 16].choose(rng).unwrap();
+        let pool = ARRAY_NAMES[self.naming_seed % ARRAY_NAMES.len()];
+        for candidate in pool {
+            if !self.params.iter().any(|p| p.name == *candidate) {
+                self.params.push(Param::new(*candidate, ParamType::FpArray(len)));
+                self.arrays.push(((*candidate).to_string(), len));
+                return ((*candidate).to_string(), len);
+            }
+        }
+        let name = format!("arr{}", self.params.len());
+        self.params.push(Param::new(&name, ParamType::FpArray(len)));
+        self.arrays.push((name.clone(), len));
+        (name, len)
+    }
+
+    /// Declare a scalar temporary initialized with `expr`.
+    pub fn decl_temp(&mut self, expr: Expr) -> String {
+        let name = self.fresh_temp();
+        self.stmts.push(Stmt::DeclScalar { name: name.clone(), expr });
+        self.scalars.push(name.clone());
+        name
+    }
+
+    /// Push a raw statement.
+    pub fn push(&mut self, stmt: Stmt) {
+        self.stmts.push(stmt);
+    }
+
+    /// Accumulate an expression into `comp`.
+    pub fn accumulate(&mut self, op: AssignOp, expr: Expr) {
+        self.stmts.push(Stmt::Assign { target: COMP.into(), op, expr });
+    }
+
+    /// A scalar value usable in an expression: a parameter, a previously
+    /// declared temporary, or `comp` itself.
+    pub fn some_scalar(&mut self, rng: &mut impl Rng) -> Expr {
+        if !self.scalars.is_empty() && rng.gen_bool(0.4) {
+            return Expr::var(self.scalars.choose(rng).unwrap().clone());
+        }
+        Expr::var(self.scalar_param(rng))
+    }
+
+    fn record(&mut self, kind: IdiomKind) {
+        self.used_idioms.push(kind);
+    }
+
+    fn note_func(&mut self, f: MathFunc) -> MathFunc {
+        self.used_funcs.push(f);
+        f
+    }
+
+    /// Pick a math function, honouring the frequency/presence penalties.
+    pub fn pick_func(
+        &mut self,
+        rng: &mut impl Rng,
+        sampling: &SamplingParams,
+        candidates: &[MathFunc],
+    ) -> MathFunc {
+        let weights: Vec<f64> = candidates
+            .iter()
+            .map(|f| {
+                let count = self.used_funcs.iter().filter(|u| *u == f).count();
+                sampling.repeat_weight(count)
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut pick = rng.gen::<f64>() * total;
+        for (f, w) in candidates.iter().zip(weights) {
+            if pick <= w {
+                return self.note_func(*f);
+            }
+            pick -= w;
+        }
+        self.note_func(*candidates.last().expect("candidate list is not empty"))
+    }
+}
+
+/// A plausible "physical" constant: mostly O(1), occasionally larger or
+/// smaller, the way constants appear in numerical kernels.
+pub fn plausible_constant(rng: &mut impl Rng) -> f64 {
+    let r: f64 = rng.gen();
+    let magnitude = if r < 0.70 {
+        rng.gen_range(0.05..10.0)
+    } else if r < 0.85 {
+        rng.gen_range(10.0..1e4)
+    } else if r < 0.95 {
+        rng.gen_range(1e-6..0.05)
+    } else {
+        rng.gen_range(1e4..1e9)
+    };
+    if rng.gen_bool(0.35) {
+        -magnitude
+    } else {
+        magnitude
+    }
+}
+
+/// Instantiate one idiom, appending its statements to the builder.
+pub fn instantiate(
+    kind: IdiomKind,
+    builder: &mut ProgramBuilder,
+    rng: &mut impl Rng,
+    sampling: &SamplingParams,
+) {
+    builder.record(kind);
+    match kind {
+        IdiomKind::DotProduct => dot_product(builder, rng),
+        IdiomKind::Axpy => axpy(builder, rng),
+        IdiomKind::HornerPolynomial => horner(builder, rng),
+        IdiomKind::NewtonSqrt => newton_sqrt(builder, rng),
+        IdiomKind::KahanSum => kahan_sum(builder, rng),
+        IdiomKind::Stencil1D => stencil(builder, rng),
+        IdiomKind::ExponentialDecay => exp_decay(builder, rng, sampling),
+        IdiomKind::TrigIdentity => trig_identity(builder, rng, sampling),
+        IdiomKind::LogSumExp => log_sum_exp(builder, rng),
+        IdiomKind::VectorNormalize => normalize(builder, rng),
+        IdiomKind::TaylorSeries => taylor_series(builder, rng),
+        IdiomKind::RunningVariance => running_variance(builder, rng),
+        IdiomKind::TrapezoidIntegration => trapezoid(builder, rng, sampling),
+        IdiomKind::HarmonicSum => harmonic(builder, rng),
+        IdiomKind::FmaChain => fma_chain(builder, rng),
+        IdiomKind::Cancellation => cancellation(builder, rng),
+        IdiomKind::GeometricMean => geometric_mean(builder, rng),
+        IdiomKind::ConditionalClamp => conditional_clamp(builder, rng, sampling),
+    }
+}
+
+fn num(v: f64) -> Expr {
+    Expr::Num(v)
+}
+
+fn dot_product(b: &mut ProgramBuilder, rng: &mut impl Rng) {
+    let (a, len) = b.array_param(rng);
+    let s = b.scalar_param(rng);
+    let i = b.fresh_loop_var();
+    let bound = rng.gen_range(2..=len as i64);
+    let body = Block::new(vec![Stmt::Assign {
+        target: COMP.into(),
+        op: AssignOp::Add,
+        expr: Expr::bin(
+            BinOp::Mul,
+            Expr::Index { array: a, index: IndexExpr::Var(i.clone()) },
+            Expr::var(s),
+        ),
+    }]);
+    b.push(Stmt::For { var: i, bound, body });
+}
+
+fn axpy(b: &mut ProgramBuilder, rng: &mut impl Rng) {
+    let (x, len) = b.array_param(rng);
+    let alpha = b.scalar_param(rng);
+    let i = b.fresh_loop_var();
+    let bound = len as i64;
+    let body = Block::new(vec![
+        Stmt::AssignIndex {
+            array: x.clone(),
+            index: IndexExpr::Var(i.clone()),
+            op: AssignOp::Assign,
+            expr: Expr::bin(
+                BinOp::Add,
+                Expr::bin(
+                    BinOp::Mul,
+                    Expr::var(alpha),
+                    Expr::Index { array: x.clone(), index: IndexExpr::Var(i.clone()) },
+                ),
+                num(plausible_constant(rng)),
+            ),
+        },
+        Stmt::Assign {
+            target: COMP.into(),
+            op: AssignOp::Add,
+            expr: Expr::Index { array: x, index: IndexExpr::Var(i.clone()) },
+        },
+    ]);
+    b.push(Stmt::For { var: i, bound, body });
+}
+
+fn horner(b: &mut ProgramBuilder, rng: &mut impl Rng) {
+    let x = b.scalar_param(rng);
+    let acc = b.decl_temp(num(plausible_constant(rng)));
+    let degree = rng.gen_range(3..=6);
+    for _ in 0..degree {
+        b.push(Stmt::Assign {
+            target: acc.clone(),
+            op: AssignOp::Assign,
+            expr: Expr::bin(
+                BinOp::Add,
+                Expr::bin(BinOp::Mul, Expr::var(acc.clone()), Expr::var(x.clone())),
+                num(plausible_constant(rng)),
+            ),
+        });
+    }
+    b.accumulate(AssignOp::Add, Expr::var(acc));
+}
+
+fn newton_sqrt(b: &mut ProgramBuilder, rng: &mut impl Rng) {
+    let x = b.scalar_param(rng);
+    let y = b.decl_temp(Expr::bin(
+        BinOp::Add,
+        Expr::bin(BinOp::Mul, Expr::var(x.clone()), num(0.5)),
+        num(1.0),
+    ));
+    let i = b.fresh_loop_var();
+    let body = Block::new(vec![Stmt::Assign {
+        target: y.clone(),
+        op: AssignOp::Assign,
+        expr: Expr::bin(
+            BinOp::Mul,
+            num(0.5),
+            Expr::bin(
+                BinOp::Add,
+                Expr::var(y.clone()),
+                Expr::bin(
+                    BinOp::Div,
+                    Expr::call(MathFunc::Fabs, vec![Expr::var(x.clone())]),
+                    Expr::var(y.clone()),
+                ),
+            )
+            .paren(),
+        ),
+    }]);
+    b.used_funcs.push(MathFunc::Fabs);
+    b.push(Stmt::For { var: i, bound: rng.gen_range(3..=6), body });
+    b.accumulate(AssignOp::Add, Expr::var(y));
+}
+
+fn kahan_sum(b: &mut ProgramBuilder, rng: &mut impl Rng) {
+    let (a, len) = b.array_param(rng);
+    let sum = b.decl_temp(num(0.0));
+    let c = b.decl_temp(num(0.0));
+    let y = b.decl_temp(num(0.0));
+    let t = b.decl_temp(num(0.0));
+    let i = b.fresh_loop_var();
+    let body = Block::new(vec![
+        Stmt::Assign {
+            target: y.clone(),
+            op: AssignOp::Assign,
+            expr: Expr::bin(
+                BinOp::Sub,
+                Expr::Index { array: a.clone(), index: IndexExpr::Var(i.clone()) },
+                Expr::var(c.clone()),
+            ),
+        },
+        Stmt::Assign {
+            target: t.clone(),
+            op: AssignOp::Assign,
+            expr: Expr::bin(BinOp::Add, Expr::var(sum.clone()), Expr::var(y.clone())),
+        },
+        Stmt::Assign {
+            target: c.clone(),
+            op: AssignOp::Assign,
+            expr: Expr::bin(
+                BinOp::Sub,
+                Expr::bin(BinOp::Sub, Expr::var(t.clone()), Expr::var(sum.clone())).paren(),
+                Expr::var(y.clone()),
+            ),
+        },
+        Stmt::Assign { target: sum.clone(), op: AssignOp::Assign, expr: Expr::var(t.clone()) },
+    ]);
+    b.push(Stmt::For { var: i, bound: len as i64, body });
+    let _ = rng;
+    b.accumulate(AssignOp::Add, Expr::var(sum));
+}
+
+fn stencil(b: &mut ProgramBuilder, rng: &mut impl Rng) {
+    let (a, len) = b.array_param(rng);
+    let i = b.fresh_loop_var();
+    let bound = (len as i64 - 2).max(1);
+    let body = Block::new(vec![Stmt::Assign {
+        target: COMP.into(),
+        op: AssignOp::Add,
+        expr: Expr::bin(
+            BinOp::Div,
+            Expr::bin(
+                BinOp::Add,
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::Index { array: a.clone(), index: IndexExpr::Var(i.clone()) },
+                    Expr::Index {
+                        array: a.clone(),
+                        index: IndexExpr::Offset { var: i.clone(), offset: 1 },
+                    },
+                ),
+                Expr::Index {
+                    array: a.clone(),
+                    index: IndexExpr::Offset { var: i.clone(), offset: 2 },
+                },
+            )
+            .paren(),
+            num(3.0),
+        ),
+    }]);
+    b.push(Stmt::For { var: i, bound, body });
+}
+
+fn exp_decay(b: &mut ProgramBuilder, rng: &mut impl Rng, sampling: &SamplingParams) {
+    let rate = b.scalar_param(rng);
+    let f = b.pick_func(rng, sampling, &[MathFunc::Exp, MathFunc::Exp2, MathFunc::Expm1]);
+    let s = b.decl_temp(num(rng.gen_range(0.5..2.0)));
+    let i = b.fresh_loop_var();
+    let body = Block::new(vec![
+        Stmt::Assign {
+            target: s.clone(),
+            op: AssignOp::Mul,
+            expr: Expr::call(
+                f,
+                vec![Expr::bin(
+                    BinOp::Div,
+                    Expr::Neg(Box::new(Expr::call(MathFunc::Fabs, vec![Expr::var(rate.clone())]))),
+                    num(rng.gen_range(8.0..64.0)),
+                )],
+            ),
+        },
+        Stmt::Assign { target: COMP.into(), op: AssignOp::Add, expr: Expr::var(s.clone()) },
+    ]);
+    b.used_funcs.push(MathFunc::Fabs);
+    b.push(Stmt::For { var: i, bound: rng.gen_range(3..=8), body });
+}
+
+fn trig_identity(b: &mut ProgramBuilder, rng: &mut impl Rng, sampling: &SamplingParams) {
+    let x = b.scalar_param(rng);
+    let f = b.pick_func(rng, sampling, &[MathFunc::Sin, MathFunc::Cos, MathFunc::Tan]);
+    let g = b.pick_func(rng, sampling, &[MathFunc::Cos, MathFunc::Sin, MathFunc::Atan]);
+    let s = b.decl_temp(Expr::call(f, vec![Expr::var(x.clone())]));
+    let c = b.decl_temp(Expr::call(g, vec![Expr::var(x.clone())]));
+    b.accumulate(
+        AssignOp::Add,
+        Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, Expr::var(s.clone()), Expr::var(s)),
+            Expr::bin(BinOp::Mul, Expr::var(c.clone()), Expr::var(c)),
+        ),
+    );
+}
+
+fn log_sum_exp(b: &mut ProgramBuilder, rng: &mut impl Rng) {
+    let x = b.scalar_param(rng);
+    let y = b.scalar_param(rng);
+    let m = b.decl_temp(Expr::call(MathFunc::Fmax, vec![Expr::var(x.clone()), Expr::var(y.clone())]));
+    b.used_funcs.extend([MathFunc::Fmax, MathFunc::Exp, MathFunc::Log]);
+    b.accumulate(
+        AssignOp::Add,
+        Expr::bin(
+            BinOp::Add,
+            Expr::var(m.clone()),
+            Expr::call(
+                MathFunc::Log,
+                vec![Expr::bin(
+                    BinOp::Add,
+                    Expr::call(
+                        MathFunc::Exp,
+                        vec![Expr::bin(BinOp::Sub, Expr::var(x), Expr::var(m.clone()))],
+                    ),
+                    Expr::call(
+                        MathFunc::Exp,
+                        vec![Expr::bin(BinOp::Sub, Expr::var(y), Expr::var(m))],
+                    ),
+                )],
+            ),
+        ),
+    );
+}
+
+fn normalize(b: &mut ProgramBuilder, rng: &mut impl Rng) {
+    let x = b.scalar_param(rng);
+    let y = b.scalar_param(rng);
+    let z = b.scalar_param(rng);
+    b.used_funcs.push(MathFunc::Sqrt);
+    let norm = b.decl_temp(Expr::call(
+        MathFunc::Sqrt,
+        vec![Expr::bin(
+            BinOp::Add,
+            Expr::bin(
+                BinOp::Add,
+                Expr::bin(BinOp::Mul, Expr::var(x.clone()), Expr::var(x.clone())),
+                Expr::bin(BinOp::Mul, Expr::var(y.clone()), Expr::var(y.clone())),
+            ),
+            Expr::bin(BinOp::Mul, Expr::var(z.clone()), Expr::var(z.clone())),
+        )],
+    ));
+    b.accumulate(
+        AssignOp::Add,
+        Expr::bin(
+            BinOp::Div,
+            Expr::var(x),
+            Expr::bin(BinOp::Add, Expr::var(norm), num(1e-9)).paren(),
+        ),
+    );
+}
+
+fn taylor_series(b: &mut ProgramBuilder, rng: &mut impl Rng) {
+    let x = b.scalar_param(rng);
+    let term = b.decl_temp(num(1.0));
+    let i = b.fresh_loop_var();
+    let scale = rng.gen_range(4.0..32.0);
+    let body = Block::new(vec![
+        Stmt::Assign {
+            target: term.clone(),
+            op: AssignOp::Mul,
+            expr: Expr::bin(
+                BinOp::Div,
+                Expr::var(x.clone()),
+                Expr::bin(BinOp::Add, Expr::var(i.clone()), num(scale)).paren(),
+            ),
+        },
+        Stmt::Assign { target: COMP.into(), op: AssignOp::Add, expr: Expr::var(term.clone()) },
+    ]);
+    b.push(Stmt::For { var: i, bound: rng.gen_range(4..=10), body });
+}
+
+fn running_variance(b: &mut ProgramBuilder, rng: &mut impl Rng) {
+    let (a, len) = b.array_param(rng);
+    let mean = b.decl_temp(num(0.0));
+    let i = b.fresh_loop_var();
+    b.push(Stmt::For {
+        var: i.clone(),
+        bound: len as i64,
+        body: Block::new(vec![Stmt::Assign {
+            target: mean.clone(),
+            op: AssignOp::Add,
+            expr: Expr::bin(
+                BinOp::Div,
+                Expr::Index { array: a.clone(), index: IndexExpr::Var(i.clone()) },
+                num(len as f64),
+            ),
+        }]),
+    });
+    let var = b.decl_temp(num(0.0));
+    let j = b.fresh_loop_var();
+    b.push(Stmt::For {
+        var: j.clone(),
+        bound: len as i64,
+        body: Block::new(vec![Stmt::Assign {
+            target: var.clone(),
+            op: AssignOp::Add,
+            expr: Expr::bin(
+                BinOp::Mul,
+                Expr::bin(
+                    BinOp::Sub,
+                    Expr::Index { array: a.clone(), index: IndexExpr::Var(j.clone()) },
+                    Expr::var(mean.clone()),
+                )
+                .paren(),
+                Expr::bin(
+                    BinOp::Sub,
+                    Expr::Index { array: a, index: IndexExpr::Var(j.clone()) },
+                    Expr::var(mean.clone()),
+                )
+                .paren(),
+            ),
+        }]),
+    });
+    b.accumulate(AssignOp::Add, Expr::var(var));
+}
+
+fn trapezoid(b: &mut ProgramBuilder, rng: &mut impl Rng, sampling: &SamplingParams) {
+    let h = b.scalar_param(rng);
+    let f = b.pick_func(rng, sampling, &[MathFunc::Sin, MathFunc::Cos, MathFunc::Tanh, MathFunc::Atan]);
+    let i = b.fresh_loop_var();
+    let step = Expr::bin(
+        BinOp::Div,
+        Expr::var(h.clone()),
+        num(rng.gen_range(16.0..64.0)),
+    );
+    let xi = Expr::bin(BinOp::Mul, Expr::var(i.clone()), step.clone());
+    let xi1 = Expr::bin(
+        BinOp::Mul,
+        Expr::bin(BinOp::Add, Expr::var(i.clone()), num(1.0)).paren(),
+        step.clone(),
+    );
+    let body = Block::new(vec![Stmt::Assign {
+        target: COMP.into(),
+        op: AssignOp::Add,
+        expr: Expr::bin(
+            BinOp::Mul,
+            Expr::bin(
+                BinOp::Add,
+                Expr::call(f, vec![xi]),
+                Expr::call(f, vec![xi1]),
+            )
+            .paren(),
+            Expr::bin(BinOp::Mul, step, num(0.5)),
+        ),
+    }]);
+    b.push(Stmt::For { var: i, bound: rng.gen_range(4..=12), body });
+}
+
+fn harmonic(b: &mut ProgramBuilder, rng: &mut impl Rng) {
+    let i = b.fresh_loop_var();
+    let body = Block::new(vec![Stmt::Assign {
+        target: COMP.into(),
+        op: AssignOp::Add,
+        expr: Expr::bin(
+            BinOp::Div,
+            num(1.0),
+            Expr::bin(BinOp::Add, Expr::var(i.clone()), num(1.0)).paren(),
+        ),
+    }]);
+    b.push(Stmt::For { var: i, bound: rng.gen_range(5..=20), body });
+}
+
+fn fma_chain(b: &mut ProgramBuilder, rng: &mut impl Rng) {
+    let terms = rng.gen_range(2..=4);
+    let mut expr = num(plausible_constant(rng));
+    for _ in 0..terms {
+        let a = b.some_scalar(rng);
+        let c = b.some_scalar(rng);
+        expr = Expr::bin(BinOp::Add, Expr::bin(BinOp::Mul, a, c), expr);
+    }
+    b.accumulate(AssignOp::Add, expr);
+}
+
+fn cancellation(b: &mut ProgramBuilder, rng: &mut impl Rng) {
+    let x = b.scalar_param(rng);
+    let big = num(rng.gen_range(1e6..1e12));
+    let t = b.decl_temp(Expr::bin(
+        BinOp::Sub,
+        Expr::bin(BinOp::Add, Expr::var(x.clone()), big.clone()).paren(),
+        big,
+    ));
+    b.accumulate(AssignOp::Add, Expr::bin(BinOp::Sub, Expr::var(t), Expr::var(x)));
+}
+
+fn geometric_mean(b: &mut ProgramBuilder, rng: &mut impl Rng) {
+    let x = b.scalar_param(rng);
+    let y = b.scalar_param(rng);
+    b.used_funcs.extend([MathFunc::Log, MathFunc::Exp, MathFunc::Fabs]);
+    b.accumulate(
+        AssignOp::Add,
+        Expr::call(
+            MathFunc::Exp,
+            vec![Expr::bin(
+                BinOp::Div,
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::call(
+                        MathFunc::Log,
+                        vec![Expr::bin(
+                            BinOp::Add,
+                            Expr::call(MathFunc::Fabs, vec![Expr::var(x)]),
+                            num(1e-6),
+                        )],
+                    ),
+                    Expr::call(
+                        MathFunc::Log,
+                        vec![Expr::bin(
+                            BinOp::Add,
+                            Expr::call(MathFunc::Fabs, vec![Expr::var(y)]),
+                            num(1e-6),
+                        )],
+                    ),
+                ),
+                num(2.0),
+            )],
+        ),
+    );
+}
+
+fn conditional_clamp(b: &mut ProgramBuilder, rng: &mut impl Rng, sampling: &SamplingParams) {
+    let x = b.scalar_param(rng);
+    let limit = plausible_constant(rng).abs() + 1.0;
+    let f = b.pick_func(rng, sampling, &[MathFunc::Tanh, MathFunc::Atan, MathFunc::Sin]);
+    let t = b.decl_temp(Expr::bin(
+        BinOp::Mul,
+        Expr::call(f, vec![Expr::var(x.clone())]),
+        num(plausible_constant(rng)),
+    ));
+    b.push(Stmt::If {
+        cond: BoolExpr { lhs: Expr::var(t.clone()), op: CmpOp::Gt, rhs: num(limit) },
+        then_block: Block::new(vec![Stmt::Assign {
+            target: t.clone(),
+            op: AssignOp::Assign,
+            expr: num(limit),
+        }]),
+    });
+    b.push(Stmt::If {
+        cond: BoolExpr { lhs: Expr::var(t.clone()), op: CmpOp::Lt, rhs: num(-limit) },
+        then_block: Block::new(vec![Stmt::Assign {
+            target: t.clone(),
+            op: AssignOp::Assign,
+            expr: num(-limit),
+        }]),
+    });
+    b.accumulate(AssignOp::Add, Expr::var(t));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm4fp_fpir::validate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_idiom_produces_a_valid_program() {
+        let sampling = SamplingParams::paper_defaults();
+        for (seed, &kind) in IdiomKind::ALL.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(seed as u64 + 1);
+            let mut builder = ProgramBuilder::new(Precision::F64, seed);
+            instantiate(kind, &mut builder, &mut rng, &sampling);
+            let program = builder.finish();
+            let problems = validate(&program);
+            assert!(
+                problems.is_empty(),
+                "idiom {} produced an invalid program: {:?}\n{}",
+                kind.name(),
+                problems,
+                llm4fp_fpir::to_compute_source(&program)
+            );
+            assert!(program.stmt_count() > 0, "idiom {} produced no statements", kind.name());
+        }
+    }
+
+    #[test]
+    fn idioms_compose_into_valid_programs() {
+        let sampling = SamplingParams::paper_defaults();
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut builder = ProgramBuilder::new(Precision::F64, seed as usize);
+            for _ in 0..rng.gen_range(2..=5) {
+                let kind = *IdiomKind::ALL.choose(&mut rng).unwrap();
+                instantiate(kind, &mut builder, &mut rng, &sampling);
+            }
+            let program = builder.finish();
+            assert!(
+                validate(&program).is_empty(),
+                "seed {seed} produced invalid program:\n{}",
+                llm4fp_fpir::to_compute_source(&program)
+            );
+        }
+    }
+
+    #[test]
+    fn idiom_programs_execute_without_runtime_errors() {
+        use llm4fp_compiler::{compile, CompilerConfig, CompilerId, OptLevel};
+        let sampling = SamplingParams::paper_defaults();
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed + 100);
+            let mut builder = ProgramBuilder::new(Precision::F64, seed as usize);
+            for _ in 0..3 {
+                let kind = *IdiomKind::ALL.choose(&mut rng).unwrap();
+                instantiate(kind, &mut builder, &mut rng, &sampling);
+            }
+            let program = builder.finish();
+            let inputs = llm4fp_fpir::inputs::default_inputs(&program.params);
+            let compiled =
+                compile(&program, CompilerConfig::new(CompilerId::Gcc, OptLevel::O2)).unwrap();
+            compiled.execute(&inputs).expect("idiom program must execute");
+        }
+    }
+
+    #[test]
+    fn naming_pools_differ_across_seeds() {
+        let sampling = SamplingParams::paper_defaults();
+        let mut names = std::collections::HashSet::new();
+        for seed in 0..4usize {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut builder = ProgramBuilder::new(Precision::F64, seed);
+            instantiate(IdiomKind::DotProduct, &mut builder, &mut rng, &sampling);
+            let program = builder.finish();
+            for p in &program.params {
+                names.insert(p.name.clone());
+            }
+        }
+        // Across the four naming pools we should see more than two distinct
+        // parameter names for the same idiom.
+        assert!(names.len() > 2, "{names:?}");
+    }
+
+    #[test]
+    fn plausible_constants_are_finite_and_varied() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let values: Vec<f64> = (0..1000).map(|_| plausible_constant(&mut rng)).collect();
+        assert!(values.iter().all(|v| v.is_finite() && *v != 0.0));
+        let negatives = values.iter().filter(|v| **v < 0.0).count();
+        assert!(negatives > 200 && negatives < 600);
+        let large = values.iter().filter(|v| v.abs() > 1e4).count();
+        assert!(large > 10, "some constants should be large");
+    }
+
+    #[test]
+    fn pick_func_respects_frequency_penalty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sampling = SamplingParams { frequency_penalty: 2.0, ..SamplingParams::paper_defaults() };
+        let mut builder = ProgramBuilder::new(Precision::F64, 0);
+        let candidates = [MathFunc::Sin, MathFunc::Cos, MathFunc::Exp, MathFunc::Log];
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..200 {
+            let f = builder.pick_func(&mut rng, &sampling, &candidates);
+            *counts.entry(f).or_insert(0usize) += 1;
+        }
+        // With a strong frequency penalty every candidate gets picked.
+        assert_eq!(counts.len(), candidates.len(), "{counts:?}");
+    }
+}

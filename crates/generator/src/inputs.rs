@@ -1,0 +1,198 @@
+//! Random input generation.
+//!
+//! Each generated program is paired with a unique set of input values
+//! (Section 3.1.3). Following Varity's input model, values are drawn from a
+//! mixture of regimes so that both ordinary and boundary behaviour is
+//! exercised: moderate magnitudes, large and tiny magnitudes, values near
+//! one, exact zeros and subnormals.
+
+use rand::prelude::*;
+
+use llm4fp_fpir::{InputSet, InputValue, ParamType, Program};
+
+/// Relative frequencies of the input regimes.
+#[derive(Debug, Clone, Copy)]
+pub struct InputProfile {
+    /// Values in `[-10, 10]` (typical kernel data).
+    pub moderate: f64,
+    /// Large magnitudes (`1e3 ..= 1e8`).
+    pub large: f64,
+    /// Tiny magnitudes (`1e-8 ..= 1e-3`).
+    pub tiny: f64,
+    /// Values within 1e-3 of 1.0 (cancellation-prone).
+    pub near_one: f64,
+    /// Exact zero.
+    pub zero: f64,
+    /// Subnormal values.
+    pub subnormal: f64,
+}
+
+impl InputProfile {
+    /// The default mixture used by the campaigns.
+    pub fn balanced() -> Self {
+        InputProfile {
+            moderate: 0.55,
+            large: 0.15,
+            tiny: 0.12,
+            near_one: 0.10,
+            zero: 0.04,
+            subnormal: 0.04,
+        }
+    }
+
+    /// A profile restricted to moderate values (useful for examples that
+    /// want to avoid extreme-value behaviour entirely).
+    pub fn moderate_only() -> Self {
+        InputProfile { moderate: 1.0, large: 0.0, tiny: 0.0, near_one: 0.0, zero: 0.0, subnormal: 0.0 }
+    }
+
+    fn total(&self) -> f64 {
+        self.moderate + self.large + self.tiny + self.near_one + self.zero + self.subnormal
+    }
+}
+
+/// Generates one [`InputSet`] per program.
+pub struct InputGenerator {
+    rng: StdRng,
+    profile: InputProfile,
+}
+
+impl InputGenerator {
+    pub fn new(seed: u64) -> Self {
+        Self::with_profile(seed, InputProfile::balanced())
+    }
+
+    pub fn with_profile(seed: u64, profile: InputProfile) -> Self {
+        InputGenerator { rng: StdRng::seed_from_u64(seed), profile }
+    }
+
+    /// Generate a complete input set for `program` (one value per parameter).
+    pub fn generate(&mut self, program: &Program) -> InputSet {
+        let mut set = InputSet::new();
+        for param in &program.params {
+            let value = match param.ty {
+                ParamType::Int => InputValue::Int(self.rng.gen_range(1..=8)),
+                ParamType::Fp => InputValue::Fp(self.sample_fp()),
+                ParamType::FpArray(len) => {
+                    InputValue::FpArray((0..len).map(|_| self.sample_fp()).collect())
+                }
+            };
+            set.insert(&param.name, value);
+        }
+        set
+    }
+
+    /// Draw one floating-point value from the regime mixture.
+    pub fn sample_fp(&mut self) -> f64 {
+        let p = &self.profile;
+        let mut roll = self.rng.gen::<f64>() * p.total();
+        let sign = if self.rng.gen_bool(0.45) { -1.0 } else { 1.0 };
+        for (weight, regime) in [
+            (p.moderate, Regime::Moderate),
+            (p.large, Regime::Large),
+            (p.tiny, Regime::Tiny),
+            (p.near_one, Regime::NearOne),
+            (p.zero, Regime::Zero),
+            (p.subnormal, Regime::Subnormal),
+        ] {
+            if roll <= weight {
+                return self.sample_regime(regime, sign);
+            }
+            roll -= weight;
+        }
+        self.sample_regime(Regime::Moderate, sign)
+    }
+
+    fn sample_regime(&mut self, regime: Regime, sign: f64) -> f64 {
+        match regime {
+            Regime::Moderate => sign * self.rng.gen_range(0.01..10.0),
+            Regime::Large => sign * 10f64.powf(self.rng.gen_range(3.0..8.0)),
+            Regime::Tiny => sign * 10f64.powf(self.rng.gen_range(-8.0..-3.0)),
+            Regime::NearOne => 1.0 + sign * self.rng.gen_range(1e-12..1e-3),
+            Regime::Zero => 0.0 * sign,
+            Regime::Subnormal => {
+                let bits = self.rng.gen_range(1u64..0x000f_ffff_ffff_ffff);
+                sign * f64::from_bits(bits)
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Regime {
+    Moderate,
+    Large,
+    Tiny,
+    NearOne,
+    Zero,
+    Subnormal,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::varity::VarityGenerator;
+
+    #[test]
+    fn generated_inputs_match_their_programs() {
+        let mut varity = VarityGenerator::new(1);
+        let mut inputs = InputGenerator::new(2);
+        for _ in 0..50 {
+            let program = varity.generate();
+            let set = inputs.generate(&program);
+            assert!(set.matches(&program).is_ok());
+            assert_eq!(set.len(), program.params.len());
+        }
+    }
+
+    #[test]
+    fn sampling_covers_all_regimes() {
+        let mut gen = InputGenerator::new(3);
+        let values: Vec<f64> = (0..20_000).map(|_| gen.sample_fp()).collect();
+        assert!(values.iter().all(|v| v.is_finite()));
+        assert!(values.iter().any(|v| v.abs() > 1e3), "large regime missing");
+        assert!(values.iter().any(|v| *v != 0.0 && v.abs() < 1e-3), "tiny regime missing");
+        assert!(values.iter().any(|v| *v == 0.0), "zero regime missing");
+        assert!(
+            values.iter().any(|v| *v != 0.0 && v.abs() < f64::MIN_POSITIVE),
+            "subnormal regime missing"
+        );
+        assert!(values.iter().any(|v| (*v - 1.0).abs() < 1e-3 && *v != 1.0), "near-one regime missing");
+        let negatives = values.iter().filter(|v| **v < 0.0).count();
+        assert!(negatives > 5_000 && negatives < 15_000);
+    }
+
+    #[test]
+    fn moderate_only_profile_stays_moderate() {
+        let mut gen = InputGenerator::with_profile(4, InputProfile::moderate_only());
+        for _ in 0..1000 {
+            let v = gen.sample_fp();
+            assert!(v.abs() <= 10.0 && v != 0.0, "unexpected value {v}");
+        }
+    }
+
+    #[test]
+    fn input_generation_is_deterministic_per_seed() {
+        let mut varity = VarityGenerator::new(9);
+        let program = varity.generate();
+        let a = InputGenerator::new(42).generate(&program);
+        let b = InputGenerator::new(42).generate(&program);
+        let c = InputGenerator::new(43).generate(&program);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ints_are_small_and_positive() {
+        let mut gen = InputGenerator::new(5);
+        let program = llm4fp_fpir::parse_compute(
+            "void compute(int n, int m, double x) { comp = x + n + m; }",
+        )
+        .unwrap();
+        for _ in 0..100 {
+            let set = gen.generate(&program);
+            let n = set.get_int("n").unwrap();
+            assert!((1..=8).contains(&n));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # llm4fp-generator
+//!
+//! Program generation for the LLM4FP reproduction.
+//!
+//! Four generation approaches are provided, mirroring Section 3.2.1 of the
+//! paper:
+//!
+//! * [`VarityGenerator`] — the Varity baseline: unguided random generation
+//!   straight from the grammar.
+//! * Direct-Prompt, Grammar-Guided and LLM4FP's Feedback-Based Mutation are
+//!   all realized as prompts ([`prompt::PromptBuilder`]) answered by an
+//!   implementation of the [`LlmClient`] trait. The default client is
+//!   [`SimulatedLlm`], a knowledge-base program synthesizer that stands in
+//!   for GPT-4 (see DESIGN.md for the substitution rationale); a real
+//!   HTTP-backed client can be plugged in behind the same trait.
+//!
+//! Supporting modules: [`idioms`] (the HPC pattern knowledge base),
+//! [`mutate`] (the mutation operators listed in the Feedback-Based Mutation
+//! prompt), [`inputs`] (random input-set generation) and [`sampling`]
+//! (temperature / frequency-penalty / presence-penalty handling).
+
+#![deny(unsafe_code)]
+
+pub mod idioms;
+pub mod inputs;
+pub mod llm;
+pub mod mutate;
+pub mod prompt;
+pub mod sampling;
+pub mod varity;
+
+pub use inputs::InputGenerator;
+pub use llm::{LlmClient, LlmResponse, SimulatedLlm};
+pub use prompt::{Prompt, PromptBuilder, Strategy};
+pub use sampling::SamplingParams;
+pub use varity::VarityGenerator;

@@ -1,0 +1,490 @@
+//! Mutation operators for Feedback-Based Mutation (Section 2.3.2).
+//!
+//! The feedback prompt lists five mutation strategies; the simulated LLM
+//! realizes them as concrete AST rewrites on the seed program:
+//!
+//! * reorder / deeply nest arithmetic expressions,
+//! * change numeric constants,
+//! * introduce new control flow (loops, conditionals),
+//! * use different math library functions,
+//! * insert intermediate computations.
+//!
+//! Each mutated program is validated before being returned; if a particular
+//! mutation sequence produces an invalid program the mutator backs off to a
+//! smaller sequence, so feedback-based generation never emits garbage (the
+//! same property the paper attributes to prompt-guided mutation).
+
+use rand::prelude::*;
+
+use llm4fp_fpir::{
+    validate, AssignOp, BinOp, Block, BoolExpr, CmpOp, Expr, MathFunc, ParamType, Program, Stmt,
+    COMP,
+};
+
+use crate::idioms::{self, plausible_constant, IdiomKind, ProgramBuilder};
+use crate::sampling::SamplingParams;
+
+/// The individual mutation operators (named after the prompt's strategies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutationOp {
+    /// Swap operands of commutative operators and add explicit grouping —
+    /// "reorder arithmetic expressions".
+    ReorderArithmetic,
+    /// Wrap existing right-hand sides in additional arithmetic — "deeply
+    /// nest arithmetic expressions".
+    NestExpression,
+    /// Perturb or replace numeric constants.
+    ChangeConstants,
+    /// Wrap an assignment in a new bounded loop or conditional.
+    IntroduceControlFlow,
+    /// Replace math functions with different ones of the same arity.
+    SwapMathFunctions,
+    /// Insert an intermediate temporary computation and feed it into `comp`.
+    InsertIntermediate,
+    /// Append a fresh HPC idiom from the knowledge base.
+    AppendIdiom,
+}
+
+impl MutationOp {
+    pub const ALL: [MutationOp; 7] = [
+        MutationOp::ReorderArithmetic,
+        MutationOp::NestExpression,
+        MutationOp::ChangeConstants,
+        MutationOp::IntroduceControlFlow,
+        MutationOp::SwapMathFunctions,
+        MutationOp::InsertIntermediate,
+        MutationOp::AppendIdiom,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationOp::ReorderArithmetic => "reorder-arithmetic",
+            MutationOp::NestExpression => "nest-expression",
+            MutationOp::ChangeConstants => "change-constants",
+            MutationOp::IntroduceControlFlow => "introduce-control-flow",
+            MutationOp::SwapMathFunctions => "swap-math-functions",
+            MutationOp::InsertIntermediate => "insert-intermediate",
+            MutationOp::AppendIdiom => "append-idiom",
+        }
+    }
+}
+
+/// Mutate a seed program into a new, different, still-valid program.
+///
+/// Applies 2–4 randomly chosen operators (scaled by the sampling
+/// temperature). Backs off to fewer operators if validation fails, and as a
+/// last resort returns a constants-only mutation, which is always valid.
+pub fn mutate_program(
+    seed: &Program,
+    rng: &mut impl Rng,
+    sampling: &SamplingParams,
+) -> (Program, Vec<MutationOp>) {
+    let n_ops = sampling.scale_count(rng.gen_range(2..=3)).min(5);
+    for attempt in 0..4 {
+        let ops: Vec<MutationOp> = (0..n_ops.saturating_sub(attempt).max(1))
+            .map(|_| *MutationOp::ALL.choose(rng).unwrap())
+            .collect();
+        let mut program = seed.clone();
+        for &op in &ops {
+            apply(op, &mut program, rng, sampling);
+        }
+        if validate(&program).is_empty() && program != *seed {
+            return (program, ops);
+        }
+    }
+    let mut program = seed.clone();
+    apply(MutationOp::ChangeConstants, &mut program, rng, sampling);
+    (program, vec![MutationOp::ChangeConstants])
+}
+
+/// Apply one operator in place.
+pub fn apply(op: MutationOp, program: &mut Program, rng: &mut impl Rng, sampling: &SamplingParams) {
+    match op {
+        MutationOp::ReorderArithmetic => reorder_arithmetic(program, rng),
+        MutationOp::NestExpression => nest_expression(program, rng),
+        MutationOp::ChangeConstants => change_constants(program, rng),
+        MutationOp::IntroduceControlFlow => introduce_control_flow(program, rng),
+        MutationOp::SwapMathFunctions => swap_math_functions(program, rng),
+        MutationOp::InsertIntermediate => insert_intermediate(program, rng),
+        MutationOp::AppendIdiom => append_idiom(program, rng, sampling),
+    }
+}
+
+// --------------------------------------------------------------------------
+// individual operators
+// --------------------------------------------------------------------------
+
+fn for_each_expr_mut(block: &mut Block, f: &mut impl FnMut(&mut Expr)) {
+    for stmt in &mut block.stmts {
+        match stmt {
+            Stmt::Assign { expr, .. }
+            | Stmt::DeclScalar { expr, .. }
+            | Stmt::AssignIndex { expr, .. } => f(expr),
+            Stmt::DeclArray { .. } => {}
+            Stmt::If { cond, then_block } => {
+                f(&mut cond.lhs);
+                f(&mut cond.rhs);
+                for_each_expr_mut(then_block, f);
+            }
+            Stmt::For { body, .. } => for_each_expr_mut(body, f),
+        }
+    }
+}
+
+fn reorder_arithmetic(program: &mut Program, rng: &mut impl Rng) {
+    let mut swaps = 0usize;
+    let p: f64 = 0.5;
+    let mut rng_bits: Vec<bool> = (0..64).map(|_| rng.gen_bool(p)).collect();
+    for_each_expr_mut(&mut program.body, &mut |expr| {
+        swap_commutative(expr, &mut rng_bits, &mut swaps);
+    });
+}
+
+fn swap_commutative(expr: &mut Expr, coin: &mut Vec<bool>, swaps: &mut usize) {
+    if let Expr::Bin { op, lhs, rhs } = expr {
+        if matches!(op, BinOp::Add | BinOp::Mul) && coin.pop().unwrap_or(false) {
+            std::mem::swap(lhs, rhs);
+            *swaps += 1;
+        }
+        swap_commutative(lhs, coin, swaps);
+        swap_commutative(rhs, coin, swaps);
+    } else if let Expr::Paren(inner) | Expr::Neg(inner) = expr {
+        swap_commutative(inner, coin, swaps);
+    } else if let Expr::Call { args, .. } = expr {
+        for a in args {
+            swap_commutative(a, coin, swaps);
+        }
+    }
+}
+
+fn nest_expression(program: &mut Program, rng: &mut impl Rng) {
+    // Pick one assignment and wrap its right-hand side in extra arithmetic
+    // that reuses the program's own scalar variables.
+    let vars: Vec<String> = program
+        .params
+        .iter()
+        .filter(|p| p.ty == ParamType::Fp)
+        .map(|p| p.name.clone())
+        .collect();
+    let extra = match vars.choose(rng) {
+        Some(v) => Expr::var(v.clone()),
+        None => Expr::Num(plausible_constant(rng)),
+    };
+    let op = *[BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div].choose(rng).unwrap();
+    let constant = Expr::Num(plausible_constant(rng));
+    let mut target_index = rng.gen_range(0..program.body.stmts.len().max(1));
+    for (i, stmt) in program.body.stmts.iter_mut().enumerate() {
+        if let Stmt::Assign { expr, .. } | Stmt::DeclScalar { expr, .. } = stmt {
+            if i >= target_index {
+                let old = expr.clone();
+                *expr = Expr::bin(
+                    op,
+                    old.paren(),
+                    Expr::bin(BinOp::Mul, extra.clone(), constant.clone()).paren(),
+                );
+                return;
+            }
+        }
+        target_index = target_index.min(i + 1);
+    }
+}
+
+fn change_constants(program: &mut Program, rng: &mut impl Rng) {
+    let mut replacements: Vec<f64> = (0..64).map(|_| plausible_constant(rng)).collect();
+    let mut scale: Vec<bool> = (0..64).map(|_| rng.gen_bool(0.5)).collect();
+    for_each_expr_mut(&mut program.body, &mut |expr| {
+        mutate_constants_in(expr, &mut replacements, &mut scale);
+    });
+}
+
+fn mutate_constants_in(expr: &mut Expr, replacements: &mut Vec<f64>, scale: &mut Vec<bool>) {
+    match expr {
+        Expr::Num(v) => {
+            if scale.pop().unwrap_or(false) {
+                // Perturb: keep the magnitude regime, nudge the value.
+                *v *= 1.0 + (replacements.pop().unwrap_or(1.0).fract() * 0.25);
+            } else {
+                *v = replacements.pop().unwrap_or(*v * 0.5 + 1.0);
+            }
+            if !v.is_finite() || *v == 0.0 {
+                *v = 1.0;
+            }
+        }
+        Expr::Paren(inner) | Expr::Neg(inner) => mutate_constants_in(inner, replacements, scale),
+        Expr::Bin { lhs, rhs, .. } => {
+            mutate_constants_in(lhs, replacements, scale);
+            mutate_constants_in(rhs, replacements, scale);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                mutate_constants_in(a, replacements, scale);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn introduce_control_flow(program: &mut Program, rng: &mut impl Rng) {
+    // Wrap a top-level assignment to `comp` in a small loop or a conditional.
+    let candidates: Vec<usize> = program
+        .body
+        .stmts
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s, Stmt::Assign { target, .. } if target == COMP))
+        .map(|(i, _)| i)
+        .collect();
+    let Some(&idx) = candidates.choose(rng) else { return };
+    let original = program.body.stmts[idx].clone();
+    let wrapped = if rng.gen_bool(0.5) {
+        Stmt::For {
+            var: "rep".to_string(),
+            bound: rng.gen_range(2..=4),
+            body: Block::new(vec![original]),
+        }
+    } else {
+        let threshold = Expr::Num(plausible_constant(rng));
+        Stmt::If {
+            cond: BoolExpr {
+                lhs: Expr::var(COMP),
+                op: *[CmpOp::Lt, CmpOp::Gt, CmpOp::Le, CmpOp::Ge].choose(rng).unwrap(),
+                rhs: threshold,
+            },
+            then_block: Block::new(vec![original]),
+        }
+    };
+    program.body.stmts[idx] = wrapped;
+}
+
+fn swap_math_functions(program: &mut Program, rng: &mut impl Rng) {
+    let unary_pool =
+        [MathFunc::Sin, MathFunc::Cos, MathFunc::Tanh, MathFunc::Exp, MathFunc::Log1p, MathFunc::Atan, MathFunc::Cbrt, MathFunc::Expm1];
+    let binary_pool = [MathFunc::Fmin, MathFunc::Fmax, MathFunc::Atan2, MathFunc::Hypot, MathFunc::Pow];
+    let mut picks: Vec<usize> = (0..64).map(|_| rng.gen_range(0..1000)).collect();
+    let mut flip: Vec<bool> = (0..64).map(|_| rng.gen_bool(0.6)).collect();
+    for_each_expr_mut(&mut program.body, &mut |expr| {
+        swap_funcs_in(expr, &unary_pool, &binary_pool, &mut picks, &mut flip);
+    });
+}
+
+fn swap_funcs_in(
+    expr: &mut Expr,
+    unary_pool: &[MathFunc],
+    binary_pool: &[MathFunc],
+    picks: &mut Vec<usize>,
+    flip: &mut Vec<bool>,
+) {
+    match expr {
+        Expr::Call { func, args } => {
+            if flip.pop().unwrap_or(false) {
+                let pick = picks.pop().unwrap_or(0);
+                match func.arity() {
+                    1 => *func = unary_pool[pick % unary_pool.len()],
+                    2 => *func = binary_pool[pick % binary_pool.len()],
+                    _ => {}
+                }
+            }
+            for a in args {
+                swap_funcs_in(a, unary_pool, binary_pool, picks, flip);
+            }
+        }
+        Expr::Paren(inner) | Expr::Neg(inner) => {
+            swap_funcs_in(inner, unary_pool, binary_pool, picks, flip)
+        }
+        Expr::Bin { lhs, rhs, .. } => {
+            swap_funcs_in(lhs, unary_pool, binary_pool, picks, flip);
+            swap_funcs_in(rhs, unary_pool, binary_pool, picks, flip);
+        }
+        _ => {}
+    }
+}
+
+fn insert_intermediate(program: &mut Program, rng: &mut impl Rng) {
+    // Declare a new temporary computed from existing scalar fp parameters
+    // and add it into the accumulator at the end.
+    let vars: Vec<String> = program
+        .params
+        .iter()
+        .filter(|p| p.ty == ParamType::Fp)
+        .map(|p| p.name.clone())
+        .collect();
+    // Find a fresh name (the seed may already contain mid_N temporaries).
+    let mut n = 0usize;
+    let name = loop {
+        let candidate = format!("mid_{n}");
+        let clash = program_declares(program, &candidate);
+        if !clash {
+            break candidate;
+        }
+        n += 1;
+    };
+    let base = match vars.choose(rng) {
+        Some(v) => Expr::var(v.clone()),
+        None => Expr::Num(plausible_constant(rng)),
+    };
+    let func = *[MathFunc::Tanh, MathFunc::Sin, MathFunc::Atan, MathFunc::Log1p, MathFunc::Cbrt]
+        .choose(rng)
+        .unwrap();
+    let expr = Expr::bin(
+        BinOp::Mul,
+        Expr::call(func, vec![base]),
+        Expr::Num(plausible_constant(rng)),
+    );
+    program.body.stmts.push(Stmt::DeclScalar { name: name.clone(), expr });
+    program.body.stmts.push(Stmt::Assign {
+        target: COMP.into(),
+        op: AssignOp::Add,
+        expr: Expr::var(name),
+    });
+}
+
+fn program_declares(program: &Program, name: &str) -> bool {
+    fn block_declares(block: &Block, name: &str) -> bool {
+        block.stmts.iter().any(|s| match s {
+            Stmt::DeclScalar { name: n, .. } | Stmt::DeclArray { name: n, .. } => n == name,
+            Stmt::If { then_block, .. } => block_declares(then_block, name),
+            Stmt::For { body, .. } => block_declares(body, name),
+            _ => false,
+        })
+    }
+    program.params.iter().any(|p| p.name == name) || block_declares(&program.body, name)
+}
+
+fn append_idiom(program: &mut Program, rng: &mut impl Rng, sampling: &SamplingParams) {
+    // Build the idiom in a fresh builder with a naming seed unlikely to clash
+    // with the seed program, then merge parameters and statements.
+    let mut builder = ProgramBuilder::new(program.precision, rng.gen_range(0..4));
+    let kind = *IdiomKind::ALL.choose(rng).unwrap();
+    idioms::instantiate(kind, &mut builder, rng, sampling);
+    let fragment = builder.finish();
+    for param in fragment.params {
+        if !program_declares(program, &param.name) {
+            program.params.push(param);
+        }
+    }
+    for stmt in fragment.body.stmts {
+        // Skip fragment statements that would redeclare an existing name.
+        let clashes = match &stmt {
+            Stmt::DeclScalar { name, .. } | Stmt::DeclArray { name, .. } => {
+                program_declares(program, name)
+            }
+            _ => false,
+        };
+        if !clashes {
+            program.body.stmts.push(stmt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::varity::VarityGenerator;
+    use llm4fp_fpir::{program_hash, to_compute_source, Precision};
+    use rand::rngs::StdRng;
+
+    fn seed_program() -> Program {
+        llm4fp_fpir::parse_compute(
+            "void compute(double x, double y, double *a) {\n\
+             double t0 = x * 0.5 + 1.25;\n\
+             for (int i = 0; i < 4; ++i) {\n\
+               comp += a[i] * t0 + sin(x);\n\
+             }\n\
+             if (comp > 10.0) {\n\
+               comp = log(comp) + y;\n\
+             }\n\
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mutation_produces_valid_and_different_programs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sampling = SamplingParams::paper_defaults();
+        let seed = seed_program();
+        for _ in 0..50 {
+            let (mutant, ops) = mutate_program(&seed, &mut rng, &sampling);
+            assert!(!ops.is_empty());
+            assert!(
+                validate(&mutant).is_empty(),
+                "ops {ops:?} produced invalid program:\n{}",
+                to_compute_source(&mutant)
+            );
+            assert_ne!(program_hash(&mutant), program_hash(&seed), "mutant identical to seed");
+            assert_eq!(mutant.precision, Precision::F64);
+        }
+    }
+
+    #[test]
+    fn each_operator_preserves_validity_on_many_seeds() {
+        let sampling = SamplingParams::paper_defaults();
+        let mut varity = VarityGenerator::new(99);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let seed = varity.generate();
+            for &op in &MutationOp::ALL {
+                let mut p = seed.clone();
+                apply(op, &mut p, &mut rng, &sampling);
+                assert!(
+                    validate(&p).is_empty(),
+                    "operator {} broke validity:\n{}",
+                    op.name(),
+                    to_compute_source(&p)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn change_constants_changes_constants_only() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let seed = seed_program();
+        let mut p = seed.clone();
+        change_constants(&mut p, &mut rng);
+        assert_ne!(program_hash(&p), program_hash(&seed));
+        // Structure (statement count, params) is untouched.
+        assert_eq!(p.body.stmts.len(), seed.body.stmts.len());
+        assert_eq!(p.params, seed.params);
+        assert_eq!(p.stmt_count(), seed.stmt_count());
+    }
+
+    #[test]
+    fn append_idiom_and_insert_intermediate_grow_the_program() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sampling = SamplingParams::paper_defaults();
+        let seed = seed_program();
+        let mut grown = seed.clone();
+        append_idiom(&mut grown, &mut rng, &sampling);
+        assert!(grown.stmt_count() > seed.stmt_count());
+        let mut with_mid = seed.clone();
+        insert_intermediate(&mut with_mid, &mut rng);
+        assert!(to_compute_source(&with_mid).contains("mid_0"));
+        assert!(validate(&with_mid).is_empty());
+        // Inserting twice picks a fresh name.
+        insert_intermediate(&mut with_mid, &mut rng);
+        assert!(to_compute_source(&with_mid).contains("mid_1"));
+        assert!(validate(&with_mid).is_empty());
+    }
+
+    #[test]
+    fn swap_math_functions_keeps_arity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let seed = llm4fp_fpir::parse_compute(
+            "void compute(double x, double y) { comp = pow(x, y) + sin(x) + fma(x, y, 1.0); }",
+        )
+        .unwrap();
+        for _ in 0..20 {
+            let mut p = seed.clone();
+            swap_math_functions(&mut p, &mut rng);
+            assert!(validate(&p).is_empty(), "{}", to_compute_source(&p));
+        }
+    }
+
+    #[test]
+    fn mutation_operator_names_are_unique() {
+        let names: std::collections::HashSet<&str> =
+            MutationOp::ALL.iter().map(|o| o.name()).collect();
+        assert_eq!(names.len(), MutationOp::ALL.len());
+    }
+}

@@ -1,0 +1,248 @@
+//! Prompt construction (Sections 2.3.1 and 2.3.2 of the paper).
+//!
+//! The three LLM-driven approaches differ only in the prompt they send:
+//!
+//! * **Direct-Prompt** — "generate a random but valid floating-point C
+//!   program", precision, high-level structure and guidelines, but no
+//!   grammar specification and no example.
+//! * **Grammar-Guided** — the same plus the grammar of Figure 2.
+//! * **Feedback-Based Mutation** — asks for a mutation of a previously
+//!   successful program, lists the allowed mutation strategies and embeds
+//!   the seed program.
+//!
+//! The [`Prompt`] struct carries both the rendered text (what a real LLM
+//! API would receive) and the structured fields the [`crate::SimulatedLlm`]
+//! consumes directly.
+
+use serde::{Deserialize, Serialize};
+
+use llm4fp_fpir::Precision;
+
+/// The generation strategy a prompt encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Direct prompting without grammar or examples.
+    DirectPrompt,
+    /// Grammar-based generation from scratch (Section 2.3.1).
+    GrammarBased,
+    /// Feedback-based mutation of a successful program (Section 2.3.2).
+    FeedbackMutation,
+}
+
+impl Strategy {
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::DirectPrompt => "direct-prompt",
+            Strategy::GrammarBased => "grammar-based",
+            Strategy::FeedbackMutation => "feedback-mutation",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The mutation strategies listed in the Feedback-Based Mutation prompt.
+pub const MUTATION_STRATEGIES: &[&str] = &[
+    "reorder or deeply nest arithmetic expressions",
+    "change numeric constants",
+    "introduce new control flow such as nested loops or conditionals",
+    "use different math library functions",
+    "insert intermediate computations",
+];
+
+/// A fully constructed prompt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prompt {
+    /// Which strategy this prompt realizes.
+    pub strategy: Strategy,
+    /// Requested floating-point precision.
+    pub precision: Precision,
+    /// Whether the grammar specification is included.
+    pub include_grammar: bool,
+    /// Seed program source for feedback mutation (None otherwise).
+    pub seed_program: Option<String>,
+    /// The rendered prompt text, as it would be sent to an LLM API.
+    pub text: String,
+}
+
+/// Builds prompts for the three strategies.
+#[derive(Debug, Clone, Default)]
+pub struct PromptBuilder {
+    precision: Precision,
+}
+
+impl PromptBuilder {
+    pub fn new(precision: Precision) -> Self {
+        PromptBuilder { precision }
+    }
+
+    /// The grammar specification of Figure 2, included verbatim in
+    /// grammar-guided prompts.
+    pub fn grammar_specification() -> &'static str {
+        r#"<function>       ::= "void" "compute" "(" <param-list> ")" "{" <block> "}"
+<param-list>     ::= <param-declaration> | <param-list> "," <param-declaration>
+<param-declaration> ::= "int" <id> | <fp-type> <id> | <fp-type> "*" <id>
+<assignment>     ::= "comp" <assign-op> <expression> ";"
+                   | <fp-type> <id> <assign-op> <expression> ";"
+<expression>     ::= <term> | "(" <expression> ")" | <expression> <op> <expression>
+<term>           ::= <identifier> | <fp-numeral>
+<block>          ::= {<assignment>}+ | <if-block> <block> | <for-loop-block> <block>
+<if-block>       ::= "if" "(" <bool-expression> ")" "{" <block> "}"
+<for-loop-block> ::= "for" "(" <loop-header> ")" "{" <block> "}"
+<bool-expression> ::= <id> <bool-op> <expression>
+<loop-header>    ::= "int" <id> ";" <id> "<" <int-numeral> ";" "++" <id>"#
+    }
+
+    /// The robustness / code-quality guidelines shared by all prompts
+    /// (Section 2.3.1): restricted headers, initialized variables, no
+    /// undefined behaviour.
+    pub fn guidelines() -> &'static str {
+        "Guidelines:\n\
+         - Use only the headers stdio.h, stdlib.h and math.h.\n\
+         - Initialize every variable before it is used.\n\
+         - Avoid undefined behavior (out-of-bounds accesses, uninitialized reads, signed overflow).\n\
+         - Keep loops bounded by small constant trip counts.\n\
+         - The program must contain exactly two functions: compute and main."
+    }
+
+    fn precision_sentence(&self) -> String {
+        format!(
+            "Use {} precision ({}) for all floating-point variables.",
+            match self.precision {
+                Precision::F64 => "double",
+                Precision::F32 => "single",
+            },
+            self.precision.c_type()
+        )
+    }
+
+    fn structure_sentence() -> &'static str {
+        "The program must define a function `compute` that takes scalar and/or pointer \
+         floating-point arguments (and optionally int arguments), performs a sequence of \
+         floating-point operations, stores the result in a variable `comp`, and prints it to \
+         standard output; `compute` is called from `main`."
+    }
+
+    /// Build a Direct-Prompt request (no grammar, no example).
+    pub fn direct_prompt(&self) -> Prompt {
+        let text = format!(
+            "Create a random but valid floating-point C program.\n{}\n{}\n{}\n\
+             Output plain code only, with no formatting or explanation.",
+            self.precision_sentence(),
+            Self::structure_sentence(),
+            Self::guidelines()
+        );
+        Prompt {
+            strategy: Strategy::DirectPrompt,
+            precision: self.precision,
+            include_grammar: false,
+            seed_program: None,
+            text,
+        }
+    }
+
+    /// Build a Grammar-Based Generation request (Section 2.3.1).
+    pub fn grammar_based(&self) -> Prompt {
+        let text = format!(
+            "Create a random but valid floating-point C program.\n{}\n{}\n\
+             The body of `compute` must follow this grammar:\n{}\n{}\n\
+             Output plain code only, with no formatting or explanation.",
+            self.precision_sentence(),
+            Self::structure_sentence(),
+            Self::grammar_specification(),
+            Self::guidelines()
+        );
+        Prompt {
+            strategy: Strategy::GrammarBased,
+            precision: self.precision,
+            include_grammar: true,
+            seed_program: None,
+            text,
+        }
+    }
+
+    /// Build a Feedback-Based Mutation request (Section 2.3.2) from a seed
+    /// program that previously triggered an inconsistency.
+    pub fn feedback_mutation(&self, seed_program: &str) -> Prompt {
+        let strategies = MUTATION_STRATEGIES
+            .iter()
+            .map(|s| format!("- {s}"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let text = format!(
+            "Change the following floating-point C program to create a new one that behaves \
+             differently.\n{}\n{}\n{}\n\
+             Consider these mutation strategies:\n{strategies}\n\
+             Here is the program to mutate:\n```c\n{}\n```\n\
+             Output plain code only, with no formatting or explanation.",
+            self.precision_sentence(),
+            Self::structure_sentence(),
+            Self::guidelines(),
+            seed_program
+        );
+        Prompt {
+            strategy: Strategy::FeedbackMutation,
+            precision: self.precision,
+            include_grammar: false,
+            seed_program: Some(seed_program.to_string()),
+            text,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_prompt_has_no_grammar_or_example() {
+        let p = PromptBuilder::new(Precision::F64).direct_prompt();
+        assert_eq!(p.strategy, Strategy::DirectPrompt);
+        assert!(!p.include_grammar);
+        assert!(p.seed_program.is_none());
+        assert!(p.text.contains("double precision"));
+        assert!(p.text.contains("plain code only"));
+        assert!(!p.text.contains("<for-loop-block>"));
+    }
+
+    #[test]
+    fn grammar_prompt_embeds_figure_2() {
+        let p = PromptBuilder::new(Precision::F32).grammar_based();
+        assert!(p.include_grammar);
+        assert!(p.text.contains("<for-loop-block>"));
+        assert!(p.text.contains("single precision"));
+        assert!(p.text.contains("stdio.h"));
+    }
+
+    #[test]
+    fn feedback_prompt_embeds_seed_and_mutation_strategies() {
+        let seed = "void compute(double x) { comp = x; }";
+        let p = PromptBuilder::new(Precision::F64).feedback_mutation(seed);
+        assert_eq!(p.strategy, Strategy::FeedbackMutation);
+        assert_eq!(p.seed_program.as_deref(), Some(seed));
+        assert!(p.text.contains(seed));
+        assert!(p.text.contains("behaves"));
+        for s in MUTATION_STRATEGIES {
+            assert!(p.text.contains(s), "missing mutation strategy: {s}");
+        }
+    }
+
+    #[test]
+    fn guidelines_mention_the_restricted_headers_and_initialization() {
+        let g = PromptBuilder::guidelines();
+        for needle in ["stdio.h", "stdlib.h", "math.h", "Initialize", "undefined behavior"] {
+            assert!(g.contains(needle), "guidelines must mention {needle}");
+        }
+    }
+
+    #[test]
+    fn strategy_names_are_stable() {
+        assert_eq!(Strategy::DirectPrompt.name(), "direct-prompt");
+        assert_eq!(Strategy::GrammarBased.to_string(), "grammar-based");
+        assert_eq!(Strategy::FeedbackMutation.name(), "feedback-mutation");
+    }
+}

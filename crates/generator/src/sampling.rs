@@ -1,0 +1,110 @@
+//! Sampling hyper-parameters of the (simulated) LLM.
+//!
+//! The paper sets `temperature = 1.2`, `frequency_penalty = 0.5` and
+//! `presence_penalty = 0.6` (Section 3.1.4). The simulated LLM maps these to
+//! concrete generator behaviour: temperature widens the structural choices
+//! taken per program, the frequency penalty discourages re-using the same
+//! math functions within a program, and the presence penalty raises the
+//! chance of introducing pattern kinds that have not appeared yet.
+
+use serde::{Deserialize, Serialize};
+
+/// LLM sampling parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingParams {
+    /// Softmax temperature (higher = more random structure).
+    pub temperature: f64,
+    /// Penalty applied to tokens (here: math functions, idiom kinds) that
+    /// already occur frequently in the current program.
+    pub frequency_penalty: f64,
+    /// Penalty applied to tokens that occur at all, encouraging new kinds.
+    pub presence_penalty: f64,
+}
+
+impl SamplingParams {
+    /// The configuration used in the paper's evaluation.
+    pub fn paper_defaults() -> Self {
+        SamplingParams { temperature: 1.2, frequency_penalty: 0.5, presence_penalty: 0.6 }
+    }
+
+    /// A deterministic low-variance configuration (useful in tests).
+    pub fn conservative() -> Self {
+        SamplingParams { temperature: 0.2, frequency_penalty: 0.0, presence_penalty: 0.0 }
+    }
+
+    /// Clamp all fields into the ranges accepted by real LLM APIs
+    /// (temperature 0..=2, penalties -2..=2).
+    pub fn clamped(self) -> Self {
+        SamplingParams {
+            temperature: self.temperature.clamp(0.0, 2.0),
+            frequency_penalty: self.frequency_penalty.clamp(-2.0, 2.0),
+            presence_penalty: self.presence_penalty.clamp(-2.0, 2.0),
+        }
+    }
+
+    /// Scale a base count of structural elements by the temperature: at
+    /// temperature 0 the generator sticks to the base amount, higher
+    /// temperatures add headroom for more statements / deeper expressions.
+    pub fn scale_count(&self, base: usize) -> usize {
+        let factor = 1.0 + (self.temperature - 1.0) * 0.5;
+        ((base as f64) * factor.max(0.25)).round().max(1.0) as usize
+    }
+
+    /// Probability of exploring a new pattern kind rather than repeating an
+    /// already-used one, derived from the presence penalty.
+    pub fn explore_probability(&self) -> f64 {
+        (0.35 + 0.25 * self.presence_penalty).clamp(0.05, 0.95)
+    }
+
+    /// Weight multiplier for a choice that has already been used `count`
+    /// times, derived from the frequency penalty.
+    pub fn repeat_weight(&self, count: usize) -> f64 {
+        let penalty = self.frequency_penalty.max(0.0);
+        1.0 / (1.0 + penalty * count as f64)
+    }
+}
+
+impl Default for SamplingParams {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_3_1_4() {
+        let p = SamplingParams::paper_defaults();
+        assert_eq!(p.temperature, 1.2);
+        assert_eq!(p.frequency_penalty, 0.5);
+        assert_eq!(p.presence_penalty, 0.6);
+        assert_eq!(SamplingParams::default(), p);
+    }
+
+    #[test]
+    fn clamping_restricts_to_api_ranges() {
+        let p = SamplingParams { temperature: 9.0, frequency_penalty: -7.0, presence_penalty: 3.0 }
+            .clamped();
+        assert_eq!(p.temperature, 2.0);
+        assert_eq!(p.frequency_penalty, -2.0);
+        assert_eq!(p.presence_penalty, 2.0);
+    }
+
+    #[test]
+    fn temperature_scales_counts_monotonically() {
+        let cold = SamplingParams { temperature: 0.0, ..SamplingParams::paper_defaults() };
+        let hot = SamplingParams { temperature: 2.0, ..SamplingParams::paper_defaults() };
+        assert!(cold.scale_count(10) < hot.scale_count(10));
+        assert!(cold.scale_count(1) >= 1);
+    }
+
+    #[test]
+    fn penalties_shape_probabilities() {
+        let p = SamplingParams::paper_defaults();
+        assert!(p.explore_probability() > SamplingParams::conservative().explore_probability());
+        assert!(p.repeat_weight(0) > p.repeat_weight(3));
+        assert_eq!(SamplingParams::conservative().repeat_weight(5), 1.0);
+    }
+}

@@ -1,0 +1,341 @@
+//! The Varity baseline: unguided random program generation from the grammar.
+//!
+//! Varity (Laguna, IPDPS 2020) synthesizes well-formed C/CUDA floating-point
+//! programs by sampling the grammar of Figure 2 directly, without any domain
+//! knowledge or feedback. The characteristic consequences, which the paper's
+//! evaluation relies on, are reproduced here:
+//!
+//! * constants are drawn from a very wide magnitude range, so overflow,
+//!   division by (near-)zero and domain errors are common — Varity's
+//!   inconsistencies therefore often involve extreme values (Figure 3);
+//! * programs are built from a small, fixed repertoire of statement shapes,
+//!   so corpus-level diversity is limited;
+//! * generation itself is essentially free compared to an LLM call, which is
+//!   why Varity has by far the lowest time cost in Table 2.
+
+use rand::prelude::*;
+
+use llm4fp_fpir::{
+    validate, AssignOp, BinOp, Block, BoolExpr, CmpOp, Expr, IndexExpr, MathFunc, Param,
+    ParamType, Precision, Program, Stmt, COMP,
+};
+
+/// Configuration of the random generator (defaults follow the scale of the
+/// programs Varity produces).
+#[derive(Debug, Clone)]
+pub struct VarityConfig {
+    /// Floating-point precision of generated programs.
+    pub precision: Precision,
+    /// Maximum number of top-level statements.
+    pub max_statements: usize,
+    /// Maximum expression depth.
+    pub max_expr_depth: usize,
+    /// Probability that a generated expression node is a math call.
+    pub call_probability: f64,
+    /// Probability that a statement is a `for` loop.
+    pub loop_probability: f64,
+    /// Probability that a statement is an `if` block.
+    pub if_probability: f64,
+}
+
+impl Default for VarityConfig {
+    fn default() -> Self {
+        VarityConfig {
+            precision: Precision::F64,
+            max_statements: 6,
+            max_expr_depth: 4,
+            call_probability: 0.18,
+            loop_probability: 0.25,
+            if_probability: 0.15,
+        }
+    }
+}
+
+/// Unguided random program generator (the Varity baseline).
+pub struct VarityGenerator {
+    rng: StdRng,
+    config: VarityConfig,
+}
+
+impl VarityGenerator {
+    /// Create a generator with the default configuration.
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(seed, VarityConfig::default())
+    }
+
+    pub fn with_config(seed: u64, config: VarityConfig) -> Self {
+        VarityGenerator { rng: StdRng::seed_from_u64(seed), config }
+    }
+
+    /// Generate one valid program. Generation is retried internally until
+    /// validation passes (the grammar-directed construction almost always
+    /// succeeds on the first attempt).
+    pub fn generate(&mut self) -> Program {
+        for _ in 0..16 {
+            let program = self.generate_once();
+            if validate(&program).is_empty() {
+                return program;
+            }
+        }
+        // Fall back to a trivially valid program (never reached in practice).
+        let mut body = Block::default();
+        body.push(Stmt::Assign { target: COMP.into(), op: AssignOp::Add, expr: Expr::Num(1.0) });
+        Program {
+            precision: self.config.precision,
+            params: vec![Param::new("x0", ParamType::Fp)],
+            body,
+        }
+    }
+
+    fn generate_once(&mut self) -> Program {
+        let precision = self.config.precision;
+        // Parameters: 1-3 fp scalars, 0-2 arrays, 0-1 ints.
+        let mut params = Vec::new();
+        let n_scalars = self.rng.gen_range(1..=3);
+        for i in 0..n_scalars {
+            params.push(Param::new(format!("var_{i}"), ParamType::Fp));
+        }
+        let n_arrays = self.rng.gen_range(0..=2);
+        let mut arrays = Vec::new();
+        for i in 0..n_arrays {
+            let len = *[4usize, 8, 16].choose(&mut self.rng).unwrap();
+            params.push(Param::new(format!("arr_{i}"), ParamType::FpArray(len)));
+            arrays.push((format!("arr_{i}"), len));
+        }
+        if self.rng.gen_bool(0.4) {
+            params.push(Param::new("n", ParamType::Int));
+        }
+        let scalars: Vec<String> = params
+            .iter()
+            .filter(|p| p.ty == ParamType::Fp)
+            .map(|p| p.name.clone())
+            .collect();
+
+        let mut ctx = Ctx { scalars, arrays, temp_count: 0, loop_depth: 0 };
+        let n_stmts = self.rng.gen_range(2..=self.config.max_statements);
+        let mut block = Block::default();
+        for _ in 0..n_stmts {
+            let stmt = self.gen_stmt(&mut ctx);
+            block.push(stmt);
+        }
+        // Ensure comp is written at least once.
+        if !block_writes_comp(&block) {
+            let expr = self.gen_expr(&mut ctx, 2, None);
+            block.push(Stmt::Assign { target: COMP.into(), op: AssignOp::Add, expr });
+        }
+        Program { precision, params, body: block }
+    }
+
+    fn gen_stmt(&mut self, ctx: &mut Ctx) -> Stmt {
+        let roll: f64 = self.rng.gen();
+        if roll < self.config.loop_probability && ctx.loop_depth < 2 {
+            return self.gen_loop(ctx);
+        }
+        if roll < self.config.loop_probability + self.config.if_probability {
+            return self.gen_if(ctx);
+        }
+        // Assignment: to comp, to a fresh temporary, or to an array element.
+        match self.rng.gen_range(0..4) {
+            0 => {
+                let name = format!("tmp_{}", ctx.temp_count);
+                ctx.temp_count += 1;
+                let expr = self.gen_expr(ctx, self.config.max_expr_depth, None);
+                ctx.scalars.push(name.clone());
+                Stmt::DeclScalar { name, expr }
+            }
+            1 if !ctx.arrays.is_empty() && ctx.loop_depth == 0 => {
+                let (array, len) = ctx.arrays.choose(&mut self.rng).unwrap().clone();
+                let index = IndexExpr::Const(self.rng.gen_range(0..len as i64));
+                let expr = self.gen_expr(ctx, self.config.max_expr_depth, None);
+                Stmt::AssignIndex { array, index, op: self.gen_assign_op(), expr }
+            }
+            _ => {
+                let op = self.gen_assign_op();
+                let expr = self.gen_expr(ctx, self.config.max_expr_depth, None);
+                Stmt::Assign { target: COMP.into(), op, expr }
+            }
+        }
+    }
+
+    fn gen_assign_op(&mut self) -> AssignOp {
+        *[AssignOp::Assign, AssignOp::Add, AssignOp::Sub, AssignOp::Mul, AssignOp::Div]
+            .choose(&mut self.rng)
+            .unwrap()
+    }
+
+    fn gen_loop(&mut self, ctx: &mut Ctx) -> Stmt {
+        let var = format!("it{}", ctx.loop_depth);
+        // Loop bounds are kept within the shortest referenced array so that
+        // indexed accesses stay in bounds.
+        let min_len = ctx.arrays.iter().map(|(_, l)| *l).min().unwrap_or(8);
+        let bound = self.rng.gen_range(2..=min_len as i64);
+        ctx.loop_depth += 1;
+        let n = self.rng.gen_range(1..=2);
+        let mut body = Block::default();
+        for _ in 0..n {
+            let op = self.gen_assign_op();
+            let expr = self.gen_expr(ctx, 3, Some(&var));
+            body.push(Stmt::Assign { target: COMP.into(), op, expr });
+        }
+        ctx.loop_depth -= 1;
+        Stmt::For { var, bound, body }
+    }
+
+    fn gen_if(&mut self, ctx: &mut Ctx) -> Stmt {
+        let lhs = self.gen_expr(ctx, 2, None);
+        let rhs = self.gen_expr(ctx, 2, None);
+        let op = *[CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Ne].choose(&mut self.rng).unwrap();
+        let expr = self.gen_expr(ctx, 3, None);
+        Stmt::If {
+            cond: BoolExpr { lhs, op, rhs },
+            then_block: Block::new(vec![Stmt::Assign {
+                target: COMP.into(),
+                op: self.gen_assign_op(),
+                expr,
+            }]),
+        }
+    }
+
+    fn gen_expr(&mut self, ctx: &mut Ctx, depth: usize, loop_var: Option<&str>) -> Expr {
+        if depth == 0 || self.rng.gen_bool(0.3) {
+            return self.gen_leaf(ctx, loop_var);
+        }
+        if self.rng.gen_bool(self.config.call_probability) {
+            let func = *MathFunc::ALL.choose(&mut self.rng).unwrap();
+            let args =
+                (0..func.arity()).map(|_| self.gen_expr(ctx, depth - 1, loop_var)).collect();
+            return Expr::Call { func, args };
+        }
+        let op = *[BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div].choose(&mut self.rng).unwrap();
+        let lhs = self.gen_expr(ctx, depth - 1, loop_var);
+        let rhs = self.gen_expr(ctx, depth - 1, loop_var);
+        let e = Expr::bin(op, lhs, rhs);
+        if self.rng.gen_bool(0.3) {
+            e.paren()
+        } else {
+            e
+        }
+    }
+
+    fn gen_leaf(&mut self, ctx: &mut Ctx, loop_var: Option<&str>) -> Expr {
+        let roll: f64 = self.rng.gen();
+        if roll < 0.40 {
+            return Expr::Num(self.wide_range_constant());
+        }
+        if roll < 0.75 || ctx.arrays.is_empty() || loop_var.is_none() {
+            if let Some(name) = ctx.scalars.choose(&mut self.rng) {
+                return Expr::Var(name.clone());
+            }
+            return Expr::Num(self.wide_range_constant());
+        }
+        let (array, _) = ctx.arrays.choose(&mut self.rng).unwrap().clone();
+        Expr::Index { array, index: IndexExpr::Var(loop_var.expect("checked above").to_string()) }
+    }
+
+    /// Varity-style constants: log-uniform over nearly the whole double
+    /// range, signed — the source of its many extreme-value results.
+    fn wide_range_constant(&mut self) -> f64 {
+        let exponent = self.rng.gen_range(-12.0..12.0);
+        let mantissa = self.rng.gen_range(1.0..10.0);
+        let v = mantissa * 10f64.powf(exponent);
+        if self.rng.gen_bool(0.5) {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+struct Ctx {
+    scalars: Vec<String>,
+    arrays: Vec<(String, usize)>,
+    temp_count: usize,
+    loop_depth: usize,
+}
+
+fn block_writes_comp(block: &Block) -> bool {
+    block.stmts.iter().any(|s| match s {
+        Stmt::Assign { target, .. } => target == COMP,
+        Stmt::If { then_block, .. } => block_writes_comp(then_block),
+        Stmt::For { body, .. } => block_writes_comp(body),
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm4fp_fpir::{program_hash, to_compute_source};
+
+    #[test]
+    fn generated_programs_are_valid_and_write_comp() {
+        let mut gen = VarityGenerator::new(1);
+        for _ in 0..100 {
+            let p = gen.generate();
+            assert!(validate(&p).is_empty(), "{}", to_compute_source(&p));
+            assert!(block_writes_comp(&p.body));
+            assert!(!p.params.is_empty());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed_and_varies_across_seeds() {
+        let a: Vec<u64> = {
+            let mut g = VarityGenerator::new(7);
+            (0..10).map(|_| program_hash(&g.generate())).collect()
+        };
+        let b: Vec<u64> = {
+            let mut g = VarityGenerator::new(7);
+            (0..10).map(|_| program_hash(&g.generate())).collect()
+        };
+        let c: Vec<u64> = {
+            let mut g = VarityGenerator::new(8);
+            (0..10).map(|_| program_hash(&g.generate())).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn programs_are_not_all_identical() {
+        let mut gen = VarityGenerator::new(3);
+        let hashes: std::collections::HashSet<u64> =
+            (0..50).map(|_| program_hash(&gen.generate())).collect();
+        assert!(hashes.len() > 40, "only {} unique programs out of 50", hashes.len());
+    }
+
+    #[test]
+    fn wide_range_constants_produce_extreme_magnitudes() {
+        let mut gen = VarityGenerator::new(11);
+        let values: Vec<f64> = (0..2000).map(|_| gen.wide_range_constant()).collect();
+        assert!(values.iter().any(|v| v.abs() > 1e9), "no large constants generated");
+        assert!(values.iter().any(|v| v.abs() < 1e-9), "no tiny constants generated");
+        assert!(values.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn f32_configuration_is_respected() {
+        let config = VarityConfig { precision: Precision::F32, ..VarityConfig::default() };
+        let mut gen = VarityGenerator::with_config(5, config);
+        let p = gen.generate();
+        assert_eq!(p.precision, Precision::F32);
+        assert!(to_compute_source(&p).contains("float"));
+    }
+
+    #[test]
+    fn varity_programs_execute_under_the_virtual_compiler() {
+        use llm4fp_compiler::{compile, CompilerConfig, CompilerId, OptLevel};
+        use llm4fp_fpir::inputs::default_inputs;
+        let mut gen = VarityGenerator::new(21);
+        let mut executed = 0;
+        for _ in 0..30 {
+            let p = gen.generate();
+            let compiled =
+                compile(&p, CompilerConfig::new(CompilerId::Clang, OptLevel::O3)).unwrap();
+            if compiled.execute(&default_inputs(&p.params)).is_ok() {
+                executed += 1;
+            }
+        }
+        assert!(executed >= 28, "almost all Varity programs should execute ({executed}/30)");
+    }
+}

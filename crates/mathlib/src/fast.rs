@@ -1,0 +1,461 @@
+//! The fast-math library: low-accuracy approximations standing in for the
+//! function replacements performed under `-ffast-math` (gcc/clang) and
+//! `--use_fast_math` (nvcc), plus flush-to-zero helpers.
+//!
+//! Real fast-math modes swap calls like `sin`, `exp`, `pow` or `1/x` for
+//! hardware approximation instructions or short polynomial kernels that are
+//! accurate to tens of bits rather than to half a ULP, and flush subnormal
+//! values to zero. The `O3_fastmath` level of the virtual compiler lowers
+//! math calls to this library, which is why that level produces the largest
+//! and most frequent inconsistencies (Tables 3–5 of the paper).
+
+use crate::kernels::{horner, pow2i, split_mantissa_exp, LN2, LOG2_E, TWO_OVER_PI};
+use crate::MathLib;
+
+/// Flush subnormal values to (signed) zero, as device fast-math and
+/// `-ffast-math -mdaz-ftz` style compilations do.
+pub fn flush_to_zero(x: f64) -> f64 {
+    if x != 0.0 && x.abs() < f64::MIN_POSITIVE {
+        0.0f64.copysign(x)
+    } else {
+        x
+    }
+}
+
+/// Fast-math function library (low-accuracy approximations).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastMathLib;
+
+impl FastMathLib {
+    pub fn new() -> Self {
+        FastMathLib
+    }
+
+    /// Fast reciprocal square root: bit-level initial guess plus two Newton
+    /// iterations (roughly 40 correct bits).
+    pub fn rsqrt(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return f64::NAN;
+        }
+        if x == 0.0 {
+            return f64::INFINITY;
+        }
+        if !x.is_finite() {
+            return if x.is_nan() { x } else { 0.0 };
+        }
+        let i = 0x5fe6_eb50_c7b5_37a9u64.wrapping_sub(x.to_bits() >> 1);
+        let mut y = f64::from_bits(i);
+        for _ in 0..3 {
+            y *= 1.5 - 0.5 * x * y * y;
+        }
+        y
+    }
+
+    /// Fast reciprocal (used by the virtual compiler when fast-math rewrites
+    /// division into multiplication by an approximate reciprocal).
+    pub fn approx_recip(&self, x: f64) -> f64 {
+        if x == 0.0 {
+            return f64::INFINITY.copysign(x);
+        }
+        if !x.is_finite() {
+            return if x.is_nan() { x } else { 0.0f64.copysign(x) };
+        }
+        let r = self.rsqrt(x.abs());
+        (r * r).copysign(x)
+    }
+
+    fn exp2_fast(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return x;
+        }
+        if x > 1024.0 {
+            return f64::INFINITY;
+        }
+        if x < -1075.0 {
+            return 0.0;
+        }
+        let k = x.floor();
+        let r = x - k; // in [0, 1)
+        // 2^r = e^(r ln 2), short Taylor kernel (relative error ~1e-6).
+        let t = r * LN2;
+        const P: [f64; 8] = [
+            1.0 / 5_040.0,
+            1.0 / 720.0,
+            1.0 / 120.0,
+            1.0 / 24.0,
+            1.0 / 6.0,
+            0.5,
+            1.0,
+            1.0,
+        ];
+        pow2i(k as i64) * horner(t, &P)
+    }
+
+    fn log2_fast(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return x;
+        }
+        if x < 0.0 {
+            return f64::NAN;
+        }
+        if x == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        if x.is_infinite() {
+            return f64::INFINITY;
+        }
+        let (mut m, mut e) = split_mantissa_exp(x);
+        if m > std::f64::consts::SQRT_2 {
+            m *= 0.5;
+            e += 1;
+        }
+        // Short atanh-series kernel: ln(m) ≈ 2(s + s³/3 + s⁵/5 + s⁷/7),
+        // relative error ~1e-8 — far less accurate than the device kernel.
+        let s = (m - 1.0) / (m + 1.0);
+        let z = s * s;
+        const P: [f64; 4] = [1.0 / 7.0, 1.0 / 5.0, 1.0 / 3.0, 1.0];
+        let ln_m = 2.0 * s * horner(z, &P);
+        e as f64 + ln_m * LOG2_E
+    }
+}
+
+impl MathLib for FastMathLib {
+    fn name(&self) -> &'static str {
+        "fast-math"
+    }
+
+    fn sin(&self, x: f64) -> f64 {
+        if !x.is_finite() {
+            return f64::NAN;
+        }
+        // Single-constant reduction (loses accuracy for large |x|, exactly
+        // like hardware fast paths) followed by a degree-7 polynomial.
+        let k = (x * TWO_OVER_PI).round();
+        let r = x - k * std::f64::consts::FRAC_PI_2;
+        let (r, quadrant) = (r, (k as i64).rem_euclid(4));
+        let s = sin_poly7(r);
+        let c = cos_poly6(r);
+        match quadrant {
+            0 => s,
+            1 => c,
+            2 => -s,
+            _ => -c,
+        }
+    }
+
+    fn cos(&self, x: f64) -> f64 {
+        if !x.is_finite() {
+            return f64::NAN;
+        }
+        let k = (x * TWO_OVER_PI).round();
+        let r = x - k * std::f64::consts::FRAC_PI_2;
+        let s = sin_poly7(r);
+        let c = cos_poly6(r);
+        match (k as i64).rem_euclid(4) {
+            0 => c,
+            1 => -s,
+            2 => -c,
+            _ => s,
+        }
+    }
+
+    fn tan(&self, x: f64) -> f64 {
+        self.sin(x) / self.cos(x)
+    }
+
+    fn asin(&self, x: f64) -> f64 {
+        if x.abs() > 1.0 || x.is_nan() {
+            return f64::NAN;
+        }
+        self.atan2(x, (1.0 - x * x).sqrt())
+    }
+
+    fn acos(&self, x: f64) -> f64 {
+        if x.abs() > 1.0 || x.is_nan() {
+            return f64::NAN;
+        }
+        std::f64::consts::FRAC_PI_2 - self.asin(x)
+    }
+
+    fn atan(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return x;
+        }
+        if x.is_infinite() {
+            return std::f64::consts::FRAC_PI_2.copysign(x);
+        }
+        let ax = x.abs();
+        let inverted = ax > 1.0;
+        let t = if inverted { 1.0 / ax } else { ax };
+        // Degree-9 odd polynomial approximation on [0, 1] (~1e-5 absolute).
+        let z = t * t;
+        const P: [f64; 5] = [
+            0.020_835_298_262_888_36,
+            -0.085_133_048_650_767_97,
+            0.180_141_838_817_674_46,
+            -0.330_299_352_260_267_2,
+            0.999_866_236_031_842_8,
+        ];
+        let r = t * horner(z, &P);
+        let r = if inverted { std::f64::consts::FRAC_PI_2 - r } else { r };
+        r.copysign(x)
+    }
+
+    fn atan2(&self, y: f64, x: f64) -> f64 {
+        use std::f64::consts::PI;
+        if x.is_nan() || y.is_nan() {
+            return f64::NAN;
+        }
+        if x == 0.0 && y == 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            return std::f64::consts::FRAC_PI_2.copysign(y);
+        }
+        let base = self.atan(y / x);
+        if x > 0.0 {
+            base
+        } else if y >= 0.0 {
+            base + PI
+        } else {
+            base - PI
+        }
+    }
+
+    fn sinh(&self, x: f64) -> f64 {
+        let e = self.exp(x);
+        0.5 * (e - 1.0 / e)
+    }
+
+    fn cosh(&self, x: f64) -> f64 {
+        let e = self.exp(x);
+        0.5 * (e + 1.0 / e)
+    }
+
+    fn tanh(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return x;
+        }
+        if x.abs() > 19.0 {
+            return 1.0f64.copysign(x);
+        }
+        let e = self.exp(2.0 * x);
+        (e - 1.0) / (e + 1.0)
+    }
+
+    fn exp(&self, x: f64) -> f64 {
+        self.exp2_fast(x * LOG2_E)
+    }
+
+    fn exp2(&self, x: f64) -> f64 {
+        self.exp2_fast(x)
+    }
+
+    fn expm1(&self, x: f64) -> f64 {
+        self.exp(x) - 1.0
+    }
+
+    fn log(&self, x: f64) -> f64 {
+        self.log2_fast(x) * LN2
+    }
+
+    fn log2(&self, x: f64) -> f64 {
+        self.log2_fast(x)
+    }
+
+    fn log10(&self, x: f64) -> f64 {
+        self.log2_fast(x) * std::f64::consts::LN_2 * std::f64::consts::LOG10_E
+    }
+
+    fn log1p(&self, x: f64) -> f64 {
+        self.log(1.0 + x)
+    }
+
+    fn sqrt(&self, x: f64) -> f64 {
+        // Approximate square root: x * rsqrt(x) with the Newton-refined
+        // reciprocal square root (not correctly rounded, unlike IEEE sqrt).
+        if x == 0.0 || x.is_nan() || x == f64::INFINITY {
+            return if x.is_sign_negative() && x != 0.0 { f64::NAN } else { x };
+        }
+        if x < 0.0 {
+            return f64::NAN;
+        }
+        x * self.rsqrt(x)
+    }
+
+    fn cbrt(&self, x: f64) -> f64 {
+        if x == 0.0 || !x.is_finite() {
+            return x;
+        }
+        let neg = x < 0.0;
+        let ax = x.abs();
+        let y = self.exp2(self.log2(ax) / 3.0);
+        if neg {
+            -y
+        } else {
+            y
+        }
+    }
+
+    fn pow(&self, x: f64, y: f64) -> f64 {
+        if y == 0.0 {
+            return 1.0;
+        }
+        if x == 1.0 {
+            return 1.0;
+        }
+        if x.is_nan() || y.is_nan() {
+            return f64::NAN;
+        }
+        if x < 0.0 {
+            // Fast-math pow does not handle the negative-base integer cases;
+            // computing through log yields NaN, mirroring __powf behaviour.
+            return f64::NAN;
+        }
+        if x == 0.0 {
+            return if y > 0.0 { 0.0 } else { f64::INFINITY };
+        }
+        self.exp2(y * self.log2(x))
+    }
+
+    fn hypot(&self, x: f64, y: f64) -> f64 {
+        // Naive formula: overflows for large inputs, exactly the kind of
+        // shortcut fast-math implementations take.
+        self.sqrt(x * x + y * y)
+    }
+}
+
+/// sin(r) for |r| ≤ π/4 with a short truncated Taylor polynomial
+/// (degree 7; relative error ~4e-7 on the interval).
+fn sin_poly7(r: f64) -> f64 {
+    const S: [f64; 3] = [-1.0 / 5_040.0, 1.0 / 120.0, -1.0 / 6.0];
+    let z = r * r;
+    r + r * z * horner(z, &S)
+}
+
+/// cos(r) for |r| ≤ π/4 with a short truncated Taylor polynomial
+/// (degree 6; absolute error ~4e-6 on the interval).
+fn cos_poly6(r: f64) -> f64 {
+    const C: [f64; 3] = [-1.0 / 720.0, 1.0 / 24.0, -0.5];
+    let z = r * r;
+    1.0 + z * horner(z, &C)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ulp::relative_error;
+    use crate::{DeviceMathLib, HostLibm};
+
+    #[test]
+    fn flush_to_zero_only_affects_subnormals() {
+        assert_eq!(flush_to_zero(1.0), 1.0);
+        assert_eq!(flush_to_zero(f64::MIN_POSITIVE), f64::MIN_POSITIVE);
+        assert_eq!(flush_to_zero(f64::MIN_POSITIVE / 2.0), 0.0);
+        assert_eq!(flush_to_zero(-f64::MIN_POSITIVE / 4.0), -0.0);
+        assert!(flush_to_zero(-f64::MIN_POSITIVE / 4.0).is_sign_negative());
+        assert_eq!(flush_to_zero(0.0), 0.0);
+        assert!(flush_to_zero(f64::NAN).is_nan());
+        assert_eq!(flush_to_zero(f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn fast_functions_are_roughly_right_but_less_accurate() {
+        let fast = FastMathLib::new();
+        let host = HostLibm::new();
+        let mut total_fast_err = 0.0;
+        let mut total_dev_err = 0.0;
+        let dev = DeviceMathLib::new();
+        for i in 1..200 {
+            let x = (i as f64) * 0.11;
+            for (f, h, d) in [
+                (fast.sin(x), host.sin(x), dev.sin(x)),
+                (fast.exp(x.min(30.0)), host.exp(x.min(30.0)), dev.exp(x.min(30.0))),
+                (fast.log(x), host.log(x), dev.log(x)),
+                (fast.sqrt(x), host.sqrt(x), dev.sqrt(x)),
+            ] {
+                let fe = relative_error(f, h);
+                assert!(fe < 2e-3, "fast result too far off at x={x}: {f} vs {h}");
+                total_fast_err += fe;
+                total_dev_err += relative_error(d, h);
+            }
+        }
+        // The fast library must be markedly less accurate than the device
+        // library — that asymmetry is what makes O3_fastmath special.
+        assert!(total_fast_err > 100.0 * total_dev_err);
+        assert!(total_fast_err > 0.0);
+    }
+
+    #[test]
+    fn fast_sqrt_is_not_correctly_rounded() {
+        let fast = FastMathLib::new();
+        let mut differs = 0;
+        for i in 1..500 {
+            let x = (i as f64) * 0.37;
+            if fast.sqrt(x).to_bits() != x.sqrt().to_bits() {
+                differs += 1;
+            }
+        }
+        assert!(differs > 100, "fast sqrt should differ from IEEE sqrt frequently");
+    }
+
+    #[test]
+    fn rsqrt_and_recip_are_close() {
+        let fast = FastMathLib::new();
+        for &x in &[0.25, 1.0, 2.0, 9.0, 1e6, 1e-6] {
+            assert!(relative_error(fast.rsqrt(x), 1.0 / x.sqrt()) < 1e-6, "rsqrt({x})");
+            assert!(relative_error(fast.approx_recip(x), 1.0 / x) < 1e-6, "recip({x})");
+        }
+        assert!(relative_error(fast.approx_recip(-4.0), -0.25) < 1e-6);
+        assert_eq!(fast.rsqrt(0.0), f64::INFINITY);
+        assert!(fast.rsqrt(-1.0).is_nan());
+        assert_eq!(fast.approx_recip(f64::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn fast_pow_drops_negative_base_support() {
+        let fast = FastMathLib::new();
+        assert!(fast.pow(-2.0, 2.0).is_nan());
+        assert_eq!(fast.pow(2.0, 0.0), 1.0);
+        assert!(relative_error(fast.pow(2.0, 10.0), 1024.0) < 1e-5);
+        assert_eq!(fast.pow(0.0, -1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn fast_hypot_overflows_where_host_does_not() {
+        let fast = FastMathLib::new();
+        let host = HostLibm::new();
+        assert!(host.hypot(1e200, 1e200).is_finite());
+        assert!(fast.hypot(1e200, 1e200).is_infinite());
+    }
+
+    #[test]
+    fn fast_special_values() {
+        let fast = FastMathLib::new();
+        assert!(fast.sin(f64::INFINITY).is_nan());
+        assert!(fast.log(-1.0).is_nan());
+        assert_eq!(fast.log(0.0), f64::NEG_INFINITY);
+        assert_eq!(fast.exp(-10000.0), 0.0);
+        assert_eq!(fast.exp(10000.0), f64::INFINITY);
+        assert_eq!(fast.tanh(100.0), 1.0);
+        assert!(fast.asin(2.0).is_nan());
+        assert!(fast.sqrt(-1.0).is_nan());
+    }
+
+    #[test]
+    fn fast_trig_inverse_and_hyperbolic_rough_accuracy() {
+        let fast = FastMathLib::new();
+        for i in -20..=20 {
+            let x = (i as f64) * 0.09;
+            assert!((fast.atan(x) - x.atan()).abs() < 1e-4, "atan({x})");
+            assert!((fast.tanh(x) - x.tanh()).abs() < 1e-4, "tanh({x})");
+            if x.abs() <= 1.0 {
+                assert!((fast.asin(x) - x.asin()).abs() < 1e-3, "asin({x})");
+                assert!((fast.acos(x) - x.acos()).abs() < 1e-3, "acos({x})");
+            }
+        }
+        for &(y, x) in &[(1.0, 2.0), (-1.0, 2.0), (1.0, -2.0), (-1.0, -2.0)] {
+            assert!((fast.atan2(y, x) - y.atan2(x)).abs() < 1e-3, "atan2({y},{x})");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! The host (reference) math library.
+//!
+//! Host compilations in the paper link against the GNU C math library. Rust's
+//! `f64` methods lower to the platform libm / LLVM intrinsics and therefore
+//! play the same role here: the accuracy reference the device and fast-math
+//! libraries are measured against.
+
+use crate::MathLib;
+
+/// Reference math library backed by the platform implementation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HostLibm;
+
+impl HostLibm {
+    pub fn new() -> Self {
+        HostLibm
+    }
+}
+
+impl MathLib for HostLibm {
+    fn name(&self) -> &'static str {
+        "host-libm"
+    }
+
+    fn sin(&self, x: f64) -> f64 {
+        x.sin()
+    }
+    fn cos(&self, x: f64) -> f64 {
+        x.cos()
+    }
+    fn tan(&self, x: f64) -> f64 {
+        x.tan()
+    }
+    fn asin(&self, x: f64) -> f64 {
+        x.asin()
+    }
+    fn acos(&self, x: f64) -> f64 {
+        x.acos()
+    }
+    fn atan(&self, x: f64) -> f64 {
+        x.atan()
+    }
+    fn atan2(&self, y: f64, x: f64) -> f64 {
+        y.atan2(x)
+    }
+    fn sinh(&self, x: f64) -> f64 {
+        x.sinh()
+    }
+    fn cosh(&self, x: f64) -> f64 {
+        x.cosh()
+    }
+    fn tanh(&self, x: f64) -> f64 {
+        x.tanh()
+    }
+    fn exp(&self, x: f64) -> f64 {
+        x.exp()
+    }
+    fn exp2(&self, x: f64) -> f64 {
+        x.exp2()
+    }
+    fn expm1(&self, x: f64) -> f64 {
+        x.exp_m1()
+    }
+    fn log(&self, x: f64) -> f64 {
+        x.ln()
+    }
+    fn log2(&self, x: f64) -> f64 {
+        x.log2()
+    }
+    fn log10(&self, x: f64) -> f64 {
+        x.log10()
+    }
+    fn log1p(&self, x: f64) -> f64 {
+        x.ln_1p()
+    }
+    fn sqrt(&self, x: f64) -> f64 {
+        x.sqrt()
+    }
+    fn cbrt(&self, x: f64) -> f64 {
+        x.cbrt()
+    }
+    fn pow(&self, x: f64, y: f64) -> f64 {
+        x.powf(y)
+    }
+    fn hypot(&self, x: f64, y: f64) -> f64 {
+        x.hypot(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_library_matches_std_bit_for_bit() {
+        let lib = HostLibm::new();
+        for &x in &[0.1, 1.0, 2.5, -3.7, 100.0, 1e-8] {
+            assert_eq!(lib.sin(x).to_bits(), x.sin().to_bits());
+            assert_eq!(lib.exp(x).to_bits(), x.exp().to_bits());
+            assert_eq!(lib.atan(x).to_bits(), x.atan().to_bits());
+        }
+        assert_eq!(lib.pow(2.0, 10.0), 1024.0);
+        assert_eq!(lib.hypot(3.0, 4.0), 5.0);
+    }
+
+    #[test]
+    fn host_library_propagates_special_values() {
+        let lib = HostLibm::new();
+        assert!(lib.sqrt(-1.0).is_nan());
+        assert!(lib.log(-1.0).is_nan());
+        assert_eq!(lib.exp(f64::NEG_INFINITY), 0.0);
+        assert_eq!(lib.exp(f64::INFINITY), f64::INFINITY);
+        assert!(lib.sin(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn host_library_name() {
+        assert_eq!(HostLibm::new().name(), "host-libm");
+    }
+}

@@ -1,0 +1,198 @@
+//! A second host math library, standing in for "a different libm build".
+//!
+//! The paper's gcc and clang host compilations both link against the GNU C
+//! library, yet still disagree on a small fraction of programs at every
+//! optimization level (Table 4: 0.03%–0.48% for gcc vs clang below
+//! `O3_fastmath`). In practice such host–host differences come from linking
+//! against different math library builds/versions or from compilers lowering
+//! a few calls to their own runtime helpers. [`HostVariantLibm`] models that:
+//! it is bit-identical to [`crate::HostLibm`] for most functions but computes
+//! a handful of composite functions (`pow`, `tanh`, `log10`, `expm1`,
+//! `cbrt`) through a different (still accurate) decomposition, so the two
+//! host personalities differ only occasionally and only by an ULP or two.
+
+use crate::MathLib;
+
+/// Host math library variant used by the `clang` compiler personality.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HostVariantLibm;
+
+impl HostVariantLibm {
+    pub fn new() -> Self {
+        HostVariantLibm
+    }
+}
+
+impl MathLib for HostVariantLibm {
+    fn name(&self) -> &'static str {
+        "host-libm-variant"
+    }
+
+    fn sin(&self, x: f64) -> f64 {
+        x.sin()
+    }
+    fn cos(&self, x: f64) -> f64 {
+        x.cos()
+    }
+    fn tan(&self, x: f64) -> f64 {
+        x.tan()
+    }
+    fn asin(&self, x: f64) -> f64 {
+        x.asin()
+    }
+    fn acos(&self, x: f64) -> f64 {
+        x.acos()
+    }
+    fn atan(&self, x: f64) -> f64 {
+        x.atan()
+    }
+    fn atan2(&self, y: f64, x: f64) -> f64 {
+        y.atan2(x)
+    }
+    fn sinh(&self, x: f64) -> f64 {
+        x.sinh()
+    }
+    fn cosh(&self, x: f64) -> f64 {
+        x.cosh()
+    }
+
+    fn tanh(&self, x: f64) -> f64 {
+        // Different decomposition: tanh(x) = expm1(2x) / (expm1(2x) + 2).
+        if x.is_nan() {
+            return x;
+        }
+        if x.abs() > 20.0 {
+            return 1.0f64.copysign(x);
+        }
+        let em = (2.0 * x.abs()).exp_m1();
+        (em / (em + 2.0)).copysign(x)
+    }
+
+    fn exp(&self, x: f64) -> f64 {
+        x.exp()
+    }
+    fn exp2(&self, x: f64) -> f64 {
+        x.exp2()
+    }
+
+    fn expm1(&self, x: f64) -> f64 {
+        // Different decomposition for moderate arguments.
+        if x.abs() > 0.125 && x.is_finite() {
+            x.exp() - 1.0
+        } else {
+            x.exp_m1()
+        }
+    }
+
+    fn log(&self, x: f64) -> f64 {
+        x.ln()
+    }
+    fn log2(&self, x: f64) -> f64 {
+        x.log2()
+    }
+
+    fn log10(&self, x: f64) -> f64 {
+        // log10(x) = ln(x) / ln(10) instead of the dedicated routine.
+        if x == 0.0 || x.is_nan() || x < 0.0 || x.is_infinite() {
+            return x.log10();
+        }
+        x.ln() * std::f64::consts::LOG10_E
+    }
+
+    fn log1p(&self, x: f64) -> f64 {
+        x.ln_1p()
+    }
+    fn sqrt(&self, x: f64) -> f64 {
+        x.sqrt()
+    }
+
+    fn cbrt(&self, x: f64) -> f64 {
+        // exp/log decomposition with a Newton polish step.
+        if x == 0.0 || !x.is_finite() {
+            return x;
+        }
+        let ax = x.abs();
+        let mut y = (ax.ln() / 3.0).exp();
+        y = (2.0 * y + ax / (y * y)) / 3.0;
+        y.copysign(x)
+    }
+
+    fn pow(&self, x: f64, y: f64) -> f64 {
+        // exp2/log2 decomposition for the general positive-base case; all
+        // special cases defer to the reference implementation (they are
+        // exact and every library agrees on them).
+        if x > 0.0 && x.is_finite() && y.is_finite() && y != 0.0 && x != 1.0 {
+            let prod = y * x.log2();
+            if prod.abs() < 1000.0 {
+                return prod.exp2();
+            }
+        }
+        x.powf(y)
+    }
+
+    fn hypot(&self, x: f64, y: f64) -> f64 {
+        x.hypot(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ulp::{relative_error, ulp_distance};
+    use crate::HostLibm;
+
+    #[test]
+    fn variant_agrees_bitwise_on_most_functions() {
+        let a = HostLibm::new();
+        let b = HostVariantLibm::new();
+        for i in 1..200 {
+            let x = (i as f64) * 0.173 - 17.0;
+            assert_eq!(a.sin(x).to_bits(), b.sin(x).to_bits());
+            assert_eq!(a.exp(x).to_bits(), b.exp(x).to_bits());
+            assert_eq!(a.atan(x).to_bits(), b.atan(x).to_bits());
+            if x > 0.0 {
+                assert_eq!(a.log(x).to_bits(), b.log(x).to_bits());
+                assert_eq!(a.sqrt(x).to_bits(), b.sqrt(x).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn variant_differs_slightly_on_composite_functions() {
+        let a = HostLibm::new();
+        let b = HostVariantLibm::new();
+        let mut differing = 0;
+        for i in 1..500 {
+            let x = (i as f64) * 0.0713 + 0.01;
+            for (va, vb) in [
+                (a.pow(x, 1.7), b.pow(x, 1.7)),
+                (a.tanh(x - 10.0), b.tanh(x - 10.0)),
+                (a.log10(x), b.log10(x)),
+                (a.cbrt(x), b.cbrt(x)),
+                (a.expm1(x - 5.0), b.expm1(x - 5.0)),
+            ] {
+                // Always numerically close ...
+                assert!(relative_error(vb, va) < 1e-12, "x={x}: {vb} vs {va}");
+                assert!(ulp_distance(va, vb) <= 64, "x={x}");
+                // ... but not always bit-identical.
+                if va.to_bits() != vb.to_bits() {
+                    differing += 1;
+                }
+            }
+        }
+        assert!(differing > 20, "variant library never disagrees ({differing})");
+    }
+
+    #[test]
+    fn variant_preserves_special_cases() {
+        let b = HostVariantLibm::new();
+        assert_eq!(b.pow(2.0, 0.0), 1.0);
+        assert_eq!(b.pow(0.0, 3.0), 0.0);
+        assert!(b.pow(-2.0, 0.5).is_nan());
+        assert_eq!(b.pow(-2.0, 3.0), -8.0);
+        assert!(b.log10(-1.0).is_nan());
+        assert_eq!(b.tanh(1e9), 1.0);
+        assert_eq!(b.cbrt(0.0), 0.0);
+        assert_eq!(b.cbrt(-8.0), -2.0);
+    }
+}

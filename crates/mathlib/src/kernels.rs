@@ -1,0 +1,245 @@
+//! Shared numeric kernels: polynomial evaluation, argument reduction and
+//! split constants used by the device and fast-math libraries.
+//!
+//! Everything here is written from scratch (no calls into the platform
+//! libm), so the [`crate::DeviceMathLib`] built on top of it is a genuinely
+//! independent implementation whose results legitimately differ from the
+//! host library by a few ULP — the same situation as CUDA's math library
+//! versus glibc.
+
+/// Evaluate a polynomial with Horner's scheme. `coeffs` are ordered from the
+/// highest degree to the constant term.
+pub fn horner(x: f64, coeffs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &c in coeffs {
+        acc = acc * x + c;
+    }
+    acc
+}
+
+/// Evaluate a polynomial with Horner's scheme using fused multiply-adds,
+/// which is how device code generators typically emit polynomial kernels.
+pub fn horner_fma(x: f64, coeffs: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    for &c in coeffs {
+        acc = acc.mul_add(x, c);
+    }
+    acc
+}
+
+/// ln(2) split into a high part (exact in the top bits) and a low
+/// correction, for Cody–Waite style reductions.
+pub const LN2_HI: f64 = 6.93147180369123816490e-01;
+/// Low part of ln(2).
+pub const LN2_LO: f64 = 1.90821492927058770002e-10;
+/// ln(2) as a single double.
+pub const LN2: f64 = std::f64::consts::LN_2;
+/// log2(e).
+pub const LOG2_E: f64 = std::f64::consts::LOG2_E;
+/// π/2 split into three parts for Cody–Waite reduction.
+pub const PIO2_1: f64 = 1.57079632673412561417e+00;
+/// Second part of π/2.
+pub const PIO2_2: f64 = 6.07710050650619224932e-11;
+/// Third part of π/2.
+pub const PIO2_3: f64 = 2.02226624879595063154e-21;
+/// 2/π.
+pub const TWO_OVER_PI: f64 = 6.36619772367581382433e-01;
+
+/// Reduce `x` to `(quadrant, r)` with `x = quadrant * π/2 + r` and
+/// `|r| <= π/4`. Uses a three-term Cody–Waite reduction, which is accurate
+/// for the argument magnitudes generated programs produce; astronomically
+/// large arguments fall back to a coarser modulo reduction first.
+pub fn reduce_pio2(x: f64) -> (i64, f64) {
+    if !x.is_finite() {
+        return (0, f64::NAN);
+    }
+    let mut x = x;
+    // Coarse pre-reduction for very large magnitudes so that the Cody–Waite
+    // multiplier below stays exactly representable.
+    if x.abs() > 1.0e9 {
+        let tau = 2.0 * std::f64::consts::PI;
+        x = x.rem_euclid(tau);
+        if x > std::f64::consts::PI {
+            x -= tau;
+        }
+    }
+    let k = (x * TWO_OVER_PI).round();
+    let r = ((x - k * PIO2_1) - k * PIO2_2) - k * PIO2_3;
+    (k as i64, r)
+}
+
+/// sin kernel on the reduced interval |r| ≤ π/4 (degree-13 minimax-style
+/// Taylor polynomial).
+pub fn sin_kernel(r: f64) -> f64 {
+    const S: [f64; 6] = [
+        1.58962301576546568060e-10,  // r^13
+        -2.50507477628578072866e-08, // r^11
+        2.75573136213857245213e-06,  // r^9
+        -1.98412698295895385996e-04, // r^7
+        8.33333333332211858878e-03,  // r^5
+        -1.66666666666666307295e-01, // r^3
+    ];
+    let z = r * r;
+    let p = horner(z, &S);
+    r + r * z * p
+}
+
+/// cos kernel on the reduced interval |r| ≤ π/4.
+pub fn cos_kernel(r: f64) -> f64 {
+    const C: [f64; 6] = [
+        -1.13596475577881948265e-11, // r^14
+        2.08757232129817482790e-09,  // r^12
+        -2.75573141792967388112e-07, // r^10
+        2.48015872888517179954e-05,  // r^8
+        -1.38888888888730564116e-03, // r^6
+        4.16666666666666019037e-02,  // r^4
+    ];
+    let z = r * r;
+    let p = horner(z, &C);
+    1.0 - 0.5 * z + z * z * p
+}
+
+/// exp kernel: e^r for |r| ≤ ln(2)/2, via a degree-14 Taylor series
+/// evaluated with Horner + FMA (the truncation error of the omitted r^15
+/// term is far below one ULP on this interval).
+pub fn exp_kernel(r: f64) -> f64 {
+    const E: [f64; 15] = [
+        1.0 / 87_178_291_200.0, // r^14 / 14!
+        1.0 / 6_227_020_800.0,
+        1.0 / 479_001_600.0,
+        1.0 / 39_916_800.0,
+        1.0 / 3_628_800.0,
+        1.0 / 362_880.0,
+        1.0 / 40_320.0,
+        1.0 / 5_040.0,
+        1.0 / 720.0,
+        1.0 / 120.0,
+        1.0 / 24.0,
+        1.0 / 6.0,
+        0.5,
+        1.0,
+        1.0,
+    ];
+    horner_fma(r, &E)
+}
+
+/// log kernel: ln(m) for m in [sqrt(1/2), sqrt(2)], via the atanh series
+/// ln(m) = 2·(s + s³/3 + s⁵/5 + ...) with s = (m-1)/(m+1).
+pub fn log_kernel(m: f64) -> f64 {
+    let s = (m - 1.0) / (m + 1.0);
+    let z = s * s;
+    const L: [f64; 9] = [
+        1.0 / 19.0,
+        1.0 / 17.0,
+        1.0 / 15.0,
+        1.0 / 13.0,
+        1.0 / 11.0,
+        1.0 / 9.0,
+        1.0 / 7.0,
+        1.0 / 5.0,
+        1.0 / 3.0,
+    ];
+    let p = horner(z, &L);
+    2.0 * (s + s * z * p)
+}
+
+/// Decompose a positive finite double into `(mantissa, exponent)` with
+/// mantissa in `[1, 2)`, like `frexp` scaled by 2. Subnormals are
+/// pre-scaled so the decomposition is exact for them as well.
+pub fn split_mantissa_exp(x: f64) -> (f64, i32) {
+    debug_assert!(x > 0.0 && x.is_finite());
+    let mut x = x;
+    let mut extra = 0i32;
+    if x < f64::MIN_POSITIVE {
+        // Scale subnormals into the normal range by 2^64.
+        x *= 18446744073709551616.0;
+        extra = -64;
+    }
+    let bits = x.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    let mantissa = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | 0x3ff0_0000_0000_0000);
+    (mantissa, exp + extra)
+}
+
+/// 2^k for integer k, saturating to 0 / +inf outside the representable
+/// exponent range.
+pub fn pow2i(k: i64) -> f64 {
+    if k < -1074 {
+        0.0
+    } else if k > 1023 {
+        f64::INFINITY
+    } else if k >= -1022 {
+        f64::from_bits(((k + 1023) as u64) << 52)
+    } else {
+        // Subnormal result: build it in two steps.
+        f64::from_bits(1u64 << (k + 1074) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ulp::relative_error;
+
+    #[test]
+    fn horner_matches_direct_evaluation() {
+        // p(x) = 2x^2 + 3x + 4
+        let p = |x: f64| 2.0 * x * x + 3.0 * x + 4.0;
+        for &x in &[0.0, 1.0, -2.5, 13.0] {
+            assert!((horner(x, &[2.0, 3.0, 4.0]) - p(x)).abs() < 1e-12);
+            assert!((horner_fma(x, &[2.0, 3.0, 4.0]) - p(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reduction_keeps_remainder_small() {
+        for i in 0..2000 {
+            let x = (i as f64) * 0.37 - 350.0;
+            let (_k, r) = reduce_pio2(x);
+            assert!(r.abs() <= std::f64::consts::FRAC_PI_4 + 1e-9, "x={x} r={r}");
+        }
+        let (_, r) = reduce_pio2(f64::NAN);
+        assert!(r.is_nan());
+    }
+
+    #[test]
+    fn kernels_are_accurate_on_their_intervals() {
+        for i in -100..=100 {
+            let r = (i as f64) / 100.0 * std::f64::consts::FRAC_PI_4;
+            assert!(relative_error(sin_kernel(r), r.sin()) < 1e-14, "sin r={r}");
+            assert!(relative_error(cos_kernel(r), r.cos()) < 1e-14, "cos r={r}");
+        }
+        for i in -100..=100 {
+            let r = (i as f64) / 100.0 * 0.35;
+            assert!(relative_error(exp_kernel(r), r.exp()) < 1e-14, "exp r={r}");
+        }
+        for i in 0..=100 {
+            let m = 0.75 + (i as f64) / 100.0 * 0.65;
+            assert!(relative_error(log_kernel(m), m.ln()) < 1e-13, "log m={m}");
+        }
+    }
+
+    #[test]
+    fn mantissa_exponent_split_reconstructs_value() {
+        for &x in &[1.0, 0.3, 123456.789, 1e-300, 5e-320, f64::MIN_POSITIVE / 8.0] {
+            let (m, e) = split_mantissa_exp(x);
+            assert!((1.0..2.0).contains(&m), "mantissa {m} for {x}");
+            let rebuilt = m * pow2i(e as i64);
+            assert_eq!(rebuilt.to_bits(), x.to_bits(), "x={x}");
+        }
+    }
+
+    #[test]
+    fn pow2i_covers_full_exponent_range() {
+        assert_eq!(pow2i(0), 1.0);
+        assert_eq!(pow2i(10), 1024.0);
+        assert_eq!(pow2i(-1), 0.5);
+        assert_eq!(pow2i(1024), f64::INFINITY);
+        assert_eq!(pow2i(-1075), 0.0);
+        assert_eq!(pow2i(-1074), f64::from_bits(1));
+        // Note: `2f64.powi(-1030)` itself underflows to 0 (it computes the
+        // reciprocal of an overflowing positive power), so compare against
+        // powf which handles the subnormal range correctly.
+        assert_eq!(pow2i(-1030), 2f64.powf(-1030.0));
+    }
+}

@@ -1,0 +1,170 @@
+//! # llm4fp-mathlib
+//!
+//! Floating-point math libraries for the LLM4FP virtual compiler.
+//!
+//! The paper's experimental setup links host binaries against the GNU C
+//! math library and device (CUDA) binaries against the CUDA math library;
+//! the two libraries return results that differ by a few ULP for many
+//! transcendental functions, and `--use_fast_math` substitutes much less
+//! accurate approximations. Those differences are a primary source of the
+//! host-vs-device inconsistencies the paper reports (RQ3).
+//!
+//! This crate rebuilds that situation from scratch with three independent
+//! implementations behind one trait:
+//!
+//! * [`HostLibm`] — the reference library (Rust's `f64` intrinsics, which on
+//!   this platform follow the correctly-rounded-ish glibc behaviour).
+//! * [`DeviceMathLib`] — an independent implementation (own argument
+//!   reduction and polynomial kernels) accurate to a few ULP, standing in
+//!   for the CUDA math library.
+//! * [`FastMathLib`] — reduced-accuracy approximations standing in for the
+//!   `-ffast-math` / `--use_fast_math` function replacements, plus
+//!   flush-to-zero helpers.
+//!
+//! The [`MathLib`] trait has one method per supported C function. The
+//! virtual compiler (`llm4fp-compiler`) chooses which implementation a
+//! `CompilerConfig` lowers math calls to.
+
+#![deny(unsafe_code)]
+
+pub mod device;
+pub mod fast;
+pub mod host;
+pub mod host_variant;
+pub mod kernels;
+pub mod ulp;
+
+pub use device::DeviceMathLib;
+pub use fast::{flush_to_zero, FastMathLib};
+pub use host::HostLibm;
+pub use host_variant::HostVariantLibm;
+pub use ulp::{ulp_distance, ulp_of};
+
+/// A double-precision C math library.
+///
+/// Every method mirrors the semantics of the corresponding `<math.h>`
+/// function, including NaN/Inf propagation and domain errors (returning NaN
+/// rather than setting `errno`). Functions that are exact for every input
+/// (`fabs`, `floor`, `fmin`, `fma`, ...) have default implementations shared
+/// by all libraries, because real host and device libraries agree on them
+/// bit for bit as well.
+pub trait MathLib: Send + Sync {
+    /// Human-readable name used in reports ("host-libm", "device", ...).
+    fn name(&self) -> &'static str;
+
+    fn sin(&self, x: f64) -> f64;
+    fn cos(&self, x: f64) -> f64;
+    fn tan(&self, x: f64) -> f64;
+    fn asin(&self, x: f64) -> f64;
+    fn acos(&self, x: f64) -> f64;
+    fn atan(&self, x: f64) -> f64;
+    fn atan2(&self, y: f64, x: f64) -> f64;
+    fn sinh(&self, x: f64) -> f64;
+    fn cosh(&self, x: f64) -> f64;
+    fn tanh(&self, x: f64) -> f64;
+    fn exp(&self, x: f64) -> f64;
+    fn exp2(&self, x: f64) -> f64;
+    fn expm1(&self, x: f64) -> f64;
+    fn log(&self, x: f64) -> f64;
+    fn log2(&self, x: f64) -> f64;
+    fn log10(&self, x: f64) -> f64;
+    fn log1p(&self, x: f64) -> f64;
+    fn sqrt(&self, x: f64) -> f64;
+    fn cbrt(&self, x: f64) -> f64;
+    fn pow(&self, x: f64, y: f64) -> f64;
+    fn hypot(&self, x: f64, y: f64) -> f64;
+
+    fn fabs(&self, x: f64) -> f64 {
+        x.abs()
+    }
+    fn floor(&self, x: f64) -> f64 {
+        x.floor()
+    }
+    fn ceil(&self, x: f64) -> f64 {
+        x.ceil()
+    }
+    fn trunc(&self, x: f64) -> f64 {
+        x.trunc()
+    }
+    fn round(&self, x: f64) -> f64 {
+        x.round()
+    }
+    fn fmin(&self, x: f64, y: f64) -> f64 {
+        // C fmin: if exactly one argument is NaN, return the other one.
+        if x.is_nan() {
+            y
+        } else if y.is_nan() {
+            x
+        } else {
+            x.min(y)
+        }
+    }
+    fn fmax(&self, x: f64, y: f64) -> f64 {
+        if x.is_nan() {
+            y
+        } else if y.is_nan() {
+            x
+        } else {
+            x.max(y)
+        }
+    }
+    fn fmod(&self, x: f64, y: f64) -> f64 {
+        if x.is_nan() || y.is_nan() || x.is_infinite() || y == 0.0 {
+            f64::NAN
+        } else if y.is_infinite() {
+            x
+        } else {
+            x % y
+        }
+    }
+    fn fma(&self, x: f64, y: f64, z: f64) -> f64 {
+        x.mul_add(y, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_fmin_fmax_handle_nan_like_c() {
+        let lib = HostLibm::new();
+        assert_eq!(lib.fmin(f64::NAN, 2.0), 2.0);
+        assert_eq!(lib.fmax(3.0, f64::NAN), 3.0);
+        assert!(lib.fmin(f64::NAN, f64::NAN).is_nan());
+        assert_eq!(lib.fmin(1.0, 2.0), 1.0);
+        assert_eq!(lib.fmax(1.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn default_fmod_matches_c_semantics() {
+        let lib = HostLibm::new();
+        assert_eq!(lib.fmod(5.5, 2.0), 1.5);
+        assert_eq!(lib.fmod(-5.5, 2.0), -1.5);
+        assert!(lib.fmod(1.0, 0.0).is_nan());
+        assert!(lib.fmod(f64::INFINITY, 2.0).is_nan());
+        assert_eq!(lib.fmod(3.25, f64::INFINITY), 3.25);
+    }
+
+    #[test]
+    fn fma_is_fused() {
+        let lib = HostLibm::new();
+        // A fused multiply-add keeps the low product bits that a separate
+        // multiply would round away: (1+2^-27)^2 - 1 differs in the last
+        // place depending on whether the square is rounded first.
+        let a = 1.0 + 2f64.powi(-27);
+        let fused = lib.fma(a, a, -1.0);
+        let unfused = a * a - 1.0;
+        assert_ne!(fused.to_bits(), unfused.to_bits());
+    }
+
+    #[test]
+    fn rounding_helpers_are_exact() {
+        let lib = HostLibm::new();
+        assert_eq!(lib.floor(2.7), 2.0);
+        assert_eq!(lib.ceil(2.2), 3.0);
+        assert_eq!(lib.trunc(-2.7), -2.0);
+        assert_eq!(lib.round(2.5), 3.0);
+        assert_eq!(lib.fabs(-0.5), 0.5);
+    }
+}

@@ -1,0 +1,103 @@
+//! Units-in-the-last-place helpers used by accuracy tests and by the
+//! experiment reports (digit/ULP differences of inconsistent results).
+
+/// The value of one ULP at `x` (the distance to the next representable
+/// number away from zero). Returns NaN for NaN and infinity for infinities.
+pub fn ulp_of(x: f64) -> f64 {
+    if x.is_nan() || x.is_infinite() {
+        return f64::NAN;
+    }
+    let ax = x.abs();
+    let next = f64::from_bits(ax.to_bits() + 1);
+    next - ax
+}
+
+/// Distance between two finite doubles measured in representable values
+/// (the "ULP distance"). Returns `u64::MAX` when the values straddle NaN or
+/// have opposite signs and are not both (near) zero.
+pub fn ulp_distance(a: f64, b: f64) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    if a == b {
+        return 0;
+    }
+    // Map to a monotone integer line: negative floats are reflected so that
+    // ordering of bit patterns matches ordering of values.
+    fn key(x: f64) -> i64 {
+        let bits = x.to_bits() as i64;
+        if bits < 0 {
+            i64::MIN.wrapping_add(bits.wrapping_neg())
+        } else {
+            bits
+        }
+    }
+    let (ka, kb) = (key(a), key(b));
+    ka.abs_diff(kb)
+}
+
+/// True when `a` and `b` are within `max_ulps` representable values of each
+/// other (or both NaN).
+pub fn within_ulps(a: f64, b: f64, max_ulps: u64) -> bool {
+    if a.is_nan() && b.is_nan() {
+        return true;
+    }
+    ulp_distance(a, b) <= max_ulps
+}
+
+/// Relative error `|a - b| / |b|`, with sensible handling of zero and
+/// non-finite reference values.
+pub fn relative_error(a: f64, b: f64) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    if a.is_nan() || b.is_nan() {
+        return f64::INFINITY;
+    }
+    if b == 0.0 {
+        return a.abs();
+    }
+    ((a - b) / b).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_of_one_is_machine_epsilon_related() {
+        assert_eq!(ulp_of(1.0), f64::EPSILON);
+        assert!(ulp_of(0.0) > 0.0);
+        assert!(ulp_of(f64::NAN).is_nan());
+        assert!(ulp_of(f64::INFINITY).is_nan());
+    }
+
+    #[test]
+    fn ulp_distance_counts_representable_steps() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        let next = f64::from_bits(1.0f64.to_bits() + 1);
+        assert_eq!(ulp_distance(1.0, next), 1);
+        assert_eq!(ulp_distance(next, 1.0), 1);
+        assert_eq!(ulp_distance(1.0, f64::NAN), u64::MAX);
+    }
+
+    #[test]
+    fn ulp_distance_crosses_zero_correctly() {
+        let pos = f64::from_bits(1); // smallest positive subnormal
+        let neg = -pos;
+        assert_eq!(ulp_distance(pos, neg), 2);
+        assert_eq!(ulp_distance(0.0, pos), 1);
+        assert_eq!(ulp_distance(-0.0, 0.0), 0);
+    }
+
+    #[test]
+    fn within_ulps_and_relative_error() {
+        assert!(within_ulps(1.0, 1.0 + f64::EPSILON, 1));
+        assert!(!within_ulps(1.0, 1.1, 4));
+        assert!(within_ulps(f64::NAN, f64::NAN, 0));
+        assert_eq!(relative_error(2.0, 2.0), 0.0);
+        assert!(relative_error(2.0 + 1e-10, 2.0) < 1e-9);
+        assert_eq!(relative_error(3.0, 0.0), 3.0);
+        assert!(relative_error(f64::NAN, 1.0).is_infinite());
+    }
+}

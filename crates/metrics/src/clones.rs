@@ -1,0 +1,208 @@
+//! NiCad-style clone detection (Type-1, Type-2 and Type-2c).
+//!
+//! * **Type-1** — identical code up to whitespace and comments.
+//! * **Type-2** — identical code up to identifiers, literals and types
+//!   (every identifier/literal/type abstracted to a placeholder).
+//! * **Type-2c** — NiCad's stricter "consistent renaming" variant:
+//!   identifiers are renamed by first-occurrence order (so a clone must
+//!   rename variables consistently), literals and types are kept.
+//!
+//! The paper runs NiCad over each approach's 1,000 generated programs and
+//! reports that none of these clone types occur; [`detect_clones`]
+//! reproduces that check.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use llm4fp_fpir::{tokenize, TokenKind};
+
+/// The clone types considered (Type-3/4 are intentionally out of scope, as
+/// in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CloneType {
+    Type1,
+    Type2,
+    Type2c,
+}
+
+impl CloneType {
+    pub const ALL: [CloneType; 3] = [CloneType::Type1, CloneType::Type2, CloneType::Type2c];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CloneType::Type1 => "Type-1",
+            CloneType::Type2 => "Type-2",
+            CloneType::Type2c => "Type-2c",
+        }
+    }
+}
+
+/// A group of programs (by corpus index) that are clones of one another.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CloneClass {
+    pub clone_type: CloneType,
+    pub members: Vec<usize>,
+}
+
+/// Result of clone detection over a corpus.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CloneReport {
+    pub classes: Vec<CloneClass>,
+}
+
+impl CloneReport {
+    /// Number of clone classes of a given type.
+    pub fn class_count(&self, clone_type: CloneType) -> usize {
+        self.classes.iter().filter(|c| c.clone_type == clone_type).count()
+    }
+
+    /// Number of clone *pairs* of a given type (each class of size k
+    /// contributes k·(k−1)/2 pairs).
+    pub fn pair_count(&self, clone_type: CloneType) -> usize {
+        self.classes
+            .iter()
+            .filter(|c| c.clone_type == clone_type)
+            .map(|c| c.members.len() * (c.members.len() - 1) / 2)
+            .sum()
+    }
+
+    /// True when no clones of any considered type were found — the outcome
+    /// the paper reports for all four approaches.
+    pub fn is_clone_free(&self) -> bool {
+        self.classes.is_empty()
+    }
+}
+
+/// Normalize a program for Type-1 comparison: the token texts joined with
+/// single spaces (whitespace- and comment-insensitive).
+pub fn normalize_type1(source: &str) -> String {
+    tokenize(source).into_iter().map(|t| t.text).collect::<Vec<_>>().join(" ")
+}
+
+/// Normalize for Type-2: identifiers, literals and type keywords abstracted.
+pub fn normalize_type2(source: &str) -> String {
+    tokenize(source)
+        .into_iter()
+        .map(|t| match t.kind {
+            TokenKind::Ident => "ID".to_string(),
+            TokenKind::IntLit | TokenKind::FpLit => "LIT".to_string(),
+            TokenKind::Keyword if matches!(t.text.as_str(), "double" | "float" | "int") => {
+                "TYPE".to_string()
+            }
+            _ => t.text,
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Normalize for Type-2c: identifiers renamed consistently by first
+/// occurrence (`id0`, `id1`, ...), literals and types preserved.
+pub fn normalize_type2c(source: &str) -> String {
+    let mut renames: HashMap<String, String> = HashMap::new();
+    tokenize(source)
+        .into_iter()
+        .map(|t| match t.kind {
+            TokenKind::Ident => {
+                let next = format!("id{}", renames.len());
+                renames.entry(t.text).or_insert(next).clone()
+            }
+            _ => t.text,
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Detect clone classes of all three types over a corpus of program sources.
+pub fn detect_clones(sources: &[String]) -> CloneReport {
+    let mut report = CloneReport::default();
+    for (clone_type, normalizer) in [
+        (CloneType::Type1, normalize_type1 as fn(&str) -> String),
+        (CloneType::Type2, normalize_type2 as fn(&str) -> String),
+        (CloneType::Type2c, normalize_type2c as fn(&str) -> String),
+    ] {
+        let mut buckets: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, src) in sources.iter().enumerate() {
+            buckets.entry(normalizer(src)).or_default().push(i);
+        }
+        let mut classes: Vec<CloneClass> = buckets
+            .into_values()
+            .filter(|members| members.len() > 1)
+            .map(|members| CloneClass { clone_type, members })
+            .collect();
+        classes.sort_by(|a, b| a.members.cmp(&b.members));
+        report.classes.extend(classes);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = "void compute(double x) {\n    double comp = 0.0;\n    comp = x * 2.0 + 1.0;\n}";
+
+    #[test]
+    fn whitespace_variants_are_type1_clones() {
+        let reformatted = "void compute(double x){double comp=0.0; /* c */ comp = x*2.0+1.0;}";
+        let report = detect_clones(&[BASE.to_string(), reformatted.to_string()]);
+        assert_eq!(report.class_count(CloneType::Type1), 1);
+        assert_eq!(report.pair_count(CloneType::Type1), 1);
+        // A Type-1 clone is necessarily also Type-2 and Type-2c.
+        assert_eq!(report.class_count(CloneType::Type2), 1);
+        assert_eq!(report.class_count(CloneType::Type2c), 1);
+        assert!(!report.is_clone_free());
+    }
+
+    #[test]
+    fn renamed_programs_are_type2_and_type2c_but_not_type1() {
+        let renamed = "void compute(double y) {\n    double comp = 0.0;\n    comp = y * 2.0 + 1.0;\n}";
+        let report = detect_clones(&[BASE.to_string(), renamed.to_string()]);
+        assert_eq!(report.class_count(CloneType::Type1), 0);
+        assert_eq!(report.class_count(CloneType::Type2), 1);
+        assert_eq!(report.class_count(CloneType::Type2c), 1);
+    }
+
+    #[test]
+    fn changed_literals_are_type2_but_not_type2c() {
+        let changed = "void compute(double x) {\n    double comp = 0.0;\n    comp = x * 7.5 + 1.0;\n}";
+        let report = detect_clones(&[BASE.to_string(), changed.to_string()]);
+        assert_eq!(report.class_count(CloneType::Type1), 0);
+        assert_eq!(report.class_count(CloneType::Type2), 1);
+        assert_eq!(report.class_count(CloneType::Type2c), 0);
+    }
+
+    #[test]
+    fn inconsistent_renaming_is_not_type2c() {
+        // x is renamed to two different identifiers in different uses.
+        let a = "void compute(double x) { double comp = 0.0; comp = x + x; }";
+        let b = "void compute(double u) { double comp = 0.0; comp = u + comp; }";
+        let report = detect_clones(&[a.to_string(), b.to_string()]);
+        assert_eq!(report.class_count(CloneType::Type2c), 0);
+        // But abstracting all identifiers makes them Type-2 clones.
+        assert_eq!(report.class_count(CloneType::Type2), 1);
+    }
+
+    #[test]
+    fn structurally_different_programs_are_clone_free() {
+        let other = "void compute(double x) {\n    double comp = 0.0;\n    for (int i = 0; i < 3; ++i) { comp += sin(x); }\n}";
+        let report = detect_clones(&[BASE.to_string(), other.to_string()]);
+        assert!(report.is_clone_free());
+        for t in CloneType::ALL {
+            assert_eq!(report.class_count(t), 0, "{}", t.name());
+            assert_eq!(report.pair_count(t), 0);
+        }
+    }
+
+    #[test]
+    fn clone_classes_group_all_members() {
+        let copy1 = BASE.to_string();
+        let copy2 = BASE.replace("    ", "\t");
+        let copy3 = format!("{BASE}\n");
+        let report = detect_clones(&[copy1, copy2, copy3]);
+        assert_eq!(report.class_count(CloneType::Type1), 1);
+        assert_eq!(report.pair_count(CloneType::Type1), 3);
+        let class = report.classes.iter().find(|c| c.clone_type == CloneType::Type1).unwrap();
+        assert_eq!(class.members, vec![0, 1, 2]);
+    }
+}

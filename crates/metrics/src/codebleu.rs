@@ -1,0 +1,401 @@
+//! CodeBLEU (Ren et al., 2020), reimplemented over the LLM4FP token stream
+//! and AST.
+//!
+//! CodeBLEU is a weighted combination of four components:
+//!
+//! 1. **BLEU** — standard n-gram precision (n = 1..4) with brevity penalty;
+//! 2. **weighted n-gram match** — the same computation with n-grams that
+//!    contain language keywords given a higher weight;
+//! 3. **syntactic AST match** — the fraction of the candidate's AST subtrees
+//!    that also occur in the reference's AST (identifiers and literal values
+//!    abstracted away);
+//! 4. **semantic data-flow match** — the fraction of the candidate's
+//!    def-use pairs (with variables normalized by first-occurrence order)
+//!    that also occur in the reference.
+//!
+//! A *lower* pairwise score over a program corpus indicates more diverse
+//! programs, which is how the paper uses the metric.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use llm4fp_fpir::{
+    parse_compute, tokenize, Block, Expr, Program, Stmt, Token, TokenKind,
+};
+
+/// Component weights; the reference implementation defaults to 0.25 each.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CodeBleuWeights {
+    pub ngram: f64,
+    pub weighted_ngram: f64,
+    pub syntax: f64,
+    pub dataflow: f64,
+}
+
+impl Default for CodeBleuWeights {
+    fn default() -> Self {
+        CodeBleuWeights { ngram: 0.25, weighted_ngram: 0.25, syntax: 0.25, dataflow: 0.25 }
+    }
+}
+
+/// The four component scores plus the combined value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CodeBleuBreakdown {
+    pub bleu: f64,
+    pub weighted_bleu: f64,
+    pub syntax_match: f64,
+    pub dataflow_match: f64,
+    pub combined: f64,
+}
+
+/// Compute CodeBLEU of `candidate` against `reference` (both C source of a
+/// `compute` function). Falls back gracefully when a program cannot be
+/// parsed: the AST and data-flow components are then computed from whatever
+/// structure is available (0 for unparseable candidates).
+pub fn codebleu(candidate: &str, reference: &str, weights: CodeBleuWeights) -> CodeBleuBreakdown {
+    let cand_tokens = tokenize(candidate);
+    let ref_tokens = tokenize(reference);
+    let bleu = bleu_score(&cand_tokens, &ref_tokens, false);
+    let weighted_bleu = bleu_score(&cand_tokens, &ref_tokens, true);
+    let (syntax_match, dataflow_match) = match (parse_compute(candidate), parse_compute(reference))
+    {
+        (Ok(c), Ok(r)) => (ast_match(&c, &r), dataflow_match(&c, &r)),
+        _ => (0.0, 0.0),
+    };
+    let combined = weights.ngram * bleu
+        + weights.weighted_ngram * weighted_bleu
+        + weights.syntax * syntax_match
+        + weights.dataflow * dataflow_match;
+    CodeBleuBreakdown { bleu, weighted_bleu, syntax_match, dataflow_match, combined }
+}
+
+/// Convenience: CodeBLEU with the default 0.25/0.25/0.25/0.25 weights.
+pub fn codebleu_default(candidate: &str, reference: &str) -> CodeBleuBreakdown {
+    codebleu(candidate, reference, CodeBleuWeights::default())
+}
+
+// ---------------------------------------------------------------------------
+// BLEU / weighted BLEU
+// ---------------------------------------------------------------------------
+
+fn token_weight(token: &Token, weighted: bool) -> f64 {
+    if weighted && token.kind == TokenKind::Keyword {
+        4.0
+    } else {
+        1.0
+    }
+}
+
+fn ngram_counts(tokens: &[Token], n: usize, weighted: bool) -> HashMap<Vec<&str>, f64> {
+    let mut counts: HashMap<Vec<&str>, f64> = HashMap::new();
+    if tokens.len() < n {
+        return counts;
+    }
+    for window in tokens.windows(n) {
+        let key: Vec<&str> = window.iter().map(|t| t.text.as_str()).collect();
+        let weight: f64 =
+            window.iter().map(|t| token_weight(t, weighted)).sum::<f64>() / n as f64;
+        *counts.entry(key).or_insert(0.0) += weight;
+    }
+    counts
+}
+
+fn modified_precision(cand: &[Token], reference: &[Token], n: usize, weighted: bool) -> f64 {
+    let cand_counts = ngram_counts(cand, n, weighted);
+    if cand_counts.is_empty() {
+        return 0.0;
+    }
+    let ref_counts = ngram_counts(reference, n, weighted);
+    let mut matched = 0.0;
+    let mut total = 0.0;
+    for (gram, count) in &cand_counts {
+        total += count;
+        let clip = ref_counts.get(gram).copied().unwrap_or(0.0);
+        matched += count.min(clip);
+    }
+    if total == 0.0 {
+        0.0
+    } else {
+        matched / total
+    }
+}
+
+fn bleu_score(cand: &[Token], reference: &[Token], weighted: bool) -> f64 {
+    if cand.is_empty() || reference.is_empty() {
+        return 0.0;
+    }
+    const MAX_N: usize = 4;
+    // Smoothed geometric mean of the modified precisions (smoothing keeps a
+    // single empty precision from zeroing the whole score, as in the common
+    // "add-epsilon" BLEU smoothing).
+    let mut log_sum = 0.0;
+    for n in 1..=MAX_N {
+        let p = modified_precision(cand, reference, n, weighted).max(1e-6);
+        log_sum += p.ln() / MAX_N as f64;
+    }
+    let precision = log_sum.exp();
+    // Brevity penalty.
+    let c = cand.len() as f64;
+    let r = reference.len() as f64;
+    let bp = if c >= r { 1.0 } else { (1.0 - r / c).exp() };
+    (precision * bp).clamp(0.0, 1.0)
+}
+
+// ---------------------------------------------------------------------------
+// AST subtree match
+// ---------------------------------------------------------------------------
+
+/// Collect abstracted shapes of every expression subtree and every statement
+/// in the program. Identifiers and literal values are replaced by
+/// placeholders so the comparison is purely structural.
+fn collect_shapes(program: &Program) -> Vec<String> {
+    let mut shapes = Vec::new();
+    collect_block(&program.body, &mut shapes);
+    shapes
+}
+
+fn collect_block(block: &Block, shapes: &mut Vec<String>) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Assign { op, expr, .. } => {
+                let e = expr_shape(expr, shapes);
+                shapes.push(format!("assign({op:?},{e})"));
+            }
+            Stmt::DeclScalar { expr, .. } => {
+                let e = expr_shape(expr, shapes);
+                shapes.push(format!("decl({e})"));
+            }
+            Stmt::DeclArray { size, .. } => shapes.push(format!("declarray({size})")),
+            Stmt::AssignIndex { op, expr, .. } => {
+                let e = expr_shape(expr, shapes);
+                shapes.push(format!("store({op:?},{e})"));
+            }
+            Stmt::If { cond, then_block } => {
+                let lhs = expr_shape(&cond.lhs, shapes);
+                let rhs = expr_shape(&cond.rhs, shapes);
+                shapes.push(format!("if({:?},{lhs},{rhs})", cond.op));
+                collect_block(then_block, shapes);
+            }
+            Stmt::For { body, .. } => {
+                shapes.push("for".to_string());
+                collect_block(body, shapes);
+            }
+        }
+    }
+}
+
+fn expr_shape(expr: &Expr, shapes: &mut Vec<String>) -> String {
+    let shape = match expr {
+        Expr::Num(_) => "num".to_string(),
+        Expr::Int(_) => "int".to_string(),
+        Expr::Var(_) => "var".to_string(),
+        Expr::Index { .. } => "index".to_string(),
+        Expr::Paren(inner) => format!("({})", expr_shape(inner, shapes)),
+        Expr::Neg(inner) => format!("neg({})", expr_shape(inner, shapes)),
+        Expr::Bin { op, lhs, rhs } => {
+            let l = expr_shape(lhs, shapes);
+            let r = expr_shape(rhs, shapes);
+            format!("bin({op:?},{l},{r})")
+        }
+        Expr::Call { func, args } => {
+            let inner: Vec<String> = args.iter().map(|a| expr_shape(a, shapes)).collect();
+            format!("call({},{})", func.c_name(), inner.join(","))
+        }
+    };
+    // Every non-leaf subtree contributes to the shape multiset.
+    if !matches!(expr, Expr::Num(_) | Expr::Int(_) | Expr::Var(_)) {
+        shapes.push(shape.clone());
+    }
+    shape
+}
+
+fn ast_match(candidate: &Program, reference: &Program) -> f64 {
+    let cand = collect_shapes(candidate);
+    if cand.is_empty() {
+        return 0.0;
+    }
+    let mut ref_counts: HashMap<String, usize> = HashMap::new();
+    for s in collect_shapes(reference) {
+        *ref_counts.entry(s).or_default() += 1;
+    }
+    let mut matched = 0usize;
+    for s in &cand {
+        if let Some(c) = ref_counts.get_mut(s) {
+            if *c > 0 {
+                *c -= 1;
+                matched += 1;
+            }
+        }
+    }
+    matched as f64 / cand.len() as f64
+}
+
+// ---------------------------------------------------------------------------
+// Data-flow match
+// ---------------------------------------------------------------------------
+
+/// Def-use edges with variable names normalized by first occurrence order,
+/// so that `a = b + c` and `x = y + z` produce identical edges.
+fn dataflow_edges(program: &Program) -> Vec<(String, String)> {
+    let mut renamer: HashMap<String, String> = HashMap::new();
+    let mut edges = Vec::new();
+    collect_dataflow(&program.body, &mut renamer, &mut edges);
+    edges
+}
+
+fn canon(name: &str, renamer: &mut HashMap<String, String>) -> String {
+    let next = format!("v{}", renamer.len());
+    renamer.entry(name.to_string()).or_insert(next).clone()
+}
+
+fn collect_dataflow(
+    block: &Block,
+    renamer: &mut HashMap<String, String>,
+    edges: &mut Vec<(String, String)>,
+) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Assign { target, expr, .. } | Stmt::DeclScalar { name: target, expr } => {
+                let uses = expr.referenced_vars();
+                let def = canon(target, renamer);
+                for u in uses {
+                    let use_c = canon(&u, renamer);
+                    edges.push((def.clone(), use_c));
+                }
+            }
+            Stmt::AssignIndex { array, expr, .. } => {
+                let def = canon(array, renamer);
+                for u in expr.referenced_vars() {
+                    let use_c = canon(&u, renamer);
+                    edges.push((def.clone(), use_c));
+                }
+            }
+            Stmt::DeclArray { name, .. } => {
+                let _ = canon(name, renamer);
+            }
+            Stmt::If { cond, then_block } => {
+                for u in cond.lhs.referenced_vars().into_iter().chain(cond.rhs.referenced_vars()) {
+                    let use_c = canon(&u, renamer);
+                    edges.push(("cond".to_string(), use_c));
+                }
+                collect_dataflow(then_block, renamer, edges);
+            }
+            Stmt::For { var, body, .. } => {
+                let _ = canon(var, renamer);
+                collect_dataflow(body, renamer, edges);
+            }
+        }
+    }
+}
+
+fn dataflow_match(candidate: &Program, reference: &Program) -> f64 {
+    let cand = dataflow_edges(candidate);
+    if cand.is_empty() {
+        // No data flow at all: treat as fully matched only if the reference
+        // also has none (both are trivial programs).
+        return if dataflow_edges(reference).is_empty() { 1.0 } else { 0.0 };
+    }
+    let mut ref_counts: HashMap<(String, String), usize> = HashMap::new();
+    for e in dataflow_edges(reference) {
+        *ref_counts.entry(e).or_default() += 1;
+    }
+    let mut matched = 0usize;
+    for e in &cand {
+        if let Some(c) = ref_counts.get_mut(e) {
+            if *c > 0 {
+                *c -= 1;
+                matched += 1;
+            }
+        }
+    }
+    matched as f64 / cand.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROG_A: &str = "void compute(double x, double y) {\n\
+                          double comp = 0.0;\n\
+                          double t0 = x * 0.5;\n\
+                          for (int i = 0; i < 4; ++i) {\n\
+                            comp += t0 * y + sin(x);\n\
+                          }\n\
+                          }";
+
+    const PROG_B: &str = "void compute(double a, double b) {\n\
+                          double comp = 0.0;\n\
+                          double s = a * 2.25;\n\
+                          for (int k = 0; k < 4; ++k) {\n\
+                            comp += s * b + sin(a);\n\
+                          }\n\
+                          }";
+
+    const PROG_C: &str = "void compute(double *buf, double gain) {\n\
+                          double comp = 0.0;\n\
+                          if (gain > 1.0) {\n\
+                            comp = log(gain) / 3.0;\n\
+                          }\n\
+                          for (int i = 0; i < 8; ++i) {\n\
+                            buf[i] *= gain;\n\
+                            comp += exp(buf[i] / 100.0) - 1.0;\n\
+                          }\n\
+                          }";
+
+    #[test]
+    fn identical_programs_score_one() {
+        let b = codebleu_default(PROG_A, PROG_A);
+        assert!((b.bleu - 1.0).abs() < 1e-9, "{b:?}");
+        assert!((b.weighted_bleu - 1.0).abs() < 1e-9);
+        assert!((b.syntax_match - 1.0).abs() < 1e-9);
+        assert!((b.dataflow_match - 1.0).abs() < 1e-9);
+        assert!((b.combined - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn renamed_programs_score_high_but_not_one() {
+        let b = codebleu_default(PROG_A, PROG_B);
+        // Same structure, different identifiers/constants: syntax and
+        // data-flow components are ~1, token components lower.
+        assert!(b.syntax_match > 0.9, "{b:?}");
+        assert!(b.dataflow_match > 0.9, "{b:?}");
+        assert!(b.bleu < 0.9, "{b:?}");
+        assert!(b.combined > 0.5 && b.combined < 1.0, "{b:?}");
+    }
+
+    #[test]
+    fn structurally_different_programs_score_low() {
+        let similar = codebleu_default(PROG_A, PROG_B).combined;
+        let different = codebleu_default(PROG_A, PROG_C).combined;
+        assert!(different < similar, "different={different} similar={similar}");
+        assert!(different < 0.55, "different={different}");
+    }
+
+    #[test]
+    fn scores_are_bounded_and_handle_unparseable_input() {
+        for (a, b) in [(PROG_A, PROG_C), (PROG_C, PROG_A), ("not c code", PROG_A), (PROG_A, "x")] {
+            let s = codebleu_default(a, b);
+            for v in [s.bleu, s.weighted_bleu, s.syntax_match, s.dataflow_match, s.combined] {
+                assert!((0.0..=1.0).contains(&v), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn weights_change_the_combination() {
+        let only_syntax = CodeBleuWeights { ngram: 0.0, weighted_ngram: 0.0, syntax: 1.0, dataflow: 0.0 };
+        let s = codebleu(PROG_A, PROG_B, only_syntax);
+        assert!((s.combined - s.syntax_match).abs() < 1e-12);
+    }
+
+    #[test]
+    fn keyword_weighting_raises_scores_for_keyword_heavy_overlap() {
+        // Two programs sharing control-flow keywords but different payloads:
+        // the weighted variant should not be lower than plain BLEU.
+        let a = "void compute(double x) { double comp = 0.0; for (int i = 0; i < 3; ++i) { comp += x; } }";
+        let c = "void compute(double q) { double comp = 0.0; for (int j = 0; j < 9; ++j) { comp *= q - 1.5; } }";
+        let s = codebleu_default(a, c);
+        assert!(s.weighted_bleu >= s.bleu - 1e-9, "{s:?}");
+    }
+}

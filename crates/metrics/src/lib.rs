@@ -1,0 +1,23 @@
+//! # llm4fp-metrics
+//!
+//! Program-diversity metrics used in the paper's evaluation (Section 3.2.2):
+//!
+//! * [`codebleu`] — the CodeBLEU similarity score (n-gram BLEU, weighted
+//!   n-gram match, AST subtree match and data-flow match), computed pairwise
+//!   over a corpus of generated programs. Lower average pairwise CodeBLEU
+//!   means a more diverse corpus (Table 2's last column).
+//! * [`clones`] — NiCad-style detection of Type-1, Type-2 and Type-2c code
+//!   clones over the corpus (the paper reports that no clones of these types
+//!   are found for any approach).
+//! * [`corpus`] — corpus-level helpers: parallel pairwise averaging and the
+//!   combined [`corpus::DiversityReport`].
+
+#![deny(unsafe_code)]
+
+pub mod clones;
+pub mod codebleu;
+pub mod corpus;
+
+pub use clones::{detect_clones, CloneReport, CloneType};
+pub use codebleu::{codebleu, CodeBleuBreakdown, CodeBleuWeights};
+pub use corpus::{average_pairwise_codebleu, DiversityReport};

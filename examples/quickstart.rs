@@ -1,0 +1,59 @@
+//! Quickstart: write a small floating-point program, compile it under two
+//! compiler configurations of the virtual matrix, and see whether their
+//! results differ bit for bit.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use llm4fp_suite::compiler::{compile, CompilerConfig, CompilerId, OptLevel};
+use llm4fp_suite::difftest::DiffTester;
+use llm4fp_suite::fpir::{parse_compute, InputSet, InputValue};
+
+fn main() {
+    // A tiny HPC-flavoured kernel in the Varity/LLM4FP grammar.
+    let source = "void compute(double x, double y, double *a) {\n\
+                  double comp = 0.0;\n\
+                  double scale = sin(x) * 0.5 + 1.0;\n\
+                  for (int i = 0; i < 8; ++i) {\n\
+                      comp += a[i] * scale + exp(y / 16.0);\n\
+                  }\n\
+                  comp /= hypot(x, y) + 1.0;\n\
+                  }";
+    let program = parse_compute(source).expect("the program fits the grammar");
+    let inputs = InputSet::new()
+        .with("x", InputValue::Fp(1.25))
+        .with("y", InputValue::Fp(-2.5))
+        .with("a", InputValue::FpArray(vec![0.5, 1.5, -2.25, 3.0, 0.125, -0.75, 2.0, 1.0]));
+
+    // Compile the same program as gcc -O0 (strict) and nvcc -O3 (device).
+    let host = compile(&program, CompilerConfig::new(CompilerId::Gcc, OptLevel::O0Nofma)).unwrap();
+    let device = compile(&program, CompilerConfig::new(CompilerId::Nvcc, OptLevel::O3)).unwrap();
+    let host_result = host.execute(&inputs).unwrap();
+    let device_result = device.execute(&inputs).unwrap();
+
+    println!("host   (gcc @ O0_nofma): {}  ({:+.17e})", host_result.hex(), host_result.value);
+    println!("device (nvcc @ O3)     : {}  ({:+.17e})", device_result.hex(), device_result.value);
+    if host_result.bits() != device_result.bits() {
+        println!("=> the two configurations disagree in their bit patterns\n");
+    } else {
+        println!("=> the two configurations agree exactly\n");
+    }
+
+    // Or simply run the whole 3-compiler x 6-level matrix at once.
+    let report = DiffTester::new().run(&program, &inputs);
+    println!(
+        "full matrix: {} configurations ran, {} pairwise inconsistencies found",
+        report.ok_count(),
+        report.records.len()
+    );
+    for rec in report.records.iter().take(5) {
+        println!(
+            "  {:>12}  {} vs {}: {} hex digits differ ({} vs {})",
+            rec.level.name(),
+            rec.pair.0.name(),
+            rec.pair.1.name(),
+            rec.digit_diff,
+            format!("{:016x}", rec.bits_a),
+            format!("{:016x}", rec.bits_b),
+        );
+    }
+}

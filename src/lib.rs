@@ -1,0 +1,37 @@
+//! # llm4fp-suite
+//!
+//! Umbrella crate of the LLM4FP reproduction workspace. It re-exports every
+//! member crate under one roof so that the runnable examples in `examples/`
+//! and the cross-crate integration tests in `tests/` have a single,
+//! convenient dependency.
+//!
+//! The individual crates are:
+//!
+//! * [`fpir`] — program IR (AST, printers, parser, validation, inputs)
+//! * [`mathlib`] — host / device / fast-math libraries
+//! * [`compiler`] — the virtual compiler (configs, passes, interpreter)
+//! * [`generator`] — Varity generator, prompts, simulated LLM, mutation
+//! * [`difftest`] — differential-testing matrix and aggregation
+//! * [`metrics`] — CodeBLEU and clone-detection diversity metrics
+//! * [`core`] — the LLM4FP campaign framework and report rendering
+//! * [`extcc`] — the real-compiler (gcc/clang) harness
+
+pub use llm4fp as core;
+pub use llm4fp_compiler as compiler;
+pub use llm4fp_difftest as difftest;
+pub use llm4fp_extcc as extcc;
+pub use llm4fp_fpir as fpir;
+pub use llm4fp_generator as generator;
+pub use llm4fp_mathlib as mathlib;
+pub use llm4fp_metrics as metrics;
+
+/// Version of the reproduction workspace.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_exposed() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

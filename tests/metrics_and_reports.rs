@@ -1,0 +1,71 @@
+//! Integration tests for the diversity metrics and the report rendering on
+//! top of real campaign corpora.
+
+use llm4fp_suite::core::report::{figure3, table2, table3, table4, table5, Table2Row};
+use llm4fp_suite::core::{ApproachKind, Campaign, CampaignConfig};
+use llm4fp_suite::generator::VarityGenerator;
+use llm4fp_suite::metrics::{average_pairwise_codebleu, detect_clones, DiversityReport};
+
+fn campaign(approach: ApproachKind, budget: usize) -> llm4fp_suite::core::CampaignResult {
+    Campaign::new(CampaignConfig::new(approach).with_budget(budget).with_seed(314).with_threads(4))
+        .run()
+}
+
+/// Generated corpora contain no Type-1/2/2c clones, matching the paper's
+/// clone-detection finding, and their pairwise CodeBLEU sits strictly
+/// between 0 and 1.
+#[test]
+fn generated_corpora_are_clone_free_and_measurably_diverse() {
+    for approach in [ApproachKind::Varity, ApproachKind::Llm4Fp] {
+        let result = campaign(approach, 30);
+        let report = DiversityReport::measure(&result.sources, 4, usize::MAX);
+        assert!(
+            report.clones.is_clone_free(),
+            "{:?} corpus contains clones",
+            approach
+        );
+        assert!(report.avg_codebleu > 0.05 && report.avg_codebleu < 0.95);
+        assert_eq!(report.programs, result.sources.len());
+    }
+}
+
+/// A corpus of copies is maximally similar; a Varity corpus is not.
+#[test]
+fn codebleu_separates_copied_and_generated_corpora() {
+    let mut varity = VarityGenerator::new(9);
+    let generated: Vec<String> =
+        (0..10).map(|_| llm4fp_suite::fpir::to_compute_source(&varity.generate())).collect();
+    let copies = vec![generated[0].clone(); 10];
+    let (gen_score, _) = average_pairwise_codebleu(&generated, 4, usize::MAX);
+    let (copy_score, _) = average_pairwise_codebleu(&copies, 4, usize::MAX);
+    assert!(copy_score > 0.999);
+    assert!(gen_score < copy_score);
+    assert!(!detect_clones(&copies).is_clone_free());
+    assert!(detect_clones(&generated).is_clone_free());
+}
+
+/// All five report renderers produce non-trivial output from real campaigns
+/// and agree with the underlying aggregates.
+#[test]
+fn reports_render_consistently_from_campaign_results() {
+    let varity = campaign(ApproachKind::Varity, 25);
+    let llm4fp = campaign(ApproachKind::Llm4Fp, 25);
+
+    let rows = vec![Table2Row::from_campaign(&varity), Table2Row::from_campaign(&llm4fp)];
+    let t2 = table2(&rows);
+    assert!(t2.contains("Varity") && t2.contains("LLM4FP"));
+    let rendered_rate = format!("{:.2}%", 100.0 * llm4fp.inconsistency_rate());
+    assert!(t2.contains(&rendered_rate), "table 2 must contain {rendered_rate}\n{t2}");
+
+    let f3 = figure3(&varity, &llm4fp);
+    assert!(f3.contains(&format!("{:>10}", llm4fp.inconsistencies())));
+
+    let t3 = table3(&llm4fp);
+    assert!(t3.contains("O3_fastmath"));
+
+    let t4 = table4(&varity, &llm4fp);
+    assert!(t4.contains("gcc,clang") && t4.contains("clang,nvcc"));
+
+    let t5 = table5(&varity, &llm4fp);
+    assert!(t5.contains("Total"));
+}

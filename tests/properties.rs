@@ -1,0 +1,135 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! reproduction: printer/parser round trips, interpreter determinism,
+//! comparison/classification laws, math-library accuracy bounds and
+//! CodeBLEU bounds.
+
+use proptest::prelude::*;
+
+use llm4fp_suite::compiler::{compile, CompilerConfig, CompilerId, OptLevel};
+use llm4fp_suite::difftest::{classify, digit_difference, ValueClass};
+use llm4fp_suite::fpir::{parse_compute, to_compute_source, validate, Precision};
+use llm4fp_suite::generator::{InputGenerator, VarityGenerator};
+use llm4fp_suite::mathlib::{ulp_distance, DeviceMathLib, FastMathLib, HostLibm, MathLib};
+use llm4fp_suite::metrics::{codebleu, CodeBleuWeights};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every Varity-generated program is valid, and printing → parsing →
+    /// printing is a fixpoint of the source text.
+    #[test]
+    fn varity_programs_round_trip_through_printer_and_parser(seed in 0u64..5_000) {
+        let program = VarityGenerator::new(seed).generate();
+        prop_assert!(validate(&program).is_empty());
+        let printed = to_compute_source(&program);
+        let reparsed = parse_compute(&printed).unwrap();
+        prop_assert!(validate(&reparsed).is_empty());
+        prop_assert_eq!(to_compute_source(&reparsed), printed);
+    }
+
+    /// Virtual execution is deterministic: compiling and running the same
+    /// program twice under the same configuration yields identical bits, and
+    /// the strict configuration agrees across host compilers for programs
+    /// without math calls.
+    #[test]
+    fn virtual_execution_is_deterministic(seed in 0u64..2_000, cfg_index in 0usize..18) {
+        let program = VarityGenerator::new(seed).generate();
+        let inputs = InputGenerator::new(seed ^ 0xabcd).generate(&program);
+        let config = CompilerConfig::full_matrix()[cfg_index];
+        let a = compile(&program, config).unwrap().execute(&inputs);
+        let b = compile(&program, config).unwrap().execute(&inputs);
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x.bits(), y.bits()),
+            (Err(x), Err(y)) => prop_assert_eq!(format!("{x}"), format!("{y}")),
+            (x, y) => prop_assert!(false, "nondeterministic outcome: {x:?} vs {y:?}"),
+        }
+    }
+
+    /// Value classification is total and consistent with IEEE predicates.
+    #[test]
+    fn classification_matches_ieee_predicates(bits in any::<u64>()) {
+        let v = f64::from_bits(bits);
+        let class = classify(v);
+        match class {
+            ValueClass::NaN => prop_assert!(v.is_nan()),
+            ValueClass::PosInf => prop_assert!(v.is_infinite() && v > 0.0),
+            ValueClass::NegInf => prop_assert!(v.is_infinite() && v < 0.0),
+            ValueClass::Zero => prop_assert!(v == 0.0),
+            ValueClass::Real => prop_assert!(v.is_finite() && v != 0.0),
+        }
+    }
+
+    /// Digit differences are symmetric, bounded by the precision width, and
+    /// zero exactly for identical bit patterns.
+    #[test]
+    fn digit_difference_laws(a in any::<u64>(), b in any::<u64>()) {
+        let d64 = digit_difference(a, b, Precision::F64);
+        prop_assert_eq!(d64, digit_difference(b, a, Precision::F64));
+        prop_assert!(d64 <= 16);
+        prop_assert_eq!(d64 == 0, a == b);
+        let d32 = digit_difference(a, b, Precision::F32);
+        prop_assert!(d32 <= 8);
+        prop_assert!(d32 <= d64);
+    }
+
+    /// ULP distance is symmetric and zero only for equal values (treating
+    /// +0 and −0 as equal).
+    #[test]
+    fn ulp_distance_laws(a in -1.0e300f64..1.0e300, b in -1.0e300f64..1.0e300) {
+        prop_assert_eq!(ulp_distance(a, b), ulp_distance(b, a));
+        prop_assert_eq!(ulp_distance(a, a), 0);
+        if ulp_distance(a, b) == 0 {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// The device library stays within a few ULP of the host library on the
+    /// ranges generated programs exercise; the fast-math library stays within
+    /// a coarse relative tolerance but is allowed to be much farther off.
+    #[test]
+    fn device_and_fast_math_accuracy_bounds(x in -300.0f64..300.0) {
+        let host = HostLibm::new();
+        let dev = DeviceMathLib::new();
+        let fast = FastMathLib::new();
+        prop_assert!(ulp_distance(dev.exp(x.min(200.0)), host.exp(x.min(200.0))) <= 16);
+        prop_assert!((dev.sin(x) - host.sin(x)).abs() <= 1e-13 * host.sin(x).abs().max(1e-10));
+        prop_assert!((dev.tanh(x) - host.tanh(x)).abs() <= 1e-12);
+        if x > 0.0 {
+            prop_assert!(ulp_distance(dev.log(x), host.log(x)) <= 16);
+            let rel = ((fast.log(x) - host.log(x)) / host.log(x).abs().max(1e-6)).abs();
+            prop_assert!(rel < 1e-2, "fast log too far off at {x}: {rel}");
+        }
+        prop_assert!((fast.sin(x) - host.sin(x)).abs() < 1e-4);
+    }
+
+    /// CodeBLEU is bounded in [0, 1], reflexively (near) 1, and defined for
+    /// arbitrary pairs of generated programs.
+    #[test]
+    fn codebleu_bounds_and_reflexivity(seed_a in 0u64..1_000, seed_b in 0u64..1_000) {
+        let a = to_compute_source(&VarityGenerator::new(seed_a).generate());
+        let b = to_compute_source(&VarityGenerator::new(seed_b).generate());
+        let weights = CodeBleuWeights::default();
+        let ab = codebleu(&a, &b, weights).combined;
+        prop_assert!((0.0..=1.0).contains(&ab));
+        let aa = codebleu(&a, &a, weights).combined;
+        prop_assert!(aa > 0.999, "self-similarity must be ~1, got {aa}");
+    }
+
+    /// Compiled artifacts never panic on arbitrary scalar inputs: they either
+    /// execute (possibly producing NaN/Inf) or report a structured error.
+    #[test]
+    fn execution_is_total_over_inputs(x in proptest::num::f64::ANY, level in 0usize..6) {
+        let program = parse_compute(
+            "void compute(double x) {\n\
+             comp = log(x) + sqrt(x) / (x - 1.0);\n\
+             comp += exp(x / 1.0e3) * sin(x);\n\
+             }",
+        ).unwrap();
+        let inputs = llm4fp_suite::fpir::InputSet::new()
+            .with("x", llm4fp_suite::fpir::InputValue::Fp(x));
+        let config = CompilerConfig::new(CompilerId::Nvcc, OptLevel::ALL[level]);
+        let artifact = compile(&program, config).unwrap();
+        let result = artifact.execute(&inputs);
+        prop_assert!(result.is_ok());
+    }
+}
