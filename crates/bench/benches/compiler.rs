@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use llm4fp_compiler::{compile, CompilerConfig, CompilerId, OptLevel};
-use llm4fp_generator::{InputGenerator, SimulatedLlm, LlmClient, PromptBuilder};
+use llm4fp_generator::{InputGenerator, LlmClient, PromptBuilder, SimulatedLlm};
 
 fn setup_program() -> (llm4fp_fpir::Program, llm4fp_fpir::InputSet) {
     let mut llm = SimulatedLlm::new(11);

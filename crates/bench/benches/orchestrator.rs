@@ -1,0 +1,63 @@
+//! Orchestrator benchmarks: sequential driver vs sharded execution of the
+//! same 200-program Varity campaign, plus the result cache's effect on a
+//! duplicate-heavy Direct-Prompt campaign (the approach whose unguided
+//! sampling repeats knowledge-base programs — ~30% duplicates at a
+//! 600-program budget). The sharded/sequential pair is the acceptance
+//! benchmark for the sharded engine: on a 4-core runner the 8-shard
+//! configuration should finish at least ~2x faster than the sequential
+//! baseline. On fewer cores, expect parity — the interesting number there
+//! is the orchestration overhead, which should be negligible.
+//!
+//! The cache pair measures bookkeeping overhead vs duplicate savings. On
+//! the *virtual* compiler a matrix run costs microseconds, so expect the
+//! two near parity; the cache's real payoff is the `extcc` backend and
+//! larger matrices, where one cached program saves 18 process spawns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llm4fp::{ApproachKind, Campaign, CampaignConfig};
+use llm4fp_orchestrator::{Orchestrator, OrchestratorOptions};
+
+fn varity_200(threads: usize) -> CampaignConfig {
+    CampaignConfig::new(ApproachKind::Varity).with_budget(200).with_seed(7).with_threads(threads)
+}
+
+fn bench_sharding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orchestrator_varity_200");
+    group.sample_size(10);
+
+    group.bench_function("sequential_campaign", |b| {
+        let config = varity_200(1);
+        b.iter(|| Campaign::new(config.clone()).run())
+    });
+    for shards in [2usize, 4, 8] {
+        group.bench_function(format!("sharded_k{shards}"), |b| {
+            let config = varity_200(1);
+            let orchestrator = Orchestrator::new(OrchestratorOptions {
+                cache: false,
+                ..OrchestratorOptions::default()
+            });
+            b.iter(|| orchestrator.run(&config, shards).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orchestrator_direct_prompt_600_cache");
+    group.sample_size(10);
+    let config = CampaignConfig::new(ApproachKind::DirectPrompt)
+        .with_budget(600)
+        .with_seed(3)
+        .with_threads(1);
+    for (label, cache) in [("cache_off", false), ("cache_on", true)] {
+        group.bench_function(label, |b| {
+            let orchestrator =
+                Orchestrator::new(OrchestratorOptions { cache, ..OrchestratorOptions::default() });
+            b.iter(|| orchestrator.run(&config, 4).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharding, bench_cache);
+criterion_main!(benches);

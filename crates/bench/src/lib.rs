@@ -4,17 +4,29 @@
 //! that regenerate every table and figure of the paper, and for the
 //! Criterion benchmarks that measure the cost of each pipeline stage.
 //!
+//! Campaigns run through the `llm4fp-orchestrator` engine: sharded over a
+//! worker pool with the differential-testing result cache enabled. With
+//! the default `--shards 1` the results are bit-identical to the
+//! sequential driver; higher shard counts trade the single global
+//! feedback set for wall-clock scalability (results stay deterministic
+//! per `(seed, shards)`).
+//!
 //! Every experiment binary accepts:
 //!
 //! * `--programs N` — program budget per approach (default 150, chosen so a
 //!   full experiment finishes in well under a minute on a laptop);
 //! * `--paper` — use the paper's budget of 1,000 programs per approach;
 //! * `--seed S` — base RNG seed (default 42);
-//! * `--threads T` — worker threads for the differential-testing matrix.
+//! * `--threads T` — worker threads for the differential-testing matrix;
+//! * `--shards K` — shards per campaign (default 1: sequential-equivalent);
+//! * `--workers W` — shard worker threads (default: available parallelism).
 
 #![deny(unsafe_code)]
 
-use llm4fp::{ApproachKind, Campaign, CampaignConfig, CampaignResult};
+use llm4fp::{ApproachKind, CampaignConfig, CampaignResult};
+use llm4fp_orchestrator::{
+    default_workers, OrchestratedResult, Orchestrator, OrchestratorOptions, Scheduler,
+};
 
 /// Command-line options shared by all experiment binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,11 +34,13 @@ pub struct ExpOptions {
     pub programs: usize,
     pub seed: u64,
     pub threads: usize,
+    pub shards: usize,
+    pub workers: usize,
 }
 
 impl Default for ExpOptions {
     fn default() -> Self {
-        ExpOptions { programs: 150, seed: 42, threads: 4 }
+        ExpOptions { programs: 150, seed: 42, threads: 4, shards: 1, workers: default_workers() }
     }
 }
 
@@ -51,14 +65,27 @@ impl ExpOptions {
                     let v = iter.next().ok_or("--threads needs a value")?;
                     opts.threads = v.parse().map_err(|_| format!("invalid --threads {v}"))?;
                 }
+                "--shards" => {
+                    let v = iter.next().ok_or("--shards needs a value")?;
+                    opts.shards = v.parse().map_err(|_| format!("invalid --shards {v}"))?;
+                }
+                "--workers" => {
+                    let v = iter.next().ok_or("--workers needs a value")?;
+                    opts.workers = v.parse().map_err(|_| format!("invalid --workers {v}"))?;
+                }
                 "--help" | "-h" => {
-                    return Err("usage: [--programs N] [--paper] [--seed S] [--threads T]".into())
+                    return Err("usage: [--programs N] [--paper] [--seed S] [--threads T] \
+                         [--shards K] [--workers W]"
+                        .into())
                 }
                 other => return Err(format!("unknown argument `{other}`")),
             }
         }
         if opts.programs == 0 {
             return Err("--programs must be positive".into());
+        }
+        if opts.shards == 0 {
+            return Err("--shards must be positive".into());
         }
         Ok(opts)
     }
@@ -81,27 +108,79 @@ impl ExpOptions {
             .with_seed(self.seed)
             .with_threads(self.threads)
     }
+
+    /// Orchestrator options for these CLI options.
+    pub fn orchestrator_options(&self) -> OrchestratorOptions {
+        OrchestratorOptions { workers: self.workers, cache: true, run_dir: None }
+    }
 }
 
-/// Run one campaign for the given approach.
+fn log_stats(approach: ApproachKind, orchestrated: &OrchestratedResult) {
+    let stats = &orchestrated.stats;
+    let cache = stats
+        .cache
+        .map(|c| format!("{:.1}% cache hits", 100.0 * c.hit_rate()))
+        .unwrap_or_else(|| "cache off".to_string());
+    eprintln!(
+        "[llm4fp-bench] {}: {} shards on {} workers, {:.2}s wall ({:.2}s shard time), {}",
+        approach.name(),
+        stats.shards,
+        stats.workers,
+        stats.wall_time.as_secs_f64(),
+        stats.shard_pipeline_time.as_secs_f64(),
+        cache
+    );
+}
+
+/// Run one campaign for the given approach through the orchestrator.
 pub fn run_campaign(opts: ExpOptions, approach: ApproachKind) -> CampaignResult {
     eprintln!(
-        "[llm4fp-bench] running {} campaign: {} programs, seed {}",
+        "[llm4fp-bench] running {} campaign: {} programs, seed {}, {} shard(s)",
         approach.name(),
         opts.programs,
-        opts.seed
+        opts.seed,
+        opts.shards
     );
-    Campaign::new(opts.campaign_config(approach)).run()
+    let orchestrated = Orchestrator::new(opts.orchestrator_options())
+        .run(&opts.campaign_config(approach), opts.shards)
+        .expect("in-memory orchestrated run cannot fail");
+    log_stats(approach, &orchestrated);
+    orchestrated.result
 }
 
-/// Run the Varity and LLM4FP campaigns (the pair most tables compare).
+/// Run the Varity and LLM4FP campaigns (the pair most tables compare),
+/// scheduled concurrently over one worker pool.
 pub fn run_varity_and_llm4fp(opts: ExpOptions) -> (CampaignResult, CampaignResult) {
-    (run_campaign(opts, ApproachKind::Varity), run_campaign(opts, ApproachKind::Llm4Fp))
+    let mut results = run_suite(opts, &[ApproachKind::Varity, ApproachKind::Llm4Fp]).into_iter();
+    (results.next().expect("varity result"), results.next().expect("llm4fp result"))
 }
 
-/// Run all four approaches in Table 2 order.
+/// Run all four approaches in Table 2 order, scheduled concurrently over
+/// one worker pool.
 pub fn run_all_approaches(opts: ExpOptions) -> Vec<CampaignResult> {
-    ApproachKind::ALL.iter().map(|&a| run_campaign(opts, a)).collect()
+    run_suite(opts, &ApproachKind::ALL)
+}
+
+fn run_suite(opts: ExpOptions, approaches: &[ApproachKind]) -> Vec<CampaignResult> {
+    eprintln!(
+        "[llm4fp-bench] scheduling {} campaigns: {} programs each, seed {}, {} shard(s), {} workers",
+        approaches.len(),
+        opts.programs,
+        opts.seed,
+        opts.shards,
+        opts.workers
+    );
+    let configs: Vec<CampaignConfig> =
+        approaches.iter().map(|&a| opts.campaign_config(a)).collect();
+    let suite = Scheduler::new(opts.orchestrator_options()).run_suite(&configs, opts.shards);
+    approaches
+        .iter()
+        .zip(suite)
+        .map(|(&approach, orchestrated)| {
+            log_stats(approach, &orchestrated);
+            orchestrated.result
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -111,21 +190,34 @@ mod tests {
     #[test]
     fn option_parsing_handles_all_flags() {
         let opts = ExpOptions::parse(
-            ["--programs", "25", "--seed", "7", "--threads", "2"].map(String::from),
+            [
+                "--programs",
+                "25",
+                "--seed",
+                "7",
+                "--threads",
+                "2",
+                "--shards",
+                "4",
+                "--workers",
+                "3",
+            ]
+            .map(String::from),
         )
         .unwrap();
-        assert_eq!(opts, ExpOptions { programs: 25, seed: 7, threads: 2 });
+        assert_eq!(opts, ExpOptions { programs: 25, seed: 7, threads: 2, shards: 4, workers: 3 });
         let paper = ExpOptions::parse(["--paper".to_string()]).unwrap();
         assert_eq!(paper.programs, 1_000);
         assert!(ExpOptions::parse(["--programs".to_string(), "zero".to_string()]).is_err());
         assert!(ExpOptions::parse(["--bogus".to_string()]).is_err());
         assert!(ExpOptions::parse(["--programs".to_string(), "0".to_string()]).is_err());
+        assert!(ExpOptions::parse(["--shards".to_string(), "0".to_string()]).is_err());
         assert_eq!(ExpOptions::parse(std::iter::empty::<String>()).unwrap(), ExpOptions::default());
     }
 
     #[test]
     fn campaign_config_reflects_options() {
-        let opts = ExpOptions { programs: 9, seed: 123, threads: 3 };
+        let opts = ExpOptions { programs: 9, seed: 123, threads: 3, shards: 2, workers: 2 };
         let cfg = opts.campaign_config(ApproachKind::GrammarGuided);
         assert_eq!(cfg.programs, 9);
         assert_eq!(cfg.seed, 123);
@@ -135,11 +227,20 @@ mod tests {
 
     #[test]
     fn tiny_experiment_pipeline_end_to_end() {
-        let opts = ExpOptions { programs: 6, seed: 1, threads: 2 };
+        let opts = ExpOptions { programs: 6, seed: 1, threads: 1, shards: 2, workers: 2 };
         let results = run_all_approaches(opts);
         assert_eq!(results.len(), 4);
         for r in &results {
             assert_eq!(r.aggregates.programs, 6);
         }
+    }
+
+    #[test]
+    fn single_shard_run_campaign_matches_sequential() {
+        let opts = ExpOptions { programs: 10, seed: 2, threads: 1, shards: 1, workers: 4 };
+        let orchestrated = run_campaign(opts, ApproachKind::Varity);
+        let sequential = llm4fp::Campaign::new(opts.campaign_config(ApproachKind::Varity)).run();
+        assert_eq!(orchestrated.records, sequential.records);
+        assert_eq!(orchestrated.aggregates, sequential.aggregates);
     }
 }

@@ -156,9 +156,8 @@ mod tests {
              }",
         )
         .unwrap();
-        let inputs = InputSet::new()
-            .with("x", InputValue::Fp(1.25))
-            .with("y", InputValue::Fp(-7.5));
+        let inputs =
+            InputSet::new().with("x", InputValue::Fp(1.25)).with("y", InputValue::Fp(-7.5));
         let mut bits = std::collections::HashSet::new();
         for &c in &CompilerId::ALL {
             let artifact = compile(&program, CompilerConfig::new(c, OptLevel::O0Nofma)).unwrap();

@@ -386,7 +386,10 @@ mod tests {
     #[test]
     fn math_libraries_track_the_compiler_below_fastmath() {
         for &l in &[OptLevel::O0Nofma, OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3] {
-            assert_eq!(CompilerConfig::new(CompilerId::Gcc, l).semantics().math_lib, MathLibKind::Host);
+            assert_eq!(
+                CompilerConfig::new(CompilerId::Gcc, l).semantics().math_lib,
+                MathLibKind::Host
+            );
             assert_eq!(
                 CompilerConfig::new(CompilerId::Clang, l).semantics().math_lib,
                 MathLibKind::HostVariant
@@ -400,7 +403,10 @@ mod tests {
 
     #[test]
     fn labels_and_ranks() {
-        assert_eq!(CompilerConfig::new(CompilerId::Gcc, OptLevel::O3Fastmath).label(), "gcc@O3_fastmath");
+        assert_eq!(
+            CompilerConfig::new(CompilerId::Gcc, OptLevel::O3Fastmath).label(),
+            "gcc@O3_fastmath"
+        );
         assert_eq!(OptLevel::O0Nofma.rank(), 0);
         assert_eq!(OptLevel::O3Fastmath.rank(), 5);
         assert_eq!(CompilerId::pairs().len(), 3);

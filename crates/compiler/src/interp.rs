@@ -140,10 +140,7 @@ impl<'a> Interpreter<'a> {
     /// Execute a body and return the final value of `comp`.
     pub fn run(mut self, body: &[OStmt]) -> Result<ExecResult, ExecError> {
         self.exec_block(body)?;
-        let value = *self
-            .scalars
-            .get(llm4fp_fpir::COMP)
-            .expect("comp is always initialized");
+        let value = *self.scalars.get(llm4fp_fpir::COMP).expect("comp is always initialized");
         Ok(ExecResult { value, precision: self.precision, steps: self.steps })
     }
 
@@ -298,10 +295,9 @@ impl<'a> Interpreter<'a> {
             Some(v) => *self.ints.get(v).unwrap_or(&0),
         };
         let idx = index.eval(var_value);
-        let len = self.arrays.get(array).map(|b| b.len()).unwrap_or(0);
-        if self.arrays.get(array).is_none() {
+        let Some(len) = self.arrays.get(array).map(|b| b.len()) else {
             return Err(ExecError::UnknownArray(array.to_string()));
-        }
+        };
         if idx < 0 || idx as usize >= len {
             return Err(ExecError::IndexOutOfBounds { array: array.to_string(), index: idx, len });
         }
@@ -367,8 +363,7 @@ mod tests {
     #[test]
     fn straight_line_arithmetic_matches_direct_evaluation() {
         let src = "void compute(double x, double y) { comp = x * y + 2.5; comp /= y - 0.5; }";
-        let inputs =
-            InputSet::new().with("x", InputValue::Fp(3.0)).with("y", InputValue::Fp(2.0));
+        let inputs = InputSet::new().with("x", InputValue::Fp(3.0)).with("y", InputValue::Fp(2.0));
         let r = run(src, &inputs, strict());
         let expected = (3.0f64 * 2.0 + 2.5) / (2.0 - 0.5);
         assert_eq!(r.value.to_bits(), expected.to_bits());
@@ -470,8 +465,7 @@ mod tests {
                    for (int i = 0; i < 3; ++i) { comp += x; }\n\
                    comp += i;\n\
                    }";
-        let inputs =
-            InputSet::new().with("i", InputValue::Int(10)).with("x", InputValue::Fp(1.0));
+        let inputs = InputSet::new().with("i", InputValue::Int(10)).with("x", InputValue::Fp(1.0));
         let r = run(src, &inputs, strict());
         assert_eq!(r.value, 13.0);
     }

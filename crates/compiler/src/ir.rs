@@ -230,11 +230,7 @@ mod tests {
     #[test]
     fn count_in_body_sees_conditions_and_stores() {
         let body = vec![
-            OStmt::Store {
-                array: "a".into(),
-                index: IndexExpr::Const(0),
-                expr: OExpr::var("x"),
-            },
+            OStmt::Store { array: "a".into(), index: IndexExpr::Const(0), expr: OExpr::var("x") },
             OStmt::If {
                 cond: OCond { lhs: OExpr::var("x"), op: CmpOp::Lt, rhs: OExpr::var("y") },
                 then_block: vec![],

@@ -68,9 +68,7 @@ pub fn lower_expr(expr: &Expr) -> OExpr {
         Expr::Num(v) => OExpr::Const(*v),
         Expr::Int(v) => OExpr::Const(*v as f64),
         Expr::Var(name) => OExpr::Var(name.clone()),
-        Expr::Index { array, index } => {
-            OExpr::Index { array: array.clone(), index: index.clone() }
-        }
+        Expr::Index { array, index } => OExpr::Index { array: array.clone(), index: index.clone() },
         Expr::Paren(inner) => lower_expr(inner),
         Expr::Neg(inner) => OExpr::Neg(Box::new(lower_expr(inner))),
         Expr::Bin { op, lhs, rhs } => OExpr::bin(*op, lower_expr(lhs), lower_expr(rhs)),
@@ -99,8 +97,12 @@ mod tests {
             _ => panic!("expected two assignments"),
         };
         assert_ne!(first, second, "association must survive lowering");
-        assert!(matches!(first, OExpr::Bin { op: BinOp::Add, lhs, .. } if matches!(**lhs, OExpr::Bin { .. })));
-        assert!(matches!(second, OExpr::Bin { op: BinOp::Add, rhs, .. } if matches!(**rhs, OExpr::Bin { .. })));
+        assert!(
+            matches!(first, OExpr::Bin { op: BinOp::Add, lhs, .. } if matches!(**lhs, OExpr::Bin { .. }))
+        );
+        assert!(
+            matches!(second, OExpr::Bin { op: BinOp::Add, rhs, .. } if matches!(**rhs, OExpr::Bin { .. }))
+        );
     }
 
     #[test]
@@ -123,9 +125,8 @@ mod tests {
 
     #[test]
     fn array_compound_stores_read_the_element() {
-        let body = lower_src(
-            "void compute(double *a) { for (int i = 0; i < 4; ++i) { a[i] *= 2.0; } }",
-        );
+        let body =
+            lower_src("void compute(double *a) { for (int i = 0; i < 4; ++i) { a[i] *= 2.0; } }");
         match &body[0] {
             OStmt::For { body, .. } => match &body[0] {
                 OStmt::Store { array, expr, .. } => {

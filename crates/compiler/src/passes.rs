@@ -120,10 +120,8 @@ pub fn algebraic_simplify_expr(expr: OExpr) -> OExpr {
                     return (**rhs).clone();
                 }
             }
-            BinOp::Div => {
-                if rhs.as_const() == Some(1.0) {
-                    return (**lhs).clone();
-                }
+            BinOp::Div if rhs.as_const() == Some(1.0) => {
+                return (**lhs).clone();
             }
             _ => {}
         }
@@ -193,7 +191,11 @@ fn build_balanced(op: BinOp, operands: &[OExpr]) -> OExpr {
         1 => operands[0].clone(),
         n => {
             let mid = n / 2;
-            OExpr::bin(op, build_balanced(op, &operands[..mid]), build_balanced(op, &operands[mid..]))
+            OExpr::bin(
+                op,
+                build_balanced(op, &operands[..mid]),
+                build_balanced(op, &operands[mid..]),
+            )
         }
     }
 }
@@ -283,9 +285,7 @@ fn map_children(expr: OExpr, f: &impl Fn(OExpr) -> OExpr) -> OExpr {
             OExpr::Fma { a: Box::new(f(*a)), b: Box::new(f(*b)), c: Box::new(f(*c)) }
         }
         OExpr::Recip { value, approx } => OExpr::Recip { value: Box::new(f(*value)), approx },
-        OExpr::Call { func, args } => {
-            OExpr::Call { func, args: args.into_iter().map(f).collect() }
-        }
+        OExpr::Call { func, args } => OExpr::Call { func, args: args.into_iter().map(f).collect() },
         leaf @ (OExpr::Const(_) | OExpr::Var(_) | OExpr::Index { .. }) => leaf,
     }
 }
@@ -406,11 +406,20 @@ mod tests {
             OExpr::var("c"),
             OExpr::bin(BinOp::Mul, OExpr::var("a"), OExpr::var("b")),
         );
-        assert!(matches!(contract_expr(mul_left.clone(), ContractionStyle::MulOnLeft), OExpr::Fma { .. }));
+        assert!(matches!(
+            contract_expr(mul_left.clone(), ContractionStyle::MulOnLeft),
+            OExpr::Fma { .. }
+        ));
         assert!(matches!(contract_expr(mul_left, ContractionStyle::Aggressive), OExpr::Fma { .. }));
         // The conservative style leaves `c + a*b` alone; the aggressive one fuses it.
-        assert!(matches!(contract_expr(mul_right.clone(), ContractionStyle::MulOnLeft), OExpr::Bin { .. }));
-        assert!(matches!(contract_expr(mul_right, ContractionStyle::Aggressive), OExpr::Fma { .. }));
+        assert!(matches!(
+            contract_expr(mul_right.clone(), ContractionStyle::MulOnLeft),
+            OExpr::Bin { .. }
+        ));
+        assert!(matches!(
+            contract_expr(mul_right, ContractionStyle::Aggressive),
+            OExpr::Fma { .. }
+        ));
         // Subtraction with the multiply on the right needs a negated operand.
         let sub_right = OExpr::bin(
             BinOp::Sub,
@@ -423,7 +432,11 @@ mod tests {
         }
         assert!(matches!(
             contract_expr(
-                OExpr::bin(BinOp::Add, OExpr::bin(BinOp::Mul, OExpr::var("a"), OExpr::var("b")), OExpr::var("c")),
+                OExpr::bin(
+                    BinOp::Add,
+                    OExpr::bin(BinOp::Mul, OExpr::var("a"), OExpr::var("b")),
+                    OExpr::var("c")
+                ),
                 ContractionStyle::Off
             ),
             OExpr::Bin { .. }
@@ -461,7 +474,8 @@ mod tests {
         assert!(count_in_body(&nvcc_fast, |e| matches!(e, OExpr::Recip { approx: true, .. })) >= 1);
 
         // The three personalities produce three different fast-math bodies.
-        let clang_fast = run_pipeline(lower_src(src), &sem(CompilerId::Clang, OptLevel::O3Fastmath));
+        let clang_fast =
+            run_pipeline(lower_src(src), &sem(CompilerId::Clang, OptLevel::O3Fastmath));
         assert_ne!(gcc_fast, clang_fast);
         assert_ne!(gcc_fast, nvcc_fast);
         assert_ne!(clang_fast, nvcc_fast);
@@ -480,7 +494,9 @@ mod tests {
                 let body = run_pipeline(lower_src(src), &sem(c, l));
                 assert_eq!(body.len(), 1);
                 match &body[0] {
-                    OStmt::For { bound: 4, body, .. } => assert!(matches!(body[0], OStmt::If { .. })),
+                    OStmt::For { bound: 4, body, .. } => {
+                        assert!(matches!(body[0], OStmt::If { .. }))
+                    }
                     other => panic!("loop structure lost for {c} {l}: {other:?}"),
                 }
             }

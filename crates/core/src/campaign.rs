@@ -6,15 +6,36 @@
 //! tester, folds the outcome into the aggregates, and — when the program
 //! triggered at least one inconsistency — adds it to the successful set that
 //! Feedback-Based Mutation draws from.
+//!
+//! The loop is factored into a reusable [`CampaignRunner`] exposing a
+//! per-program [`CampaignRunner::run_one`] stage. [`Campaign::run`] drives
+//! it sequentially; `llm4fp-orchestrator` drives many runners concurrently
+//! (one per shard) and merges their results.
+//!
+//! ## RNG-stream contracts
+//!
+//! Determinism rests on two derivation rules:
+//!
+//! * every stateful component derives its stream from the campaign seed
+//!   (`seed ^ 0x5eed_000N`), so a campaign is a pure function of its
+//!   configuration;
+//! * each program's *input set* is derived from the campaign seed XOR the
+//!   program's structural hash — not from a shared sequential stream — so
+//!   structurally identical programs always receive identical inputs. This
+//!   is what makes the orchestrator's result cache semantically
+//!   transparent: re-testing a duplicate program is guaranteed to
+//!   reproduce the cached bits.
 
+use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use rand::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use llm4fp_difftest::{Aggregates, DiffTester};
-use llm4fp_fpir::{program_id, to_compute_source, validate, Program};
+use llm4fp_difftest::{Aggregates, CachedDiff, DiffTester, ResultCache};
+use llm4fp_fpir::{program_hash, program_id, source_hash, to_compute_source, validate, Program};
 use llm4fp_generator::{
     llm::SimulatedLlmConfig, InputGenerator, LlmClient, PromptBuilder, SimulatedLlm, Strategy,
     VarityGenerator,
@@ -52,7 +73,8 @@ pub struct CampaignResult {
     /// Sources of all valid generated programs (used for diversity metrics
     /// and for EXPERIMENTS.md artifacts).
     pub sources: Vec<String>,
-    /// Sources of the programs that triggered inconsistencies.
+    /// Sources of the programs that triggered inconsistencies
+    /// (structurally deduplicated).
     pub successful_sources: Vec<String>,
     /// Number of generation attempts that produced invalid programs.
     pub generation_failures: usize,
@@ -92,6 +114,262 @@ impl CampaignResult {
     }
 }
 
+/// The successful-program set of the feedback loop. Insertion
+/// deduplicates on the source text's structural hash: Feedback-Based
+/// Mutation repeatedly re-triggers inconsistencies with the same program,
+/// and without deduplication those copies pile up and bias subsequent
+/// seed selection toward already-exploited programs.
+#[derive(Debug, Default)]
+struct SuccessfulSet {
+    sources: Vec<String>,
+    seen: HashSet<u64>,
+}
+
+impl SuccessfulSet {
+    /// Insert a source, returning `true` when it was new.
+    fn insert(&mut self, source: &str) -> bool {
+        if self.seen.insert(source_hash(source)) {
+            self.sources.push(source.to_string());
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The reusable per-program campaign engine. Create one with
+/// [`CampaignRunner::new`], call [`CampaignRunner::run_one`] once per
+/// program of the budget (in order), then [`CampaignRunner::finish`].
+pub struct CampaignRunner {
+    config: CampaignConfig,
+    rng: StdRng,
+    varity: VarityGenerator,
+    llm: SimulatedLlm,
+    prompt_builder: PromptBuilder,
+    tester: DiffTester,
+    comparisons_per_program: usize,
+    input_seed: u64,
+    cache: Option<Arc<ResultCache>>,
+    // The successful set is shared state of the feedback loop. A mutex
+    // keeps the container ready for future parallel generation without
+    // changing behaviour for the per-shard sequential loop used here.
+    successful: Mutex<SuccessfulSet>,
+    aggregates: Aggregates,
+    records: Vec<ProgramRecord>,
+    sources: Vec<String>,
+    generation_failures: usize,
+    simulated_llm_time: Duration,
+    start: Instant,
+}
+
+impl CampaignRunner {
+    /// Build a runner for one campaign configuration. Panics on an invalid
+    /// configuration (mirroring [`Campaign::run`]).
+    pub fn new(config: CampaignConfig) -> Self {
+        config.validate().expect("invalid campaign configuration");
+        let seed = config.seed;
+        let tester = DiffTester::with_matrix(config.compilers.clone(), config.levels.clone())
+            .with_threads(config.threads);
+        let comparisons_per_program = tester.comparisons_per_program();
+        CampaignRunner {
+            rng: StdRng::seed_from_u64(seed),
+            varity: VarityGenerator::new(seed ^ 0x5eed_0001),
+            llm: SimulatedLlm::with_config(
+                seed ^ 0x5eed_0002,
+                SimulatedLlmConfig {
+                    sampling: config.sampling,
+                    direct_prompt_invalid_rate: config.direct_prompt_invalid_rate,
+                    ..SimulatedLlmConfig::default()
+                },
+            ),
+            prompt_builder: PromptBuilder::new(config.precision),
+            tester,
+            comparisons_per_program,
+            input_seed: seed ^ 0x5eed_0003,
+            cache: None,
+            successful: Mutex::new(SuccessfulSet::default()),
+            aggregates: Aggregates::new(),
+            records: Vec::with_capacity(config.programs),
+            sources: Vec::new(),
+            generation_failures: 0,
+            simulated_llm_time: Duration::ZERO,
+            start: Instant::now(),
+            config,
+        }
+    }
+
+    /// Share a differential-testing result cache with this runner.
+    /// Caching is semantically transparent (see the module docs on input
+    /// derivation), so results are bit-identical with or without it.
+    pub fn with_cache(mut self, cache: Arc<ResultCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Override the seed that program input sets are derived from.
+    ///
+    /// The orchestrator runs each shard with a derived campaign seed
+    /// (`parent_seed ^ shard_index`) but passes the *parent* seed here for
+    /// every shard, so a program duplicated across shards receives
+    /// identical inputs — the property that keeps a cross-shard result
+    /// cache semantically transparent. (For shard 0 the derived and parent
+    /// seeds coincide, preserving exact equality with the sequential
+    /// driver.)
+    pub fn with_input_seed(mut self, seed: u64) -> Self {
+        self.input_seed = seed ^ 0x5eed_0003;
+        self
+    }
+
+    /// The number of pairwise comparisons each program contributes to the
+    /// inconsistency-rate denominator.
+    pub fn comparisons_per_program(&self) -> usize {
+        self.comparisons_per_program
+    }
+
+    /// Number of programs processed so far.
+    pub fn programs_run(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Run one iteration of the campaign loop: generate a candidate,
+    /// differential-test it, fold the outcome into the aggregates and the
+    /// feedback set. Returns the record of the processed program.
+    pub fn run_one(&mut self, index: usize) -> &ProgramRecord {
+        let (strategy_label, program) = self.generate_one();
+
+        let Some(program) = program else {
+            self.generation_failures += 1;
+            self.aggregates.add_result(
+                &llm4fp_difftest::ProgramDiffResult {
+                    program_id: String::new(),
+                    outcomes: Vec::new(),
+                    records: Vec::new(),
+                    comparisons_performed: 0,
+                },
+                self.comparisons_per_program,
+            );
+            self.records.push(ProgramRecord {
+                index,
+                program_id: String::new(),
+                strategy: strategy_label,
+                valid: false,
+                inconsistencies: 0,
+                successful: false,
+            });
+            return self.records.last().expect("just pushed");
+        };
+
+        let id = program_id(&program);
+        let CachedDiff { result, baseline } = self.test_program(&id, &program);
+        self.aggregates.add_result(&result, self.comparisons_per_program);
+        self.aggregates.add_baseline_comparisons(&baseline);
+
+        let source = to_compute_source(&program);
+        let triggered = result.triggered_inconsistency();
+        if triggered {
+            self.successful.lock().insert(&source);
+        }
+        self.records.push(ProgramRecord {
+            index,
+            program_id: id,
+            strategy: strategy_label,
+            valid: true,
+            inconsistencies: result.records.len(),
+            successful: triggered,
+        });
+        self.sources.push(source);
+        self.records.last().expect("just pushed")
+    }
+
+    /// Differential-test one program, consulting the shared cache when one
+    /// is attached. Inputs are a pure function of (campaign seed, program
+    /// structure), so cached results are bit-identical to recomputation.
+    fn test_program(&self, id: &str, program: &Program) -> CachedDiff {
+        if let Some(cache) = &self.cache {
+            if let Some(cached) = cache.get(id) {
+                return cached;
+            }
+        }
+        let inputs = InputGenerator::new(self.input_seed ^ program_hash(program))
+            .generate(program)
+            .truncated(self.config.precision);
+        let result = self.tester.run(program, &inputs);
+        let baseline = self.tester.compare_vs_baseline(&result.outcomes);
+        let computed = CachedDiff { result, baseline };
+        if let Some(cache) = &self.cache {
+            cache.insert(id.to_string(), computed.clone());
+        }
+        computed
+    }
+
+    /// Consume the runner and assemble the campaign result.
+    pub fn finish(self) -> CampaignResult {
+        CampaignResult {
+            config: self.config,
+            aggregates: self.aggregates,
+            records: self.records,
+            sources: self.sources,
+            successful_sources: self.successful.into_inner().sources,
+            generation_failures: self.generation_failures,
+            llm_calls: self.llm.calls(),
+            simulated_llm_time: self.simulated_llm_time,
+            pipeline_time: self.start.elapsed(),
+        }
+    }
+
+    /// Produce one candidate program according to the configured approach.
+    /// Returns the strategy label and `None` when generation failed
+    /// (unparseable or invalid LLM output).
+    fn generate_one(&mut self) -> (String, Option<Program>) {
+        match self.config.approach {
+            ApproachKind::Varity => ("varity".to_string(), Some(self.varity.generate())),
+            ApproachKind::DirectPrompt => {
+                let prompt = self.prompt_builder.direct_prompt();
+                let response = self.llm.generate(&prompt);
+                self.simulated_llm_time += response.simulated_latency;
+                (Strategy::DirectPrompt.name().to_string(), parse_valid(&response.source))
+            }
+            ApproachKind::GrammarGuided => {
+                let prompt = self.prompt_builder.grammar_based();
+                let response = self.llm.generate(&prompt);
+                self.simulated_llm_time += response.simulated_latency;
+                (Strategy::GrammarBased.name().to_string(), parse_valid(&response.source))
+            }
+            ApproachKind::Llm4Fp => {
+                // The first program always comes from Grammar-Based
+                // Generation; afterwards the strategy is drawn with the
+                // configured probability (0.3 grammar / 0.7 feedback).
+                let seed_source = {
+                    let set = self.successful.lock();
+                    if set.sources.is_empty() || self.rng.gen_bool(self.config.grammar_probability)
+                    {
+                        None
+                    } else {
+                        set.sources.choose(&mut self.rng).cloned()
+                    }
+                };
+                match seed_source {
+                    None => {
+                        let prompt = self.prompt_builder.grammar_based();
+                        let response = self.llm.generate(&prompt);
+                        self.simulated_llm_time += response.simulated_latency;
+                        (Strategy::GrammarBased.name().to_string(), parse_valid(&response.source))
+                    }
+                    Some(seed) => {
+                        let prompt = self.prompt_builder.feedback_mutation(&seed);
+                        let response = self.llm.generate(&prompt);
+                        self.simulated_llm_time += response.simulated_latency;
+                        (
+                            Strategy::FeedbackMutation.name().to_string(),
+                            parse_valid(&response.source),
+                        )
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// The campaign driver.
 pub struct Campaign {
     config: CampaignConfig,
@@ -102,165 +380,14 @@ impl Campaign {
         Campaign { config }
     }
 
-    /// Run the whole campaign. Deterministic for a given configuration.
+    /// Run the whole campaign sequentially. Deterministic for a given
+    /// configuration.
     pub fn run(&self) -> CampaignResult {
-        self.config.validate().expect("invalid campaign configuration");
-        let cfg = &self.config;
-        let start = Instant::now();
-
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut varity = VarityGenerator::new(cfg.seed ^ 0x5eed_0001);
-        let mut llm = SimulatedLlm::with_config(
-            cfg.seed ^ 0x5eed_0002,
-            SimulatedLlmConfig {
-                sampling: cfg.sampling,
-                direct_prompt_invalid_rate: cfg.direct_prompt_invalid_rate,
-                ..SimulatedLlmConfig::default()
-            },
-        );
-        let mut input_gen = InputGenerator::new(cfg.seed ^ 0x5eed_0003);
-        let prompt_builder = PromptBuilder::new(cfg.precision);
-        let tester = DiffTester::with_matrix(cfg.compilers.clone(), cfg.levels.clone())
-            .with_threads(cfg.threads);
-        let comparisons_per_program = tester.comparisons_per_program();
-
-        // The successful set is shared state of the feedback loop. A mutex
-        // keeps the container ready for future parallel generation without
-        // changing behaviour for the sequential loop used here.
-        let successful: Mutex<Vec<String>> = Mutex::new(Vec::new());
-
-        let mut aggregates = Aggregates::new();
-        let mut records = Vec::with_capacity(cfg.programs);
-        let mut sources = Vec::new();
-        let mut generation_failures = 0usize;
-        let mut simulated_llm_time = Duration::ZERO;
-
-        for index in 0..cfg.programs {
-            let (strategy_label, program) = self.generate_one(
-                &mut rng,
-                &mut varity,
-                &mut llm,
-                &prompt_builder,
-                &successful,
-                &mut simulated_llm_time,
-            );
-
-            let Some(program) = program else {
-                generation_failures += 1;
-                aggregates.add_result(
-                    &llm4fp_difftest::ProgramDiffResult {
-                        program_id: String::new(),
-                        outcomes: Vec::new(),
-                        records: Vec::new(),
-                        comparisons_performed: 0,
-                    },
-                    comparisons_per_program,
-                );
-                records.push(ProgramRecord {
-                    index,
-                    program_id: String::new(),
-                    strategy: strategy_label,
-                    valid: false,
-                    inconsistencies: 0,
-                    successful: false,
-                });
-                continue;
-            };
-
-            let inputs = input_gen.generate(&program).truncated(cfg.precision);
-            let result = tester.run(&program, &inputs);
-            let baseline = tester.compare_vs_baseline(&result.outcomes);
-            aggregates.add_result(&result, comparisons_per_program);
-            aggregates.add_baseline_comparisons(&baseline);
-
-            let source = to_compute_source(&program);
-            let triggered = result.triggered_inconsistency();
-            if triggered {
-                successful.lock().push(source.clone());
-            }
-            records.push(ProgramRecord {
-                index,
-                program_id: program_id(&program),
-                strategy: strategy_label,
-                valid: true,
-                inconsistencies: result.records.len(),
-                successful: triggered,
-            });
-            sources.push(source);
+        let mut runner = CampaignRunner::new(self.config.clone());
+        for index in 0..self.config.programs {
+            runner.run_one(index);
         }
-
-        let successful_sources = successful.into_inner();
-        CampaignResult {
-            config: cfg.clone(),
-            aggregates,
-            records,
-            sources,
-            successful_sources,
-            generation_failures,
-            llm_calls: llm.calls(),
-            simulated_llm_time,
-            pipeline_time: start.elapsed(),
-        }
-    }
-
-    /// Produce one candidate program according to the configured approach.
-    /// Returns the strategy label and `None` when generation failed
-    /// (unparseable or invalid LLM output).
-    fn generate_one(
-        &self,
-        rng: &mut StdRng,
-        varity: &mut VarityGenerator,
-        llm: &mut SimulatedLlm,
-        prompts: &PromptBuilder,
-        successful: &Mutex<Vec<String>>,
-        simulated_llm_time: &mut Duration,
-    ) -> (String, Option<Program>) {
-        let cfg = &self.config;
-        match cfg.approach {
-            ApproachKind::Varity => ("varity".to_string(), Some(varity.generate())),
-            ApproachKind::DirectPrompt => {
-                let prompt = prompts.direct_prompt();
-                let response = llm.generate(&prompt);
-                *simulated_llm_time += response.simulated_latency;
-                (Strategy::DirectPrompt.name().to_string(), parse_valid(&response.source))
-            }
-            ApproachKind::GrammarGuided => {
-                let prompt = prompts.grammar_based();
-                let response = llm.generate(&prompt);
-                *simulated_llm_time += response.simulated_latency;
-                (Strategy::GrammarBased.name().to_string(), parse_valid(&response.source))
-            }
-            ApproachKind::Llm4Fp => {
-                // The first program always comes from Grammar-Based
-                // Generation; afterwards the strategy is drawn with the
-                // configured probability (0.3 grammar / 0.7 feedback).
-                let seed_source = {
-                    let set = successful.lock();
-                    if set.is_empty() || rng.gen_bool(cfg.grammar_probability) {
-                        None
-                    } else {
-                        set.choose(rng).cloned()
-                    }
-                };
-                match seed_source {
-                    None => {
-                        let prompt = prompts.grammar_based();
-                        let response = llm.generate(&prompt);
-                        *simulated_llm_time += response.simulated_latency;
-                        (Strategy::GrammarBased.name().to_string(), parse_valid(&response.source))
-                    }
-                    Some(seed) => {
-                        let prompt = prompts.feedback_mutation(&seed);
-                        let response = llm.generate(&prompt);
-                        *simulated_llm_time += response.simulated_latency;
-                        (
-                            Strategy::FeedbackMutation.name().to_string(),
-                            parse_valid(&response.source),
-                        )
-                    }
-                }
-            }
-        }
+        runner.finish()
     }
 }
 
@@ -278,8 +405,10 @@ mod tests {
     use super::*;
 
     fn small(approach: ApproachKind, budget: usize) -> CampaignResult {
-        Campaign::new(CampaignConfig::new(approach).with_budget(budget).with_seed(11).with_threads(2))
-            .run()
+        Campaign::new(
+            CampaignConfig::new(approach).with_budget(budget).with_seed(11).with_threads(2),
+        )
+        .run()
     }
 
     #[test]
@@ -371,5 +500,59 @@ mod tests {
         let result = small(ApproachKind::GrammarGuided, 5);
         assert!(result.total_time_cost() >= result.simulated_llm_time);
         assert!(result.simulated_llm_time >= Duration::from_secs(5 * 9));
+    }
+
+    #[test]
+    fn successful_set_deduplicates_structural_copies() {
+        let mut set = SuccessfulSet::default();
+        assert!(set.insert("void compute(double x) { comp = x; }"));
+        assert!(!set.insert("void compute(double x) { comp = x; }"));
+        assert!(set.insert("void compute(double y) { comp = y + 1.0; }"));
+        assert_eq!(set.sources.len(), 2);
+        // A campaign's successful set never contains duplicates.
+        let result = small(ApproachKind::Llm4Fp, 60);
+        let mut unique: Vec<u64> =
+            result.successful_sources.iter().map(|s| source_hash(s)).collect();
+        let before = unique.len();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), before, "successful set contains duplicates");
+    }
+
+    #[test]
+    fn runner_stages_match_the_one_shot_driver() {
+        let config =
+            CampaignConfig::new(ApproachKind::Llm4Fp).with_budget(25).with_seed(7).with_threads(2);
+        let mut runner = CampaignRunner::new(config.clone());
+        for index in 0..config.programs {
+            let record = runner.run_one(index);
+            assert_eq!(record.index, index);
+        }
+        assert_eq!(runner.programs_run(), config.programs);
+        let staged = runner.finish();
+        let oneshot = Campaign::new(config).run();
+        assert_eq!(staged.records, oneshot.records);
+        assert_eq!(staged.sources, oneshot.sources);
+        assert_eq!(staged.aggregates, oneshot.aggregates);
+        assert_eq!(staged.successful_sources, oneshot.successful_sources);
+        assert_eq!(staged.llm_calls, oneshot.llm_calls);
+    }
+
+    #[test]
+    fn cached_and_uncached_campaigns_agree_bit_for_bit() {
+        let config =
+            CampaignConfig::new(ApproachKind::Llm4Fp).with_budget(30).with_seed(3).with_threads(2);
+        let cache = Arc::new(ResultCache::new());
+        let mut cached_runner = CampaignRunner::new(config.clone()).with_cache(Arc::clone(&cache));
+        for index in 0..config.programs {
+            cached_runner.run_one(index);
+        }
+        let cached = cached_runner.finish();
+        let plain = Campaign::new(config).run();
+        assert_eq!(cached.records, plain.records);
+        assert_eq!(cached.aggregates, plain.aggregates);
+        assert_eq!(cached.sources, plain.sources);
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, cached.sources.len() as u64);
     }
 }

@@ -97,9 +97,7 @@ pub fn figure3(varity: &CampaignResult, llm4fp: &CampaignResult) -> String {
     let _ = writeln!(
         out,
         "{:<16} {:>10} {:>10}",
-        "Total",
-        varity.aggregates.inconsistencies,
-        llm4fp.aggregates.inconsistencies
+        "Total", varity.aggregates.inconsistencies, llm4fp.aggregates.inconsistencies
     );
     out
 }
@@ -287,8 +285,7 @@ mod tests {
     fn tables_render_for_real_campaigns() {
         let varity = tiny(ApproachKind::Varity);
         let llm4fp = tiny(ApproachKind::Llm4Fp);
-        let rows =
-            vec![Table2Row::from_campaign(&varity), Table2Row::from_campaign(&llm4fp)];
+        let rows = vec![Table2Row::from_campaign(&varity), Table2Row::from_campaign(&llm4fp)];
         let t2 = table2(&rows);
         assert!(t2.contains("Varity"));
         assert!(t2.contains("LLM4FP"));

@@ -369,7 +369,9 @@ mod tests {
         }
         assert_eq!(agg.vs_baseline.differing(CompilerId::Gcc, OptLevel::O3Fastmath), 10);
         assert_eq!(agg.vs_baseline.differing(CompilerId::Gcc, OptLevel::O1), 0);
-        assert!((agg.vs_baseline.rate(CompilerId::Gcc, OptLevel::O3Fastmath, 20) - 0.5).abs() < 1e-12);
+        assert!(
+            (agg.vs_baseline.rate(CompilerId::Gcc, OptLevel::O3Fastmath, 20) - 0.5).abs() < 1e-12
+        );
         assert!((agg.vs_baseline.rate(CompilerId::Nvcc, OptLevel::O0, 20) - 0.25).abs() < 1e-12);
         // Compiler totals: gcc has 10 differing out of 20 programs × 5 levels.
         assert!((agg.vs_baseline.compiler_rate(CompilerId::Gcc, 20, 6) - 0.1).abs() < 1e-12);
@@ -403,6 +405,9 @@ mod tests {
         assert_eq!(agg.inconsistency_rate(), 0.0);
         assert_eq!(agg.pair_level.rate((CompilerId::Gcc, CompilerId::Clang), OptLevel::O0, 0), 0.0);
         assert_eq!(agg.vs_baseline.rate(CompilerId::Gcc, OptLevel::O1, 0), 0.0);
-        assert_eq!(agg.kinds.fraction(InconsistencyKind::new(ValueClass::Real, ValueClass::NaN)), 0.0);
+        assert_eq!(
+            agg.kinds.fraction(InconsistencyKind::new(ValueClass::Real, ValueClass::NaN)),
+            0.0
+        );
     }
 }

@@ -18,9 +18,11 @@
 #![deny(unsafe_code)]
 
 pub mod aggregate;
+pub mod cache;
 pub mod compare;
 pub mod matrix;
 
 pub use aggregate::{Aggregates, KindByLevel, PairLevelStats, VsBaselineStats};
+pub use cache::{CacheStats, CachedDiff, ResultCache};
 pub use compare::{classify, digit_difference, DiffRecord, InconsistencyKind, ValueClass};
 pub use matrix::{ConfigOutcome, DiffTester, Outcome, ProgramDiffResult};

@@ -162,9 +162,7 @@ impl DiffTester {
         let comparisons_performed = self
             .compiler_pairs()
             .iter()
-            .flat_map(|&(a, b)| {
-                self.levels.iter().map(move |&l| (a, b, l))
-            })
+            .flat_map(|&(a, b)| self.levels.iter().map(move |&l| (a, b, l)))
             .filter(|&(a, b, l)| {
                 let oa = outcomes.iter().find(|o| o.config == CompilerConfig::new(a, l));
                 let ob = outcomes.iter().find(|o| o.config == CompilerConfig::new(b, l));
@@ -216,8 +214,10 @@ impl DiffTester {
                 let oa = outcomes.iter().find(|o| o.config == CompilerConfig::new(a, level));
                 let ob = outcomes.iter().find(|o| o.config == CompilerConfig::new(b, level));
                 let (Some(oa), Some(ob)) = (oa, ob) else { continue };
-                let (Outcome::Ok { value: va, bits: ba, .. }, Outcome::Ok { value: vb, bits: bb, .. }) =
-                    (&oa.outcome, &ob.outcome)
+                let (
+                    Outcome::Ok { value: va, bits: ba, .. },
+                    Outcome::Ok { value: vb, bits: bb, .. },
+                ) = (&oa.outcome, &ob.outcome)
                 else {
                     continue;
                 };
@@ -297,8 +297,8 @@ mod tests {
     fn identical_programs_produce_no_records_for_pure_arithmetic_at_strict_levels() {
         // A program with no math calls and no FMA opportunities is bitwise
         // identical everywhere: zero inconsistencies.
-        let program = parse_compute("void compute(double x) { comp = x + 1.0; comp = comp - x; }")
-            .unwrap();
+        let program =
+            parse_compute("void compute(double x) { comp = x + 1.0; comp = comp - x; }").unwrap();
         let tester = DiffTester::new();
         let result = tester.run(&program, &inputs_x(0.375));
         assert_eq!(result.records.len(), 0);
@@ -316,9 +316,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let inputs = InputSet::new()
-            .with("x", InputValue::Fp(1.7))
-            .with("y", InputValue::Fp(-0.3));
+        let inputs = InputSet::new().with("x", InputValue::Fp(1.7)).with("y", InputValue::Fp(-0.3));
         let result = DiffTester::new().run(&program, &inputs);
         assert!(result.triggered_inconsistency());
         // Host–device pairs must dominate.
@@ -350,8 +348,10 @@ mod tests {
         let tester = DiffTester::new();
         let result = tester.run(&program, &inputs);
         // gcc (no contraction at O0) vs nvcc (contraction at O0) differ at O0.
-        assert!(result.records.iter().any(|r| r.level == OptLevel::O0
-            && r.pair == (CompilerId::Gcc, CompilerId::Nvcc)));
+        assert!(result
+            .records
+            .iter()
+            .any(|r| r.level == OptLevel::O0 && r.pair == (CompilerId::Gcc, CompilerId::Nvcc)));
         // RQ4 comparison: nvcc O0 differs from nvcc O0_nofma.
         let vs = tester.compare_vs_baseline(&result.outcomes);
         assert!(vs

@@ -193,8 +193,10 @@ mod tests {
         assert_eq!(parse_hex_output("3f800000", Precision::F32), Some(0x3f800000));
         assert_eq!(parse_hex_output("3f800000", Precision::F64), None);
         assert_eq!(parse_hex_output("zzz", Precision::F32), None);
-        assert_eq!(parse_hex_output("header\n3ff0000000000000", Precision::F64),
-            Some(0x3ff0000000000000));
+        assert_eq!(
+            parse_hex_output("header\n3ff0000000000000", Precision::F64),
+            Some(0x3ff0000000000000)
+        );
         assert_eq!(parse_hex_output("", Precision::F64), None);
     }
 
@@ -224,13 +226,11 @@ mod tests {
              }",
         )
         .unwrap();
-        let inputs = InputSet::new()
-            .with("x", InputValue::Fp(2.375))
-            .with("y", InputValue::Fp(-0.625));
+        let inputs =
+            InputSet::new().with("x", InputValue::Fp(2.375)).with("y", InputValue::Fp(-0.625));
         let mut ext = ExternalCompiler::new(gcc);
-        let real = ext
-            .compile_and_run(&program, &inputs, OptLevel::O0Nofma)
-            .expect("gcc compile+run");
+        let real =
+            ext.compile_and_run(&program, &inputs, OptLevel::O0Nofma).expect("gcc compile+run");
         let virt = llm4fp_compiler::compile(
             &program,
             llm4fp_compiler::CompilerConfig::new(CompilerId::Gcc, OptLevel::O0Nofma),
@@ -240,7 +240,8 @@ mod tests {
         .unwrap();
         ext.cleanup();
         assert_eq!(
-            real.bits, virt.bits(),
+            real.bits,
+            virt.bits(),
             "real gcc ({:016x}) and virtual gcc ({:016x}) disagree at O0_nofma",
             real.bits,
             virt.bits()

@@ -15,11 +15,12 @@ use crate::mathfn::MathFunc;
 ///
 /// The paper's evaluation uses FP64 by default; FP32 is supported end to end
 /// (generation, printing, virtual compilation and execution).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum Precision {
     /// IEEE-754 binary32 (`float`).
     F32,
     /// IEEE-754 binary64 (`double`).
+    #[default]
     F64,
 }
 
@@ -40,12 +41,6 @@ impl Precision {
             Precision::F32 => 8,
             Precision::F64 => 16,
         }
-    }
-}
-
-impl Default for Precision {
-    fn default() -> Self {
-        Precision::F64
     }
 }
 
@@ -366,9 +361,9 @@ impl IndexExpr {
     pub fn var(&self) -> Option<&str> {
         match self {
             IndexExpr::Const(_) => None,
-            IndexExpr::Var(v) | IndexExpr::Offset { var: v, .. } | IndexExpr::Mod { var: v, .. } => {
-                Some(v)
-            }
+            IndexExpr::Var(v)
+            | IndexExpr::Offset { var: v, .. }
+            | IndexExpr::Mod { var: v, .. } => Some(v),
         }
     }
 

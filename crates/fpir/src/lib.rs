@@ -36,8 +36,8 @@ pub mod tokens;
 pub mod validate;
 
 pub use ast::{
-    AssignOp, BinOp, Block, BoolExpr, CmpOp, Expr, IndexExpr, Param, ParamType, Precision,
-    Program, Stmt,
+    AssignOp, BinOp, Block, BoolExpr, CmpOp, Expr, IndexExpr, Param, ParamType, Precision, Program,
+    Stmt,
 };
 pub use hash::{program_hash, program_id, source_hash};
 pub use inputs::{InputSet, InputValue};

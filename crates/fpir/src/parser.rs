@@ -7,8 +7,8 @@
 //! LLM when it mutates a seed program that is only available as text.
 
 use crate::ast::{
-    AssignOp, BinOp, Block, BoolExpr, CmpOp, Expr, IndexExpr, Param, ParamType, Precision,
-    Program, Stmt,
+    AssignOp, BinOp, Block, BoolExpr, CmpOp, Expr, IndexExpr, Param, ParamType, Precision, Program,
+    Stmt,
 };
 use crate::mathfn::MathFunc;
 use crate::tokens::{tokenize, Token, TokenKind};
@@ -57,9 +57,8 @@ fn infer_array_param_lengths(program: &mut Program) {
     use std::collections::HashMap;
 
     fn index_requirement(index: &IndexExpr, loop_bounds: &[(String, i64)]) -> i64 {
-        let bound_of = |var: &str| {
-            loop_bounds.iter().rev().find(|(v, _)| v == var).map(|(_, b)| *b)
-        };
+        let bound_of =
+            |var: &str| loop_bounds.iter().rev().find(|(v, _)| v == var).map(|(_, b)| *b);
         match index {
             IndexExpr::Const(k) => k + 1,
             IndexExpr::Var(v) => bound_of(v).unwrap_or(PARSED_ARRAY_LEN as i64),
@@ -70,11 +69,7 @@ fn infer_array_param_lengths(program: &mut Program) {
         }
     }
 
-    fn scan_expr(
-        expr: &Expr,
-        loop_bounds: &[(String, i64)],
-        required: &mut HashMap<String, i64>,
-    ) {
+    fn scan_expr(expr: &Expr, loop_bounds: &[(String, i64)], required: &mut HashMap<String, i64>) {
         expr.visit(&mut |e| {
             if let Expr::Index { array, index } = e {
                 let need = index_requirement(index, loop_bounds);
@@ -148,11 +143,8 @@ fn parse_hex_float(t: &str) -> Option<f64> {
         Some((i, f)) => (i, f),
         None => (mant, ""),
     };
-    let mut value = if int_part.is_empty() {
-        0.0
-    } else {
-        u64::from_str_radix(int_part, 16).ok()? as f64
-    };
+    let mut value =
+        if int_part.is_empty() { 0.0 } else { u64::from_str_radix(int_part, 16).ok()? as f64 };
     let mut scale = 1.0 / 16.0;
     for c in frac_part.chars() {
         value += (c.to_digit(16)? as f64) * scale;
@@ -266,7 +258,8 @@ impl Parser {
                         }
                         continue;
                     }
-                    let ty = if is_ptr { ParamType::FpArray(PARSED_ARRAY_LEN) } else { ParamType::Fp };
+                    let ty =
+                        if is_ptr { ParamType::FpArray(PARSED_ARRAY_LEN) } else { ParamType::Fp };
                     params.push(Param::new(name, ty));
                 }
                 other => return self.err(format!("unexpected parameter type `{other}`")),
@@ -525,12 +518,10 @@ impl Parser {
             Some(t) if t.kind == TokenKind::IntLit => {
                 let text = self.bump().unwrap().text;
                 let digits: String = text.chars().take_while(|c| c.is_ascii_digit()).collect();
-                digits
-                    .parse::<i64>()
-                    .map_err(|_| ParseError {
-                        message: format!("invalid integer literal `{text}`"),
-                        position: self.pos,
-                    })
+                digits.parse::<i64>().map_err(|_| ParseError {
+                    message: format!("invalid integer literal `{text}`"),
+                    position: self.pos,
+                })
             }
             _ => self.err(format!("expected integer literal, found `{}`", self.peek_text())),
         }
@@ -752,8 +743,7 @@ void compute(float x, float *v) {
     #[test]
     fn rejects_unknown_functions_and_malformed_loops() {
         assert!(parse_compute("void compute(double x) { comp = frobnicate(x); }").is_err());
-        assert!(parse_compute("void compute(double x) { for (int i = 0; j < 4; ++i) {} }")
-            .is_err());
+        assert!(parse_compute("void compute(double x) { for (int i = 0; j < 4; ++i) {} }").is_err());
         assert!(parse_compute("int main(void) { return 0; }").is_err());
     }
 

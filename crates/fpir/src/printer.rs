@@ -123,11 +123,8 @@ fn write_main(out: &mut String, program: &Program, inputs: &InputSet, target: Ta
                 );
             }
             (ParamType::FpArray(len), Some(InputValue::FpArray(vals))) => {
-                let elems: Vec<String> = vals
-                    .iter()
-                    .take(len)
-                    .map(|&v| c_fp_literal(v, program.precision))
-                    .collect();
+                let elems: Vec<String> =
+                    vals.iter().take(len).map(|&v| c_fp_literal(v, program.precision)).collect();
                 let _ =
                     writeln!(out, "{INDENT}{fp} {}[{}] = {{{}}};", p.name, len, elems.join(", "));
             }
@@ -137,7 +134,12 @@ fn write_main(out: &mut String, program: &Program, inputs: &InputSet, target: Ta
                 let _ = writeln!(out, "{INDENT}int {} = 0;", p.name);
             }
             (ParamType::Fp, _) => {
-                let _ = writeln!(out, "{INDENT}{fp} {} = 0.0{};", p.name, f32_suffix(program.precision));
+                let _ = writeln!(
+                    out,
+                    "{INDENT}{fp} {} = 0.0{};",
+                    p.name,
+                    f32_suffix(program.precision)
+                );
             }
             (ParamType::FpArray(len), _) => {
                 let _ = writeln!(out, "{INDENT}{fp} {}[{}] = {{0}};", p.name, len);
@@ -215,12 +217,8 @@ fn write_block(out: &mut String, block: &Block, precision: Precision, depth: usi
     for stmt in &block.stmts {
         match stmt {
             Stmt::Assign { target, op, expr } => {
-                let _ = writeln!(
-                    out,
-                    "{pad}{target} {} {};",
-                    op.c_str(),
-                    expr_to_c(expr, precision)
-                );
+                let _ =
+                    writeln!(out, "{pad}{target} {} {};", op.c_str(), expr_to_c(expr, precision));
             }
             Stmt::DeclScalar { name, expr } => {
                 let _ = writeln!(out, "{pad}{fp} {name} = {};", expr_to_c(expr, precision));
@@ -255,8 +253,7 @@ fn write_block(out: &mut String, block: &Block, precision: Precision, depth: usi
                 let _ = writeln!(out, "{pad}}}");
             }
             Stmt::For { var, bound, body } => {
-                let _ =
-                    writeln!(out, "{pad}for (int {var} = 0; {var} < {bound}; ++{var}) {{");
+                let _ = writeln!(out, "{pad}for (int {var} = 0; {var} < {bound}; ++{var}) {{");
                 write_block(out, body, precision, depth + 1);
                 let _ = writeln!(out, "{pad}}}");
             }
@@ -277,12 +274,7 @@ pub fn expr_to_c(expr: &Expr, precision: Precision) -> String {
         Expr::Paren(inner) => format!("({})", expr_to_c(inner, precision)),
         Expr::Neg(inner) => format!("-{}", child_to_c(inner, precision)),
         Expr::Bin { op, lhs, rhs } => {
-            format!(
-                "{} {} {}",
-                child_to_c(lhs, precision),
-                op.c_str(),
-                child_to_c(rhs, precision)
-            )
+            format!("{} {} {}", child_to_c(lhs, precision), op.c_str(), child_to_c(rhs, precision))
         }
         Expr::Call { func, args } => {
             let name = match precision {
@@ -365,7 +357,7 @@ mod tests {
         assert!(src.contains("int main(void)"));
         assert!(src.contains("compute(x, n, a);"));
         // Exactly two functions.
-        assert_eq!(src.matches("compute(").count() >= 2, true);
+        assert!(src.matches("compute(").count() >= 2);
         assert_eq!(src.matches("int main").count(), 1);
     }
 
@@ -412,10 +404,8 @@ mod tests {
 
     #[test]
     fn negation_and_calls_print_correctly() {
-        let e = Expr::Neg(Box::new(Expr::call(
-            MathFunc::Pow,
-            vec![Expr::var("x"), Expr::Num(2.0)],
-        )));
+        let e =
+            Expr::Neg(Box::new(Expr::call(MathFunc::Pow, vec![Expr::var("x"), Expr::Num(2.0)])));
         assert_eq!(expr_to_c(&e, Precision::F64), "-pow(x, 2.0)");
     }
 

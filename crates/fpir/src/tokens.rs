@@ -39,9 +39,28 @@ impl Token {
 
 /// The C keywords recognized by the tokenizer.
 pub const KEYWORDS: &[&str] = &[
-    "void", "int", "float", "double", "for", "if", "else", "return", "union", "unsigned", "long",
-    "char", "const", "static", "while", "do", "break", "continue", "struct", "sizeof",
-    "__global__", "include",
+    "void",
+    "int",
+    "float",
+    "double",
+    "for",
+    "if",
+    "else",
+    "return",
+    "union",
+    "unsigned",
+    "long",
+    "char",
+    "const",
+    "static",
+    "while",
+    "do",
+    "break",
+    "continue",
+    "struct",
+    "sizeof",
+    "__global__",
+    "include",
 ];
 
 /// Multi-character punctuation, longest first so maximal munch works.
@@ -118,9 +137,7 @@ pub fn tokenize(src: &str) -> Vec<Token> {
             continue;
         }
         // Numeric literal (decimal or hexadecimal, integer or floating).
-        if c.is_ascii_digit()
-            || (c == '.' && i + 1 < n && bytes[i + 1].is_ascii_digit())
-        {
+        if c.is_ascii_digit() || (c == '.' && i + 1 < n && bytes[i + 1].is_ascii_digit()) {
             let start = i;
             let mut is_fp = c == '.';
             let hex = c == '0' && i + 1 < n && (bytes[i + 1] == 'x' || bytes[i + 1] == 'X');

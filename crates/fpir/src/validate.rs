@@ -478,7 +478,10 @@ mod tests {
         let mut p = valid_program();
         p.body.push(Stmt::If {
             cond: BoolExpr { lhs: Expr::var(COMP), op: CmpOp::Gt, rhs: Expr::Num(0.0) },
-            then_block: Block::new(vec![Stmt::DeclScalar { name: "tmp".into(), expr: Expr::Num(1.0) }]),
+            then_block: Block::new(vec![Stmt::DeclScalar {
+                name: "tmp".into(),
+                expr: Expr::Num(1.0),
+            }]),
         });
         p.body.push(Stmt::Assign {
             target: COMP.into(),

@@ -164,12 +164,8 @@ impl ProgramBuilder {
 
     /// Get (or create) a scalar fp parameter.
     pub fn scalar_param(&mut self, rng: &mut impl Rng) -> String {
-        let existing: Vec<String> = self
-            .params
-            .iter()
-            .filter(|p| p.ty == ParamType::Fp)
-            .map(|p| p.name.clone())
-            .collect();
+        let existing: Vec<String> =
+            self.params.iter().filter(|p| p.ty == ParamType::Fp).map(|p| p.name.clone()).collect();
         if !existing.is_empty() && rng.gen_bool(0.6) {
             return existing.choose(rng).unwrap().clone();
         }
@@ -536,7 +532,8 @@ fn trig_identity(b: &mut ProgramBuilder, rng: &mut impl Rng, sampling: &Sampling
 fn log_sum_exp(b: &mut ProgramBuilder, rng: &mut impl Rng) {
     let x = b.scalar_param(rng);
     let y = b.scalar_param(rng);
-    let m = b.decl_temp(Expr::call(MathFunc::Fmax, vec![Expr::var(x.clone()), Expr::var(y.clone())]));
+    let m =
+        b.decl_temp(Expr::call(MathFunc::Fmax, vec![Expr::var(x.clone()), Expr::var(y.clone())]));
     b.used_funcs.extend([MathFunc::Fmax, MathFunc::Exp, MathFunc::Log]);
     b.accumulate(
         AssignOp::Add,
@@ -655,13 +652,10 @@ fn running_variance(b: &mut ProgramBuilder, rng: &mut impl Rng) {
 
 fn trapezoid(b: &mut ProgramBuilder, rng: &mut impl Rng, sampling: &SamplingParams) {
     let h = b.scalar_param(rng);
-    let f = b.pick_func(rng, sampling, &[MathFunc::Sin, MathFunc::Cos, MathFunc::Tanh, MathFunc::Atan]);
+    let f =
+        b.pick_func(rng, sampling, &[MathFunc::Sin, MathFunc::Cos, MathFunc::Tanh, MathFunc::Atan]);
     let i = b.fresh_loop_var();
-    let step = Expr::bin(
-        BinOp::Div,
-        Expr::var(h.clone()),
-        num(rng.gen_range(16.0..64.0)),
-    );
+    let step = Expr::bin(BinOp::Div, Expr::var(h.clone()), num(rng.gen_range(16.0..64.0)));
     let xi = Expr::bin(BinOp::Mul, Expr::var(i.clone()), step.clone());
     let xi1 = Expr::bin(
         BinOp::Mul,
@@ -673,12 +667,7 @@ fn trapezoid(b: &mut ProgramBuilder, rng: &mut impl Rng, sampling: &SamplingPara
         op: AssignOp::Add,
         expr: Expr::bin(
             BinOp::Mul,
-            Expr::bin(
-                BinOp::Add,
-                Expr::call(f, vec![xi]),
-                Expr::call(f, vec![xi1]),
-            )
-            .paren(),
+            Expr::bin(BinOp::Add, Expr::call(f, vec![xi]), Expr::call(f, vec![xi1])).paren(),
             Expr::bin(BinOp::Mul, step, num(0.5)),
         ),
     }]);
@@ -881,7 +870,8 @@ mod tests {
     #[test]
     fn pick_func_respects_frequency_penalty() {
         let mut rng = StdRng::seed_from_u64(3);
-        let sampling = SamplingParams { frequency_penalty: 2.0, ..SamplingParams::paper_defaults() };
+        let sampling =
+            SamplingParams { frequency_penalty: 2.0, ..SamplingParams::paper_defaults() };
         let mut builder = ProgramBuilder::new(Precision::F64, 0);
         let candidates = [MathFunc::Sin, MathFunc::Cos, MathFunc::Exp, MathFunc::Log];
         let mut counts = std::collections::HashMap::new();

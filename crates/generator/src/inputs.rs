@@ -43,7 +43,14 @@ impl InputProfile {
     /// A profile restricted to moderate values (useful for examples that
     /// want to avoid extreme-value behaviour entirely).
     pub fn moderate_only() -> Self {
-        InputProfile { moderate: 1.0, large: 0.0, tiny: 0.0, near_one: 0.0, zero: 0.0, subnormal: 0.0 }
+        InputProfile {
+            moderate: 1.0,
+            large: 0.0,
+            tiny: 0.0,
+            near_one: 0.0,
+            zero: 0.0,
+            subnormal: 0.0,
+        }
     }
 
     fn total(&self) -> f64 {
@@ -152,12 +159,15 @@ mod tests {
         assert!(values.iter().all(|v| v.is_finite()));
         assert!(values.iter().any(|v| v.abs() > 1e3), "large regime missing");
         assert!(values.iter().any(|v| *v != 0.0 && v.abs() < 1e-3), "tiny regime missing");
-        assert!(values.iter().any(|v| *v == 0.0), "zero regime missing");
+        assert!(values.contains(&0.0), "zero regime missing");
         assert!(
             values.iter().any(|v| *v != 0.0 && v.abs() < f64::MIN_POSITIVE),
             "subnormal regime missing"
         );
-        assert!(values.iter().any(|v| (*v - 1.0).abs() < 1e-3 && *v != 1.0), "near-one regime missing");
+        assert!(
+            values.iter().any(|v| (*v - 1.0).abs() < 1e-3 && *v != 1.0),
+            "near-one regime missing"
+        );
         let negatives = values.iter().filter(|v| **v < 0.0).count();
         assert!(negatives > 5_000 && negatives < 15_000);
     }

@@ -123,11 +123,8 @@ impl SimulatedLlm {
     fn pick_idiom(&mut self, builder: &ProgramBuilder) -> IdiomKind {
         let sampling = self.config.sampling;
         let explore = self.rng.gen_bool(sampling.explore_probability());
-        let unused: Vec<IdiomKind> = IdiomKind::ALL
-            .iter()
-            .copied()
-            .filter(|k| !builder.used_idioms.contains(k))
-            .collect();
+        let unused: Vec<IdiomKind> =
+            IdiomKind::ALL.iter().copied().filter(|k| !builder.used_idioms.contains(k)).collect();
         if explore && !unused.is_empty() {
             return *unused.choose(&mut self.rng).unwrap();
         }
@@ -187,8 +184,7 @@ impl SimulatedLlm {
         let seed_src = prompt.seed_program.as_deref().unwrap_or_default();
         match parse_compute(seed_src) {
             Ok(seed) => {
-                let (mutant, _ops) =
-                    mutate_program(&seed, &mut self.rng, &self.config.sampling);
+                let (mutant, _ops) = mutate_program(&seed, &mut self.rng, &self.config.sampling);
                 to_compute_source(&mutant)
             }
             // If the seed cannot be parsed the model falls back to fresh

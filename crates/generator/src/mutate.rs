@@ -160,12 +160,8 @@ fn swap_commutative(expr: &mut Expr, coin: &mut Vec<bool>, swaps: &mut usize) {
 fn nest_expression(program: &mut Program, rng: &mut impl Rng) {
     // Pick one assignment and wrap its right-hand side in extra arithmetic
     // that reuses the program's own scalar variables.
-    let vars: Vec<String> = program
-        .params
-        .iter()
-        .filter(|p| p.ty == ParamType::Fp)
-        .map(|p| p.name.clone())
-        .collect();
+    let vars: Vec<String> =
+        program.params.iter().filter(|p| p.ty == ParamType::Fp).map(|p| p.name.clone()).collect();
     let extra = match vars.choose(rng) {
         Some(v) => Expr::var(v.clone()),
         None => Expr::Num(plausible_constant(rng)),
@@ -257,9 +253,18 @@ fn introduce_control_flow(program: &mut Program, rng: &mut impl Rng) {
 }
 
 fn swap_math_functions(program: &mut Program, rng: &mut impl Rng) {
-    let unary_pool =
-        [MathFunc::Sin, MathFunc::Cos, MathFunc::Tanh, MathFunc::Exp, MathFunc::Log1p, MathFunc::Atan, MathFunc::Cbrt, MathFunc::Expm1];
-    let binary_pool = [MathFunc::Fmin, MathFunc::Fmax, MathFunc::Atan2, MathFunc::Hypot, MathFunc::Pow];
+    let unary_pool = [
+        MathFunc::Sin,
+        MathFunc::Cos,
+        MathFunc::Tanh,
+        MathFunc::Exp,
+        MathFunc::Log1p,
+        MathFunc::Atan,
+        MathFunc::Cbrt,
+        MathFunc::Expm1,
+    ];
+    let binary_pool =
+        [MathFunc::Fmin, MathFunc::Fmax, MathFunc::Atan2, MathFunc::Hypot, MathFunc::Pow];
     let mut picks: Vec<usize> = (0..64).map(|_| rng.gen_range(0..1000)).collect();
     let mut flip: Vec<bool> = (0..64).map(|_| rng.gen_bool(0.6)).collect();
     for_each_expr_mut(&mut program.body, &mut |expr| {
@@ -302,12 +307,8 @@ fn swap_funcs_in(
 fn insert_intermediate(program: &mut Program, rng: &mut impl Rng) {
     // Declare a new temporary computed from existing scalar fp parameters
     // and add it into the accumulator at the end.
-    let vars: Vec<String> = program
-        .params
-        .iter()
-        .filter(|p| p.ty == ParamType::Fp)
-        .map(|p| p.name.clone())
-        .collect();
+    let vars: Vec<String> =
+        program.params.iter().filter(|p| p.ty == ParamType::Fp).map(|p| p.name.clone()).collect();
     // Find a fresh name (the seed may already contain mid_N temporaries).
     let mut n = 0usize;
     let name = loop {
@@ -325,11 +326,8 @@ fn insert_intermediate(program: &mut Program, rng: &mut impl Rng) {
     let func = *[MathFunc::Tanh, MathFunc::Sin, MathFunc::Atan, MathFunc::Log1p, MathFunc::Cbrt]
         .choose(rng)
         .unwrap();
-    let expr = Expr::bin(
-        BinOp::Mul,
-        Expr::call(func, vec![base]),
-        Expr::Num(plausible_constant(rng)),
-    );
+    let expr =
+        Expr::bin(BinOp::Mul, Expr::call(func, vec![base]), Expr::Num(plausible_constant(rng)));
     program.body.stmts.push(Stmt::DeclScalar { name: name.clone(), expr });
     program.body.stmts.push(Stmt::Assign {
         target: COMP.into(),

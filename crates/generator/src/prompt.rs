@@ -168,11 +168,8 @@ impl PromptBuilder {
     /// Build a Feedback-Based Mutation request (Section 2.3.2) from a seed
     /// program that previously triggered an inconsistency.
     pub fn feedback_mutation(&self, seed_program: &str) -> Prompt {
-        let strategies = MUTATION_STRATEGIES
-            .iter()
-            .map(|s| format!("- {s}"))
-            .collect::<Vec<_>>()
-            .join("\n");
+        let strategies =
+            MUTATION_STRATEGIES.iter().map(|s| format!("- {s}")).collect::<Vec<_>>().join("\n");
         let text = format!(
             "Change the following floating-point C program to create a new one that behaves \
              differently.\n{}\n{}\n{}\n\

@@ -16,8 +16,8 @@
 use rand::prelude::*;
 
 use llm4fp_fpir::{
-    validate, AssignOp, BinOp, Block, BoolExpr, CmpOp, Expr, IndexExpr, MathFunc, Param,
-    ParamType, Precision, Program, Stmt, COMP,
+    validate, AssignOp, BinOp, Block, BoolExpr, CmpOp, Expr, IndexExpr, MathFunc, Param, ParamType,
+    Precision, Program, Stmt, COMP,
 };
 
 /// Configuration of the random generator (defaults follow the scale of the
@@ -105,11 +105,8 @@ impl VarityGenerator {
         if self.rng.gen_bool(0.4) {
             params.push(Param::new("n", ParamType::Int));
         }
-        let scalars: Vec<String> = params
-            .iter()
-            .filter(|p| p.ty == ParamType::Fp)
-            .map(|p| p.name.clone())
-            .collect();
+        let scalars: Vec<String> =
+            params.iter().filter(|p| p.ty == ParamType::Fp).map(|p| p.name.clone()).collect();
 
         let mut ctx = Ctx { scalars, arrays, temp_count: 0, loop_depth: 0 };
         let n_stmts = self.rng.gen_range(2..=self.config.max_statements);
@@ -184,7 +181,8 @@ impl VarityGenerator {
     fn gen_if(&mut self, ctx: &mut Ctx) -> Stmt {
         let lhs = self.gen_expr(ctx, 2, None);
         let rhs = self.gen_expr(ctx, 2, None);
-        let op = *[CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Ne].choose(&mut self.rng).unwrap();
+        let op =
+            *[CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Ne].choose(&mut self.rng).unwrap();
         let expr = self.gen_expr(ctx, 3, None);
         Stmt::If {
             cond: BoolExpr { lhs, op, rhs },
@@ -202,8 +200,7 @@ impl VarityGenerator {
         }
         if self.rng.gen_bool(self.config.call_probability) {
             let func = *MathFunc::ALL.choose(&mut self.rng).unwrap();
-            let args =
-                (0..func.arity()).map(|_| self.gen_expr(ctx, depth - 1, loop_var)).collect();
+            let args = (0..func.arity()).map(|_| self.gen_expr(ctx, depth - 1, loop_var)).collect();
             return Expr::Call { func, args };
         }
         let op = *[BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div].choose(&mut self.rng).unwrap();

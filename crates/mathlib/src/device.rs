@@ -197,13 +197,7 @@ impl MathLib for DeviceMathLib {
         if ax < 0.5 {
             // sinh(x) = x + x^3/3! + x^5/5! + ...
             let z = x * x;
-            const S: [f64; 5] = [
-                1.0 / 362_880.0,
-                1.0 / 5_040.0,
-                1.0 / 120.0,
-                1.0 / 6.0,
-                1.0,
-            ];
+            const S: [f64; 5] = [1.0 / 362_880.0, 1.0 / 5_040.0, 1.0 / 120.0, 1.0 / 6.0, 1.0];
             return x * horner(z, &S);
         }
         let e = self.exp(ax);
@@ -351,15 +345,8 @@ impl MathLib for DeviceMathLib {
             // log1p(x) = 2 atanh(x / (2 + x))
             let s = x / (2.0 + x);
             let z = s * s;
-            const L: [f64; 7] = [
-                1.0 / 15.0,
-                1.0 / 13.0,
-                1.0 / 11.0,
-                1.0 / 9.0,
-                1.0 / 7.0,
-                1.0 / 5.0,
-                1.0 / 3.0,
-            ];
+            const L: [f64; 7] =
+                [1.0 / 15.0, 1.0 / 13.0, 1.0 / 11.0, 1.0 / 9.0, 1.0 / 7.0, 1.0 / 5.0, 1.0 / 3.0];
             return 2.0 * (s + s * z * horner(z, &L));
         }
         self.log(1.0 + x)

@@ -76,18 +76,10 @@ impl FastMathLib {
         }
         let k = x.floor();
         let r = x - k; // in [0, 1)
-        // 2^r = e^(r ln 2), short Taylor kernel (relative error ~1e-6).
+                       // 2^r = e^(r ln 2), short Taylor kernel (relative error ~1e-6).
         let t = r * LN2;
-        const P: [f64; 8] = [
-            1.0 / 5_040.0,
-            1.0 / 720.0,
-            1.0 / 120.0,
-            1.0 / 24.0,
-            1.0 / 6.0,
-            0.5,
-            1.0,
-            1.0,
-        ];
+        const P: [f64; 8] =
+            [1.0 / 5_040.0, 1.0 / 720.0, 1.0 / 120.0, 1.0 / 24.0, 1.0 / 6.0, 0.5, 1.0, 1.0];
         pow2i(k as i64) * horner(t, &P)
     }
 

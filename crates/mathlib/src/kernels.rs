@@ -43,7 +43,7 @@ pub const PIO2_2: f64 = 6.07710050650619224932e-11;
 /// Third part of π/2.
 pub const PIO2_3: f64 = 2.02226624879595063154e-21;
 /// 2/π.
-pub const TWO_OVER_PI: f64 = 6.36619772367581382433e-01;
+pub const TWO_OVER_PI: f64 = std::f64::consts::FRAC_2_PI;
 
 /// Reduce `x` to `(quadrant, r)` with `x = quadrant * π/2 + r` and
 /// `|r| <= π/4`. Uses a three-term Cody–Waite reduction, which is accurate

@@ -26,6 +26,9 @@
 //! `CompilerConfig` lowers math calls to.
 
 #![deny(unsafe_code)]
+// Math-library polynomial/rational coefficients are written at full
+// precision on purpose; the "excess" digits document the approximations.
+#![allow(clippy::excessive_precision)]
 
 pub mod device;
 pub mod fast;

@@ -140,7 +140,8 @@ pub fn detect_clones(sources: &[String]) -> CloneReport {
 mod tests {
     use super::*;
 
-    const BASE: &str = "void compute(double x) {\n    double comp = 0.0;\n    comp = x * 2.0 + 1.0;\n}";
+    const BASE: &str =
+        "void compute(double x) {\n    double comp = 0.0;\n    comp = x * 2.0 + 1.0;\n}";
 
     #[test]
     fn whitespace_variants_are_type1_clones() {
@@ -156,7 +157,8 @@ mod tests {
 
     #[test]
     fn renamed_programs_are_type2_and_type2c_but_not_type1() {
-        let renamed = "void compute(double y) {\n    double comp = 0.0;\n    comp = y * 2.0 + 1.0;\n}";
+        let renamed =
+            "void compute(double y) {\n    double comp = 0.0;\n    comp = y * 2.0 + 1.0;\n}";
         let report = detect_clones(&[BASE.to_string(), renamed.to_string()]);
         assert_eq!(report.class_count(CloneType::Type1), 0);
         assert_eq!(report.class_count(CloneType::Type2), 1);
@@ -165,7 +167,8 @@ mod tests {
 
     #[test]
     fn changed_literals_are_type2_but_not_type2c() {
-        let changed = "void compute(double x) {\n    double comp = 0.0;\n    comp = x * 7.5 + 1.0;\n}";
+        let changed =
+            "void compute(double x) {\n    double comp = 0.0;\n    comp = x * 7.5 + 1.0;\n}";
         let report = detect_clones(&[BASE.to_string(), changed.to_string()]);
         assert_eq!(report.class_count(CloneType::Type1), 0);
         assert_eq!(report.class_count(CloneType::Type2), 1);

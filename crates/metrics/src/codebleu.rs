@@ -20,9 +20,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use llm4fp_fpir::{
-    parse_compute, tokenize, Block, Expr, Program, Stmt, Token, TokenKind,
-};
+use llm4fp_fpir::{parse_compute, tokenize, Block, Expr, Program, Stmt, Token, TokenKind};
 
 /// Component weights; the reference implementation defaults to 0.25 each.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -94,8 +92,7 @@ fn ngram_counts(tokens: &[Token], n: usize, weighted: bool) -> HashMap<Vec<&str>
     }
     for window in tokens.windows(n) {
         let key: Vec<&str> = window.iter().map(|t| t.text.as_str()).collect();
-        let weight: f64 =
-            window.iter().map(|t| token_weight(t, weighted)).sum::<f64>() / n as f64;
+        let weight: f64 = window.iter().map(|t| token_weight(t, weighted)).sum::<f64>() / n as f64;
         *counts.entry(key).or_insert(0.0) += weight;
     }
     counts
@@ -384,7 +381,8 @@ mod tests {
 
     #[test]
     fn weights_change_the_combination() {
-        let only_syntax = CodeBleuWeights { ngram: 0.0, weighted_ngram: 0.0, syntax: 1.0, dataflow: 0.0 };
+        let only_syntax =
+            CodeBleuWeights { ngram: 0.0, weighted_ngram: 0.0, syntax: 1.0, dataflow: 0.0 };
         let s = codebleu(PROG_A, PROG_B, only_syntax);
         assert!((s.combined - s.syntax_match).abs() < 1e-12);
     }

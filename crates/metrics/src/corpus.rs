@@ -58,9 +58,8 @@ pub fn average_pairwise_codebleu(
     if n < 2 {
         return (0.0, 0);
     }
-    let all_pairs: Vec<(usize, usize)> = (0..n)
-        .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
-        .collect();
+    let all_pairs: Vec<(usize, usize)> =
+        (0..n).flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j))).collect();
     let pairs: Vec<(usize, usize)> = if all_pairs.len() <= max_pairs.max(1) {
         all_pairs
     } else {

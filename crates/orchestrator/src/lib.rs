@@ -1,0 +1,73 @@
+//! # llm4fp-orchestrator
+//!
+//! The scalable execution engine over `llm4fp`'s campaign framework:
+//! where [`llm4fp::Campaign`] runs one budget sequentially, the
+//! orchestrator decomposes it into independent shards, executes them on a
+//! worker pool, and deterministically merges the outputs.
+//!
+//! ```text
+//!            CampaignConfig (budget N, seed S)
+//!                          |
+//!                  plan_shards(config, K)
+//!                          |
+//!      +------- K shards, seed S ^ mix(k) -------+
+//!      |                   |                      |
+//!   CampaignRunner    CampaignRunner  ...    CampaignRunner     worker pool
+//!      |   \               |   /                  |             (W threads)
+//!      |    +---- shared ResultCache (optional)---+
+//!      |                   |                      |
+//!   ShardOutput       ShardOutput            ShardOutput   --> JSONL run dir
+//!      +---------------- merge (shard order) ----------------+  (optional)
+//!                          |
+//!                   CampaignResult
+//! ```
+//!
+//! **Determinism contract.** A sharded run is a pure function of
+//! `(config, K)`: every shard derives its RNG streams from
+//! `config.seed ^ mix(shard_index)` (mix(0) = 0, so shard 0 replays the
+//! sequential stream), shards never communicate, program inputs
+//! are derived from the program's structural hash (so the shared result
+//! cache is semantically transparent), and outputs merge in shard order.
+//! Worker count, scheduling order, caching, and interruption/resume all
+//! leave the result bit-identical. For `K = 1`, shard 0's streams are
+//! exactly the sequential campaign's, so the orchestrated result matches
+//! [`llm4fp::Campaign::run`] field for field.
+//!
+//! The trade-off at `K > 1`: each shard maintains its own feedback set
+//! (Feedback-Based Mutation draws only from inconsistencies its own shard
+//! found), which is what removes cross-program sequencing and makes the
+//! decomposition embarrassingly parallel.
+//!
+//! Provided here:
+//!
+//! * [`Orchestrator`] — sharded execution with optional caching and
+//!   persistent, resumable run directories ([`Orchestrator::resume`]);
+//! * [`Scheduler`] — multi-campaign suites (all four Table 2 approaches)
+//!   over one shared worker budget;
+//! * [`shard`] — the shard planning/merging primitives;
+//! * [`persist`] — the JSONL run-directory format.
+//!
+//! ```no_run
+//! use llm4fp::{ApproachKind, CampaignConfig};
+//! use llm4fp_orchestrator::Orchestrator;
+//!
+//! let config = CampaignConfig::new(ApproachKind::Llm4Fp).with_budget(1_000);
+//! let result = Orchestrator::run_sharded(&config, 8);
+//! println!("rate: {:.2}%", 100.0 * result.inconsistency_rate());
+//! ```
+
+#![deny(unsafe_code)]
+
+pub mod orchestrate;
+pub mod persist;
+pub mod pool;
+pub mod scheduler;
+pub mod shard;
+
+pub use orchestrate::{
+    default_workers, matches_sequential, OrchestratedResult, Orchestrator, OrchestratorOptions,
+    RunStats,
+};
+pub use persist::{PersistError, RunDir, RunManifest};
+pub use scheduler::Scheduler;
+pub use shard::{merge_shards, plan_shards, run_shard, shard_seed, ShardOutput, ShardSpec};

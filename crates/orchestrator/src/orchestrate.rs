@@ -1,0 +1,221 @@
+//! The campaign orchestrator: sharded execution on a worker pool, with
+//! optional result caching and persistent, resumable run directories.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use llm4fp::{Campaign, CampaignConfig, CampaignResult};
+use llm4fp_difftest::{CacheStats, ResultCache};
+
+use crate::persist::{PersistError, RunDir, RunManifest};
+use crate::pool::run_indexed;
+use crate::shard::{merge_shards, plan_shards, run_shard, ShardOutput, ShardSpec};
+
+/// How an orchestrated run executes.
+#[derive(Debug, Clone)]
+pub struct OrchestratorOptions {
+    /// Worker threads for shard execution (shards themselves also
+    /// parallelize their difftest matrix with `config.threads` workers).
+    /// Defaults to the machine's available parallelism.
+    pub workers: usize,
+    /// Share a differential-testing result cache across shards.
+    pub cache: bool,
+    /// Persist the run (config, per-program progress, shard outputs,
+    /// merged result) into this directory, and resume from any complete
+    /// shards already present.
+    pub run_dir: Option<PathBuf>,
+}
+
+impl Default for OrchestratorOptions {
+    fn default() -> Self {
+        OrchestratorOptions { workers: default_workers(), cache: true, run_dir: None }
+    }
+}
+
+/// The machine's available parallelism (1 when unknown).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Execution statistics of one orchestrated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Number of shards in the plan.
+    pub shards: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Shards loaded from a persisted run directory instead of computed.
+    pub shards_reused: usize,
+    /// Shards computed this run.
+    pub shards_computed: usize,
+    /// Result-cache statistics (`None` when caching was off).
+    pub cache: Option<CacheStats>,
+    /// Wall-clock duration of the orchestrated run.
+    pub wall_time: Duration,
+    /// Sum of the computed shards' pipeline times (the work the pool
+    /// actually performed; `wall_time` approaches this divided by the
+    /// effective worker count).
+    pub shard_pipeline_time: Duration,
+}
+
+/// A merged campaign result plus how it was produced.
+#[derive(Debug, Clone)]
+pub struct OrchestratedResult {
+    pub result: CampaignResult,
+    pub stats: RunStats,
+}
+
+/// Drives sharded campaign runs. See the crate docs for the determinism
+/// contract: results are a pure function of `(config, shard count)`.
+#[derive(Debug, Clone, Default)]
+pub struct Orchestrator {
+    options: OrchestratorOptions,
+}
+
+impl Orchestrator {
+    pub fn new(options: OrchestratorOptions) -> Self {
+        Orchestrator { options }
+    }
+
+    pub fn options(&self) -> &OrchestratorOptions {
+        &self.options
+    }
+
+    /// Convenience entry point: run `config` split into `shards` shards on
+    /// the default worker pool with caching enabled, returning just the
+    /// campaign result. Bit-deterministic across worker counts; for
+    /// `shards == 1` the result matches [`Campaign::run`] exactly.
+    pub fn run_sharded(config: &CampaignConfig, shards: usize) -> CampaignResult {
+        Orchestrator::default()
+            .run(config, shards)
+            .expect("in-memory orchestrated run cannot fail")
+            .result
+    }
+
+    /// Run one campaign decomposed into `shards` shards. Only persistence
+    /// problems error; a memory-only run always succeeds.
+    pub fn run(
+        &self,
+        config: &CampaignConfig,
+        shards: usize,
+    ) -> Result<OrchestratedResult, PersistError> {
+        let start = Instant::now();
+        let specs = plan_shards(config, shards);
+        let cache = self.options.cache.then(|| Arc::new(ResultCache::new()));
+        let run_dir = match &self.options.run_dir {
+            Some(root) => Some(RunDir::open(
+                root,
+                &RunManifest { config: config.clone(), shards: specs.len() },
+            )?),
+            None => None,
+        };
+        let outcome = self.execute(config, &specs, cache.as_ref(), run_dir.as_ref());
+        let result = merge_shards(config, outcome.outputs, start.elapsed());
+        if let Some(dir) = &run_dir {
+            dir.write_result(&result)?;
+        }
+        Ok(OrchestratedResult {
+            stats: RunStats {
+                shards: specs.len(),
+                workers: self.options.workers.max(1),
+                shards_reused: outcome.reused,
+                shards_computed: outcome.computed,
+                cache: cache.map(|c| c.stats()),
+                wall_time: start.elapsed(),
+                shard_pipeline_time: outcome.pipeline_time,
+            },
+            result,
+        })
+    }
+
+    /// Resume a persisted run from its manifest alone: complete shards are
+    /// loaded, incomplete ones recomputed, and the merged result is
+    /// (re)written. Produces bit-identical results to an uninterrupted
+    /// run of the same manifest.
+    pub fn resume(root: impl Into<PathBuf>) -> Result<OrchestratedResult, PersistError> {
+        let root = root.into();
+        let manifest = RunDir::read_manifest(&root)?;
+        let orchestrator = Orchestrator::new(OrchestratorOptions {
+            run_dir: Some(root),
+            ..OrchestratorOptions::default()
+        });
+        orchestrator.run(&manifest.config, manifest.shards)
+    }
+
+    fn execute(
+        &self,
+        config: &CampaignConfig,
+        specs: &[ShardSpec],
+        cache: Option<&Arc<ResultCache>>,
+        run_dir: Option<&RunDir>,
+    ) -> ExecOutcome {
+        // Partition into shards already on disk and shards to compute.
+        let mut outputs: Vec<Option<ShardOutput>> =
+            specs.iter().map(|spec| run_dir.and_then(|dir| dir.load_shard(spec))).collect();
+        let reused = outputs.iter().filter(|o| o.is_some()).count();
+        let pending: Vec<ShardSpec> = specs
+            .iter()
+            .zip(&outputs)
+            .filter(|(_, loaded)| loaded.is_none())
+            .map(|(spec, _)| *spec)
+            .collect();
+
+        let computed = run_indexed(pending.len(), self.options.workers, |task| {
+            let spec = pending[task];
+            let shard_cache = cache.map(Arc::clone);
+            match run_dir {
+                None => run_shard(config, spec, shard_cache, |_| {}),
+                Some(dir) => {
+                    // Persistence failures on progress lines must not kill
+                    // the computation; the summary write decides
+                    // completeness.
+                    match dir.shard_writer(&spec) {
+                        Ok(writer) => {
+                            let writer = Mutex::new(writer);
+                            let output = run_shard(config, spec, shard_cache, |record| {
+                                writer.lock().unwrap().record(record);
+                            });
+                            let _ = writer.into_inner().unwrap().finish(&output);
+                            output
+                        }
+                        Err(_) => run_shard(config, spec, shard_cache, |_| {}),
+                    }
+                }
+            }
+        });
+
+        let pipeline_time = computed.iter().map(|o| o.pipeline_time).sum();
+        let computed_count = computed.len();
+        let mut fresh = computed.into_iter();
+        for slot in outputs.iter_mut() {
+            if slot.is_none() {
+                *slot = fresh.next();
+            }
+        }
+        ExecOutcome {
+            outputs: outputs.into_iter().map(|o| o.expect("every shard resolved")).collect(),
+            reused,
+            computed: computed_count,
+            pipeline_time,
+        }
+    }
+}
+
+struct ExecOutcome {
+    outputs: Vec<ShardOutput>,
+    reused: usize,
+    computed: usize,
+    pipeline_time: Duration,
+}
+
+/// Compare an orchestrated run against the sequential driver (used by
+/// tests and kept public for doc examples / sanity scripts).
+pub fn matches_sequential(config: &CampaignConfig) -> bool {
+    let orchestrated = Orchestrator::run_sharded(config, 1);
+    let sequential = Campaign::new(config.clone()).run();
+    orchestrated.records == sequential.records
+        && orchestrated.sources == sequential.sources
+        && orchestrated.successful_sources == sequential.successful_sources
+        && orchestrated.aggregates == sequential.aggregates
+}

@@ -1,0 +1,270 @@
+//! Persistent run directories with resume-from-partial-run.
+//!
+//! Layout of a run directory:
+//!
+//! ```text
+//! <run_dir>/
+//!   manifest.json          campaign config + shard count, written once
+//!   shards/
+//!     shard-0000.jsonl     one file per shard (see below)
+//!     ...
+//!   result.json            merged CampaignResult, written on completion
+//! ```
+//!
+//! Each shard file is JSONL, streamed while the shard runs so an
+//! interrupted run keeps its progress visible:
+//!
+//! ```text
+//! {"spec": {...}}          header: the ShardSpec being executed
+//! {"record": {...}}        one line per processed program
+//! {"summary": {...}}       final line: the full ShardOutput
+//! ```
+//!
+//! A shard counts as complete exactly when its `summary` line parses and
+//! matches the planned spec; anything else (missing file, truncated tail,
+//! mismatched plan) makes the shard recompute on resume. The summary line
+//! carries everything the merge needs, so resumed and fresh runs produce
+//! bit-identical campaign results.
+
+use std::fs::{self, File};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use llm4fp::{CampaignConfig, CampaignResult, ProgramRecord};
+
+use crate::shard::{ShardOutput, ShardSpec};
+
+/// Errors from the persistence layer.
+#[derive(Debug)]
+pub enum PersistError {
+    Io(std::io::Error),
+    /// A manifest exists but doesn't match the requested run.
+    ManifestMismatch(String),
+    Corrupt(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "run-dir io error: {e}"),
+            PersistError::ManifestMismatch(msg) => write!(f, "manifest mismatch: {msg}"),
+            PersistError::Corrupt(msg) => write!(f, "corrupt run dir: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// The run's identity: what was asked for, and how it was decomposed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    pub config: CampaignConfig,
+    pub shards: usize,
+}
+
+/// Handle to one run directory.
+#[derive(Debug, Clone)]
+pub struct RunDir {
+    root: PathBuf,
+}
+
+impl RunDir {
+    /// Open (creating directories as needed) a run directory for the given
+    /// manifest. If a manifest is already present it must match — resuming
+    /// a run with a different config or shard count would silently mix
+    /// incompatible shard outputs.
+    pub fn open(root: impl Into<PathBuf>, manifest: &RunManifest) -> Result<Self, PersistError> {
+        let root = root.into();
+        fs::create_dir_all(root.join("shards"))?;
+        let manifest_path = root.join("manifest.json");
+        if manifest_path.exists() {
+            let text = fs::read_to_string(&manifest_path)?;
+            let existing: RunManifest = serde_json::from_str(&text)
+                .map_err(|e| PersistError::Corrupt(format!("manifest.json: {e}")))?;
+            if &existing != manifest {
+                return Err(PersistError::ManifestMismatch(format!(
+                    "run dir {} was created for a different (config, shards); \
+                     refusing to mix shard outputs",
+                    root.display()
+                )));
+            }
+        } else {
+            write_atomically(&manifest_path, &serde_json::to_string_pretty(manifest).unwrap())?;
+        }
+        Ok(RunDir { root })
+    }
+
+    /// Read the manifest of an existing run directory.
+    pub fn read_manifest(root: impl AsRef<Path>) -> Result<RunManifest, PersistError> {
+        let path = root.as_ref().join("manifest.json");
+        let text = fs::read_to_string(&path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| PersistError::Corrupt(format!("manifest.json: {e}")))
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn shard_path(&self, index: usize) -> PathBuf {
+        self.root.join("shards").join(format!("shard-{index:04}.jsonl"))
+    }
+
+    /// Load a shard's output if its file is complete and matches `spec`.
+    /// Incomplete or stale files yield `None` (the shard reruns).
+    pub fn load_shard(&self, spec: &ShardSpec) -> Option<ShardOutput> {
+        let file = File::open(self.shard_path(spec.index)).ok()?;
+        let mut summary: Option<ShardOutput> = None;
+        for line in BufReader::new(file).lines() {
+            let line = line.ok()?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let value: Value = serde_json::parse(&line).ok()?;
+            if let Some(obj) = value.as_obj() {
+                if let Some(inner) = obj.get("summary") {
+                    summary = serde_json::from_value(inner).ok();
+                }
+            }
+        }
+        let output = summary?;
+        (output.spec == *spec).then_some(output)
+    }
+
+    /// Start streaming one shard's progress to disk.
+    pub fn shard_writer(&self, spec: &ShardSpec) -> Result<ShardWriter, PersistError> {
+        let path = self.shard_path(spec.index);
+        let mut writer = BufWriter::new(File::create(&path)?);
+        let mut header = serde_json::Map::new();
+        header.insert("spec".to_string(), serde_json::to_value(spec));
+        writeln!(writer, "{}", serde_json::to_string(&Value::Obj(header)).unwrap())?;
+        writer.flush()?;
+        Ok(ShardWriter { writer })
+    }
+
+    /// Persist the merged campaign result.
+    pub fn write_result(&self, result: &CampaignResult) -> Result<(), PersistError> {
+        write_atomically(
+            &self.root.join("result.json"),
+            &serde_json::to_string_pretty(result).unwrap(),
+        )
+    }
+
+    /// Load a previously persisted merged result, if any.
+    pub fn load_result(&self) -> Option<CampaignResult> {
+        let text = fs::read_to_string(self.root.join("result.json")).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+}
+
+/// Streams one shard's records and final summary to its JSONL file.
+pub struct ShardWriter {
+    writer: BufWriter<File>,
+}
+
+impl ShardWriter {
+    /// Append one processed-program progress line.
+    pub fn record(&mut self, record: &ProgramRecord) {
+        let mut line = serde_json::Map::new();
+        line.insert("record".to_string(), serde_json::to_value(record));
+        let _ = writeln!(self.writer, "{}", serde_json::to_string(&Value::Obj(line)).unwrap());
+        let _ = self.writer.flush();
+    }
+
+    /// Append the completing summary line. The shard only counts as done
+    /// once this succeeds.
+    pub fn finish(mut self, output: &ShardOutput) -> Result<(), PersistError> {
+        let mut line = serde_json::Map::new();
+        line.insert("summary".to_string(), serde_json::to_value(output));
+        writeln!(self.writer, "{}", serde_json::to_string(&Value::Obj(line)).unwrap())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+}
+
+fn write_atomically(path: &Path, contents: &str) -> Result<(), PersistError> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm4fp::ApproachKind;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("llm4fp-orchestrator-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn manifest() -> RunManifest {
+        RunManifest {
+            config: CampaignConfig::new(ApproachKind::Varity).with_budget(6).with_seed(2),
+            shards: 2,
+        }
+    }
+
+    #[test]
+    fn manifests_round_trip_and_mismatches_are_rejected() {
+        let root = temp_dir("manifest");
+        let m = manifest();
+        let _dir = RunDir::open(&root, &m).unwrap();
+        assert_eq!(RunDir::read_manifest(&root).unwrap(), m);
+        // Reopening with the same manifest is fine.
+        RunDir::open(&root, &m).unwrap();
+        // A different plan is refused.
+        let other = RunManifest { shards: 3, ..m };
+        assert!(matches!(RunDir::open(&root, &other), Err(PersistError::ManifestMismatch(_))));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn incomplete_shard_files_do_not_load() {
+        let root = temp_dir("incomplete");
+        let dir = RunDir::open(&root, &manifest()).unwrap();
+        let spec = ShardSpec { index: 0, budget: 3, offset: 0, seed: 2 };
+        // Header + records but no summary: must not load.
+        let mut writer = dir.shard_writer(&spec).unwrap();
+        writer.record(&ProgramRecord {
+            index: 0,
+            program_id: "p".into(),
+            strategy: "varity".into(),
+            valid: true,
+            inconsistencies: 0,
+            successful: false,
+        });
+        drop(writer);
+        assert!(dir.load_shard(&spec).is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn complete_shards_round_trip_and_stale_specs_are_ignored() {
+        let root = temp_dir("roundtrip");
+        let dir = RunDir::open(&root, &manifest()).unwrap();
+        let config = manifest().config;
+        let spec = crate::shard::plan_shards(&config, 2)[0];
+        let mut writer = dir.shard_writer(&spec).unwrap();
+        let output = crate::shard::run_shard(&config, spec, None, |r| writer.record(r));
+        writer.finish(&output).unwrap();
+        assert_eq!(dir.load_shard(&spec).unwrap(), output);
+        // A spec from a different plan must not accept this file.
+        let stale = ShardSpec { budget: spec.budget + 1, ..spec };
+        assert!(dir.load_shard(&stale).is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,248 @@
+//! Shard planning, execution and deterministic merging.
+//!
+//! A campaign budget of N programs is decomposed into K shards, each an
+//! independently runnable sub-campaign with its own RNG streams derived by
+//! XOR-ing a mixed shard index into the campaign seed (shard 0 maps to the
+//! seed itself and therefore runs the *exact* stream of the sequential
+//! campaign, which is what makes `K = 1` orchestrated runs bit-identical
+//! to [`llm4fp::Campaign::run`]; the index is spread by a large odd
+//! multiplier so shards of campaigns with adjacent seeds never collide —
+//! plain `seed ^ index` would make seed 43's shard 1 replay seed 42's
+//! shard 0 stream, coupling supposedly independent replicates). Shards
+//! never communicate;
+//! like tiles with matching edge rules, their outputs compose into the
+//! campaign result by a deterministic merge in shard order, so the final
+//! result depends only on `(config, K)` — never on worker count or
+//! completion order.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use llm4fp::{CampaignConfig, CampaignResult, CampaignRunner, ProgramRecord};
+use llm4fp_difftest::{Aggregates, ResultCache};
+use llm4fp_fpir::source_hash;
+
+/// Plan for one shard of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// Shard index within the campaign (0-based).
+    pub index: usize,
+    /// Number of programs this shard runs.
+    pub budget: usize,
+    /// Global index of this shard's first program.
+    pub offset: usize,
+    /// Derived base seed for the shard's RNG streams.
+    pub seed: u64,
+}
+
+/// Large odd multiplier (the 64-bit golden-ratio constant) spreading the
+/// shard index across the seed space; odd, so distinct indices map to
+/// distinct offsets, and index 0 maps to 0 (preserving the `K = 1`
+/// sequential-equality contract).
+const SHARD_SEED_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The derived base seed for one shard of a campaign.
+pub fn shard_seed(campaign_seed: u64, index: usize) -> u64 {
+    campaign_seed ^ (index as u64).wrapping_mul(SHARD_SEED_MIX)
+}
+
+/// Split a budget of `programs` into `shards` shard specs. Budgets differ
+/// by at most one program (the remainder goes to the leading shards) and
+/// shard seeds come from [`shard_seed`].
+pub fn plan_shards(config: &CampaignConfig, shards: usize) -> Vec<ShardSpec> {
+    let shards = shards.max(1).min(config.programs.max(1));
+    let base = config.programs / shards;
+    let remainder = config.programs % shards;
+    let mut specs = Vec::with_capacity(shards);
+    let mut offset = 0;
+    for index in 0..shards {
+        let budget = base + usize::from(index < remainder);
+        specs.push(ShardSpec { index, budget, offset, seed: shard_seed(config.seed, index) });
+        offset += budget;
+    }
+    specs
+}
+
+/// Everything one executed shard contributes to the merged campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardOutput {
+    /// The plan this shard executed (validated on resume).
+    pub spec: ShardSpec,
+    /// Per-program records with *shard-local* indices.
+    pub records: Vec<ProgramRecord>,
+    /// Sources of the shard's valid programs, in generation order.
+    pub sources: Vec<String>,
+    /// Deduplicated sources of inconsistency-triggering programs.
+    pub successful_sources: Vec<String>,
+    /// The shard's aggregated differential-testing statistics.
+    pub aggregates: Aggregates,
+    /// Generation attempts that produced invalid programs.
+    pub generation_failures: usize,
+    /// LLM calls made by this shard.
+    pub llm_calls: u64,
+    /// Simulated LLM API latency accumulated by this shard.
+    pub simulated_llm_time: Duration,
+    /// Wall-clock time this shard actually spent computing.
+    pub pipeline_time: Duration,
+}
+
+/// Run one shard to completion. `on_record` observes every processed
+/// program (the persistence layer streams progress lines through it).
+pub fn run_shard(
+    config: &CampaignConfig,
+    spec: ShardSpec,
+    cache: Option<Arc<ResultCache>>,
+    mut on_record: impl FnMut(&ProgramRecord),
+) -> ShardOutput {
+    let mut shard_config = config.clone();
+    shard_config.programs = spec.budget;
+    shard_config.seed = spec.seed;
+    // Input sets derive from the parent campaign's seed (not the shard
+    // seed) so duplicates across shards share inputs and the cross-shard
+    // cache stays semantically transparent.
+    let mut runner = CampaignRunner::new(shard_config).with_input_seed(config.seed);
+    if let Some(cache) = cache {
+        runner = runner.with_cache(cache);
+    }
+    for local in 0..spec.budget {
+        on_record(runner.run_one(local));
+    }
+    let result = runner.finish();
+    ShardOutput {
+        spec,
+        records: result.records,
+        sources: result.sources,
+        successful_sources: result.successful_sources,
+        aggregates: result.aggregates,
+        generation_failures: result.generation_failures,
+        llm_calls: result.llm_calls,
+        simulated_llm_time: result.simulated_llm_time,
+        pipeline_time: result.pipeline_time,
+    }
+}
+
+/// Merge shard outputs (in shard order) into one campaign result.
+/// Record indices are rebased from shard-local to global positions, and
+/// the successful-source union is re-deduplicated (shards dedup only
+/// internally, so the same program triggering in two shards would
+/// otherwise appear twice — `CampaignResult::successful_sources`
+/// promises structural uniqueness). Deterministic: depends only on the
+/// outputs, not on how they were scheduled. `pipeline_time` becomes the
+/// merged result's pipeline time.
+pub fn merge_shards(
+    config: &CampaignConfig,
+    mut outputs: Vec<ShardOutput>,
+    pipeline_time: Duration,
+) -> CampaignResult {
+    outputs.sort_by_key(|o| o.spec.index);
+    let mut aggregates = Aggregates::new();
+    let mut records = Vec::with_capacity(config.programs);
+    let mut sources = Vec::new();
+    let mut successful_sources: Vec<String> = Vec::new();
+    let mut successful_seen = std::collections::HashSet::new();
+    let mut generation_failures = 0;
+    let mut llm_calls = 0;
+    let mut simulated_llm_time = Duration::ZERO;
+    for output in outputs {
+        aggregates.merge(&output.aggregates);
+        let offset = output.spec.offset;
+        records.extend(output.records.into_iter().map(|mut r| {
+            r.index += offset;
+            r
+        }));
+        sources.extend(output.sources);
+        for source in output.successful_sources {
+            if successful_seen.insert(source_hash(&source)) {
+                successful_sources.push(source);
+            }
+        }
+        generation_failures += output.generation_failures;
+        llm_calls += output.llm_calls;
+        simulated_llm_time += output.simulated_llm_time;
+    }
+    CampaignResult {
+        config: config.clone(),
+        aggregates,
+        records,
+        sources,
+        successful_sources,
+        generation_failures,
+        llm_calls,
+        simulated_llm_time,
+        pipeline_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm4fp::ApproachKind;
+
+    #[test]
+    fn plans_split_budgets_evenly_with_leading_remainder() {
+        let config = CampaignConfig::new(ApproachKind::Varity).with_budget(10).with_seed(42);
+        let specs = plan_shards(&config, 3);
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs.iter().map(|s| s.budget).collect::<Vec<_>>(), vec![4, 3, 3]);
+        assert_eq!(specs.iter().map(|s| s.offset).collect::<Vec<_>>(), vec![0, 4, 7]);
+        assert_eq!(
+            specs.iter().map(|s| s.seed).collect::<Vec<_>>(),
+            vec![shard_seed(42, 0), shard_seed(42, 1), shard_seed(42, 2)]
+        );
+        assert_eq!(specs.iter().map(|s| s.budget).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn shard_seeds_never_collide_across_nearby_campaign_seeds() {
+        // Plain `seed ^ index` would make campaign 43's shard 1 replay
+        // campaign 42's shard 0 stream; the mixed derivation must not.
+        assert_eq!(shard_seed(42, 0), 42, "K = 1 contract: shard 0 uses the campaign seed");
+        let mut seen = std::collections::HashSet::new();
+        for campaign_seed in 0u64..64 {
+            for index in 0..64 {
+                assert!(
+                    seen.insert(shard_seed(campaign_seed, index)),
+                    "collision at seed {campaign_seed} shard {index}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plans_clamp_to_sane_shard_counts() {
+        let config = CampaignConfig::new(ApproachKind::Varity).with_budget(3);
+        assert_eq!(plan_shards(&config, 0).len(), 1);
+        // Never more shards than programs.
+        assert_eq!(plan_shards(&config, 8).len(), 3);
+    }
+
+    #[test]
+    fn shard_zero_runs_the_sequential_stream() {
+        let config =
+            CampaignConfig::new(ApproachKind::Varity).with_budget(8).with_seed(9).with_threads(1);
+        let specs = plan_shards(&config, 1);
+        let output = run_shard(&config, specs[0], None, |_| {});
+        let sequential = llm4fp::Campaign::new(config.clone()).run();
+        assert_eq!(output.records, sequential.records);
+        assert_eq!(output.sources, sequential.sources);
+        assert_eq!(output.aggregates, sequential.aggregates);
+    }
+
+    #[test]
+    fn merge_rebases_record_indices() {
+        let config =
+            CampaignConfig::new(ApproachKind::Varity).with_budget(9).with_seed(4).with_threads(1);
+        let outputs: Vec<ShardOutput> = plan_shards(&config, 3)
+            .into_iter()
+            .map(|spec| run_shard(&config, spec, None, |_| {}))
+            .collect();
+        let merged = merge_shards(&config, outputs, Duration::ZERO);
+        assert_eq!(merged.records.len(), 9);
+        for (i, record) in merged.records.iter().enumerate() {
+            assert_eq!(record.index, i);
+        }
+        assert_eq!(merged.aggregates.programs, 9);
+    }
+}

@@ -1,0 +1,205 @@
+//! The orchestrator's load-bearing guarantees, exercised end to end:
+//!
+//! * `K = 1` orchestrated runs match the sequential driver field for
+//!   field;
+//! * for any `(seed, K)`, results are bit-identical across worker counts;
+//! * the result cache is semantically transparent (on/off agree);
+//! * interrupted runs resume to bit-identical results, recomputing only
+//!   the missing shards;
+//! * the multi-campaign scheduler agrees with individual orchestration.
+
+use std::path::PathBuf;
+
+use llm4fp::{ApproachKind, Campaign, CampaignConfig, CampaignResult};
+use llm4fp_orchestrator::{
+    plan_shards, Orchestrator, OrchestratorOptions, RunDir, RunManifest, Scheduler,
+};
+
+fn config(approach: ApproachKind, budget: usize, seed: u64) -> CampaignConfig {
+    // threads = 1 keeps each shard cheap; the pool provides parallelism.
+    CampaignConfig::new(approach).with_budget(budget).with_seed(seed).with_threads(1)
+}
+
+fn assert_results_identical(a: &CampaignResult, b: &CampaignResult, what: &str) {
+    assert_eq!(a.records, b.records, "{what}: records differ");
+    assert_eq!(a.sources, b.sources, "{what}: sources differ");
+    assert_eq!(a.successful_sources, b.successful_sources, "{what}: successful sets differ");
+    assert_eq!(a.aggregates, b.aggregates, "{what}: aggregates differ");
+    assert_eq!(a.generation_failures, b.generation_failures, "{what}: failures differ");
+    assert_eq!(a.llm_calls, b.llm_calls, "{what}: llm calls differ");
+    assert_eq!(a.simulated_llm_time, b.simulated_llm_time, "{what}: llm time differs");
+}
+
+#[test]
+fn k1_matches_the_sequential_campaign_exactly() {
+    for approach in [ApproachKind::Varity, ApproachKind::Llm4Fp] {
+        let config = config(approach, 24, 11);
+        let sequential = Campaign::new(config.clone()).run();
+        let orchestrated = Orchestrator::run_sharded(&config, 1);
+        assert_results_identical(&orchestrated, &sequential, &format!("K=1 {:?}", config.approach));
+    }
+    assert!(llm4fp_orchestrator::matches_sequential(&config(ApproachKind::GrammarGuided, 10, 3)));
+}
+
+#[test]
+fn sharded_runs_are_bit_identical_across_worker_counts() {
+    let config = config(ApproachKind::Llm4Fp, 30, 7);
+    for shards in [1usize, 2, 4] {
+        let reference =
+            Orchestrator::new(OrchestratorOptions { workers: 1, cache: true, run_dir: None })
+                .run(&config, shards)
+                .unwrap();
+        assert_eq!(reference.stats.shards, shards.min(config.programs));
+        for workers in [2usize, 8] {
+            let other =
+                Orchestrator::new(OrchestratorOptions { workers, cache: true, run_dir: None })
+                    .run(&config, shards)
+                    .unwrap();
+            assert_results_identical(
+                &other.result,
+                &reference.result,
+                &format!("K={shards} workers={workers}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn different_shard_counts_account_the_same_totals() {
+    // K changes the decomposition (so exact bits legitimately differ for
+    // K1 != K2), but the budget accounting must hold for every K.
+    let config = config(ApproachKind::Varity, 25, 13);
+    for shards in [1usize, 2, 4, 7] {
+        let result = Orchestrator::run_sharded(&config, shards);
+        assert_eq!(result.aggregates.programs, 25, "K={shards}");
+        assert_eq!(result.aggregates.total_comparisons, 25 * 18, "K={shards}");
+        assert_eq!(result.records.len(), 25, "K={shards}");
+        assert_eq!(result.sources.len() + result.generation_failures, 25, "K={shards}");
+        for (i, record) in result.records.iter().enumerate() {
+            assert_eq!(record.index, i, "K={shards}: record order broken");
+        }
+    }
+}
+
+#[test]
+fn cache_is_semantically_transparent_and_reports_stats() {
+    let config = config(ApproachKind::Llm4Fp, 40, 5);
+    let cached = Orchestrator::new(OrchestratorOptions { workers: 4, cache: true, run_dir: None })
+        .run(&config, 4)
+        .unwrap();
+    let uncached =
+        Orchestrator::new(OrchestratorOptions { workers: 4, cache: false, run_dir: None })
+            .run(&config, 4)
+            .unwrap();
+    assert_results_identical(&cached.result, &uncached.result, "cache on/off");
+    let stats = cached.stats.cache.expect("cache stats present when caching is on");
+    assert_eq!(
+        stats.misses + stats.hits,
+        cached.result.sources.len() as u64,
+        "every valid program performs exactly one cache lookup"
+    );
+    assert!(uncached.stats.cache.is_none());
+}
+
+#[test]
+fn interrupted_runs_resume_to_identical_results() {
+    let config = config(ApproachKind::Llm4Fp, 28, 17);
+    let shards = 4;
+    let root = std::env::temp_dir()
+        .join("llm4fp-orchestrator-tests")
+        .join(format!("resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Reference: one uninterrupted, persisted run.
+    let full = Orchestrator::new(OrchestratorOptions {
+        workers: 2,
+        cache: true,
+        run_dir: Some(root.clone()),
+    })
+    .run(&config, shards)
+    .unwrap();
+    assert_eq!(full.stats.shards_computed, shards);
+    assert_eq!(full.stats.shards_reused, 0);
+
+    // Simulate an interruption: delete one completed shard and truncate
+    // another mid-file (as a crash during streaming would leave it).
+    std::fs::remove_file(root.join("shards").join("shard-0001.jsonl")).unwrap();
+    let truncated_path = root.join("shards").join("shard-0002.jsonl");
+    let text = std::fs::read_to_string(&truncated_path).unwrap();
+    let keep: Vec<&str> = text.lines().take(3).collect();
+    std::fs::write(&truncated_path, keep.join("\n")).unwrap();
+
+    let resumed = Orchestrator::resume(&root).unwrap();
+    assert_eq!(resumed.stats.shards_reused, shards - 2, "two shards had to recompute");
+    assert_eq!(resumed.stats.shards_computed, 2);
+    assert_results_identical(&resumed.result, &full.result, "resume");
+
+    // The merged result on disk matches too.
+    let dir = RunDir::open(&root, &RunManifest { config: config.clone(), shards }).unwrap();
+    let persisted = dir.load_result().expect("result.json written");
+    assert_results_identical(&persisted, &full.result, "persisted result");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn mismatched_manifests_refuse_to_mix_runs() {
+    let root: PathBuf = std::env::temp_dir()
+        .join("llm4fp-orchestrator-tests")
+        .join(format!("mismatch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let config_a = config(ApproachKind::Varity, 8, 1);
+    Orchestrator::new(OrchestratorOptions {
+        workers: 1,
+        cache: false,
+        run_dir: Some(root.clone()),
+    })
+    .run(&config_a, 2)
+    .unwrap();
+    // Same dir, different seed: must be refused, not silently merged.
+    let config_b = config(ApproachKind::Varity, 8, 2);
+    let err = Orchestrator::new(OrchestratorOptions {
+        workers: 1,
+        cache: false,
+        run_dir: Some(root.clone()),
+    })
+    .run(&config_b, 2);
+    assert!(err.is_err(), "mismatched manifest must error");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn scheduler_suite_matches_individual_orchestration() {
+    let configs: Vec<CampaignConfig> =
+        ApproachKind::ALL.iter().map(|&a| config(a, 16, 21)).collect();
+    let suite = Scheduler::new(OrchestratorOptions { workers: 4, cache: true, run_dir: None })
+        .run_suite(&configs, 2);
+    assert_eq!(suite.len(), configs.len());
+    for (cfg, orchestrated) in configs.iter().zip(&suite) {
+        let individual =
+            Orchestrator::new(OrchestratorOptions { workers: 1, cache: false, run_dir: None })
+                .run(cfg, 2)
+                .unwrap();
+        assert_results_identical(
+            &orchestrated.result,
+            &individual.result,
+            &format!("suite {:?}", cfg.approach),
+        );
+        assert_eq!(orchestrated.result.config.approach, cfg.approach);
+    }
+}
+
+#[test]
+fn shard_plans_cover_the_budget_without_overlap() {
+    let config = config(ApproachKind::Varity, 103, 99);
+    for shards in [1usize, 2, 3, 8, 50, 103, 200] {
+        let specs = plan_shards(&config, shards);
+        assert!(specs.len() <= 103);
+        assert_eq!(specs.iter().map(|s| s.budget).sum::<usize>(), 103, "K={shards}");
+        let mut next = 0;
+        for spec in &specs {
+            assert_eq!(spec.offset, next, "K={shards}: offsets must tile the budget");
+            next += spec.budget;
+        }
+    }
+}

@@ -13,11 +13,17 @@ fn main() {
     let budget = 60;
     println!("generating and testing {budget} programs per approach (Varity and LLM4FP)...\n");
     let varity = Campaign::new(
-        CampaignConfig::new(ApproachKind::Varity).with_budget(budget).with_seed(2024).with_threads(4),
+        CampaignConfig::new(ApproachKind::Varity)
+            .with_budget(budget)
+            .with_seed(2024)
+            .with_threads(4),
     )
     .run();
     let llm4fp = Campaign::new(
-        CampaignConfig::new(ApproachKind::Llm4Fp).with_budget(budget).with_seed(2024).with_threads(4),
+        CampaignConfig::new(ApproachKind::Llm4Fp)
+            .with_budget(budget)
+            .with_seed(2024)
+            .with_threads(4),
     )
     .run();
 
@@ -38,10 +44,8 @@ fn main() {
     print!("{}", table5(&varity, &llm4fp));
 
     // A concrete recommendation, as the paper suggests practitioners derive.
-    let gcc_nvcc = (
-        llm4fp_suite::compiler::CompilerId::Gcc,
-        llm4fp_suite::compiler::CompilerId::Nvcc,
-    );
+    let gcc_nvcc =
+        (llm4fp_suite::compiler::CompilerId::Gcc, llm4fp_suite::compiler::CompilerId::Nvcc);
     let strict = llm4fp.aggregates.pair_level.rate(
         gcc_nvcc,
         llm4fp_suite::compiler::OptLevel::O0Nofma,

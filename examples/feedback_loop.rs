@@ -1,19 +1,37 @@
-//! Run a small end-to-end LLM4FP campaign and watch the feedback loop work:
-//! how quickly the successful-program set grows, which strategies were used,
-//! and what the corpus diversity looks like.
+//! Run a small end-to-end LLM4FP campaign through the orchestrator and
+//! watch the feedback loop work: how quickly the successful-program set
+//! grows, which strategies were used, what the result cache saved, and
+//! what the corpus diversity looks like. The run is persisted to a run
+//! directory and resumed to demonstrate that interrupted campaigns pick
+//! up where they left off.
 //!
 //! Run with: `cargo run --release --example feedback_loop`
 
-use llm4fp_suite::core::{ApproachKind, Campaign, CampaignConfig};
+use llm4fp_suite::core::{ApproachKind, CampaignConfig};
 use llm4fp_suite::metrics::CloneType;
+use llm4fp_suite::orchestrator::{Orchestrator, OrchestratorOptions};
 
 fn main() {
-    let config = CampaignConfig::new(ApproachKind::Llm4Fp)
-        .with_budget(80)
-        .with_seed(1234)
-        .with_threads(4);
-    println!("running an LLM4FP campaign of {} programs...\n", config.programs);
-    let result = Campaign::new(config).run();
+    let config =
+        CampaignConfig::new(ApproachKind::Llm4Fp).with_budget(80).with_seed(1234).with_threads(2);
+    let shards = 4;
+    let run_dir = std::env::temp_dir().join("llm4fp-feedback-loop-run");
+    let _ = std::fs::remove_dir_all(&run_dir);
+
+    println!(
+        "running an LLM4FP campaign of {} programs in {} shards (run dir: {})...\n",
+        config.programs,
+        shards,
+        run_dir.display()
+    );
+    let orchestrated = Orchestrator::new(OrchestratorOptions {
+        run_dir: Some(run_dir.clone()),
+        ..OrchestratorOptions::default()
+    })
+    .run(&config, shards)
+    .expect("orchestrated run");
+    let result = &orchestrated.result;
+    let stats = &orchestrated.stats;
 
     println!(
         "inconsistency rate: {:.2}% ({} inconsistencies over {} comparisons)",
@@ -26,11 +44,22 @@ fn main() {
         result.successful_sources.len()
     );
     println!(
-        "LLM calls: {}, simulated API latency: {:.1} min, pipeline time: {:.1} s",
+        "LLM calls: {}, simulated API latency: {:.1} min, wall time: {:.2} s \
+         ({:.2} s of shard work on {} workers)",
         result.llm_calls,
         result.simulated_llm_time.as_secs_f64() / 60.0,
-        result.pipeline_time.as_secs_f64()
+        stats.wall_time.as_secs_f64(),
+        stats.shard_pipeline_time.as_secs_f64(),
+        stats.workers
     );
+    if let Some(cache) = stats.cache {
+        println!(
+            "result cache: {} hits / {} lookups ({:.1}% — duplicate programs skipped the matrix)",
+            cache.hits,
+            cache.hits + cache.misses,
+            100.0 * cache.hit_rate()
+        );
+    }
 
     // Strategy mix over the campaign (0.3 grammar / 0.7 feedback once the
     // successful set is non-empty).
@@ -58,4 +87,18 @@ fn main() {
     if let Some(example) = result.successful_sources.first() {
         println!("\none inconsistency-triggering program:\n{example}");
     }
+
+    // The run directory makes campaigns survive interruption: drop one
+    // shard's output and resume — only that shard recomputes, and the
+    // merged result is bit-identical.
+    std::fs::remove_file(run_dir.join("shards").join("shard-0001.jsonl"))
+        .expect("shard file exists");
+    let resumed = Orchestrator::resume(&run_dir).expect("resume");
+    println!(
+        "\nresume demo: {} shards reused from disk, {} recomputed; results identical: {}",
+        resumed.stats.shards_reused,
+        resumed.stats.shards_computed,
+        resumed.result.records == result.records && resumed.result.aggregates == result.aggregates
+    );
+    let _ = std::fs::remove_dir_all(&run_dir);
 }

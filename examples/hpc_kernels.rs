@@ -14,8 +14,10 @@ fn main() {
 
     // 1. Grammar-based generation from scratch (Section 2.3.1).
     let grammar_prompt = prompts.grammar_based();
-    println!("=== grammar-based prompt (excerpt) ===\n{}\n",
-        grammar_prompt.text.lines().take(4).collect::<Vec<_>>().join("\n"));
+    println!(
+        "=== grammar-based prompt (excerpt) ===\n{}\n",
+        grammar_prompt.text.lines().take(4).collect::<Vec<_>>().join("\n")
+    );
     let response = llm.generate(&grammar_prompt);
     println!(
         "=== generated compute() [simulated API latency {:.1}s] ===\n{}",

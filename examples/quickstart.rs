@@ -47,13 +47,13 @@ fn main() {
     );
     for rec in report.records.iter().take(5) {
         println!(
-            "  {:>12}  {} vs {}: {} hex digits differ ({} vs {})",
+            "  {:>12}  {} vs {}: {} hex digits differ ({:016x} vs {:016x})",
             rec.level.name(),
             rec.pair.0.name(),
             rec.pair.1.name(),
             rec.digit_diff,
-            format!("{:016x}", rec.bits_a),
-            format!("{:016x}", rec.bits_b),
+            rec.bits_a,
+            rec.bits_b,
         );
     }
 }

@@ -14,6 +14,8 @@
 //! * [`difftest`] — differential-testing matrix and aggregation
 //! * [`metrics`] — CodeBLEU and clone-detection diversity metrics
 //! * [`core`] — the LLM4FP campaign framework and report rendering
+//! * [`orchestrator`] — sharded parallel campaign engine (worker pools,
+//!   result caching, persistent resumable runs, multi-campaign scheduling)
 //! * [`extcc`] — the real-compiler (gcc/clang) harness
 
 pub use llm4fp as core;
@@ -24,6 +26,7 @@ pub use llm4fp_fpir as fpir;
 pub use llm4fp_generator as generator;
 pub use llm4fp_mathlib as mathlib;
 pub use llm4fp_metrics as metrics;
+pub use llm4fp_orchestrator as orchestrator;
 
 /// Version of the reproduction workspace.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -5,7 +5,9 @@ use llm4fp_suite::compiler::{compile, CompilerConfig, CompilerId, OptLevel};
 use llm4fp_suite::core::{ApproachKind, Campaign, CampaignConfig};
 use llm4fp_suite::difftest::{DiffTester, ValueClass};
 use llm4fp_suite::fpir::{parse_compute, to_compute_source, validate, InputSet, InputValue};
-use llm4fp_suite::generator::{InputGenerator, LlmClient, PromptBuilder, SimulatedLlm, VarityGenerator};
+use llm4fp_suite::generator::{
+    InputGenerator, LlmClient, PromptBuilder, SimulatedLlm, VarityGenerator,
+};
 
 /// A generated program survives the full round trip: print → parse →
 /// validate → compile under every configuration → execute.
@@ -74,8 +76,10 @@ fn difftest_detects_and_classifies_fma_contraction() {
         .with("z", InputValue::Fp(-1.0));
     let result = DiffTester::new().run(&program, &inputs);
     assert!(result.triggered_inconsistency());
-    assert!(result.records.iter().all(|r| r.class_a == ValueClass::Real
-        && r.class_b == ValueClass::Real));
+    assert!(result
+        .records
+        .iter()
+        .all(|r| r.class_a == ValueClass::Real && r.class_b == ValueClass::Real));
     // The strict level never participates: both sides use no FMA there.
     assert!(result.records.iter().all(|r| r.level != OptLevel::O0Nofma));
 }
@@ -96,14 +100,23 @@ fn mini_campaigns_reproduce_the_headline_orderings() {
     assert!(llm4fp.inconsistency_rate() > varity.inconsistency_rate());
 
     // RQ2: the dominant LLM4FP kind is {Real, Real}.
-    let real_real = llm4fp_suite::difftest::InconsistencyKind::new(ValueClass::Real, ValueClass::Real);
+    let real_real =
+        llm4fp_suite::difftest::InconsistencyKind::new(ValueClass::Real, ValueClass::Real);
     assert!(llm4fp.aggregates.kinds.fraction(real_real) > 0.5);
 
     // RQ3: host-device pairs are more inconsistent than the host-host pair.
     let programs = llm4fp.aggregates.programs;
     let levels = llm4fp.config.levels.len();
-    let hh = llm4fp.aggregates.pair_level.pair_rate((CompilerId::Gcc, CompilerId::Clang), programs, levels);
-    let hd = llm4fp.aggregates.pair_level.pair_rate((CompilerId::Gcc, CompilerId::Nvcc), programs, levels);
+    let hh = llm4fp.aggregates.pair_level.pair_rate(
+        (CompilerId::Gcc, CompilerId::Clang),
+        programs,
+        levels,
+    );
+    let hd = llm4fp.aggregates.pair_level.pair_rate(
+        (CompilerId::Gcc, CompilerId::Nvcc),
+        programs,
+        levels,
+    );
     assert!(hd > hh, "host-device {hd} should exceed host-host {hh}");
 
     // RQ4: O3_fastmath diverges from O0_nofma more than O1 does, for gcc.

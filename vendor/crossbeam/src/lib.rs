@@ -1,0 +1,83 @@
+//! Offline shim for `crossbeam`: the scoped-thread API this workspace
+//! uses (`crossbeam::thread::scope` + `Scope::spawn` + handle `join`),
+//! implemented over `std::thread::scope`.
+//!
+//! Divergence from real crossbeam: the closure passed to `spawn` receives
+//! `()` instead of a nested `&Scope` (every call site here ignores the
+//! argument), and `scope` only returns `Err` if the closure itself
+//! panics — which std's scope turns into a panic first, so in practice it
+//! always returns `Ok` like crossbeam does when all spawned threads are
+//! joined by the caller.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle to one spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread; `Err` carries the panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Spawning surface handed to the `scope` closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread bound to the scope. The closure receives `()`
+        /// (crossbeam passes a nested scope; no call site here uses it).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(())) }
+        }
+    }
+
+    /// Create a scope in which borrowing spawned threads can be created.
+    /// All spawned threads are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4, 5, 6];
+        let mut total = 0u64;
+        thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            for h in handles {
+                total += h.join().expect("worker panicked");
+            }
+        })
+        .expect("scope failed");
+        assert_eq!(total, 21);
+    }
+
+    #[test]
+    fn panics_surface_through_join() {
+        thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        })
+        .expect("scope failed");
+    }
+}

@@ -1,0 +1,429 @@
+//! Derive-macro half of the vendored serde shim.
+//!
+//! Parses the restricted shapes this workspace actually derives on — plain
+//! (possibly tuple or unit) structs and enums whose variants are unit,
+//! tuple or struct-like, all without generic parameters — and emits impls of
+//! the simplified `serde::Serialize` / `serde::Deserialize` traits defined
+//! in `vendor/serde`. Written against raw `proc_macro` because `syn` and
+//! `quote` are not available offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_serialize(&item);
+    code.parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_deserialize(&item);
+    code.parse().expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    /// `struct S;`
+    Unit,
+    /// `struct S(A, B);` — field count only.
+    Tuple(usize),
+    /// `struct S { a: A, b: B }`
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim does not support generic types ({name})");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                None => Fields::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            Item::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Skip leading attributes (`#[...]`, including doc comments) and
+/// visibility modifiers (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2, // `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `a: A, b: B, ...` capturing field names. Types are skipped with
+/// angle-bracket awareness so commas inside `BTreeMap<K, V>` don't split.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other}"),
+        }
+        skip_to_comma(&tokens, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Count top-level comma-separated entries (tuple struct / tuple variant
+/// fields), skipping per-field attributes and visibility.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_to_comma(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+/// Advance past one type/expression up to (and past) the next top-level
+/// comma. `<`/`>` are plain puncts in token streams, so nest on them.
+fn skip_to_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        skip_to_comma(&tokens, &mut i);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let mut b = String::from("::serde::Value::Arr(vec![");
+                    for k in 0..*n {
+                        let _ = write!(b, "::serde::Serialize::to_value(&self.{k}),");
+                    }
+                    b.push_str("])");
+                    b
+                }
+                Fields::Named(names) => {
+                    let mut b = String::from("{ let mut m = ::serde::Map::new();");
+                    for f in names {
+                        let _ = write!(
+                            b,
+                            "m.insert(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}));"
+                        );
+                    }
+                    b.push_str("::serde::Value::Obj(m) }");
+                    b
+                }
+            };
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let mut b = String::from("::serde::Value::Arr(vec![");
+                            for bind in &binds {
+                                let _ = write!(b, "::serde::Serialize::to_value({bind}),");
+                            }
+                            b.push_str("])");
+                            b
+                        };
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}({}) => {{ let mut m = ::serde::Map::new(); \
+                             m.insert(String::from(\"{vn}\"), {inner}); ::serde::Value::Obj(m) }},",
+                            binds.join(",")
+                        );
+                    }
+                    Fields::Named(fields) => {
+                        let mut body = String::from("{ let mut fm = ::serde::Map::new();");
+                        for f in fields {
+                            let _ = write!(
+                                body,
+                                "fm.insert(String::from(\"{f}\"), ::serde::Serialize::to_value({f}));"
+                            );
+                        }
+                        let _ = write!(
+                            body,
+                            "let mut m = ::serde::Map::new(); \
+                             m.insert(String::from(\"{vn}\"), ::serde::Value::Obj(fm)); \
+                             ::serde::Value::Obj(m) }}"
+                        );
+                        let _ = write!(arms, "{name}::{vn} {{ {} }} => {body},", fields.join(","));
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ \
+                 match self {{ {arms} }} }} }}"
+            );
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("Ok({name})"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let mut b = format!(
+                        "{{ let a = v.as_arr().ok_or_else(|| ::serde::Error::msg(\
+                         \"expected array for {name}\"))?; \
+                         if a.len() != {n} {{ return Err(::serde::Error::msg(\
+                         \"wrong tuple arity for {name}\")); }} Ok({name}("
+                    );
+                    for k in 0..*n {
+                        let _ = write!(b, "::serde::Deserialize::from_value(&a[{k}])?,");
+                    }
+                    b.push_str(")) }");
+                    b
+                }
+                Fields::Named(names) => {
+                    let mut b = format!(
+                        "{{ let m = v.as_obj().ok_or_else(|| ::serde::Error::msg(\
+                         \"expected object for {name}\"))?; Ok({name} {{"
+                    );
+                    for f in names {
+                        let _ = write!(
+                            b,
+                            "{f}: ::serde::Deserialize::from_value(\
+                             m.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,"
+                        );
+                    }
+                    b.push_str("}) }");
+                    b
+                }
+            };
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{ \
+                 fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> \
+                 {{ {body} }} }}"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            let mut has_unit = false;
+            let mut has_data = false;
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        has_unit = true;
+                        let _ = write!(unit_arms, "\"{vn}\" => Ok({name}::{vn}),");
+                    }
+                    Fields::Tuple(n) => {
+                        has_data = true;
+                        if *n == 1 {
+                            let _ = write!(
+                                data_arms,
+                                "if let Some(inner) = m.get(\"{vn}\") {{ \
+                                 return Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)); }}"
+                            );
+                        } else {
+                            let mut ctor = String::new();
+                            for k in 0..*n {
+                                let _ = write!(ctor, "::serde::Deserialize::from_value(&a[{k}])?,");
+                            }
+                            let _ = write!(
+                                data_arms,
+                                "if let Some(inner) = m.get(\"{vn}\") {{ \
+                                 let a = inner.as_arr().ok_or_else(|| ::serde::Error::msg(\
+                                 \"expected array for {name}::{vn}\"))?; \
+                                 if a.len() != {n} {{ return Err(::serde::Error::msg(\
+                                 \"wrong arity for {name}::{vn}\")); }} \
+                                 return Ok({name}::{vn}({ctor})); }}"
+                            );
+                        }
+                    }
+                    Fields::Named(fields) => {
+                        has_data = true;
+                        let mut ctor = String::new();
+                        for f in fields {
+                            let _ = write!(
+                                ctor,
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 fm.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,"
+                            );
+                        }
+                        let _ = write!(
+                            data_arms,
+                            "if let Some(inner) = m.get(\"{vn}\") {{ \
+                             let fm = inner.as_obj().ok_or_else(|| ::serde::Error::msg(\
+                             \"expected object for {name}::{vn}\"))?; \
+                             return Ok({name}::{vn} {{ {ctor} }}); }}"
+                        );
+                    }
+                }
+            }
+            let str_arm = if has_unit {
+                format!(
+                    "::serde::Value::Str(s) => match s.as_str() {{ {unit_arms} \
+                     _ => Err(::serde::Error::msg(\"unknown variant of {name}\")), }},"
+                )
+            } else {
+                String::new()
+            };
+            let obj_arm = if has_data {
+                format!(
+                    "::serde::Value::Obj(m) => {{ {data_arms} \
+                     Err(::serde::Error::msg(\"unknown variant of {name}\")) }},"
+                )
+            } else {
+                String::new()
+            };
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{ \
+                 fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> \
+                 {{ match v {{ {str_arm} {obj_arm} \
+                 _ => Err(::serde::Error::msg(\"unexpected value for {name}\")), }} }} }}"
+            );
+        }
+    }
+    out
+}
