@@ -39,6 +39,17 @@ fn bench_sharding(c: &mut Criterion) {
             b.iter(|| orchestrator.run(&config, shards).unwrap())
         });
     }
+    // Feedback exchange adds E - 1 barrier synchronizations per campaign;
+    // against sharded_k8 this prices the barrier overhead.
+    group.bench_function("sharded_k8_e4_exchange", |b| {
+        let config = varity_200(1);
+        let orchestrator = Orchestrator::new(OrchestratorOptions {
+            cache: false,
+            epochs: 4,
+            ..OrchestratorOptions::default()
+        });
+        b.iter(|| orchestrator.run(&config, 8).unwrap())
+    });
     group.finish();
 }
 

@@ -1,0 +1,157 @@
+//! Diff two benchmark baseline files (flat `{"group/name": seconds}`
+//! JSON, as written by `cargo bench ... -- --save-baseline <path>`) and
+//! fail on regressions — the CI `bench-gate` job runs this against the
+//! previous run's uploaded artifact.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_compare <baseline.json> <current.json>
+//!               [--threshold 0.10]   # max allowed mean-time growth
+//!               [--filter substring] # only compare matching benchmarks
+//! ```
+//!
+//! Benchmarks present in only one file are reported but never fail the
+//! gate (the suite is allowed to grow and shrink); a shared benchmark
+//! whose current mean exceeds `baseline * (1 + threshold)` does. Exit
+//! codes: 0 pass, 1 regression, 2 usage or parse error.
+
+use std::process::exit;
+
+struct Options {
+    baseline: String,
+    current: String,
+    threshold: f64,
+    filter: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_compare <baseline.json> <current.json> \
+         [--threshold FRACTION] [--filter SUBSTRING]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut positional: Vec<String> = Vec::new();
+    let mut threshold = 0.10;
+    let mut filter = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                threshold = match v.parse::<f64>() {
+                    Ok(t) if t >= 0.0 => t,
+                    _ => {
+                        eprintln!("bench_compare: invalid --threshold {v}");
+                        exit(2)
+                    }
+                };
+            }
+            "--filter" => filter = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => {
+                eprintln!("bench_compare: unknown flag {other}");
+                exit(2)
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        usage();
+    }
+    let mut positional = positional.into_iter();
+    Options {
+        baseline: positional.next().expect("two positionals"),
+        current: positional.next().expect("two positionals"),
+        threshold,
+        filter,
+    }
+}
+
+/// Load a baseline file as (benchmark label, mean seconds) pairs.
+fn load(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_compare: cannot read {path}: {e}");
+        exit(2)
+    });
+    let value = serde_json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_compare: {path} is not valid JSON: {e}");
+        exit(2)
+    });
+    let Some(obj) = value.as_obj() else {
+        eprintln!("bench_compare: {path}: expected a flat JSON object");
+        exit(2)
+    };
+    obj.iter()
+        .map(|(label, mean)| match mean {
+            serde_json::Value::Num(n) => (label.clone(), n.as_f64()),
+            _ => {
+                eprintln!("bench_compare: {path}: benchmark {label} has a non-numeric mean");
+                exit(2)
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let opts = parse_args();
+    let matches = |label: &str| match opts.filter.as_deref() {
+        None => true,
+        Some(filter) => label.contains(filter),
+    };
+    let baseline = load(&opts.baseline);
+    let current = load(&opts.current);
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    println!(
+        "comparing {} (current) against {} (baseline), threshold +{:.0}%",
+        opts.current,
+        opts.baseline,
+        100.0 * opts.threshold
+    );
+    for (label, new_mean) in &current {
+        if !matches(label) {
+            continue;
+        }
+        let Some((_, old_mean)) = baseline.iter().find(|(l, _)| l == label) else {
+            println!("  NEW      {label}: {new_mean:.6}s (no baseline entry)");
+            continue;
+        };
+        compared += 1;
+        let ratio = if *old_mean > 0.0 { new_mean / old_mean } else { f64::INFINITY };
+        let verdict = if ratio > 1.0 + opts.threshold {
+            regressions += 1;
+            "REGRESSED"
+        } else if ratio < 1.0 - opts.threshold {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {verdict:<9} {label}: {old_mean:.6}s -> {new_mean:.6}s ({:+.1}%)",
+            100.0 * (ratio - 1.0)
+        );
+    }
+    for (label, _) in &baseline {
+        if matches(label) && !current.iter().any(|(l, _)| l == label) {
+            println!("  DROPPED  {label} (present only in baseline)");
+        }
+    }
+
+    if compared == 0 {
+        println!("no shared benchmarks to compare — gate passes vacuously");
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_compare: {regressions} of {compared} shared benchmark(s) regressed \
+             beyond +{:.0}%",
+            100.0 * opts.threshold
+        );
+        exit(1);
+    }
+    println!("bench_compare: {compared} shared benchmark(s) within threshold");
+}

@@ -19,6 +19,9 @@
 //! * `--seed S` — base RNG seed (default 42);
 //! * `--threads T` — worker threads for the differential-testing matrix;
 //! * `--shards K` — shards per campaign (default 1: sequential-equivalent);
+//! * `--epochs E` — cross-shard feedback-exchange epochs (default 4; at
+//!   `--shards 1` exchange is a structural no-op, and `--epochs 1`
+//!   disables it so shards feed only on their own findings);
 //! * `--workers W` — shard worker threads (default: available parallelism).
 
 #![deny(unsafe_code)]
@@ -35,17 +38,25 @@ pub struct ExpOptions {
     pub seed: u64,
     pub threads: usize,
     pub shards: usize,
+    pub epochs: usize,
     pub workers: usize,
 }
 
 impl Default for ExpOptions {
     fn default() -> Self {
-        ExpOptions { programs: 150, seed: 42, threads: 4, shards: 1, workers: default_workers() }
+        ExpOptions {
+            programs: 150,
+            seed: 42,
+            threads: 4,
+            shards: 1,
+            epochs: 4,
+            workers: default_workers(),
+        }
     }
 }
 
 impl ExpOptions {
-    /// Parse options from an iterator of CLI arguments (excluding argv[0]).
+    /// Parse options from an iterator of CLI arguments (excluding argv\[0\]).
     /// Unknown arguments are rejected with an error message.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut opts = ExpOptions::default();
@@ -69,13 +80,17 @@ impl ExpOptions {
                     let v = iter.next().ok_or("--shards needs a value")?;
                     opts.shards = v.parse().map_err(|_| format!("invalid --shards {v}"))?;
                 }
+                "--epochs" => {
+                    let v = iter.next().ok_or("--epochs needs a value")?;
+                    opts.epochs = v.parse().map_err(|_| format!("invalid --epochs {v}"))?;
+                }
                 "--workers" => {
                     let v = iter.next().ok_or("--workers needs a value")?;
                     opts.workers = v.parse().map_err(|_| format!("invalid --workers {v}"))?;
                 }
                 "--help" | "-h" => {
                     return Err("usage: [--programs N] [--paper] [--seed S] [--threads T] \
-                         [--shards K] [--workers W]"
+                         [--shards K] [--epochs E] [--workers W]"
                         .into())
                 }
                 other => return Err(format!("unknown argument `{other}`")),
@@ -86,6 +101,9 @@ impl ExpOptions {
         }
         if opts.shards == 0 {
             return Err("--shards must be positive".into());
+        }
+        if opts.epochs == 0 {
+            return Err("--epochs must be positive".into());
         }
         Ok(opts)
     }
@@ -111,35 +129,28 @@ impl ExpOptions {
 
     /// Orchestrator options for these CLI options.
     pub fn orchestrator_options(&self) -> OrchestratorOptions {
-        OrchestratorOptions { workers: self.workers, cache: true, run_dir: None }
+        OrchestratorOptions {
+            workers: self.workers,
+            cache: true,
+            epochs: self.epochs,
+            run_dir: None,
+        }
     }
 }
 
 fn log_stats(approach: ApproachKind, orchestrated: &OrchestratedResult) {
-    let stats = &orchestrated.stats;
-    let cache = stats
-        .cache
-        .map(|c| format!("{:.1}% cache hits", 100.0 * c.hit_rate()))
-        .unwrap_or_else(|| "cache off".to_string());
-    eprintln!(
-        "[llm4fp-bench] {}: {} shards on {} workers, {:.2}s wall ({:.2}s shard time), {}",
-        approach.name(),
-        stats.shards,
-        stats.workers,
-        stats.wall_time.as_secs_f64(),
-        stats.shard_pipeline_time.as_secs_f64(),
-        cache
-    );
+    eprintln!("[llm4fp-bench] {}: {}", approach.name(), orchestrated.stats.summary_line());
 }
 
 /// Run one campaign for the given approach through the orchestrator.
 pub fn run_campaign(opts: ExpOptions, approach: ApproachKind) -> CampaignResult {
     eprintln!(
-        "[llm4fp-bench] running {} campaign: {} programs, seed {}, {} shard(s)",
+        "[llm4fp-bench] running {} campaign: {} programs, seed {}, {} shard(s), {} epoch(s)",
         approach.name(),
         opts.programs,
         opts.seed,
-        opts.shards
+        opts.shards,
+        opts.epochs
     );
     let orchestrated = Orchestrator::new(opts.orchestrator_options())
         .run(&opts.campaign_config(approach), opts.shards)
@@ -163,11 +174,13 @@ pub fn run_all_approaches(opts: ExpOptions) -> Vec<CampaignResult> {
 
 fn run_suite(opts: ExpOptions, approaches: &[ApproachKind]) -> Vec<CampaignResult> {
     eprintln!(
-        "[llm4fp-bench] scheduling {} campaigns: {} programs each, seed {}, {} shard(s), {} workers",
+        "[llm4fp-bench] scheduling {} campaigns: {} programs each, seed {}, {} shard(s), \
+         {} epoch(s), {} workers",
         approaches.len(),
         opts.programs,
         opts.seed,
         opts.shards,
+        opts.epochs,
         opts.workers
     );
     let configs: Vec<CampaignConfig> =
@@ -199,25 +212,32 @@ mod tests {
                 "2",
                 "--shards",
                 "4",
+                "--epochs",
+                "2",
                 "--workers",
                 "3",
             ]
             .map(String::from),
         )
         .unwrap();
-        assert_eq!(opts, ExpOptions { programs: 25, seed: 7, threads: 2, shards: 4, workers: 3 });
+        assert_eq!(
+            opts,
+            ExpOptions { programs: 25, seed: 7, threads: 2, shards: 4, epochs: 2, workers: 3 }
+        );
         let paper = ExpOptions::parse(["--paper".to_string()]).unwrap();
         assert_eq!(paper.programs, 1_000);
         assert!(ExpOptions::parse(["--programs".to_string(), "zero".to_string()]).is_err());
         assert!(ExpOptions::parse(["--bogus".to_string()]).is_err());
         assert!(ExpOptions::parse(["--programs".to_string(), "0".to_string()]).is_err());
         assert!(ExpOptions::parse(["--shards".to_string(), "0".to_string()]).is_err());
+        assert!(ExpOptions::parse(["--epochs".to_string(), "0".to_string()]).is_err());
         assert_eq!(ExpOptions::parse(std::iter::empty::<String>()).unwrap(), ExpOptions::default());
     }
 
     #[test]
     fn campaign_config_reflects_options() {
-        let opts = ExpOptions { programs: 9, seed: 123, threads: 3, shards: 2, workers: 2 };
+        let opts =
+            ExpOptions { programs: 9, seed: 123, threads: 3, shards: 2, epochs: 1, workers: 2 };
         let cfg = opts.campaign_config(ApproachKind::GrammarGuided);
         assert_eq!(cfg.programs, 9);
         assert_eq!(cfg.seed, 123);
@@ -227,7 +247,8 @@ mod tests {
 
     #[test]
     fn tiny_experiment_pipeline_end_to_end() {
-        let opts = ExpOptions { programs: 6, seed: 1, threads: 1, shards: 2, workers: 2 };
+        let opts =
+            ExpOptions { programs: 6, seed: 1, threads: 1, shards: 2, epochs: 2, workers: 2 };
         let results = run_all_approaches(opts);
         assert_eq!(results.len(), 4);
         for r in &results {
@@ -237,7 +258,8 @@ mod tests {
 
     #[test]
     fn single_shard_run_campaign_matches_sequential() {
-        let opts = ExpOptions { programs: 10, seed: 2, threads: 1, shards: 1, workers: 4 };
+        let opts =
+            ExpOptions { programs: 10, seed: 2, threads: 1, shards: 1, epochs: 4, workers: 4 };
         let orchestrated = run_campaign(opts, ApproachKind::Varity);
         let sequential = llm4fp::Campaign::new(opts.campaign_config(ApproachKind::Varity)).run();
         assert_eq!(orchestrated.records, sequential.records);

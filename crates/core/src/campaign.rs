@@ -10,7 +10,13 @@
 //! The loop is factored into a reusable [`CampaignRunner`] exposing a
 //! per-program [`CampaignRunner::run_one`] stage. [`Campaign::run`] drives
 //! it sequentially; `llm4fp-orchestrator` drives many runners concurrently
-//! (one per shard) and merges their results.
+//! (one per shard) and merges their results. Two further capabilities make
+//! the runner a *segmented* engine: [`CampaignRunner::checkpoint`] /
+//! [`CampaignRunner::restore`] pause and resume a runner between programs
+//! with bit-identical continuation (all RNG streams are snapshotted), and
+//! [`CampaignRunner::inject_successful`] merges another shard's finds into
+//! this runner's feedback pool — the two primitives the orchestrator's
+//! epoch-based cross-shard feedback exchange is built from.
 //!
 //! ## RNG-stream contracts
 //!
@@ -119,21 +125,109 @@ impl CampaignResult {
 /// Mutation repeatedly re-triggers inconsistencies with the same program,
 /// and without deduplication those copies pile up and bias subsequent
 /// seed selection toward already-exploited programs.
-#[derive(Debug, Default)]
-struct SuccessfulSet {
+///
+/// The set distinguishes *own* finds (programs this campaign observed
+/// triggering an inconsistency, added by [`SuccessfulSet::insert`]) from
+/// *injected* entries (programs another shard found, merged in by
+/// [`SuccessfulSet::merge`] at a cross-shard exchange barrier). Both feed
+/// seed selection, but only own finds are reported in
+/// [`CampaignResult::successful_sources`] — injected entries are reported
+/// by the shard that found them, which keeps the merged campaign result
+/// identical whether or not exchange ran.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct SuccessfulSet {
     sources: Vec<String>,
     seen: HashSet<u64>,
+    own: Vec<bool>,
+}
+
+/// Serializable image of a [`SuccessfulSet`] (the `seen` index is
+/// reconstructed on restore).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuccessfulSetSnapshot {
+    pub sources: Vec<String>,
+    pub own: Vec<bool>,
 }
 
 impl SuccessfulSet {
-    /// Insert a source, returning `true` when it was new.
-    fn insert(&mut self, source: &str) -> bool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert an own find, returning `true` when it was structurally new.
+    pub fn insert(&mut self, source: &str) -> bool {
         if self.seen.insert(source_hash(source)) {
             self.sources.push(source.to_string());
+            self.own.push(true);
             true
         } else {
             false
         }
+    }
+
+    /// Merge externally found sources (in their given order), returning
+    /// the number that were structurally new. Merging is associative,
+    /// commutative up to ordering, and idempotent — the properties the
+    /// exchange barrier's shard-order merge relies on.
+    pub fn merge_sources(&mut self, sources: &[String]) -> usize {
+        let mut added = 0;
+        for source in sources {
+            if self.seen.insert(source_hash(source)) {
+                self.sources.push(source.clone());
+                self.own.push(false);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Merge another set's entries (own and injected alike) as injected
+    /// entries of this set.
+    pub fn merge(&mut self, other: &SuccessfulSet) -> usize {
+        self.merge_sources(&other.sources)
+    }
+
+    /// All sources (own + injected) in insertion order — the pool seed
+    /// selection draws from.
+    pub fn sources(&self) -> &[String] {
+        &self.sources
+    }
+
+    /// The sources this set inserted itself, in insertion order.
+    pub fn own_sources(&self) -> Vec<String> {
+        self.sources
+            .iter()
+            .zip(&self.own)
+            .filter(|(_, own)| **own)
+            .map(|(s, _)| s.clone())
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Structural membership test.
+    pub fn contains(&self, source: &str) -> bool {
+        self.seen.contains(&source_hash(source))
+    }
+
+    /// Serializable image of the set; [`SuccessfulSet::restore`] inverts.
+    pub fn snapshot(&self) -> SuccessfulSetSnapshot {
+        SuccessfulSetSnapshot { sources: self.sources.clone(), own: self.own.clone() }
+    }
+
+    /// Rebuild a set from a snapshot (restores insertion order, own flags
+    /// and the structural-hash index).
+    pub fn restore(snapshot: SuccessfulSetSnapshot) -> Self {
+        let seen = snapshot.sources.iter().map(|s| source_hash(s)).collect();
+        let mut own = snapshot.own;
+        own.resize(snapshot.sources.len(), true);
+        SuccessfulSet { sources: snapshot.sources, seen, own }
     }
 }
 
@@ -159,7 +253,36 @@ pub struct CampaignRunner {
     sources: Vec<String>,
     generation_failures: usize,
     simulated_llm_time: Duration,
-    start: Instant,
+    /// Wall-clock time spent inside [`CampaignRunner::run_one`] so far.
+    /// Accumulated per program — not runner lifetime — so a runner paused
+    /// at an exchange barrier (or idle while the pool serves other
+    /// shards) doesn't book waiting time as pipeline cost, and a restored
+    /// runner continues the count where the checkpoint left it.
+    pipeline_time: Duration,
+}
+
+/// Serializable image of a [`CampaignRunner`] paused between programs.
+///
+/// A checkpoint captures everything that is not a pure function of the
+/// [`CampaignConfig`]: the three RNG streams (campaign, Varity, LLM), the
+/// LLM call counter, the derived input seed, the successful set, and the
+/// accumulated outputs. [`CampaignRunner::restore`] rebuilds a runner that
+/// continues the exact program stream the checkpointed one would have run
+/// — the primitive behind epoch-boundary pause/resume in the orchestrator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunnerCheckpoint {
+    pub rng: Vec<u64>,
+    pub varity_rng: Vec<u64>,
+    pub llm_rng: Vec<u64>,
+    pub llm_calls: u64,
+    pub input_seed: u64,
+    pub successful: SuccessfulSetSnapshot,
+    pub aggregates: Aggregates,
+    pub records: Vec<ProgramRecord>,
+    pub sources: Vec<String>,
+    pub generation_failures: usize,
+    pub simulated_llm_time: Duration,
+    pub pipeline_time: Duration,
 }
 
 impl CampaignRunner {
@@ -193,9 +316,72 @@ impl CampaignRunner {
             sources: Vec::new(),
             generation_failures: 0,
             simulated_llm_time: Duration::ZERO,
-            start: Instant::now(),
+            pipeline_time: Duration::ZERO,
             config,
         }
+    }
+
+    /// Snapshot this runner between programs. Restoring the checkpoint
+    /// (with the same configuration) continues the exact same stream; see
+    /// [`RunnerCheckpoint`].
+    pub fn checkpoint(&self) -> RunnerCheckpoint {
+        let (llm_rng, llm_calls) = self.llm.state();
+        RunnerCheckpoint {
+            rng: self.rng.state().to_vec(),
+            varity_rng: self.varity.rng_state().to_vec(),
+            llm_rng: llm_rng.to_vec(),
+            llm_calls,
+            input_seed: self.input_seed,
+            successful: self.successful.lock().snapshot(),
+            aggregates: self.aggregates.clone(),
+            records: self.records.clone(),
+            sources: self.sources.clone(),
+            generation_failures: self.generation_failures,
+            simulated_llm_time: self.simulated_llm_time,
+            pipeline_time: self.pipeline_time,
+        }
+    }
+
+    /// Rebuild a runner from a checkpoint taken with the same
+    /// configuration. The restored runner's subsequent [`Self::run_one`]
+    /// calls, final [`Self::finish`] result, and further checkpoints are
+    /// bit-identical to the uninterrupted runner's (pipeline time excepted
+    /// — wall clocks are not replayable).
+    pub fn restore(config: CampaignConfig, checkpoint: RunnerCheckpoint) -> Self {
+        let mut runner = CampaignRunner::new(config);
+        runner.rng = StdRng::from_state(rng_words(&checkpoint.rng));
+        runner.varity.restore_rng_state(rng_words(&checkpoint.varity_rng));
+        runner.llm.restore_state(rng_words(&checkpoint.llm_rng), checkpoint.llm_calls);
+        runner.input_seed = checkpoint.input_seed;
+        runner.successful = Mutex::new(SuccessfulSet::restore(checkpoint.successful));
+        runner.aggregates = checkpoint.aggregates;
+        runner.records = checkpoint.records;
+        runner.sources = checkpoint.sources;
+        runner.generation_failures = checkpoint.generation_failures;
+        runner.simulated_llm_time = checkpoint.simulated_llm_time;
+        runner.pipeline_time = checkpoint.pipeline_time;
+        runner
+    }
+
+    /// Number of entries (own + injected) in the successful set.
+    pub fn successful_len(&self) -> usize {
+        self.successful.lock().len()
+    }
+
+    /// Clone the successful set's sources from position `start` on — the
+    /// exchange barrier reads each epoch's newly found sources this way
+    /// (injected entries sit below the caller's watermark by construction).
+    pub fn successful_sources_from(&self, start: usize) -> Vec<String> {
+        let set = self.successful.lock();
+        set.sources()[start.min(set.len())..].to_vec()
+    }
+
+    /// Merge externally found successful sources into this runner's
+    /// feedback pool (structurally deduplicated, order preserved).
+    /// Returns how many were new. Subsequent feedback mutation draws from
+    /// the union.
+    pub fn inject_successful(&mut self, sources: &[String]) -> usize {
+        self.successful.lock().merge_sources(sources)
     }
 
     /// Share a differential-testing result cache with this runner.
@@ -235,6 +421,7 @@ impl CampaignRunner {
     /// differential-test it, fold the outcome into the aggregates and the
     /// feedback set. Returns the record of the processed program.
     pub fn run_one(&mut self, index: usize) -> &ProgramRecord {
+        let started = Instant::now();
         let (strategy_label, program) = self.generate_one();
 
         let Some(program) = program else {
@@ -256,6 +443,7 @@ impl CampaignRunner {
                 inconsistencies: 0,
                 successful: false,
             });
+            self.pipeline_time += started.elapsed();
             return self.records.last().expect("just pushed");
         };
 
@@ -278,6 +466,7 @@ impl CampaignRunner {
             successful: triggered,
         });
         self.sources.push(source);
+        self.pipeline_time += started.elapsed();
         self.records.last().expect("just pushed")
     }
 
@@ -302,18 +491,21 @@ impl CampaignRunner {
         computed
     }
 
-    /// Consume the runner and assemble the campaign result.
+    /// Consume the runner and assemble the campaign result. Only the
+    /// runner's *own* successful finds are reported — sources injected
+    /// from other shards at exchange barriers are reported by the shard
+    /// that found them.
     pub fn finish(self) -> CampaignResult {
         CampaignResult {
             config: self.config,
             aggregates: self.aggregates,
             records: self.records,
             sources: self.sources,
-            successful_sources: self.successful.into_inner().sources,
+            successful_sources: self.successful.into_inner().own_sources(),
             generation_failures: self.generation_failures,
             llm_calls: self.llm.calls(),
             simulated_llm_time: self.simulated_llm_time,
-            pipeline_time: self.start.elapsed(),
+            pipeline_time: self.pipeline_time,
         }
     }
 
@@ -389,6 +581,17 @@ impl Campaign {
         }
         runner.finish()
     }
+}
+
+/// Widen a checkpointed RNG state (serialized as a `Vec` because the
+/// vendored serde shim has no fixed-size-array support) back to the four
+/// xoshiro words, zero-padding defensively on corrupt input.
+fn rng_words(words: &[u64]) -> [u64; 4] {
+    let mut out = [0u64; 4];
+    for (slot, word) in out.iter_mut().zip(words) {
+        *slot = *word;
+    }
+    out
 }
 
 fn parse_valid(source: &str) -> Option<Program> {
@@ -508,7 +711,7 @@ mod tests {
         assert!(set.insert("void compute(double x) { comp = x; }"));
         assert!(!set.insert("void compute(double x) { comp = x; }"));
         assert!(set.insert("void compute(double y) { comp = y + 1.0; }"));
-        assert_eq!(set.sources.len(), 2);
+        assert_eq!(set.len(), 2);
         // A campaign's successful set never contains duplicates.
         let result = small(ApproachKind::Llm4Fp, 60);
         let mut unique: Vec<u64> =
@@ -536,6 +739,78 @@ mod tests {
         assert_eq!(staged.aggregates, oneshot.aggregates);
         assert_eq!(staged.successful_sources, oneshot.successful_sources);
         assert_eq!(staged.llm_calls, oneshot.llm_calls);
+    }
+
+    #[test]
+    fn successful_set_tracks_own_vs_injected_and_round_trips_snapshots() {
+        let mut set = SuccessfulSet::new();
+        set.insert("void compute(double x) { comp = x; }");
+        let injected = vec![
+            "void compute(double y) { comp = y * 2.0; }".to_string(),
+            "void compute(double x) { comp = x; }".to_string(), // structural dup of own find
+        ];
+        assert_eq!(set.merge_sources(&injected), 1);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.own_sources(), vec!["void compute(double x) { comp = x; }".to_string()]);
+        assert!(set.contains("void compute(double y) { comp = y * 2.0; }"));
+        let restored = SuccessfulSet::restore(set.snapshot());
+        assert_eq!(restored, set);
+        // The restored hash index still deduplicates.
+        let mut restored = restored;
+        assert!(!restored.insert("void compute(double y) { comp = y * 2.0; }"));
+    }
+
+    #[test]
+    fn checkpointed_runners_continue_the_exact_stream() {
+        let config =
+            CampaignConfig::new(ApproachKind::Llm4Fp).with_budget(30).with_seed(19).with_threads(2);
+        // Uninterrupted reference.
+        let mut reference = CampaignRunner::new(config.clone());
+        for index in 0..config.programs {
+            reference.run_one(index);
+        }
+        let reference = reference.finish();
+        // Checkpoint mid-run (twice, to cover chained checkpoints), then
+        // restore and continue.
+        let mut runner = CampaignRunner::new(config.clone());
+        for index in 0..10 {
+            runner.run_one(index);
+        }
+        let mut runner = CampaignRunner::restore(config.clone(), runner.checkpoint());
+        for index in 10..20 {
+            runner.run_one(index);
+        }
+        let checkpoint = runner.checkpoint();
+        assert_eq!(checkpoint.records.len(), 20);
+        let mut runner = CampaignRunner::restore(config.clone(), checkpoint);
+        for index in 20..config.programs {
+            runner.run_one(index);
+        }
+        let resumed = runner.finish();
+        assert_eq!(resumed.records, reference.records);
+        assert_eq!(resumed.sources, reference.sources);
+        assert_eq!(resumed.successful_sources, reference.successful_sources);
+        assert_eq!(resumed.aggregates, reference.aggregates);
+        assert_eq!(resumed.llm_calls, reference.llm_calls);
+        assert_eq!(resumed.simulated_llm_time, reference.simulated_llm_time);
+    }
+
+    #[test]
+    fn injected_sources_feed_selection_but_not_reported_finds() {
+        let config =
+            CampaignConfig::new(ApproachKind::Llm4Fp).with_budget(12).with_seed(23).with_threads(2);
+        let mut runner = CampaignRunner::new(config.clone());
+        let foreign = "void compute(double q) { comp = q / 3.0; }".to_string();
+        assert_eq!(runner.inject_successful(std::slice::from_ref(&foreign)), 1);
+        assert_eq!(runner.successful_len(), 1);
+        // The injected source is visible to seed selection...
+        assert_eq!(runner.successful_sources_from(0), vec![foreign.clone()]);
+        for index in 0..config.programs {
+            runner.run_one(index);
+        }
+        let result = runner.finish();
+        // ...but never reported as this campaign's own find.
+        assert!(!result.successful_sources.contains(&foreign));
     }
 
     #[test]

@@ -27,6 +27,9 @@ pub mod campaign;
 pub mod config;
 pub mod report;
 
-pub use campaign::{Campaign, CampaignResult, CampaignRunner, ProgramRecord};
+pub use campaign::{
+    Campaign, CampaignResult, CampaignRunner, ProgramRecord, RunnerCheckpoint, SuccessfulSet,
+    SuccessfulSetSnapshot,
+};
 pub use config::{ApproachKind, CampaignConfig};
 pub use llm4fp_difftest::Aggregates;

@@ -24,6 +24,8 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use serde::{Deserialize, Serialize};
+
 use llm4fp_compiler::{CompilerId, OptLevel};
 
 use crate::matrix::ProgramDiffResult;
@@ -39,7 +41,7 @@ pub struct CachedDiff {
 }
 
 /// Cache statistics snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,

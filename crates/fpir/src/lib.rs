@@ -17,7 +17,7 @@
 //! * [`printer`] — pretty printers to C and CUDA source
 //! * [`parser`] — a recursive-descent parser for the same C subset
 //! * [`tokens`] — a C-like tokenizer used by the diversity metrics
-//! * [`validate`] — static validation (initialization, bounds, loop limits)
+//! * [`validate()`] — static validation (initialization, bounds, loop limits)
 //! * [`inputs`] — input sets binding concrete values to `compute` parameters
 //! * [`hash`] — structural program hashing
 //!
@@ -50,10 +50,10 @@ pub use validate::{validate, ValidationError};
 /// Name of the accumulator variable holding the program result.
 pub const COMP: &str = "comp";
 
-/// Maximum loop trip count accepted by [`validate`] (and therefore by the
+/// Maximum loop trip count accepted by [`validate()`] (and therefore by the
 /// virtual compiler's interpreter). Mirrors the small bounded loops produced
 /// by the Varity grammar.
 pub const MAX_LOOP_BOUND: i64 = 256;
 
-/// Maximum declared array length accepted by [`validate`].
+/// Maximum declared array length accepted by [`validate()`].
 pub const MAX_ARRAY_LEN: usize = 256;

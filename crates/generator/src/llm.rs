@@ -98,6 +98,20 @@ impl SimulatedLlm {
         self.calls
     }
 
+    /// Snapshot the mutable state (RNG stream + call counter) so a paused
+    /// campaign can be checkpointed; see [`Self::restore_state`].
+    pub fn state(&self) -> ([u64; 4], u64) {
+        (self.rng.state(), self.calls)
+    }
+
+    /// Restore state snapshotted by [`Self::state`]. The restored client
+    /// replays the exact response sequence the snapshotted one would have
+    /// produced.
+    pub fn restore_state(&mut self, rng: [u64; 4], calls: u64) {
+        self.rng = StdRng::from_state(rng);
+        self.calls = calls;
+    }
+
     fn latency(&mut self) -> Duration {
         let jitter_ms = self.config.latency_jitter.as_millis() as i64;
         let offset = if jitter_ms > 0 { self.rng.gen_range(-jitter_ms..=jitter_ms) } else { 0 };

@@ -67,6 +67,18 @@ impl VarityGenerator {
         VarityGenerator { rng: StdRng::seed_from_u64(seed), config }
     }
 
+    /// Snapshot the generator's RNG stream so a paused campaign can be
+    /// checkpointed and later resumed with [`Self::restore_rng_state`]
+    /// to produce the exact same program sequence.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restore an RNG stream snapshotted by [`Self::rng_state`].
+    pub fn restore_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
+
     /// Generate one valid program. Generation is retried internally until
     /// validation passes (the grammar-directed construction almost always
     /// succeeds on the first attempt).

@@ -2,7 +2,7 @@
 //!
 //! Program-diversity metrics used in the paper's evaluation (Section 3.2.2):
 //!
-//! * [`codebleu`] — the CodeBLEU similarity score (n-gram BLEU, weighted
+//! * [`codebleu()`] — the CodeBLEU similarity score (n-gram BLEU, weighted
 //!   n-gram match, AST subtree match and data-flow match), computed pairwise
 //!   over a corpus of generated programs. Lower average pairwise CodeBLEU
 //!   means a more diverse corpus (Table 2's last column).

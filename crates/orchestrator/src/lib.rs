@@ -23,29 +23,45 @@
 //! ```
 //!
 //! **Determinism contract.** A sharded run is a pure function of
-//! `(config, K)`: every shard derives its RNG streams from
+//! `(config, K, E)` where `E` is the feedback-exchange epoch count:
+//! every shard derives its RNG streams from
 //! `config.seed ^ mix(shard_index)` (mix(0) = 0, so shard 0 replays the
-//! sequential stream), shards never communicate, program inputs
+//! sequential stream), program inputs
 //! are derived from the program's structural hash (so the shared result
-//! cache is semantically transparent), and outputs merge in shard order.
+//! cache is semantically transparent), shards only communicate at
+//! deterministic epoch barriers (merge in shard-index order, broadcast of
+//! the merged pool), and outputs merge in shard order.
 //! Worker count, scheduling order, caching, and interruption/resume all
 //! leave the result bit-identical. For `K = 1`, shard 0's streams are
 //! exactly the sequential campaign's, so the orchestrated result matches
-//! [`llm4fp::Campaign::run`] field for field.
+//! [`llm4fp::Campaign::run`] field for field — for any `E`, since a
+//! single shard's exchange is a structural no-op.
 //!
-//! The trade-off at `K > 1`: each shard maintains its own feedback set
-//! (Feedback-Based Mutation draws only from inconsistencies its own shard
-//! found), which is what removes cross-program sequencing and makes the
-//! decomposition embarrassingly parallel.
+//! The trade-off at `K > 1` with `E = 1` (the default): each shard
+//! maintains its own feedback set (Feedback-Based Mutation draws only
+//! from inconsistencies its own shard found), which removes cross-program
+//! sequencing and makes the decomposition embarrassingly parallel.
+//! Setting `E > 1` buys the global feedback pool back at the cost of
+//! `E - 1` barrier synchronizations: after each of the `E` budget
+//! segments, per-shard deltas are merged (structurally deduplicated, in
+//! shard-index order) and broadcast, so from epoch `e + 1` every shard
+//! mutates programs drawn from the union of all shards' findings — the
+//! paper's feedback loop at campaign scale rather than shard scale.
 //!
 //! Provided here:
 //!
-//! * [`Orchestrator`] — sharded execution with optional caching and
-//!   persistent, resumable run directories ([`Orchestrator::resume`]);
+//! * [`Orchestrator`] — sharded execution with optional cross-shard
+//!   feedback exchange ([`OrchestratorOptions::epochs`]), caching and
+//!   persistent, resumable run directories ([`Orchestrator::resume`],
+//!   including mid-campaign restore from epoch-barrier checkpoints);
 //! * [`Scheduler`] — multi-campaign suites (all four Table 2 approaches)
-//!   over one shared worker budget;
-//! * [`shard`] — the shard planning/merging primitives;
-//! * [`persist`] — the JSONL run-directory format.
+//!   over one shared worker budget, with per-campaign exchange;
+//! * [`shard`] — the shard planning/merging primitives and the
+//!   segment-capable [`ShardRunner`];
+//! * [`pool`] — the indexed worker pool and the [`pool::run_epochs`]
+//!   barrier protocol;
+//! * [`persist`] — the JSONL run-directory format with per-epoch pool
+//!   and checkpoint records.
 //!
 //! ```no_run
 //! use llm4fp::{ApproachKind, CampaignConfig};
@@ -70,4 +86,7 @@ pub use orchestrate::{
 };
 pub use persist::{PersistError, RunDir, RunManifest};
 pub use scheduler::Scheduler;
-pub use shard::{merge_shards, plan_shards, run_shard, shard_seed, ShardOutput, ShardSpec};
+pub use shard::{
+    merge_shards, plan_epoch_segments, plan_shards, run_shard, shard_seed, ShardOutput,
+    ShardRunner, ShardSpec,
+};

@@ -1,16 +1,41 @@
 //! The campaign orchestrator: sharded execution on a worker pool, with
-//! optional result caching and persistent, resumable run directories.
+//! optional epoch-based cross-shard feedback exchange, result caching and
+//! persistent, resumable run directories.
+//!
+//! ## Cross-shard feedback exchange
+//!
+//! A plain sharded run keeps each shard's successful set private, so at
+//! `K` shards Feedback-Based Mutation draws from ~1/K of the campaign's
+//! findings. With `epochs = E > 1` every shard runs its budget in `E`
+//! segments; after each segment the shards synchronize at a deterministic
+//! barrier where their newly found successful sources (the *deltas*) are
+//! merged in shard-index order into a global pool — structurally
+//! deduplicated with the same hashing as the per-shard sets — and the
+//! merged pool is broadcast back, so every shard's feedback mutation
+//! draws from the union in the next epoch.
+//!
+//! The determinism contract extends to `(config, K, E)`: barrier order is
+//! fixed by shard index (never completion order), so results stay
+//! bit-identical across worker counts, and `E = 1` runs the exact
+//! no-exchange code path. Persisted multi-epoch runs record the pool and
+//! every shard's paused-runner checkpoint at each barrier, so a killed
+//! campaign resumes mid-run from the latest complete barrier and still
+//! reproduces the uninterrupted result bit for bit.
 
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use llm4fp::{Campaign, CampaignConfig, CampaignResult};
+use serde::{Deserialize, Serialize};
+
+use llm4fp::{Campaign, CampaignConfig, CampaignResult, SuccessfulSet};
 use llm4fp_difftest::{CacheStats, ResultCache};
 
-use crate::persist::{PersistError, RunDir, RunManifest};
-use crate::pool::run_indexed;
-use crate::shard::{merge_shards, plan_shards, run_shard, ShardOutput, ShardSpec};
+use crate::persist::{PersistError, RunDir, RunManifest, ShardWriter};
+use crate::pool::{run_epochs, run_indexed};
+use crate::shard::{
+    merge_shards, plan_epoch_segments, plan_shards, run_shard, ShardOutput, ShardRunner, ShardSpec,
+};
 
 /// How an orchestrated run executes.
 #[derive(Debug, Clone)]
@@ -21,15 +46,20 @@ pub struct OrchestratorOptions {
     pub workers: usize,
     /// Share a differential-testing result cache across shards.
     pub cache: bool,
-    /// Persist the run (config, per-program progress, shard outputs,
-    /// merged result) into this directory, and resume from any complete
-    /// shards already present.
+    /// Feedback-exchange epochs. `1` (the default) disables exchange and
+    /// reproduces the independent-shard output exactly; `E > 1` slices
+    /// every shard's budget into `E` segments with a merge-and-broadcast
+    /// barrier between consecutive segments.
+    pub epochs: usize,
+    /// Persist the run (config, per-program progress, epoch barriers,
+    /// shard outputs, merged result) into this directory, and resume from
+    /// whatever complete state is already present.
     pub run_dir: Option<PathBuf>,
 }
 
 impl Default for OrchestratorOptions {
     fn default() -> Self {
-        OrchestratorOptions { workers: default_workers(), cache: true, run_dir: None }
+        OrchestratorOptions { workers: default_workers(), cache: true, epochs: 1, run_dir: None }
     }
 }
 
@@ -39,16 +69,21 @@ pub fn default_workers() -> usize {
 }
 
 /// Execution statistics of one orchestrated run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RunStats {
     /// Number of shards in the plan.
     pub shards: usize,
     /// Worker threads used.
     pub workers: usize,
+    /// Feedback-exchange epochs the plan was sliced into.
+    pub epochs: usize,
     /// Shards loaded from a persisted run directory instead of computed.
     pub shards_reused: usize,
     /// Shards computed this run.
     pub shards_computed: usize,
+    /// Epochs skipped by restoring persisted barrier checkpoints instead
+    /// of recomputing them (multi-epoch resume).
+    pub epochs_restored: usize,
     /// Result-cache statistics (`None` when caching was off).
     pub cache: Option<CacheStats>,
     /// Wall-clock duration of the orchestrated run.
@@ -59,6 +94,34 @@ pub struct RunStats {
     pub shard_pipeline_time: Duration,
 }
 
+impl RunStats {
+    /// One-line human-readable summary, including the result-cache hit
+    /// rate (the JSONL run directory persists the same data as
+    /// `summary.json`).
+    pub fn summary_line(&self) -> String {
+        let cache = match &self.cache {
+            Some(c) => format!(
+                "cache {}/{} hits ({:.1}%)",
+                c.hits,
+                c.hits + c.misses,
+                100.0 * c.hit_rate()
+            ),
+            None => "cache off".to_string(),
+        };
+        format!(
+            "{} shard(s) x {} epoch(s) on {} worker(s), {} reused, \
+             {:.2}s wall ({:.2}s shard time), {}",
+            self.shards,
+            self.epochs,
+            self.workers,
+            self.shards_reused,
+            self.wall_time.as_secs_f64(),
+            self.shard_pipeline_time.as_secs_f64(),
+            cache
+        )
+    }
+}
+
 /// A merged campaign result plus how it was produced.
 #[derive(Debug, Clone)]
 pub struct OrchestratedResult {
@@ -67,7 +130,8 @@ pub struct OrchestratedResult {
 }
 
 /// Drives sharded campaign runs. See the crate docs for the determinism
-/// contract: results are a pure function of `(config, shard count)`.
+/// contract: results are a pure function of `(config, shard count,
+/// epoch count)`.
 #[derive(Debug, Clone, Default)]
 pub struct Orchestrator {
     options: OrchestratorOptions,
@@ -83,11 +147,22 @@ impl Orchestrator {
     }
 
     /// Convenience entry point: run `config` split into `shards` shards on
-    /// the default worker pool with caching enabled, returning just the
-    /// campaign result. Bit-deterministic across worker counts; for
-    /// `shards == 1` the result matches [`Campaign::run`] exactly.
+    /// the default worker pool with caching enabled and no feedback
+    /// exchange, returning just the campaign result. Bit-deterministic
+    /// across worker counts; for `shards == 1` the result matches
+    /// [`Campaign::run`] exactly.
     pub fn run_sharded(config: &CampaignConfig, shards: usize) -> CampaignResult {
-        Orchestrator::default()
+        Self::run_sharded_epochs(config, shards, 1)
+    }
+
+    /// Like [`Orchestrator::run_sharded`], with `epochs` cross-shard
+    /// feedback-exchange epochs (`epochs == 1` is exactly `run_sharded`).
+    pub fn run_sharded_epochs(
+        config: &CampaignConfig,
+        shards: usize,
+        epochs: usize,
+    ) -> CampaignResult {
+        Orchestrator::new(OrchestratorOptions { epochs, ..OrchestratorOptions::default() })
             .run(config, shards)
             .expect("in-memory orchestrated run cannot fail")
             .result
@@ -102,42 +177,46 @@ impl Orchestrator {
     ) -> Result<OrchestratedResult, PersistError> {
         let start = Instant::now();
         let specs = plan_shards(config, shards);
+        let epochs = self.options.epochs.max(1);
         let cache = self.options.cache.then(|| Arc::new(ResultCache::new()));
         let run_dir = match &self.options.run_dir {
             Some(root) => Some(RunDir::open(
                 root,
-                &RunManifest { config: config.clone(), shards: specs.len() },
+                &RunManifest { config: config.clone(), shards: specs.len(), epochs },
             )?),
             None => None,
         };
-        let outcome = self.execute(config, &specs, cache.as_ref(), run_dir.as_ref());
+        let outcome = self.execute(config, &specs, epochs, cache.as_ref(), run_dir.as_ref());
         let result = merge_shards(config, outcome.outputs, start.elapsed());
+        let stats = RunStats {
+            shards: specs.len(),
+            workers: self.options.workers.max(1),
+            epochs,
+            shards_reused: outcome.reused,
+            shards_computed: outcome.computed,
+            epochs_restored: outcome.epochs_restored,
+            cache: cache.map(|c| c.stats()),
+            wall_time: start.elapsed(),
+            shard_pipeline_time: outcome.pipeline_time,
+        };
         if let Some(dir) = &run_dir {
             dir.write_result(&result)?;
+            dir.write_summary(&stats)?;
         }
-        Ok(OrchestratedResult {
-            stats: RunStats {
-                shards: specs.len(),
-                workers: self.options.workers.max(1),
-                shards_reused: outcome.reused,
-                shards_computed: outcome.computed,
-                cache: cache.map(|c| c.stats()),
-                wall_time: start.elapsed(),
-                shard_pipeline_time: outcome.pipeline_time,
-            },
-            result,
-        })
+        Ok(OrchestratedResult { stats, result })
     }
 
-    /// Resume a persisted run from its manifest alone: complete shards are
-    /// loaded, incomplete ones recomputed, and the merged result is
-    /// (re)written. Produces bit-identical results to an uninterrupted
-    /// run of the same manifest.
+    /// Resume a persisted run from its manifest alone: complete shards
+    /// are loaded, and an interrupted multi-epoch run restarts every
+    /// shard from the latest persisted exchange barrier. The merged
+    /// result is (re)written and bit-identical to an uninterrupted run of
+    /// the same manifest.
     pub fn resume(root: impl Into<PathBuf>) -> Result<OrchestratedResult, PersistError> {
         let root = root.into();
         let manifest = RunDir::read_manifest(&root)?;
         let orchestrator = Orchestrator::new(OrchestratorOptions {
             run_dir: Some(root),
+            epochs: manifest.epochs,
             ..OrchestratorOptions::default()
         });
         orchestrator.run(&manifest.config, manifest.shards)
@@ -147,13 +226,43 @@ impl Orchestrator {
         &self,
         config: &CampaignConfig,
         specs: &[ShardSpec],
+        epochs: usize,
         cache: Option<&Arc<ResultCache>>,
         run_dir: Option<&RunDir>,
     ) -> ExecOutcome {
-        // Partition into shards already on disk and shards to compute.
-        let mut outputs: Vec<Option<ShardOutput>> =
+        // Shards already complete on disk load without recomputation.
+        let outputs: Vec<Option<ShardOutput>> =
             specs.iter().map(|spec| run_dir.and_then(|dir| dir.load_shard(spec))).collect();
         let reused = outputs.iter().filter(|o| o.is_some()).count();
+
+        if reused == specs.len() {
+            // Whole-shard reuse, not checkpoint restoration: no barrier
+            // checkpoint was read, so `epochs_restored` stays 0.
+            return ExecOutcome {
+                outputs: outputs.into_iter().map(|o| o.expect("all loaded")).collect(),
+                reused,
+                computed: 0,
+                epochs_restored: 0,
+                pipeline_time: Duration::ZERO,
+            };
+        }
+        if epochs <= 1 {
+            return self.execute_independent(config, specs, outputs, reused, cache, run_dir);
+        }
+        self.execute_exchanged(config, specs, epochs, cache, run_dir)
+    }
+
+    /// The no-exchange path: shards never communicate, so missing shards
+    /// recompute individually next to reused ones.
+    fn execute_independent(
+        &self,
+        config: &CampaignConfig,
+        specs: &[ShardSpec],
+        mut outputs: Vec<Option<ShardOutput>>,
+        reused: usize,
+        cache: Option<&Arc<ResultCache>>,
+        run_dir: Option<&RunDir>,
+    ) -> ExecOutcome {
         let pending: Vec<ShardSpec> = specs
             .iter()
             .zip(&outputs)
@@ -197,15 +306,127 @@ impl Orchestrator {
             outputs: outputs.into_iter().map(|o| o.expect("every shard resolved")).collect(),
             reused,
             computed: computed_count,
+            epochs_restored: 0,
             pipeline_time,
         }
     }
+
+    /// The exchange path: barriers couple every shard, so all shards run
+    /// together — from scratch, or from the latest barrier at which a
+    /// persisted run recorded the pool and every shard's checkpoint.
+    /// (Per-shard summary reuse is only sound when *all* shards are
+    /// complete, which `execute` already handled.)
+    fn execute_exchanged(
+        &self,
+        config: &CampaignConfig,
+        specs: &[ShardSpec],
+        epochs: usize,
+        cache: Option<&Arc<ResultCache>>,
+        run_dir: Option<&RunDir>,
+    ) -> ExecOutcome {
+        let restored_barrier =
+            run_dir.and_then(|dir| dir.latest_restorable_epoch(specs.len(), epochs));
+
+        // The cumulative exchange pool, in deterministic merge order.
+        let mut pool = SuccessfulSet::new();
+        if let (Some(barrier), Some(dir)) = (restored_barrier, run_dir) {
+            pool.merge_sources(
+                &dir.load_epoch_pool(barrier).expect("validated by latest_restorable_epoch"),
+            );
+        }
+
+        let runners: Vec<Mutex<ShardSlot>> = specs
+            .iter()
+            .enumerate()
+            .map(|(index, spec)| {
+                let shard_cache = cache.map(Arc::clone);
+                let runner = match (restored_barrier, run_dir) {
+                    (Some(barrier), Some(dir)) => {
+                        let checkpoint = dir
+                            .load_checkpoint(index, barrier)
+                            .expect("validated by latest_restorable_epoch");
+                        ShardRunner::from_checkpoint(config, *spec, shard_cache, checkpoint)
+                    }
+                    _ => ShardRunner::new(config, *spec, shard_cache),
+                };
+                let writer = run_dir.and_then(|dir| dir.shard_writer(spec).ok());
+                Mutex::new(ShardSlot { runner, writer })
+            })
+            .collect();
+
+        let segments: Vec<Vec<usize>> =
+            specs.iter().map(|spec| plan_epoch_segments(spec.budget, epochs)).collect();
+        let start_epoch = restored_barrier.map_or(0, |barrier| barrier + 1);
+
+        run_epochs(
+            specs.len(),
+            self.options.workers,
+            start_epoch..epochs,
+            |task, epoch| {
+                let mut slot = runners[task].lock().unwrap();
+                let ShardSlot { runner, writer } = &mut *slot;
+                runner.run_segment(segments[task][epoch], |record| {
+                    if let Some(writer) = writer {
+                        writer.record(record);
+                    }
+                })
+            },
+            |epoch, deltas| {
+                // Merge the epoch's deltas in shard-index order (the pool
+                // deduplicates structurally), persist the barrier, then
+                // broadcast the merged pool back into every shard.
+                for delta in &deltas {
+                    pool.merge_sources(delta);
+                }
+                let snapshot = pool.sources().to_vec();
+                if let Some(dir) = run_dir {
+                    let _ = dir.write_epoch_pool(epoch, &snapshot);
+                }
+                for (index, slot) in runners.iter().enumerate() {
+                    let mut slot = slot.lock().unwrap();
+                    slot.runner.inject(&snapshot);
+                    if let Some(dir) = run_dir {
+                        let _ = dir.write_checkpoint(index, epoch, &slot.runner.checkpoint());
+                    }
+                }
+            },
+        );
+
+        let mut pipeline_time = Duration::ZERO;
+        let outputs: Vec<ShardOutput> = runners
+            .into_iter()
+            .map(|slot| {
+                let ShardSlot { runner, writer } = slot.into_inner().unwrap();
+                let output = runner.finish();
+                if let Some(writer) = writer {
+                    let _ = writer.finish(&output);
+                }
+                pipeline_time += output.pipeline_time;
+                output
+            })
+            .collect();
+        ExecOutcome {
+            reused: 0,
+            computed: outputs.len(),
+            epochs_restored: start_epoch,
+            pipeline_time,
+            outputs,
+        }
+    }
+}
+
+/// One shard's live state on the exchange path: the paused runner plus
+/// its (optional) streaming progress writer.
+struct ShardSlot {
+    runner: ShardRunner,
+    writer: Option<ShardWriter>,
 }
 
 struct ExecOutcome {
     outputs: Vec<ShardOutput>,
     reused: usize,
     computed: usize,
+    epochs_restored: usize,
     pipeline_time: Duration,
 }
 

@@ -4,12 +4,26 @@
 //!
 //! ```text
 //! <run_dir>/
-//!   manifest.json          campaign config + shard count, written once
+//!   manifest.json          campaign config + shard count + epoch count
 //!   shards/
 //!     shard-0000.jsonl     one file per shard (see below)
 //!     ...
+//!   epochs/
+//!     epoch-0000.json      cumulative exchange pool after barrier 0
+//!     ...
+//!   checkpoints/
+//!     shard-0000-epoch-0000.json   runner checkpoint at barrier 0
+//!     ...
 //!   result.json            merged CampaignResult, written on completion
+//!   summary.json           RunStats (incl. cache hit rate), on completion
 //! ```
+//!
+//! The `epochs/` and `checkpoints/` files exist only for multi-epoch runs
+//! (cross-shard feedback exchange): each barrier atomically records the
+//! merged successful-source pool and, per shard, the paused runner's
+//! checkpoint *after* pool injection. Resuming a killed multi-epoch run
+//! restores every shard at the latest barrier for which the pool and all
+//! shard checkpoints are present, recomputing only the later epochs.
 //!
 //! Each shard file is JSONL, streamed while the shard runs so an
 //! interrupted run keeps its progress visible:
@@ -33,8 +47,9 @@ use std::path::{Path, PathBuf};
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 
-use llm4fp::{CampaignConfig, CampaignResult, ProgramRecord};
+use llm4fp::{CampaignConfig, CampaignResult, ProgramRecord, RunnerCheckpoint};
 
+use crate::orchestrate::RunStats;
 use crate::shard::{ShardOutput, ShardSpec};
 
 /// Errors from the persistence layer.
@@ -65,10 +80,14 @@ impl From<std::io::Error> for PersistError {
 }
 
 /// The run's identity: what was asked for, and how it was decomposed.
+/// `epochs` is part of the identity — exchanged and non-exchanged runs of
+/// the same `(config, shards)` produce different results, so their shard
+/// outputs must never mix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunManifest {
     pub config: CampaignConfig,
     pub shards: usize,
+    pub epochs: usize,
 }
 
 /// Handle to one run directory.
@@ -151,6 +170,57 @@ impl RunDir {
         Ok(ShardWriter { writer })
     }
 
+    fn epoch_pool_path(&self, epoch: usize) -> PathBuf {
+        self.root.join("epochs").join(format!("epoch-{epoch:04}.json"))
+    }
+
+    fn checkpoint_path(&self, shard: usize, epoch: usize) -> PathBuf {
+        self.root.join("checkpoints").join(format!("shard-{shard:04}-epoch-{epoch:04}.json"))
+    }
+
+    /// Atomically record the cumulative exchange pool after a barrier.
+    pub fn write_epoch_pool(&self, epoch: usize, pool: &[String]) -> Result<(), PersistError> {
+        fs::create_dir_all(self.root.join("epochs"))?;
+        write_atomically(&self.epoch_pool_path(epoch), &serde_json::to_string(&pool).unwrap())
+    }
+
+    /// Load the cumulative exchange pool recorded at a barrier, if any.
+    pub fn load_epoch_pool(&self, epoch: usize) -> Option<Vec<String>> {
+        let text = fs::read_to_string(self.epoch_pool_path(epoch)).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Atomically record one shard's paused-runner checkpoint at a barrier
+    /// (taken after pool injection).
+    pub fn write_checkpoint(
+        &self,
+        shard: usize,
+        epoch: usize,
+        checkpoint: &RunnerCheckpoint,
+    ) -> Result<(), PersistError> {
+        fs::create_dir_all(self.root.join("checkpoints"))?;
+        write_atomically(
+            &self.checkpoint_path(shard, epoch),
+            &serde_json::to_string(checkpoint).unwrap(),
+        )
+    }
+
+    /// Load one shard's checkpoint at a barrier, if present and parseable.
+    pub fn load_checkpoint(&self, shard: usize, epoch: usize) -> Option<RunnerCheckpoint> {
+        let text = fs::read_to_string(self.checkpoint_path(shard, epoch)).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// The latest barrier a killed multi-epoch run can restore from: the
+    /// highest epoch `< epochs - 1` whose pool file and *all* shard
+    /// checkpoints load. `None` means restart from scratch.
+    pub fn latest_restorable_epoch(&self, shards: usize, epochs: usize) -> Option<usize> {
+        (0..epochs.saturating_sub(1)).rev().find(|&epoch| {
+            self.load_epoch_pool(epoch).is_some()
+                && (0..shards).all(|shard| self.load_checkpoint(shard, epoch).is_some())
+        })
+    }
+
     /// Persist the merged campaign result.
     pub fn write_result(&self, result: &CampaignResult) -> Result<(), PersistError> {
         write_atomically(
@@ -162,6 +232,21 @@ impl RunDir {
     /// Load a previously persisted merged result, if any.
     pub fn load_result(&self) -> Option<CampaignResult> {
         let text = fs::read_to_string(self.root.join("result.json")).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Persist the run's execution statistics (worker/shard/epoch counts
+    /// and the result-cache hit rate) alongside the merged result.
+    pub fn write_summary(&self, stats: &RunStats) -> Result<(), PersistError> {
+        write_atomically(
+            &self.root.join("summary.json"),
+            &serde_json::to_string_pretty(stats).unwrap(),
+        )
+    }
+
+    /// Load a previously persisted run summary, if any.
+    pub fn load_summary(&self) -> Option<RunStats> {
+        let text = fs::read_to_string(self.root.join("summary.json")).ok()?;
         serde_json::from_str(&text).ok()
     }
 }
@@ -215,6 +300,7 @@ mod tests {
         RunManifest {
             config: CampaignConfig::new(ApproachKind::Varity).with_budget(6).with_seed(2),
             shards: 2,
+            epochs: 1,
         }
     }
 
@@ -249,6 +335,35 @@ mod tests {
         });
         drop(writer);
         assert!(dir.load_shard(&spec).is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn epoch_pools_and_checkpoints_round_trip() {
+        let root = temp_dir("epochs");
+        let dir = RunDir::open(&root, &manifest()).unwrap();
+        let config = manifest().config;
+        let spec = crate::shard::plan_shards(&config, 2)[0];
+
+        let pool = vec!["void compute(double x) { comp = x; }".to_string()];
+        dir.write_epoch_pool(0, &pool).unwrap();
+        assert_eq!(dir.load_epoch_pool(0).unwrap(), pool);
+        assert!(dir.load_epoch_pool(1).is_none());
+
+        let mut runner = crate::shard::ShardRunner::new(&config, spec, None);
+        runner.run_segment(2, |_| {});
+        runner.inject(&pool);
+        let checkpoint = runner.checkpoint();
+        dir.write_checkpoint(0, 0, &checkpoint).unwrap();
+        assert_eq!(dir.load_checkpoint(0, 0).unwrap(), checkpoint);
+
+        // Epoch 0 is restorable only once every shard has a checkpoint.
+        assert_eq!(dir.latest_restorable_epoch(2, 4), None);
+        dir.write_checkpoint(1, 0, &checkpoint).unwrap();
+        assert_eq!(dir.latest_restorable_epoch(2, 4), Some(0));
+        // A corrupt pool file disqualifies its barrier.
+        fs::write(root.join("epochs").join("epoch-0000.json"), "{truncated").unwrap();
+        assert_eq!(dir.latest_restorable_epoch(2, 4), None);
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -44,6 +44,37 @@ where
         .collect()
 }
 
+/// Epoch-synchronized execution: run every task's segment for one epoch
+/// on the pool, then hand the per-task results — in task order, never
+/// completion order — to `exchange` before the next epoch starts.
+///
+/// This is the deterministic barrier protocol of cross-shard feedback
+/// exchange. The barrier is the join of [`run_indexed`]: no task enters
+/// epoch `e + 1` until every task finished epoch `e` and `exchange(e, ..)`
+/// returned. Because segment results arrive indexed and the exchange runs
+/// single-threaded between epochs, the whole schedule is a pure function
+/// of `(tasks, epochs)` — worker count only changes wall-clock time.
+/// `exchange` is not called after the final epoch (there is no next
+/// segment to feed).
+pub fn run_epochs<D, F, B>(
+    tasks: usize,
+    workers: usize,
+    epochs: std::ops::Range<usize>,
+    f: F,
+    mut exchange: B,
+) where
+    D: Send,
+    F: Fn(usize, usize) -> D + Sync,
+    B: FnMut(usize, Vec<D>),
+{
+    for epoch in epochs.clone() {
+        let deltas = run_indexed(tasks, workers, |task| f(task, epoch));
+        if epoch + 1 < epochs.end {
+            exchange(epoch, deltas);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,6 +91,42 @@ mod tests {
     fn zero_tasks_and_zero_workers_are_fine() {
         assert!(run_indexed(0, 0, |i| i).is_empty());
         assert_eq!(run_indexed(3, 0, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn epoch_barriers_order_exchanges_deterministically() {
+        for workers in [1, 3, 8] {
+            // Each task logs (task, epoch) pairs; the exchange log must be
+            // identical for every worker count, and no epoch-(e+1) work
+            // may be observed before exchange e ran.
+            let log = Mutex::new(Vec::new());
+            run_epochs(
+                4,
+                workers,
+                0..3,
+                |task, epoch| (task, epoch),
+                |epoch, deltas| {
+                    log.lock().unwrap().push((epoch, deltas));
+                },
+            );
+            let log = log.into_inner().unwrap();
+            assert_eq!(
+                log,
+                vec![
+                    (0, vec![(0, 0), (1, 0), (2, 0), (3, 0)]),
+                    (1, vec![(0, 1), (1, 1), (2, 1), (3, 1)]),
+                    // No exchange after the final epoch.
+                ],
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn resumed_epoch_ranges_skip_completed_epochs() {
+        let mut seen = Vec::new();
+        run_epochs(2, 1, 2..4, |task, epoch| (task, epoch), |epoch, _| seen.push(epoch));
+        assert_eq!(seen, vec![2], "only the non-final epoch of the range exchanges");
     }
 
     #[test]

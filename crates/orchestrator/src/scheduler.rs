@@ -13,17 +13,19 @@
 //! cross-approach duplicates (Varity and the LLM approaches drawing the
 //! same idiom) are only tested once per suite.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use llm4fp::CampaignConfig;
+use llm4fp::{CampaignConfig, SuccessfulSet};
 use llm4fp_compiler::{CompilerId, OptLevel};
 use llm4fp_difftest::ResultCache;
 use llm4fp_fpir::Precision;
 
 use crate::orchestrate::{OrchestratedResult, OrchestratorOptions, RunStats};
-use crate::pool::run_indexed;
-use crate::shard::{merge_shards, plan_shards, run_shard, ShardSpec};
+use crate::pool::run_epochs;
+use crate::shard::{
+    merge_shards, plan_epoch_segments, plan_shards, ShardOutput, ShardRunner, ShardSpec,
+};
 
 /// The part of a campaign config that determines differential-testing
 /// results for a given program: configs with equal contexts may share a
@@ -58,15 +60,20 @@ impl Scheduler {
         Scheduler { options }
     }
 
-    /// Run every campaign, each split into `shards` shards, sharing the
-    /// worker pool (and, where sound, the result cache). Results come back
-    /// in input order and are bit-identical to orchestrating each campaign
-    /// individually with the same shard count.
+    /// Run every campaign, each split into `shards` shards (and, when
+    /// `options.epochs > 1`, its own cross-shard feedback exchange),
+    /// sharing the worker pool and, where sound, the result cache.
+    /// Results come back in input order and are bit-identical to
+    /// orchestrating each campaign individually with the same shard and
+    /// epoch counts: exchange barriers are suite-wide (the pool stays
+    /// saturated across campaign boundaries within an epoch), but deltas
+    /// only ever merge into the pool of the campaign that produced them.
     ///
     /// Persistence (`options.run_dir`) applies to single-campaign runs via
     /// [`crate::Orchestrator`]; the scheduler itself executes in memory.
     pub fn run_suite(&self, configs: &[CampaignConfig], shards: usize) -> Vec<OrchestratedResult> {
         let start = Instant::now();
+        let epochs = self.options.epochs.max(1);
 
         // One cache per distinct test context (None when caching is off).
         let contexts: Vec<TestContext> = configs.iter().map(TestContext::of).collect();
@@ -97,11 +104,42 @@ impl Scheduler {
             .flat_map(|(campaign, specs)| specs.iter().map(move |spec| (campaign, *spec)))
             .collect();
 
-        let outputs = run_indexed(tasks.len(), self.options.workers, |task| {
-            let (campaign, spec) = &tasks[task];
-            let cache = caches[*campaign].clone();
-            (*campaign, run_shard(&configs[*campaign], *spec, cache, |_| {}))
-        });
+        // One live runner per (campaign, shard) task and one exchange pool
+        // per campaign; epoch barriers span the whole suite but deltas
+        // stay within their campaign.
+        let runners: Vec<Mutex<ShardRunner>> = tasks
+            .iter()
+            .map(|(campaign, spec)| {
+                Mutex::new(ShardRunner::new(&configs[*campaign], *spec, caches[*campaign].clone()))
+            })
+            .collect();
+        let segments: Vec<Vec<usize>> =
+            tasks.iter().map(|(_, spec)| plan_epoch_segments(spec.budget, epochs)).collect();
+        let mut pools: Vec<SuccessfulSet> = configs.iter().map(|_| SuccessfulSet::new()).collect();
+
+        run_epochs(
+            tasks.len(),
+            self.options.workers,
+            0..epochs,
+            |task, epoch| runners[task].lock().unwrap().run_segment(segments[task][epoch], |_| {}),
+            |_, deltas| {
+                // Task order is campaign-major then shard index, so each
+                // campaign's deltas merge in exactly the order its
+                // individual orchestration would use.
+                for ((campaign, _), delta) in tasks.iter().zip(&deltas) {
+                    pools[*campaign].merge_sources(delta);
+                }
+                for ((campaign, _), runner) in tasks.iter().zip(&runners) {
+                    runner.lock().unwrap().inject(pools[*campaign].sources());
+                }
+            },
+        );
+
+        let outputs: Vec<(usize, ShardOutput)> = tasks
+            .iter()
+            .zip(runners)
+            .map(|((campaign, _), runner)| (*campaign, runner.into_inner().unwrap().finish()))
+            .collect();
 
         // Regroup by campaign (merge_shards re-sorts by shard index).
         let wall_time = start.elapsed();
@@ -126,8 +164,10 @@ impl Scheduler {
                     stats: RunStats {
                         shards: shards_computed,
                         workers: self.options.workers.max(1),
+                        epochs,
                         shards_reused: 0,
                         shards_computed,
+                        epochs_restored: 0,
                         // NOTE: campaigns sharing a cache (equal test
                         // contexts) report that cache's suite-wide
                         // totals — per-campaign attribution isn't

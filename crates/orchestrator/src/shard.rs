@@ -20,7 +20,7 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use llm4fp::{CampaignConfig, CampaignResult, CampaignRunner, ProgramRecord};
+use llm4fp::{CampaignConfig, CampaignResult, CampaignRunner, ProgramRecord, RunnerCheckpoint};
 use llm4fp_difftest::{Aggregates, ResultCache};
 use llm4fp_fpir::source_hash;
 
@@ -88,39 +88,145 @@ pub struct ShardOutput {
     pub pipeline_time: Duration,
 }
 
-/// Run one shard to completion. `on_record` observes every processed
-/// program (the persistence layer streams progress lines through it).
+/// Split one shard's budget into `epochs` consecutive segment lengths
+/// (differing by at most one program, remainder on the leading epochs).
+/// Zero-length segments are legal — a shard smaller than the epoch count
+/// simply sits out the tail epochs at the barrier.
+pub fn plan_epoch_segments(budget: usize, epochs: usize) -> Vec<usize> {
+    let epochs = epochs.max(1);
+    let base = budget / epochs;
+    let remainder = budget % epochs;
+    (0..epochs).map(|epoch| base + usize::from(epoch < remainder)).collect()
+}
+
+/// One shard of an epoch-sliced campaign: a [`CampaignRunner`] that runs
+/// its budget in segments, pausing at epoch barriers where the
+/// orchestrator collects the segment's newly found successful sources
+/// (the *delta*), merges all shards' deltas, and injects the merged pool
+/// back before the next segment.
+///
+/// Running every segment back to back without injections is exactly
+/// [`run_shard`] — which is why one exchange epoch reproduces the
+/// no-exchange sharded output bit for bit.
+pub struct ShardRunner {
+    spec: ShardSpec,
+    runner: CampaignRunner,
+    next_local: usize,
+    /// Successful-set length at the last barrier; everything above it was
+    /// found by this shard during the current segment.
+    watermark: usize,
+}
+
+impl ShardRunner {
+    /// Start a fresh shard. Input sets derive from the parent campaign's
+    /// seed (not the shard seed) so duplicates across shards share inputs
+    /// and the cross-shard cache stays semantically transparent.
+    pub fn new(config: &CampaignConfig, spec: ShardSpec, cache: Option<Arc<ResultCache>>) -> Self {
+        let mut shard_config = config.clone();
+        shard_config.programs = spec.budget;
+        shard_config.seed = spec.seed;
+        let mut runner = CampaignRunner::new(shard_config).with_input_seed(config.seed);
+        if let Some(cache) = cache {
+            runner = runner.with_cache(cache);
+        }
+        ShardRunner { spec, runner, next_local: 0, watermark: 0 }
+    }
+
+    /// Rebuild a shard paused at an epoch barrier from a checkpoint taken
+    /// by [`ShardRunner::checkpoint`] there. Checkpoints are taken after
+    /// pool injection, so the restored watermark (everything currently in
+    /// the set) marks exactly where the next segment's delta begins.
+    pub fn from_checkpoint(
+        config: &CampaignConfig,
+        spec: ShardSpec,
+        cache: Option<Arc<ResultCache>>,
+        checkpoint: RunnerCheckpoint,
+    ) -> Self {
+        let mut shard_config = config.clone();
+        shard_config.programs = spec.budget;
+        shard_config.seed = spec.seed;
+        let next_local = checkpoint.records.len();
+        let watermark = checkpoint.successful.sources.len();
+        let mut runner = CampaignRunner::restore(shard_config, checkpoint);
+        if let Some(cache) = cache {
+            runner = runner.with_cache(cache);
+        }
+        ShardRunner { spec, runner, next_local, watermark }
+    }
+
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// Local index of the next program to run (== programs processed).
+    pub fn programs_run(&self) -> usize {
+        self.next_local
+    }
+
+    /// Run the next `count` programs (clamped to the remaining budget) and
+    /// return the sources this shard newly found during the segment — the
+    /// delta the barrier merges. `on_record` observes every processed
+    /// program (the persistence layer streams progress lines through it).
+    pub fn run_segment(
+        &mut self,
+        count: usize,
+        mut on_record: impl FnMut(&ProgramRecord),
+    ) -> Vec<String> {
+        let end = (self.next_local + count).min(self.spec.budget);
+        for local in self.next_local..end {
+            on_record(self.runner.run_one(local));
+        }
+        self.next_local = end;
+        let delta = self.runner.successful_sources_from(self.watermark);
+        self.watermark = self.runner.successful_len();
+        delta
+    }
+
+    /// Inject the merged cross-shard pool into this shard's feedback set
+    /// (structurally deduplicated; the shard's own finds stay first, in
+    /// their original order). Returns how many sources were new here.
+    pub fn inject(&mut self, pool: &[String]) -> usize {
+        let added = self.runner.inject_successful(pool);
+        self.watermark = self.runner.successful_len();
+        added
+    }
+
+    /// Snapshot the paused runner for persistence (call at a barrier,
+    /// after [`ShardRunner::inject`]).
+    pub fn checkpoint(&self) -> RunnerCheckpoint {
+        self.runner.checkpoint()
+    }
+
+    /// Finish the shard (all segments run) and assemble its output.
+    pub fn finish(self) -> ShardOutput {
+        debug_assert_eq!(self.next_local, self.spec.budget, "shard finished early");
+        let result = self.runner.finish();
+        ShardOutput {
+            spec: self.spec,
+            records: result.records,
+            sources: result.sources,
+            successful_sources: result.successful_sources,
+            aggregates: result.aggregates,
+            generation_failures: result.generation_failures,
+            llm_calls: result.llm_calls,
+            simulated_llm_time: result.simulated_llm_time,
+            pipeline_time: result.pipeline_time,
+        }
+    }
+}
+
+/// Run one shard to completion without exchange barriers. `on_record`
+/// observes every processed program (the persistence layer streams
+/// progress lines through it).
 pub fn run_shard(
     config: &CampaignConfig,
     spec: ShardSpec,
     cache: Option<Arc<ResultCache>>,
-    mut on_record: impl FnMut(&ProgramRecord),
+    on_record: impl FnMut(&ProgramRecord),
 ) -> ShardOutput {
-    let mut shard_config = config.clone();
-    shard_config.programs = spec.budget;
-    shard_config.seed = spec.seed;
-    // Input sets derive from the parent campaign's seed (not the shard
-    // seed) so duplicates across shards share inputs and the cross-shard
-    // cache stays semantically transparent.
-    let mut runner = CampaignRunner::new(shard_config).with_input_seed(config.seed);
-    if let Some(cache) = cache {
-        runner = runner.with_cache(cache);
-    }
-    for local in 0..spec.budget {
-        on_record(runner.run_one(local));
-    }
-    let result = runner.finish();
-    ShardOutput {
-        spec,
-        records: result.records,
-        sources: result.sources,
-        successful_sources: result.successful_sources,
-        aggregates: result.aggregates,
-        generation_failures: result.generation_failures,
-        llm_calls: result.llm_calls,
-        simulated_llm_time: result.simulated_llm_time,
-        pipeline_time: result.pipeline_time,
-    }
+    let mut runner = ShardRunner::new(config, spec, cache);
+    runner.run_segment(spec.budget, on_record);
+    runner.finish()
 }
 
 /// Merge shard outputs (in shard order) into one campaign result.
@@ -228,6 +334,64 @@ mod tests {
         assert_eq!(output.records, sequential.records);
         assert_eq!(output.sources, sequential.sources);
         assert_eq!(output.aggregates, sequential.aggregates);
+    }
+
+    #[test]
+    fn epoch_segments_tile_the_budget() {
+        assert_eq!(plan_epoch_segments(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(plan_epoch_segments(3, 4), vec![1, 1, 1, 0]);
+        assert_eq!(plan_epoch_segments(8, 1), vec![8]);
+        assert_eq!(plan_epoch_segments(0, 3), vec![0, 0, 0]);
+        for (budget, epochs) in [(103, 7), (5, 5), (12, 1)] {
+            assert_eq!(plan_epoch_segments(budget, epochs).iter().sum::<usize>(), budget);
+        }
+    }
+
+    /// Field-wise equality minus `pipeline_time` (wall clocks never
+    /// reproduce across runs).
+    fn assert_outputs_identical(a: &ShardOutput, b: &ShardOutput) {
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.sources, b.sources);
+        assert_eq!(a.successful_sources, b.successful_sources);
+        assert_eq!(a.aggregates, b.aggregates);
+        assert_eq!(a.generation_failures, b.generation_failures);
+        assert_eq!(a.llm_calls, b.llm_calls);
+        assert_eq!(a.simulated_llm_time, b.simulated_llm_time);
+    }
+
+    #[test]
+    fn segmented_execution_equals_one_shot_run_shard() {
+        let config =
+            CampaignConfig::new(ApproachKind::Llm4Fp).with_budget(20).with_seed(6).with_threads(1);
+        let spec = plan_shards(&config, 2)[1];
+        let oneshot = run_shard(&config, spec, None, |_| {});
+        let mut runner = ShardRunner::new(&config, spec, None);
+        for segment in plan_epoch_segments(spec.budget, 4) {
+            runner.run_segment(segment, |_| {});
+        }
+        assert_outputs_identical(&runner.finish(), &oneshot);
+    }
+
+    #[test]
+    fn checkpointed_shard_runners_resume_bit_identically() {
+        let config =
+            CampaignConfig::new(ApproachKind::Llm4Fp).with_budget(24).with_seed(31).with_threads(1);
+        let spec = plan_shards(&config, 2)[0];
+        let pool =
+            vec!["void compute(double z) { comp = z * z; }".to_string(), "bogus".to_string()];
+
+        let mut reference = ShardRunner::new(&config, spec, None);
+        reference.run_segment(6, |_| {});
+        reference.inject(&pool);
+        let checkpoint = reference.checkpoint();
+        reference.run_segment(spec.budget, |_| {});
+        let reference = reference.finish();
+
+        let mut restored = ShardRunner::from_checkpoint(&config, spec, None, checkpoint);
+        assert_eq!(restored.programs_run(), 6);
+        restored.run_segment(spec.budget, |_| {});
+        assert_outputs_identical(&restored.finish(), &reference);
     }
 
     #[test]

@@ -1,23 +1,36 @@
 //! The orchestrator's load-bearing guarantees, exercised end to end:
 //!
 //! * `K = 1` orchestrated runs match the sequential driver field for
-//!   field;
-//! * for any `(seed, K)`, results are bit-identical across worker counts;
+//!   field (for any epoch count — single-shard exchange is a no-op);
+//! * for any `(seed, K, E)`, results are bit-identical across worker
+//!   counts;
+//! * `E = 1` exactly reproduces the no-exchange sharded output (the
+//!   independent-shard primitive `run_shard` + `merge_shards`);
 //! * the result cache is semantically transparent (on/off agree);
-//! * interrupted runs resume to bit-identical results, recomputing only
-//!   the missing shards;
-//! * the multi-campaign scheduler agrees with individual orchestration.
+//! * interrupted runs resume to bit-identical results — recomputing only
+//!   the missing shards (`E = 1`) or restarting every shard from the
+//!   latest persisted exchange barrier (`E > 1`);
+//! * the multi-campaign scheduler agrees with individual orchestration,
+//!   with and without exchange;
+//! * at `K >= 4`, exchange feeds every shard from the global pool (the
+//!   paper's feedback loop at campaign scale).
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use llm4fp::{ApproachKind, Campaign, CampaignConfig, CampaignResult};
 use llm4fp_orchestrator::{
-    plan_shards, Orchestrator, OrchestratorOptions, RunDir, RunManifest, Scheduler,
+    merge_shards, plan_shards, run_shard, Orchestrator, OrchestratorOptions, RunDir, RunManifest,
+    Scheduler,
 };
 
 fn config(approach: ApproachKind, budget: usize, seed: u64) -> CampaignConfig {
     // threads = 1 keeps each shard cheap; the pool provides parallelism.
     CampaignConfig::new(approach).with_budget(budget).with_seed(seed).with_threads(1)
+}
+
+fn options(workers: usize, cache: bool, epochs: usize) -> OrchestratorOptions {
+    OrchestratorOptions { workers, cache, epochs, run_dir: None }
 }
 
 fn assert_results_identical(a: &CampaignResult, b: &CampaignResult, what: &str) {
@@ -37,68 +50,121 @@ fn k1_matches_the_sequential_campaign_exactly() {
         let sequential = Campaign::new(config.clone()).run();
         let orchestrated = Orchestrator::run_sharded(&config, 1);
         assert_results_identical(&orchestrated, &sequential, &format!("K=1 {:?}", config.approach));
+        // A single shard exchanges only with itself: structurally a
+        // no-op, so any epoch count still reproduces the sequential run.
+        let epoched = Orchestrator::run_sharded_epochs(&config, 1, 4);
+        assert_results_identical(&epoched, &sequential, &format!("K=1 E=4 {:?}", config.approach));
     }
     assert!(llm4fp_orchestrator::matches_sequential(&config(ApproachKind::GrammarGuided, 10, 3)));
 }
 
 #[test]
+fn e1_reproduces_the_no_exchange_sharded_output() {
+    // The independent-shard primitive (PR 1's code path) is the
+    // reference; one-epoch orchestration must reproduce it bit for bit
+    // for every shard count.
+    let config = config(ApproachKind::Llm4Fp, 30, 7);
+    for shards in [2usize, 4, 5] {
+        let outputs: Vec<_> = plan_shards(&config, shards)
+            .into_iter()
+            .map(|spec| run_shard(&config, spec, None, |_| {}))
+            .collect();
+        let reference = merge_shards(&config, outputs, Duration::ZERO);
+        let orchestrated = Orchestrator::new(options(4, false, 1)).run(&config, shards).unwrap();
+        assert_results_identical(&orchestrated.result, &reference, &format!("E=1 K={shards}"));
+    }
+}
+
+#[test]
 fn sharded_runs_are_bit_identical_across_worker_counts() {
     let config = config(ApproachKind::Llm4Fp, 30, 7);
-    for shards in [1usize, 2, 4] {
-        let reference =
-            Orchestrator::new(OrchestratorOptions { workers: 1, cache: true, run_dir: None })
-                .run(&config, shards)
-                .unwrap();
-        assert_eq!(reference.stats.shards, shards.min(config.programs));
-        for workers in [2usize, 8] {
-            let other =
-                Orchestrator::new(OrchestratorOptions { workers, cache: true, run_dir: None })
-                    .run(&config, shards)
-                    .unwrap();
-            assert_results_identical(
-                &other.result,
-                &reference.result,
-                &format!("K={shards} workers={workers}"),
-            );
+    for epochs in [1usize, 4] {
+        for shards in [1usize, 2, 4] {
+            let reference =
+                Orchestrator::new(options(1, true, epochs)).run(&config, shards).unwrap();
+            assert_eq!(reference.stats.shards, shards.min(config.programs));
+            assert_eq!(reference.stats.epochs, epochs);
+            for workers in [2usize, 8] {
+                let other =
+                    Orchestrator::new(options(workers, true, epochs)).run(&config, shards).unwrap();
+                assert_results_identical(
+                    &other.result,
+                    &reference.result,
+                    &format!("K={shards} E={epochs} workers={workers}"),
+                );
+            }
         }
     }
 }
 
 #[test]
 fn different_shard_counts_account_the_same_totals() {
-    // K changes the decomposition (so exact bits legitimately differ for
-    // K1 != K2), but the budget accounting must hold for every K.
+    // K and E change the decomposition (so exact bits legitimately differ
+    // between decompositions), but the budget accounting must hold for
+    // every (K, E).
     let config = config(ApproachKind::Varity, 25, 13);
     for shards in [1usize, 2, 4, 7] {
-        let result = Orchestrator::run_sharded(&config, shards);
-        assert_eq!(result.aggregates.programs, 25, "K={shards}");
-        assert_eq!(result.aggregates.total_comparisons, 25 * 18, "K={shards}");
-        assert_eq!(result.records.len(), 25, "K={shards}");
-        assert_eq!(result.sources.len() + result.generation_failures, 25, "K={shards}");
-        for (i, record) in result.records.iter().enumerate() {
-            assert_eq!(record.index, i, "K={shards}: record order broken");
+        for epochs in [1usize, 3, 4] {
+            let result = Orchestrator::run_sharded_epochs(&config, shards, epochs);
+            assert_eq!(result.aggregates.programs, 25, "K={shards} E={epochs}");
+            assert_eq!(result.aggregates.total_comparisons, 25 * 18, "K={shards} E={epochs}");
+            assert_eq!(result.records.len(), 25, "K={shards} E={epochs}");
+            assert_eq!(
+                result.sources.len() + result.generation_failures,
+                25,
+                "K={shards} E={epochs}"
+            );
+            for (i, record) in result.records.iter().enumerate() {
+                assert_eq!(record.index, i, "K={shards} E={epochs}: record order broken");
+            }
         }
     }
 }
 
 #[test]
+fn exchange_broadcasts_the_global_pool_at_k4() {
+    // The point of exchange: from epoch 1 on, every shard's feedback
+    // mutation draws from the union of all shards' findings. The merged
+    // successful set must still be duplicate-free, and the exchanged run
+    // must actually diverge from the isolated-feedback run (the injected
+    // pool changes seed selection).
+    let config = config(ApproachKind::Llm4Fp, 48, 9);
+    let isolated = Orchestrator::run_sharded_epochs(&config, 4, 1);
+    let exchanged = Orchestrator::run_sharded_epochs(&config, 4, 4);
+    assert_eq!(exchanged.aggregates.programs, isolated.aggregates.programs);
+    assert_ne!(
+        exchanged.records, isolated.records,
+        "exchange must alter feedback-seed selection at K=4"
+    );
+    let mut hashes: Vec<u64> =
+        exchanged.successful_sources.iter().map(|s| llm4fp_fpir::source_hash(s)).collect();
+    let before = hashes.len();
+    hashes.sort_unstable();
+    hashes.dedup();
+    assert_eq!(hashes.len(), before, "merged successful set contains duplicates");
+    // Feedback mutation fired in the exchanged run.
+    assert!(exchanged.records.iter().any(|r| r.strategy == "feedback-mutation"));
+}
+
+#[test]
 fn cache_is_semantically_transparent_and_reports_stats() {
     let config = config(ApproachKind::Llm4Fp, 40, 5);
-    let cached = Orchestrator::new(OrchestratorOptions { workers: 4, cache: true, run_dir: None })
-        .run(&config, 4)
-        .unwrap();
-    let uncached =
-        Orchestrator::new(OrchestratorOptions { workers: 4, cache: false, run_dir: None })
-            .run(&config, 4)
-            .unwrap();
-    assert_results_identical(&cached.result, &uncached.result, "cache on/off");
-    let stats = cached.stats.cache.expect("cache stats present when caching is on");
-    assert_eq!(
-        stats.misses + stats.hits,
-        cached.result.sources.len() as u64,
-        "every valid program performs exactly one cache lookup"
-    );
-    assert!(uncached.stats.cache.is_none());
+    for epochs in [1usize, 4] {
+        let cached = Orchestrator::new(options(4, true, epochs)).run(&config, 4).unwrap();
+        let uncached = Orchestrator::new(options(4, false, epochs)).run(&config, 4).unwrap();
+        assert_results_identical(
+            &cached.result,
+            &uncached.result,
+            &format!("cache on/off E={epochs}"),
+        );
+        let stats = cached.stats.cache.expect("cache stats present when caching is on");
+        assert_eq!(
+            stats.misses + stats.hits,
+            cached.result.sources.len() as u64,
+            "every valid program performs exactly one cache lookup"
+        );
+        assert!(uncached.stats.cache.is_none());
+    }
 }
 
 #[test]
@@ -114,6 +180,7 @@ fn interrupted_runs_resume_to_identical_results() {
     let full = Orchestrator::new(OrchestratorOptions {
         workers: 2,
         cache: true,
+        epochs: 1,
         run_dir: Some(root.clone()),
     })
     .run(&config, shards)
@@ -134,10 +201,63 @@ fn interrupted_runs_resume_to_identical_results() {
     assert_eq!(resumed.stats.shards_computed, 2);
     assert_results_identical(&resumed.result, &full.result, "resume");
 
-    // The merged result on disk matches too.
-    let dir = RunDir::open(&root, &RunManifest { config: config.clone(), shards }).unwrap();
+    // The merged result and run summary on disk match too.
+    let dir =
+        RunDir::open(&root, &RunManifest { config: config.clone(), shards, epochs: 1 }).unwrap();
     let persisted = dir.load_result().expect("result.json written");
     assert_results_identical(&persisted, &full.result, "persisted result");
+    let summary = dir.load_summary().expect("summary.json written");
+    assert_eq!(summary.cache, resumed.stats.cache, "summary records cache hit stats");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn interrupted_multi_epoch_runs_resume_from_the_latest_barrier() {
+    let config = config(ApproachKind::Llm4Fp, 32, 27);
+    let (shards, epochs) = (4usize, 4usize);
+    let root = std::env::temp_dir()
+        .join("llm4fp-orchestrator-tests")
+        .join(format!("resume-epoch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Reference: one uninterrupted, persisted exchange run.
+    let full = Orchestrator::new(OrchestratorOptions {
+        workers: 2,
+        cache: true,
+        epochs,
+        run_dir: Some(root.clone()),
+    })
+    .run(&config, shards)
+    .unwrap();
+    assert_eq!(full.stats.epochs_restored, 0);
+
+    // Simulate a kill after epoch 1 of 4: nothing past barrier 1 exists
+    // yet — no shard summaries, no merged result, no barrier-2 state.
+    std::fs::remove_file(root.join("result.json")).unwrap();
+    std::fs::remove_file(root.join("summary.json")).unwrap();
+    for shard in 0..shards {
+        std::fs::remove_file(root.join("shards").join(format!("shard-{shard:04}.jsonl"))).unwrap();
+        std::fs::remove_file(
+            root.join("checkpoints").join(format!("shard-{shard:04}-epoch-0002.json")),
+        )
+        .unwrap();
+    }
+    std::fs::remove_file(root.join("epochs").join("epoch-0002.json")).unwrap();
+
+    let resumed = Orchestrator::resume(&root).unwrap();
+    assert_eq!(
+        resumed.stats.epochs_restored, 2,
+        "epochs 0 and 1 restore from barrier 1; only epochs 2..4 recompute"
+    );
+    assert_eq!(resumed.stats.shards_computed, shards);
+    assert_results_identical(&resumed.result, &full.result, "multi-epoch resume");
+
+    // Resuming the now-complete run reuses every shard outright.
+    let again = Orchestrator::resume(&root).unwrap();
+    assert_eq!(again.stats.shards_reused, shards);
+    assert_eq!(again.stats.shards_computed, 0);
+    assert_results_identical(&again.result, &full.result, "complete-run reuse");
 
     let _ = std::fs::remove_dir_all(&root);
 }
@@ -149,22 +269,21 @@ fn mismatched_manifests_refuse_to_mix_runs() {
         .join(format!("mismatch-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
     let config_a = config(ApproachKind::Varity, 8, 1);
-    Orchestrator::new(OrchestratorOptions {
+    let persisted = |epochs: usize, root: PathBuf| OrchestratorOptions {
         workers: 1,
         cache: false,
-        run_dir: Some(root.clone()),
-    })
-    .run(&config_a, 2)
-    .unwrap();
+        epochs,
+        run_dir: Some(root),
+    };
+    Orchestrator::new(persisted(1, root.clone())).run(&config_a, 2).unwrap();
     // Same dir, different seed: must be refused, not silently merged.
     let config_b = config(ApproachKind::Varity, 8, 2);
-    let err = Orchestrator::new(OrchestratorOptions {
-        workers: 1,
-        cache: false,
-        run_dir: Some(root.clone()),
-    })
-    .run(&config_b, 2);
+    let err = Orchestrator::new(persisted(1, root.clone())).run(&config_b, 2);
     assert!(err.is_err(), "mismatched manifest must error");
+    // Same config, different epoch count: exchanged and non-exchanged
+    // outputs differ, so this must be refused too.
+    let err = Orchestrator::new(persisted(4, root.clone())).run(&config_a, 2);
+    assert!(err.is_err(), "mismatched epoch count must error");
     let _ = std::fs::remove_dir_all(&root);
 }
 
@@ -172,20 +291,18 @@ fn mismatched_manifests_refuse_to_mix_runs() {
 fn scheduler_suite_matches_individual_orchestration() {
     let configs: Vec<CampaignConfig> =
         ApproachKind::ALL.iter().map(|&a| config(a, 16, 21)).collect();
-    let suite = Scheduler::new(OrchestratorOptions { workers: 4, cache: true, run_dir: None })
-        .run_suite(&configs, 2);
-    assert_eq!(suite.len(), configs.len());
-    for (cfg, orchestrated) in configs.iter().zip(&suite) {
-        let individual =
-            Orchestrator::new(OrchestratorOptions { workers: 1, cache: false, run_dir: None })
-                .run(cfg, 2)
-                .unwrap();
-        assert_results_identical(
-            &orchestrated.result,
-            &individual.result,
-            &format!("suite {:?}", cfg.approach),
-        );
-        assert_eq!(orchestrated.result.config.approach, cfg.approach);
+    for epochs in [1usize, 2] {
+        let suite = Scheduler::new(options(4, true, epochs)).run_suite(&configs, 2);
+        assert_eq!(suite.len(), configs.len());
+        for (cfg, orchestrated) in configs.iter().zip(&suite) {
+            let individual = Orchestrator::new(options(1, false, epochs)).run(cfg, 2).unwrap();
+            assert_results_identical(
+                &orchestrated.result,
+                &individual.result,
+                &format!("suite {:?} E={epochs}", cfg.approach),
+            );
+            assert_eq!(orchestrated.result.config.approach, cfg.approach);
+        }
     }
 }
 

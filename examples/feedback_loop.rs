@@ -3,29 +3,36 @@
 //! grows, which strategies were used, what the result cache saved, and
 //! what the corpus diversity looks like. The run is persisted to a run
 //! directory and resumed to demonstrate that interrupted campaigns pick
-//! up where they left off.
+//! up where they left off, and the same campaign is re-run with
+//! cross-shard feedback exchange on and off to show what the exchanged
+//! global pool buys at K > 1.
 //!
 //! Run with: `cargo run --release --example feedback_loop`
 
+use llm4fp_suite::compiler::{CompilerId, OptLevel};
 use llm4fp_suite::core::{ApproachKind, CampaignConfig};
 use llm4fp_suite::metrics::CloneType;
-use llm4fp_suite::orchestrator::{Orchestrator, OrchestratorOptions};
+use llm4fp_suite::orchestrator::{plan_shards, Orchestrator, OrchestratorOptions};
 
 fn main() {
     let config =
         CampaignConfig::new(ApproachKind::Llm4Fp).with_budget(80).with_seed(1234).with_threads(2);
     let shards = 4;
+    let epochs = 4;
     let run_dir = std::env::temp_dir().join("llm4fp-feedback-loop-run");
     let _ = std::fs::remove_dir_all(&run_dir);
 
     println!(
-        "running an LLM4FP campaign of {} programs in {} shards (run dir: {})...\n",
+        "running an LLM4FP campaign of {} programs in {} shards x {} exchange epochs \
+         (run dir: {})...\n",
         config.programs,
         shards,
+        epochs,
         run_dir.display()
     );
     let orchestrated = Orchestrator::new(OrchestratorOptions {
         run_dir: Some(run_dir.clone()),
+        epochs,
         ..OrchestratorOptions::default()
     })
     .run(&config, shards)
@@ -44,22 +51,11 @@ fn main() {
         result.successful_sources.len()
     );
     println!(
-        "LLM calls: {}, simulated API latency: {:.1} min, wall time: {:.2} s \
-         ({:.2} s of shard work on {} workers)",
+        "LLM calls: {}, simulated API latency: {:.1} min",
         result.llm_calls,
         result.simulated_llm_time.as_secs_f64() / 60.0,
-        stats.wall_time.as_secs_f64(),
-        stats.shard_pipeline_time.as_secs_f64(),
-        stats.workers
     );
-    if let Some(cache) = stats.cache {
-        println!(
-            "result cache: {} hits / {} lookups ({:.1}% — duplicate programs skipped the matrix)",
-            cache.hits,
-            cache.hits + cache.misses,
-            100.0 * cache.hit_rate()
-        );
-    }
+    println!("run stats: {}", stats.summary_line());
 
     // Strategy mix over the campaign (0.3 grammar / 0.7 feedback once the
     // successful set is non-empty).
@@ -88,16 +84,69 @@ fn main() {
         println!("\none inconsistency-triggering program:\n{example}");
     }
 
-    // The run directory makes campaigns survive interruption: drop one
-    // shard's output and resume — only that shard recomputes, and the
-    // merged result is bit-identical.
-    std::fs::remove_file(run_dir.join("shards").join("shard-0001.jsonl"))
-        .expect("shard file exists");
+    // Exchange on vs off. With isolated shards each worker's feedback
+    // mutation sees only ~1/K of the findings; the epoch barriers hand
+    // every shard the global pool instead. The effect is largest when
+    // finds are rare — on the full 18-configuration matrix most programs
+    // trigger something, so every shard bootstraps its own pool within a
+    // program or two. A sparse 2x2 matrix models the rare-trigger regime
+    // (a real-compiler backend hunting one specific miscompile): shards
+    // routinely finish whole segments without a find of their own, and
+    // the exchanged pool is what keeps their feedback loop fed.
+    let mut sparse = config.clone().with_budget(160);
+    sparse.compilers = vec![CompilerId::Gcc, CompilerId::Clang];
+    sparse.levels = vec![OptLevel::O0, OptLevel::O1];
+    let sparse_shards = 8;
+    println!(
+        "\nexchange on/off at K = {sparse_shards} on a sparse 2x2 matrix \
+         ({} programs, same seed):",
+        sparse.programs
+    );
+    for (label, epochs) in [("isolated shards (E=1)", 1usize), ("exchange (E=4)", 4)] {
+        let run = Orchestrator::run_sharded_epochs(&sparse, sparse_shards, epochs);
+        // Feedback activation per shard: how many programs into its slice
+        // the shard first drew a mutation seed. Isolated shards must each
+        // bootstrap their own pool; exchanged shards get the global pool
+        // at the first barrier.
+        let activation: Vec<String> = plan_shards(&sparse, sparse_shards)
+            .iter()
+            .map(|spec| {
+                run.records[spec.offset..spec.offset + spec.budget]
+                    .iter()
+                    .position(|r| r.strategy == "feedback-mutation")
+                    .map_or_else(|| "never".to_string(), |i| format!("#{i}"))
+            })
+            .collect();
+        println!(
+            "  {label:>22}: {} inconsistencies, {:.2}% rate, {} successful programs, \
+             {} feedback-mutated\n{:26}first feedback seed per shard: [{}]",
+            run.inconsistencies(),
+            100.0 * run.inconsistency_rate(),
+            run.successful_sources.len(),
+            run.records.iter().filter(|r| r.strategy == "feedback-mutation").count(),
+            "",
+            activation.join(", "),
+        );
+    }
+
+    // The run directory makes campaigns survive interruption: drop the
+    // merged result and the shard outputs past the second exchange
+    // barrier and resume — epochs 0..2 restore from their checkpoints,
+    // only the rest recompute, and the merged result is bit-identical.
+    std::fs::remove_file(run_dir.join("result.json")).expect("result exists");
+    for shard in 0..shards {
+        let _ =
+            std::fs::remove_file(run_dir.join("shards").join(format!("shard-{shard:04}.jsonl")));
+        let _ = std::fs::remove_file(
+            run_dir.join("checkpoints").join(format!("shard-{shard:04}-epoch-0002.json")),
+        );
+    }
+    let _ = std::fs::remove_file(run_dir.join("epochs").join("epoch-0002.json"));
     let resumed = Orchestrator::resume(&run_dir).expect("resume");
     println!(
-        "\nresume demo: {} shards reused from disk, {} recomputed; results identical: {}",
-        resumed.stats.shards_reused,
-        resumed.stats.shards_computed,
+        "\nresume demo: restored {} of {} epochs from barrier checkpoints; results identical: {}",
+        resumed.stats.epochs_restored,
+        resumed.stats.epochs,
         resumed.result.records == result.records && resumed.result.aggregates == result.aggregates
     );
     let _ = std::fs::remove_dir_all(&run_dir);

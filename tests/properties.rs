@@ -1,16 +1,49 @@
 //! Property-based tests (proptest) over the core invariants of the
 //! reproduction: printer/parser round trips, interpreter determinism,
-//! comparison/classification laws, math-library accuracy bounds and
-//! CodeBLEU bounds.
+//! comparison/classification laws, math-library accuracy bounds,
+//! CodeBLEU bounds, and the successful-set merge algebra the
+//! orchestrator's cross-shard feedback exchange relies on.
 
 use proptest::prelude::*;
 
 use llm4fp_suite::compiler::{compile, CompilerConfig, CompilerId, OptLevel};
+use llm4fp_suite::core::SuccessfulSet;
 use llm4fp_suite::difftest::{classify, digit_difference, ValueClass};
 use llm4fp_suite::fpir::{parse_compute, to_compute_source, validate, Precision};
 use llm4fp_suite::generator::{InputGenerator, VarityGenerator};
 use llm4fp_suite::mathlib::{ulp_distance, DeviceMathLib, FastMathLib, HostLibm, MathLib};
 use llm4fp_suite::metrics::{codebleu, CodeBleuWeights};
+
+/// Build three small successful sets from one seed, drawing sources from
+/// an eight-program alphabet so cross-set structural duplicates are the
+/// norm rather than the exception (the regime the exchange barrier's
+/// dedup actually operates in).
+fn three_sets(seed: u64) -> (SuccessfulSet, SuccessfulSet, SuccessfulSet) {
+    let alphabet: Vec<String> = (0..8)
+        .map(|i| format!("void compute(double x) {{ comp = x * {i}.5 + sin(x / {i}.25); }}"))
+        .collect();
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut make = |max_len: usize| {
+        let mut set = SuccessfulSet::new();
+        for _ in 0..next() % (max_len + 1) {
+            set.insert(&alphabet[next() % alphabet.len()]);
+        }
+        set
+    };
+    (make(6), make(6), make(6))
+}
+
+/// The structural-hash multiset of a successful set, order-insensitive.
+fn hash_set_of(set: &SuccessfulSet) -> Vec<u64> {
+    let mut hashes: Vec<u64> =
+        set.sources().iter().map(|s| llm4fp_suite::fpir::source_hash(s)).collect();
+    hashes.sort_unstable();
+    hashes
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -113,6 +146,53 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&ab));
         let aa = codebleu(&a, &a, weights).combined;
         prop_assert!(aa > 0.999, "self-similarity must be ~1, got {aa}");
+    }
+
+    /// `SuccessfulSet::merge` is associative: merging (a ∪ b) with c gives
+    /// exactly the sequence of merging a with (b ∪ c) — not just the same
+    /// set, the same insertion order, which the exchange barrier's
+    /// shard-order merge depends on for bit-identical broadcasts.
+    #[test]
+    fn successful_set_merge_is_associative(seed in 0u64..50_000) {
+        let (a, b, c) = three_sets(seed);
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.sources(), right.sources());
+    }
+
+    /// `SuccessfulSet::merge` is commutative up to ordering: a ∪ b and
+    /// b ∪ a contain the same structural set (orders differ — the barrier
+    /// fixes one canonical order by merging in shard-index order).
+    #[test]
+    fn successful_set_merge_is_commutative_up_to_ordering(seed in 0u64..50_000) {
+        let (a, b, _) = three_sets(seed);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.len(), ba.len());
+        prop_assert_eq!(hash_set_of(&ab), hash_set_of(&ba));
+    }
+
+    /// `SuccessfulSet::merge` is idempotent: re-merging anything already
+    /// merged adds nothing and changes nothing — re-broadcasting the same
+    /// pool at a barrier (as a resumed run does) is a no-op.
+    #[test]
+    fn successful_set_merge_is_idempotent(seed in 0u64..50_000) {
+        let (a, b, _) = three_sets(seed);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let before = ab.sources().to_vec();
+        prop_assert_eq!(ab.merge(&b), 0);
+        prop_assert_eq!(ab.merge(&a), 0);
+        let copy = ab.clone();
+        prop_assert_eq!(ab.merge(&copy), 0);
+        prop_assert_eq!(ab.sources(), &before[..]);
     }
 
     /// Compiled artifacts never panic on arbitrary scalar inputs: they either

@@ -1,12 +1,22 @@
 //! Offline shim for `criterion`: a minimal wall-clock timing harness with
 //! the `benchmark_group` / `bench_function` / `Bencher::iter` API the
-//! workspace's benches use. No statistics engine, plots, or CLI — each
+//! workspace's benches use. No statistics engine or plots — each
 //! benchmark runs `sample_size` timed samples after a short warm-up and
 //! prints min / mean / max per iteration.
+//!
+//! One CLI flag is supported (upstream criterion spells it the same way):
+//! `--save-baseline <path>` writes every benchmark's mean seconds per
+//! iteration as a flat JSON object (`{"group/name": seconds, ...}`) so CI
+//! can diff two runs (`cargo run -p llm4fp-bench --bin bench_compare`).
+//! Pass it through cargo: `cargo bench --bench x -- --save-baseline f.json`.
 
 pub use std::hint::black_box;
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Means recorded by every benchmark of the process, in execution order.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 pub struct Criterion {
     default_sample_size: usize,
@@ -94,6 +104,40 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) 
         format_time(max),
         per_iter.len()
     );
+    RESULTS.lock().unwrap().push((label.to_string(), mean));
+}
+
+/// Honor `--save-baseline <path>` from the process arguments: write the
+/// recorded benchmark means as JSON. `criterion_main!` calls this after
+/// every group has run; no-op when the flag is absent.
+pub fn finalize() {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg != "--save-baseline" {
+            continue;
+        }
+        let Some(path) = args.next() else {
+            eprintln!("criterion shim: --save-baseline needs a file path");
+            std::process::exit(2);
+        };
+        let results = RESULTS.lock().unwrap();
+        let entries: Vec<String> = results
+            .iter()
+            .map(|(label, mean)| {
+                let escaped = label.replace('\\', "\\\\").replace('"', "\\\"");
+                format!("  \"{escaped}\": {mean}")
+            })
+            .collect();
+        let json = format!("{{\n{}\n}}\n", entries.join(",\n"));
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("saved baseline ({} benchmarks) to {path}", results.len()),
+            Err(e) => {
+                eprintln!("criterion shim: cannot write baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
 }
 
 fn format_time(secs: f64) -> String {
@@ -135,12 +179,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Expands to `main` running the listed groups.
+/// Expands to `main` running the listed groups, then honoring
+/// `--save-baseline` (see [`finalize`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finalize();
         }
     };
 }

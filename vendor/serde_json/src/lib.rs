@@ -83,14 +83,14 @@ fn write_seq<I, F>(
         first = false;
         if let Some(width) = indent {
             out.push('\n');
-            out.extend(std::iter::repeat_n(' ', width * (depth + 1)));
+            out.extend(std::iter::repeat(' ').take(width * (depth + 1)));
         }
         write_item(item, out, depth + 1);
     }
     if !first {
         if let Some(width) = indent {
             out.push('\n');
-            out.extend(std::iter::repeat_n(' ', width * depth));
+            out.extend(std::iter::repeat(' ').take(width * depth));
         }
     }
     out.push(close);
