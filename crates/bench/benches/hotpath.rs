@@ -1,0 +1,120 @@
+//! Execution hot-path benchmarks: the sealed bytecode VM against the
+//! reference tree-walking interpreter, and the restructured differential-
+//! testing driver on both engines.
+//!
+//! `interp_vs_vm` measures the per-(program, configuration, input)
+//! execution cost on a fixed Varity corpus — the innermost loop of every
+//! campaign. Artifacts are prebuilt for both sides so the comparison
+//! isolates execution; `seal_and_execute` adds the one-time sealing cost
+//! to show the break-even point (sealing pays for itself on the first
+//! run). `difftest_matrix` prices the full 18-configuration driver per
+//! program on each engine, plus the batched `run_many` path that reuses
+//! one sealed artifact per configuration across many input sets.
+//!
+//! Both groups are saved into the CI bench-regression baseline
+//! (`BENCH_hotpath.json`) and gated by `bench_compare`, so a slowdown on
+//! the sealed path fails the PR.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use llm4fp_compiler::interp::DEFAULT_FUEL;
+use llm4fp_compiler::{
+    compile, CompiledProgram, CompilerConfig, CompilerId, ExecScratch, OptLevel, SealedProgram,
+};
+use llm4fp_difftest::{DiffTester, ExecEngine};
+use llm4fp_fpir::{InputSet, Program};
+use llm4fp_generator::{InputGenerator, VarityGenerator};
+
+const CORPUS: usize = 24;
+
+fn corpus() -> Vec<(Program, InputSet)> {
+    (0..CORPUS as u64)
+        .map(|seed| {
+            let program = VarityGenerator::new(seed * 7 + 1).generate();
+            let inputs = InputGenerator::new(seed ^ 0xbe9c).generate(&program);
+            (program, inputs)
+        })
+        .collect()
+}
+
+fn artifacts(corpus: &[(Program, InputSet)]) -> Vec<(CompiledProgram, SealedProgram, InputSet)> {
+    let configs = [
+        CompilerConfig::new(CompilerId::Gcc, OptLevel::O0Nofma),
+        CompilerConfig::new(CompilerId::Clang, OptLevel::O2),
+        CompilerConfig::new(CompilerId::Nvcc, OptLevel::O3Fastmath),
+    ];
+    corpus
+        .iter()
+        .flat_map(|(program, inputs)| {
+            configs.iter().map(move |&config| {
+                let artifact = compile(program, config).expect("varity programs compile");
+                let sealed = artifact.seal().expect("varity programs seal");
+                (artifact, sealed, inputs.clone())
+            })
+        })
+        .collect()
+}
+
+fn bench_interp_vs_vm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp_vs_vm");
+    group.sample_size(20);
+    let prebuilt = artifacts(&corpus());
+
+    group.bench_function("reference_interpreter", |b| {
+        b.iter(|| {
+            for (artifact, _, inputs) in &prebuilt {
+                black_box(artifact.execute(inputs).ok());
+            }
+        })
+    });
+    group.bench_function("sealed_vm", |b| {
+        let mut scratch = ExecScratch::new();
+        b.iter(|| {
+            for (_, sealed, inputs) in &prebuilt {
+                black_box(sealed.execute_into(inputs, DEFAULT_FUEL, &mut scratch).ok());
+            }
+        })
+    });
+    group.bench_function("seal_and_execute", |b| {
+        let mut scratch = ExecScratch::new();
+        b.iter(|| {
+            for (artifact, _, inputs) in &prebuilt {
+                let sealed = artifact.seal().expect("seals");
+                black_box(sealed.execute_into(inputs, DEFAULT_FUEL, &mut scratch).ok());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_difftest_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("difftest_matrix");
+    group.sample_size(10);
+    let corpus = corpus();
+
+    for (label, engine) in
+        [("sealed_engine", ExecEngine::Sealed), ("reference_engine", ExecEngine::Reference)]
+    {
+        group.bench_function(label, |b| {
+            let tester = DiffTester::new().with_threads(1).with_engine(engine);
+            b.iter(|| {
+                for (program, inputs) in &corpus {
+                    black_box(tester.run(program, inputs));
+                }
+            })
+        });
+    }
+
+    // Artifact reuse across input sets: one program, many inputs, the
+    // matrix specialized and sealed once.
+    let (program, _) = &corpus[0];
+    let input_sets: Vec<InputSet> =
+        (0..16).map(|k| InputGenerator::new(0x1234 + k).generate(program)).collect();
+    group.bench_function("run_many_16_inputs", |b| {
+        let tester = DiffTester::new().with_threads(1);
+        b.iter(|| black_box(tester.run_many(program, &input_sets)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interp_vs_vm, bench_difftest_matrix);
+criterion_main!(benches);

@@ -1,0 +1,642 @@
+//! The sealing pass: one-time compilation of an optimized body into a
+//! register-machine bytecode program.
+//!
+//! Sealing resolves every scalar, integer and array name to a dense slot
+//! index via a compile-time symbol table (scoped exactly like the static
+//! validator scopes names), flattens the statement tree into a linear
+//! `Instr` sequence with structured jumps for conditionals and loops, and
+//! pre-rounds every constant (and array initializer) to the program
+//! precision. The result — a [`SealedProgram`] — is executed by the
+//! register VM in [`crate::vm`] with reusable scratch buffers: no hash
+//! maps, no string comparisons, no per-run allocation.
+//!
+//! ## Bit-exactness contract
+//!
+//! The sealed program is pinned to the reference interpreter
+//! ([`crate::interp::Interpreter`]): for every program that passed
+//! validation (the only programs [`crate::compile()`] produces), execution
+//! yields the same [`crate::interp::ExecResult`] value bits, the same step
+//! count, and the same [`crate::interp::ExecError`] variants — including
+//! the exact statement/iteration at which fuel runs out, because `Burn`
+//! instructions are emitted at precisely the interpreter's burn points
+//! (once per statement, once per loop iteration, in the same order).
+//!
+//! Name resolution is static while the interpreter's is dynamic; the two
+//! agree for every validated program except one pathological corner: a
+//! name that is *both* a loop variable in scope and a scalar assignment
+//! target elsewhere in the program (the interpreter then picks dynamically
+//! based on which assignments have executed). Sealing refuses such
+//! programs with [`SealError::AmbiguousName`] and callers fall back to the
+//! reference interpreter, so bit-identity holds universally rather than
+//! merely almost always.
+
+use std::sync::Arc;
+
+use llm4fp_fpir::{BinOp, CmpOp, IndexExpr, MathFunc, Param, ParamType, Precision};
+use llm4fp_mathlib::{FastMathLib, MathLib};
+
+use crate::config::Semantics;
+use crate::ir::{OExpr, OStmt};
+
+/// Why a program could not be sealed. Sealing failures are not errors of
+/// the pipeline: callers fall back to the reference interpreter, which
+/// reproduces whatever runtime behaviour the program actually has.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SealError {
+    /// A name is visible both as an in-scope integer (loop variable or int
+    /// parameter) and as a scalar assignment target somewhere in the
+    /// program; the interpreter resolves such reads dynamically.
+    AmbiguousName(String),
+    /// A scalar variable is read without any reaching definition (the
+    /// validator rejects such programs; they never reach sealing through
+    /// [`crate::compile()`]).
+    UnresolvedVariable(String),
+    /// An array is accessed outside the scope of any declaration.
+    UnresolvedArray(String),
+    /// The program exceeds a bytecode encoding limit (slot or register
+    /// indices beyond `u16`, more than `u32::MAX` instructions).
+    TooComplex(&'static str),
+}
+
+impl std::fmt::Display for SealError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SealError::AmbiguousName(n) => {
+                write!(f, "name `{n}` is dynamically ambiguous between int and scalar")
+            }
+            SealError::UnresolvedVariable(n) => write!(f, "no reaching definition for `{n}`"),
+            SealError::UnresolvedArray(n) => write!(f, "array `{n}` is not in scope"),
+            SealError::TooComplex(what) => write!(f, "program exceeds bytecode limits: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SealError {}
+
+/// A floating-point register index.
+pub(crate) type Reg = u16;
+
+/// An array index expression with its variable resolved to an int slot (or
+/// folded to a constant when no variable is referenced / in scope, exactly
+/// mirroring the interpreter's `ints.get(v).unwrap_or(&0)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum SlotIndex {
+    Const(i64),
+    Var(u16),
+    Offset { slot: u16, offset: i64 },
+    Mod { slot: u16, modulus: i64 },
+}
+
+impl SlotIndex {
+    /// Evaluate against the integer slot file. Mirrors [`IndexExpr::eval`].
+    #[inline]
+    pub(crate) fn eval(self, ints: &[i64]) -> i64 {
+        match self {
+            SlotIndex::Const(k) => k,
+            SlotIndex::Var(slot) => ints[slot as usize],
+            SlotIndex::Offset { slot, offset } => ints[slot as usize] + offset,
+            SlotIndex::Mod { slot, modulus } => {
+                if modulus <= 0 {
+                    0
+                } else {
+                    ints[slot as usize].rem_euclid(modulus)
+                }
+            }
+        }
+    }
+}
+
+/// One bytecode instruction of the register machine.
+///
+/// Expression instructions write a floating-point register; statement
+/// instructions move values between registers and the scalar / integer /
+/// array slot files. `Burn` consumes one unit of fuel (and counts one
+/// step), placed exactly where the reference interpreter burns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Instr {
+    Burn,
+    Const {
+        dst: Reg,
+        value: f64,
+    },
+    LoadScalar {
+        dst: Reg,
+        slot: u16,
+    },
+    LoadInt {
+        dst: Reg,
+        slot: u16,
+    },
+    LoadElem {
+        dst: Reg,
+        array: u16,
+        index: SlotIndex,
+    },
+    Neg {
+        dst: Reg,
+        src: Reg,
+    },
+    Bin {
+        op: BinOp,
+        dst: Reg,
+        lhs: Reg,
+        rhs: Reg,
+    },
+    Fma {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        c: Reg,
+    },
+    Recip {
+        dst: Reg,
+        src: Reg,
+        approx: bool,
+    },
+    Call {
+        func: MathFunc,
+        dst: Reg,
+        base: Reg,
+        arity: u8,
+    },
+    StoreScalar {
+        slot: u16,
+        src: Reg,
+    },
+    StoreElem {
+        array: u16,
+        index: SlotIndex,
+        src: Reg,
+    },
+    /// Reset a local array from the pre-rounded initializer pool
+    /// (`init .. init + len(array)`).
+    DeclArray {
+        array: u16,
+        init: u32,
+    },
+    SetInt {
+        slot: u16,
+        value: i64,
+    },
+    IncInt {
+        slot: u16,
+    },
+    JumpIfIntGe {
+        slot: u16,
+        bound: i64,
+        target: u32,
+    },
+    JumpCmpFalse {
+        op: CmpOp,
+        lhs: Reg,
+        rhs: Reg,
+        target: u32,
+    },
+    Jump {
+        target: u32,
+    },
+    Halt,
+}
+
+/// How one `compute` parameter binds into the slot files.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ParamBind {
+    Int { slot: u16 },
+    Fp { slot: u16 },
+    Array { slot: u16 },
+}
+
+/// A parameter's binding plan (name kept for `InputSet` lookup and
+/// `MissingInput` reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SealedParam {
+    pub name: String,
+    pub bind: ParamBind,
+}
+
+/// Static metadata of one array slot.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ArraySlot {
+    /// Fixed element count (parameter length or declaration size).
+    pub len: usize,
+    /// Index into the name pool, for error reporting.
+    pub name: u32,
+}
+
+/// An optimized program sealed into register-machine bytecode, ready for
+/// repeated execution against many input sets (see [`crate::vm`]).
+pub struct SealedProgram {
+    pub(crate) precision: Precision,
+    pub(crate) flush_to_zero: bool,
+    /// Math library instantiated once at seal time (the libraries are
+    /// stateless, so sharing one instance across runs is observationally
+    /// identical to the interpreter's per-run instantiation).
+    pub(crate) math: Arc<dyn MathLib>,
+    pub(crate) fast: FastMathLib,
+    pub(crate) instrs: Vec<Instr>,
+    pub(crate) params: Vec<SealedParam>,
+    pub(crate) arrays: Vec<ArraySlot>,
+    /// Name pool for cold-path error construction.
+    pub(crate) names: Vec<String>,
+    pub(crate) n_regs: usize,
+    pub(crate) n_scalars: usize,
+    pub(crate) n_ints: usize,
+    pub(crate) comp_slot: u16,
+    /// Pre-rounded, pre-sized array initializers.
+    pub(crate) init_pool: Vec<f64>,
+}
+
+impl std::fmt::Debug for SealedProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SealedProgram")
+            .field("precision", &self.precision)
+            .field("instrs", &self.instrs.len())
+            .field("regs", &self.n_regs)
+            .field("scalars", &self.n_scalars)
+            .field("ints", &self.n_ints)
+            .field("arrays", &self.arrays.len())
+            .finish()
+    }
+}
+
+impl SealedProgram {
+    /// Number of bytecode instructions (used by tests and diagnostics).
+    pub fn instruction_count(&self) -> usize {
+        self.instrs.len()
+    }
+}
+
+/// Seal an optimized body. Called through
+/// [`crate::compile::CompiledProgram::seal`].
+pub(crate) fn seal(
+    precision: Precision,
+    params: &[Param],
+    body: &[OStmt],
+    semantics: &Semantics,
+) -> Result<SealedProgram, SealError> {
+    Sealer::new(precision, params, body)?.finish(body, semantics)
+}
+
+struct Sealer<'a> {
+    precision: Precision,
+    /// Every scalar assignment target anywhere in the program (used to
+    /// detect dynamically ambiguous int/scalar names). Linear tables
+    /// throughout: generated programs bind a handful of names, so vector
+    /// scans beat hashing and keep sealing allocation-light — sealing sits
+    /// on the campaign hot path (once per program × configuration).
+    assigned_anywhere: Vec<&'a str>,
+    scalar_slots: Vec<(&'a str, u16)>,
+    int_params: Vec<(&'a str, u16)>,
+    /// Loop variables currently in scope, innermost last.
+    int_scope: Vec<(&'a str, u16)>,
+    n_ints: usize,
+    /// Arrays in scope, innermost last; parameters at the bottom.
+    array_scope: Vec<(&'a str, u16)>,
+    arrays: Vec<ArraySlot>,
+    names: Vec<String>,
+    instrs: Vec<Instr>,
+    init_pool: Vec<f64>,
+    n_regs: usize,
+    sealed_params: Vec<SealedParam>,
+    comp_slot: u16,
+}
+
+impl<'a> Sealer<'a> {
+    fn new(
+        precision: Precision,
+        params: &'a [Param],
+        body: &'a [OStmt],
+    ) -> Result<Self, SealError> {
+        let mut assigned_anywhere = Vec::new();
+        collect_assigned(body, &mut assigned_anywhere);
+
+        let mut sealer = Sealer {
+            precision,
+            assigned_anywhere,
+            scalar_slots: Vec::with_capacity(8),
+            int_params: Vec::new(),
+            int_scope: Vec::new(),
+            n_ints: 0,
+            array_scope: Vec::new(),
+            arrays: Vec::new(),
+            names: Vec::new(),
+            instrs: Vec::with_capacity(64),
+            init_pool: Vec::new(),
+            n_regs: 0,
+            sealed_params: Vec::with_capacity(params.len()),
+            comp_slot: 0,
+        };
+
+        // The accumulator owns scalar slot 0, mirroring its implicit
+        // declaration in the interpreter.
+        sealer.comp_slot = sealer.scalar_slot(llm4fp_fpir::COMP)?;
+
+        for p in params {
+            let bind = match p.ty {
+                ParamType::Int => {
+                    let slot = checked_u16(sealer.n_ints, "int slots")?;
+                    sealer.n_ints += 1;
+                    sealer.int_params.push((p.name.as_str(), slot));
+                    ParamBind::Int { slot }
+                }
+                ParamType::Fp => ParamBind::Fp { slot: sealer.scalar_slot(&p.name)? },
+                ParamType::FpArray(len) => {
+                    let slot = sealer.new_array(&p.name, len)?;
+                    ParamBind::Array { slot }
+                }
+            };
+            sealer.sealed_params.push(SealedParam { name: p.name.clone(), bind });
+        }
+        Ok(sealer)
+    }
+
+    fn finish(
+        mut self,
+        body: &'a [OStmt],
+        semantics: &Semantics,
+    ) -> Result<SealedProgram, SealError> {
+        self.seal_block(body)?;
+        self.instrs.push(Instr::Halt);
+        if self.instrs.len() > u32::MAX as usize {
+            return Err(SealError::TooComplex("instruction count"));
+        }
+        Ok(SealedProgram {
+            precision: self.precision,
+            flush_to_zero: semantics.flush_to_zero,
+            math: semantics.math_lib.shared(),
+            fast: FastMathLib::new(),
+            instrs: self.instrs,
+            params: self.sealed_params,
+            arrays: self.arrays,
+            names: self.names,
+            n_regs: self.n_regs,
+            n_scalars: self.scalar_slots.len(),
+            n_ints: self.n_ints,
+            comp_slot: self.comp_slot,
+            init_pool: self.init_pool,
+        })
+    }
+
+    /// Round an `f64` constant to the program precision (what the
+    /// interpreter does lazily on every evaluation).
+    fn round_const(&self, v: f64) -> f64 {
+        match self.precision {
+            Precision::F64 => v,
+            Precision::F32 => v as f32 as f64,
+        }
+    }
+
+    fn scalar_slot(&mut self, name: &'a str) -> Result<u16, SealError> {
+        if let Some(&(_, slot)) = self.scalar_slots.iter().find(|(n, _)| *n == name) {
+            return Ok(slot);
+        }
+        let slot = checked_u16(self.scalar_slots.len(), "scalar slots")?;
+        self.scalar_slots.push((name, slot));
+        Ok(slot)
+    }
+
+    fn new_array(&mut self, name: &'a str, len: usize) -> Result<u16, SealError> {
+        let slot = checked_u16(self.arrays.len(), "array slots")?;
+        let name_idx = self.pool_name(name);
+        self.arrays.push(ArraySlot { len, name: name_idx });
+        self.array_scope.push((name, slot));
+        Ok(slot)
+    }
+
+    fn pool_name(&mut self, name: &str) -> u32 {
+        match self.names.iter().position(|n| n == name) {
+            Some(i) => i as u32,
+            None => {
+                self.names.push(name.to_string());
+                (self.names.len() - 1) as u32
+            }
+        }
+    }
+
+    fn int_binding(&self, name: &str) -> Option<u16> {
+        self.int_scope
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .or_else(|| self.int_params.iter().find(|(n, _)| *n == name))
+            .map(|&(_, s)| s)
+    }
+
+    fn resolve_array(&self, name: &str) -> Result<u16, SealError> {
+        self.array_scope
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, s)| s)
+            .ok_or_else(|| SealError::UnresolvedArray(name.to_string()))
+    }
+
+    /// Resolve a scalar-expression variable read the way the interpreter
+    /// would at runtime (scalars first, then ints), rejecting reads whose
+    /// dynamic resolution cannot be proven static.
+    fn resolve_var(&self, name: &str) -> Result<Instr, SealError> {
+        let scalar = self.scalar_slots.iter().find(|(n, _)| *n == name).map(|&(_, s)| s);
+        let int = self.int_binding(name);
+        match (scalar, int) {
+            (Some(slot), None) => Ok(Instr::LoadScalar { dst: 0, slot }),
+            (None, Some(slot)) => {
+                if self.assigned_anywhere.contains(&name) {
+                    // An assignment elsewhere could have (or could later)
+                    // put this name into the interpreter's scalar map.
+                    Err(SealError::AmbiguousName(name.to_string()))
+                } else {
+                    Ok(Instr::LoadInt { dst: 0, slot })
+                }
+            }
+            (Some(_), Some(_)) => Err(SealError::AmbiguousName(name.to_string())),
+            (None, None) => Err(SealError::UnresolvedVariable(name.to_string())),
+        }
+    }
+
+    fn seal_index(&self, index: &IndexExpr) -> SlotIndex {
+        let slot = index.var().and_then(|v| self.int_binding(v));
+        match (index, slot) {
+            // No variable in scope: the interpreter substitutes 0.
+            (_, None) => SlotIndex::Const(index.eval(0)),
+            (IndexExpr::Const(k), _) => SlotIndex::Const(*k),
+            (IndexExpr::Var(_), Some(slot)) => SlotIndex::Var(slot),
+            (IndexExpr::Offset { offset, .. }, Some(slot)) => {
+                SlotIndex::Offset { slot, offset: *offset }
+            }
+            (IndexExpr::Mod { modulus, .. }, Some(slot)) => {
+                SlotIndex::Mod { slot, modulus: *modulus }
+            }
+        }
+    }
+
+    fn seal_block(&mut self, body: &'a [OStmt]) -> Result<(), SealError> {
+        // Arrays are block-scoped (matching the validator); scalars are a
+        // flat namespace (safe because every read lexically follows its
+        // defining assignment in validated programs).
+        let arrays_before = self.array_scope.len();
+        for stmt in body {
+            self.seal_stmt(stmt)?;
+        }
+        self.array_scope.truncate(arrays_before);
+        Ok(())
+    }
+
+    fn seal_stmt(&mut self, stmt: &'a OStmt) -> Result<(), SealError> {
+        self.instrs.push(Instr::Burn);
+        match stmt {
+            OStmt::Assign { target, expr } => {
+                if self.int_binding(target).is_some() {
+                    return Err(SealError::AmbiguousName(target.clone()));
+                }
+                self.compile_expr(expr, 0)?;
+                let slot = self.scalar_slot(target)?;
+                self.instrs.push(Instr::StoreScalar { slot, src: 0 });
+            }
+            OStmt::Store { array, index, expr } => {
+                // Interpreter order: expression first, then index
+                // resolution and the bounds check.
+                self.compile_expr(expr, 0)?;
+                let slot = self.resolve_array(array)?;
+                let index = self.seal_index(index);
+                self.instrs.push(Instr::StoreElem { array: slot, index, src: 0 });
+            }
+            OStmt::DeclArray { name, size, init } => {
+                let slot = self.new_array(name, *size)?;
+                let offset = self.init_pool.len();
+                if offset + *size > u32::MAX as usize {
+                    return Err(SealError::TooComplex("initializer pool"));
+                }
+                let precision = self.precision;
+                self.init_pool.extend(init.iter().take(*size).map(|&v| match precision {
+                    Precision::F64 => v,
+                    Precision::F32 => v as f32 as f64,
+                }));
+                self.init_pool.resize(offset + *size, 0.0);
+                self.instrs.push(Instr::DeclArray { array: slot, init: offset as u32 });
+            }
+            OStmt::If { cond, then_block } => {
+                self.compile_expr(&cond.lhs, 0)?;
+                self.compile_expr(&cond.rhs, 1)?;
+                let branch = self.instrs.len();
+                self.instrs.push(Instr::JumpCmpFalse {
+                    op: cond.op,
+                    lhs: 0,
+                    rhs: 1,
+                    target: u32::MAX,
+                });
+                self.seal_block(then_block)?;
+                let end = self.instrs.len() as u32;
+                if let Instr::JumpCmpFalse { target, .. } = &mut self.instrs[branch] {
+                    *target = end;
+                }
+            }
+            OStmt::For { var, bound, body } => {
+                let slot = checked_u16(self.n_ints, "int slots")?;
+                self.n_ints += 1;
+                self.instrs.push(Instr::SetInt { slot, value: 0 });
+                let head = self.instrs.len();
+                self.instrs.push(Instr::JumpIfIntGe { slot, bound: *bound, target: u32::MAX });
+                // Per-iteration burn, exactly where the interpreter burns
+                // (before the loop variable is visible to the body).
+                self.instrs.push(Instr::Burn);
+                self.int_scope.push((var.as_str(), slot));
+                self.seal_block(body)?;
+                self.int_scope.pop();
+                self.instrs.push(Instr::IncInt { slot });
+                self.instrs.push(Instr::Jump { target: head as u32 });
+                let end = self.instrs.len() as u32;
+                if let Instr::JumpIfIntGe { target, .. } = &mut self.instrs[head] {
+                    *target = end;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compile an expression so its value lands in register `dst`;
+    /// children use registers `dst`, `dst + 1`, ... (left-to-right
+    /// evaluation, matching the interpreter's recursion order).
+    fn compile_expr(&mut self, expr: &'a OExpr, dst: Reg) -> Result<(), SealError> {
+        self.n_regs = self.n_regs.max(dst as usize + 1);
+        match expr {
+            OExpr::Const(v) => {
+                let value = self.round_const(*v);
+                self.instrs.push(Instr::Const { dst, value });
+            }
+            OExpr::Var(name) => {
+                let instr = match self.resolve_var(name)? {
+                    Instr::LoadScalar { slot, .. } => Instr::LoadScalar { dst, slot },
+                    Instr::LoadInt { slot, .. } => Instr::LoadInt { dst, slot },
+                    other => other,
+                };
+                self.instrs.push(instr);
+            }
+            OExpr::Index { array, index } => {
+                let slot = self.resolve_array(array)?;
+                let index = self.seal_index(index);
+                self.instrs.push(Instr::LoadElem { dst, array: slot, index });
+            }
+            OExpr::Neg(inner) => {
+                self.compile_expr(inner, dst)?;
+                self.instrs.push(Instr::Neg { dst, src: dst });
+            }
+            OExpr::Bin { op, lhs, rhs } => {
+                let rhs_reg = checked_reg(dst, 1)?;
+                self.compile_expr(lhs, dst)?;
+                self.compile_expr(rhs, rhs_reg)?;
+                self.instrs.push(Instr::Bin { op: *op, dst, lhs: dst, rhs: rhs_reg });
+            }
+            OExpr::Fma { a, b, c } => {
+                let rb = checked_reg(dst, 1)?;
+                let rc = checked_reg(dst, 2)?;
+                self.compile_expr(a, dst)?;
+                self.compile_expr(b, rb)?;
+                self.compile_expr(c, rc)?;
+                self.instrs.push(Instr::Fma { dst, a: dst, b: rb, c: rc });
+            }
+            OExpr::Recip { value, approx } => {
+                self.compile_expr(value, dst)?;
+                self.instrs.push(Instr::Recip { dst, src: dst, approx: *approx });
+            }
+            OExpr::Call { func, args } => {
+                if args.len() > 3 {
+                    return Err(SealError::TooComplex("call arity"));
+                }
+                for (i, arg) in args.iter().enumerate() {
+                    let reg = checked_reg(dst, i as u16)?;
+                    self.compile_expr(arg, reg)?;
+                }
+                self.instrs.push(Instr::Call {
+                    func: *func,
+                    dst,
+                    base: dst,
+                    arity: args.len() as u8,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn collect_assigned<'a>(body: &'a [OStmt], out: &mut Vec<&'a str>) {
+    for stmt in body {
+        match stmt {
+            OStmt::Assign { target, .. } => {
+                if !out.contains(&target.as_str()) {
+                    out.push(target.as_str());
+                }
+            }
+            OStmt::If { then_block, .. } => collect_assigned(then_block, out),
+            OStmt::For { body, .. } => collect_assigned(body, out),
+            OStmt::Store { .. } | OStmt::DeclArray { .. } => {}
+        }
+    }
+}
+
+fn checked_u16(value: usize, what: &'static str) -> Result<u16, SealError> {
+    u16::try_from(value).map_err(|_| SealError::TooComplex(what))
+}
+
+fn checked_reg(base: Reg, offset: u16) -> Result<Reg, SealError> {
+    base.checked_add(offset).ok_or(SealError::TooComplex("register file"))
+}

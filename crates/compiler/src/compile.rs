@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use llm4fp_fpir::{validate, InputSet, Param, Precision, Program, ValidationError};
 
+use crate::bytecode::{self, SealError, SealedProgram};
 use crate::config::{CompilerConfig, Semantics};
 use crate::interp::{ExecError, ExecResult, Interpreter, DEFAULT_FUEL};
 use crate::ir::{count_in_body, OExpr, OStmt};
@@ -80,6 +81,65 @@ impl CompiledProgram {
     pub fn recip_count(&self) -> usize {
         count_in_body(&self.body, |e| matches!(e, OExpr::Recip { .. }))
     }
+
+    /// Seal this artifact into register-machine bytecode for repeated
+    /// execution (see [`crate::bytecode`] and [`crate::vm`]). Sealed
+    /// execution is bit-identical to [`CompiledProgram::execute`]; callers
+    /// that receive a [`SealError`] fall back to the interpreter.
+    pub fn seal(&self) -> Result<SealedProgram, SealError> {
+        bytecode::seal(self.precision, &self.params, &self.body, &self.semantics)
+    }
+}
+
+/// The configuration-independent front half of the virtual compiler:
+/// validation and lowering, performed once per program. Specializing the
+/// front end under a [`CompilerConfig`] runs only the per-configuration
+/// pass pipeline, so the full evaluation matrix validates and lowers each
+/// program once instead of once per configuration — the driver-side half
+/// of the sealed execution hot path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frontend {
+    precision: Precision,
+    params: Vec<Param>,
+    lowered: Vec<OStmt>,
+}
+
+impl Frontend {
+    /// Validate and lower a program once.
+    pub fn new(program: &Program) -> Result<Frontend, CompileError> {
+        let problems = validate(program);
+        if !problems.is_empty() {
+            return Err(CompileError::Invalid(problems));
+        }
+        Ok(Frontend {
+            precision: program.precision,
+            params: program.params.clone(),
+            lowered: lower_program(program),
+        })
+    }
+
+    /// Specialize the lowered program under one configuration. Equivalent
+    /// to [`compile`] with the validation and lowering amortized away.
+    pub fn specialize(&self, config: CompilerConfig) -> CompiledProgram {
+        let semantics = config.semantics();
+        let body = run_pipeline(self.lowered.clone(), &semantics);
+        CompiledProgram {
+            config,
+            precision: self.precision,
+            params: self.params.clone(),
+            body,
+            semantics,
+        }
+    }
+
+    /// Specialize and seal in one step, skipping the intermediate
+    /// [`CompiledProgram`] (and its parameter-list clone) on the hot path.
+    /// Produces bytecode identical to `self.specialize(config).seal()`.
+    pub fn seal(&self, config: CompilerConfig) -> Result<SealedProgram, SealError> {
+        let semantics = config.semantics();
+        let body = run_pipeline(self.lowered.clone(), &semantics);
+        bytecode::seal(self.precision, &self.params, &body, &semantics)
+    }
 }
 
 /// Compile a program under one configuration.
@@ -88,19 +148,7 @@ impl CompiledProgram {
 /// programs always compile (the virtual compiler has no resource limits of
 /// its own — execution is bounded separately by fuel).
 pub fn compile(program: &Program, config: CompilerConfig) -> Result<CompiledProgram, CompileError> {
-    let problems = validate(program);
-    if !problems.is_empty() {
-        return Err(CompileError::Invalid(problems));
-    }
-    let semantics = config.semantics();
-    let body = run_pipeline(lower_program(program), &semantics);
-    Ok(CompiledProgram {
-        config,
-        precision: program.precision,
-        params: program.params.clone(),
-        body,
-        semantics,
-    })
+    Ok(Frontend::new(program)?.specialize(config))
 }
 
 /// Compile a program under every configuration of the full evaluation

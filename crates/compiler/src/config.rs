@@ -190,6 +190,24 @@ impl MathLibKind {
             MathLibKind::Fast => Arc::new(FastMathLib::new()),
         }
     }
+
+    /// Process-wide shared instance. The libraries are stateless, so a
+    /// shared instance is observationally identical to a fresh one; the
+    /// sealing hot path uses this to avoid a per-seal allocation.
+    pub fn shared(self) -> Arc<dyn MathLib> {
+        use std::sync::OnceLock;
+        static HOST: OnceLock<Arc<dyn MathLib>> = OnceLock::new();
+        static HOST_VARIANT: OnceLock<Arc<dyn MathLib>> = OnceLock::new();
+        static DEVICE: OnceLock<Arc<dyn MathLib>> = OnceLock::new();
+        static FAST: OnceLock<Arc<dyn MathLib>> = OnceLock::new();
+        let cell = match self {
+            MathLibKind::Host => &HOST,
+            MathLibKind::HostVariant => &HOST_VARIANT,
+            MathLibKind::Device => &DEVICE,
+            MathLibKind::Fast => &FAST,
+        };
+        Arc::clone(cell.get_or_init(|| self.instantiate()))
+    }
 }
 
 /// The floating-point semantics a (compiler, level) pair compiles under.

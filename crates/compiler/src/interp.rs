@@ -85,13 +85,19 @@ impl ExecResult {
 }
 
 /// Interpreter for one (program, semantics) pair.
+///
+/// Environments are keyed by string slices borrowed from the compiled
+/// artifact (parameter list and optimized body), so creating and running
+/// an interpreter never clones a variable name — the avoidable per-run
+/// allocations are gone on the reference path too, which keeps A/B
+/// benchmarks against the sealed VM honest.
 pub struct Interpreter<'a> {
     precision: Precision,
     semantics: &'a Semantics,
     math: Arc<dyn MathLib>,
-    scalars: HashMap<String, f64>,
-    ints: HashMap<String, i64>,
-    arrays: HashMap<String, Vec<f64>>,
+    scalars: HashMap<&'a str, f64>,
+    ints: HashMap<&'a str, i64>,
+    arrays: HashMap<&'a str, Vec<f64>>,
     fuel: u64,
     steps: u64,
 }
@@ -100,7 +106,7 @@ impl<'a> Interpreter<'a> {
     /// Create an interpreter and bind the `compute` parameters from `inputs`.
     pub fn new(
         precision: Precision,
-        params: &[Param],
+        params: &'a [Param],
         inputs: &InputSet,
         semantics: &'a Semantics,
         fuel: u64,
@@ -118,27 +124,27 @@ impl<'a> Interpreter<'a> {
         for p in params {
             match (p.ty, inputs.get(&p.name)) {
                 (ParamType::Int, Some(InputValue::Int(v))) => {
-                    interp.ints.insert(p.name.clone(), *v);
+                    interp.ints.insert(p.name.as_str(), *v);
                 }
                 (ParamType::Fp, Some(InputValue::Fp(v))) => {
-                    interp.scalars.insert(p.name.clone(), interp.round(*v));
+                    interp.scalars.insert(p.name.as_str(), interp.round(*v));
                 }
                 (ParamType::FpArray(len), Some(InputValue::FpArray(vals))) => {
                     let mut buf: Vec<f64> =
                         vals.iter().take(len).map(|&v| interp.round(v)).collect();
                     buf.resize(len, 0.0);
-                    interp.arrays.insert(p.name.clone(), buf);
+                    interp.arrays.insert(p.name.as_str(), buf);
                 }
                 _ => return Err(ExecError::MissingInput(p.name.clone())),
             }
         }
         // The accumulator is implicitly declared and zero-initialized.
-        interp.scalars.insert(llm4fp_fpir::COMP.to_string(), 0.0);
+        interp.scalars.insert(llm4fp_fpir::COMP, 0.0);
         Ok(interp)
     }
 
     /// Execute a body and return the final value of `comp`.
-    pub fn run(mut self, body: &[OStmt]) -> Result<ExecResult, ExecError> {
+    pub fn run(mut self, body: &'a [OStmt]) -> Result<ExecResult, ExecError> {
         self.exec_block(body)?;
         let value = *self.scalars.get(llm4fp_fpir::COMP).expect("comp is always initialized");
         Ok(ExecResult { value, precision: self.precision, steps: self.steps })
@@ -153,33 +159,33 @@ impl<'a> Interpreter<'a> {
         Ok(())
     }
 
-    fn exec_block(&mut self, body: &[OStmt]) -> Result<(), ExecError> {
+    fn exec_block(&mut self, body: &'a [OStmt]) -> Result<(), ExecError> {
         for stmt in body {
             self.exec_stmt(stmt)?;
         }
         Ok(())
     }
 
-    fn exec_stmt(&mut self, stmt: &OStmt) -> Result<(), ExecError> {
+    fn exec_stmt(&mut self, stmt: &'a OStmt) -> Result<(), ExecError> {
         self.burn()?;
         match stmt {
             OStmt::Assign { target, expr } => {
                 let v = self.eval(expr)?;
-                self.scalars.insert(target.clone(), v);
+                self.scalars.insert(target.as_str(), v);
             }
             OStmt::Store { array, index, expr } => {
                 let v = self.eval(expr)?;
                 let idx = self.resolve_index(array, index)?;
                 let buf = self
                     .arrays
-                    .get_mut(array)
+                    .get_mut(array.as_str())
                     .ok_or_else(|| ExecError::UnknownArray(array.clone()))?;
                 buf[idx] = v;
             }
             OStmt::DeclArray { name, size, init } => {
                 let mut buf: Vec<f64> = init.iter().take(*size).map(|&v| self.round(v)).collect();
                 buf.resize(*size, 0.0);
-                self.arrays.insert(name.clone(), buf);
+                self.arrays.insert(name.as_str(), buf);
             }
             OStmt::If { cond, then_block } => {
                 let lhs = self.eval(&cond.lhs)?;
@@ -189,18 +195,18 @@ impl<'a> Interpreter<'a> {
                 }
             }
             OStmt::For { var, bound, body } => {
-                let shadowed = self.ints.get(var).copied();
+                let shadowed = self.ints.get(var.as_str()).copied();
                 for i in 0..*bound {
                     self.burn()?;
-                    self.ints.insert(var.clone(), i);
+                    self.ints.insert(var.as_str(), i);
                     self.exec_block(body)?;
                 }
                 match shadowed {
                     Some(old) => {
-                        self.ints.insert(var.clone(), old);
+                        self.ints.insert(var.as_str(), old);
                     }
                     None => {
-                        self.ints.remove(var);
+                        self.ints.remove(var.as_str());
                     }
                 }
             }
@@ -231,9 +237,9 @@ impl<'a> Interpreter<'a> {
         Ok(match expr {
             OExpr::Const(v) => self.round(*v),
             OExpr::Var(name) => {
-                if let Some(v) = self.scalars.get(name) {
+                if let Some(v) = self.scalars.get(name.as_str()) {
                     *v
-                } else if let Some(i) = self.ints.get(name) {
+                } else if let Some(i) = self.ints.get(name.as_str()) {
                     self.round(*i as f64)
                 } else {
                     return Err(ExecError::UnknownVariable(name.clone()));
@@ -241,8 +247,10 @@ impl<'a> Interpreter<'a> {
             }
             OExpr::Index { array, index } => {
                 let idx = self.resolve_index(array, index)?;
-                let buf =
-                    self.arrays.get(array).ok_or_else(|| ExecError::UnknownArray(array.clone()))?;
+                let buf = self
+                    .arrays
+                    .get(array.as_str())
+                    .ok_or_else(|| ExecError::UnknownArray(array.clone()))?;
                 buf[idx]
             }
             OExpr::Neg(inner) => -self.eval(inner)?,
@@ -281,7 +289,7 @@ impl<'a> Interpreter<'a> {
                 for (slot, arg) in vals.iter_mut().zip(args.iter()) {
                     *slot = self.eval(arg)?;
                 }
-                let raw = self.dispatch(*func, &vals[..args.len()]);
+                let raw = dispatch_math(self.math.as_ref(), *func, vals[0], vals[1], vals[2]);
                 // Math results are rounded to precision but never flushed:
                 // FTZ applies to arithmetic, library calls return normals.
                 self.round(raw)
@@ -292,7 +300,7 @@ impl<'a> Interpreter<'a> {
     fn resolve_index(&mut self, array: &str, index: &IndexExpr) -> Result<usize, ExecError> {
         let var_value = match index.var() {
             None => 0,
-            Some(v) => *self.ints.get(v).unwrap_or(&0),
+            Some(v) => self.ints.get(v).copied().unwrap_or(0),
         };
         let idx = index.eval(var_value);
         let Some(len) = self.arrays.get(array).map(|b| b.len()) else {
@@ -303,44 +311,43 @@ impl<'a> Interpreter<'a> {
         }
         Ok(idx as usize)
     }
+}
 
-    fn dispatch(&self, func: MathFunc, args: &[f64]) -> f64 {
-        let m = &self.math;
-        let a = args.first().copied().unwrap_or(0.0);
-        let b = args.get(1).copied().unwrap_or(0.0);
-        let c = args.get(2).copied().unwrap_or(0.0);
-        match func {
-            MathFunc::Sin => m.sin(a),
-            MathFunc::Cos => m.cos(a),
-            MathFunc::Tan => m.tan(a),
-            MathFunc::Asin => m.asin(a),
-            MathFunc::Acos => m.acos(a),
-            MathFunc::Atan => m.atan(a),
-            MathFunc::Atan2 => m.atan2(a, b),
-            MathFunc::Sinh => m.sinh(a),
-            MathFunc::Cosh => m.cosh(a),
-            MathFunc::Tanh => m.tanh(a),
-            MathFunc::Exp => m.exp(a),
-            MathFunc::Exp2 => m.exp2(a),
-            MathFunc::Expm1 => m.expm1(a),
-            MathFunc::Log => m.log(a),
-            MathFunc::Log2 => m.log2(a),
-            MathFunc::Log10 => m.log10(a),
-            MathFunc::Log1p => m.log1p(a),
-            MathFunc::Sqrt => m.sqrt(a),
-            MathFunc::Cbrt => m.cbrt(a),
-            MathFunc::Pow => m.pow(a, b),
-            MathFunc::Hypot => m.hypot(a, b),
-            MathFunc::Fabs => m.fabs(a),
-            MathFunc::Floor => m.floor(a),
-            MathFunc::Ceil => m.ceil(a),
-            MathFunc::Trunc => m.trunc(a),
-            MathFunc::Round => m.round(a),
-            MathFunc::Fmin => m.fmin(a, b),
-            MathFunc::Fmax => m.fmax(a, b),
-            MathFunc::Fmod => m.fmod(a, b),
-            MathFunc::Fma => m.fma(a, b, c),
-        }
+/// Dispatch one math call into a library. Shared by the reference
+/// interpreter and the register VM ([`crate::vm`]) so both back ends call
+/// the exact same entry points with the exact same argument defaults.
+pub(crate) fn dispatch_math(m: &dyn MathLib, func: MathFunc, a: f64, b: f64, c: f64) -> f64 {
+    match func {
+        MathFunc::Sin => m.sin(a),
+        MathFunc::Cos => m.cos(a),
+        MathFunc::Tan => m.tan(a),
+        MathFunc::Asin => m.asin(a),
+        MathFunc::Acos => m.acos(a),
+        MathFunc::Atan => m.atan(a),
+        MathFunc::Atan2 => m.atan2(a, b),
+        MathFunc::Sinh => m.sinh(a),
+        MathFunc::Cosh => m.cosh(a),
+        MathFunc::Tanh => m.tanh(a),
+        MathFunc::Exp => m.exp(a),
+        MathFunc::Exp2 => m.exp2(a),
+        MathFunc::Expm1 => m.expm1(a),
+        MathFunc::Log => m.log(a),
+        MathFunc::Log2 => m.log2(a),
+        MathFunc::Log10 => m.log10(a),
+        MathFunc::Log1p => m.log1p(a),
+        MathFunc::Sqrt => m.sqrt(a),
+        MathFunc::Cbrt => m.cbrt(a),
+        MathFunc::Pow => m.pow(a, b),
+        MathFunc::Hypot => m.hypot(a, b),
+        MathFunc::Fabs => m.fabs(a),
+        MathFunc::Floor => m.floor(a),
+        MathFunc::Ceil => m.ceil(a),
+        MathFunc::Trunc => m.trunc(a),
+        MathFunc::Round => m.round(a),
+        MathFunc::Fmin => m.fmin(a, b),
+        MathFunc::Fmax => m.fmax(a, b),
+        MathFunc::Fmod => m.fmod(a, b),
+        MathFunc::Fma => m.fma(a, b, c),
     }
 }
 

@@ -39,14 +39,18 @@
 
 #![deny(unsafe_code)]
 
+pub mod bytecode;
 pub mod compile;
 pub mod config;
 pub mod interp;
 pub mod ir;
 pub mod lower;
 pub mod passes;
+pub mod vm;
 
-pub use compile::{compile, CompileError, CompiledProgram};
+pub use bytecode::{SealError, SealedProgram};
+pub use compile::{compile, CompileError, CompiledProgram, Frontend};
 pub use config::{CompilerConfig, CompilerId, ContractionStyle, OptLevel, ReassocStyle, Semantics};
 pub use interp::{ExecError, ExecResult};
 pub use ir::{OExpr, OStmt};
+pub use vm::ExecScratch;

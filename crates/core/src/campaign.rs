@@ -40,7 +40,7 @@ use parking_lot::Mutex;
 use rand::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use llm4fp_difftest::{Aggregates, CachedDiff, DiffTester, ResultCache};
+use llm4fp_difftest::{Aggregates, CachedDiff, DiffTester, ExecEngine, ResultCache};
 use llm4fp_fpir::{program_hash, program_id, source_hash, to_compute_source, validate, Program};
 use llm4fp_generator::{
     llm::SimulatedLlmConfig, InputGenerator, LlmClient, PromptBuilder, SimulatedLlm, Strategy,
@@ -389,6 +389,15 @@ impl CampaignRunner {
     /// derivation), so results are bit-identical with or without it.
     pub fn with_cache(mut self, cache: Arc<ResultCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Run differential tests on the reference tree-walking interpreter
+    /// instead of the sealed bytecode VM. The two engines are pinned
+    /// bit-identical, so campaign results do not change — this knob exists
+    /// for A/B benchmarking and for re-verifying the pin at campaign scale.
+    pub fn with_reference_execution(mut self) -> Self {
+        self.tester = self.tester.clone().with_engine(ExecEngine::Reference);
         self
     }
 
@@ -811,6 +820,25 @@ mod tests {
         let result = runner.finish();
         // ...but never reported as this campaign's own find.
         assert!(!result.successful_sources.contains(&foreign));
+    }
+
+    #[test]
+    fn sealed_and_reference_campaigns_agree_bit_for_bit() {
+        // Campaign-scale check of the VM ≡ interpreter pin: the whole
+        // result (records, aggregates, successful sets) is identical
+        // whichever execution back end runs the matrix.
+        let config =
+            CampaignConfig::new(ApproachKind::Llm4Fp).with_budget(40).with_seed(13).with_threads(1);
+        let mut reference_runner = CampaignRunner::new(config.clone()).with_reference_execution();
+        for index in 0..config.programs {
+            reference_runner.run_one(index);
+        }
+        let reference = reference_runner.finish();
+        let sealed = Campaign::new(config).run();
+        assert_eq!(sealed.records, reference.records);
+        assert_eq!(sealed.aggregates, reference.aggregates);
+        assert_eq!(sealed.sources, reference.sources);
+        assert_eq!(sealed.successful_sources, reference.successful_sources);
     }
 
     #[test]

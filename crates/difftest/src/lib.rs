@@ -25,4 +25,4 @@ pub mod matrix;
 pub use aggregate::{Aggregates, KindByLevel, PairLevelStats, VsBaselineStats};
 pub use cache::{CacheStats, CachedDiff, ResultCache};
 pub use compare::{classify, digit_difference, DiffRecord, InconsistencyKind, ValueClass};
-pub use matrix::{ConfigOutcome, DiffTester, Outcome, ProgramDiffResult};
+pub use matrix::{ConfigOutcome, DiffTester, ExecEngine, Outcome, ProgramDiffResult};

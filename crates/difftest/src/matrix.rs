@@ -1,17 +1,28 @@
 //! The compilation driver and execution matrix.
 //!
-//! For each generated program the driver compiles one artifact per
-//! configuration (compiler × optimization level), runs every artifact that
-//! compiled on the program's input set, and performs the pairwise output
-//! comparisons. Compilation and execution of the matrix are parallelized
-//! with crossbeam scoped threads; results are deterministic regardless of
-//! the number of worker threads.
+//! For each generated program the driver validates and lowers once
+//! ([`Frontend`]), specializes and **seals** one bytecode artifact per
+//! configuration (compiler × optimization level), runs every input set
+//! against the sealed artifacts on the register VM (reusing one
+//! [`ExecScratch`] per worker, so the hot path is allocation-free), and
+//! performs the pairwise output comparisons. Sealed execution is
+//! bit-identical to the reference tree-walking interpreter —
+//! [`ExecEngine::Reference`] selects the old path for A/B benchmarking,
+//! and the driver falls back to it automatically for the rare programs
+//! that refuse to seal — so results are unchanged from the pre-bytecode
+//! driver. Compilation and execution of the matrix are parallelized with
+//! crossbeam scoped threads; results are deterministic regardless of the
+//! number of worker threads.
 
 use crossbeam::thread;
 use serde::{Deserialize, Serialize};
 
-use llm4fp_compiler::{compile, CompilerConfig, CompilerId, OptLevel};
-use llm4fp_fpir::{program_id, InputSet, Program};
+use llm4fp_compiler::interp::DEFAULT_FUEL;
+use llm4fp_compiler::{
+    CompiledProgram, CompilerConfig, CompilerId, ExecError, ExecResult, ExecScratch, Frontend,
+    OptLevel,
+};
+use llm4fp_fpir::{program_id, InputSet, Precision, Program};
 
 use crate::compare::{classify, digit_difference, DiffRecord};
 
@@ -85,6 +96,18 @@ impl ProgramDiffResult {
     }
 }
 
+/// Which execution back end the tester drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ExecEngine {
+    /// Seal each specialized artifact into bytecode and run it on the
+    /// register VM (the fast path; bit-identical to the reference).
+    #[default]
+    Sealed,
+    /// Execute with the reference tree-walking interpreter (the slow
+    /// path, kept as the semantic authority and for A/B benchmarks).
+    Reference,
+}
+
 /// The differential tester.
 #[derive(Debug, Clone)]
 pub struct DiffTester {
@@ -94,6 +117,8 @@ pub struct DiffTester {
     pub levels: Vec<OptLevel>,
     /// Number of worker threads for the matrix (1 = sequential).
     pub threads: usize,
+    /// Execution back end (defaults to the sealed register VM).
+    pub engine: ExecEngine,
 }
 
 impl Default for DiffTester {
@@ -102,6 +127,7 @@ impl Default for DiffTester {
             compilers: CompilerId::ALL.to_vec(),
             levels: OptLevel::ALL.to_vec(),
             threads: 4,
+            engine: ExecEngine::Sealed,
         }
     }
 }
@@ -113,12 +139,18 @@ impl DiffTester {
 
     /// Restrict or reorder the configuration matrix.
     pub fn with_matrix(compilers: Vec<CompilerId>, levels: Vec<OptLevel>) -> Self {
-        DiffTester { compilers, levels, threads: 4 }
+        DiffTester { compilers, levels, ..DiffTester::default() }
     }
 
     /// Use `threads` workers when building/executing the matrix.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Select the execution back end (sealed VM or reference interpreter).
+    pub fn with_engine(mut self, engine: ExecEngine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -156,45 +188,90 @@ impl DiffTester {
     /// Compile and execute the full matrix for one program, then compare
     /// every compiler pair at every level.
     pub fn run(&self, program: &Program, inputs: &InputSet) -> ProgramDiffResult {
-        let configs = self.configurations();
-        let outcomes = self.build_and_run(program, inputs, &configs);
-        let records = self.compare_all(program, &outcomes);
-        let comparisons_performed = self
-            .compiler_pairs()
-            .iter()
-            .flat_map(|&(a, b)| self.levels.iter().map(move |&l| (a, b, l)))
-            .filter(|&(a, b, l)| {
-                let oa = outcomes.iter().find(|o| o.config == CompilerConfig::new(a, l));
-                let ob = outcomes.iter().find(|o| o.config == CompilerConfig::new(b, l));
-                matches!((oa, ob), (Some(x), Some(y)) if x.outcome.is_ok() && y.outcome.is_ok())
-            })
-            .count();
-        ProgramDiffResult {
-            program_id: program_id(program),
-            outcomes,
-            records,
-            comparisons_performed,
-        }
+        self.run_many(program, std::slice::from_ref(inputs)).pop().expect("one result per input")
     }
 
+    /// Run the matrix for one program against many input sets, specializing
+    /// and sealing each configuration's artifact **once** and executing
+    /// every input set against the sealed bytecode. Returns one
+    /// [`ProgramDiffResult`] per input set, in order.
+    pub fn run_many(&self, program: &Program, input_sets: &[InputSet]) -> Vec<ProgramDiffResult> {
+        let configs = self.configurations();
+        let per_config = self.build_and_run(program, input_sets, &configs);
+        let id = program_id(program);
+        (0..input_sets.len())
+            .map(|set_idx| {
+                let outcomes: Vec<ConfigOutcome> = configs
+                    .iter()
+                    .zip(&per_config)
+                    .map(|(&config, outs)| ConfigOutcome { config, outcome: outs[set_idx].clone() })
+                    .collect();
+                let records = self.compare_all(&id, program.precision, &outcomes);
+                let comparisons_performed = self
+                    .compiler_pairs()
+                    .iter()
+                    .flat_map(|&(a, b)| self.levels.iter().map(move |&l| (a, b, l)))
+                    .filter(|&(a, b, l)| {
+                        let oa = outcomes.iter().find(|o| o.config == CompilerConfig::new(a, l));
+                        let ob = outcomes.iter().find(|o| o.config == CompilerConfig::new(b, l));
+                        matches!(
+                            (oa, ob),
+                            (Some(x), Some(y)) if x.outcome.is_ok() && y.outcome.is_ok()
+                        )
+                    })
+                    .count();
+                ProgramDiffResult {
+                    program_id: id.clone(),
+                    outcomes,
+                    records,
+                    comparisons_performed,
+                }
+            })
+            .collect()
+    }
+
+    /// Outcome lists per configuration (outer index follows `configs`,
+    /// inner index follows `input_sets`). The front end runs once; each
+    /// worker specializes, seals and executes its configurations with a
+    /// reused scratch.
     fn build_and_run(
         &self,
         program: &Program,
-        inputs: &InputSet,
+        input_sets: &[InputSet],
         configs: &[CompilerConfig],
-    ) -> Vec<ConfigOutcome> {
+    ) -> Vec<Vec<Outcome>> {
+        let frontend = match Frontend::new(program) {
+            Ok(frontend) => frontend,
+            Err(e) => {
+                // Validation failure: the whole matrix fails to compile
+                // with the same reason, for every input set.
+                let reason = e.to_string();
+                let row = vec![Outcome::CompileFail { reason: reason.clone() }; input_sets.len()];
+                return vec![row; configs.len()];
+            }
+        };
         let threads = self.threads.min(configs.len()).max(1);
+        let engine = self.engine;
         if threads == 1 {
-            return configs.iter().map(|&cfg| run_one(program, inputs, cfg)).collect();
+            let mut scratch = ExecScratch::new();
+            return configs
+                .iter()
+                .map(|&cfg| run_config(&frontend, input_sets, cfg, engine, &mut scratch))
+                .collect();
         }
         let chunk_size = configs.len().div_ceil(threads);
-        let mut results: Vec<Vec<ConfigOutcome>> = Vec::new();
+        let mut results: Vec<Vec<Vec<Outcome>>> = Vec::new();
         thread::scope(|scope| {
+            let frontend = &frontend;
             let handles: Vec<_> = configs
                 .chunks(chunk_size)
                 .map(|chunk| {
                     scope.spawn(move |_| {
-                        chunk.iter().map(|&cfg| run_one(program, inputs, cfg)).collect::<Vec<_>>()
+                        let mut scratch = ExecScratch::new();
+                        chunk
+                            .iter()
+                            .map(|&cfg| run_config(frontend, input_sets, cfg, engine, &mut scratch))
+                            .collect::<Vec<_>>()
                     })
                 })
                 .collect();
@@ -206,9 +283,13 @@ impl DiffTester {
         results.into_iter().flatten().collect()
     }
 
-    fn compare_all(&self, program: &Program, outcomes: &[ConfigOutcome]) -> Vec<DiffRecord> {
+    fn compare_all(
+        &self,
+        id: &str,
+        precision: Precision,
+        outcomes: &[ConfigOutcome],
+    ) -> Vec<DiffRecord> {
         let mut records = Vec::new();
-        let id = program_id(program);
         for &(a, b) in &self.compiler_pairs() {
             for &level in &self.levels {
                 let oa = outcomes.iter().find(|o| o.config == CompilerConfig::new(a, level));
@@ -223,7 +304,7 @@ impl DiffTester {
                 };
                 if ba != bb {
                     records.push(DiffRecord {
-                        program_id: id.clone(),
+                        program_id: id.to_string(),
                         level,
                         pair: (a, b),
                         value_a: *va,
@@ -232,7 +313,7 @@ impl DiffTester {
                         bits_b: *bb,
                         class_a: classify(*va),
                         class_b: classify(*vb),
-                        digit_diff: digit_difference(*ba, *bb, program.precision),
+                        digit_diff: digit_difference(*ba, *bb, precision),
                     });
                 }
             }
@@ -271,17 +352,37 @@ impl DiffTester {
     }
 }
 
-fn run_one(program: &Program, inputs: &InputSet, config: CompilerConfig) -> ConfigOutcome {
-    let outcome = match compile(program, config) {
-        Err(e) => Outcome::CompileFail { reason: e.to_string() },
-        Ok(artifact) => match artifact.execute(inputs) {
-            Err(e) => Outcome::ExecFail { reason: e.to_string() },
-            Ok(result) => {
-                Outcome::Ok { value: result.value, bits: result.bits(), hex: result.hex() }
-            }
+/// Specialize one configuration, seal it, and run every input set against
+/// the sealed artifact (falling back to the reference interpreter when the
+/// engine asks for it or the program refuses to seal).
+fn run_config(
+    frontend: &Frontend,
+    input_sets: &[InputSet],
+    config: CompilerConfig,
+    engine: ExecEngine,
+    scratch: &mut ExecScratch,
+) -> Vec<Outcome> {
+    match engine {
+        ExecEngine::Sealed => match frontend.seal(config) {
+            Ok(sealed) => input_sets
+                .iter()
+                .map(|inputs| outcome_of(sealed.execute_into(inputs, DEFAULT_FUEL, scratch)))
+                .collect(),
+            Err(_) => reference_outcomes(&frontend.specialize(config), input_sets),
         },
-    };
-    ConfigOutcome { config, outcome }
+        ExecEngine::Reference => reference_outcomes(&frontend.specialize(config), input_sets),
+    }
+}
+
+fn reference_outcomes(artifact: &CompiledProgram, input_sets: &[InputSet]) -> Vec<Outcome> {
+    input_sets.iter().map(|inputs| outcome_of(artifact.execute(inputs))).collect()
+}
+
+fn outcome_of(result: Result<ExecResult, ExecError>) -> Outcome {
+    match result {
+        Err(e) => Outcome::ExecFail { reason: e.to_string() },
+        Ok(result) => Outcome::Ok { value: result.value, bits: result.bits(), hex: result.hex() },
+    }
 }
 
 #[cfg(test)]
@@ -404,6 +505,64 @@ mod tests {
         );
         assert_eq!(reduced.configurations().len(), 4);
         assert_eq!(reduced.comparisons_per_program(), 2);
+    }
+
+    #[test]
+    fn sealed_and_reference_engines_agree_exactly() {
+        // The whole point of the bytecode back end: ProgramDiffResults are
+        // indistinguishable from the reference interpreter's, bit for bit.
+        let sources = [
+            "void compute(double x) { comp = x + 1.0; comp = comp - x; }",
+            "void compute(double x, double y) {\n\
+             comp = sin(x) * y + exp(x) / (y + 2.0);\n\
+             comp += log(x * x + 1.0) * tanh(y);\n\
+             }",
+            "void compute(double x, double *a) {\n\
+             double buf[4] = {0.5, -1.5};\n\
+             for (int i = 0; i < 8; ++i) { buf[i % 4] += a[i] * x; }\n\
+             for (int i = 0; i < 4; ++i) { comp += buf[i] / (x + 2.0); }\n\
+             if (comp > 1.0) { comp = sqrt(comp); }\n\
+             }",
+        ];
+        for src in sources {
+            let program = parse_compute(src).unwrap();
+            let inputs = InputSet::new()
+                .with("x", InputValue::Fp(1.7))
+                .with("y", InputValue::Fp(-0.3))
+                .with("a", InputValue::FpArray(vec![1.0, -2.0, 3.0, -4.0, 5.5, 0.25, 7.0, 8.125]));
+            let sealed = DiffTester::new().with_threads(1).run(&program, &inputs);
+            let reference = DiffTester::new()
+                .with_threads(1)
+                .with_engine(ExecEngine::Reference)
+                .run(&program, &inputs);
+            assert_eq!(sealed, reference, "engines disagree for {src}");
+        }
+    }
+
+    #[test]
+    fn run_many_reuses_sealed_artifacts_across_input_sets() {
+        let program = parse_compute(
+            "void compute(double x, double *a) {\n\
+             for (int i = 0; i < 8; ++i) { comp += a[i] * x + cos(x); }\n\
+             comp /= x + 3.0;\n\
+             }",
+        )
+        .unwrap();
+        let input_sets: Vec<InputSet> = (0..5)
+            .map(|k| {
+                InputSet::new().with("x", InputValue::Fp(0.25 + k as f64)).with(
+                    "a",
+                    InputValue::FpArray(vec![1.0, -2.0, 3.0, -4.0, 5.5, 0.25, 7.0, 8.125]),
+                )
+            })
+            .collect();
+        let tester = DiffTester::new().with_threads(2);
+        let batched = tester.run_many(&program, &input_sets);
+        assert_eq!(batched.len(), input_sets.len());
+        for (inputs, batch_result) in input_sets.iter().zip(&batched) {
+            let single = tester.run(&program, inputs);
+            assert_eq!(&single, batch_result);
+        }
     }
 
     #[test]

@@ -6,38 +6,87 @@
 //! records a stable identifier.
 
 use crate::ast::Program;
-use crate::printer::to_compute_source;
-use crate::tokens::token_texts;
+use crate::printer::write_compute_host;
+use crate::tokens::scan_tokens;
 
-/// 64-bit FNV-1a over a byte stream.
-fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+/// Incremental 64-bit FNV-1a over a token byte stream (each token's bytes
+/// followed by a `0xff` separator so `"ab","c" != "a","bc"`).
+struct TokenFnv {
+    hash: u64,
+}
+
+impl TokenFnv {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut hash = OFFSET;
-    for b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(PRIME);
+
+    fn new() -> Self {
+        TokenFnv { hash: Self::OFFSET }
     }
-    hash
+
+    #[inline]
+    fn token(&mut self, text: &str) {
+        for &b in text.as_bytes() {
+            self.hash ^= b as u64;
+            self.hash = self.hash.wrapping_mul(Self::PRIME);
+        }
+        self.hash ^= 0xff;
+        self.hash = self.hash.wrapping_mul(Self::PRIME);
+    }
 }
 
 /// Hash of the program's canonical token stream (whitespace- and
 /// comment-insensitive).
+///
+/// The canonical rendering is streamed line by line through a small
+/// reusable buffer and each line's tokens are fed straight into FNV-1a —
+/// no whole-program `String`, token list or byte buffer is materialized.
+/// Chunking at newlines is sound because the printer never emits a token
+/// spanning two lines, so per-line tokenization equals whole-source
+/// tokenization.
 pub fn program_hash(program: &Program) -> u64 {
-    let src = to_compute_source(program);
-    source_hash(&src)
+    let mut sink = LineTokenHasher { buf: String::new(), fnv: TokenFnv::new() };
+    write_compute_host(&mut sink, program);
+    sink.finish()
 }
 
 /// Hash of arbitrary C source, applied to its token stream so formatting
 /// differences do not change the hash.
 pub fn source_hash(src: &str) -> u64 {
-    let tokens = token_texts(src);
-    let mut bytes = Vec::with_capacity(src.len());
-    for t in tokens {
-        bytes.extend_from_slice(t.as_bytes());
-        bytes.push(0xff); // separator so "ab","c" != "a","bc"
+    let mut fnv = TokenFnv::new();
+    scan_tokens(src, |_, text| fnv.token(text));
+    fnv.hash
+}
+
+/// A [`std::fmt::Write`] sink that buffers rendered text until a complete
+/// line is available, then tokenizes the line and feeds the token bytes to
+/// the hasher. The buffer holds at most one line at a time.
+struct LineTokenHasher {
+    buf: String,
+    fnv: TokenFnv,
+}
+
+impl LineTokenHasher {
+    fn finish(mut self) -> u64 {
+        if !self.buf.is_empty() {
+            let fnv = &mut self.fnv;
+            scan_tokens(&self.buf, |_, text| fnv.token(text));
+        }
+        self.fnv.hash
     }
-    fnv1a(bytes)
+}
+
+impl std::fmt::Write for LineTokenHasher {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.buf.push_str(s);
+        while let Some(newline) = self.buf.find('\n') {
+            {
+                let fnv = &mut self.fnv;
+                scan_tokens(&self.buf[..newline], |_, text| fnv.token(text));
+            }
+            self.buf.drain(..=newline);
+        }
+        Ok(())
+    }
 }
 
 /// Short printable identifier derived from the hash (16 hex characters).
@@ -83,6 +132,61 @@ mod tests {
     #[test]
     fn token_separator_prevents_concatenation_collisions() {
         assert_ne!(source_hash("ab c"), source_hash("a bc"));
+    }
+
+    #[test]
+    fn streaming_hash_matches_legacy_token_hash_on_corpus() {
+        // The legacy implementation rendered the whole program to a
+        // `String`, collected the token texts, copied them into a byte
+        // buffer with 0xff separators and hashed that. The streaming
+        // implementation must produce the identical value for every
+        // program.
+        fn legacy(src: &str) -> u64 {
+            const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+            const PRIME: u64 = 0x0000_0100_0000_01b3;
+            let mut bytes = Vec::with_capacity(src.len());
+            for t in crate::tokens::token_texts(src) {
+                bytes.extend_from_slice(t.as_bytes());
+                bytes.push(0xff);
+            }
+            let mut hash = OFFSET;
+            for b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(PRIME);
+            }
+            hash
+        }
+        let corpus = [
+            "void compute(double x) { comp = x; }",
+            "void compute(double x, double y) { comp = x * y + 2.5; comp /= y - 0.5; }",
+            "void compute(float x, float *a) {\n\
+             for (int i = 0; i < 3; ++i) { comp += a[i] / x; }\n\
+             }",
+            "void compute(double *a, double s, int n) {\n\
+             double acc = 0.0;\n\
+             double buf[3] = {1.5, -2.25};\n\
+             for (int i = 0; i < 4; ++i) {\n\
+               acc += a[i % 4] * s + sin(a[i % 4]);\n\
+               buf[i % 3] = acc / (s + 2.0);\n\
+             }\n\
+             if (acc > 1.0) { comp = acc - buf[0]; }\n\
+             if (acc <= 1.0) { comp = acc + buf[n % 3] * exp(s); }\n\
+             }",
+            "void compute(double x) { comp = pow(x, 2.0) + fmin(x, 0.125) - atan2(x, 3.0); }",
+        ];
+        for src in corpus {
+            let program = crate::parser::parse_compute(src).unwrap();
+            let rendered = crate::printer::to_compute_source(&program);
+            assert_eq!(program_hash(&program), legacy(&rendered), "program hash changed: {src}");
+            assert_eq!(source_hash(src), legacy(src), "source hash changed: {src}");
+            assert_eq!(source_hash(&rendered), program_hash(&program));
+        }
+        // Odd fractional constants render as hex-float literals; the hash
+        // must stream those identically too.
+        let program = program_with_constant(0.1);
+        let rendered = crate::printer::to_compute_source(&program);
+        assert!(rendered.contains("0x"), "{rendered}");
+        assert_eq!(program_hash(&program), legacy(&rendered));
     }
 
     #[test]

@@ -55,7 +55,14 @@ enum Target {
     Device,
 }
 
-fn write_compute(out: &mut String, program: &Program, target: Target) {
+/// Stream the host-target `compute` rendering into any [`fmt::Write`]
+/// sink. `crate::hash` uses this to hash the canonical token stream
+/// without materializing the whole source text.
+pub(crate) fn write_compute_host<W: std::fmt::Write>(out: &mut W, program: &Program) {
+    write_compute(out, program, Target::Host);
+}
+
+fn write_compute<W: std::fmt::Write>(out: &mut W, program: &Program, target: Target) {
     let fp = program.precision.c_type();
     let mut params: Vec<String> = program
         .params
@@ -102,7 +109,7 @@ fn write_compute(out: &mut String, program: &Program, target: Target) {
             let _ = writeln!(out, "{INDENT}*llm4fp_out = {COMP};");
         }
     }
-    out.push_str("}\n");
+    let _ = out.write_str("}\n");
 }
 
 fn write_main(out: &mut String, program: &Program, inputs: &InputSet, target: Target) {
@@ -211,7 +218,7 @@ fn f32_suffix(p: Precision) -> &'static str {
     }
 }
 
-fn write_block(out: &mut String, block: &Block, precision: Precision, depth: usize) {
+fn write_block<W: std::fmt::Write>(out: &mut W, block: &Block, precision: Precision, depth: usize) {
     let pad = INDENT.repeat(depth);
     let fp = precision.c_type();
     for stmt in &block.stmts {

@@ -69,89 +69,101 @@ const MULTI_PUNCT: &[&str] = &[
     "/=", "%=", "->", "<<", ">>",
 ];
 
-/// Tokenize C-like source text. Comments (`//` and `/* */`), preprocessor
-/// lines (`#include ...`) and whitespace are skipped. Unknown characters are
-/// emitted as single-character punctuation so that tokenization never fails.
-pub fn tokenize(src: &str) -> Vec<Token> {
-    let bytes: Vec<char> = src.chars().collect();
-    let mut tokens = Vec::new();
-    let mut i = 0usize;
+/// Streaming tokenizer: call `f` with each token's kind and text slice, in
+/// source order, without allocating. Comments (`//` and `/* */`),
+/// preprocessor lines (`#include ...`) and whitespace are skipped. Unknown
+/// characters are emitted as single-character punctuation so that
+/// tokenization never fails. [`tokenize`] and the structural hashes in
+/// `crate::hash` are built on this scanner — the hash path feeds the token
+/// bytes straight into its hasher without materializing any token list.
+pub fn scan_tokens(src: &str, mut f: impl FnMut(TokenKind, &str)) {
+    let bytes = src.as_bytes();
     let n = bytes.len();
+    let mut i = 0usize;
     while i < n {
-        let c = bytes[i];
+        let b = bytes[i];
+        // Non-ASCII: decode the char, then treat it like the char-based
+        // tokenizer did (skip unicode whitespace, emit anything else as a
+        // single-character punctuation token).
+        if b >= 0x80 {
+            let c = src[i..].chars().next().expect("valid UTF-8");
+            let len = c.len_utf8();
+            if !c.is_whitespace() {
+                f(TokenKind::Punct, &src[i..i + len]);
+            }
+            i += len;
+            continue;
+        }
+        let c = b as char;
         if c.is_whitespace() {
             i += 1;
             continue;
         }
         // Preprocessor directives: skip to end of line.
         if c == '#' {
-            while i < n && bytes[i] != '\n' {
+            while i < n && bytes[i] != b'\n' {
                 i += 1;
             }
             continue;
         }
         // Line comment.
-        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
-            while i < n && bytes[i] != '\n' {
+        if c == '/' && i + 1 < n && bytes[i + 1] == b'/' {
+            while i < n && bytes[i] != b'\n' {
                 i += 1;
             }
             continue;
         }
         // Block comment.
-        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+        if c == '/' && i + 1 < n && bytes[i + 1] == b'*' {
             i += 2;
-            while i + 1 < n && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+            while i + 1 < n && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
                 i += 1;
             }
             i = (i + 2).min(n);
             continue;
         }
-        // String literal.
+        // String literal. Scanning bytes is UTF-8 safe: the quote and
+        // backslash bytes never occur inside a multi-byte sequence.
         if c == '"' {
             let start = i;
             i += 1;
-            while i < n && bytes[i] != '"' {
-                if bytes[i] == '\\' {
+            while i < n && bytes[i] != b'"' {
+                if bytes[i] == b'\\' {
                     i += 1;
                 }
                 i += 1;
             }
             i = (i + 1).min(n);
-            let text: String = bytes[start..i.min(n)].iter().collect();
-            tokens.push(Token::new(TokenKind::StrLit, text));
+            f(TokenKind::StrLit, &src[start..i.min(n)]);
             continue;
         }
         // Identifier / keyword.
         if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
-            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                 i += 1;
             }
-            let text: String = bytes[start..i].iter().collect();
-            let kind = if KEYWORDS.contains(&text.as_str()) {
-                TokenKind::Keyword
-            } else {
-                TokenKind::Ident
-            };
-            tokens.push(Token::new(kind, text));
+            let text = &src[start..i];
+            let kind = if KEYWORDS.contains(&text) { TokenKind::Keyword } else { TokenKind::Ident };
+            f(kind, text);
             continue;
         }
         // Numeric literal (decimal or hexadecimal, integer or floating).
         if c.is_ascii_digit() || (c == '.' && i + 1 < n && bytes[i + 1].is_ascii_digit()) {
             let start = i;
             let mut is_fp = c == '.';
-            let hex = c == '0' && i + 1 < n && (bytes[i + 1] == 'x' || bytes[i + 1] == 'X');
+            let hex = c == '0' && i + 1 < n && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X');
             if hex {
                 i += 2;
                 while i < n
                     && (bytes[i].is_ascii_hexdigit()
-                        || bytes[i] == '.'
-                        || bytes[i] == 'p'
-                        || bytes[i] == 'P'
-                        || ((bytes[i] == '+' || bytes[i] == '-')
-                            && (bytes[i - 1] == 'p' || bytes[i - 1] == 'P')))
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'p'
+                        || bytes[i] == b'P'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && (bytes[i - 1] == b'p' || bytes[i - 1] == b'P')))
                 {
-                    if bytes[i] == '.' || bytes[i] == 'p' || bytes[i] == 'P' {
+                    if bytes[i] == b'.' || bytes[i] == b'p' || bytes[i] == b'P' {
                         is_fp = true;
                     }
                     i += 1;
@@ -159,56 +171,60 @@ pub fn tokenize(src: &str) -> Vec<Token> {
             } else {
                 while i < n
                     && (bytes[i].is_ascii_digit()
-                        || bytes[i] == '.'
-                        || bytes[i] == 'e'
-                        || bytes[i] == 'E'
-                        || ((bytes[i] == '+' || bytes[i] == '-')
-                            && (bytes[i - 1] == 'e' || bytes[i - 1] == 'E')))
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
                 {
-                    if bytes[i] == '.' || bytes[i] == 'e' || bytes[i] == 'E' {
+                    if bytes[i] == b'.' || bytes[i] == b'e' || bytes[i] == b'E' {
                         is_fp = true;
                     }
                     i += 1;
                 }
             }
             // Type suffixes: f, F, l, L, u, U, ll, ull ...
-            while i < n && matches!(bytes[i], 'f' | 'F' | 'l' | 'L' | 'u' | 'U') {
-                if bytes[i] == 'f' || bytes[i] == 'F' {
+            while i < n && matches!(bytes[i], b'f' | b'F' | b'l' | b'L' | b'u' | b'U') {
+                if bytes[i] == b'f' || bytes[i] == b'F' {
                     is_fp = true;
                 }
                 i += 1;
             }
-            let text: String = bytes[start..i].iter().collect();
             let kind = if is_fp { TokenKind::FpLit } else { TokenKind::IntLit };
-            tokens.push(Token::new(kind, text));
+            f(kind, &src[start..i]);
             continue;
         }
-        // Multi-character punctuation (maximal munch).
+        // Multi-character punctuation (maximal munch; all entries ASCII).
         let mut matched = false;
         for p in MULTI_PUNCT {
-            let plen = p.len();
-            if i + plen <= n {
-                let slice: String = bytes[i..i + plen].iter().collect();
-                if &slice == p {
-                    tokens.push(Token::new(TokenKind::Punct, slice));
-                    i += plen;
-                    matched = true;
-                    break;
-                }
+            if src[i..].starts_with(p) {
+                f(TokenKind::Punct, &src[i..i + p.len()]);
+                i += p.len();
+                matched = true;
+                break;
             }
         }
         if matched {
             continue;
         }
-        tokens.push(Token::new(TokenKind::Punct, c.to_string()));
+        f(TokenKind::Punct, &src[i..i + 1]);
         i += 1;
     }
+}
+
+/// Tokenize C-like source text into an owned token list (see
+/// [`scan_tokens`] for the allocation-free streaming form).
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    scan_tokens(src, |kind, text| tokens.push(Token::new(kind, text)));
     tokens
 }
 
 /// Convenience: only the token texts, useful for n-gram metrics.
 pub fn token_texts(src: &str) -> Vec<String> {
-    tokenize(src).into_iter().map(|t| t.text).collect()
+    let mut texts = Vec::new();
+    scan_tokens(src, |_, text| texts.push(text.to_string()));
+    texts
 }
 
 #[cfg(test)]

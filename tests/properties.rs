@@ -6,7 +6,8 @@
 
 use proptest::prelude::*;
 
-use llm4fp_suite::compiler::{compile, CompilerConfig, CompilerId, OptLevel};
+use llm4fp_suite::compiler::interp::DEFAULT_FUEL;
+use llm4fp_suite::compiler::{compile, CompilerConfig, CompilerId, ExecScratch, OptLevel};
 use llm4fp_suite::core::SuccessfulSet;
 use llm4fp_suite::difftest::{classify, digit_difference, ValueClass};
 use llm4fp_suite::fpir::{parse_compute, to_compute_source, validate, Precision};
@@ -193,6 +194,71 @@ proptest! {
         let copy = ab.clone();
         prop_assert_eq!(ab.merge(&copy), 0);
         prop_assert_eq!(ab.sources(), &before[..]);
+    }
+
+    /// The sealed register VM is pinned bit-identical to the reference
+    /// interpreter: for random valid programs × configurations × inputs the
+    /// two back ends agree on exact value bits, step counts, and error
+    /// variants — including the precise fuel budget at which execution
+    /// starves.
+    #[test]
+    fn sealed_vm_matches_reference_interpreter(
+        seed in 0u64..3_000,
+        cfg_index in 0usize..18,
+        starve in 0u64..3,
+    ) {
+        let program = VarityGenerator::new(seed).generate();
+        let inputs = InputGenerator::new(seed ^ 0x51ed).generate(&program);
+        let config = CompilerConfig::full_matrix()[cfg_index];
+        let artifact = compile(&program, config).unwrap();
+        // Varity's naming conventions never produce the dynamically
+        // ambiguous int/scalar shadowing that refuses to seal.
+        let sealed = artifact.seal().expect("varity programs always seal");
+        let mut scratch = ExecScratch::new();
+        let reference = artifact.execute(&inputs);
+        let vm = sealed.execute_into(&inputs, DEFAULT_FUEL, &mut scratch);
+        match (&reference, &vm) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.bits(), b.bits());
+                prop_assert_eq!(a.steps, b.steps);
+                prop_assert_eq!(a.precision, b.precision);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            other => prop_assert!(false, "back ends disagree: {other:?}"),
+        }
+        // Starve both engines at the same budget and require the same
+        // outcome (fuel exhaustion at the identical point, or identical
+        // completion when the budget suffices).
+        if let Ok(full) = reference {
+            let fuel = match starve {
+                0 => 0,
+                1 => full.steps / 2,
+                _ => full.steps.saturating_sub(1),
+            };
+            let a = artifact.execute_with_fuel(&inputs, fuel);
+            let b = sealed.execute_into(&inputs, fuel, &mut scratch);
+            prop_assert_eq!(&a, &b, "fuel {}", fuel);
+            if fuel < full.steps {
+                prop_assert_eq!(
+                    a.unwrap_err(),
+                    llm4fp_suite::compiler::ExecError::FuelExhausted
+                );
+            }
+        }
+    }
+
+    /// The streaming structural hash equals hashing the rendered source's
+    /// token stream — `program_hash` never drifts from `source_hash` over
+    /// the canonical rendering (which PR 1's input derivation and result
+    /// caching both key on).
+    #[test]
+    fn streaming_program_hash_matches_rendered_source_hash(seed in 0u64..5_000) {
+        let program = VarityGenerator::new(seed).generate();
+        let rendered = to_compute_source(&program);
+        prop_assert_eq!(
+            llm4fp_suite::fpir::program_hash(&program),
+            llm4fp_suite::fpir::source_hash(&rendered)
+        );
     }
 
     /// Compiled artifacts never panic on arbitrary scalar inputs: they either
