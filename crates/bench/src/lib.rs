@@ -22,14 +22,30 @@
 //! * `--epochs E` — cross-shard feedback-exchange epochs (default 4; at
 //!   `--shards 1` exchange is a structural no-op, and `--epochs 1`
 //!   disables it so shards feed only on their own findings);
-//! * `--workers W` — shard worker threads (default: available parallelism).
+//! * `--workers W` — shard worker threads (default: available parallelism);
+//! * `--backend virtual|extcc` — execution backend (default `virtual`;
+//!   `extcc` detects host gcc/clang and drives the real toolchain,
+//!   restricting the matrix to the detected compilers — the binary exits
+//!   with a clear message when fewer than two are installed);
+//! * `--process-slots P` — bound on concurrently process-spawning shards
+//!   for `--backend extcc` (default: available parallelism).
 
 #![deny(unsafe_code)]
 
-use llm4fp::{ApproachKind, CampaignConfig, CampaignResult};
+use llm4fp::{ApproachKind, BackendSpec, CampaignConfig, CampaignResult, ExternalBackendSpec};
 use llm4fp_orchestrator::{
     default_workers, OrchestratedResult, Orchestrator, OrchestratorOptions, Scheduler,
 };
+
+/// Which execution backend the experiment binaries drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CliBackend {
+    /// The machine-independent virtual compiler (the default).
+    #[default]
+    Virtual,
+    /// Real host compilers detected on this machine (`llm4fp-extcc`).
+    Extcc,
+}
 
 /// Command-line options shared by all experiment binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +56,9 @@ pub struct ExpOptions {
     pub shards: usize,
     pub epochs: usize,
     pub workers: usize,
+    pub backend: CliBackend,
+    /// 0 = use the worker default.
+    pub process_slots: usize,
 }
 
 impl Default for ExpOptions {
@@ -51,6 +70,8 @@ impl Default for ExpOptions {
             shards: 1,
             epochs: 4,
             workers: default_workers(),
+            backend: CliBackend::Virtual,
+            process_slots: 0,
         }
     }
 }
@@ -88,9 +109,23 @@ impl ExpOptions {
                     let v = iter.next().ok_or("--workers needs a value")?;
                     opts.workers = v.parse().map_err(|_| format!("invalid --workers {v}"))?;
                 }
+                "--backend" => {
+                    let v = iter.next().ok_or("--backend needs a value")?;
+                    opts.backend = match v.as_str() {
+                        "virtual" => CliBackend::Virtual,
+                        "extcc" => CliBackend::Extcc,
+                        other => return Err(format!("invalid --backend `{other}`")),
+                    };
+                }
+                "--process-slots" => {
+                    let v = iter.next().ok_or("--process-slots needs a value")?;
+                    opts.process_slots =
+                        v.parse().map_err(|_| format!("invalid --process-slots {v}"))?;
+                }
                 "--help" | "-h" => {
                     return Err("usage: [--programs N] [--paper] [--seed S] [--threads T] \
-                         [--shards K] [--epochs E] [--workers W]"
+                         [--shards K] [--epochs E] [--workers W] \
+                         [--backend virtual|extcc] [--process-slots P]"
                         .into())
                 }
                 other => return Err(format!("unknown argument `{other}`")),
@@ -119,12 +154,62 @@ impl ExpOptions {
         }
     }
 
-    /// Campaign configuration for one approach under these options.
-    pub fn campaign_config(&self, approach: ApproachKind) -> CampaignConfig {
+    /// Resolve the selected backend into a campaign spec. `--backend
+    /// extcc` probes this machine for host compilers; differential
+    /// testing needs at least two of them.
+    pub fn resolve_backend(&self) -> Result<BackendSpec, String> {
+        match self.backend {
+            CliBackend::Virtual => Ok(BackendSpec::Virtual),
+            CliBackend::Extcc => match ExternalBackendSpec::detect() {
+                Some(spec) if spec.has_differential_pair() => Ok(BackendSpec::External(spec)),
+                Some(spec) => Err(format!(
+                    "--backend extcc needs at least two host compilers for differential \
+                     testing, but only {} responded ({}); install gcc and clang",
+                    spec.compilers.len(),
+                    spec.describe()
+                )),
+                None => {
+                    Err("--backend extcc: no host compilers (gcc/clang) detected on this machine"
+                        .to_string())
+                }
+            },
+        }
+    }
+
+    /// Resolve the backend once for this process (exiting with a clear
+    /// message on `--backend extcc` without enough host compilers — this
+    /// helper backs the experiment binaries), so multi-approach suites
+    /// probe the toolchain a single time and every campaign pins the
+    /// identical spec.
+    fn resolve_backend_or_exit(&self) -> BackendSpec {
+        match self.resolve_backend() {
+            Ok(backend) => backend,
+            Err(msg) => {
+                eprintln!("[llm4fp-bench] {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Campaign configuration for one approach with an already-resolved
+    /// backend spec.
+    pub fn campaign_config_with(
+        &self,
+        approach: ApproachKind,
+        backend: BackendSpec,
+    ) -> CampaignConfig {
         CampaignConfig::new(approach)
             .with_budget(self.programs)
             .with_seed(self.seed)
             .with_threads(self.threads)
+            .with_backend(backend)
+    }
+
+    /// Campaign configuration for one approach under these options.
+    /// With `--backend extcc`, missing host compilers exit the process
+    /// with a clear message.
+    pub fn campaign_config(&self, approach: ApproachKind) -> CampaignConfig {
+        self.campaign_config_with(approach, self.resolve_backend_or_exit())
     }
 
     /// Orchestrator options for these CLI options.
@@ -133,6 +218,11 @@ impl ExpOptions {
             workers: self.workers,
             cache: true,
             epochs: self.epochs,
+            process_slots: if self.process_slots == 0 {
+                default_workers()
+            } else {
+                self.process_slots
+            },
             run_dir: None,
         }
     }
@@ -183,8 +273,10 @@ fn run_suite(opts: ExpOptions, approaches: &[ApproachKind]) -> Vec<CampaignResul
         opts.epochs,
         opts.workers
     );
+    // One probe, one pinned spec for the whole suite.
+    let backend = opts.resolve_backend_or_exit();
     let configs: Vec<CampaignConfig> =
-        approaches.iter().map(|&a| opts.campaign_config(a)).collect();
+        approaches.iter().map(|&a| opts.campaign_config_with(a, backend.clone())).collect();
     let suite = Scheduler::new(opts.orchestrator_options()).run_suite(&configs, opts.shards);
     approaches
         .iter()
@@ -216,14 +308,28 @@ mod tests {
                 "2",
                 "--workers",
                 "3",
+                "--backend",
+                "extcc",
+                "--process-slots",
+                "5",
             ]
             .map(String::from),
         )
         .unwrap();
         assert_eq!(
             opts,
-            ExpOptions { programs: 25, seed: 7, threads: 2, shards: 4, epochs: 2, workers: 3 }
+            ExpOptions {
+                programs: 25,
+                seed: 7,
+                threads: 2,
+                shards: 4,
+                epochs: 2,
+                workers: 3,
+                backend: CliBackend::Extcc,
+                process_slots: 5,
+            }
         );
+        assert!(ExpOptions::parse(["--backend".to_string(), "bogus".to_string()]).is_err());
         let paper = ExpOptions::parse(["--paper".to_string()]).unwrap();
         assert_eq!(paper.programs, 1_000);
         assert!(ExpOptions::parse(["--programs".to_string(), "zero".to_string()]).is_err());
@@ -236,8 +342,15 @@ mod tests {
 
     #[test]
     fn campaign_config_reflects_options() {
-        let opts =
-            ExpOptions { programs: 9, seed: 123, threads: 3, shards: 2, epochs: 1, workers: 2 };
+        let opts = ExpOptions {
+            programs: 9,
+            seed: 123,
+            threads: 3,
+            shards: 2,
+            epochs: 1,
+            workers: 2,
+            ..ExpOptions::default()
+        };
         let cfg = opts.campaign_config(ApproachKind::GrammarGuided);
         assert_eq!(cfg.programs, 9);
         assert_eq!(cfg.seed, 123);
@@ -247,8 +360,15 @@ mod tests {
 
     #[test]
     fn tiny_experiment_pipeline_end_to_end() {
-        let opts =
-            ExpOptions { programs: 6, seed: 1, threads: 1, shards: 2, epochs: 2, workers: 2 };
+        let opts = ExpOptions {
+            programs: 6,
+            seed: 1,
+            threads: 1,
+            shards: 2,
+            epochs: 2,
+            workers: 2,
+            ..ExpOptions::default()
+        };
         let results = run_all_approaches(opts);
         assert_eq!(results.len(), 4);
         for r in &results {
@@ -258,8 +378,15 @@ mod tests {
 
     #[test]
     fn single_shard_run_campaign_matches_sequential() {
-        let opts =
-            ExpOptions { programs: 10, seed: 2, threads: 1, shards: 1, epochs: 4, workers: 4 };
+        let opts = ExpOptions {
+            programs: 10,
+            seed: 2,
+            threads: 1,
+            shards: 1,
+            epochs: 4,
+            workers: 4,
+            ..ExpOptions::default()
+        };
         let orchestrated = run_campaign(opts, ApproachKind::Varity);
         let sequential = llm4fp::Campaign::new(opts.campaign_config(ApproachKind::Varity)).run();
         assert_eq!(orchestrated.records, sequential.records);

@@ -77,10 +77,7 @@ impl ExecResult {
     /// string the differential tester compares (16 characters for FP64,
     /// 8 for FP32).
     pub fn hex(&self) -> String {
-        match self.precision {
-            Precision::F64 => format!("{:016x}", self.bits()),
-            Precision::F32 => format!("{:08x}", self.bits() as u32),
-        }
+        self.precision.hex_of_bits(self.bits())
     }
 }
 

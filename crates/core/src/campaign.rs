@@ -40,7 +40,9 @@ use parking_lot::Mutex;
 use rand::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use llm4fp_difftest::{Aggregates, CachedDiff, DiffTester, ExecEngine, ResultCache};
+use llm4fp_difftest::{
+    Aggregates, CachedDiff, DiffTester, ExecBackend, ExecEngine, ProcessBudget, ResultCache,
+};
 use llm4fp_fpir::{program_hash, program_id, source_hash, to_compute_source, validate, Program};
 use llm4fp_generator::{
     llm::SimulatedLlmConfig, InputGenerator, LlmClient, PromptBuilder, SimulatedLlm, Strategy,
@@ -48,7 +50,7 @@ use llm4fp_generator::{
 };
 use llm4fp_metrics::DiversityReport;
 
-use crate::config::{ApproachKind, CampaignConfig};
+use crate::config::{ApproachKind, BackendSpec, CampaignConfig};
 
 /// How one program of the campaign was produced and what it did.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -244,6 +246,9 @@ pub struct CampaignRunner {
     comparisons_per_program: usize,
     input_seed: u64,
     cache: Option<Arc<ResultCache>>,
+    /// Backend fingerprint scoping this runner's cache keys: entries from
+    /// different backends (or different external toolchains) never mix.
+    cache_scope: String,
     // The successful set is shared state of the feedback loop. A mutex
     // keeps the container ready for future parallel generation without
     // changing behaviour for the per-shard sequential loop used here.
@@ -291,8 +296,12 @@ impl CampaignRunner {
     pub fn new(config: CampaignConfig) -> Self {
         config.validate().expect("invalid campaign configuration");
         let seed = config.seed;
-        let tester = DiffTester::with_matrix(config.compilers.clone(), config.levels.clone())
+        let mut tester = DiffTester::with_matrix(config.compilers.clone(), config.levels.clone())
             .with_threads(config.threads);
+        if let BackendSpec::External(spec) = &config.backend {
+            tester = tester.with_backend(ExecBackend::External(Arc::new(spec.toolchain())));
+        }
+        let cache_scope = tester.backend_fingerprint();
         let comparisons_per_program = tester.comparisons_per_program();
         CampaignRunner {
             rng: StdRng::seed_from_u64(seed),
@@ -310,6 +319,7 @@ impl CampaignRunner {
             comparisons_per_program,
             input_seed: seed ^ 0x5eed_0003,
             cache: None,
+            cache_scope,
             successful: Mutex::new(SuccessfulSet::default()),
             aggregates: Aggregates::new(),
             records: Vec::with_capacity(config.programs),
@@ -396,9 +406,24 @@ impl CampaignRunner {
     /// instead of the sealed bytecode VM. The two engines are pinned
     /// bit-identical, so campaign results do not change — this knob exists
     /// for A/B benchmarking and for re-verifying the pin at campaign scale.
+    /// (A virtual-backend knob: it overrides any external backend.)
     pub fn with_reference_execution(mut self) -> Self {
         self.tester = self.tester.clone().with_engine(ExecEngine::Reference);
+        self.cache_scope = self.tester.backend_fingerprint();
         self
+    }
+
+    /// Bound this runner's concurrent external process activity with a
+    /// budget shared across shards (the orchestrator's process-pool
+    /// knob). No effect on virtual campaigns.
+    pub fn with_process_budget(mut self, budget: Arc<ProcessBudget>) -> Self {
+        self.set_process_budget(budget);
+        self
+    }
+
+    /// In-place form of [`CampaignRunner::with_process_budget`].
+    pub fn set_process_budget(&mut self, budget: Arc<ProcessBudget>) {
+        self.tester.process_budget = Some(budget);
     }
 
     /// Override the seed that program input sets are derived from.
@@ -482,9 +507,13 @@ impl CampaignRunner {
     /// Differential-test one program, consulting the shared cache when one
     /// is attached. Inputs are a pure function of (campaign seed, program
     /// structure), so cached results are bit-identical to recomputation.
+    /// Keys are scoped by the backend fingerprint: a hit on the external
+    /// backend skips every process spawn of the duplicate's matrix; a
+    /// virtual entry can never satisfy an external lookup or vice versa.
     fn test_program(&self, id: &str, program: &Program) -> CachedDiff {
-        if let Some(cache) = &self.cache {
-            if let Some(cached) = cache.get(id) {
+        let key = self.cache.as_ref().map(|_| ResultCache::scoped_key(&self.cache_scope, id));
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            if let Some(cached) = cache.get(key) {
                 return cached;
             }
         }
@@ -494,8 +523,8 @@ impl CampaignRunner {
         let result = self.tester.run(program, &inputs);
         let baseline = self.tester.compare_vs_baseline(&result.outcomes);
         let computed = CachedDiff { result, baseline };
-        if let Some(cache) = &self.cache {
-            cache.insert(id.to_string(), computed.clone());
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            cache.insert(key, computed.clone());
         }
         computed
     }
@@ -839,6 +868,73 @@ mod tests {
         assert_eq!(sealed.aggregates, reference.aggregates);
         assert_eq!(sealed.sources, reference.sources);
         assert_eq!(sealed.successful_sources, reference.successful_sources);
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn external_campaigns_are_deterministic_and_cache_hits_skip_process_spawns() {
+        use crate::config::ExternalBackendSpec;
+
+        let dir = std::env::temp_dir()
+            .join("llm4fp-campaign-tests")
+            .join(format!("extcc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let pair = llm4fp_extcc::fakecc::install_pair(&dir).expect("install fakecc");
+        let spec = ExternalBackendSpec::new(pair);
+        // Direct-Prompt is the duplicate-heavy regime: unguided sampling
+        // repeats knowledge-base programs outright.
+        let config = CampaignConfig::new(ApproachKind::DirectPrompt)
+            .with_budget(12)
+            .with_seed(9)
+            .with_threads(1)
+            .with_backend(BackendSpec::External(spec));
+        assert_eq!(config.compilers.len(), 2, "matrix restricted to the fake toolchain");
+        let configs_per_program = config.compilers.len() * config.levels.len();
+
+        // External campaigns are a pure function of (config, toolchain).
+        let reference = Campaign::new(config.clone()).run();
+        let again = Campaign::new(config.clone()).run();
+        assert_eq!(reference.records, again.records);
+        assert_eq!(reference.aggregates, again.aggregates);
+        assert!(
+            reference.aggregates.inconsistencies > 0,
+            "fake personalities must disagree at non-strict levels"
+        );
+
+        // A cached run is bit-identical, and every miss costs exactly one
+        // compiler spawn per configuration while every hit costs none.
+        let cache = Arc::new(ResultCache::new());
+        let compiles_before = llm4fp_extcc::fakecc::compile_count(&dir);
+        let mut cached_runner = CampaignRunner::new(config.clone()).with_cache(Arc::clone(&cache));
+        for index in 0..config.programs {
+            cached_runner.run_one(index);
+        }
+        let cached = cached_runner.finish();
+        assert_eq!(cached.records, reference.records);
+        assert_eq!(cached.aggregates, reference.aggregates);
+        let stats = cache.stats();
+        let compiles_first = llm4fp_extcc::fakecc::compile_count(&dir) - compiles_before;
+        assert_eq!(
+            compiles_first,
+            stats.misses * configs_per_program as u64,
+            "every cache miss compiles the full matrix once"
+        );
+
+        // Re-running the identical campaign against the shared cache hits
+        // on every valid program: zero further process spawns.
+        let compiles_before_second = llm4fp_extcc::fakecc::compile_count(&dir);
+        let runs_before_second = llm4fp_extcc::fakecc::run_count(&dir);
+        let mut second_runner = CampaignRunner::new(config.clone()).with_cache(Arc::clone(&cache));
+        for index in 0..config.programs {
+            second_runner.run_one(index);
+        }
+        let second = second_runner.finish();
+        assert_eq!(second.records, reference.records);
+        assert_eq!(llm4fp_extcc::fakecc::compile_count(&dir), compiles_before_second);
+        assert_eq!(llm4fp_extcc::fakecc::run_count(&dir), runs_before_second);
+        assert_eq!(cache.stats().hits, stats.hits + (stats.hits + stats.misses));
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Campaign configuration: the evaluated approaches and their parameters.
 
+use std::time::Duration;
+
 use serde::{Deserialize, Serialize};
 
 use llm4fp_compiler::{CompilerId, OptLevel};
+use llm4fp_extcc::{probe_compiler, HostCompiler, HostToolchain};
 use llm4fp_fpir::Precision;
 use llm4fp_generator::SamplingParams;
 
@@ -55,6 +58,176 @@ impl std::fmt::Display for ApproachKind {
     }
 }
 
+/// Which execution backend a campaign drives its differential tests
+/// through. Part of [`CampaignConfig`] — and therefore of the persisted
+/// run manifest — because backend identity determines result bits: a
+/// campaign is a pure function of its configuration only together with
+/// the toolchain the spec pins.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum BackendSpec {
+    /// The virtual compiler (sealed bytecode VM) — machine-independent,
+    /// the evaluation default.
+    #[default]
+    Virtual,
+    /// Real host compilers driven through `llm4fp-extcc`.
+    External(ExternalBackendSpec),
+}
+
+impl BackendSpec {
+    /// True when the campaign spawns real compiler processes.
+    pub fn is_external(&self) -> bool {
+        matches!(self, BackendSpec::External(_))
+    }
+}
+
+// Hand-written (de)serialization mirroring the derive's wire format
+// (`"Virtual"` / `{"External": {...}}`) with one extension: a missing or
+// null field decodes as `Virtual`, so run manifests persisted before the
+// backend field existed keep loading — and resuming — unchanged.
+impl serde::Serialize for BackendSpec {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            BackendSpec::Virtual => serde::Value::Str("Virtual".to_string()),
+            BackendSpec::External(spec) => {
+                let mut m = serde::Map::new();
+                m.insert("External".to_string(), serde::Serialize::to_value(spec));
+                serde::Value::Obj(m)
+            }
+        }
+    }
+}
+
+impl serde::Deserialize for BackendSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Null => Ok(BackendSpec::Virtual),
+            serde::Value::Str(s) if s == "Virtual" => Ok(BackendSpec::Virtual),
+            serde::Value::Obj(m) => match m.get("External") {
+                Some(inner) => Ok(BackendSpec::External(serde::Deserialize::from_value(inner)?)),
+                None => Err(serde::Error::msg("unknown variant of BackendSpec")),
+            },
+            _ => Err(serde::Error::msg("unexpected value for BackendSpec")),
+        }
+    }
+}
+
+/// One pinned external compiler: personality, binary path, and the
+/// version line the binary reported when the spec was built.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExternalCompilerSpec {
+    /// Which personality this binary implements.
+    pub id: CompilerId,
+    /// The executable name/path.
+    pub binary: String,
+    /// Version line probed at spec-construction time (`"unprobed"` when
+    /// the binary did not respond). Pinned here — not re-probed per
+    /// runner — so the cache-scoping fingerprint is stable across shards,
+    /// and a persisted run manifest records exactly which toolchain
+    /// produced it: resuming after a compiler upgrade fails the manifest
+    /// equality check instead of silently mixing toolchains.
+    pub version: String,
+}
+
+/// Serializable description of an external toolchain: which binary
+/// implements each compiler personality (with its pinned version line),
+/// and the per-process wall-clock timeout. The description is
+/// deliberately explicit (paths + versions, not "use whatever is
+/// installed") so persisted manifests pin the toolchain a run was
+/// recorded against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExternalBackendSpec {
+    /// The pinned compiler entries.
+    pub compilers: Vec<ExternalCompilerSpec>,
+    /// Wall-clock timeout per external process (compile or run), in
+    /// milliseconds. Timeouts are recorded as findings, not errors.
+    pub timeout_ms: u64,
+}
+
+impl ExternalBackendSpec {
+    /// Default per-process timeout (mirrors
+    /// `HostToolchain::DEFAULT_TIMEOUT`).
+    pub const DEFAULT_TIMEOUT_MS: u64 = 10_000;
+
+    /// Build a spec from explicit `(personality, binary)` pairs, probing
+    /// each binary **once** for its version line (pinned into the spec;
+    /// `"unprobed"` for binaries that do not respond — they stay in the
+    /// spec and surface as recorded I/O findings at compile time).
+    pub fn new(compilers: Vec<(CompilerId, String)>) -> Self {
+        let compilers = compilers
+            .into_iter()
+            .map(|(id, binary)| {
+                let version = probe_compiler(id, &binary)
+                    .map_or_else(|| "unprobed".to_string(), |c| c.version);
+                ExternalCompilerSpec { id, binary, version }
+            })
+            .collect();
+        Self::from_specs(compilers)
+    }
+
+    /// Build a spec from already-probed compiler entries (no extra
+    /// process spawns).
+    pub fn from_host_compilers(compilers: Vec<HostCompiler>) -> Self {
+        Self::from_specs(
+            compilers
+                .into_iter()
+                .map(|c| ExternalCompilerSpec { id: c.id, binary: c.binary, version: c.version })
+                .collect(),
+        )
+    }
+
+    fn from_specs(compilers: Vec<ExternalCompilerSpec>) -> Self {
+        ExternalBackendSpec { compilers, timeout_ms: Self::DEFAULT_TIMEOUT_MS }
+    }
+
+    /// Probe this machine for host compilers (gcc, clang) and pin
+    /// whatever responds. `None` when no compiler is installed.
+    pub fn detect() -> Option<Self> {
+        let found = llm4fp_extcc::detect_host_compilers();
+        if found.is_empty() {
+            return None;
+        }
+        Some(Self::from_host_compilers(found))
+    }
+
+    /// The compiler personalities this spec provides binaries for —
+    /// external campaigns restrict their matrix to these.
+    pub fn compiler_ids(&self) -> Vec<CompilerId> {
+        self.compilers.iter().map(|c| c.id).collect()
+    }
+
+    /// True when the spec pins at least the two compilers differential
+    /// testing needs.
+    pub fn has_differential_pair(&self) -> bool {
+        self.compilers.len() >= 2
+    }
+
+    /// Human-readable `gcc=/usr/bin/gcc, clang=...` listing of the
+    /// pinned binaries (for CLI messages).
+    pub fn describe(&self) -> String {
+        self.compilers
+            .iter()
+            .map(|c| format!("{}={}", c.id.name(), c.binary))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Instantiate the toolchain this spec describes, verbatim — no
+    /// re-probing, so every runner built from one spec shares one
+    /// fingerprint.
+    pub fn toolchain(&self) -> HostToolchain {
+        let entries = self
+            .compilers
+            .iter()
+            .map(|c| HostCompiler {
+                id: c.id,
+                binary: c.binary.clone(),
+                version: c.version.clone(),
+            })
+            .collect();
+        HostToolchain::new(entries).with_timeout(Duration::from_millis(self.timeout_ms))
+    }
+}
+
 /// Full configuration of one campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignConfig {
@@ -84,6 +257,9 @@ pub struct CampaignConfig {
     /// Upper bound on the number of program pairs scored for the CodeBLEU
     /// diversity report (the full quadratic pairing is used when it fits).
     pub max_codebleu_pairs: usize,
+    /// Execution backend (virtual compiler by default; an external spec
+    /// drives real host toolchains through `llm4fp-extcc`).
+    pub backend: BackendSpec,
 }
 
 impl CampaignConfig {
@@ -103,6 +279,7 @@ impl CampaignConfig {
             sampling: SamplingParams::paper_defaults(),
             direct_prompt_invalid_rate: 0.08,
             max_codebleu_pairs: 20_000,
+            backend: BackendSpec::Virtual,
         }
     }
 
@@ -135,6 +312,19 @@ impl CampaignConfig {
         self
     }
 
+    /// Select the execution backend. For an external spec the compiler
+    /// matrix is restricted to the personalities the spec provides
+    /// binaries for (a matrix column without a binary would only record
+    /// `MissingCompiler` findings).
+    pub fn with_backend(mut self, backend: BackendSpec) -> Self {
+        if let BackendSpec::External(spec) = &backend {
+            let available = spec.compiler_ids();
+            self.compilers.retain(|c| available.contains(c));
+        }
+        self.backend = backend;
+        self
+    }
+
     /// Total number of pairwise comparisons this campaign contributes to the
     /// denominator of the inconsistency rate.
     pub fn total_comparisons(&self) -> usize {
@@ -158,6 +348,14 @@ impl CampaignConfig {
         }
         if self.levels.is_empty() {
             return Err("at least one optimization level is required".into());
+        }
+        if let BackendSpec::External(spec) = &self.backend {
+            if spec.compilers.is_empty() {
+                return Err("external backend spec names no compiler binaries".into());
+            }
+            if spec.timeout_ms == 0 {
+                return Err("external backend timeout must be positive".into());
+            }
         }
         Ok(())
     }
@@ -219,5 +417,73 @@ mod tests {
         let json = serde_json::to_string(&cfg).unwrap();
         let back: CampaignConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn external_backend_specs_round_trip_and_restrict_the_matrix() {
+        let spec = ExternalBackendSpec::new(vec![
+            (CompilerId::Gcc, "/usr/bin/gcc".to_string()),
+            (CompilerId::Clang, "/usr/bin/clang".to_string()),
+        ]);
+        assert_eq!(spec.timeout_ms, ExternalBackendSpec::DEFAULT_TIMEOUT_MS);
+        assert_eq!(spec.compiler_ids(), vec![CompilerId::Gcc, CompilerId::Clang]);
+
+        let cfg = CampaignConfig::new(ApproachKind::Varity)
+            .with_backend(BackendSpec::External(spec.clone()));
+        // nvcc has no host binary: the matrix drops to the spec's set.
+        assert_eq!(cfg.compilers, vec![CompilerId::Gcc, CompilerId::Clang]);
+        assert!(cfg.backend.is_external());
+        assert!(cfg.validate().is_ok());
+
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: CampaignConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+
+        // Virtual configs stay untouched and non-external.
+        let virt = CampaignConfig::new(ApproachKind::Varity);
+        assert_eq!(virt.backend, BackendSpec::Virtual);
+        assert!(!virt.backend.is_external());
+        assert_eq!(virt.compilers.len(), 3);
+    }
+
+    #[test]
+    fn manifests_without_a_backend_field_decode_as_virtual() {
+        // Run dirs persisted before the backend field existed must keep
+        // loading (and therefore resuming) as virtual-backend campaigns.
+        let cfg = CampaignConfig::new(ApproachKind::Varity);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let mut value = serde_json::parse(&json).unwrap();
+        if let serde::Value::Obj(m) = &mut value {
+            assert!(m.remove("backend").is_some(), "backend field serialized");
+        } else {
+            panic!("config serializes as an object");
+        }
+        let back: CampaignConfig = serde_json::from_value(&value).unwrap();
+        assert_eq!(back.backend, BackendSpec::Virtual);
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn degenerate_external_specs_fail_validation() {
+        let mut cfg = CampaignConfig::new(ApproachKind::Varity);
+        cfg.backend = BackendSpec::External(ExternalBackendSpec::new(vec![]));
+        assert!(cfg.validate().unwrap_err().contains("no compiler binaries"));
+        let mut spec = ExternalBackendSpec::new(vec![(CompilerId::Gcc, "gcc".to_string())]);
+        spec.timeout_ms = 0;
+        // Keep >= 2 matrix compilers so the backend check is what fires.
+        let mut cfg = CampaignConfig::new(ApproachKind::Varity);
+        cfg.backend = BackendSpec::External(spec);
+        assert!(cfg.validate().unwrap_err().contains("timeout"));
+    }
+
+    #[test]
+    fn unprobed_binaries_still_build_a_toolchain() {
+        let spec = ExternalBackendSpec::new(vec![(
+            CompilerId::Gcc,
+            "/nonexistent/llm4fp-no-such-compiler".to_string(),
+        )]);
+        let toolchain = spec.toolchain();
+        let entry = toolchain.compiler_for(CompilerId::Gcc).expect("entry kept");
+        assert_eq!(entry.version, "unprobed");
     }
 }

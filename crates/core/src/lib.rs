@@ -31,5 +31,7 @@ pub use campaign::{
     Campaign, CampaignResult, CampaignRunner, ProgramRecord, RunnerCheckpoint, SuccessfulSet,
     SuccessfulSetSnapshot,
 };
-pub use config::{ApproachKind, CampaignConfig};
+pub use config::{
+    ApproachKind, BackendSpec, CampaignConfig, ExternalBackendSpec, ExternalCompilerSpec,
+};
 pub use llm4fp_difftest::Aggregates;

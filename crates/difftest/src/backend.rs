@@ -1,0 +1,171 @@
+//! The pluggable execution-backend layer.
+//!
+//! [`ExecBackend`] selects how the differential tester obtains each
+//! configuration's result bits: the **virtual** compiler (sealed bytecode
+//! VM or the reference interpreter — machine-independent, the evaluation
+//! default) or an **external** real toolchain driven through
+//! `llm4fp-extcc` (`std::process` spawns with the exact Table 1 flags).
+//! Both paths flow into the same [`crate::ProgramDiffResult`] shape, so
+//! comparison, aggregation, caching, campaign and orchestrator code are
+//! backend-agnostic.
+//!
+//! External campaigns additionally throttle their process spawns through
+//! an optional [`ProcessBudget`] — a counting semaphore shared across
+//! shards that bounds how many program matrices spawn processes
+//! concurrently, independently of the orchestrator's thread pool (virtual
+//! shards never touch it). Throttling changes wall-clock interleaving
+//! only; recorded results stay a pure function of the toolchain.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use llm4fp_extcc::HostToolchain;
+
+use crate::matrix::ExecEngine;
+
+/// Which execution backend produces a configuration's result bits.
+#[derive(Debug, Clone)]
+pub enum ExecBackend {
+    /// The virtual compiler (the default: sealed register VM, with
+    /// [`ExecEngine::Reference`] selecting the tree-walking interpreter).
+    Virtual(ExecEngine),
+    /// A real host toolchain: compile with actual binaries, run the
+    /// produced executables, parse the printed bit patterns. External
+    /// failures (compile errors, crashes, timeouts, garbage output) are
+    /// recorded as `CompileFail`/`ExecFail` outcomes, never panics.
+    External(Arc<HostToolchain>),
+}
+
+impl Default for ExecBackend {
+    fn default() -> Self {
+        ExecBackend::Virtual(ExecEngine::default())
+    }
+}
+
+impl ExecBackend {
+    /// Shorthand for the default virtual backend.
+    pub fn virtual_default() -> Self {
+        ExecBackend::default()
+    }
+
+    /// True for the external (process-spawning) backend.
+    pub fn is_external(&self) -> bool {
+        matches!(self, ExecBackend::External(_))
+    }
+
+    /// Stable identity of this backend for result-cache key scoping.
+    /// The two virtual engines are pinned bit-identical, so they share
+    /// one identity; external identities cover binaries, versions and the
+    /// timeout (see [`HostToolchain::fingerprint`]).
+    pub fn fingerprint(&self) -> String {
+        match self {
+            ExecBackend::Virtual(_) => "virtual".to_string(),
+            ExecBackend::External(toolchain) => toolchain.fingerprint(),
+        }
+    }
+}
+
+/// A counting semaphore bounding concurrent external process activity.
+///
+/// The orchestrator hands one budget to every external shard of a run
+/// (`OrchestratorOptions::process_slots`); the differential tester
+/// acquires a permit around each program's compile-and-run matrix. This
+/// keeps a mixed virtual/real campaign suite from forking hundreds of
+/// compilers at once while the virtual shards saturate the thread pool.
+#[derive(Debug)]
+pub struct ProcessBudget {
+    slots: Mutex<usize>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl ProcessBudget {
+    /// A budget with `slots` permits (clamped to at least 1).
+    pub fn new(slots: usize) -> Self {
+        let slots = slots.max(1);
+        ProcessBudget { slots: Mutex::new(slots), available: Condvar::new(), capacity: slots }
+    }
+
+    /// Total number of permits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Block until a permit is free and take it; the guard returns the
+    /// permit when dropped.
+    pub fn acquire(&self) -> BudgetGuard<'_> {
+        let mut slots = self.slots.lock().unwrap();
+        while *slots == 0 {
+            slots = self.available.wait(slots).unwrap();
+        }
+        *slots -= 1;
+        BudgetGuard { budget: self }
+    }
+
+    /// Permits currently free (advisory; for tests and stats).
+    pub fn free(&self) -> usize {
+        *self.slots.lock().unwrap()
+    }
+}
+
+/// RAII permit of a [`ProcessBudget`].
+#[derive(Debug)]
+pub struct BudgetGuard<'b> {
+    budget: &'b ProcessBudget,
+}
+
+impl Drop for BudgetGuard<'_> {
+    fn drop(&mut self) {
+        let mut slots = self.budget.slots.lock().unwrap();
+        *slots += 1;
+        drop(slots);
+        self.budget.available.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn backend_fingerprints_distinguish_external_toolchains_only() {
+        let sealed = ExecBackend::Virtual(ExecEngine::Sealed);
+        let reference = ExecBackend::Virtual(ExecEngine::Reference);
+        // The two virtual engines are bit-identical by invariant, so they
+        // intentionally share cache identity.
+        assert_eq!(sealed.fingerprint(), reference.fingerprint());
+        assert!(!sealed.is_external());
+        let external = ExecBackend::External(Arc::new(HostToolchain::new(vec![])));
+        assert!(external.is_external());
+        assert_ne!(external.fingerprint(), sealed.fingerprint());
+    }
+
+    #[test]
+    fn budget_bounds_concurrency() {
+        let budget = ProcessBudget::new(2);
+        assert_eq!(budget.capacity(), 2);
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let _guard = budget.acquire();
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "budget exceeded");
+        assert_eq!(budget.free(), 2, "all permits returned");
+    }
+
+    #[test]
+    fn zero_slot_budgets_clamp_to_one() {
+        let budget = ProcessBudget::new(0);
+        assert_eq!(budget.capacity(), 1);
+        let _guard = budget.acquire();
+        assert_eq!(budget.free(), 0);
+    }
+}

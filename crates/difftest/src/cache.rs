@@ -12,6 +12,17 @@
 //! transparent: a campaign with the cache enabled returns exactly the same
 //! result as one without it.
 //!
+//! The cache is **backend-aware**: entries computed by different
+//! execution backends are never interchangeable (a real toolchain's bits
+//! legitimately differ from the virtual compiler's), so lookups key on a
+//! [`ResultCache::scoped_key`] composed of the backend's fingerprint and
+//! the structural program id. On the external backend a hit is the big
+//! win the ROADMAP promised: all of a duplicate's process spawns — one
+//! compiler spawn per configuration plus one binary spawn per input set,
+//! so 24 for the usual detected gcc + clang matrix (2 compilers × 6
+//! levels) and 36 if every personality of the full 18-configuration
+//! matrix had a host binary — are skipped outright.
+//!
 //! The map is sharded 16 ways to keep lock contention negligible when many
 //! campaign shards share one cache. Hit/miss counters are advisory
 //! statistics: under concurrent execution two workers may both miss on the
@@ -80,6 +91,15 @@ impl Default for ResultCache {
 impl ResultCache {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Compose the backend-scoped cache key for a program: the backend
+    /// fingerprint (see `ExecBackend::fingerprint`) joined to the
+    /// structural program id with a separator neither side contains.
+    /// Different backends therefore occupy disjoint key spaces of one
+    /// shared cache — sharing the map is always sound.
+    pub fn scoped_key(backend_fingerprint: &str, program_id: &str) -> String {
+        format!("{backend_fingerprint}\u{1f}{program_id}")
     }
 
     fn shard(&self, key: &str) -> &Mutex<HashMap<String, CachedDiff>> {
@@ -176,5 +196,19 @@ mod tests {
         let cache = ResultCache::new();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn scoped_keys_keep_backends_disjoint() {
+        let cache = ResultCache::new();
+        let (id, value) = sample();
+        let virtual_key = ResultCache::scoped_key("virtual", &id);
+        let external_key = ResultCache::scoped_key("extcc[gcc=gcc(13)]", &id);
+        assert_ne!(virtual_key, external_key);
+        cache.insert(virtual_key.clone(), value);
+        // The same program under a different backend is a miss.
+        assert!(cache.get(&external_key).is_none());
+        assert!(cache.get(&virtual_key).is_some());
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
     }
 }

@@ -18,11 +18,13 @@
 #![deny(unsafe_code)]
 
 pub mod aggregate;
+pub mod backend;
 pub mod cache;
 pub mod compare;
 pub mod matrix;
 
 pub use aggregate::{Aggregates, KindByLevel, PairLevelStats, VsBaselineStats};
+pub use backend::{BudgetGuard, ExecBackend, ProcessBudget};
 pub use cache::{CacheStats, CachedDiff, ResultCache};
 pub use compare::{classify, digit_difference, DiffRecord, InconsistencyKind, ValueClass};
 pub use matrix::{ConfigOutcome, DiffTester, ExecEngine, Outcome, ProgramDiffResult};

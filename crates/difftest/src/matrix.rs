@@ -1,6 +1,12 @@
 //! The compilation driver and execution matrix.
 //!
-//! For each generated program the driver validates and lowers once
+//! The driver is backend-pluggable ([`ExecBackend`]): the virtual path
+//! below is the evaluation default, and [`ExecBackend::External`] swaps
+//! in a real host toolchain (one compiler spawn per configuration, one
+//! binary spawn per input set, every failure recorded as an outcome)
+//! while reusing the same comparison and aggregation code.
+//!
+//! For each generated program the virtual driver validates and lowers once
 //! ([`Frontend`]), specializes and **seals** one bytecode artifact per
 //! configuration (compiler × optimization level), runs every input set
 //! against the sealed artifacts on the register VM (reusing one
@@ -14,6 +20,8 @@
 //! crossbeam scoped threads; results are deterministic regardless of the
 //! number of worker threads.
 
+use std::sync::Arc;
+
 use crossbeam::thread;
 use serde::{Deserialize, Serialize};
 
@@ -22,8 +30,10 @@ use llm4fp_compiler::{
     CompiledProgram, CompilerConfig, CompilerId, ExecError, ExecResult, ExecScratch, Frontend,
     OptLevel,
 };
+use llm4fp_extcc::HostToolchain;
 use llm4fp_fpir::{program_id, InputSet, Precision, Program};
 
+use crate::backend::{ExecBackend, ProcessBudget};
 use crate::compare::{classify, digit_difference, DiffRecord};
 
 /// Outcome of building + running one configuration.
@@ -115,10 +125,17 @@ pub struct DiffTester {
     pub compilers: Vec<CompilerId>,
     /// Optimization levels under test (defaults to the six of Table 1).
     pub levels: Vec<OptLevel>,
-    /// Number of worker threads for the matrix (1 = sequential).
+    /// Number of worker threads for the matrix (1 = sequential; the
+    /// external backend always runs its matrix sequentially and draws
+    /// process-level parallelism from the orchestrator's shards).
     pub threads: usize,
-    /// Execution back end (defaults to the sealed register VM).
-    pub engine: ExecEngine,
+    /// Execution backend (defaults to the virtual compiler on the sealed
+    /// register VM).
+    pub backend: ExecBackend,
+    /// Optional bound on concurrent external process activity (shared
+    /// across shards by the orchestrator; ignored by the virtual
+    /// backend).
+    pub process_budget: Option<Arc<ProcessBudget>>,
 }
 
 impl Default for DiffTester {
@@ -127,7 +144,8 @@ impl Default for DiffTester {
             compilers: CompilerId::ALL.to_vec(),
             levels: OptLevel::ALL.to_vec(),
             threads: 4,
-            engine: ExecEngine::Sealed,
+            backend: ExecBackend::Virtual(ExecEngine::Sealed),
+            process_budget: None,
         }
     }
 }
@@ -148,10 +166,32 @@ impl DiffTester {
         self
     }
 
-    /// Select the execution back end (sealed VM or reference interpreter).
+    /// Select the virtual execution engine (sealed VM or reference
+    /// interpreter). Shorthand for a [`ExecBackend::Virtual`] backend.
     pub fn with_engine(mut self, engine: ExecEngine) -> Self {
-        self.engine = engine;
+        self.backend = ExecBackend::Virtual(engine);
         self
+    }
+
+    /// Select the execution backend (virtual compiler or external real
+    /// toolchain).
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Bound concurrent external process activity with a shared budget
+    /// (no effect on the virtual backend).
+    pub fn with_process_budget(mut self, budget: Arc<ProcessBudget>) -> Self {
+        self.process_budget = Some(budget);
+        self
+    }
+
+    /// Stable identity of the configured backend (see
+    /// [`ExecBackend::fingerprint`]) — what backend-aware result-cache
+    /// keys are scoped by.
+    pub fn backend_fingerprint(&self) -> String {
+        self.backend.fingerprint()
     }
 
     /// All configurations of this tester's matrix, compiler-major.
@@ -231,14 +271,75 @@ impl DiffTester {
     }
 
     /// Outcome lists per configuration (outer index follows `configs`,
-    /// inner index follows `input_sets`). The front end runs once; each
-    /// worker specializes, seals and executes its configurations with a
-    /// reused scratch.
+    /// inner index follows `input_sets`), dispatched to the configured
+    /// backend.
     fn build_and_run(
         &self,
         program: &Program,
         input_sets: &[InputSet],
         configs: &[CompilerConfig],
+    ) -> Vec<Vec<Outcome>> {
+        match &self.backend {
+            ExecBackend::Virtual(engine) => {
+                self.build_and_run_virtual(program, input_sets, configs, *engine)
+            }
+            ExecBackend::External(toolchain) => {
+                self.build_and_run_external(toolchain, program, input_sets, configs)
+            }
+        }
+    }
+
+    /// External path: one scratch session per program, one **compiler
+    /// spawn per configuration** (the binary reads inputs from argv, so
+    /// every input set reuses the artifact), one binary spawn per
+    /// (configuration, input set). All external failures land as
+    /// `CompileFail`/`ExecFail` outcomes. Runs sequentially within the
+    /// program — process-level parallelism comes from the orchestrator's
+    /// shards, bounded by the shared [`ProcessBudget`].
+    fn build_and_run_external(
+        &self,
+        toolchain: &Arc<HostToolchain>,
+        program: &Program,
+        input_sets: &[InputSet],
+        configs: &[CompilerConfig],
+    ) -> Vec<Vec<Outcome>> {
+        let _permit = self.process_budget.as_ref().map(|budget| budget.acquire());
+        let mut session = match toolchain.session() {
+            Ok(session) => session,
+            Err(e) => {
+                let row = vec![Outcome::CompileFail { reason: e.to_string() }; input_sets.len()];
+                return vec![row; configs.len()];
+            }
+        };
+        configs
+            .iter()
+            .map(|&config| match session.compile(program, config) {
+                Err(e) => {
+                    vec![Outcome::CompileFail { reason: e.to_string() }; input_sets.len()]
+                }
+                Ok(artifact) => input_sets
+                    .iter()
+                    .map(|inputs| match session.run_inputs(&artifact, program, inputs) {
+                        Ok(r) => Outcome::Ok {
+                            value: r.value,
+                            bits: r.bits,
+                            hex: program.precision.hex_of_bits(r.bits),
+                        },
+                        Err(e) => Outcome::ExecFail { reason: e.to_string() },
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Virtual path: the front end runs once; each worker specializes,
+    /// seals and executes its configurations with a reused scratch.
+    fn build_and_run_virtual(
+        &self,
+        program: &Program,
+        input_sets: &[InputSet],
+        configs: &[CompilerConfig],
+        engine: ExecEngine,
     ) -> Vec<Vec<Outcome>> {
         let frontend = match Frontend::new(program) {
             Ok(frontend) => frontend,
@@ -251,7 +352,6 @@ impl DiffTester {
             }
         };
         let threads = self.threads.min(configs.len()).max(1);
-        let engine = self.engine;
         if threads == 1 {
             let mut scratch = ExecScratch::new();
             return configs
@@ -563,6 +663,56 @@ mod tests {
             let single = tester.run(&program, inputs);
             assert_eq!(&single, batch_result);
         }
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn external_backend_fills_the_matrix_with_one_compile_per_config() {
+        let dir = std::env::temp_dir()
+            .join("llm4fp-difftest-tests")
+            .join(format!("ext-matrix-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let toolchain =
+            Arc::new(llm4fp_extcc::fakecc::install_toolchain(&dir).expect("install fakecc"));
+        let tester = DiffTester::with_matrix(
+            vec![CompilerId::Gcc, CompilerId::Clang],
+            OptLevel::ALL.to_vec(),
+        )
+        .with_threads(1)
+        .with_backend(ExecBackend::External(Arc::clone(&toolchain)));
+        assert_ne!(tester.backend_fingerprint(), "virtual");
+        let program = parse_compute(
+            "void compute(double x, double y) { comp = x * y + 1.0; comp += sin(x); }",
+        )
+        .unwrap();
+        let input_sets: Vec<InputSet> = (0..3)
+            .map(|k| {
+                InputSet::new()
+                    .with("x", InputValue::Fp(0.5 + k as f64))
+                    .with("y", InputValue::Fp(-1.25))
+            })
+            .collect();
+        let results = tester.run_many(&program, &input_sets);
+        assert_eq!(results.len(), 3);
+        for result in &results {
+            // Both fake personalities compile and run all 6 levels.
+            assert_eq!(result.ok_count(), 12);
+            assert_eq!(result.comparisons_performed, 6);
+            // fakecc personalities agree at the strict reference level and
+            // disagree everywhere else: 5 records for the gcc-clang pair.
+            assert_eq!(result.records.len(), 5);
+            assert!(result.records.iter().all(|r| r.level != OptLevel::O0Nofma));
+            // The RQ4 baseline comparison is computable from external runs.
+            let vs = tester.compare_vs_baseline(&result.outcomes);
+            assert_eq!(vs.len(), 10);
+        }
+        // Compile-once-run-many: 12 configurations compiled once each, the
+        // binaries executed once per input set.
+        assert_eq!(llm4fp_extcc::fakecc::compile_count(&dir), 12);
+        assert_eq!(llm4fp_extcc::fakecc::run_count(&dir), 12 * 3);
+        // The external matrix is deterministic across repeats.
+        assert_eq!(results, tester.run_many(&program, &input_sets));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! A hermetic mock compiler for exercising the external-backend process
+//! path on machines with no toolchain installed (CI's default jobs).
+//!
+//! [`install`] writes a tiny POSIX-shell "compiler" script that honours
+//! the exact invocation contract of [`crate::ExtSession`]
+//! (`<flags…> src.c -o out -lm`, plus `--version` probing) and produces a
+//! runnable "binary" (another shell script). Everything is deterministic:
+//! the printed result is a checksum of the source text, the flags, and
+//! the compiler's basename — so distinct "compilers" disagree like real
+//! toolchains do (every configuration except the strict
+//! `-ffp-contract=off` level, where all fake personalities agree, mirrors
+//! the paper's `O0_nofma` reference role).
+//!
+//! Failure modes are selected by markers embedded in the C source —
+//! campaigns never produce them, hand-written test sources do:
+//!
+//! | marker                 | behaviour                                  |
+//! |------------------------|--------------------------------------------|
+//! | `FAKECC_COMPILE_ERROR` | compiler exits non-zero (→ `CompileFailed`)|
+//! | `FAKECC_COMPILE_HANG`  | compiler sleeps (→ compile `Timeout`)      |
+//! | `FAKECC_CRASH`         | binary exits 3 (→ `RunCrashed`)            |
+//! | `FAKECC_HANG`          | binary sleeps (→ run `Timeout`)            |
+//! | `FAKECC_GARBAGE`       | binary prints non-hex (→ `BadOutput`)      |
+//!
+//! Every compiler and binary spawn appends a line to `fakecc.log` next to
+//! the installed script; [`compile_count`]/[`run_count`] read it back, so
+//! tests can assert that result-cache hits really skip process spawns.
+
+use std::io;
+use std::os::unix::fs::PermissionsExt;
+use std::path::{Path, PathBuf};
+
+use llm4fp_compiler::CompilerId;
+
+use crate::{HostCompiler, HostToolchain};
+
+/// The mock-compiler shell script. `%08x` in the source selects FP32
+/// output width (the generated programs' printf format doubles as the
+/// precision marker).
+const FAKECC_SCRIPT: &str = r##"#!/bin/sh
+# fakecc: deterministic mock compiler for hermetic llm4fp tests.
+set -u
+self="$0"
+self_dir=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+log="$self_dir/fakecc.log"
+if [ "${1:-}" = "--version" ]; then
+  echo "fakecc 1.0 ($(basename "$self"))"
+  exit 0
+fi
+echo "compile" >> "$log"
+src=""
+out=""
+flags=""
+prev=""
+for a in "$@"; do
+  case "$a" in
+    *.c) src="$a" ;;
+    -lm) ;;
+    -o) ;;
+    *) if [ "$prev" = "-o" ]; then out="$a"; else flags="$flags $a"; fi ;;
+  esac
+  prev="$a"
+done
+if [ -z "$src" ] || [ -z "$out" ]; then
+  echo "fakecc: missing source or output path" >&2
+  exit 1
+fi
+if grep -q FAKECC_COMPILE_HANG "$src"; then sleep 30; fi
+if grep -q FAKECC_COMPILE_ERROR "$src"; then
+  echo "fakecc: refusing to compile $src" >&2
+  exit 1
+fi
+name=$(basename "$self")
+case "$flags" in
+  *-ffp-contract=off*|*--fmad=false*) ident="strict" ;;
+  *) ident="$name" ;;
+esac
+digest=$( { printf '%s|%s|' "$ident" "$flags"; cat "$src"; } | cksum | cut -d' ' -f1 )
+if grep -q '%08x' "$src"; then width=8; else width=16; fi
+hex=$(printf "%0${width}x" "$digest")
+beh="ok"
+if grep -q FAKECC_CRASH "$src"; then beh="crash"; fi
+if grep -q FAKECC_HANG "$src"; then beh="hang"; fi
+if grep -q FAKECC_GARBAGE "$src"; then beh="garbage"; fi
+{
+  echo "#!/bin/sh"
+  echo "echo run >> '$log'"
+  case "$beh" in
+    crash) echo "echo 'fakecc runtime crash' >&2"; echo "exit 3" ;;
+    hang) echo "sleep 30" ;;
+    garbage) echo "echo this-is-not-hex" ;;
+    ok) echo "echo $hex" ;;
+  esac
+  echo "exit 0"
+} > "$out"
+chmod +x "$out"
+exit 0
+"##;
+
+/// Install the mock compiler as `dir/name` (creating `dir` as needed)
+/// and return its path. Distinct names behave like distinct compilers
+/// (the printed checksum covers the basename).
+pub fn install(dir: &Path, name: &str) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, FAKECC_SCRIPT)?;
+    let mut perms = std::fs::metadata(&path)?.permissions();
+    perms.set_mode(0o755);
+    std::fs::set_permissions(&path, perms)?;
+    Ok(path)
+}
+
+/// Install a two-personality fake toolchain (`fakegcc` → gcc,
+/// `fakeclang` → clang) into `dir` and return the `(personality, path)`
+/// pairs — the shape `llm4fp`'s `ExternalBackendSpec::new` takes. The
+/// pair disagrees at every non-strict level, so fake campaigns populate
+/// the successful set the way real cross-compiler campaigns do.
+pub fn install_pair(dir: &Path) -> io::Result<Vec<(CompilerId, String)>> {
+    [(CompilerId::Gcc, "fakegcc"), (CompilerId::Clang, "fakeclang")]
+        .into_iter()
+        .map(|(id, name)| Ok((id, install(dir, name)?.to_string_lossy().into_owned())))
+        .collect()
+}
+
+/// [`install_pair`] assembled into a ready [`HostToolchain`].
+pub fn install_toolchain(dir: &Path) -> io::Result<HostToolchain> {
+    let entries = install_pair(dir)?
+        .into_iter()
+        .map(|(id, binary)| HostCompiler { id, binary, version: "fakecc 1.0".to_string() })
+        .collect();
+    Ok(HostToolchain::new(entries))
+}
+
+fn count_lines(dir: &Path, needle: &str) -> u64 {
+    match std::fs::read_to_string(dir.join("fakecc.log")) {
+        Ok(text) => text.lines().filter(|l| l.trim() == needle).count() as u64,
+        Err(_) => 0,
+    }
+}
+
+/// Number of compiler invocations the scripts installed in `dir` have
+/// served so far.
+pub fn compile_count(dir: &Path) -> u64 {
+    count_lines(dir, "compile")
+}
+
+/// Number of produced-binary executions logged in `dir`.
+pub fn run_count(dir: &Path) -> u64 {
+    count_lines(dir, "run")
+}

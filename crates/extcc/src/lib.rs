@@ -3,24 +3,44 @@
 //! The external (real) compiler backend: drives actual host compilers found
 //! on the machine through `std::process`, using exactly the Table 1 flags.
 //!
-//! The evaluation pipeline uses the virtual compiler in `llm4fp-compiler` so
-//! that results are machine-independent and do not require clang or nvcc to
-//! be installed; this crate exists to (a) demonstrate the orchestration
-//! harness against a real toolchain, and (b) cross-validate the virtual
-//! `O0_nofma` semantics against real gcc on machines that have it (see the
-//! `real_gcc_cross_check` integration test, which is skipped automatically
-//! when no compiler is available).
+//! The evaluation pipeline defaults to the virtual compiler in
+//! `llm4fp-compiler` so that results are machine-independent and do not
+//! require clang or nvcc to be installed; this crate exists to (a) drive
+//! campaigns against real toolchains through the orchestrator (see
+//! `llm4fp_difftest::ExecBackend::External`), and (b) cross-validate the
+//! virtual `O0_nofma` semantics against real gcc on machines that have it
+//! (see the `real_gcc_cross_check` integration test in `tests/`, which is
+//! skipped with a visible message when no compiler is available).
+//!
+//! The core abstraction is the [`HostToolchain`] (the set of host compiler
+//! binaries, a wall-clock timeout, and spawn accounting) and its
+//! [`ExtSession`] (a scratch directory whose lifetime owns the emitted
+//! sources and binaries). A session **compiles once per configuration**
+//! ([`ExtSession::compile`] renders the program with an argv-reading
+//! `main`, so one binary serves any number of input sets) and **runs many
+//! times** ([`ExtSession::run`]). Every external failure mode is a value
+//! of [`ExtError`] — campaigns record them as findings; nothing in this
+//! crate panics on toolchain misbehaviour.
+//!
+//! For hermetic tests (CI machines without any toolchain) the [`fakecc`]
+//! module installs a tiny deterministic mock compiler that exercises the
+//! identical process-spawning code paths.
 
 #![deny(unsafe_code)]
 
-use std::path::PathBuf;
+mod session;
+
+#[cfg(unix)]
+pub mod fakecc;
+
+pub use session::{ExtArtifact, ExtRunResult, ExtSession, HostToolchain, SpawnStats};
+
 use std::process::Command;
-use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use llm4fp_compiler::{CompilerId, OptLevel};
-use llm4fp_fpir::{to_c_source, InputSet, Precision, Program};
+use llm4fp_compiler::CompilerId;
+use llm4fp_fpir::Precision;
 
 /// A host compiler binary found on this machine.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -33,36 +53,76 @@ pub struct HostCompiler {
     pub version: String,
 }
 
+/// Wall-clock bound on a `--version` probe: a pinned binary that hangs
+/// on probing reads as "not a compiler" instead of blocking campaign
+/// setup.
+const PROBE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
+
+/// Probe one candidate binary with `--version`, returning its metadata
+/// when it responds like a compiler (within the 5-second probe
+/// deadline). Used by [`detect_host_compilers`] and by explicit backend
+/// specifications that pin binary paths.
+pub fn probe_compiler(id: CompilerId, binary: &str) -> Option<HostCompiler> {
+    let mut cmd = Command::new(binary);
+    cmd.arg("--version");
+    let output = session::run_with_timeout(cmd, PROBE_TIMEOUT, ExtPhase::Compile).ok()?;
+    if !output.status.success() {
+        return None;
+    }
+    let version =
+        String::from_utf8_lossy(&output.stdout).lines().next().unwrap_or_default().to_string();
+    Some(HostCompiler { id, binary: binary.to_string(), version })
+}
+
 /// Detect the host compilers (gcc, clang) available on this machine.
 /// nvcc is intentionally not probed: device compilation requires CUDA
 /// hardware, which the virtual compiler substitutes for.
 pub fn detect_host_compilers() -> Vec<HostCompiler> {
-    let mut found = Vec::new();
-    for (id, binary) in [(CompilerId::Gcc, "gcc"), (CompilerId::Clang, "clang")] {
-        if let Ok(output) = Command::new(binary).arg("--version").output() {
-            if output.status.success() {
-                let version = String::from_utf8_lossy(&output.stdout)
-                    .lines()
-                    .next()
-                    .unwrap_or_default()
-                    .to_string();
-                found.push(HostCompiler { id, binary: binary.to_string(), version });
-            }
-        }
-    }
-    found
+    [(CompilerId::Gcc, "gcc"), (CompilerId::Clang, "clang")]
+        .into_iter()
+        .filter_map(|(id, binary)| probe_compiler(id, binary))
+        .collect()
 }
 
-/// Why an external compile-and-run failed.
+/// Which external process phase a wall-clock timeout interrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExtPhase {
+    /// The compiler invocation itself.
+    Compile,
+    /// The produced binary.
+    Run,
+}
+
+impl ExtPhase {
+    fn name(self) -> &'static str {
+        match self {
+            ExtPhase::Compile => "compile",
+            ExtPhase::Run => "run",
+        }
+    }
+}
+
+/// Why an external compile or run failed. This is the complete taxonomy
+/// of the external backend: every variant is recorded as a finding in the
+/// differential-testing matrix (a `CompileFail`/`ExecFail` outcome),
+/// never surfaced as a panic.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExtError {
-    /// Writing the source or binary to the scratch directory failed.
+    /// Writing the source or binary to the scratch directory failed, or
+    /// the process could not be spawned at all.
     Io(String),
+    /// The toolchain has no binary for the requested compiler personality.
+    MissingCompiler { compiler: String },
     /// The compiler returned a non-zero exit status.
     CompileFailed { stderr: String },
-    /// The produced binary returned a non-zero exit status.
-    RunFailed { stderr: String },
-    /// The program printed something that is not a hexadecimal result.
+    /// The produced binary crashed (non-zero exit status, or killed by a
+    /// signal — `code` is `None` in the signal case).
+    RunCrashed { code: Option<i32>, stderr: String },
+    /// A process exceeded the toolchain's wall-clock timeout and was
+    /// killed.
+    Timeout { phase: ExtPhase, after_ms: u64 },
+    /// The program printed something that is not a hexadecimal result of
+    /// the expected width.
     BadOutput { stdout: String },
 }
 
@@ -70,108 +130,23 @@ impl std::fmt::Display for ExtError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExtError::Io(e) => write!(f, "i/o error: {e}"),
+            ExtError::MissingCompiler { compiler } => {
+                write!(f, "no host compiler for {compiler}")
+            }
             ExtError::CompileFailed { stderr } => write!(f, "compilation failed: {stderr}"),
-            ExtError::RunFailed { stderr } => write!(f, "execution failed: {stderr}"),
+            ExtError::RunCrashed { code, stderr } => match code {
+                Some(code) => write!(f, "execution crashed (exit {code}): {stderr}"),
+                None => write!(f, "execution killed by signal: {stderr}"),
+            },
+            ExtError::Timeout { phase, after_ms } => {
+                write!(f, "{} timed out after {after_ms} ms", phase.name())
+            }
             ExtError::BadOutput { stdout } => write!(f, "unparseable output: {stdout:?}"),
         }
     }
 }
 
 impl std::error::Error for ExtError {}
-
-/// Result of compiling and running one program with a real compiler.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ExtRunResult {
-    /// Bit pattern printed by the program.
-    pub bits: u64,
-    /// The decoded floating-point value.
-    pub value: f64,
-    /// Wall-clock time spent compiling.
-    pub compile_time: Duration,
-    /// Wall-clock time spent executing.
-    pub run_time: Duration,
-}
-
-/// Driver around one real host compiler.
-#[derive(Debug, Clone)]
-pub struct ExternalCompiler {
-    compiler: HostCompiler,
-    scratch_dir: PathBuf,
-    counter: u64,
-}
-
-impl ExternalCompiler {
-    /// Create a driver writing its scratch files under the system temp
-    /// directory.
-    pub fn new(compiler: HostCompiler) -> Self {
-        let scratch_dir = std::env::temp_dir().join(format!(
-            "llm4fp-extcc-{}-{}",
-            compiler.id.name(),
-            std::process::id()
-        ));
-        ExternalCompiler { compiler, scratch_dir, counter: 0 }
-    }
-
-    /// The compiler this driver wraps.
-    pub fn compiler(&self) -> &HostCompiler {
-        &self.compiler
-    }
-
-    /// Compile the program with the Table 1 flags of `level`, run it, and
-    /// return the printed bit pattern.
-    pub fn compile_and_run(
-        &mut self,
-        program: &Program,
-        inputs: &InputSet,
-        level: OptLevel,
-    ) -> Result<ExtRunResult, ExtError> {
-        std::fs::create_dir_all(&self.scratch_dir).map_err(|e| ExtError::Io(e.to_string()))?;
-        self.counter += 1;
-        let stem = format!("prog_{}_{}", level.name(), self.counter);
-        let src_path = self.scratch_dir.join(format!("{stem}.c"));
-        let bin_path = self.scratch_dir.join(stem);
-        std::fs::write(&src_path, to_c_source(program, inputs))
-            .map_err(|e| ExtError::Io(e.to_string()))?;
-
-        let compile_start = Instant::now();
-        let output = Command::new(&self.compiler.binary)
-            .args(level.flags(self.compiler.id))
-            .arg(&src_path)
-            .arg("-o")
-            .arg(&bin_path)
-            .arg("-lm")
-            .output()
-            .map_err(|e| ExtError::Io(e.to_string()))?;
-        let compile_time = compile_start.elapsed();
-        if !output.status.success() {
-            return Err(ExtError::CompileFailed {
-                stderr: String::from_utf8_lossy(&output.stderr).to_string(),
-            });
-        }
-
-        let run_start = Instant::now();
-        let run = Command::new(&bin_path).output().map_err(|e| ExtError::Io(e.to_string()))?;
-        let run_time = run_start.elapsed();
-        if !run.status.success() {
-            return Err(ExtError::RunFailed {
-                stderr: String::from_utf8_lossy(&run.stderr).to_string(),
-            });
-        }
-        let stdout = String::from_utf8_lossy(&run.stdout).trim().to_string();
-        let bits = parse_hex_output(&stdout, program.precision)
-            .ok_or(ExtError::BadOutput { stdout: stdout.clone() })?;
-        let value = match program.precision {
-            Precision::F64 => f64::from_bits(bits),
-            Precision::F32 => f32::from_bits(bits as u32) as f64,
-        };
-        Ok(ExtRunResult { bits, value, compile_time, run_time })
-    }
-
-    /// Remove the scratch directory (best-effort).
-    pub fn cleanup(&self) {
-        let _ = std::fs::remove_dir_all(&self.scratch_dir);
-    }
-}
 
 /// Parse the hexadecimal bit pattern a generated program prints.
 pub fn parse_hex_output(stdout: &str, precision: Precision) -> Option<u64> {
@@ -185,7 +160,6 @@ pub fn parse_hex_output(stdout: &str, precision: Precision) -> Option<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use llm4fp_fpir::{parse_compute, InputValue};
 
     #[test]
     fn hex_output_parsing_checks_width() {
@@ -211,40 +185,24 @@ mod tests {
     }
 
     #[test]
-    fn real_gcc_agrees_with_the_virtual_strict_configuration() {
-        let Some(gcc) = detect_host_compilers().into_iter().find(|c| c.id == CompilerId::Gcc)
-        else {
-            eprintln!("gcc not installed; skipping external-compiler cross-check");
-            return;
-        };
-        let program = parse_compute(
-            "void compute(double x, double y) {\n\
-             double comp = 0.0;\n\
-             double t0 = x * 0.5 + y;\n\
-             for (int i = 0; i < 4; ++i) { comp += t0 / (i + 1.0); }\n\
-             if (comp > 1.0) { comp = sqrt(comp) + sin(x); }\n\
-             }",
-        )
-        .unwrap();
-        let inputs =
-            InputSet::new().with("x", InputValue::Fp(2.375)).with("y", InputValue::Fp(-0.625));
-        let mut ext = ExternalCompiler::new(gcc);
-        let real =
-            ext.compile_and_run(&program, &inputs, OptLevel::O0Nofma).expect("gcc compile+run");
-        let virt = llm4fp_compiler::compile(
-            &program,
-            llm4fp_compiler::CompilerConfig::new(CompilerId::Gcc, OptLevel::O0Nofma),
-        )
-        .unwrap()
-        .execute(&inputs)
-        .unwrap();
-        ext.cleanup();
-        assert_eq!(
-            real.bits,
-            virt.bits(),
-            "real gcc ({:016x}) and virtual gcc ({:016x}) disagree at O0_nofma",
-            real.bits,
-            virt.bits()
-        );
+    fn probing_a_nonexistent_binary_yields_none() {
+        assert!(probe_compiler(CompilerId::Gcc, "/nonexistent/llm4fp-no-such-compiler").is_none());
+    }
+
+    #[test]
+    fn errors_render_their_taxonomy() {
+        let cases = [
+            (ExtError::Io("boom".into()), "i/o error"),
+            (ExtError::MissingCompiler { compiler: "nvcc".into() }, "no host compiler for nvcc"),
+            (ExtError::CompileFailed { stderr: "bad".into() }, "compilation failed"),
+            (ExtError::RunCrashed { code: Some(3), stderr: String::new() }, "exit 3"),
+            (ExtError::RunCrashed { code: None, stderr: String::new() }, "signal"),
+            (ExtError::Timeout { phase: ExtPhase::Compile, after_ms: 10 }, "compile timed out"),
+            (ExtError::Timeout { phase: ExtPhase::Run, after_ms: 10 }, "run timed out"),
+            (ExtError::BadOutput { stdout: "x".into() }, "unparseable"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
     }
 }

@@ -1,0 +1,441 @@
+//! The batch/session driver around a set of real host compilers.
+//!
+//! [`HostToolchain`] owns the configuration (which binaries implement
+//! which compiler personality, the per-process wall-clock timeout) and
+//! the spawn counters; [`ExtSession`] owns a scratch directory whose
+//! lifetime bounds every file the session emits. The split matches how
+//! the differential tester uses it: one toolchain shared by a whole
+//! campaign (or many shards), one short-lived session per program.
+//!
+//! Compile-once-run-many: [`ExtSession::compile`] renders the program
+//! with [`llm4fp_fpir::to_c_source_argv`] — inputs arrive as hexadecimal
+//! bit patterns on the command line — so the expensive compiler spawn
+//! happens once per (program, configuration) and the produced binary is
+//! re-executed for every input set.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use llm4fp_compiler::{CompilerConfig, CompilerId};
+use llm4fp_fpir::{to_c_source, to_c_source_argv, InputSet, Precision, Program};
+
+use crate::{parse_hex_output, ExtError, ExtPhase, HostCompiler};
+
+/// Result of one execution of an externally compiled binary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtRunResult {
+    /// Bit pattern printed by the program.
+    pub bits: u64,
+    /// The decoded floating-point value.
+    pub value: f64,
+    /// Wall-clock time spent executing.
+    pub run_time: Duration,
+}
+
+/// Spawn counters of one [`HostToolchain`] (cumulative over all its
+/// sessions). Tests assert cache hits against these: a duplicate program
+/// served from the result cache must not move either counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SpawnStats {
+    /// Compiler processes spawned.
+    pub compiles: u64,
+    /// Produced-binary processes spawned.
+    pub runs: u64,
+}
+
+impl SpawnStats {
+    /// Total processes spawned.
+    pub fn total(&self) -> u64 {
+        self.compiles + self.runs
+    }
+}
+
+/// A set of real host compiler binaries plus execution policy.
+#[derive(Debug)]
+pub struct HostToolchain {
+    compilers: Vec<HostCompiler>,
+    timeout: Duration,
+    compiles: AtomicU64,
+    runs: AtomicU64,
+}
+
+/// Distinguishes concurrently live scratch directories within one process.
+static SESSION_IDS: AtomicU64 = AtomicU64::new(0);
+
+impl HostToolchain {
+    /// Default per-process wall-clock timeout (generous: generated
+    /// programs compile and run in milliseconds; anything near this bound
+    /// is a hang).
+    pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
+
+    /// Build a toolchain from explicit compiler entries (first entry wins
+    /// when a personality appears twice).
+    pub fn new(compilers: Vec<HostCompiler>) -> Self {
+        let mut deduped: Vec<HostCompiler> = Vec::with_capacity(compilers.len());
+        for c in compilers {
+            if !deduped.iter().any(|d| d.id == c.id) {
+                deduped.push(c);
+            }
+        }
+        HostToolchain {
+            compilers: deduped,
+            timeout: Self::DEFAULT_TIMEOUT,
+            compiles: AtomicU64::new(0),
+            runs: AtomicU64::new(0),
+        }
+    }
+
+    /// Probe the machine for gcc/clang and build a toolchain from what
+    /// responds.
+    pub fn detect() -> Self {
+        Self::new(crate::detect_host_compilers())
+    }
+
+    /// Set the per-process wall-clock timeout (applies to compiler and
+    /// binary spawns alike).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout.max(Duration::from_millis(1));
+        self
+    }
+
+    /// The configured per-process timeout.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// The compiler entries of this toolchain.
+    pub fn compilers(&self) -> &[HostCompiler] {
+        &self.compilers
+    }
+
+    /// The binary implementing one compiler personality, if any.
+    pub fn compiler_for(&self, id: CompilerId) -> Option<&HostCompiler> {
+        self.compilers.iter().find(|c| c.id == id)
+    }
+
+    /// Stable identity string of this toolchain — what the backend-aware
+    /// result cache scopes its keys by. Two toolchains with the same
+    /// binaries, versions and timeout produce the same outcomes for a
+    /// given program, and only those may share cache entries.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("extcc[");
+        for (i, c) in self.compilers.iter().enumerate() {
+            if i > 0 {
+                out.push(';');
+            }
+            let _ = write!(out, "{}={}({})", c.id.name(), c.binary, c.version);
+        }
+        let _ = write!(out, ";timeout={}ms]", self.timeout.as_millis());
+        out
+    }
+
+    /// Snapshot of the cumulative spawn counters.
+    pub fn spawn_stats(&self) -> SpawnStats {
+        SpawnStats {
+            compiles: self.compiles.load(Ordering::Relaxed),
+            runs: self.runs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Open a fresh scratch session. The directory lives under the system
+    /// temp dir and is removed when the session drops.
+    pub fn session(&self) -> Result<ExtSession<'_>, ExtError> {
+        let dir = std::env::temp_dir().join(format!(
+            "llm4fp-extcc-{}-{}",
+            std::process::id(),
+            SESSION_IDS.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).map_err(|e| ExtError::Io(e.to_string()))?;
+        Ok(ExtSession { toolchain: self, dir, counter: 0 })
+    }
+
+    /// One-shot convenience: open a session, compile `program` with
+    /// `inputs` baked into `main`, run the binary once, and clean up.
+    /// (The cross-validation tests use this; campaigns go through
+    /// [`ExtSession`] to amortize compilation.)
+    pub fn compile_and_run(
+        &self,
+        program: &Program,
+        inputs: &InputSet,
+        config: CompilerConfig,
+    ) -> Result<ExtRunResult, ExtError> {
+        let mut session = self.session()?;
+        let artifact = session.compile_baked(program, inputs, config)?;
+        session.run(&artifact, &[])
+    }
+}
+
+/// One externally compiled binary: the product of one
+/// (program, configuration) compile, executable against many input sets.
+#[derive(Debug, Clone)]
+pub struct ExtArtifact {
+    /// The configuration the binary was compiled under.
+    pub config: CompilerConfig,
+    /// Precision of the program (drives output parsing and decoding).
+    pub precision: Precision,
+    /// Wall-clock time the compiler spawn took.
+    pub compile_time: Duration,
+    bin: PathBuf,
+}
+
+/// A scratch directory bound to one [`HostToolchain`], accumulating the
+/// session's sources and binaries; dropped (and deleted) when the caller
+/// is done with the program.
+#[derive(Debug)]
+pub struct ExtSession<'t> {
+    toolchain: &'t HostToolchain,
+    dir: PathBuf,
+    counter: u64,
+}
+
+impl ExtSession<'_> {
+    /// The scratch directory this session writes into.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    /// Compile `program` for `config` with an argv-reading `main`
+    /// (compile-once-run-many; pass each input set to [`ExtSession::run`]
+    /// as `InputSet::to_argv`).
+    pub fn compile(
+        &mut self,
+        program: &Program,
+        config: CompilerConfig,
+    ) -> Result<ExtArtifact, ExtError> {
+        self.compile_source(&to_c_source_argv(program), program.precision, config)
+    }
+
+    /// Compile `program` with `inputs` baked into `main` (the classic
+    /// one-shot shape; run the artifact with an empty argument list).
+    pub fn compile_baked(
+        &mut self,
+        program: &Program,
+        inputs: &InputSet,
+        config: CompilerConfig,
+    ) -> Result<ExtArtifact, ExtError> {
+        self.compile_source(&to_c_source(program, inputs), program.precision, config)
+    }
+
+    /// Low-level entry point: compile raw C source text for `config`.
+    /// This is what the hermetic `fakecc` tests drive directly (markers
+    /// in the source select mock behaviours).
+    pub fn compile_source(
+        &mut self,
+        source: &str,
+        precision: Precision,
+        config: CompilerConfig,
+    ) -> Result<ExtArtifact, ExtError> {
+        let compiler = self.toolchain.compiler_for(config.compiler).ok_or_else(|| {
+            ExtError::MissingCompiler { compiler: config.compiler.name().to_string() }
+        })?;
+        self.counter += 1;
+        let stem =
+            format!("prog_{}_{}_{}", self.counter, config.compiler.name(), config.level.name());
+        let src_path = self.dir.join(format!("{stem}.c"));
+        let bin_path = self.dir.join(stem);
+        std::fs::write(&src_path, source).map_err(|e| ExtError::Io(e.to_string()))?;
+
+        let mut cmd = Command::new(&compiler.binary);
+        cmd.args(config.level.flags(config.compiler))
+            .arg(&src_path)
+            .arg("-o")
+            .arg(&bin_path)
+            .arg("-lm");
+        self.toolchain.compiles.fetch_add(1, Ordering::Relaxed);
+        let output = run_with_timeout(cmd, self.toolchain.timeout, ExtPhase::Compile)?;
+        if !output.status.success() {
+            return Err(ExtError::CompileFailed {
+                stderr: String::from_utf8_lossy(&output.stderr).to_string(),
+            });
+        }
+        Ok(ExtArtifact { config, precision, compile_time: output.elapsed, bin: bin_path })
+    }
+
+    /// Execute a compiled artifact with the given argument list (empty
+    /// for baked-input artifacts, `InputSet::to_argv` for argv ones) and
+    /// parse the printed bit pattern.
+    pub fn run(&self, artifact: &ExtArtifact, args: &[String]) -> Result<ExtRunResult, ExtError> {
+        let mut cmd = Command::new(&artifact.bin);
+        cmd.args(args);
+        self.toolchain.runs.fetch_add(1, Ordering::Relaxed);
+        let output = run_with_timeout(cmd, self.toolchain.timeout, ExtPhase::Run)?;
+        if !output.status.success() {
+            return Err(ExtError::RunCrashed {
+                code: output.status.code(),
+                stderr: String::from_utf8_lossy(&output.stderr).to_string(),
+            });
+        }
+        let stdout = String::from_utf8_lossy(&output.stdout).trim().to_string();
+        let bits = parse_hex_output(&stdout, artifact.precision)
+            .ok_or(ExtError::BadOutput { stdout: stdout.clone() })?;
+        let value = match artifact.precision {
+            Precision::F64 => f64::from_bits(bits),
+            Precision::F32 => f32::from_bits(bits as u32) as f64,
+        };
+        Ok(ExtRunResult { bits, value, run_time: output.elapsed })
+    }
+
+    /// Compile-once-run-many convenience: execute an argv artifact
+    /// against one input set of `program`.
+    pub fn run_inputs(
+        &self,
+        artifact: &ExtArtifact,
+        program: &Program,
+        inputs: &InputSet,
+    ) -> Result<ExtRunResult, ExtError> {
+        self.run(artifact, &inputs.to_argv(program))
+    }
+}
+
+impl Drop for ExtSession<'_> {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+pub(crate) struct TimedOutput {
+    pub(crate) status: std::process::ExitStatus,
+    pub(crate) stdout: Vec<u8>,
+    pub(crate) stderr: Vec<u8>,
+    pub(crate) elapsed: Duration,
+}
+
+/// Spawn `cmd` with piped output and a wall-clock deadline. On timeout
+/// the child — and, on Unix, its whole process group, so a killed
+/// compiler driver cannot leave `cc1`-style grandchildren burning CPU —
+/// is killed and reaped; the caller gets a structured
+/// [`ExtError::Timeout`]. (The pipes are drained only after exit, which
+/// is safe for the tiny outputs generated programs produce — a process
+/// that fills the pipe buffer and blocks reads as a hang, which the
+/// timeout converts into a recorded finding.)
+pub(crate) fn run_with_timeout(
+    mut cmd: Command,
+    timeout: Duration,
+    phase: ExtPhase,
+) -> Result<TimedOutput, ExtError> {
+    cmd.stdin(Stdio::null()).stdout(Stdio::piped()).stderr(Stdio::piped());
+    #[cfg(unix)]
+    {
+        // New process group (pgid = child pid): lets the timeout path
+        // signal the child's entire descendant tree.
+        use std::os::unix::process::CommandExt as _;
+        cmd.process_group(0);
+    }
+    let start = Instant::now();
+    let mut child = cmd.spawn().map_err(|e| ExtError::Io(e.to_string()))?;
+    loop {
+        match child.try_wait() {
+            Ok(Some(_)) => break,
+            Ok(None) => {
+                if start.elapsed() >= timeout {
+                    kill_tree(&mut child);
+                    return Err(ExtError::Timeout { phase, after_ms: timeout.as_millis() as u64 });
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => {
+                kill_tree(&mut child);
+                return Err(ExtError::Io(e.to_string()));
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    let output = child.wait_with_output().map_err(|e| ExtError::Io(e.to_string()))?;
+    Ok(TimedOutput { status: output.status, stdout: output.stdout, stderr: output.stderr, elapsed })
+}
+
+/// Kill a timed-out child and (on Unix) every process in its group, then
+/// reap it. The group signal goes through `/bin/kill -- -pgid` — this
+/// crate is `deny(unsafe_code)`, so no direct `libc::kill` — and is
+/// best-effort: the direct `Child::kill` below covers the child itself
+/// either way.
+fn kill_tree(child: &mut std::process::Child) {
+    #[cfg(unix)]
+    {
+        let _ = Command::new("kill")
+            .args(["-9", "--", &format!("-{}", child.id())])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .status();
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm4fp_compiler::OptLevel;
+
+    fn entry(id: CompilerId, binary: &str) -> HostCompiler {
+        HostCompiler { id, binary: binary.to_string(), version: "test 1.0".to_string() }
+    }
+
+    #[test]
+    fn toolchain_dedups_personalities_and_fingerprints_stably() {
+        let tc = HostToolchain::new(vec![
+            entry(CompilerId::Gcc, "gcc-a"),
+            entry(CompilerId::Gcc, "gcc-b"),
+            entry(CompilerId::Clang, "clang-a"),
+        ])
+        .with_timeout(Duration::from_millis(1234));
+        assert_eq!(tc.compilers().len(), 2);
+        assert_eq!(tc.compiler_for(CompilerId::Gcc).unwrap().binary, "gcc-a");
+        assert!(tc.compiler_for(CompilerId::Nvcc).is_none());
+        let fp = tc.fingerprint();
+        assert!(fp.contains("gcc=gcc-a(test 1.0)"), "{fp}");
+        assert!(fp.contains("clang=clang-a"), "{fp}");
+        assert!(fp.contains("timeout=1234ms"), "{fp}");
+        // Identical configuration, identical fingerprint.
+        let tc2 = HostToolchain::new(vec![
+            entry(CompilerId::Gcc, "gcc-a"),
+            entry(CompilerId::Clang, "clang-a"),
+        ])
+        .with_timeout(Duration::from_millis(1234));
+        assert_eq!(tc2.fingerprint(), fp);
+    }
+
+    #[test]
+    fn missing_compiler_is_a_structured_error() {
+        let tc = HostToolchain::new(vec![entry(CompilerId::Gcc, "gcc")]);
+        let mut session = tc.session().expect("scratch dir");
+        let err = session
+            .compile_source(
+                "int main(void) { return 0; }",
+                Precision::F64,
+                CompilerConfig::new(CompilerId::Nvcc, OptLevel::O0),
+            )
+            .unwrap_err();
+        assert_eq!(err, ExtError::MissingCompiler { compiler: "nvcc".to_string() });
+    }
+
+    #[test]
+    fn nonexistent_binaries_surface_as_io_errors_and_sessions_clean_up() {
+        let tc = HostToolchain::new(vec![entry(
+            CompilerId::Gcc,
+            "/nonexistent/llm4fp-no-such-compiler",
+        )]);
+        let dir;
+        {
+            let mut session = tc.session().expect("scratch dir");
+            dir = session.dir().to_path_buf();
+            assert!(dir.exists());
+            let err = session
+                .compile_source(
+                    "int main(void) { return 0; }",
+                    Precision::F64,
+                    CompilerConfig::new(CompilerId::Gcc, OptLevel::O0),
+                )
+                .unwrap_err();
+            assert!(matches!(err, ExtError::Io(_)), "{err}");
+            // The spawn was attempted and counted.
+            assert_eq!(tc.spawn_stats(), SpawnStats { compiles: 1, runs: 0 });
+        }
+        assert!(!dir.exists(), "session drop must remove the scratch dir");
+    }
+}

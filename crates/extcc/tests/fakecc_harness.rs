@@ -1,0 +1,151 @@
+//! Hermetic external-backend tests: the `fakecc` mock compiler drives the
+//! exact process-spawning code paths (`HostToolchain` / `ExtSession`)
+//! with no real toolchain installed, pinning every [`ExtError`] variant,
+//! the wall-clock timeout path, and the compile-once-run-many contract.
+
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use llm4fp_compiler::{CompilerConfig, CompilerId, OptLevel};
+use llm4fp_extcc::{fakecc, probe_compiler, ExtError, ExtPhase, HostToolchain, SpawnStats};
+use llm4fp_fpir::{parse_compute, InputSet, InputValue, Precision};
+
+fn temp_install(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("llm4fp-fakecc-tests")
+        .join(format!("{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn gcc(level: OptLevel) -> CompilerConfig {
+    CompilerConfig::new(CompilerId::Gcc, level)
+}
+
+#[test]
+fn compile_once_run_many_spawns_one_compiler_process() {
+    let dir = temp_install("compile-once");
+    let toolchain = fakecc::install_toolchain(&dir).expect("install fakecc");
+    let program = parse_compute(
+        "void compute(double x, double y) { comp = x * y + 1.0; comp += x / (y + 2.0); }",
+    )
+    .unwrap();
+    let mut session = toolchain.session().expect("session");
+    let artifact = session.compile(&program, gcc(OptLevel::O2)).expect("fake compile");
+    let inputs_a = InputSet::new().with("x", InputValue::Fp(1.5)).with("y", InputValue::Fp(-2.25));
+    let inputs_b = InputSet::new().with("x", InputValue::Fp(0.5)).with("y", InputValue::Fp(3.0));
+    let a = session.run_inputs(&artifact, &program, &inputs_a).expect("run a");
+    let b = session.run_inputs(&artifact, &program, &inputs_b).expect("run b");
+    // fakecc output is a function of (source, flags, compiler name) only,
+    // so two runs of one artifact agree bit for bit — and, crucially, the
+    // compiler was spawned exactly once for the two executions.
+    assert_eq!(a.bits, b.bits);
+    assert_eq!(fakecc::compile_count(&dir), 1);
+    assert_eq!(fakecc::run_count(&dir), 2);
+    assert_eq!(toolchain.spawn_stats(), SpawnStats { compiles: 1, runs: 2 });
+    drop(session);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fake_personalities_agree_at_strict_level_and_disagree_with_optimization() {
+    let dir = temp_install("strict");
+    let toolchain = fakecc::install_toolchain(&dir).expect("install fakecc");
+    let program = parse_compute("void compute(double x) { comp = x * 0.5 + 1.0; }").unwrap();
+    let inputs = InputSet::new().with("x", InputValue::Fp(2.0));
+    let run = |config: CompilerConfig| {
+        toolchain.compile_and_run(&program, &inputs, config).expect("fake compile+run").bits
+    };
+    let clang = |level| CompilerConfig::new(CompilerId::Clang, level);
+    // O0_nofma is the reference level: all personalities agree.
+    assert_eq!(run(gcc(OptLevel::O0Nofma)), run(clang(OptLevel::O0Nofma)));
+    // With optimization the personalities diverge (like real toolchains).
+    assert_ne!(run(gcc(OptLevel::O1)), run(clang(OptLevel::O1)));
+    // And the same personality at the same level is deterministic.
+    assert_eq!(run(gcc(OptLevel::O3)), run(gcc(OptLevel::O3)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_ext_error_variant_is_reachable_and_structured() {
+    let dir = temp_install("taxonomy");
+    let toolchain = fakecc::install_toolchain(&dir)
+        .expect("install fakecc")
+        .with_timeout(Duration::from_millis(300));
+    let mut session = toolchain.session().expect("session");
+    let compile = |session: &mut llm4fp_extcc::ExtSession<'_>, source: &str| {
+        session.compile_source(source, Precision::F64, gcc(OptLevel::O0))
+    };
+
+    // CompileFailed: the compiler rejects the unit.
+    let err = compile(&mut session, "/* FAKECC_COMPILE_ERROR */").unwrap_err();
+    assert!(
+        matches!(&err, ExtError::CompileFailed { stderr } if stderr.contains("refusing")),
+        "{err}"
+    );
+
+    // Timeout (compile phase): the compiler hangs past the deadline.
+    let err = compile(&mut session, "/* FAKECC_COMPILE_HANG */").unwrap_err();
+    assert_eq!(err, ExtError::Timeout { phase: ExtPhase::Compile, after_ms: 300 });
+
+    // RunCrashed: the binary exits non-zero.
+    let artifact = compile(&mut session, "/* FAKECC_CRASH */").unwrap();
+    let err = session.run(&artifact, &[]).unwrap_err();
+    assert!(
+        matches!(&err, ExtError::RunCrashed { code: Some(3), stderr } if stderr.contains("crash")),
+        "{err}"
+    );
+
+    // Timeout (run phase): the binary hangs past the deadline.
+    let artifact = compile(&mut session, "/* FAKECC_HANG */").unwrap();
+    let err = session.run(&artifact, &[]).unwrap_err();
+    assert_eq!(err, ExtError::Timeout { phase: ExtPhase::Run, after_ms: 300 });
+
+    // BadOutput: the binary prints something that is not a result.
+    let artifact = compile(&mut session, "/* FAKECC_GARBAGE */").unwrap();
+    let err = session.run(&artifact, &[]).unwrap_err();
+    assert!(matches!(&err, ExtError::BadOutput { stdout } if stdout.contains("not-hex")), "{err}");
+
+    // MissingCompiler: no binary for the requested personality.
+    let err = session
+        .compile_source(
+            "int main(void) { return 0; }",
+            Precision::F64,
+            CompilerConfig::new(CompilerId::Nvcc, OptLevel::O0),
+        )
+        .unwrap_err();
+    assert_eq!(err, ExtError::MissingCompiler { compiler: "nvcc".to_string() });
+
+    drop(session);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn f32_sources_produce_eight_digit_patterns() {
+    let dir = temp_install("f32");
+    let toolchain = fakecc::install_toolchain(&dir).expect("install fakecc");
+    let mut program = parse_compute("void compute(double x) { comp = x + 0.5; }").unwrap();
+    program.precision = Precision::F32;
+    let inputs = InputSet::new().with("x", InputValue::Fp(1.0));
+    let result = toolchain.compile_and_run(&program, &inputs, gcc(OptLevel::O0)).expect("run");
+    assert!(result.bits <= u32::MAX as u64, "F32 results are 32-bit patterns");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fakecc_answers_version_probes_like_a_compiler() {
+    let dir = temp_install("probe");
+    let path = fakecc::install(&dir, "fakegcc").expect("install fakecc");
+    let probed =
+        probe_compiler(CompilerId::Gcc, path.to_str().expect("utf-8 path")).expect("probe");
+    assert!(probed.version.contains("fakecc 1.0"), "{}", probed.version);
+    assert!(probed.version.contains("fakegcc"), "{}", probed.version);
+    // Probing does not count as a compile.
+    assert_eq!(fakecc::compile_count(&dir), 0);
+    // A probed entry is usable as a toolchain directly.
+    let toolchain = HostToolchain::new(vec![probed]);
+    assert!(toolchain.compiler_for(CompilerId::Gcc).is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}

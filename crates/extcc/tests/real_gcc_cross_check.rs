@@ -1,0 +1,84 @@
+//! Cross-validate the virtual compiler's strict `O0_nofma` semantics
+//! against a **real** gcc: for programs whose math calls go through the
+//! reference host library, the virtual gcc personality at `O0_nofma` must
+//! produce bit-identical results to `gcc -O0 -ffp-contract=off` on this
+//! machine. Skipped with a visible message when gcc is not installed
+//! (CI's dedicated toolchain job installs it; the hermetic `fakecc`
+//! suite covers the process path everywhere else).
+
+use llm4fp_compiler::{compile, CompilerConfig, CompilerId, OptLevel};
+use llm4fp_extcc::{detect_host_compilers, HostToolchain};
+use llm4fp_fpir::{parse_compute, InputSet, InputValue};
+
+fn real_gcc() -> Option<HostToolchain> {
+    let gcc = detect_host_compilers().into_iter().find(|c| c.id == CompilerId::Gcc)?;
+    Some(HostToolchain::new(vec![gcc]))
+}
+
+/// Curated programs covering arithmetic, loops, arrays, branches and the
+/// libm calls whose virtual host library mirrors the real one.
+fn corpus() -> Vec<(&'static str, InputSet)> {
+    vec![
+        (
+            "void compute(double x, double y) {\n\
+             double comp = 0.0;\n\
+             double t0 = x * 0.5 + y;\n\
+             for (int i = 0; i < 4; ++i) { comp += t0 / (i + 1.0); }\n\
+             if (comp > 1.0) { comp = sqrt(comp) + sin(x); }\n\
+             }",
+            InputSet::new().with("x", InputValue::Fp(2.375)).with("y", InputValue::Fp(-0.625)),
+        ),
+        (
+            "void compute(double x, double *a) {\n\
+             double buf[4] = {0.5, -1.5};\n\
+             for (int i = 0; i < 8; ++i) { buf[i % 4] += a[i] * x; }\n\
+             for (int i = 0; i < 4; ++i) { comp += buf[i] / (x + 2.0); }\n\
+             }",
+            InputSet::new()
+                .with("x", InputValue::Fp(1.25))
+                .with("a", InputValue::FpArray(vec![1.0, -2.0, 3.0, -4.0, 5.5, 0.25, 7.0, 8.125])),
+        ),
+        (
+            "void compute(double x, double y) {\n\
+             comp = exp(x / 8.0) * cos(y) + log(x * x + 1.0);\n\
+             comp += tanh(y) - x / 3.0;\n\
+             }",
+            InputSet::new().with("x", InputValue::Fp(1.7)).with("y", InputValue::Fp(-0.3)),
+        ),
+    ]
+}
+
+#[test]
+fn real_gcc_cross_check() {
+    let Some(toolchain) = real_gcc() else {
+        eprintln!("gcc not installed; skipping external-compiler cross-check");
+        return;
+    };
+    let config = CompilerConfig::new(CompilerId::Gcc, OptLevel::O0Nofma);
+    for (source, inputs) in corpus() {
+        let program = parse_compute(source).unwrap();
+        let virt = compile(&program, config).unwrap().execute(&inputs).unwrap();
+
+        // One-shot path: inputs baked into main.
+        let baked = toolchain.compile_and_run(&program, &inputs, config).expect("gcc compile+run");
+        assert_eq!(
+            baked.bits,
+            virt.bits(),
+            "real gcc ({:016x}) and virtual gcc ({:016x}) disagree at O0_nofma for:\n{source}",
+            baked.bits,
+            virt.bits()
+        );
+
+        // Session path: compile once with an argv-reading main, run twice.
+        let mut session = toolchain.session().expect("scratch session");
+        let artifact = session.compile(&program, config).expect("gcc compile (argv main)");
+        let first = session.run_inputs(&artifact, &program, &inputs).expect("gcc run");
+        let second = session.run_inputs(&artifact, &program, &inputs).expect("gcc rerun");
+        assert_eq!(first.bits, virt.bits(), "argv-main path diverged for:\n{source}");
+        assert_eq!(first.bits, second.bits, "re-running one artifact must be deterministic");
+    }
+    // The corpus cost 3 baked compiles + 3 argv compiles and 9 runs.
+    let stats = toolchain.spawn_stats();
+    assert_eq!(stats.compiles, 6);
+    assert_eq!(stats.runs, 9);
+}

@@ -42,6 +42,19 @@ impl Precision {
             Precision::F64 => 16,
         }
     }
+
+    /// The zero-padded hexadecimal encoding of a bit pattern at this
+    /// precision — exactly what generated programs print and what the
+    /// differential tester compares ([`Self::hex_digits`] wide). The one
+    /// source of truth for the encoding: the virtual `ExecResult`, the
+    /// external backend's outcomes and argv input encoding all render
+    /// through it.
+    pub fn hex_of_bits(self, bits: u64) -> String {
+        match self {
+            Precision::F32 => format!("{:08x}", bits as u32),
+            Precision::F64 => format!("{bits:016x}"),
+        }
+    }
 }
 
 impl std::fmt::Display for Precision {

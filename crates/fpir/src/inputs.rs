@@ -135,6 +135,39 @@ impl InputSet {
         Ok(())
     }
 
+    /// Encode this input set as the argument list expected by a program
+    /// rendered with [`crate::to_c_source_argv`]: one argument per scalar
+    /// parameter and one per array element, flattened in parameter order.
+    /// Floating-point values are passed as the zero-padded hexadecimal of
+    /// their bit pattern at the program's precision (so the binary decodes
+    /// exactly the bits the virtual backend computes with), integers as
+    /// decimals. Missing or mismatched bindings fall back to zero, exactly
+    /// like the baked-`main` printer.
+    pub fn to_argv(&self, program: &Program) -> Vec<String> {
+        let fp_arg = |v: f64| match program.precision {
+            Precision::F64 => program.precision.hex_of_bits(v.to_bits()),
+            Precision::F32 => program.precision.hex_of_bits((v as f32).to_bits() as u64),
+        };
+        let mut args = Vec::new();
+        for p in &program.params {
+            match (p.ty, self.values.get(&p.name)) {
+                (ParamType::Int, Some(InputValue::Int(v))) => args.push(v.to_string()),
+                (ParamType::Int, _) => args.push("0".to_string()),
+                (ParamType::Fp, Some(InputValue::Fp(v))) => args.push(fp_arg(*v)),
+                (ParamType::Fp, _) => args.push(fp_arg(0.0)),
+                (ParamType::FpArray(len), Some(InputValue::FpArray(vals))) => {
+                    for i in 0..len {
+                        args.push(fp_arg(vals.get(i).copied().unwrap_or(0.0)));
+                    }
+                }
+                (ParamType::FpArray(len), _) => {
+                    args.extend(std::iter::repeat(fp_arg(0.0)).take(len));
+                }
+            }
+        }
+        args
+    }
+
     /// Truncate every fp value in the set to the given precision (used when
     /// running the same inputs through an FP32 program so that the virtual
     /// and real backends see identical starting values).
@@ -231,6 +264,35 @@ mod tests {
         assert_eq!(once.get_fp("x"), Some(0.1f32 as f64));
         // F64 truncation is the identity.
         assert_eq!(set.truncated(Precision::F64), set);
+    }
+
+    #[test]
+    fn argv_encoding_flattens_in_parameter_order() {
+        let p = program_with(vec![
+            Param::new("n", ParamType::Int),
+            Param::new("x", ParamType::Fp),
+            Param::new("a", ParamType::FpArray(3)),
+        ]);
+        let inputs = InputSet::new()
+            .with("n", InputValue::Int(-5))
+            .with("x", InputValue::Fp(1.0))
+            .with("a", InputValue::FpArray(vec![2.0])); // short: padded with zeros
+        let argv = inputs.to_argv(&p);
+        assert_eq!(
+            argv,
+            vec![
+                "-5".to_string(),
+                format!("{:016x}", 1.0f64.to_bits()),
+                format!("{:016x}", 2.0f64.to_bits()),
+                format!("{:016x}", 0u64),
+                format!("{:016x}", 0u64),
+            ]
+        );
+        // F32 programs encode 8-digit single-precision bit patterns.
+        let mut p32 = program_with(vec![Param::new("x", ParamType::Fp)]);
+        p32.precision = Precision::F32;
+        let argv = InputSet::new().with("x", InputValue::Fp(1.5)).to_argv(&p32);
+        assert_eq!(argv, vec![format!("{:08x}", 1.5f32.to_bits())]);
     }
 
     #[test]

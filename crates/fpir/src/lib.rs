@@ -43,7 +43,7 @@ pub use hash::{program_hash, program_id, source_hash};
 pub use inputs::{InputSet, InputValue};
 pub use mathfn::MathFunc;
 pub use parser::{parse_compute, ParseError};
-pub use printer::{to_c_source, to_compute_source, to_cuda_source};
+pub use printer::{to_c_source, to_c_source_argv, to_compute_source, to_cuda_source};
 pub use tokens::{tokenize, Token, TokenKind};
 pub use validate::{validate, ValidationError};
 

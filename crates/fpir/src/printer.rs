@@ -35,6 +35,24 @@ pub fn to_c_source(program: &Program, inputs: &InputSet) -> String {
     out
 }
 
+/// Render a complete C translation unit whose `main` reads the input
+/// values from `argv` instead of baking them into the source: scalar and
+/// array floating-point parameters are passed as zero-padded hexadecimal
+/// bit patterns (16 digits for FP64, 8 for FP32, matching the output
+/// encoding), integer parameters as plain decimals, flattened in
+/// parameter order (array elements consecutively). This is what lets the
+/// external-compiler backend compile a program **once** per configuration
+/// and run the binary against many input sets — see
+/// [`crate::InputSet::to_argv`] for the matching argument encoding.
+pub fn to_c_source_argv(program: &Program) -> String {
+    let mut out = String::new();
+    out.push_str("#include <stdio.h>\n#include <stdlib.h>\n#include <math.h>\n\n");
+    write_compute(&mut out, program, Target::Host);
+    out.push('\n');
+    write_main_argv(&mut out, program);
+    out
+}
+
 /// Render the CUDA translation of the same program: `compute` becomes a
 /// `__global__` kernel launched with a single block and a single thread
 /// (following Varity's host-to-device translation described in Section 2.4),
@@ -162,6 +180,54 @@ fn write_main(out: &mut String, program: &Program, inputs: &InputSet, target: Ta
             write_cuda_main_body(out, program, &args, fp);
         }
     }
+    let _ = writeln!(out, "{INDENT}return 0;");
+    out.push_str("}\n");
+}
+
+/// The `main` variant of [`to_c_source_argv`]: a bit-pattern decoding
+/// helper plus a `main(argc, argv)` that materializes every parameter
+/// from the argument list, in parameter order.
+fn write_main_argv(out: &mut String, program: &Program) {
+    let fp = program.precision.c_type();
+    match program.precision {
+        Precision::F64 => out.push_str(
+            "static double llm4fp_arg(const char *s) {\n\
+             \x20   union { double d; unsigned long long u; } v;\n\
+             \x20   v.u = strtoull(s, 0, 16);\n\
+             \x20   return v.d;\n}\n\n",
+        ),
+        Precision::F32 => out.push_str(
+            "static float llm4fp_arg(const char *s) {\n\
+             \x20   union { float f; unsigned int u; } v;\n\
+             \x20   v.u = (unsigned int)strtoul(s, 0, 16);\n\
+             \x20   return v.f;\n}\n\n",
+        ),
+    }
+    out.push_str("int main(int argc, char **argv) {\n");
+    let _ = writeln!(out, "{INDENT}int llm4fp_k = 1;");
+    let _ = writeln!(out, "{INDENT}(void)argc;");
+    let mut args: Vec<String> = Vec::with_capacity(program.params.len());
+    for p in &program.params {
+        match p.ty {
+            ParamType::Int => {
+                let _ = writeln!(out, "{INDENT}int {} = atoi(argv[llm4fp_k++]);", p.name);
+            }
+            ParamType::Fp => {
+                let _ = writeln!(out, "{INDENT}{fp} {} = llm4fp_arg(argv[llm4fp_k++]);", p.name);
+            }
+            ParamType::FpArray(len) => {
+                let _ = writeln!(out, "{INDENT}{fp} {}[{}];", p.name, len);
+                let _ = writeln!(
+                    out,
+                    "{INDENT}for (int llm4fp_i = 0; llm4fp_i < {len}; ++llm4fp_i) {{ \
+                     {}[llm4fp_i] = llm4fp_arg(argv[llm4fp_k++]); }}",
+                    p.name
+                );
+            }
+        }
+        args.push(p.name.clone());
+    }
+    let _ = writeln!(out, "{INDENT}compute({});", args.join(", "));
     let _ = writeln!(out, "{INDENT}return 0;");
     out.push_str("}\n");
 }
@@ -366,6 +432,31 @@ mod tests {
         // Exactly two functions.
         assert!(src.matches("compute(").count() >= 2);
         assert_eq!(src.matches("int main").count(), 1);
+    }
+
+    #[test]
+    fn argv_source_parses_every_parameter_from_the_command_line() {
+        let p = sample_program();
+        let src = to_c_source_argv(&p);
+        assert!(src.contains("static double llm4fp_arg(const char *s)"));
+        assert!(src.contains("strtoull(s, 0, 16)"));
+        assert!(src.contains("int main(int argc, char **argv)"));
+        assert!(src.contains("double x = llm4fp_arg(argv[llm4fp_k++]);"));
+        assert!(src.contains("int n = atoi(argv[llm4fp_k++]);"));
+        assert!(src.contains("double a[4];"));
+        assert!(src.contains("a[llm4fp_i] = llm4fp_arg(argv[llm4fp_k++]);"));
+        assert!(src.contains("compute(x, n, a);"));
+        // The compute function is identical to the baked-input rendering —
+        // only main differs, so compiled behaviour matches bit for bit.
+        let compute = to_compute_source(&p);
+        assert!(src.contains(&compute));
+        assert!(to_c_source(&p, &default_inputs(&p.params)).contains(&compute));
+        // F32 programs decode single-precision bit patterns.
+        let mut p32 = sample_program();
+        p32.precision = Precision::F32;
+        let src32 = to_c_source_argv(&p32);
+        assert!(src32.contains("static float llm4fp_arg(const char *s)"));
+        assert!(src32.contains("strtoul(s, 0, 16)"));
     }
 
     #[test]

@@ -29,12 +29,13 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use llm4fp::{Campaign, CampaignConfig, CampaignResult, SuccessfulSet};
-use llm4fp_difftest::{CacheStats, ResultCache};
+use llm4fp_difftest::{CacheStats, ProcessBudget, ResultCache};
 
 use crate::persist::{PersistError, RunDir, RunManifest, ShardWriter};
 use crate::pool::{run_epochs, run_indexed};
 use crate::shard::{
-    merge_shards, plan_epoch_segments, plan_shards, run_shard, ShardOutput, ShardRunner, ShardSpec,
+    merge_shards, plan_epoch_segments, plan_shards, run_shard_budgeted, ShardOutput, ShardRunner,
+    ShardSpec,
 };
 
 /// How an orchestrated run executes.
@@ -51,6 +52,15 @@ pub struct OrchestratorOptions {
     /// every shard's budget into `E` segments with a merge-and-broadcast
     /// barrier between consecutive segments.
     pub epochs: usize,
+    /// The process-pool bound for external-backend campaigns: at most
+    /// this many shards spawn compiler/binary processes concurrently,
+    /// **separately** from the thread pool — a mixed virtual/real suite
+    /// keeps its virtual shards saturating `workers` threads on the
+    /// sealed VM while the external shards throttle their spawns.
+    /// Throttling changes wall-clock interleaving only; recorded results
+    /// and merge order are unaffected. Defaults to the machine's
+    /// available parallelism; ignored by virtual campaigns.
+    pub process_slots: usize,
     /// Persist the run (config, per-program progress, epoch barriers,
     /// shard outputs, merged result) into this directory, and resume from
     /// whatever complete state is already present.
@@ -59,7 +69,13 @@ pub struct OrchestratorOptions {
 
 impl Default for OrchestratorOptions {
     fn default() -> Self {
-        OrchestratorOptions { workers: default_workers(), cache: true, epochs: 1, run_dir: None }
+        OrchestratorOptions {
+            workers: default_workers(),
+            cache: true,
+            epochs: 1,
+            process_slots: default_workers(),
+            run_dir: None,
+        }
     }
 }
 
@@ -230,6 +246,14 @@ impl Orchestrator {
         cache: Option<&Arc<ResultCache>>,
         run_dir: Option<&RunDir>,
     ) -> ExecOutcome {
+        // External campaigns share one process budget across all shards
+        // (the process-pool worker bound); virtual campaigns never
+        // allocate one.
+        let budget = config
+            .backend
+            .is_external()
+            .then(|| Arc::new(ProcessBudget::new(self.options.process_slots)));
+        let budget = budget.as_ref();
         // Shards already complete on disk load without recomputation.
         let outputs: Vec<Option<ShardOutput>> =
             specs.iter().map(|spec| run_dir.and_then(|dir| dir.load_shard(spec))).collect();
@@ -247,13 +271,15 @@ impl Orchestrator {
             };
         }
         if epochs <= 1 {
-            return self.execute_independent(config, specs, outputs, reused, cache, run_dir);
+            return self
+                .execute_independent(config, specs, outputs, reused, cache, budget, run_dir);
         }
-        self.execute_exchanged(config, specs, epochs, cache, run_dir)
+        self.execute_exchanged(config, specs, epochs, cache, budget, run_dir)
     }
 
     /// The no-exchange path: shards never communicate, so missing shards
     /// recompute individually next to reused ones.
+    #[allow(clippy::too_many_arguments)]
     fn execute_independent(
         &self,
         config: &CampaignConfig,
@@ -261,6 +287,7 @@ impl Orchestrator {
         mut outputs: Vec<Option<ShardOutput>>,
         reused: usize,
         cache: Option<&Arc<ResultCache>>,
+        budget: Option<&Arc<ProcessBudget>>,
         run_dir: Option<&RunDir>,
     ) -> ExecOutcome {
         let pending: Vec<ShardSpec> = specs
@@ -273,8 +300,9 @@ impl Orchestrator {
         let computed = run_indexed(pending.len(), self.options.workers, |task| {
             let spec = pending[task];
             let shard_cache = cache.map(Arc::clone);
+            let shard_budget = budget.map(Arc::clone);
             match run_dir {
-                None => run_shard(config, spec, shard_cache, |_| {}),
+                None => run_shard_budgeted(config, spec, shard_cache, shard_budget, |_| {}),
                 Some(dir) => {
                     // Persistence failures on progress lines must not kill
                     // the computation; the summary write decides
@@ -282,13 +310,21 @@ impl Orchestrator {
                     match dir.shard_writer(&spec) {
                         Ok(writer) => {
                             let writer = Mutex::new(writer);
-                            let output = run_shard(config, spec, shard_cache, |record| {
-                                writer.lock().unwrap().record(record);
-                            });
+                            let output = run_shard_budgeted(
+                                config,
+                                spec,
+                                shard_cache,
+                                shard_budget,
+                                |record| {
+                                    writer.lock().unwrap().record(record);
+                                },
+                            );
                             let _ = writer.into_inner().unwrap().finish(&output);
                             output
                         }
-                        Err(_) => run_shard(config, spec, shard_cache, |_| {}),
+                        Err(_) => {
+                            run_shard_budgeted(config, spec, shard_cache, shard_budget, |_| {})
+                        }
                     }
                 }
             }
@@ -322,6 +358,7 @@ impl Orchestrator {
         specs: &[ShardSpec],
         epochs: usize,
         cache: Option<&Arc<ResultCache>>,
+        budget: Option<&Arc<ProcessBudget>>,
         run_dir: Option<&RunDir>,
     ) -> ExecOutcome {
         let restored_barrier =
@@ -340,7 +377,7 @@ impl Orchestrator {
             .enumerate()
             .map(|(index, spec)| {
                 let shard_cache = cache.map(Arc::clone);
-                let runner = match (restored_barrier, run_dir) {
+                let mut runner = match (restored_barrier, run_dir) {
                     (Some(barrier), Some(dir)) => {
                         let checkpoint = dir
                             .load_checkpoint(index, barrier)
@@ -349,6 +386,9 @@ impl Orchestrator {
                     }
                     _ => ShardRunner::new(config, *spec, shard_cache),
                 };
+                if let Some(budget) = budget {
+                    runner = runner.with_process_budget(Arc::clone(budget));
+                }
                 let writer = run_dir.and_then(|dir| dir.shard_writer(spec).ok());
                 Mutex::new(ShardSlot { runner, writer })
             })

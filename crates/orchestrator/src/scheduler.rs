@@ -16,9 +16,9 @@
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use llm4fp::{CampaignConfig, SuccessfulSet};
+use llm4fp::{BackendSpec, CampaignConfig, SuccessfulSet};
 use llm4fp_compiler::{CompilerId, OptLevel};
-use llm4fp_difftest::ResultCache;
+use llm4fp_difftest::{ProcessBudget, ResultCache};
 use llm4fp_fpir::Precision;
 
 use crate::orchestrate::{OrchestratedResult, OrchestratorOptions, RunStats};
@@ -29,13 +29,16 @@ use crate::shard::{
 
 /// The part of a campaign config that determines differential-testing
 /// results for a given program: configs with equal contexts may share a
-/// result cache.
+/// result cache. Backend identity is part of the context — cache keys
+/// are backend-scoped anyway, so sharing across backends would be sound
+/// but would conflate the per-campaign hit-rate statistics.
 #[derive(Debug, Clone, PartialEq)]
 struct TestContext {
     seed: u64,
     precision: Precision,
     compilers: Vec<CompilerId>,
     levels: Vec<OptLevel>,
+    backend: BackendSpec,
 }
 
 impl TestContext {
@@ -45,6 +48,7 @@ impl TestContext {
             precision: config.precision,
             compilers: config.compilers.clone(),
             levels: config.levels.clone(),
+            backend: config.backend.clone(),
         }
     }
 }
@@ -104,13 +108,28 @@ impl Scheduler {
             .flat_map(|(campaign, specs)| specs.iter().map(move |spec| (campaign, *spec)))
             .collect();
 
+        // One suite-wide process budget bounds every external campaign's
+        // spawns; virtual campaigns in the same suite stay unthrottled on
+        // the thread pool (the mixed virtual/real regime).
+        let budget = configs
+            .iter()
+            .any(|config| config.backend.is_external())
+            .then(|| Arc::new(ProcessBudget::new(self.options.process_slots)));
+
         // One live runner per (campaign, shard) task and one exchange pool
         // per campaign; epoch barriers span the whole suite but deltas
         // stay within their campaign.
         let runners: Vec<Mutex<ShardRunner>> = tasks
             .iter()
             .map(|(campaign, spec)| {
-                Mutex::new(ShardRunner::new(&configs[*campaign], *spec, caches[*campaign].clone()))
+                let mut runner =
+                    ShardRunner::new(&configs[*campaign], *spec, caches[*campaign].clone());
+                if configs[*campaign].backend.is_external() {
+                    if let Some(budget) = &budget {
+                        runner = runner.with_process_budget(Arc::clone(budget));
+                    }
+                }
+                Mutex::new(runner)
             })
             .collect();
         let segments: Vec<Vec<usize>> =

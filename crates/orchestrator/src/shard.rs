@@ -21,7 +21,7 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 
 use llm4fp::{CampaignConfig, CampaignResult, CampaignRunner, ProgramRecord, RunnerCheckpoint};
-use llm4fp_difftest::{Aggregates, ResultCache};
+use llm4fp_difftest::{Aggregates, ProcessBudget, ResultCache};
 use llm4fp_fpir::source_hash;
 
 /// Plan for one shard of a campaign.
@@ -154,6 +154,14 @@ impl ShardRunner {
         ShardRunner { spec, runner, next_local, watermark }
     }
 
+    /// Throttle this shard's external process spawns with a budget shared
+    /// across the run (the orchestrator's process-pool knob; a no-op for
+    /// virtual-backend campaigns).
+    pub fn with_process_budget(mut self, budget: Arc<ProcessBudget>) -> Self {
+        self.runner.set_process_budget(budget);
+        self
+    }
+
     pub fn spec(&self) -> ShardSpec {
         self.spec
     }
@@ -224,7 +232,23 @@ pub fn run_shard(
     cache: Option<Arc<ResultCache>>,
     on_record: impl FnMut(&ProgramRecord),
 ) -> ShardOutput {
+    run_shard_budgeted(config, spec, cache, None, on_record)
+}
+
+/// [`run_shard`] with an optional shared process budget for
+/// external-backend campaigns (throttling changes scheduling only, never
+/// the recorded output).
+pub fn run_shard_budgeted(
+    config: &CampaignConfig,
+    spec: ShardSpec,
+    cache: Option<Arc<ResultCache>>,
+    budget: Option<Arc<ProcessBudget>>,
+    on_record: impl FnMut(&ProgramRecord),
+) -> ShardOutput {
     let mut runner = ShardRunner::new(config, spec, cache);
+    if let Some(budget) = budget {
+        runner = runner.with_process_budget(budget);
+    }
     runner.run_segment(spec.budget, on_record);
     runner.finish()
 }

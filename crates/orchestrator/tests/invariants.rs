@@ -13,7 +13,12 @@
 //! * the multi-campaign scheduler agrees with individual orchestration,
 //!   with and without exchange;
 //! * at `K >= 4`, exchange feeds every shard from the global pool (the
-//!   paper's feedback loop at campaign scale).
+//!   paper's feedback loop at campaign scale);
+//! * every guarantee above extends to the **external** (real-compiler)
+//!   backend, exercised hermetically through the `fakecc` mock
+//!   toolchain: `K = 1 ≡` sequential, bit-identical recorded results
+//!   across worker counts and process-slot bounds, and cache hits that
+//!   demonstrably skip compiler/binary process spawns.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -30,7 +35,7 @@ fn config(approach: ApproachKind, budget: usize, seed: u64) -> CampaignConfig {
 }
 
 fn options(workers: usize, cache: bool, epochs: usize) -> OrchestratorOptions {
-    OrchestratorOptions { workers, cache, epochs, run_dir: None }
+    OrchestratorOptions { workers, cache, epochs, run_dir: None, ..Default::default() }
 }
 
 fn assert_results_identical(a: &CampaignResult, b: &CampaignResult, what: &str) {
@@ -182,6 +187,7 @@ fn interrupted_runs_resume_to_identical_results() {
         cache: true,
         epochs: 1,
         run_dir: Some(root.clone()),
+        ..Default::default()
     })
     .run(&config, shards)
     .unwrap();
@@ -227,6 +233,7 @@ fn interrupted_multi_epoch_runs_resume_from_the_latest_barrier() {
         cache: true,
         epochs,
         run_dir: Some(root.clone()),
+        ..Default::default()
     })
     .run(&config, shards)
     .unwrap();
@@ -274,6 +281,7 @@ fn mismatched_manifests_refuse_to_mix_runs() {
         cache: false,
         epochs,
         run_dir: Some(root),
+        ..Default::default()
     };
     Orchestrator::new(persisted(1, root.clone())).run(&config_a, 2).unwrap();
     // Same dir, different seed: must be refused, not silently merged.
@@ -303,6 +311,146 @@ fn scheduler_suite_matches_individual_orchestration() {
             );
             assert_eq!(orchestrated.result.config.approach, cfg.approach);
         }
+    }
+}
+
+/// External-backend invariants, hermetic via the `fakecc` mock compiler.
+#[cfg(unix)]
+mod external_backend {
+    use super::*;
+    use std::path::Path;
+
+    use llm4fp::{BackendSpec, ExternalBackendSpec};
+    use llm4fp_extcc::fakecc;
+
+    fn fake_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join("llm4fp-orchestrator-tests")
+            .join(format!("fakecc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A campaign over a two-personality fake toolchain installed in
+    /// `dir`. `threads = 1` keeps `fakecc.log` counting exact.
+    fn fake_config(dir: &Path, approach: ApproachKind, budget: usize, seed: u64) -> CampaignConfig {
+        let spec = ExternalBackendSpec::new(fakecc::install_pair(dir).expect("install fakecc"));
+        config(approach, budget, seed).with_backend(BackendSpec::External(spec))
+    }
+
+    fn ext_options(
+        workers: usize,
+        cache: bool,
+        epochs: usize,
+        slots: usize,
+    ) -> OrchestratorOptions {
+        OrchestratorOptions { workers, cache, epochs, process_slots: slots, run_dir: None }
+    }
+
+    #[test]
+    fn external_k1_matches_the_sequential_campaign() {
+        let dir = fake_dir("k1");
+        let config = fake_config(&dir, ApproachKind::Llm4Fp, 10, 11);
+        let sequential = Campaign::new(config.clone()).run();
+        assert!(
+            sequential.aggregates.inconsistencies > 0,
+            "fake toolchain must produce findings for the feedback loop"
+        );
+        let orchestrated = Orchestrator::run_sharded(&config, 1);
+        assert_results_identical(&orchestrated, &sequential, "external K=1");
+        // Single-shard exchange stays a structural no-op externally too.
+        let epoched = Orchestrator::run_sharded_epochs(&config, 1, 3);
+        assert_results_identical(&epoched, &sequential, "external K=1 E=3");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn external_runs_are_bit_identical_across_worker_counts_and_process_slots() {
+        let dir = fake_dir("workers");
+        let config = fake_config(&dir, ApproachKind::Llm4Fp, 8, 7);
+        for epochs in [1usize, 2] {
+            let reference =
+                Orchestrator::new(ext_options(1, true, epochs, 1)).run(&config, 2).unwrap();
+            for (workers, slots) in [(4usize, 1usize), (4, 8)] {
+                let other = Orchestrator::new(ext_options(workers, true, epochs, slots))
+                    .run(&config, 2)
+                    .unwrap();
+                assert_results_identical(
+                    &other.result,
+                    &reference.result,
+                    &format!("external E={epochs} workers={workers} slots={slots}"),
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn external_cache_hits_skip_fakecc_process_spawns() {
+        // The acceptance criterion: a duplicate-heavy campaign on the
+        // external backend demonstrably skips process spawns on cache
+        // hits, counted via fakecc's invocation log. Direct-Prompt's
+        // unguided sampling repeats knowledge-base programs outright.
+        let dir = fake_dir("cache");
+        let config = fake_config(&dir, ApproachKind::DirectPrompt, 30, 5);
+        let configs_per_program = (config.compilers.len() * config.levels.len()) as u64;
+
+        // workers = 1 keeps cache counting exact (no double-computed
+        // misses) — the bit-identity across worker counts is pinned by
+        // the test above.
+        let cached = Orchestrator::new(ext_options(1, true, 1, 1)).run(&config, 2).unwrap();
+        let stats = cached.stats.cache.expect("cache stats recorded");
+        assert!(stats.hits > 0, "Direct-Prompt budget 30 must contain duplicates");
+        assert_eq!(
+            fakecc::compile_count(&dir),
+            stats.misses * configs_per_program,
+            "only cache misses may spawn the compiler; every hit skips the \
+             full {configs_per_program}-config matrix"
+        );
+        assert_eq!(
+            fakecc::run_count(&dir),
+            stats.misses * configs_per_program,
+            "one binary spawn per compiled configuration (single input set)"
+        );
+
+        // And the cache stays semantically transparent externally.
+        let uncached = Orchestrator::new(ext_options(1, false, 1, 1)).run(&config, 2).unwrap();
+        assert_results_identical(&cached.result, &uncached.result, "external cache on/off");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mixed_virtual_and_external_suites_schedule_together() {
+        // The mixed regime the process pool exists for: one virtual and
+        // one external campaign share the scheduler's worker pool; the
+        // virtual side stays on the sealed VM (its results match a
+        // virtual-only run bit for bit) while the external side is
+        // throttled to one process slot.
+        let dir = fake_dir("mixed");
+        let virtual_config = config(ApproachKind::Llm4Fp, 16, 21);
+        let external_config = fake_config(&dir, ApproachKind::GrammarGuided, 6, 21);
+        let suite = Scheduler::new(ext_options(4, true, 2, 1))
+            .run_suite(&[virtual_config.clone(), external_config.clone()], 2);
+        assert_eq!(suite.len(), 2);
+        for (cfg, orchestrated) in [&virtual_config, &external_config].into_iter().zip(&suite) {
+            let individual = Orchestrator::new(ext_options(1, false, 2, 1)).run(cfg, 2).unwrap();
+            assert_results_identical(
+                &orchestrated.result,
+                &individual.result,
+                &format!("mixed suite {:?}", cfg.approach),
+            );
+        }
+        // The two campaigns must not have shared a cache (different
+        // backends => different test contexts), so each reports its own
+        // lookup totals.
+        let virtual_stats = suite[0].stats.cache.expect("virtual cache stats");
+        assert_eq!(virtual_stats.hits + virtual_stats.misses, suite[0].result.sources.len() as u64);
+        let external_stats = suite[1].stats.cache.expect("external cache stats");
+        assert_eq!(
+            external_stats.hits + external_stats.misses,
+            suite[1].result.sources.len() as u64
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

@@ -261,6 +261,38 @@ proptest! {
         );
     }
 
+    /// The backend-aware result cache is semantically transparent on the
+    /// virtual backend: a campaign sharing a cache (including one
+    /// pre-warmed by an identical campaign, so every lookup hits) is
+    /// bit-identical to the uncached sequential driver.
+    #[test]
+    fn result_cache_is_semantically_transparent_for_the_virtual_backend(seed in 0u64..5_000) {
+        use std::sync::Arc;
+        use llm4fp_suite::core::{ApproachKind, Campaign, CampaignConfig, CampaignRunner};
+        use llm4fp_suite::difftest::ResultCache;
+
+        let config = CampaignConfig::new(ApproachKind::DirectPrompt)
+            .with_budget(6)
+            .with_seed(seed)
+            .with_threads(1);
+        let plain = Campaign::new(config.clone()).run();
+        let cache = Arc::new(ResultCache::new());
+        for pass in 0..2 {
+            let mut runner = CampaignRunner::new(config.clone()).with_cache(Arc::clone(&cache));
+            for index in 0..config.programs {
+                runner.run_one(index);
+            }
+            let cached = runner.finish();
+            prop_assert_eq!(&cached.records, &plain.records, "pass {}", pass);
+            prop_assert_eq!(&cached.aggregates, &plain.aggregates, "pass {}", pass);
+            prop_assert_eq!(&cached.sources, &plain.sources, "pass {}", pass);
+        }
+        // Second pass hit on every valid program.
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, 2 * plain.sources.len() as u64);
+        prop_assert!(stats.hits >= plain.sources.len() as u64);
+    }
+
     /// Compiled artifacts never panic on arbitrary scalar inputs: they either
     /// execute (possibly producing NaN/Inf) or report a structured error.
     #[test]
@@ -277,5 +309,52 @@ proptest! {
         let artifact = compile(&program, config).unwrap();
         let result = artifact.execute(&inputs);
         prop_assert!(result.is_ok());
+    }
+}
+
+// External-backend property: few cases, because every case spawns real
+// (mock-compiler) processes for each non-duplicate program.
+#[cfg(unix)]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Cache transparency holds on the external backend too: campaigns
+    /// against the hermetic `fakecc` toolchain produce bit-identical
+    /// results whether or not a (backend-scoped) result cache serves the
+    /// duplicate programs.
+    #[test]
+    fn result_cache_is_semantically_transparent_for_the_external_backend(seed in 0u64..1_000) {
+        use std::sync::Arc;
+        use llm4fp_suite::core::{
+            ApproachKind, BackendSpec, Campaign, CampaignConfig, CampaignRunner,
+            ExternalBackendSpec,
+        };
+        use llm4fp_suite::difftest::ResultCache;
+        use llm4fp_suite::extcc::fakecc;
+
+        let dir = std::env::temp_dir()
+            .join("llm4fp-suite-proptests")
+            .join(format!("extcc-{seed}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = ExternalBackendSpec::new(fakecc::install_pair(&dir).expect("install fakecc"));
+        let config = CampaignConfig::new(ApproachKind::DirectPrompt)
+            .with_budget(5)
+            .with_seed(seed)
+            .with_threads(1)
+            .with_backend(BackendSpec::External(spec));
+
+        let plain = Campaign::new(config.clone()).run();
+        let cache = Arc::new(ResultCache::new());
+        let mut runner = CampaignRunner::new(config.clone()).with_cache(Arc::clone(&cache));
+        for index in 0..config.programs {
+            runner.run_one(index);
+        }
+        let cached = runner.finish();
+        prop_assert_eq!(&cached.records, &plain.records);
+        prop_assert_eq!(&cached.aggregates, &plain.aggregates);
+        prop_assert_eq!(&cached.sources, &plain.sources);
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, plain.sources.len() as u64);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
