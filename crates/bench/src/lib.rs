@@ -28,11 +28,16 @@
 //!   restricting the matrix to the detected compilers — the binary exits
 //!   with a clear message when fewer than two are installed);
 //! * `--process-slots P` — bound on concurrently process-spawning shards
-//!   for `--backend extcc` (default: available parallelism).
+//!   for `--backend extcc` (default: available parallelism);
+//! * `--no-seal-opt` — disable the seal-time bytecode peephole optimizer
+//!   for A/B measurements (results are bit-identical; only seal cost and
+//!   executed instruction counts change).
 
 #![deny(unsafe_code)]
 
-use llm4fp::{ApproachKind, BackendSpec, CampaignConfig, CampaignResult, ExternalBackendSpec};
+use llm4fp::{
+    ApproachKind, BackendSpec, CampaignConfig, CampaignResult, ExternalBackendSpec, SealMode,
+};
 use llm4fp_orchestrator::{
     default_workers, OrchestratedResult, Orchestrator, OrchestratorOptions, Scheduler,
 };
@@ -59,6 +64,10 @@ pub struct ExpOptions {
     pub backend: CliBackend,
     /// 0 = use the worker default.
     pub process_slots: usize,
+    /// `false` disables the seal-time peephole optimizer
+    /// (`--no-seal-opt`) for A/B runs; results are bit-identical either
+    /// way, only seal/execute cost changes.
+    pub seal_opt: bool,
 }
 
 impl Default for ExpOptions {
@@ -72,6 +81,7 @@ impl Default for ExpOptions {
             workers: default_workers(),
             backend: CliBackend::Virtual,
             process_slots: 0,
+            seal_opt: true,
         }
     }
 }
@@ -122,10 +132,11 @@ impl ExpOptions {
                     opts.process_slots =
                         v.parse().map_err(|_| format!("invalid --process-slots {v}"))?;
                 }
+                "--no-seal-opt" => opts.seal_opt = false,
                 "--help" | "-h" => {
                     return Err("usage: [--programs N] [--paper] [--seed S] [--threads T] \
                          [--shards K] [--epochs E] [--workers W] \
-                         [--backend virtual|extcc] [--process-slots P]"
+                         [--backend virtual|extcc] [--process-slots P] [--no-seal-opt]"
                         .into())
                 }
                 other => return Err(format!("unknown argument `{other}`")),
@@ -203,6 +214,7 @@ impl ExpOptions {
             .with_seed(self.seed)
             .with_threads(self.threads)
             .with_backend(backend)
+            .with_seal_mode(if self.seal_opt { SealMode::Optimized } else { SealMode::Raw })
     }
 
     /// Campaign configuration for one approach under these options.
@@ -312,6 +324,7 @@ mod tests {
                 "extcc",
                 "--process-slots",
                 "5",
+                "--no-seal-opt",
             ]
             .map(String::from),
         )
@@ -327,6 +340,7 @@ mod tests {
                 workers: 3,
                 backend: CliBackend::Extcc,
                 process_slots: 5,
+                seal_opt: false,
             }
         );
         assert!(ExpOptions::parse(["--backend".to_string(), "bogus".to_string()]).is_err());

@@ -10,6 +10,22 @@
 //! register VM in [`crate::vm`] with reusable scratch buffers: no hash
 //! maps, no string comparisons, no per-run allocation.
 //!
+//! ## Matrix-shared layout
+//!
+//! The work splits into two phases. A `SealPlan` performs everything
+//! that is *configuration-independent* — the assigned-name census, the
+//! scalar/int/array slot layout, the parameter binding plan, the name
+//! pool and the pre-rounded initializer pool — once per program. (The
+//! optimization pass pipeline rewrites expressions only; statement
+//! structure, assignment targets, loop variables and array declarations
+//! are identical under every configuration, so one layout serves the
+//! whole 18-configuration matrix.) A `Flattener` then emits the `Instr`
+//! stream for one optimized body, which *is* configuration-dependent.
+//! The layout lands in an [`Arc<SealLayout>`] shared by every
+//! [`SealedProgram`] of the matrix, so sealing a full matrix allocates
+//! the string tables and initializer pools once instead of once per
+//! configuration — see [`crate::Frontend::seal_matrix`].
+//!
 //! ## Bit-exactness contract
 //!
 //! The sealed program is pinned to the reference interpreter
@@ -19,7 +35,9 @@
 //! count, and the same [`crate::interp::ExecError`] variants — including
 //! the exact statement/iteration at which fuel runs out, because `Burn`
 //! instructions are emitted at precisely the interpreter's burn points
-//! (once per statement, once per loop iteration, in the same order).
+//! (once per statement, once per loop iteration, in the same order). The
+//! seal-time optimizer ([`crate::peephole`]) preserves the same contract
+//! instruction stream by instruction stream.
 //!
 //! Name resolution is static while the interpreter's is dynamic; the two
 //! agree for every validated program except one pathological corner: a
@@ -37,6 +55,18 @@ use llm4fp_mathlib::{FastMathLib, MathLib};
 
 use crate::config::Semantics;
 use crate::ir::{OExpr, OStmt};
+
+/// Round an exact `f64` to a program precision — the single
+/// implementation of the rounding convention, shared by the seal-time
+/// constant pre-rounding (plan init pools, `Const` operands) and the
+/// VM's run-time `round` (see `SealedProgram::round` in [`crate::vm`]).
+#[inline(always)]
+pub(crate) fn round_to(precision: Precision, v: f64) -> f64 {
+    match precision {
+        Precision::F64 => v,
+        Precision::F32 => v as f32 as f64,
+    }
+}
 
 /// Why a program could not be sealed. Sealing failures are not errors of
 /// the pipeline: callers fall back to the reference interpreter, which
@@ -223,6 +253,21 @@ pub(crate) struct ArraySlot {
     pub name: u32,
 }
 
+/// The configuration-independent layout of a sealed program: parameter
+/// binding plans, array metadata, the error-reporting name pool and the
+/// pre-rounded initializer pool. Computed once per program by
+/// [`SealPlan`] and shared (via `Arc`) by every [`SealedProgram`] the
+/// matrix produces for that program.
+#[derive(Debug)]
+pub(crate) struct SealLayout {
+    pub(crate) params: Vec<SealedParam>,
+    pub(crate) arrays: Vec<ArraySlot>,
+    /// Name pool for cold-path error construction.
+    pub(crate) names: Vec<String>,
+    /// Pre-rounded, pre-sized array initializers.
+    pub(crate) init_pool: Vec<f64>,
+}
+
 /// An optimized program sealed into register-machine bytecode, ready for
 /// repeated execution against many input sets (see [`crate::vm`]).
 pub struct SealedProgram {
@@ -234,16 +279,12 @@ pub struct SealedProgram {
     pub(crate) math: Arc<dyn MathLib>,
     pub(crate) fast: FastMathLib,
     pub(crate) instrs: Vec<Instr>,
-    pub(crate) params: Vec<SealedParam>,
-    pub(crate) arrays: Vec<ArraySlot>,
-    /// Name pool for cold-path error construction.
-    pub(crate) names: Vec<String>,
+    /// Configuration-independent layout, shared across a matrix.
+    pub(crate) layout: Arc<SealLayout>,
     pub(crate) n_regs: usize,
     pub(crate) n_scalars: usize,
     pub(crate) n_ints: usize,
     pub(crate) comp_slot: u16,
-    /// Pre-rounded, pre-sized array initializers.
-    pub(crate) init_pool: Vec<f64>,
 }
 
 impl std::fmt::Debug for SealedProgram {
@@ -254,7 +295,7 @@ impl std::fmt::Debug for SealedProgram {
             .field("regs", &self.n_regs)
             .field("scalars", &self.n_scalars)
             .field("ints", &self.n_ints)
-            .field("arrays", &self.arrays.len())
+            .field("arrays", &self.layout.arrays.len())
             .finish()
     }
 }
@@ -264,153 +305,299 @@ impl SealedProgram {
     pub fn instruction_count(&self) -> usize {
         self.instrs.len()
     }
+
+    /// Size of the floating-point register file the VM allocates for this
+    /// program (shrunk by the peephole optimizer's register coalescing).
+    pub fn register_count(&self) -> usize {
+        self.n_regs
+    }
 }
 
-/// Seal an optimized body. Called through
-/// [`crate::compile::CompiledProgram::seal`].
+/// Seal an optimized body under one configuration's semantics. Called
+/// through [`crate::compile::CompiledProgram::seal`]; matrix callers build
+/// one [`SealPlan`] and flatten per configuration instead.
 pub(crate) fn seal(
     precision: Precision,
     params: &[Param],
     body: &[OStmt],
     semantics: &Semantics,
 ) -> Result<SealedProgram, SealError> {
-    Sealer::new(precision, params, body)?.finish(body, semantics)
+    SealPlan::new(precision, params, body)?.flatten(body, semantics)
 }
 
-struct Sealer<'a> {
+/// A scalar slot plus the point in the statement walk at which its
+/// defining assignment interned it. Reads resolve against the table *as
+/// it stood* at the reading statement (replicating the interpreter's
+/// dynamic map, which only contains already-executed assignments — for
+/// validated programs every read lexically follows its definition, so the
+/// distinction is invisible, but the flattener keeps the exact refusal
+/// behaviour for anything else).
+#[derive(Debug, Clone, Copy)]
+struct ScalarSlot<'p> {
+    name: &'p str,
+    slot: u16,
+    /// Visible to reads once this many `Assign` statements have been
+    /// flattened (0 = parameters and `comp`, visible from the start).
+    visible_from: u32,
+}
+
+/// The per-program half of sealing: everything the optimization pipeline
+/// cannot change. Built once, then flattened against each configuration's
+/// optimized body.
+pub(crate) struct SealPlan<'p> {
     precision: Precision,
+    layout: Arc<SealLayout>,
     /// Every scalar assignment target anywhere in the program (used to
     /// detect dynamically ambiguous int/scalar names). Linear tables
     /// throughout: generated programs bind a handful of names, so vector
     /// scans beat hashing and keep sealing allocation-light — sealing sits
     /// on the campaign hot path (once per program × configuration).
-    assigned_anywhere: Vec<&'a str>,
-    scalar_slots: Vec<(&'a str, u16)>,
-    int_params: Vec<(&'a str, u16)>,
-    /// Loop variables currently in scope, innermost last.
-    int_scope: Vec<(&'a str, u16)>,
+    assigned_anywhere: Vec<&'p str>,
+    scalar_slots: Vec<ScalarSlot<'p>>,
+    int_params: Vec<(&'p str, u16)>,
+    /// Array parameters, in declaration order (the base of the flattener's
+    /// array scope).
+    param_arrays: Vec<(&'p str, u16)>,
+    /// `(array slot, init-pool offset)` of the k-th `DeclArray` statement
+    /// in walk order.
+    decl_arrays: Vec<(u16, u32)>,
+    n_int_params: u16,
+    /// Total int slots: parameters plus one per `for` statement.
     n_ints: usize,
-    /// Arrays in scope, innermost last; parameters at the bottom.
-    array_scope: Vec<(&'a str, u16)>,
-    arrays: Vec<ArraySlot>,
-    names: Vec<String>,
-    instrs: Vec<Instr>,
-    init_pool: Vec<f64>,
-    n_regs: usize,
-    sealed_params: Vec<SealedParam>,
     comp_slot: u16,
 }
 
-impl<'a> Sealer<'a> {
-    fn new(
+impl<'p> SealPlan<'p> {
+    /// Compute the configuration-independent layout of one program.
+    pub(crate) fn new(
         precision: Precision,
-        params: &'a [Param],
-        body: &'a [OStmt],
+        params: &'p [Param],
+        body: &'p [OStmt],
     ) -> Result<Self, SealError> {
         let mut assigned_anywhere = Vec::new();
         collect_assigned(body, &mut assigned_anywhere);
 
-        let mut sealer = Sealer {
+        let mut builder = PlanBuilder {
             precision,
-            assigned_anywhere,
+            layout: SealLayout {
+                params: Vec::with_capacity(params.len()),
+                arrays: Vec::new(),
+                names: Vec::new(),
+                init_pool: Vec::new(),
+            },
             scalar_slots: Vec::with_capacity(8),
             int_params: Vec::new(),
-            int_scope: Vec::new(),
+            param_arrays: Vec::new(),
+            decl_arrays: Vec::new(),
+            n_int_params: 0,
             n_ints: 0,
-            array_scope: Vec::new(),
-            arrays: Vec::new(),
-            names: Vec::new(),
-            instrs: Vec::with_capacity(64),
-            init_pool: Vec::new(),
-            n_regs: 0,
-            sealed_params: Vec::with_capacity(params.len()),
-            comp_slot: 0,
         };
 
         // The accumulator owns scalar slot 0, mirroring its implicit
         // declaration in the interpreter.
-        sealer.comp_slot = sealer.scalar_slot(llm4fp_fpir::COMP)?;
+        let comp_slot = builder.intern_scalar(llm4fp_fpir::COMP, 0)?;
 
         for p in params {
             let bind = match p.ty {
                 ParamType::Int => {
-                    let slot = checked_u16(sealer.n_ints, "int slots")?;
-                    sealer.n_ints += 1;
-                    sealer.int_params.push((p.name.as_str(), slot));
+                    let slot = checked_u16(builder.n_int_params as usize, "int slots")?;
+                    builder.n_int_params += 1;
+                    builder.int_params.push((p.name.as_str(), slot));
                     ParamBind::Int { slot }
                 }
-                ParamType::Fp => ParamBind::Fp { slot: sealer.scalar_slot(&p.name)? },
+                ParamType::Fp => ParamBind::Fp { slot: builder.intern_scalar(&p.name, 0)? },
                 ParamType::FpArray(len) => {
-                    let slot = sealer.new_array(&p.name, len)?;
+                    let slot = builder.new_array(&p.name, len)?;
+                    builder.param_arrays.push((p.name.as_str(), slot));
                     ParamBind::Array { slot }
                 }
             };
-            sealer.sealed_params.push(SealedParam { name: p.name.clone(), bind });
+            builder.layout.params.push(SealedParam { name: p.name.clone(), bind });
         }
-        Ok(sealer)
+
+        builder.n_ints = builder.n_int_params as usize;
+        let mut assign_seq = 0u32;
+        builder.walk(body, &mut assign_seq)?;
+        Ok(SealPlan {
+            precision,
+            layout: Arc::new(builder.layout),
+            assigned_anywhere,
+            scalar_slots: builder.scalar_slots,
+            int_params: builder.int_params,
+            param_arrays: builder.param_arrays,
+            decl_arrays: builder.decl_arrays,
+            n_int_params: builder.n_int_params,
+            n_ints: builder.n_ints,
+            comp_slot,
+        })
     }
 
-    fn finish(
-        mut self,
-        body: &'a [OStmt],
+    /// Flatten one optimized body against this plan. The body must be a
+    /// pass-pipeline rewrite of the body the plan was built from
+    /// (statement structure identical; expressions free to differ).
+    pub(crate) fn flatten(
+        &self,
+        body: &[OStmt],
         semantics: &Semantics,
     ) -> Result<SealedProgram, SealError> {
-        self.seal_block(body)?;
-        self.instrs.push(Instr::Halt);
-        if self.instrs.len() > u32::MAX as usize {
+        let (instrs, n_regs) = self.flatten_instrs(body)?;
+        Ok(self.assemble(instrs, n_regs, semantics))
+    }
+
+    /// The configuration-dependent half of [`SealPlan::flatten`]: emit the
+    /// instruction stream. Split out so matrix sealing can memoize it per
+    /// distinct pass pipeline (configurations sharing a pipeline share the
+    /// identical body, hence the identical raw stream).
+    pub(crate) fn flatten_instrs(&self, body: &[OStmt]) -> Result<(Vec<Instr>, usize), SealError> {
+        let mut flattener = Flattener {
+            plan: self,
+            int_scope: Vec::new(),
+            array_scope: self.param_arrays.clone(),
+            next_int: self.n_int_params as usize,
+            next_decl: 0,
+            assigns_done: 0,
+            instrs: Vec::with_capacity(64),
+            n_regs: 0,
+        };
+        flattener.seal_block(body)?;
+        flattener.instrs.push(Instr::Halt);
+        if flattener.instrs.len() > u32::MAX as usize {
             return Err(SealError::TooComplex("instruction count"));
         }
-        Ok(SealedProgram {
+        Ok((flattener.instrs, flattener.n_regs))
+    }
+
+    /// Pair a flattened instruction stream with one configuration's
+    /// execution semantics.
+    pub(crate) fn assemble(
+        &self,
+        instrs: Vec<Instr>,
+        n_regs: usize,
+        semantics: &Semantics,
+    ) -> SealedProgram {
+        SealedProgram {
             precision: self.precision,
             flush_to_zero: semantics.flush_to_zero,
             math: semantics.math_lib.shared(),
             fast: FastMathLib::new(),
-            instrs: self.instrs,
-            params: self.sealed_params,
-            arrays: self.arrays,
-            names: self.names,
-            n_regs: self.n_regs,
+            instrs,
+            layout: Arc::clone(&self.layout),
+            n_regs,
             n_scalars: self.scalar_slots.len(),
             n_ints: self.n_ints,
             comp_slot: self.comp_slot,
-            init_pool: self.init_pool,
-        })
-    }
-
-    /// Round an `f64` constant to the program precision (what the
-    /// interpreter does lazily on every evaluation).
-    fn round_const(&self, v: f64) -> f64 {
-        match self.precision {
-            Precision::F64 => v,
-            Precision::F32 => v as f32 as f64,
         }
     }
+}
 
-    fn scalar_slot(&mut self, name: &'a str) -> Result<u16, SealError> {
-        if let Some(&(_, slot)) = self.scalar_slots.iter().find(|(n, _)| *n == name) {
-            return Ok(slot);
-        }
-        let slot = checked_u16(self.scalar_slots.len(), "scalar slots")?;
-        self.scalar_slots.push((name, slot));
-        Ok(slot)
-    }
+/// Mutable state of [`SealPlan::new`]'s single statement walk (the plan
+/// itself is immutable once built, with its layout behind an `Arc`).
+struct PlanBuilder<'p> {
+    precision: Precision,
+    layout: SealLayout,
+    scalar_slots: Vec<ScalarSlot<'p>>,
+    int_params: Vec<(&'p str, u16)>,
+    param_arrays: Vec<(&'p str, u16)>,
+    decl_arrays: Vec<(u16, u32)>,
+    n_int_params: u16,
+    n_ints: usize,
+}
 
-    fn new_array(&mut self, name: &'a str, len: usize) -> Result<u16, SealError> {
-        let slot = checked_u16(self.arrays.len(), "array slots")?;
-        let name_idx = self.pool_name(name);
-        self.arrays.push(ArraySlot { len, name: name_idx });
-        self.array_scope.push((name, slot));
-        Ok(slot)
-    }
-
-    fn pool_name(&mut self, name: &str) -> u32 {
-        match self.names.iter().position(|n| n == name) {
-            Some(i) => i as u32,
-            None => {
-                self.names.push(name.to_string());
-                (self.names.len() - 1) as u32
+impl<'p> PlanBuilder<'p> {
+    /// Walk the statement tree once, interning assignment targets, loop
+    /// int slots and array declarations in the exact order the flattener
+    /// will encounter them under every configuration (the pass pipeline
+    /// rewrites expressions only — statement structure is invariant).
+    fn walk(&mut self, body: &'p [OStmt], assign_seq: &mut u32) -> Result<(), SealError> {
+        for stmt in body {
+            match stmt {
+                OStmt::Assign { target, .. } => {
+                    // The target becomes visible to reads only *after*
+                    // this assignment (the expression is compiled first).
+                    *assign_seq += 1;
+                    self.intern_scalar(target, *assign_seq)?;
+                }
+                OStmt::Store { .. } => {}
+                OStmt::DeclArray { name, size, init } => {
+                    let slot = self.new_array(name, *size)?;
+                    let offset = self.layout.init_pool.len();
+                    if offset + *size > u32::MAX as usize {
+                        return Err(SealError::TooComplex("initializer pool"));
+                    }
+                    let precision = self.precision;
+                    self.layout
+                        .init_pool
+                        .extend(init.iter().take(*size).map(|&v| round_to(precision, v)));
+                    self.layout.init_pool.resize(offset + *size, 0.0);
+                    self.decl_arrays.push((slot, offset as u32));
+                }
+                OStmt::If { then_block, .. } => self.walk(then_block, assign_seq)?,
+                OStmt::For { body, .. } => {
+                    checked_u16(self.n_ints, "int slots")?;
+                    self.n_ints += 1;
+                    self.walk(body, assign_seq)?;
+                }
             }
         }
+        Ok(())
+    }
+
+    fn intern_scalar(&mut self, name: &'p str, visible_from: u32) -> Result<u16, SealError> {
+        if let Some(s) = self.scalar_slots.iter().find(|s| s.name == name) {
+            return Ok(s.slot);
+        }
+        let slot = checked_u16(self.scalar_slots.len(), "scalar slots")?;
+        self.scalar_slots.push(ScalarSlot { name, slot, visible_from });
+        Ok(slot)
+    }
+
+    fn new_array(&mut self, name: &str, len: usize) -> Result<u16, SealError> {
+        let slot = checked_u16(self.layout.arrays.len(), "array slots")?;
+        let name_idx = match self.layout.names.iter().position(|n| n == name) {
+            Some(i) => i as u32,
+            None => {
+                self.layout.names.push(name.to_string());
+                (self.layout.names.len() - 1) as u32
+            }
+        };
+        self.layout.arrays.push(ArraySlot { len, name: name_idx });
+        Ok(slot)
+    }
+}
+
+/// Per-configuration instruction emission over a shared [`SealPlan`].
+///
+/// `'a` is the borrow of the plan (scope entries for declared arrays
+/// borrow their names from the plan's layout pool), `'b` the borrow of
+/// the optimized body being flattened.
+struct Flattener<'a, 'b> {
+    plan: &'a SealPlan<'a>,
+    /// Loop variables currently in scope, innermost last.
+    int_scope: Vec<(&'b str, u16)>,
+    /// Arrays in scope, innermost last; parameters at the bottom. Slot
+    /// numbers come from the plan (declarations are numbered in walk
+    /// order, which the flattener replays).
+    array_scope: Vec<(&'a str, u16)>,
+    /// Next loop int slot in walk order (usize so a program with exactly
+    /// `u16::MAX + 1` slots — which the plan's per-slot `checked_u16`
+    /// accepts — doesn't overflow on the final increment; each assigned
+    /// slot itself is plan-validated to fit `u16`).
+    next_int: usize,
+    next_decl: usize,
+    /// Number of `Assign` statements flattened so far — the clock scalar
+    /// visibility is measured against.
+    assigns_done: u32,
+    instrs: Vec<Instr>,
+    n_regs: usize,
+}
+
+impl<'a, 'b> Flattener<'a, 'b> {
+    fn scalar_binding(&self, name: &str) -> Option<u16> {
+        self.plan
+            .scalar_slots
+            .iter()
+            .find(|s| s.name == name && s.visible_from <= self.assigns_done)
+            .map(|s| s.slot)
     }
 
     fn int_binding(&self, name: &str) -> Option<u16> {
@@ -418,7 +605,7 @@ impl<'a> Sealer<'a> {
             .iter()
             .rev()
             .find(|(n, _)| *n == name)
-            .or_else(|| self.int_params.iter().find(|(n, _)| *n == name))
+            .or_else(|| self.plan.int_params.iter().find(|(n, _)| *n == name))
             .map(|&(_, s)| s)
     }
 
@@ -435,12 +622,12 @@ impl<'a> Sealer<'a> {
     /// would at runtime (scalars first, then ints), rejecting reads whose
     /// dynamic resolution cannot be proven static.
     fn resolve_var(&self, name: &str) -> Result<Instr, SealError> {
-        let scalar = self.scalar_slots.iter().find(|(n, _)| *n == name).map(|&(_, s)| s);
+        let scalar = self.scalar_binding(name);
         let int = self.int_binding(name);
         match (scalar, int) {
             (Some(slot), None) => Ok(Instr::LoadScalar { dst: 0, slot }),
             (None, Some(slot)) => {
-                if self.assigned_anywhere.contains(&name) {
+                if self.plan.assigned_anywhere.contains(&name) {
                     // An assignment elsewhere could have (or could later)
                     // put this name into the interpreter's scalar map.
                     Err(SealError::AmbiguousName(name.to_string()))
@@ -469,7 +656,7 @@ impl<'a> Sealer<'a> {
         }
     }
 
-    fn seal_block(&mut self, body: &'a [OStmt]) -> Result<(), SealError> {
+    fn seal_block(&mut self, body: &'b [OStmt]) -> Result<(), SealError> {
         // Arrays are block-scoped (matching the validator); scalars are a
         // flat namespace (safe because every read lexically follows its
         // defining assignment in validated programs).
@@ -481,7 +668,7 @@ impl<'a> Sealer<'a> {
         Ok(())
     }
 
-    fn seal_stmt(&mut self, stmt: &'a OStmt) -> Result<(), SealError> {
+    fn seal_stmt(&mut self, stmt: &'b OStmt) -> Result<(), SealError> {
         self.instrs.push(Instr::Burn);
         match stmt {
             OStmt::Assign { target, expr } => {
@@ -489,7 +676,14 @@ impl<'a> Sealer<'a> {
                     return Err(SealError::AmbiguousName(target.clone()));
                 }
                 self.compile_expr(expr, 0)?;
-                let slot = self.scalar_slot(target)?;
+                self.assigns_done += 1;
+                let slot = self
+                    .plan
+                    .scalar_slots
+                    .iter()
+                    .find(|s| s.name == target)
+                    .map(|s| s.slot)
+                    .ok_or_else(|| SealError::UnresolvedVariable(target.clone()))?;
                 self.instrs.push(Instr::StoreScalar { slot, src: 0 });
             }
             OStmt::Store { array, index, expr } => {
@@ -500,19 +694,20 @@ impl<'a> Sealer<'a> {
                 let index = self.seal_index(index);
                 self.instrs.push(Instr::StoreElem { array: slot, index, src: 0 });
             }
-            OStmt::DeclArray { name, size, init } => {
-                let slot = self.new_array(name, *size)?;
-                let offset = self.init_pool.len();
-                if offset + *size > u32::MAX as usize {
-                    return Err(SealError::TooComplex("initializer pool"));
-                }
-                let precision = self.precision;
-                self.init_pool.extend(init.iter().take(*size).map(|&v| match precision {
-                    Precision::F64 => v,
-                    Precision::F32 => v as f32 as f64,
-                }));
-                self.init_pool.resize(offset + *size, 0.0);
-                self.instrs.push(Instr::DeclArray { array: slot, init: offset as u32 });
+            OStmt::DeclArray { .. } => {
+                let &(slot, init) = self
+                    .plan
+                    .decl_arrays
+                    .get(self.next_decl)
+                    .ok_or(SealError::TooComplex("plan/body mismatch"))?;
+                self.next_decl += 1;
+                // Scope entries borrow the array's name from the plan's
+                // pool (every declared array is pooled), so they outlive
+                // the per-statement body borrow.
+                let pool_idx = self.plan.layout.arrays[slot as usize].name as usize;
+                let scope_name: &'a str = &self.plan.layout.names[pool_idx];
+                self.array_scope.push((scope_name, slot));
+                self.instrs.push(Instr::DeclArray { array: slot, init });
             }
             OStmt::If { cond, then_block } => {
                 self.compile_expr(&cond.lhs, 0)?;
@@ -531,8 +726,8 @@ impl<'a> Sealer<'a> {
                 }
             }
             OStmt::For { var, bound, body } => {
-                let slot = checked_u16(self.n_ints, "int slots")?;
-                self.n_ints += 1;
+                let slot = self.next_int as u16;
+                self.next_int += 1;
                 self.instrs.push(Instr::SetInt { slot, value: 0 });
                 let head = self.instrs.len();
                 self.instrs.push(Instr::JumpIfIntGe { slot, bound: *bound, target: u32::MAX });
@@ -556,11 +751,11 @@ impl<'a> Sealer<'a> {
     /// Compile an expression so its value lands in register `dst`;
     /// children use registers `dst`, `dst + 1`, ... (left-to-right
     /// evaluation, matching the interpreter's recursion order).
-    fn compile_expr(&mut self, expr: &'a OExpr, dst: Reg) -> Result<(), SealError> {
+    fn compile_expr(&mut self, expr: &'b OExpr, dst: Reg) -> Result<(), SealError> {
         self.n_regs = self.n_regs.max(dst as usize + 1);
         match expr {
             OExpr::Const(v) => {
-                let value = self.round_const(*v);
+                let value = round_to(self.plan.precision, *v);
                 self.instrs.push(Instr::Const { dst, value });
             }
             OExpr::Var(name) => {

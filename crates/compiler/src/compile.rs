@@ -1,16 +1,19 @@
 //! The compilation entry point: validation → lowering → pass pipeline →
 //! an executable [`CompiledProgram`].
 
+use std::borrow::Cow;
+
 use serde::{Deserialize, Serialize};
 
 use llm4fp_fpir::{validate, InputSet, Param, Precision, Program, ValidationError};
 
-use crate::bytecode::{self, SealError, SealedProgram};
+use crate::bytecode::{self, SealError, SealPlan, SealedProgram};
 use crate::config::{CompilerConfig, Semantics};
 use crate::interp::{ExecError, ExecResult, Interpreter, DEFAULT_FUEL};
 use crate::ir::{count_in_body, OExpr, OStmt};
 use crate::lower::lower_program;
-use crate::passes::run_pipeline;
+use crate::passes::{apply_stage, apply_stage_ref, run_pipeline, stages, Stage};
+use crate::peephole::{self, SealMode, SealScratch};
 
 /// Why a program failed to compile.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -83,11 +86,22 @@ impl CompiledProgram {
     }
 
     /// Seal this artifact into register-machine bytecode for repeated
-    /// execution (see [`crate::bytecode`] and [`crate::vm`]). Sealed
+    /// execution (see [`crate::bytecode`] and [`crate::vm`]), running the
+    /// seal-time peephole optimizer ([`crate::peephole`]). Sealed
     /// execution is bit-identical to [`CompiledProgram::execute`]; callers
     /// that receive a [`SealError`] fall back to the interpreter.
     pub fn seal(&self) -> Result<SealedProgram, SealError> {
-        bytecode::seal(self.precision, &self.params, &self.body, &self.semantics)
+        self.seal_with(SealMode::Optimized)
+    }
+
+    /// [`CompiledProgram::seal`] with an explicit [`SealMode`] (`Raw`
+    /// skips the optimizer — the PR 3 stream, kept for A/B comparison).
+    pub fn seal_with(&self, mode: SealMode) -> Result<SealedProgram, SealError> {
+        let mut sealed = bytecode::seal(self.precision, &self.params, &self.body, &self.semantics)?;
+        if mode == SealMode::Optimized {
+            peephole::optimize(&mut sealed, &mut SealScratch::new());
+        }
+        Ok(sealed)
     }
 }
 
@@ -134,12 +148,191 @@ impl Frontend {
 
     /// Specialize and seal in one step, skipping the intermediate
     /// [`CompiledProgram`] (and its parameter-list clone) on the hot path.
-    /// Produces bytecode identical to `self.specialize(config).seal()`.
+    /// Produces bytecode identical to `self.specialize(config).seal()`
+    /// (peephole optimizer included).
     pub fn seal(&self, config: CompilerConfig) -> Result<SealedProgram, SealError> {
+        self.seal_with(config, SealMode::Optimized)
+    }
+
+    /// [`Frontend::seal`] with an explicit [`SealMode`].
+    pub fn seal_with(
+        &self,
+        config: CompilerConfig,
+        mode: SealMode,
+    ) -> Result<SealedProgram, SealError> {
         let semantics = config.semantics();
         let body = run_pipeline(self.lowered.clone(), &semantics);
-        bytecode::seal(self.precision, &self.params, &body, &semantics)
+        let mut sealed = bytecode::seal(self.precision, &self.params, &body, &semantics)?;
+        if mode == SealMode::Optimized {
+            peephole::optimize(&mut sealed, &mut SealScratch::new());
+        }
+        Ok(sealed)
     }
+
+    /// Seal one program under a whole configuration matrix at once,
+    /// sharing everything the configurations cannot influence:
+    ///
+    /// * the pass pipeline is factored into a **prefix tree** -- stage
+    ///   sequences that share a prefix share the intermediate IR after it,
+    ///   computed once per prefix: the tree is walked depth-first with the
+    ///   body *moved* into a prefix's last child and materialized (one
+    ///   rebuild pass) only at branch points, so e.g. all nine `O1`-`O3`
+    ///   configurations fold constants exactly once;
+    /// * name->slot resolution, the parameter binding plan and the
+    ///   initializer pool run **once per program** (`bytecode::SealPlan`)
+    ///   and land in one `Arc`-shared [`bytecode` layout] shared by every
+    ///   artifact of the matrix;
+    /// * configurations with *identical* stage sequences share the raw
+    ///   flatten itself (the bodies are the same tree), and the peephole
+    ///   optimizer runs once per `(pipeline, math library, flush)` class
+    ///   -- the only semantics inputs folding reads -- so each sealed
+    ///   artifact of a class pays a `Vec<Instr>` copy, not a re-run.
+    ///
+    /// Results are per-configuration and independent: a configuration
+    /// whose body no longer references a dynamically ambiguous name may
+    /// seal while its siblings refuse. Every entry is identical to what
+    /// [`Frontend::seal_with`] produces for that configuration.
+    ///
+    /// [`bytecode` layout]: crate::bytecode
+    pub fn seal_matrix(&self, configs: &[CompilerConfig]) -> Vec<Result<SealedProgram, SealError>> {
+        self.seal_matrix_with(configs, SealMode::Optimized, &mut SealScratch::new())
+    }
+
+    /// [`Frontend::seal_matrix`] with an explicit mode and a reusable
+    /// seal scratch (worker loops thread one scratch across programs).
+    pub fn seal_matrix_with(
+        &self,
+        configs: &[CompilerConfig],
+        mode: SealMode,
+        scratch: &mut SealScratch,
+    ) -> Vec<Result<SealedProgram, SealError>> {
+        let plan = match SealPlan::new(self.precision, &self.params, &self.lowered) {
+            Ok(plan) => plan,
+            Err(e) => return configs.iter().map(|_| Err(e.clone())).collect(),
+        };
+        let pipelines: Vec<(Semantics, Vec<Stage>)> = configs
+            .iter()
+            .map(|config| {
+                let semantics = config.semantics();
+                let pipeline = stages(&semantics);
+                (semantics, pipeline)
+            })
+            .collect();
+        // Distinct pipelines, in first-appearance order (identical
+        // sequences produce the identical raw instruction stream, so one
+        // flatten serves them all).
+        let mut distinct: Vec<&[Stage]> = Vec::new();
+        for (_, pipeline) in &pipelines {
+            if !distinct.iter().any(|d| *d == &pipeline[..]) {
+                distinct.push(pipeline);
+            }
+        }
+        // Depth-first prefix-tree walk producing the raw flatten of every
+        // distinct pipeline.
+        let mut flats: Vec<(&[Stage], Flat)> = Vec::with_capacity(distinct.len());
+        seal_prefix_group(&plan, Cow::Borrowed(&self.lowered), 0, &distinct, &mut flats);
+        // Optimized-stream memo. Peephole folding replays VM arithmetic,
+        // whose only configuration-dependent inputs are the math library
+        // and the flush-to-zero flag (precision is program-wide, and the
+        // approximate-reciprocal flag is baked into the instructions), so
+        // configurations agreeing on (pipeline, lib, flush) share the
+        // optimizer run itself.
+        type OptKey<'k> = (&'k [Stage], crate::config::MathLibKind, bool);
+        let mut opts: Vec<(OptKey, Flat)> = Vec::new();
+
+        pipelines
+            .iter()
+            .map(|(semantics, pipeline)| {
+                let (pipeline, flat) = flats
+                    .iter()
+                    .map(|(path, flat)| (*path, flat))
+                    .find(|(path, _)| *path == &pipeline[..])
+                    .expect("every distinct pipeline was flattened");
+                if mode != SealMode::Optimized {
+                    return flat
+                        .clone()
+                        .map(|(instrs, n_regs)| plan.assemble(instrs, n_regs, semantics));
+                }
+                let key: OptKey = (pipeline, semantics.math_lib, semantics.flush_to_zero);
+                let optimized = match opts.iter().find(|(k, _)| *k == key) {
+                    Some((_, optimized)) => optimized.clone(),
+                    None => {
+                        let optimized = flat.clone().map(|(instrs, n_regs)| {
+                            let mut sealed = plan.assemble(instrs, n_regs, semantics);
+                            peephole::optimize(&mut sealed, scratch);
+                            (sealed.instrs, sealed.n_regs)
+                        });
+                        // Memoize only classes another configuration will
+                        // actually hit — singleton classes (most of the
+                        // full matrix) skip the extra stream clone.
+                        let shared = pipelines
+                            .iter()
+                            .filter(|(s, p)| {
+                                &p[..] == key.0 && s.math_lib == key.1 && s.flush_to_zero == key.2
+                            })
+                            .count()
+                            > 1;
+                        if shared {
+                            opts.push((key, optimized.clone()));
+                        }
+                        optimized
+                    }
+                };
+                optimized.map(|(instrs, n_regs)| plan.assemble(instrs, n_regs, semantics))
+            })
+            .collect()
+    }
+}
+
+/// A raw flatten outcome: the instruction stream and its register count.
+type Flat = Result<(Vec<bytecode::Instr>, usize), SealError>;
+
+/// Depth-first walk of the prefix tree implied by the distinct stage
+/// sequences in `group` (all sharing the same first `depth` stages, whose
+/// rewritten IR is `body`). Flattens every complete pipeline in the
+/// group. The body is **moved** into the last child branch and rebuilt
+/// (one by-reference pass) only for earlier siblings, so a stage chain
+/// used by a single pipeline costs string-free consuming applications --
+/// the same tree work one independent seal performs -- while shared
+/// prefixes are computed exactly once for all their descendants.
+fn seal_prefix_group<'p>(
+    plan: &SealPlan<'_>,
+    body: Cow<'_, [OStmt]>,
+    depth: usize,
+    group: &[&'p [Stage]],
+    flats: &mut Vec<(&'p [Stage], Flat)>,
+) {
+    // Pipelines completed at this depth flatten against the current body.
+    for &pipeline in group {
+        if pipeline.len() == depth {
+            flats.push((pipeline, plan.flatten_instrs(&body)));
+        }
+    }
+    // Partition the rest by their next stage (first-appearance order).
+    let mut partitions: Vec<(Stage, Vec<&'p [Stage]>)> = Vec::new();
+    for &pipeline in group {
+        if pipeline.len() == depth {
+            continue;
+        }
+        let stage = pipeline[depth];
+        match partitions.iter_mut().find(|(s, _)| *s == stage) {
+            Some((_, bucket)) => bucket.push(pipeline),
+            None => partitions.push((stage, vec![pipeline])),
+        }
+    }
+    let Some((last_stage, last_bucket)) = partitions.pop() else {
+        return;
+    };
+    for (stage, bucket) in partitions {
+        let child = apply_stage_ref(&body, stage);
+        seal_prefix_group(plan, Cow::Owned(child), depth + 1, &bucket, flats);
+    }
+    // The final branch consumes the body: no rebuild when it was owned.
+    let child = match body {
+        Cow::Owned(owned) => apply_stage(owned, last_stage),
+        Cow::Borrowed(borrowed) => apply_stage_ref(borrowed, last_stage),
+    };
+    seal_prefix_group(plan, Cow::Owned(child), depth + 1, &last_bucket, flats);
 }
 
 /// Compile a program under one configuration.
@@ -212,6 +405,81 @@ mod tests {
             bits.insert(artifact.execute(&inputs).unwrap().bits());
         }
         assert_eq!(bits.len(), 1);
+    }
+
+    #[test]
+    fn seal_matrix_matches_independent_seals_instruction_for_instruction() {
+        let sources = [
+            "void compute(double x, double y) { comp = x * y + 2.5; comp /= y - 0.5; }",
+            "void compute(double *a, double s) {\n\
+             double buf[3] = {1.5, -2.25};\n\
+             for (int i = 0; i < 4; ++i) {\n\
+               buf[i % 3] += a[i] * s + sin(a[i]) + 1.0 + 2.0;\n\
+             }\n\
+             if (buf[0] > 1.0) { comp = buf[0] / (s + 2.0); }\n\
+             }",
+        ];
+        let matrix = CompilerConfig::full_matrix();
+        for src in sources {
+            let frontend = Frontend::new(&parse_compute(src).unwrap()).unwrap();
+            for mode in [SealMode::Raw, SealMode::Optimized] {
+                let batch = frontend.seal_matrix_with(&matrix, mode, &mut SealScratch::new());
+                for (&config, batched) in matrix.iter().zip(&batch) {
+                    let single = frontend.seal_with(config, mode).unwrap();
+                    let batched = batched
+                        .as_ref()
+                        .unwrap_or_else(|e| panic!("matrix seal failed under {config}: {e}"));
+                    assert_eq!(batched.instrs, single.instrs, "{config} {mode:?}");
+                    assert_eq!(batched.register_count(), single.register_count(), "{config}");
+                    assert_eq!(batched.instruction_count(), single.instruction_count());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seal_matrix_refusals_mirror_independent_seals() {
+        // `t` is a loop variable in one scope and a scalar target in
+        // another: every configuration must refuse, exactly as the
+        // independent path does.
+        let src = "void compute(double x) {\n\
+                   for (int t = 0; t < 3; ++t) { comp += x * t; }\n\
+                   double t = 2.0;\n\
+                   comp += t;\n\
+                   }";
+        let frontend = Frontend::new(&parse_compute(src).unwrap()).unwrap();
+        let matrix = CompilerConfig::full_matrix();
+        let batch = frontend.seal_matrix(&matrix);
+        assert_eq!(batch.len(), matrix.len());
+        for (&config, result) in matrix.iter().zip(&batch) {
+            let single = frontend.seal(config);
+            match (result, &single) {
+                (Err(a), Err(b)) => assert_eq!(a, b, "{config}"),
+                other => panic!("expected matching refusals under {config}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn seal_matrix_shares_one_layout_across_the_matrix() {
+        let src = "void compute(double *a, double s) {\n\
+                   double buf[2] = {0.5};\n\
+                   for (int i = 0; i < 4; ++i) { comp += a[i] * s + buf[i % 2]; }\n\
+                   }";
+        let frontend = Frontend::new(&parse_compute(src).unwrap()).unwrap();
+        let sealed: Vec<_> = frontend
+            .seal_matrix(&CompilerConfig::full_matrix())
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(sealed.len(), 18);
+        let first = &sealed[0];
+        for other in &sealed[1..] {
+            assert!(
+                std::sync::Arc::ptr_eq(&first.layout, &other.layout),
+                "layouts are not structurally shared"
+            );
+        }
     }
 
     #[test]

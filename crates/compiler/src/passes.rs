@@ -25,28 +25,134 @@ use llm4fp_fpir::BinOp;
 use crate::config::{ContractionStyle, ReassocStyle, Semantics};
 use crate::ir::{OExpr, OStmt};
 
-/// Run the full pipeline for the given semantics.
-pub fn run_pipeline(body: Vec<OStmt>, sem: &Semantics) -> Vec<OStmt> {
-    let mut body = body;
+/// One enabled pass application, fully parameterized. The pipeline a
+/// [`Semantics`] selects is a *sequence* of stages ([`stages`]); running
+/// them in order ([`apply_stage`]) is exactly [`run_pipeline`]. Matrix
+/// sealing exploits the decomposition: configurations whose stage
+/// sequences share a prefix share the intermediate IR after that prefix
+/// (see `Frontend::seal_matrix`), so equality of `Stage` values is the
+/// sharing criterion and must capture every parameter a pass reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Stage {
+    ConstFold,
+    AlgebraicSimplify,
+    Reassociate(ReassocStyle),
+    RecipDivision { approx: bool },
+    Contract(ContractionStyle),
+}
+
+/// The stage sequence a semantics enables, in pipeline order.
+pub(crate) fn stages(sem: &Semantics) -> Vec<Stage> {
+    let mut out = Vec::with_capacity(5);
     if sem.const_fold {
-        body = map_body(body, &const_fold_expr);
+        out.push(Stage::ConstFold);
     }
     if sem.algebraic_simplify {
-        body = map_body(body, &algebraic_simplify_expr);
+        out.push(Stage::AlgebraicSimplify);
     }
     if sem.fast_math && sem.reassoc != ReassocStyle::SourceOrder {
-        let style = sem.reassoc;
-        body = map_body(body, &move |e| reassociate_expr(e, style));
+        out.push(Stage::Reassociate(sem.reassoc));
     }
     if sem.recip_division {
-        let approx = sem.approx_recip;
-        body = map_body(body, &move |e| recip_division_expr(e, approx));
+        out.push(Stage::RecipDivision { approx: sem.approx_recip });
     }
     if sem.contraction != ContractionStyle::Off {
-        let style = sem.contraction;
-        body = map_body(body, &move |e| contract_expr(e, style));
+        out.push(Stage::Contract(sem.contraction));
     }
-    body
+    out
+}
+
+/// Apply one stage to a body.
+pub(crate) fn apply_stage(body: Vec<OStmt>, stage: Stage) -> Vec<OStmt> {
+    match stage {
+        Stage::ConstFold => map_body(body, &const_fold_expr),
+        Stage::AlgebraicSimplify => map_body(body, &algebraic_simplify_expr),
+        Stage::Reassociate(style) => map_body(body, &move |e| reassociate_expr(e, style)),
+        Stage::RecipDivision { approx } => map_body(body, &move |e| recip_division_expr(e, approx)),
+        Stage::Contract(style) => map_body(body, &move |e| contract_expr(e, style)),
+    }
+}
+
+/// Apply one stage to a *borrowed* body, building the rewritten tree in
+/// a single allocation pass. Produces exactly the same tree as
+/// `apply_stage(body.to_vec(), stage)` — both drivers are bottom-up and
+/// call the same node-local rewrite once per node — but skips the
+/// intermediate clone, which matters because the prefix tree applies
+/// stages to memoized `Arc` bodies it must not consume. This is the hot
+/// driver of `Frontend::seal_matrix`.
+pub(crate) fn apply_stage_ref(body: &[OStmt], stage: Stage) -> Vec<OStmt> {
+    body.iter().map(|stmt| rewrite_stmt_ref(stmt, stage)).collect()
+}
+
+fn rewrite_stmt_ref(stmt: &OStmt, stage: Stage) -> OStmt {
+    match stmt {
+        OStmt::Assign { target, expr } => {
+            OStmt::Assign { target: target.clone(), expr: rewrite_expr_ref(expr, stage) }
+        }
+        OStmt::Store { array, index, expr } => OStmt::Store {
+            array: array.clone(),
+            index: index.clone(),
+            expr: rewrite_expr_ref(expr, stage),
+        },
+        OStmt::DeclArray { .. } => stmt.clone(),
+        OStmt::If { cond, then_block } => OStmt::If {
+            cond: crate::ir::OCond {
+                lhs: rewrite_expr_ref(&cond.lhs, stage),
+                op: cond.op,
+                rhs: rewrite_expr_ref(&cond.rhs, stage),
+            },
+            then_block: then_block.iter().map(|s| rewrite_stmt_ref(s, stage)).collect(),
+        },
+        OStmt::For { var, bound, body } => OStmt::For {
+            var: var.clone(),
+            bound: *bound,
+            body: body.iter().map(|s| rewrite_stmt_ref(s, stage)).collect(),
+        },
+    }
+}
+
+/// Bottom-up by-reference rewrite: children first, then the stage's
+/// node-local function on the rebuilt node — the same evaluation order as
+/// the consuming drivers above.
+fn rewrite_expr_ref(expr: &OExpr, stage: Stage) -> OExpr {
+    let rebuilt = match expr {
+        OExpr::Neg(inner) => OExpr::Neg(Box::new(rewrite_expr_ref(inner, stage))),
+        OExpr::Bin { op, lhs, rhs } => OExpr::Bin {
+            op: *op,
+            lhs: Box::new(rewrite_expr_ref(lhs, stage)),
+            rhs: Box::new(rewrite_expr_ref(rhs, stage)),
+        },
+        OExpr::Fma { a, b, c } => OExpr::Fma {
+            a: Box::new(rewrite_expr_ref(a, stage)),
+            b: Box::new(rewrite_expr_ref(b, stage)),
+            c: Box::new(rewrite_expr_ref(c, stage)),
+        },
+        OExpr::Recip { value, approx } => {
+            OExpr::Recip { value: Box::new(rewrite_expr_ref(value, stage)), approx: *approx }
+        }
+        OExpr::Call { func, args } => OExpr::Call {
+            func: *func,
+            args: args.iter().map(|a| rewrite_expr_ref(a, stage)).collect(),
+        },
+        leaf @ (OExpr::Const(_) | OExpr::Var(_) | OExpr::Index { .. }) => leaf.clone(),
+    };
+    apply_node(rebuilt, stage)
+}
+
+/// One stage's node-local rewrite (children already rewritten).
+fn apply_node(expr: OExpr, stage: Stage) -> OExpr {
+    match stage {
+        Stage::ConstFold => const_fold_node(expr),
+        Stage::AlgebraicSimplify => algebraic_simplify_node(expr),
+        Stage::Reassociate(style) => reassociate_node(expr, style),
+        Stage::RecipDivision { approx } => recip_division_node(expr, approx),
+        Stage::Contract(style) => contract_node(expr, style),
+    }
+}
+
+/// Run the full pipeline for the given semantics.
+pub fn run_pipeline(body: Vec<OStmt>, sem: &Semantics) -> Vec<OStmt> {
+    stages(sem).into_iter().fold(body, apply_stage)
 }
 
 /// Apply an expression rewriter to every expression in a body.
@@ -63,7 +169,11 @@ fn map_body(body: Vec<OStmt>, rewrite: &impl Fn(OExpr) -> OExpr) -> Vec<OStmt> {
 /// so folding never changes the program's result — it models the
 /// value-preserving part of `-O1`/`-O2`/`-O3`.
 pub fn const_fold_expr(expr: OExpr) -> OExpr {
-    let expr = map_children(expr, &const_fold_expr);
+    const_fold_node(map_children(expr, &const_fold_expr))
+}
+
+/// Node-local half of [`const_fold_expr`] (children already rewritten).
+fn const_fold_node(expr: OExpr) -> OExpr {
     match &expr {
         OExpr::Neg(inner) => {
             if let Some(v) = inner.as_const() {
@@ -97,7 +207,11 @@ pub fn const_fold_expr(expr: OExpr) -> OExpr {
 
 /// Value-unsafe algebraic identities applied under fast-math.
 pub fn algebraic_simplify_expr(expr: OExpr) -> OExpr {
-    let expr = map_children(expr, &algebraic_simplify_expr);
+    algebraic_simplify_node(map_children(expr, &algebraic_simplify_expr))
+}
+
+/// Node-local half of [`algebraic_simplify_expr`].
+fn algebraic_simplify_node(expr: OExpr) -> OExpr {
     if let OExpr::Bin { op, lhs, rhs } = &expr {
         match op {
             BinOp::Sub if lhs == rhs => return OExpr::Const(0.0),
@@ -135,7 +249,11 @@ pub fn algebraic_simplify_expr(expr: OExpr) -> OExpr {
 
 /// Reassociate chains of the associative operators according to `style`.
 pub fn reassociate_expr(expr: OExpr, style: ReassocStyle) -> OExpr {
-    let expr = map_children(expr, &|e| reassociate_expr(e, style));
+    reassociate_node(map_children(expr, &|e| reassociate_expr(e, style)), style)
+}
+
+/// Node-local half of [`reassociate_expr`].
+fn reassociate_node(expr: OExpr, style: ReassocStyle) -> OExpr {
     if let OExpr::Bin { op, .. } = &expr {
         if op.is_associative() {
             let op = *op;
@@ -207,7 +325,11 @@ fn build_balanced(op: BinOp, operands: &[OExpr]) -> OExpr {
 /// Rewrite divisions into multiplications by a (possibly approximate)
 /// reciprocal.
 pub fn recip_division_expr(expr: OExpr, approx: bool) -> OExpr {
-    let expr = map_children(expr, &|e| recip_division_expr(e, approx));
+    recip_division_node(map_children(expr, &|e| recip_division_expr(e, approx)), approx)
+}
+
+/// Node-local half of [`recip_division_expr`].
+fn recip_division_node(expr: OExpr, approx: bool) -> OExpr {
     if let OExpr::Bin { op: BinOp::Div, lhs, rhs } = expr {
         // `1 / y` stays a plain reciprocal of y; `x / y` becomes x * (1/y).
         let recip = OExpr::Recip { value: rhs, approx };
@@ -225,7 +347,11 @@ pub fn recip_division_expr(expr: OExpr, approx: bool) -> OExpr {
 
 /// Contract `a*b ± c` shapes into fused multiply-adds.
 pub fn contract_expr(expr: OExpr, style: ContractionStyle) -> OExpr {
-    let expr = map_children(expr, &|e| contract_expr(e, style));
+    contract_node(map_children(expr, &|e| contract_expr(e, style)), style)
+}
+
+/// Node-local half of [`contract_expr`].
+fn contract_node(expr: OExpr, style: ContractionStyle) -> OExpr {
     if style == ContractionStyle::Off {
         return expr;
     }

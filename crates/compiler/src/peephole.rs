@@ -1,0 +1,799 @@
+//! The seal-time bytecode optimizer: peephole passes over a flattened
+//! [`SealedProgram`] that shrink the executed instruction stream without
+//! moving a single observable bit.
+//!
+//! ## Why this is safe
+//!
+//! The VM ≡ interpreter pin (see [`crate::bytecode`]) constrains three
+//! observables: result value bits, step counts, and `ExecError` variants
+//! including the exact fuel-exhaustion point. Fuel and steps are consumed
+//! **only** by `Burn` instructions, and runtime errors can arise **only**
+//! from `LoadElem` / `StoreElem` (bounds checks) and parameter binding.
+//! Every pass below therefore obeys two structural rules:
+//!
+//! 1. `Burn` instructions are never inserted, deleted, or reordered
+//!    relative to the error-capable instructions (the compaction helper
+//!    refuses to delete anything but pure register-writing instructions);
+//! 2. any rewrite of a pure instruction reproduces the VM's arithmetic
+//!    *exactly* — constant folding calls the same `round`/`finish`
+//!    helpers and the same math-library instance the VM would dispatch
+//!    into at run time, so a folded `Const` carries the bit pattern the
+//!    original sequence would have computed.
+//!
+//! A pass that cannot prove those properties for a particular program
+//! refuses **per pass** (returning the stream unchanged) rather than
+//! bending semantics — e.g. dead-register elimination sits out programs
+//! whose register file exceeds its 128-bit liveness sets. The driver
+//! additionally asserts fuel-neutrality (burn count invariance) after the
+//! pipeline as a hard backstop.
+//!
+//! ## The passes
+//!
+//! * **Constant-index folding** — normalizes `SlotIndex` forms whose
+//!   runtime evaluation is independent of the int slot (`i % m` with
+//!   `m <= 1` is always 0; `i + 0` is just `i`).
+//! * **Constant propagation** — tracks registers holding known constants
+//!   through straight-line regions (invalidated at every jump target) and
+//!   folds `Neg`/`Bin`/`Fma`/`Recip`/`Call` instructions whose operands
+//!   are all known into pre-computed `Const`s. This reaches what the
+//!   tree-level `const_fold` pass cannot: `O0`/`O0_nofma` configurations
+//!   (which disable tree folding to model real `-O0`) and post-lowering
+//!   shapes like compound-assignment chains. Identical bits by
+//!   construction — the fold *is* the VM's evaluation, run at seal time.
+//! * **Jump threading** — retargets jumps whose destination is another
+//!   unconditional jump, and deletes jumps to the next instruction.
+//! * **Dead-register elimination** — backward liveness over the bytecode
+//!   CFG; pure register writes whose destination is never read are
+//!   deleted (array accesses are *not* pure — their bounds checks are
+//!   observable — and are never touched).
+//! * **Register coalescing** — renumbers the surviving registers densely,
+//!   shrinking the `ExecScratch` register file the VM zero-fills per run.
+//!   (Monotone renumbering keeps `Call` argument blocks contiguous.)
+
+use crate::bytecode::{Instr, SealedProgram, SlotIndex};
+
+/// Whether sealing runs the post-flatten peephole optimizer. The two
+/// modes are pinned bit-identical (the optimizer preserves the VM ≡
+/// interpreter contract), so this is a performance knob, not a semantic
+/// one — `Raw` exists for A/B benchmarking (`--no-seal-opt`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SealMode {
+    /// Flatten, then run the peephole pipeline (the default).
+    #[default]
+    Optimized,
+    /// Flatten only, as PR 3 sealed.
+    Raw,
+}
+
+// Hand-written (de)serialization: a missing/null field decodes as
+// `Optimized`, so campaign configs persisted before the optimizer existed
+// keep loading (and resuming) with today's default behaviour.
+impl serde::Serialize for SealMode {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(
+            match self {
+                SealMode::Optimized => "Optimized",
+                SealMode::Raw => "Raw",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl serde::Deserialize for SealMode {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Null => Ok(SealMode::Optimized),
+            serde::Value::Str(s) if s == "Optimized" => Ok(SealMode::Optimized),
+            serde::Value::Str(s) if s == "Raw" => Ok(SealMode::Raw),
+            _ => Err(serde::Error::msg("unexpected value for SealMode")),
+        }
+    }
+}
+
+/// Reusable work buffers for the optimizer. Sealing sits on the campaign
+/// hot path (once per program × pipeline class); threading one scratch
+/// through a worker loop makes repeated optimization allocation-free.
+#[derive(Debug, Default)]
+pub struct SealScratch {
+    /// Known constant per register during propagation.
+    consts: Vec<Option<f64>>,
+    /// Jump-target marks per instruction.
+    label: Vec<bool>,
+    /// Survival marks for the compaction helper.
+    keep: Vec<bool>,
+    /// Old-index → new-index prefix counts for target remapping.
+    remap: Vec<u32>,
+    /// Per-instruction live-in register sets (bit per register).
+    live_in: Vec<u128>,
+    /// Old-register → new-register map for coalescing.
+    reg_map: Vec<u16>,
+}
+
+impl SealScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// What one optimization run did (reported by benches and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeepholeStats {
+    pub instrs_before: usize,
+    pub instrs_after: usize,
+    pub regs_before: usize,
+    pub regs_after: usize,
+}
+
+/// Run the full peephole pipeline over a freshly flattened program.
+///
+/// One forward pass folds everything foldable (the constants map updates
+/// as the fold proceeds, so chains collapse in a single sweep); one
+/// backward strong-liveness sweep then removes the folds' entire dead
+/// feeder chains. Sealing is itself a hot path (once per program ×
+/// pipeline class in a campaign), so each pass is skipped outright when
+/// its precondition is absent: a stream with no `Const` cannot fold, a
+/// stream where nothing folded has no dead code (the flattener never
+/// emits any), and registers only come free when instructions were
+/// removed.
+pub fn optimize(program: &mut SealedProgram, scratch: &mut SealScratch) -> PeepholeStats {
+    let instrs_before = program.instrs.len();
+    let regs_before = program.n_regs;
+    let burns_before = count_burns(&program.instrs);
+
+    let has_consts = census(program, scratch);
+    if has_consts && propagate_constants(program, scratch) {
+        eliminate_dead(program, scratch);
+        coalesce_registers(program, scratch);
+    }
+    // Last: threading only ever removes unconditional jumps to the next
+    // instruction (structured flattening emits no jump chains, but DCE
+    // can empty the region an `if` jumps over), which cannot expose new
+    // folds or dead registers.
+    thread_jumps(program, scratch);
+
+    // Hard backstop for the bit-exactness pin: fuel burns are sacrosanct.
+    assert_eq!(count_burns(&program.instrs), burns_before, "peephole pipeline altered fuel burns");
+    PeepholeStats {
+        instrs_before,
+        instrs_after: program.instrs.len(),
+        regs_before,
+        regs_after: program.n_regs,
+    }
+}
+
+fn count_burns(instrs: &[Instr]) -> usize {
+    instrs.iter().filter(|i| matches!(i, Instr::Burn)).count()
+}
+
+// ---------------------------------------------------------------------------
+// constant-index folding
+// ---------------------------------------------------------------------------
+
+/// Normalize index forms whose evaluation cannot depend on the int slot.
+/// Mirrors [`SlotIndex::eval`]: `rem_euclid(m)` is identically 0 for
+/// `m <= 1` (the VM special-cases `m <= 0` to 0), and a zero offset reads
+/// the slot directly.
+fn fold_index(index: SlotIndex) -> Option<SlotIndex> {
+    match index {
+        SlotIndex::Mod { modulus, .. } if modulus <= 1 => Some(SlotIndex::Const(0)),
+        SlotIndex::Offset { slot, offset: 0 } => Some(SlotIndex::Var(slot)),
+        _ => None,
+    }
+}
+
+/// The shared first sweep: folds constant-evaluable indexes, marks jump
+/// targets into `scratch.label` (consumed by constant propagation), and
+/// reports whether the stream contains any `Const` instruction at all
+/// (without one, constant propagation has nothing to seed from and is
+/// skipped entirely).
+fn census(program: &mut SealedProgram, scratch: &mut SealScratch) -> bool {
+    let label = &mut scratch.label;
+    label.clear();
+    label.resize(program.instrs.len(), false);
+    let mut has_consts = false;
+    for instr in &mut program.instrs {
+        match instr {
+            Instr::LoadElem { index, .. } | Instr::StoreElem { index, .. } => {
+                if let Some(folded) = fold_index(*index) {
+                    *index = folded;
+                }
+            }
+            Instr::Const { .. } => has_consts = true,
+            Instr::Jump { target }
+            | Instr::JumpIfIntGe { target, .. }
+            | Instr::JumpCmpFalse { target, .. } => label[*target as usize] = true,
+            _ => {}
+        }
+    }
+    has_consts
+}
+
+// ---------------------------------------------------------------------------
+// constant propagation
+// ---------------------------------------------------------------------------
+
+/// Forward propagation of known register constants through straight-line
+/// regions. Every fold replays the VM's own arithmetic (same `finish`
+/// rounding/flushing, same math-library instance), so replacing the
+/// sequence with a `Const` is bit-invisible. State resets at every jump
+/// target ([`census`] marked them) — the conservative join for merge
+/// points and loop heads.
+fn propagate_constants(program: &mut SealedProgram, scratch: &mut SealScratch) -> bool {
+    scratch.consts.clear();
+    scratch.consts.resize(program.n_regs, None);
+    let consts = &mut scratch.consts;
+    let mut changed = false;
+
+    for i in 0..program.instrs.len() {
+        if scratch.label[i] {
+            consts.iter_mut().for_each(|c| *c = None);
+        }
+        match program.instrs[i] {
+            Instr::Const { dst, value } => consts[dst as usize] = Some(value),
+            Instr::Neg { dst, src } => {
+                let folded = consts[src as usize].map(|v| -v);
+                if let Some(value) = folded {
+                    program.instrs[i] = Instr::Const { dst, value };
+                    changed = true;
+                }
+                consts[dst as usize] = folded;
+            }
+            Instr::Bin { op, dst, lhs, rhs } => {
+                let folded = match (consts[lhs as usize], consts[rhs as usize]) {
+                    (Some(a), Some(b)) => Some(program.eval_bin(op, a, b)),
+                    _ => None,
+                };
+                if let Some(value) = folded {
+                    program.instrs[i] = Instr::Const { dst, value };
+                    changed = true;
+                }
+                consts[dst as usize] = folded;
+            }
+            Instr::Fma { dst, a, b, c } => {
+                let folded = match (consts[a as usize], consts[b as usize], consts[c as usize]) {
+                    (Some(a), Some(b), Some(c)) => Some(program.eval_fma(a, b, c)),
+                    _ => None,
+                };
+                if let Some(value) = folded {
+                    program.instrs[i] = Instr::Const { dst, value };
+                    changed = true;
+                }
+                consts[dst as usize] = folded;
+            }
+            Instr::Recip { dst, src, approx } => {
+                let folded = consts[src as usize].map(|v| program.eval_recip(approx, v));
+                if let Some(value) = folded {
+                    program.instrs[i] = Instr::Const { dst, value };
+                    changed = true;
+                }
+                consts[dst as usize] = folded;
+            }
+            Instr::Call { func, dst, base, arity } => {
+                // The VM reads exactly `arity` argument registers and
+                // substitutes 0.0 for the rest — replicated here.
+                let a = consts[base as usize];
+                let b = if arity > 1 { consts[base as usize + 1] } else { Some(0.0) };
+                let c = if arity > 2 { consts[base as usize + 2] } else { Some(0.0) };
+                let folded = match (a, b, c) {
+                    (Some(a), Some(b), Some(c)) => Some(program.eval_call(func, a, b, c)),
+                    _ => None,
+                };
+                if let Some(value) = folded {
+                    program.instrs[i] = Instr::Const { dst, value };
+                    changed = true;
+                }
+                consts[dst as usize] = folded;
+            }
+            Instr::LoadScalar { dst, .. }
+            | Instr::LoadInt { dst, .. }
+            | Instr::LoadElem { dst, .. } => consts[dst as usize] = None,
+            Instr::Burn
+            | Instr::StoreScalar { .. }
+            | Instr::StoreElem { .. }
+            | Instr::DeclArray { .. }
+            | Instr::SetInt { .. }
+            | Instr::IncInt { .. }
+            | Instr::JumpIfIntGe { .. }
+            | Instr::JumpCmpFalse { .. }
+            | Instr::Jump { .. }
+            | Instr::Halt => {}
+        }
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------------
+// jump threading
+// ---------------------------------------------------------------------------
+
+/// Follow a chain of unconditional jumps to its final destination (with a
+/// hop bound in case of degenerate cycles, which structured flattening
+/// never emits).
+fn final_target(instrs: &[Instr], mut target: u32) -> u32 {
+    let mut hops = 0;
+    while let Instr::Jump { target: next } = instrs[target as usize] {
+        if next == target || hops > instrs.len() {
+            break;
+        }
+        target = next;
+        hops += 1;
+    }
+    target
+}
+
+fn thread_jumps(program: &mut SealedProgram, scratch: &mut SealScratch) -> bool {
+    let mut changed = false;
+    let mut jump_to_next = false;
+    for i in 0..program.instrs.len() {
+        let current = match program.instrs[i] {
+            Instr::Jump { target }
+            | Instr::JumpIfIntGe { target, .. }
+            | Instr::JumpCmpFalse { target, .. } => target,
+            _ => continue,
+        };
+        let resolved = final_target(&program.instrs, current);
+        if resolved != current {
+            match &mut program.instrs[i] {
+                Instr::Jump { target }
+                | Instr::JumpIfIntGe { target, .. }
+                | Instr::JumpCmpFalse { target, .. } => *target = resolved,
+                _ => unreachable!("matched a jump above"),
+            }
+            changed = true;
+        }
+        jump_to_next |=
+            matches!(program.instrs[i], Instr::Jump { target } if target as usize == i + 1);
+    }
+    // Unconditional jumps to the next instruction are no-ops (no fuel is
+    // burnt by control flow); delete them. Structured flattening emits
+    // none, so the compaction vector is only built when one exists.
+    if jump_to_next {
+        let keep = &mut scratch.keep;
+        keep.clear();
+        keep.extend(program.instrs.iter().enumerate().map(
+            |(i, instr)| !matches!(instr, Instr::Jump { target } if *target as usize == i + 1),
+        ));
+        remove_marked(program, scratch);
+        changed = true;
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------------
+// dead-register elimination
+// ---------------------------------------------------------------------------
+
+/// The register an instruction writes, if any.
+fn def_reg(instr: Instr) -> Option<u16> {
+    match instr {
+        Instr::Const { dst, .. }
+        | Instr::LoadScalar { dst, .. }
+        | Instr::LoadInt { dst, .. }
+        | Instr::LoadElem { dst, .. }
+        | Instr::Neg { dst, .. }
+        | Instr::Bin { dst, .. }
+        | Instr::Fma { dst, .. }
+        | Instr::Recip { dst, .. }
+        | Instr::Call { dst, .. } => Some(dst),
+        _ => None,
+    }
+}
+
+/// The registers an instruction reads, as a 128-bit set (callers refuse
+/// wider register files before using this).
+fn use_set(instr: Instr) -> u128 {
+    let bit = |r: u16| 1u128 << r;
+    match instr {
+        Instr::Neg { src, .. } | Instr::Recip { src, .. } => bit(src),
+        Instr::Bin { lhs, rhs, .. } => bit(lhs) | bit(rhs),
+        Instr::Fma { a, b, c, .. } => bit(a) | bit(b) | bit(c),
+        Instr::Call { base, arity, .. } => {
+            let mut set = bit(base);
+            if arity > 1 {
+                set |= bit(base + 1);
+            }
+            if arity > 2 {
+                set |= bit(base + 2);
+            }
+            set
+        }
+        Instr::StoreScalar { src, .. } | Instr::StoreElem { src, .. } => bit(src),
+        Instr::JumpCmpFalse { lhs, rhs, .. } => bit(lhs) | bit(rhs),
+        _ => 0,
+    }
+}
+
+/// True for instructions whose only effect is writing their destination
+/// register: deleting one (when the destination is dead) is invisible to
+/// the pin. `LoadElem` is deliberately excluded — its bounds check is an
+/// observable error source.
+fn removable(instr: Instr) -> bool {
+    matches!(
+        instr,
+        Instr::Const { .. }
+            | Instr::LoadScalar { .. }
+            | Instr::LoadInt { .. }
+            | Instr::Neg { .. }
+            | Instr::Bin { .. }
+            | Instr::Fma { .. }
+            | Instr::Recip { .. }
+            | Instr::Call { .. }
+    )
+}
+
+/// Delete pure register writes whose destination is dead. Refuses (pass
+/// skipped, not program) when the register file exceeds the 128-bit
+/// liveness sets.
+///
+/// The dataflow is *strong* liveness: an instruction that is dead and
+/// removable contributes no uses, so a fold's entire feeder chain dies in
+/// one converged fixpoint -- no outer pipeline re-iteration. Backward
+/// sweeps converge in one pass for straight-line code plus one per
+/// loop-carried level (sets grow monotonically, so convergence is
+/// guaranteed).
+fn eliminate_dead(program: &mut SealedProgram, scratch: &mut SealScratch) -> bool {
+    if program.n_regs > 128 {
+        return false;
+    }
+    let n = program.instrs.len();
+    scratch.live_in.clear();
+    scratch.live_in.resize(n, 0);
+    loop {
+        let mut updated = false;
+        for i in (0..n).rev() {
+            let instr = program.instrs[i];
+            let out = live_out(&program.instrs, &scratch.live_in, i);
+            let live = match def_reg(instr) {
+                Some(d) if removable(instr) && out & (1u128 << d) == 0 => {
+                    // Dead on every path: it will be deleted, so its own
+                    // reads keep nothing alive.
+                    out
+                }
+                Some(d) => (out & !(1u128 << d)) | use_set(instr),
+                None => out | use_set(instr),
+            };
+            if live != scratch.live_in[i] {
+                scratch.live_in[i] = live;
+                updated = true;
+            }
+        }
+        if !updated {
+            break;
+        }
+    }
+    let keep = &mut scratch.keep;
+    keep.clear();
+    keep.reserve(n);
+    let mut removed = false;
+    for i in 0..n {
+        let instr = program.instrs[i];
+        let dead = removable(instr)
+            && def_reg(instr).is_some_and(|d| {
+                live_out(&program.instrs, &scratch.live_in, i) & (1u128 << d) == 0
+            });
+        keep.push(!dead);
+        removed |= dead;
+    }
+    if !removed {
+        return false;
+    }
+    remove_marked(program, scratch);
+    true
+}
+
+/// Live-out of instruction `i` given the current live-in sets.
+fn live_out(instrs: &[Instr], live_in: &[u128], i: usize) -> u128 {
+    match instrs[i] {
+        Instr::Halt => 0,
+        Instr::Jump { target } => live_in[target as usize],
+        Instr::JumpIfIntGe { target, .. } | Instr::JumpCmpFalse { target, .. } => {
+            live_in[i + 1] | live_in[target as usize]
+        }
+        _ => live_in[i + 1],
+    }
+}
+
+/// Compact the instruction stream to the `scratch.keep` marks, remapping
+/// every jump target. A deleted instruction that is itself a jump target
+/// remaps to the next surviving instruction — sound because only dead
+/// pure register writes are ever deleted (dead along *every* path, the
+/// jump edge included). Burns are structurally undeletable.
+fn remove_marked(program: &mut SealedProgram, scratch: &mut SealScratch) {
+    let keep = &scratch.keep;
+    debug_assert_eq!(keep.len(), program.instrs.len());
+    debug_assert!(
+        keep.iter()
+            .zip(&program.instrs)
+            .all(|(&k, &i)| k || removable(i) || matches!(i, Instr::Jump { .. })),
+        "attempted to delete an effectful instruction"
+    );
+    let remap = &mut scratch.remap;
+    remap.clear();
+    remap.reserve(keep.len() + 1);
+    let mut new_index = 0u32;
+    for &k in keep {
+        remap.push(new_index);
+        new_index += u32::from(k);
+    }
+    remap.push(new_index);
+    for instr in &mut program.instrs {
+        if let Instr::Jump { target }
+        | Instr::JumpIfIntGe { target, .. }
+        | Instr::JumpCmpFalse { target, .. } = instr
+        {
+            *target = remap[*target as usize];
+        }
+    }
+    let mut index = 0;
+    program.instrs.retain(|_| {
+        let kept = keep[index];
+        index += 1;
+        kept
+    });
+}
+
+// ---------------------------------------------------------------------------
+// register coalescing
+// ---------------------------------------------------------------------------
+
+/// Renumber the registers that survive into a dense range, shrinking the
+/// register file the VM allocates (and zero-fills) per run. The map is
+/// monotone, so `Call` argument blocks — consecutive register indices,
+/// all read by the call — stay consecutive after renumbering.
+fn coalesce_registers(program: &mut SealedProgram, scratch: &mut SealScratch) -> bool {
+    let reg_map = &mut scratch.reg_map;
+    reg_map.clear();
+    reg_map.resize(program.n_regs, u16::MAX);
+    let mut mark = |r: u16| reg_map[r as usize] = 0;
+    for &instr in &program.instrs {
+        if let Some(d) = def_reg(instr) {
+            mark(d);
+        }
+        match instr {
+            Instr::Neg { src, .. } | Instr::Recip { src, .. } => mark(src),
+            Instr::Bin { lhs, rhs, .. } => {
+                mark(lhs);
+                mark(rhs);
+            }
+            Instr::Fma { a, b, c, .. } => {
+                mark(a);
+                mark(b);
+                mark(c);
+            }
+            Instr::Call { base, arity, .. } => {
+                for offset in 0..arity.max(1) as u16 {
+                    mark(base + offset);
+                }
+            }
+            Instr::StoreScalar { src, .. } | Instr::StoreElem { src, .. } => mark(src),
+            Instr::JumpCmpFalse { lhs, rhs, .. } => {
+                mark(lhs);
+                mark(rhs);
+            }
+            _ => {}
+        }
+    }
+    let mut next = 0u16;
+    for slot in reg_map.iter_mut() {
+        if *slot != u16::MAX {
+            *slot = next;
+            next += 1;
+        }
+    }
+    if next as usize == program.n_regs {
+        return false;
+    }
+    let map = |r: &mut u16| *r = reg_map[*r as usize];
+    for instr in &mut program.instrs {
+        match instr {
+            Instr::Const { dst, .. }
+            | Instr::LoadScalar { dst, .. }
+            | Instr::LoadInt { dst, .. }
+            | Instr::LoadElem { dst, .. } => map(dst),
+            Instr::Neg { dst, src } | Instr::Recip { dst, src, .. } => {
+                map(dst);
+                map(src);
+            }
+            Instr::Bin { dst, lhs, rhs, .. } => {
+                map(dst);
+                map(lhs);
+                map(rhs);
+            }
+            Instr::Fma { dst, a, b, c } => {
+                map(dst);
+                map(a);
+                map(b);
+                map(c);
+            }
+            Instr::Call { dst, base, .. } => {
+                map(dst);
+                map(base);
+            }
+            Instr::StoreScalar { src, .. } | Instr::StoreElem { src, .. } => map(src),
+            Instr::JumpCmpFalse { lhs, rhs, .. } => {
+                map(lhs);
+                map(rhs);
+            }
+            Instr::Burn
+            | Instr::DeclArray { .. }
+            | Instr::SetInt { .. }
+            | Instr::IncInt { .. }
+            | Instr::JumpIfIntGe { .. }
+            | Instr::Jump { .. }
+            | Instr::Halt => {}
+        }
+    }
+    program.n_regs = next as usize;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::config::{CompilerConfig, CompilerId, OptLevel};
+    use crate::interp::DEFAULT_FUEL;
+    use crate::vm::ExecScratch;
+    use llm4fp_fpir::{parse_compute, InputSet, InputValue};
+
+    fn seal_pair(src: &str, config: CompilerConfig) -> (SealedProgram, SealedProgram) {
+        let program = parse_compute(src).unwrap();
+        let artifact = compile(&program, config).unwrap();
+        let raw = artifact.seal_with(SealMode::Raw).unwrap();
+        let optimized = artifact.seal_with(SealMode::Optimized).unwrap();
+        (raw, optimized)
+    }
+
+    fn assert_equivalent(raw: &SealedProgram, optimized: &SealedProgram, inputs: &InputSet) {
+        let mut scratch = ExecScratch::new();
+        let a = raw.execute_into(inputs, DEFAULT_FUEL, &mut scratch);
+        let b = optimized.execute_into(inputs, DEFAULT_FUEL, &mut scratch);
+        match (&a, &b) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x.bits(), y.bits());
+                assert_eq!(x.steps, y.steps);
+            }
+            other => panic!("raw and optimized disagree: {other:?}"),
+        }
+        // Starved-fuel parity at every budget below completion.
+        let steps = a.unwrap().steps;
+        for fuel in 0..steps.min(48) {
+            assert_eq!(
+                raw.execute_into(inputs, fuel, &mut scratch),
+                optimized.execute_into(inputs, fuel, &mut scratch),
+                "fuel {fuel}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_chains_fold_to_single_consts_at_o0() {
+        // O0_nofma disables the tree-level const_fold pass, so the raw
+        // stream computes 1.5 + 2.5 + 0.25 at run time — the bytecode
+        // folder collapses it regardless of optimization level.
+        let src = "void compute(double x) { comp = 1.5 + 2.5 + 0.25; comp += x; }";
+        let strict = CompilerConfig::new(CompilerId::Gcc, OptLevel::O0Nofma);
+        let (raw, optimized) = seal_pair(src, strict);
+        assert!(
+            optimized.instruction_count() < raw.instruction_count(),
+            "{} !< {}",
+            optimized.instruction_count(),
+            raw.instruction_count()
+        );
+        // The folded chain needs exactly: Burn, Const, StoreScalar,
+        // Burn, Load, Load, Bin, Store, Halt = 9 instructions.
+        assert_eq!(optimized.instruction_count(), 9);
+        assert!(optimized.register_count() <= raw.register_count());
+        let inputs = InputSet::new().with("x", InputValue::Fp(0.375));
+        assert_equivalent(&raw, &optimized, &inputs);
+    }
+
+    #[test]
+    fn math_calls_on_constants_fold_through_the_sealed_library() {
+        let src = "void compute(double x) { comp = sin(0.5) * x + exp(2.0); }";
+        for config in CompilerConfig::full_matrix() {
+            let (raw, optimized) = seal_pair(src, config);
+            assert!(
+                optimized.instruction_count() <= raw.instruction_count(),
+                "{config}: optimizer grew the stream"
+            );
+            let inputs = InputSet::new().with("x", InputValue::Fp(1.25));
+            assert_equivalent(&raw, &optimized, &inputs);
+        }
+    }
+
+    #[test]
+    fn loops_arrays_and_branches_survive_optimization_bit_for_bit() {
+        let src = "void compute(double *a, double s, int n) {\n\
+                   double acc = 2.0 * 3.0;\n\
+                   double buf[3] = {1.5, -2.25};\n\
+                   for (int i = 0; i < 4; ++i) {\n\
+                     acc += a[i] * s + sin(a[i]);\n\
+                     buf[i % 1] = acc / (s + 2.0);\n\
+                   }\n\
+                   if (acc > 1.0) { comp = acc - buf[0]; }\n\
+                   if (acc <= 1.0) { comp = acc + buf[n % 3] * exp(s); }\n\
+                   }";
+        let inputs = InputSet::new()
+            .with("a", InputValue::FpArray(vec![0.5, -1.25, 2.0, 0.75]))
+            .with("s", InputValue::Fp(0.375))
+            .with("n", InputValue::Int(7));
+        for config in CompilerConfig::full_matrix() {
+            let (raw, optimized) = seal_pair(src, config);
+            assert!(optimized.instruction_count() <= raw.instruction_count(), "{config}");
+            assert_equivalent(&raw, &optimized, &inputs);
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_accesses_fail_identically_after_optimization() {
+        // The failing store's expression is constant-foldable; the access
+        // itself must survive and fail at the same executed step.
+        let src = "void compute(double x) {\n\
+                   double buf[2] = {1.0};\n\
+                   buf[1] = 2.0 + 3.0;\n\
+                   comp = x;\n\
+                   }";
+        let program = parse_compute(src).unwrap();
+        let artifact =
+            compile(&program, CompilerConfig::new(CompilerId::Clang, OptLevel::O0)).unwrap();
+        let raw = artifact.seal_with(SealMode::Raw).unwrap();
+        let optimized = artifact.seal_with(SealMode::Optimized).unwrap();
+        let inputs = InputSet::new().with("x", InputValue::Fp(1.0));
+        assert_eq!(raw.execute(&inputs), optimized.execute(&inputs));
+    }
+
+    #[test]
+    fn register_files_shrink_on_deep_constant_expressions() {
+        // A deep right-leaning constant tree forces the raw stream to a
+        // tall register stack; folding collapses it to one register-file
+        // slot beyond what the variable terms need.
+        let src = "void compute(double x) {\n\
+                   comp = x + (1.0 + (2.0 + (3.0 + (4.0 + 5.0))));\n\
+                   }";
+        let strict = CompilerConfig::new(CompilerId::Gcc, OptLevel::O0Nofma);
+        let (raw, optimized) = seal_pair(src, strict);
+        assert!(raw.register_count() >= 5, "raw file unexpectedly small");
+        assert_eq!(optimized.register_count(), 2);
+        let inputs = InputSet::new().with("x", InputValue::Fp(0.5));
+        assert_equivalent(&raw, &optimized, &inputs);
+    }
+
+    #[test]
+    fn index_normalization_rewrites_mod_one_and_offset_zero() {
+        assert_eq!(fold_index(SlotIndex::Mod { slot: 3, modulus: 1 }), Some(SlotIndex::Const(0)));
+        assert_eq!(fold_index(SlotIndex::Mod { slot: 3, modulus: 0 }), Some(SlotIndex::Const(0)));
+        assert_eq!(fold_index(SlotIndex::Offset { slot: 2, offset: 0 }), Some(SlotIndex::Var(2)));
+        assert_eq!(fold_index(SlotIndex::Mod { slot: 3, modulus: 4 }), None);
+        assert_eq!(fold_index(SlotIndex::Var(1)), None);
+    }
+
+    #[test]
+    fn stats_report_the_shrinkage() {
+        let src = "void compute(double x) { comp = 1.0 + 2.0 + x; }";
+        let program = parse_compute(src).unwrap();
+        let artifact =
+            compile(&program, CompilerConfig::new(CompilerId::Gcc, OptLevel::O0Nofma)).unwrap();
+        let mut sealed = artifact.seal_with(SealMode::Raw).unwrap();
+        let stats = optimize(&mut sealed, &mut SealScratch::new());
+        // Raw: Burn, Const 1.0, Const 2.0, Add, Load x, Add, Store, Halt.
+        // Folded: the constant pair collapses into one preloaded Const.
+        assert_eq!(stats.instrs_before, 8);
+        assert_eq!(stats.instrs_after, 6);
+        assert!(stats.regs_after <= stats.regs_before);
+        assert_eq!(sealed.instruction_count(), stats.instrs_after);
+    }
+
+    #[test]
+    fn seal_modes_round_trip_through_serde_and_null_defaults_to_optimized() {
+        use serde::{Deserialize, Serialize};
+        for mode in [SealMode::Raw, SealMode::Optimized] {
+            assert_eq!(SealMode::from_value(&mode.to_value()).unwrap(), mode);
+        }
+        // Pre-optimizer campaign configs have no seal-mode field; they
+        // must decode to today's default.
+        assert_eq!(SealMode::from_value(&serde::Value::Null).unwrap(), SealMode::Optimized);
+        assert!(SealMode::from_value(&serde::Value::Str("bogus".into())).is_err());
+    }
+}

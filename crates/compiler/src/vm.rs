@@ -25,6 +25,9 @@ pub struct ExecScratch {
     scalars: Vec<f64>,
     ints: Vec<i64>,
     arrays: Vec<Vec<f64>>,
+    /// Largest register file any program prepared against this scratch
+    /// (reported up to `summary.json` by the orchestrator).
+    peak_regs: usize,
 }
 
 impl ExecScratch {
@@ -32,19 +35,28 @@ impl ExecScratch {
         Self::default()
     }
 
+    /// The largest floating-point register file prepared so far — a
+    /// direct readout of how far the seal-time register coalescing keeps
+    /// execution state.
+    pub fn peak_regs(&self) -> usize {
+        self.peak_regs
+    }
+
     /// Size every file for `program` and zero-fill it. Zeroing matches the
     /// defined portion of the interpreter's state; validated programs
     /// never read a scalar before writing it, so stale values from a
     /// previous run are unreachable either way.
     fn prepare(&mut self, program: &SealedProgram) {
+        self.peak_regs = self.peak_regs.max(program.n_regs);
         self.regs.clear();
         self.regs.resize(program.n_regs, 0.0);
         self.scalars.clear();
         self.scalars.resize(program.n_scalars, 0.0);
         self.ints.clear();
         self.ints.resize(program.n_ints, 0);
-        self.arrays.resize_with(program.arrays.len().max(self.arrays.len()), Vec::new);
-        for (buf, slot) in self.arrays.iter_mut().zip(&program.arrays) {
+        let arrays = &program.layout.arrays;
+        self.arrays.resize_with(arrays.len().max(self.arrays.len()), Vec::new);
+        for (buf, slot) in self.arrays.iter_mut().zip(arrays) {
             buf.clear();
             buf.resize(slot.len, 0.0);
         }
@@ -78,7 +90,7 @@ impl SealedProgram {
     /// Bind the `compute` parameters, in declaration order, with the
     /// interpreter's exact rounding and error behaviour.
     fn bind(&self, inputs: &InputSet, scratch: &mut ExecScratch) -> Result<(), ExecError> {
-        for p in &self.params {
+        for p in &self.layout.params {
             match (&p.bind, inputs.get(&p.name)) {
                 (ParamBind::Int { slot }, Some(InputValue::Int(v))) => {
                     scratch.ints[*slot as usize] = *v;
@@ -103,23 +115,63 @@ impl SealedProgram {
 
     /// Round an exact `f64` to the program precision.
     #[inline(always)]
-    fn round(&self, v: f64) -> f64 {
-        match self.precision {
-            Precision::F64 => v,
-            Precision::F32 => v as f32 as f64,
-        }
+    pub(crate) fn round(&self, v: f64) -> f64 {
+        crate::bytecode::round_to(self.precision, v)
     }
 
     /// Round an arithmetic result, applying flush-to-zero when the
     /// semantics require it.
     #[inline(always)]
-    fn finish(&self, v: f64) -> f64 {
+    pub(crate) fn finish(&self, v: f64) -> f64 {
         let v = self.round(v);
         if self.flush_to_zero {
             flush_to_zero(v)
         } else {
             v
         }
+    }
+
+    // The evaluation helpers below are the *single* implementation of the
+    // register machine's arithmetic: the dispatch loop calls them at run
+    // time and the seal-time constant folder ([`crate::peephole`]) calls
+    // the identical functions on known operands, so a fold can never
+    // drift from what execution would have computed.
+
+    /// Evaluate a `Bin` instruction's result from its operand values.
+    #[inline(always)]
+    pub(crate) fn eval_bin(&self, op: BinOp, a: f64, b: f64) -> f64 {
+        let raw = match op {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+        };
+        self.finish(raw)
+    }
+
+    /// Evaluate an `Fma` instruction's result from its operand values.
+    #[inline(always)]
+    pub(crate) fn eval_fma(&self, a: f64, b: f64, c: f64) -> f64 {
+        let raw = match self.precision {
+            Precision::F64 => a.mul_add(b, c),
+            Precision::F32 => ((a as f32).mul_add(b as f32, c as f32)) as f64,
+        };
+        self.finish(raw)
+    }
+
+    /// Evaluate a `Recip` instruction's result from its operand value.
+    #[inline(always)]
+    pub(crate) fn eval_recip(&self, approx: bool, v: f64) -> f64 {
+        let raw = if approx { self.fast.approx_recip(v) } else { 1.0 / v };
+        self.finish(raw)
+    }
+
+    /// Evaluate a `Call` instruction's result from its (zero-padded)
+    /// argument values. Math results are rounded to precision but never
+    /// flushed, matching the interpreter.
+    #[inline(always)]
+    pub(crate) fn eval_call(&self, func: llm4fp_fpir::MathFunc, a: f64, b: f64, c: f64) -> f64 {
+        self.round(dispatch_math(self.math.as_ref(), func, a, b, c))
     }
 
     /// Resolve an element index against the current int file, with the
@@ -133,9 +185,9 @@ impl SealedProgram {
         scratch: &ExecScratch,
     ) -> Result<(usize, usize), ExecError> {
         let idx = index.eval(&scratch.ints);
-        let len = self.arrays[array as usize].len;
+        let len = self.layout.arrays[array as usize].len;
         if idx < 0 || idx as usize >= len {
-            let name = self.names[self.arrays[array as usize].name as usize].clone();
+            let name = self.layout.names[self.layout.arrays[array as usize].name as usize].clone();
             return Err(ExecError::IndexOutOfBounds { array: name, index: idx, len });
         }
         Ok((array as usize, idx as usize))
@@ -171,13 +223,7 @@ impl SealedProgram {
                 Instr::Bin { op, dst, lhs, rhs } => {
                     let a = scratch.regs[lhs as usize];
                     let b = scratch.regs[rhs as usize];
-                    let raw = match op {
-                        BinOp::Add => a + b,
-                        BinOp::Sub => a - b,
-                        BinOp::Mul => a * b,
-                        BinOp::Div => a / b,
-                    };
-                    scratch.regs[dst as usize] = self.finish(raw);
+                    scratch.regs[dst as usize] = self.eval_bin(op, a, b);
                 }
                 Instr::Fma { dst, a, b, c } => {
                     let (a, b, c) = (
@@ -185,25 +231,17 @@ impl SealedProgram {
                         scratch.regs[b as usize],
                         scratch.regs[c as usize],
                     );
-                    let raw = match self.precision {
-                        Precision::F64 => a.mul_add(b, c),
-                        Precision::F32 => ((a as f32).mul_add(b as f32, c as f32)) as f64,
-                    };
-                    scratch.regs[dst as usize] = self.finish(raw);
+                    scratch.regs[dst as usize] = self.eval_fma(a, b, c);
                 }
                 Instr::Recip { dst, src, approx } => {
                     let v = scratch.regs[src as usize];
-                    let raw = if approx { self.fast.approx_recip(v) } else { 1.0 / v };
-                    scratch.regs[dst as usize] = self.finish(raw);
+                    scratch.regs[dst as usize] = self.eval_recip(approx, v);
                 }
                 Instr::Call { func, dst, base, arity } => {
                     let a = scratch.regs[base as usize];
                     let b = if arity > 1 { scratch.regs[base as usize + 1] } else { 0.0 };
                     let c = if arity > 2 { scratch.regs[base as usize + 2] } else { 0.0 };
-                    let raw = dispatch_math(self.math.as_ref(), func, a, b, c);
-                    // Math results are rounded to precision but never
-                    // flushed, matching the interpreter.
-                    scratch.regs[dst as usize] = self.round(raw);
+                    scratch.regs[dst as usize] = self.eval_call(func, a, b, c);
                 }
                 Instr::StoreScalar { slot, src } => {
                     scratch.scalars[slot as usize] = scratch.regs[src as usize];
@@ -214,10 +252,10 @@ impl SealedProgram {
                     scratch.arrays[a][i] = value;
                 }
                 Instr::DeclArray { array, init } => {
-                    let len = self.arrays[array as usize].len;
+                    let len = self.layout.arrays[array as usize].len;
                     let start = init as usize;
                     scratch.arrays[array as usize]
-                        .copy_from_slice(&self.init_pool[start..start + len]);
+                        .copy_from_slice(&self.layout.init_pool[start..start + len]);
                 }
                 Instr::SetInt { slot, value } => scratch.ints[slot as usize] = value,
                 Instr::IncInt { slot } => scratch.ints[slot as usize] += 1,

@@ -41,7 +41,8 @@ use rand::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use llm4fp_difftest::{
-    Aggregates, CachedDiff, DiffTester, ExecBackend, ExecEngine, ProcessBudget, ResultCache,
+    Aggregates, CachedDiff, DiffTester, ExecBackend, ExecEngine, MatrixScratch, ProcessBudget,
+    ResultCache,
 };
 use llm4fp_fpir::{program_hash, program_id, source_hash, to_compute_source, validate, Program};
 use llm4fp_generator::{
@@ -253,6 +254,10 @@ pub struct CampaignRunner {
     // keeps the container ready for future parallel generation without
     // changing behaviour for the per-shard sequential loop used here.
     successful: Mutex<SuccessfulSet>,
+    /// Seal + execution scratch reused across every program this runner
+    /// tests (per-matrix construction was the last allocation hot spot of
+    /// the shard worker loop). Not part of checkpoints — pure perf state.
+    scratch: Mutex<MatrixScratch>,
     aggregates: Aggregates,
     records: Vec<ProgramRecord>,
     sources: Vec<String>,
@@ -297,7 +302,8 @@ impl CampaignRunner {
         config.validate().expect("invalid campaign configuration");
         let seed = config.seed;
         let mut tester = DiffTester::with_matrix(config.compilers.clone(), config.levels.clone())
-            .with_threads(config.threads);
+            .with_threads(config.threads)
+            .with_seal_mode(config.seal_mode);
         if let BackendSpec::External(spec) = &config.backend {
             tester = tester.with_backend(ExecBackend::External(Arc::new(spec.toolchain())));
         }
@@ -321,6 +327,7 @@ impl CampaignRunner {
             cache: None,
             cache_scope,
             successful: Mutex::new(SuccessfulSet::default()),
+            scratch: Mutex::new(MatrixScratch::new()),
             aggregates: Aggregates::new(),
             records: Vec::with_capacity(config.programs),
             sources: Vec::new(),
@@ -451,6 +458,14 @@ impl CampaignRunner {
         self.records.len()
     }
 
+    /// Largest VM register file any sealed program prepared against this
+    /// runner's reused execution scratch (0 until a virtual matrix ran —
+    /// e.g. on the external backend). The orchestrator reports the
+    /// per-run peak in `summary.json`.
+    pub fn peak_register_file(&self) -> usize {
+        self.scratch.lock().peak_regs()
+    }
+
     /// Run one iteration of the campaign loop: generate a candidate,
     /// differential-test it, fold the outcome into the aggregates and the
     /// feedback set. Returns the record of the processed program.
@@ -520,7 +535,7 @@ impl CampaignRunner {
         let inputs = InputGenerator::new(self.input_seed ^ program_hash(program))
             .generate(program)
             .truncated(self.config.precision);
-        let result = self.tester.run(program, &inputs);
+        let result = self.tester.run_with(program, &inputs, &mut self.scratch.lock());
         let baseline = self.tester.compare_vs_baseline(&result.outcomes);
         let computed = CachedDiff { result, baseline };
         if let (Some(cache), Some(key)) = (&self.cache, key) {
@@ -868,6 +883,38 @@ mod tests {
         assert_eq!(sealed.aggregates, reference.aggregates);
         assert_eq!(sealed.sources, reference.sources);
         assert_eq!(sealed.successful_sources, reference.successful_sources);
+    }
+
+    #[test]
+    fn seal_optimizer_on_and_off_campaigns_agree_bit_for_bit() {
+        // The seal-time peephole optimizer is a pure performance knob:
+        // whole campaign results are identical with `SealMode::Raw`.
+        use llm4fp_compiler::SealMode;
+        let config =
+            CampaignConfig::new(ApproachKind::Llm4Fp).with_budget(30).with_seed(17).with_threads(2);
+        let optimized = Campaign::new(config.clone()).run();
+        let raw = Campaign::new(config.with_seal_mode(SealMode::Raw)).run();
+        assert_eq!(optimized.records, raw.records);
+        assert_eq!(optimized.aggregates, raw.aggregates);
+        assert_eq!(optimized.sources, raw.sources);
+        assert_eq!(optimized.successful_sources, raw.successful_sources);
+    }
+
+    #[test]
+    fn runners_report_the_peak_register_file() {
+        let config =
+            CampaignConfig::new(ApproachKind::Varity).with_budget(10).with_seed(3).with_threads(2);
+        let mut runner = CampaignRunner::new(config.clone());
+        assert_eq!(runner.peak_register_file(), 0, "no matrix has run yet");
+        for index in 0..config.programs {
+            runner.run_one(index);
+        }
+        let peak = runner.peak_register_file();
+        assert!(peak > 0, "virtual campaigns must track the register file");
+        // The reference engine never touches the VM scratch.
+        let mut reference = CampaignRunner::new(config).with_reference_execution();
+        reference.run_one(0);
+        assert_eq!(reference.peak_register_file(), 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use llm4fp_compiler::{CompilerId, OptLevel};
+use llm4fp_compiler::{CompilerId, OptLevel, SealMode};
 use llm4fp_extcc::{probe_compiler, HostCompiler, HostToolchain};
 use llm4fp_fpir::Precision;
 use llm4fp_generator::SamplingParams;
@@ -260,6 +260,12 @@ pub struct CampaignConfig {
     /// Execution backend (virtual compiler by default; an external spec
     /// drives real host toolchains through `llm4fp-extcc`).
     pub backend: BackendSpec,
+    /// Whether virtual sealing runs the seal-time peephole optimizer.
+    /// Pure performance knob — the modes are pinned bit-identical, so
+    /// results never depend on it ( `--no-seal-opt` sets `Raw` for A/B
+    /// benchmarking). Missing/null in persisted configs decodes as
+    /// `Optimized`, so pre-optimizer run manifests keep resuming.
+    pub seal_mode: SealMode,
 }
 
 impl CampaignConfig {
@@ -280,6 +286,7 @@ impl CampaignConfig {
             direct_prompt_invalid_rate: 0.08,
             max_codebleu_pairs: 20_000,
             backend: BackendSpec::Virtual,
+            seal_mode: SealMode::Optimized,
         }
     }
 
@@ -322,6 +329,13 @@ impl CampaignConfig {
             self.compilers.retain(|c| available.contains(c));
         }
         self.backend = backend;
+        self
+    }
+
+    /// Select the seal mode (peephole optimizer on/off; bit-identical
+    /// either way — an A/B performance knob).
+    pub fn with_seal_mode(mut self, mode: SealMode) -> Self {
+        self.seal_mode = mode;
         self
     }
 
@@ -444,6 +458,28 @@ mod tests {
         assert_eq!(virt.backend, BackendSpec::Virtual);
         assert!(!virt.backend.is_external());
         assert_eq!(virt.compilers.len(), 3);
+    }
+
+    #[test]
+    fn manifests_without_a_seal_mode_field_decode_as_optimized() {
+        // Run dirs persisted before the seal-time optimizer existed must
+        // keep loading (and resuming) with the current default mode.
+        let cfg = CampaignConfig::new(ApproachKind::Varity);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let mut value = serde_json::parse(&json).unwrap();
+        if let serde::Value::Obj(m) = &mut value {
+            assert!(m.remove("seal_mode").is_some(), "seal_mode field serialized");
+        } else {
+            panic!("config serializes as an object");
+        }
+        let back: CampaignConfig = serde_json::from_value(&value).unwrap();
+        assert_eq!(back.seal_mode, SealMode::Optimized);
+        assert_eq!(back, cfg);
+
+        let raw = CampaignConfig::new(ApproachKind::Varity).with_seal_mode(SealMode::Raw);
+        let json = serde_json::to_string(&raw).unwrap();
+        let back: CampaignConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.seal_mode, SealMode::Raw);
     }
 
     #[test]

@@ -27,4 +27,6 @@ pub use aggregate::{Aggregates, KindByLevel, PairLevelStats, VsBaselineStats};
 pub use backend::{BudgetGuard, ExecBackend, ProcessBudget};
 pub use cache::{CacheStats, CachedDiff, ResultCache};
 pub use compare::{classify, digit_difference, DiffRecord, InconsistencyKind, ValueClass};
-pub use matrix::{ConfigOutcome, DiffTester, ExecEngine, Outcome, ProgramDiffResult};
+pub use matrix::{
+    ConfigOutcome, DiffTester, ExecEngine, MatrixScratch, Outcome, ProgramDiffResult,
+};

@@ -7,18 +7,20 @@
 //! while reusing the same comparison and aggregation code.
 //!
 //! For each generated program the virtual driver validates and lowers once
-//! ([`Frontend`]), specializes and **seals** one bytecode artifact per
-//! configuration (compiler × optimization level), runs every input set
-//! against the sealed artifacts on the register VM (reusing one
-//! [`ExecScratch`] per worker, so the hot path is allocation-free), and
-//! performs the pairwise output comparisons. Sealed execution is
-//! bit-identical to the reference tree-walking interpreter —
-//! [`ExecEngine::Reference`] selects the old path for A/B benchmarking,
-//! and the driver falls back to it automatically for the rare programs
-//! that refuse to seal — so results are unchanged from the pre-bytecode
-//! driver. Compilation and execution of the matrix are parallelized with
-//! crossbeam scoped threads; results are deterministic regardless of the
-//! number of worker threads.
+//! ([`Frontend`]), seals the **whole configuration matrix in one call**
+//! ([`Frontend::seal_matrix`]: prefix-shared pass pipelines, one name→slot
+//! layout per program, per-configuration peephole optimization), runs
+//! every input set against the sealed artifacts on the register VM
+//! (reusing one [`ExecScratch`] per worker — and, through
+//! [`MatrixScratch`], across *programs* in a worker loop — so the hot
+//! path is allocation-free), and performs the pairwise output
+//! comparisons. Sealed execution is bit-identical to the reference
+//! tree-walking interpreter — [`ExecEngine::Reference`] selects the old
+//! path for A/B benchmarking, and the driver falls back to it
+//! automatically for the rare programs that refuse to seal — so results
+//! are unchanged from the pre-bytecode driver. Execution of the matrix is
+//! parallelized with crossbeam scoped threads; results are deterministic
+//! regardless of the number of worker threads.
 
 use std::sync::Arc;
 
@@ -28,7 +30,7 @@ use serde::{Deserialize, Serialize};
 use llm4fp_compiler::interp::DEFAULT_FUEL;
 use llm4fp_compiler::{
     CompiledProgram, CompilerConfig, CompilerId, ExecError, ExecResult, ExecScratch, Frontend,
-    OptLevel,
+    OptLevel, SealMode, SealScratch, SealedProgram,
 };
 use llm4fp_extcc::HostToolchain;
 use llm4fp_fpir::{program_id, InputSet, Precision, Program};
@@ -132,6 +134,10 @@ pub struct DiffTester {
     /// Execution backend (defaults to the virtual compiler on the sealed
     /// register VM).
     pub backend: ExecBackend,
+    /// Whether sealing runs the seal-time peephole optimizer (pinned
+    /// bit-identical to raw sealing; `Raw` exists for A/B benchmarks via
+    /// `--no-seal-opt`).
+    pub seal_mode: SealMode,
     /// Optional bound on concurrent external process activity (shared
     /// across shards by the orchestrator; ignored by the virtual
     /// backend).
@@ -145,8 +151,39 @@ impl Default for DiffTester {
             levels: OptLevel::ALL.to_vec(),
             threads: 4,
             backend: ExecBackend::Virtual(ExecEngine::Sealed),
+            seal_mode: SealMode::Optimized,
             process_budget: None,
         }
+    }
+}
+
+/// Reusable build-and-execute state for one virtual-matrix worker loop:
+/// the seal scratch (peephole work buffers) plus one [`ExecScratch`] per
+/// matrix worker thread. Threading one `MatrixScratch` across programs —
+/// as the campaign runner does per shard — makes the whole build-side
+/// hot path allocation-free after the first program.
+#[derive(Debug, Default)]
+pub struct MatrixScratch {
+    seal: SealScratch,
+    exec: Vec<ExecScratch>,
+}
+
+impl MatrixScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Largest VM register file any program prepared against this
+    /// scratch (reported in the orchestrator's `summary.json`).
+    pub fn peak_regs(&self) -> usize {
+        self.exec.iter().map(ExecScratch::peak_regs).max().unwrap_or(0)
+    }
+
+    fn workers(&mut self, count: usize) -> &mut [ExecScratch] {
+        if self.exec.len() < count {
+            self.exec.resize_with(count, ExecScratch::new);
+        }
+        &mut self.exec[..count]
     }
 }
 
@@ -177,6 +214,13 @@ impl DiffTester {
     /// toolchain).
     pub fn with_backend(mut self, backend: ExecBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Select whether sealing runs the peephole optimizer (A/B knob; the
+    /// two modes produce bit-identical results).
+    pub fn with_seal_mode(mut self, mode: SealMode) -> Self {
+        self.seal_mode = mode;
         self
     }
 
@@ -231,13 +275,36 @@ impl DiffTester {
         self.run_many(program, std::slice::from_ref(inputs)).pop().expect("one result per input")
     }
 
-    /// Run the matrix for one program against many input sets, specializing
-    /// and sealing each configuration's artifact **once** and executing
-    /// every input set against the sealed bytecode. Returns one
-    /// [`ProgramDiffResult`] per input set, in order.
+    /// [`DiffTester::run`] reusing a caller-held [`MatrixScratch`]
+    /// (allocation-free across programs after the first).
+    pub fn run_with(
+        &self,
+        program: &Program,
+        inputs: &InputSet,
+        scratch: &mut MatrixScratch,
+    ) -> ProgramDiffResult {
+        self.run_many_with(program, std::slice::from_ref(inputs), scratch)
+            .pop()
+            .expect("one result per input")
+    }
+
+    /// Run the matrix for one program against many input sets, sealing
+    /// the whole configuration matrix **once** ([`Frontend::seal_matrix`])
+    /// and executing every input set against the sealed bytecode. Returns
+    /// one [`ProgramDiffResult`] per input set, in order.
     pub fn run_many(&self, program: &Program, input_sets: &[InputSet]) -> Vec<ProgramDiffResult> {
+        self.run_many_with(program, input_sets, &mut MatrixScratch::new())
+    }
+
+    /// [`DiffTester::run_many`] reusing a caller-held [`MatrixScratch`].
+    pub fn run_many_with(
+        &self,
+        program: &Program,
+        input_sets: &[InputSet],
+        scratch: &mut MatrixScratch,
+    ) -> Vec<ProgramDiffResult> {
         let configs = self.configurations();
-        let per_config = self.build_and_run(program, input_sets, &configs);
+        let per_config = self.build_and_run(program, input_sets, &configs, scratch);
         let id = program_id(program);
         (0..input_sets.len())
             .map(|set_idx| {
@@ -278,10 +345,11 @@ impl DiffTester {
         program: &Program,
         input_sets: &[InputSet],
         configs: &[CompilerConfig],
+        scratch: &mut MatrixScratch,
     ) -> Vec<Vec<Outcome>> {
         match &self.backend {
             ExecBackend::Virtual(engine) => {
-                self.build_and_run_virtual(program, input_sets, configs, *engine)
+                self.build_and_run_virtual(program, input_sets, configs, *engine, scratch)
             }
             ExecBackend::External(toolchain) => {
                 self.build_and_run_external(toolchain, program, input_sets, configs)
@@ -332,14 +400,18 @@ impl DiffTester {
             .collect()
     }
 
-    /// Virtual path: the front end runs once; each worker specializes,
-    /// seals and executes its configurations with a reused scratch.
+    /// Virtual path: the front end runs once and the whole configuration
+    /// matrix seals **once** through [`Frontend::seal_matrix`] (the pass
+    /// pipeline is prefix-shared and name→slot layout runs once per
+    /// program); workers then execute their configurations' input sets
+    /// against the sealed artifacts with reused [`ExecScratch`]es.
     fn build_and_run_virtual(
         &self,
         program: &Program,
         input_sets: &[InputSet],
         configs: &[CompilerConfig],
         engine: ExecEngine,
+        scratch: &mut MatrixScratch,
     ) -> Vec<Vec<Outcome>> {
         let frontend = match Frontend::new(program) {
             Ok(frontend) => frontend,
@@ -351,26 +423,46 @@ impl DiffTester {
                 return vec![row; configs.len()];
             }
         };
+        // The sealed artifacts for the whole matrix (None on the
+        // reference engine, which specializes per worker below).
+        let sealed: Option<Vec<Result<SealedProgram, llm4fp_compiler::SealError>>> = match engine {
+            ExecEngine::Sealed => {
+                Some(frontend.seal_matrix_with(configs, self.seal_mode, &mut scratch.seal))
+            }
+            ExecEngine::Reference => None,
+        };
         let threads = self.threads.min(configs.len()).max(1);
         if threads == 1 {
-            let mut scratch = ExecScratch::new();
+            let exec = &mut scratch.workers(1)[0];
             return configs
                 .iter()
-                .map(|&cfg| run_config(&frontend, input_sets, cfg, engine, &mut scratch))
+                .enumerate()
+                .map(|(k, &cfg)| {
+                    run_config(&frontend, input_sets, cfg, sealed.as_ref().map(|s| &s[k]), exec)
+                })
                 .collect();
         }
         let chunk_size = configs.len().div_ceil(threads);
+        let chunk_count = configs.len().div_ceil(chunk_size);
+        let exec_scratches = scratch.workers(chunk_count);
         let mut results: Vec<Vec<Vec<Outcome>>> = Vec::new();
         thread::scope(|scope| {
             let frontend = &frontend;
+            let sealed = sealed.as_ref();
             let handles: Vec<_> = configs
                 .chunks(chunk_size)
-                .map(|chunk| {
+                .enumerate()
+                .zip(exec_scratches.iter_mut())
+                .map(|((chunk_index, chunk), exec)| {
                     scope.spawn(move |_| {
-                        let mut scratch = ExecScratch::new();
+                        let base = chunk_index * chunk_size;
                         chunk
                             .iter()
-                            .map(|&cfg| run_config(frontend, input_sets, cfg, engine, &mut scratch))
+                            .enumerate()
+                            .map(|(offset, &cfg)| {
+                                let artifact = sealed.map(|s| &s[base + offset]);
+                                run_config(frontend, input_sets, cfg, artifact, exec)
+                            })
                             .collect::<Vec<_>>()
                     })
                 })
@@ -452,25 +544,22 @@ impl DiffTester {
     }
 }
 
-/// Specialize one configuration, seal it, and run every input set against
-/// the sealed artifact (falling back to the reference interpreter when the
-/// engine asks for it or the program refuses to seal).
+/// Execute one configuration's input sets against its pre-sealed
+/// artifact, falling back to the reference interpreter when the engine
+/// asks for it (`artifact == None`) or the program refused to seal.
 fn run_config(
     frontend: &Frontend,
     input_sets: &[InputSet],
     config: CompilerConfig,
-    engine: ExecEngine,
+    artifact: Option<&Result<SealedProgram, llm4fp_compiler::SealError>>,
     scratch: &mut ExecScratch,
 ) -> Vec<Outcome> {
-    match engine {
-        ExecEngine::Sealed => match frontend.seal(config) {
-            Ok(sealed) => input_sets
-                .iter()
-                .map(|inputs| outcome_of(sealed.execute_into(inputs, DEFAULT_FUEL, scratch)))
-                .collect(),
-            Err(_) => reference_outcomes(&frontend.specialize(config), input_sets),
-        },
-        ExecEngine::Reference => reference_outcomes(&frontend.specialize(config), input_sets),
+    match artifact {
+        Some(Ok(sealed)) => input_sets
+            .iter()
+            .map(|inputs| outcome_of(sealed.execute_into(inputs, DEFAULT_FUEL, scratch)))
+            .collect(),
+        Some(Err(_)) | None => reference_outcomes(&frontend.specialize(config), input_sets),
     }
 }
 
@@ -636,6 +725,66 @@ mod tests {
                 .with_engine(ExecEngine::Reference)
                 .run(&program, &inputs);
             assert_eq!(sealed, reference, "engines disagree for {src}");
+        }
+    }
+
+    #[test]
+    fn optimized_and_raw_seal_modes_agree_exactly() {
+        // The seal-time optimizer is a pure perf knob: ProgramDiffResults
+        // are bit-identical with peepholes on or off, and both match the
+        // reference interpreter.
+        let sources = [
+            "void compute(double x) { comp = 1.5 + 2.5 + x; comp *= 2.0 * 4.0; }",
+            "void compute(double x, double *a) {\n\
+             double buf[4] = {0.5, -1.5};\n\
+             for (int i = 0; i < 8; ++i) { buf[i % 4] += a[i] * x + sin(0.25); }\n\
+             for (int i = 0; i < 4; ++i) { comp += buf[i] / (x + 2.0); }\n\
+             if (comp > 1.0) { comp = sqrt(comp); }\n\
+             }",
+        ];
+        for src in sources {
+            let program = parse_compute(src).unwrap();
+            let inputs = InputSet::new()
+                .with("x", InputValue::Fp(1.7))
+                .with("a", InputValue::FpArray(vec![1.0, -2.0, 3.0, -4.0, 5.5, 0.25, 7.0, 8.125]));
+            let optimized = DiffTester::new().with_threads(1).run(&program, &inputs);
+            let raw = DiffTester::new()
+                .with_threads(1)
+                .with_seal_mode(SealMode::Raw)
+                .run(&program, &inputs);
+            let reference = DiffTester::new()
+                .with_threads(1)
+                .with_engine(ExecEngine::Reference)
+                .run(&program, &inputs);
+            assert_eq!(optimized, raw, "seal modes disagree for {src}");
+            assert_eq!(optimized, reference, "optimizer diverges from interpreter for {src}");
+        }
+    }
+
+    #[test]
+    fn matrix_scratch_reuse_across_programs_is_bit_stable() {
+        let sources = [
+            "void compute(double x) { comp = x * 3.0 + 1.0; }",
+            "void compute(double x, double *a) {\n\
+             for (int i = 0; i < 8; ++i) { comp += a[i] * x + cos(x); }\n\
+             comp /= x + 3.0;\n\
+             }",
+            "void compute(double x) { comp = sin(x) + 1.0 + 2.0; }",
+        ];
+        for threads in [1, 3] {
+            let tester = DiffTester::new().with_threads(threads);
+            let mut scratch = MatrixScratch::new();
+            for src in sources {
+                let program = parse_compute(src).unwrap();
+                let inputs = InputSet::new().with("x", InputValue::Fp(0.8125)).with(
+                    "a",
+                    InputValue::FpArray(vec![1.0, -2.0, 3.0, -4.0, 5.5, 0.25, 7.0, 8.125]),
+                );
+                let reused = tester.run_with(&program, &inputs, &mut scratch);
+                let fresh = tester.run(&program, &inputs);
+                assert_eq!(reused, fresh, "scratch reuse changed results for {src}");
+            }
+            assert!(scratch.peak_regs() > 0, "peak register file not tracked");
         }
     }
 

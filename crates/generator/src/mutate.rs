@@ -159,11 +159,12 @@ fn swap_commutative(expr: &mut Expr, coin: &mut Vec<bool>, swaps: &mut usize) {
 
 fn nest_expression(program: &mut Program, rng: &mut impl Rng) {
     // Pick one assignment and wrap its right-hand side in extra arithmetic
-    // that reuses the program's own scalar variables.
-    let vars: Vec<String> =
-        program.params.iter().filter(|p| p.ty == ParamType::Fp).map(|p| p.name.clone()).collect();
+    // that reuses the program's own scalar variables. Candidate names are
+    // borrowed — only the single chosen name is cloned.
+    let vars: Vec<&str> =
+        program.params.iter().filter(|p| p.ty == ParamType::Fp).map(|p| p.name.as_str()).collect();
     let extra = match vars.choose(rng) {
-        Some(v) => Expr::var(v.clone()),
+        Some(v) => Expr::var((*v).to_string()),
         None => Expr::Num(plausible_constant(rng)),
     };
     let op = *[BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div].choose(rng).unwrap();
@@ -305,24 +306,35 @@ fn swap_funcs_in(
 }
 
 fn insert_intermediate(program: &mut Program, rng: &mut impl Rng) {
+    use std::fmt::Write as _;
+
     // Declare a new temporary computed from existing scalar fp parameters
     // and add it into the accumulator at the end.
-    let vars: Vec<String> =
-        program.params.iter().filter(|p| p.ty == ParamType::Fp).map(|p| p.name.clone()).collect();
-    // Find a fresh name (the seed may already contain mid_N temporaries).
+    let base = {
+        let vars: Vec<&str> = program
+            .params
+            .iter()
+            .filter(|p| p.ty == ParamType::Fp)
+            .map(|p| p.name.as_str())
+            .collect();
+        match vars.choose(rng) {
+            Some(v) => Expr::var((*v).to_string()),
+            None => Expr::Num(plausible_constant(rng)),
+        }
+    };
+    // Find a fresh name (the seed may already contain mid_N temporaries),
+    // probing candidates through one reused buffer instead of a fresh
+    // `format!` allocation per counter value.
+    let mut name = String::with_capacity(8);
     let mut n = 0usize;
-    let name = loop {
-        let candidate = format!("mid_{n}");
-        let clash = program_declares(program, &candidate);
-        if !clash {
-            break candidate;
+    loop {
+        name.clear();
+        let _ = write!(name, "mid_{n}");
+        if !program_declares(program, &name) {
+            break;
         }
         n += 1;
-    };
-    let base = match vars.choose(rng) {
-        Some(v) => Expr::var(v.clone()),
-        None => Expr::Num(plausible_constant(rng)),
-    };
+    }
     let func = *[MathFunc::Tanh, MathFunc::Sin, MathFunc::Atan, MathFunc::Log1p, MathFunc::Cbrt]
         .choose(rng)
         .unwrap();

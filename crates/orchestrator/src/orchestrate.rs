@@ -102,6 +102,13 @@ pub struct RunStats {
     pub epochs_restored: usize,
     /// Result-cache statistics (`None` when caching was off).
     pub cache: Option<CacheStats>,
+    /// Largest VM register file any shard's reused execution scratch
+    /// prepared during this run — a readout of the seal-time register
+    /// coalescing. `None` when no shard reported one (all shards reused
+    /// from a pre-optimizer run dir); telemetry only, never part of the
+    /// determinism contract (resumed shards count only their recomputed
+    /// segment).
+    pub peak_regs: Option<usize>,
     /// Wall-clock duration of the orchestrated run.
     pub wall_time: Duration,
     /// Sum of the computed shards' pipeline times (the work the pool
@@ -124,16 +131,21 @@ impl RunStats {
             ),
             None => "cache off".to_string(),
         };
+        let peak = match self.peak_regs {
+            Some(regs) => format!(", peak register file {regs}"),
+            None => String::new(),
+        };
         format!(
             "{} shard(s) x {} epoch(s) on {} worker(s), {} reused, \
-             {:.2}s wall ({:.2}s shard time), {}",
+             {:.2}s wall ({:.2}s shard time), {}{}",
             self.shards,
             self.epochs,
             self.workers,
             self.shards_reused,
             self.wall_time.as_secs_f64(),
             self.shard_pipeline_time.as_secs_f64(),
-            cache
+            cache,
+            peak
         )
     }
 }
@@ -203,6 +215,7 @@ impl Orchestrator {
             None => None,
         };
         let outcome = self.execute(config, &specs, epochs, cache.as_ref(), run_dir.as_ref());
+        let peak_regs = outcome.outputs.iter().filter_map(|o| o.peak_regs).max();
         let result = merge_shards(config, outcome.outputs, start.elapsed());
         let stats = RunStats {
             shards: specs.len(),
@@ -212,6 +225,7 @@ impl Orchestrator {
             shards_computed: outcome.computed,
             epochs_restored: outcome.epochs_restored,
             cache: cache.map(|c| c.stats()),
+            peak_regs,
             wall_time: start.elapsed(),
             shard_pipeline_time: outcome.pipeline_time,
         };

@@ -178,6 +178,7 @@ impl Scheduler {
                 let shard_pipeline_time: std::time::Duration =
                     mine.iter().map(|o| o.pipeline_time).sum();
                 let shards_computed = mine.len();
+                let peak_regs = mine.iter().filter_map(|o| o.peak_regs).max();
                 let result = merge_shards(config, mine, shard_pipeline_time);
                 OrchestratedResult {
                     stats: RunStats {
@@ -192,6 +193,7 @@ impl Scheduler {
                         // totals — per-campaign attribution isn't
                         // separable from shared counters.
                         cache: caches[campaign].as_ref().map(|c| c.stats()),
+                        peak_regs,
                         wall_time,
                         shard_pipeline_time,
                     },

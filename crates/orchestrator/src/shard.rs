@@ -86,6 +86,10 @@ pub struct ShardOutput {
     pub simulated_llm_time: Duration,
     /// Wall-clock time this shard actually spent computing.
     pub pipeline_time: Duration,
+    /// Largest VM register file the shard's reused execution scratch
+    /// prepared (`None` in shard files persisted before it was recorded;
+    /// 0 for campaigns that never ran a virtual matrix).
+    pub peak_regs: Option<usize>,
 }
 
 /// Split one shard's budget into `epochs` consecutive segment lengths
@@ -208,6 +212,7 @@ impl ShardRunner {
     /// Finish the shard (all segments run) and assemble its output.
     pub fn finish(self) -> ShardOutput {
         debug_assert_eq!(self.next_local, self.spec.budget, "shard finished early");
+        let peak_regs = self.runner.peak_register_file();
         let result = self.runner.finish();
         ShardOutput {
             spec: self.spec,
@@ -219,6 +224,7 @@ impl ShardRunner {
             llm_calls: result.llm_calls,
             simulated_llm_time: result.simulated_llm_time,
             pipeline_time: result.pipeline_time,
+            peak_regs: Some(peak_regs),
         }
     }
 }
