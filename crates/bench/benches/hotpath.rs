@@ -14,12 +14,16 @@
 //! calls against one matrix-shared `Frontend::seal_matrix` (prefix-tree
 //! pass pipelines + one layout per program), with and without the
 //! seal-time peephole optimizer.
+//! `telemetry_overhead` prices the observability layer on a sharded
+//! campaign: telemetry off (the gated disabled path — every recording
+//! call must stay one `None` branch), metrics mode and full trace mode.
 //!
 //! All groups are saved into the CI bench-regression baseline
 //! (`BENCH_hotpath.json`) and gated by `bench_compare`, so a slowdown on
 //! the sealed path fails the PR.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use llm4fp::{ApproachKind, CampaignConfig};
 use llm4fp_compiler::interp::DEFAULT_FUEL;
 use llm4fp_compiler::{
     compile, CompiledProgram, CompilerConfig, CompilerId, ExecScratch, Frontend, OptLevel,
@@ -28,6 +32,8 @@ use llm4fp_compiler::{
 use llm4fp_difftest::{DiffTester, ExecEngine, MatrixScratch};
 use llm4fp_fpir::{InputSet, Program};
 use llm4fp_generator::{InputGenerator, VarityGenerator};
+use llm4fp_orchestrator::{Orchestrator, OrchestratorOptions};
+use llm4fp_telemetry::TelemetrySpec;
 
 const CORPUS: usize = 24;
 
@@ -192,5 +198,38 @@ fn bench_seal_matrix(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_interp_vs_vm, bench_difftest_matrix, bench_seal_matrix);
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    let config =
+        CampaignConfig::new(ApproachKind::Varity).with_budget(80).with_seed(1).with_threads(1);
+    // `sharded_campaign_off` is the gated entry proving the disabled path
+    // costs nothing measurable: telemetry off must track the pre-telemetry
+    // sharded-campaign cost (every recording call is one `None` branch).
+    // The metrics/trace series price what opting in actually buys.
+    for (label, telemetry) in [
+        ("sharded_campaign_off", TelemetrySpec::OFF),
+        ("sharded_campaign_metrics", TelemetrySpec::METRICS),
+        ("sharded_campaign_trace", TelemetrySpec::TRACE),
+    ] {
+        group.bench_function(label, |b| {
+            let orchestrator = Orchestrator::new(OrchestratorOptions {
+                workers: 2,
+                cache: false,
+                telemetry,
+                ..OrchestratorOptions::default()
+            });
+            b.iter(|| black_box(orchestrator.run(&config, 4).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_interp_vs_vm,
+    bench_difftest_matrix,
+    bench_seal_matrix,
+    bench_telemetry_overhead
+);
 criterion_main!(benches);

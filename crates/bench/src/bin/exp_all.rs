@@ -8,7 +8,7 @@ use llm4fp_bench::{run_all_approaches, ExpOptions};
 
 fn main() {
     let opts = ExpOptions::from_env();
-    let results = run_all_approaches(opts);
+    let results = run_all_approaches(&opts);
     println!("# LLM4FP reproduction — full experiment run");
     println!("\nBudget: {} programs per approach, seed {}\n", opts.programs, opts.seed);
 

@@ -6,7 +6,7 @@ use llm4fp_bench::{run_varity_and_llm4fp, ExpOptions};
 
 fn main() {
     let opts = ExpOptions::from_env();
-    let (varity, llm4fp) = run_varity_and_llm4fp(opts);
+    let (varity, llm4fp) = run_varity_and_llm4fp(&opts);
     println!(
         "\nFigure 3: Inconsistency counts of different kinds ({} programs/approach)\n",
         opts.programs

@@ -8,7 +8,7 @@ use llm4fp_metrics::CloneType;
 
 fn main() {
     let opts = ExpOptions::from_env();
-    let results = run_all_approaches(opts);
+    let results = run_all_approaches(&opts);
     let mut rows = Vec::new();
     for result in &results {
         let diversity = result.measure_diversity();

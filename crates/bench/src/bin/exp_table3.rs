@@ -7,7 +7,7 @@ use llm4fp_bench::{run_campaign, ExpOptions};
 
 fn main() {
     let opts = ExpOptions::from_env();
-    let llm4fp = run_campaign(opts, ApproachKind::Llm4Fp);
+    let llm4fp = run_campaign(&opts, ApproachKind::Llm4Fp);
     println!(
         "\nTable 3: Inconsistency counts for LLM4FP across optimization levels ({} programs)\n",
         opts.programs

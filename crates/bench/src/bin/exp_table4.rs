@@ -6,7 +6,7 @@ use llm4fp_bench::{run_varity_and_llm4fp, ExpOptions};
 
 fn main() {
     let opts = ExpOptions::from_env();
-    let (varity, llm4fp) = run_varity_and_llm4fp(opts);
+    let (varity, llm4fp) = run_varity_and_llm4fp(&opts);
     println!("\nTable 4: Inconsistency rates and digit differences per compiler pair ({} programs/approach)\n", opts.programs);
     print!("{}", table4(&varity, &llm4fp));
 }

@@ -6,7 +6,7 @@ use llm4fp_bench::{run_varity_and_llm4fp, ExpOptions};
 
 fn main() {
     let opts = ExpOptions::from_env();
-    let (varity, llm4fp) = run_varity_and_llm4fp(opts);
+    let (varity, llm4fp) = run_varity_and_llm4fp(&opts);
     println!(
         "\nTable 5: Inconsistency rates vs O0_nofma within each compiler ({} programs/approach)\n",
         opts.programs

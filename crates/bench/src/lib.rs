@@ -31,9 +31,19 @@
 //!   for `--backend extcc` (default: available parallelism);
 //! * `--no-seal-opt` — disable the seal-time bytecode peephole optimizer
 //!   for A/B measurements (results are bit-identical; only seal cost and
-//!   executed instruction counts change).
+//!   executed instruction counts change);
+//! * `--run-dir PATH` — persist the run (and its telemetry flight
+//!   recorders) into a resumable run directory (single-campaign binaries;
+//!   suite binaries schedule in memory);
+//! * `--trace` — record span events; with `--run-dir` a Chrome
+//!   `trace_event`-compatible `trace.jsonl` is written (implies metrics);
+//! * `--no-metrics` — disable telemetry counters/histograms entirely
+//!   (they are on by default for experiment runs; campaign results are
+//!   bit-identical either way).
 
 #![deny(unsafe_code)]
+
+use std::path::PathBuf;
 
 use llm4fp::{
     ApproachKind, BackendSpec, CampaignConfig, CampaignResult, ExternalBackendSpec, SealMode,
@@ -41,6 +51,7 @@ use llm4fp::{
 use llm4fp_orchestrator::{
     default_workers, OrchestratedResult, Orchestrator, OrchestratorOptions, Scheduler,
 };
+use llm4fp_telemetry::TelemetrySpec;
 
 /// Which execution backend the experiment binaries drive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,7 +64,7 @@ pub enum CliBackend {
 }
 
 /// Command-line options shared by all experiment binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExpOptions {
     pub programs: usize,
     pub seed: u64,
@@ -68,6 +79,16 @@ pub struct ExpOptions {
     /// (`--no-seal-opt`) for A/B runs; results are bit-identical either
     /// way, only seal/execute cost changes.
     pub seal_opt: bool,
+    /// Collect telemetry counters and histograms (on by default for
+    /// experiment runs; `--no-metrics` turns everything off). Pure
+    /// observation — results are bit-identical either way.
+    pub metrics: bool,
+    /// Also record span events (`--trace`); persisted runs write a
+    /// Chrome `trace_event`-compatible `trace.jsonl`. Implies metrics.
+    pub trace: bool,
+    /// Persist single-campaign runs into this directory (`--run-dir`),
+    /// including the `metrics.json`/`trace.jsonl` flight recorders.
+    pub run_dir: Option<PathBuf>,
 }
 
 impl Default for ExpOptions {
@@ -82,6 +103,9 @@ impl Default for ExpOptions {
             backend: CliBackend::Virtual,
             process_slots: 0,
             seal_opt: true,
+            metrics: true,
+            trace: false,
+            run_dir: None,
         }
     }
 }
@@ -133,10 +157,17 @@ impl ExpOptions {
                         v.parse().map_err(|_| format!("invalid --process-slots {v}"))?;
                 }
                 "--no-seal-opt" => opts.seal_opt = false,
+                "--trace" => opts.trace = true,
+                "--no-metrics" => opts.metrics = false,
+                "--run-dir" => {
+                    let v = iter.next().ok_or("--run-dir needs a path")?;
+                    opts.run_dir = Some(PathBuf::from(v));
+                }
                 "--help" | "-h" => {
                     return Err("usage: [--programs N] [--paper] [--seed S] [--threads T] \
                          [--shards K] [--epochs E] [--workers W] \
-                         [--backend virtual|extcc] [--process-slots P] [--no-seal-opt]"
+                         [--backend virtual|extcc] [--process-slots P] [--no-seal-opt] \
+                         [--run-dir PATH] [--trace] [--no-metrics]"
                         .into())
                 }
                 other => return Err(format!("unknown argument `{other}`")),
@@ -224,6 +255,19 @@ impl ExpOptions {
         self.campaign_config_with(approach, self.resolve_backend_or_exit())
     }
 
+    /// The telemetry features these options select. `--trace` implies
+    /// metrics (span histograms are counters' siblings); `--no-metrics`
+    /// without `--trace` turns collection off entirely.
+    pub fn telemetry_spec(&self) -> TelemetrySpec {
+        if self.trace {
+            TelemetrySpec::TRACE
+        } else if self.metrics {
+            TelemetrySpec::METRICS
+        } else {
+            TelemetrySpec::OFF
+        }
+    }
+
     /// Orchestrator options for these CLI options.
     pub fn orchestrator_options(&self) -> OrchestratorOptions {
         OrchestratorOptions {
@@ -235,7 +279,8 @@ impl ExpOptions {
             } else {
                 self.process_slots
             },
-            run_dir: None,
+            run_dir: self.run_dir.clone(),
+            telemetry: self.telemetry_spec(),
         }
     }
 }
@@ -245,7 +290,9 @@ fn log_stats(approach: ApproachKind, orchestrated: &OrchestratedResult) {
 }
 
 /// Run one campaign for the given approach through the orchestrator.
-pub fn run_campaign(opts: ExpOptions, approach: ApproachKind) -> CampaignResult {
+/// With `--run-dir` the run persists (and resumes) there, including the
+/// telemetry flight recorders when enabled.
+pub fn run_campaign(opts: &ExpOptions, approach: ApproachKind) -> CampaignResult {
     eprintln!(
         "[llm4fp-bench] running {} campaign: {} programs, seed {}, {} shard(s), {} epoch(s)",
         approach.name(),
@@ -256,25 +303,28 @@ pub fn run_campaign(opts: ExpOptions, approach: ApproachKind) -> CampaignResult 
     );
     let orchestrated = Orchestrator::new(opts.orchestrator_options())
         .run(&opts.campaign_config(approach), opts.shards)
-        .expect("in-memory orchestrated run cannot fail");
+        .unwrap_or_else(|e| {
+            eprintln!("[llm4fp-bench] run-dir persistence failed: {e}");
+            std::process::exit(1);
+        });
     log_stats(approach, &orchestrated);
     orchestrated.result
 }
 
 /// Run the Varity and LLM4FP campaigns (the pair most tables compare),
 /// scheduled concurrently over one worker pool.
-pub fn run_varity_and_llm4fp(opts: ExpOptions) -> (CampaignResult, CampaignResult) {
+pub fn run_varity_and_llm4fp(opts: &ExpOptions) -> (CampaignResult, CampaignResult) {
     let mut results = run_suite(opts, &[ApproachKind::Varity, ApproachKind::Llm4Fp]).into_iter();
     (results.next().expect("varity result"), results.next().expect("llm4fp result"))
 }
 
 /// Run all four approaches in Table 2 order, scheduled concurrently over
 /// one worker pool.
-pub fn run_all_approaches(opts: ExpOptions) -> Vec<CampaignResult> {
+pub fn run_all_approaches(opts: &ExpOptions) -> Vec<CampaignResult> {
     run_suite(opts, &ApproachKind::ALL)
 }
 
-fn run_suite(opts: ExpOptions, approaches: &[ApproachKind]) -> Vec<CampaignResult> {
+fn run_suite(opts: &ExpOptions, approaches: &[ApproachKind]) -> Vec<CampaignResult> {
     eprintln!(
         "[llm4fp-bench] scheduling {} campaigns: {} programs each, seed {}, {} shard(s), \
          {} epoch(s), {} workers",
@@ -289,7 +339,20 @@ fn run_suite(opts: ExpOptions, approaches: &[ApproachKind]) -> Vec<CampaignResul
     let backend = opts.resolve_backend_or_exit();
     let configs: Vec<CampaignConfig> =
         approaches.iter().map(|&a| opts.campaign_config_with(a, backend.clone())).collect();
-    let suite = Scheduler::new(opts.orchestrator_options()).run_suite(&configs, opts.shards);
+    let mut options = opts.orchestrator_options();
+    if let Some(dir) = options.run_dir.take() {
+        // A run directory records ONE campaign (its manifest pins one
+        // config); the scheduler executes suites in memory. Say so
+        // instead of silently dropping the flag. Telemetry itself still
+        // applies — per-campaign summaries land in the printed stats.
+        eprintln!(
+            "[llm4fp-bench] note: --run-dir {} ignored for a multi-campaign suite; \
+             persistence and the metrics.json/trace.jsonl flight recorders apply to \
+             single-campaign binaries (e.g. exp_table3)",
+            dir.display()
+        );
+    }
+    let suite = Scheduler::new(options).run_suite(&configs, opts.shards);
     approaches
         .iter()
         .zip(suite)
@@ -325,6 +388,9 @@ mod tests {
                 "--process-slots",
                 "5",
                 "--no-seal-opt",
+                "--trace",
+                "--run-dir",
+                "/tmp/llm4fp-run",
             ]
             .map(String::from),
         )
@@ -341,8 +407,15 @@ mod tests {
                 backend: CliBackend::Extcc,
                 process_slots: 5,
                 seal_opt: false,
+                metrics: true,
+                trace: true,
+                run_dir: Some(PathBuf::from("/tmp/llm4fp-run")),
             }
         );
+        assert_eq!(opts.telemetry_spec(), TelemetrySpec::TRACE);
+        let quiet = ExpOptions::parse(["--no-metrics".to_string()]).unwrap();
+        assert_eq!(quiet.telemetry_spec(), TelemetrySpec::OFF);
+        assert_eq!(ExpOptions::default().telemetry_spec(), TelemetrySpec::METRICS);
         assert!(ExpOptions::parse(["--backend".to_string(), "bogus".to_string()]).is_err());
         let paper = ExpOptions::parse(["--paper".to_string()]).unwrap();
         assert_eq!(paper.programs, 1_000);
@@ -383,7 +456,7 @@ mod tests {
             workers: 2,
             ..ExpOptions::default()
         };
-        let results = run_all_approaches(opts);
+        let results = run_all_approaches(&opts);
         assert_eq!(results.len(), 4);
         for r in &results {
             assert_eq!(r.aggregates.programs, 6);
@@ -401,7 +474,7 @@ mod tests {
             workers: 4,
             ..ExpOptions::default()
         };
-        let orchestrated = run_campaign(opts, ApproachKind::Varity);
+        let orchestrated = run_campaign(&opts, ApproachKind::Varity);
         let sequential = llm4fp::Campaign::new(opts.campaign_config(ApproachKind::Varity)).run();
         assert_eq!(orchestrated.records, sequential.records);
         assert_eq!(orchestrated.aggregates, sequential.aggregates);

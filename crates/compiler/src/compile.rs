@@ -6,6 +6,7 @@ use std::borrow::Cow;
 use serde::{Deserialize, Serialize};
 
 use llm4fp_fpir::{validate, InputSet, Param, Precision, Program, ValidationError};
+use llm4fp_telemetry::{keys, Telemetry};
 
 use crate::bytecode::{self, SealError, SealPlan, SealedProgram};
 use crate::config::{CompilerConfig, Semantics};
@@ -206,6 +207,24 @@ impl Frontend {
         mode: SealMode,
         scratch: &mut SealScratch,
     ) -> Vec<Result<SealedProgram, SealError>> {
+        self.seal_matrix_instrumented(configs, mode, scratch, &Telemetry::disabled(), 0)
+    }
+
+    /// [`Frontend::seal_matrix_with`] plus telemetry: per-pass peephole
+    /// spans and instruction/register-shrink counters, keyed by
+    /// `program_id` (the caller's stable program hash) so racy duplicate
+    /// seals of the same program collapse to one contribution when lanes
+    /// merge. Counts cover each *distinct* optimizer run of the matrix —
+    /// memoized `(pipeline, lib, flush)` classes are counted once, which
+    /// is also what makes the totals deterministic per program.
+    pub fn seal_matrix_instrumented(
+        &self,
+        configs: &[CompilerConfig],
+        mode: SealMode,
+        scratch: &mut SealScratch,
+        telemetry: &Telemetry,
+        program_id: u64,
+    ) -> Vec<Result<SealedProgram, SealError>> {
         let plan = match SealPlan::new(self.precision, &self.params, &self.lowered) {
             Ok(plan) => plan,
             Err(e) => return configs.iter().map(|_| Err(e.clone())).collect(),
@@ -239,8 +258,10 @@ impl Frontend {
         // optimizer run itself.
         type OptKey<'k> = (&'k [Stage], crate::config::MathLibKind, bool);
         let mut opts: Vec<(OptKey, Flat)> = Vec::new();
+        let mut instrs_saved = 0u64;
+        let mut regs_saved = 0u64;
 
-        pipelines
+        let results: Vec<Result<SealedProgram, SealError>> = pipelines
             .iter()
             .map(|(semantics, pipeline)| {
                 let (pipeline, flat) = flats
@@ -259,7 +280,10 @@ impl Frontend {
                     None => {
                         let optimized = flat.clone().map(|(instrs, n_regs)| {
                             let mut sealed = plan.assemble(instrs, n_regs, semantics);
-                            peephole::optimize(&mut sealed, scratch);
+                            let stats = peephole::optimize_with(&mut sealed, scratch, telemetry);
+                            instrs_saved +=
+                                stats.instrs_before.saturating_sub(stats.instrs_after) as u64;
+                            regs_saved += stats.regs_before.saturating_sub(stats.regs_after) as u64;
                             (sealed.instrs, sealed.n_regs)
                         });
                         // Memoize only classes another configuration will
@@ -280,7 +304,12 @@ impl Frontend {
                 };
                 optimized.map(|(instrs, n_regs)| plan.assemble(instrs, n_regs, semantics))
             })
-            .collect()
+            .collect();
+        if telemetry.is_enabled() && (instrs_saved > 0 || regs_saved > 0) {
+            telemetry.add_keyed(keys::PEEPHOLE_INSTRS_SAVED, program_id, instrs_saved);
+            telemetry.add_keyed(keys::PEEPHOLE_REGS_SAVED, program_id, regs_saved);
+        }
+        results
     }
 }
 

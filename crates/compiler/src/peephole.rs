@@ -50,6 +50,8 @@
 //!   shrinking the `ExecScratch` register file the VM zero-fills per run.
 //!   (Monotone renumbering keeps `Call` argument blocks contiguous.)
 
+use llm4fp_telemetry::{keys, Telemetry};
+
 use crate::bytecode::{Instr, SealedProgram, SlotIndex};
 
 /// Whether sealing runs the post-flatten peephole optimizer. The two
@@ -137,20 +139,45 @@ pub struct PeepholeStats {
 /// emits any), and registers only come free when instructions were
 /// removed.
 pub fn optimize(program: &mut SealedProgram, scratch: &mut SealScratch) -> PeepholeStats {
+    optimize_with(program, scratch, &Telemetry::disabled())
+}
+
+/// [`optimize`] with per-pass telemetry spans (timings land under the
+/// `peephole.*` keys). The disabled handle reduces each span to a single
+/// branch, so [`optimize`] delegates here at zero cost.
+pub fn optimize_with(
+    program: &mut SealedProgram,
+    scratch: &mut SealScratch,
+    telemetry: &Telemetry,
+) -> PeepholeStats {
     let instrs_before = program.instrs.len();
     let regs_before = program.n_regs;
     let burns_before = count_burns(&program.instrs);
 
-    let has_consts = census(program, scratch);
-    if has_consts && propagate_constants(program, scratch) {
-        eliminate_dead(program, scratch);
+    let has_consts = {
+        let _span = telemetry.span(keys::SPAN_PEEPHOLE_CENSUS);
+        census(program, scratch)
+    };
+    let folded = has_consts && {
+        let _span = telemetry.span(keys::SPAN_PEEPHOLE_PROPAGATE);
+        propagate_constants(program, scratch)
+    };
+    if folded {
+        {
+            let _span = telemetry.span(keys::SPAN_PEEPHOLE_DCE);
+            eliminate_dead(program, scratch);
+        }
+        let _span = telemetry.span(keys::SPAN_PEEPHOLE_COALESCE);
         coalesce_registers(program, scratch);
     }
     // Last: threading only ever removes unconditional jumps to the next
     // instruction (structured flattening emits no jump chains, but DCE
     // can empty the region an `if` jumps over), which cannot expose new
     // folds or dead registers.
-    thread_jumps(program, scratch);
+    {
+        let _span = telemetry.span(keys::SPAN_PEEPHOLE_THREAD_JUMPS);
+        thread_jumps(program, scratch);
+    }
 
     // Hard backstop for the bit-exactness pin: fuel burns are sacrosanct.
     assert_eq!(count_burns(&program.instrs), burns_before, "peephole pipeline altered fuel burns");

@@ -41,8 +41,8 @@ use rand::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use llm4fp_difftest::{
-    Aggregates, CachedDiff, DiffTester, ExecBackend, ExecEngine, MatrixScratch, ProcessBudget,
-    ResultCache,
+    record_outcome_metrics, Aggregates, CachedDiff, DiffTester, ExecBackend, ExecEngine,
+    MatrixScratch, ProcessBudget, ResultCache,
 };
 use llm4fp_fpir::{program_hash, program_id, source_hash, to_compute_source, validate, Program};
 use llm4fp_generator::{
@@ -50,6 +50,7 @@ use llm4fp_generator::{
     VarityGenerator,
 };
 use llm4fp_metrics::DiversityReport;
+use llm4fp_telemetry::{keys, Telemetry};
 
 use crate::config::{ApproachKind, BackendSpec, CampaignConfig};
 
@@ -269,6 +270,10 @@ pub struct CampaignRunner {
     /// shards) doesn't book waiting time as pipeline cost, and a restored
     /// runner continues the count where the checkpoint left it.
     pipeline_time: Duration,
+    /// Telemetry handle (disabled by default). Pure observation — never
+    /// part of checkpoints, never consulted by the campaign logic — so
+    /// results and resume streams are bit-identical with it on or off.
+    telemetry: Telemetry,
 }
 
 /// Serializable image of a [`CampaignRunner`] paused between programs.
@@ -334,6 +339,7 @@ impl CampaignRunner {
             generation_failures: 0,
             simulated_llm_time: Duration::ZERO,
             pipeline_time: Duration::ZERO,
+            telemetry: Telemetry::disabled(),
             config,
         }
     }
@@ -433,6 +439,22 @@ impl CampaignRunner {
         self.tester.process_budget = Some(budget);
     }
 
+    /// Attach a telemetry handle (the orchestrator passes this runner's
+    /// shard-lane handle). The handle reaches the differential tester
+    /// too, so seal/execute spans and compute-level counters flow into
+    /// the same lane. Telemetry is pure observation: it is absent from
+    /// checkpoints and never alters RNG draws or results.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.set_telemetry(telemetry);
+        self
+    }
+
+    /// In-place form of [`CampaignRunner::with_telemetry`].
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.tester.telemetry = telemetry.clone();
+        self.telemetry = telemetry;
+    }
+
     /// Override the seed that program input sets are derived from.
     ///
     /// The orchestrator runs each shard with a derived campaign seed
@@ -471,10 +493,12 @@ impl CampaignRunner {
     /// feedback set. Returns the record of the processed program.
     pub fn run_one(&mut self, index: usize) -> &ProgramRecord {
         let started = Instant::now();
+        let _span = self.telemetry.span(keys::SPAN_PROGRAM);
         let (strategy_label, program) = self.generate_one();
 
         let Some(program) = program else {
             self.generation_failures += 1;
+            self.telemetry.add(keys::GENERATION_FAILURES, 1);
             self.aggregates.add_result(
                 &llm4fp_difftest::ProgramDiffResult {
                     program_id: String::new(),
@@ -498,6 +522,10 @@ impl CampaignRunner {
 
         let id = program_id(&program);
         let CachedDiff { result, baseline } = self.test_program(&id, &program);
+        // Campaign-level counters record what the program *contributes*
+        // (cached or computed alike), which keeps them deterministic even
+        // though cache hit/miss attribution is racy across workers.
+        record_outcome_metrics(&self.telemetry, &result);
         self.aggregates.add_result(&result, self.comparisons_per_program);
         self.aggregates.add_baseline_comparisons(&baseline);
 

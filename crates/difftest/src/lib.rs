@@ -28,5 +28,6 @@ pub use backend::{BudgetGuard, ExecBackend, ProcessBudget};
 pub use cache::{CacheStats, CachedDiff, ResultCache};
 pub use compare::{classify, digit_difference, DiffRecord, InconsistencyKind, ValueClass};
 pub use matrix::{
-    ConfigOutcome, DiffTester, ExecEngine, MatrixScratch, Outcome, ProgramDiffResult,
+    record_outcome_metrics, ConfigOutcome, DiffTester, ExecEngine, MatrixScratch, Outcome,
+    ProgramDiffResult,
 };

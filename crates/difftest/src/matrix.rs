@@ -33,7 +33,8 @@ use llm4fp_compiler::{
     OptLevel, SealMode, SealScratch, SealedProgram,
 };
 use llm4fp_extcc::HostToolchain;
-use llm4fp_fpir::{program_id, InputSet, Precision, Program};
+use llm4fp_fpir::{program_hash, program_id, InputSet, Precision, Program};
+use llm4fp_telemetry::{keys, Telemetry};
 
 use crate::backend::{ExecBackend, ProcessBudget};
 use crate::compare::{classify, digit_difference, DiffRecord};
@@ -142,6 +143,11 @@ pub struct DiffTester {
     /// across shards by the orchestrator; ignored by the virtual
     /// backend).
     pub process_budget: Option<Arc<ProcessBudget>>,
+    /// Telemetry handle (disabled by default — every recording call is a
+    /// single branch). Pure observation: results are bit-identical with
+    /// telemetry on or off, and compute-level counters are keyed by the
+    /// program hash so racy duplicate computations collapse on merge.
+    pub telemetry: Telemetry,
 }
 
 impl Default for DiffTester {
@@ -153,6 +159,7 @@ impl Default for DiffTester {
             backend: ExecBackend::Virtual(ExecEngine::Sealed),
             seal_mode: SealMode::Optimized,
             process_budget: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -228,6 +235,13 @@ impl DiffTester {
     /// (no effect on the virtual backend).
     pub fn with_process_budget(mut self, budget: Arc<ProcessBudget>) -> Self {
         self.process_budget = Some(budget);
+        self
+    }
+
+    /// Record seal/execute spans and compute-level counters through
+    /// `telemetry` (campaigns pass their shard lane's handle).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -371,33 +385,73 @@ impl DiffTester {
         input_sets: &[InputSet],
         configs: &[CompilerConfig],
     ) -> Vec<Vec<Outcome>> {
-        let _permit = self.process_budget.as_ref().map(|budget| budget.acquire());
-        let mut session = match toolchain.session() {
-            Ok(session) => session,
-            Err(e) => {
-                let row = vec![Outcome::CompileFail { reason: e.to_string() }; input_sets.len()];
-                return vec![row; configs.len()];
-            }
+        let telemetry = &self.telemetry;
+        let id = if telemetry.is_enabled() { program_hash(program) } else { 0 };
+        // Process-spawn and failure-taxonomy totals accumulate locally and
+        // land as one keyed contribution per program: however many lanes
+        // race to recompute this program, the merged report counts it once.
+        let mut compiles = 0u64;
+        let mut runs = 0u64;
+        let mut errors: std::collections::BTreeMap<&'static str, u64> =
+            std::collections::BTreeMap::new();
+        let mut record_error = |e: &llm4fp_extcc::ExtError| {
+            *errors.entry(e.taxonomy()).or_insert(0) += 1;
         };
-        configs
-            .iter()
-            .map(|&config| match session.compile(program, config) {
+        let _permit = self.process_budget.as_ref().map(|budget| budget.acquire());
+        let outcomes = (|| {
+            let mut session = match toolchain.session() {
+                Ok(session) => session,
                 Err(e) => {
-                    vec![Outcome::CompileFail { reason: e.to_string() }; input_sets.len()]
+                    record_error(&e);
+                    let row =
+                        vec![Outcome::CompileFail { reason: e.to_string() }; input_sets.len()];
+                    return vec![row; configs.len()];
                 }
-                Ok(artifact) => input_sets
-                    .iter()
-                    .map(|inputs| match session.run_inputs(&artifact, program, inputs) {
-                        Ok(r) => Outcome::Ok {
-                            value: r.value,
-                            bits: r.bits,
-                            hex: program.precision.hex_of_bits(r.bits),
-                        },
-                        Err(e) => Outcome::ExecFail { reason: e.to_string() },
-                    })
-                    .collect(),
-            })
-            .collect()
+            };
+            configs
+                .iter()
+                .map(|&config| match session.compile(program, config) {
+                    Err(e) => {
+                        record_error(&e);
+                        vec![Outcome::CompileFail { reason: e.to_string() }; input_sets.len()]
+                    }
+                    Ok(artifact) => {
+                        compiles += 1;
+                        telemetry.observe(keys::EXTCC_COMPILE_TIME, artifact.compile_time);
+                        input_sets
+                            .iter()
+                            .map(|inputs| match session.run_inputs(&artifact, program, inputs) {
+                                Ok(r) => {
+                                    runs += 1;
+                                    telemetry.observe(keys::EXTCC_RUN_TIME, r.run_time);
+                                    Outcome::Ok {
+                                        value: r.value,
+                                        bits: r.bits,
+                                        hex: program.precision.hex_of_bits(r.bits),
+                                    }
+                                }
+                                Err(e) => {
+                                    record_error(&e);
+                                    Outcome::ExecFail { reason: e.to_string() }
+                                }
+                            })
+                            .collect()
+                    }
+                })
+                .collect()
+        })();
+        if telemetry.is_enabled() {
+            if compiles > 0 {
+                telemetry.add_keyed(keys::EXTCC_COMPILES, id, compiles);
+            }
+            if runs > 0 {
+                telemetry.add_keyed(keys::EXTCC_RUNS, id, runs);
+            }
+            for (taxonomy, n) in errors {
+                telemetry.add_keyed(&format!("{}{taxonomy}", keys::EXTCC_ERR_PREFIX), id, n);
+            }
+        }
+        outcomes
     }
 
     /// Virtual path: the front end runs once and the whole configuration
@@ -423,14 +477,34 @@ impl DiffTester {
                 return vec![row; configs.len()];
             }
         };
+        let telemetry = &self.telemetry;
+        let id = if telemetry.is_enabled() { program_hash(program) } else { 0 };
         // The sealed artifacts for the whole matrix (None on the
         // reference engine, which specializes per worker below).
         let sealed: Option<Vec<Result<SealedProgram, llm4fp_compiler::SealError>>> = match engine {
             ExecEngine::Sealed => {
-                Some(frontend.seal_matrix_with(configs, self.seal_mode, &mut scratch.seal))
+                let _span = telemetry.span(keys::SPAN_SEAL);
+                Some(frontend.seal_matrix_instrumented(
+                    configs,
+                    self.seal_mode,
+                    &mut scratch.seal,
+                    telemetry,
+                    id,
+                ))
             }
             ExecEngine::Reference => None,
         };
+        if telemetry.is_enabled() {
+            let refused =
+                sealed.iter().flatten().filter(|artifact| artifact.is_err()).count() as u64;
+            if refused > 0 {
+                // One refused program; `refused` config slots fall back to
+                // the reference interpreter.
+                telemetry.add_keyed(keys::SEAL_REFUSALS, id, 1);
+                telemetry.add_keyed(keys::INTERPRETER_FALLBACKS, id, refused);
+            }
+        }
+        let _span = telemetry.span(keys::SPAN_EXECUTE);
         let threads = self.threads.min(configs.len()).max(1);
         if threads == 1 {
             let exec = &mut scratch.workers(1)[0];
@@ -565,6 +639,32 @@ fn run_config(
 
 fn reference_outcomes(artifact: &CompiledProgram, input_sets: &[InputSet]) -> Vec<Outcome> {
     input_sets.iter().map(|inputs| outcome_of(artifact.execute(inputs))).collect()
+}
+
+/// Record the campaign-level counters for one program's diff result:
+/// programs, comparisons, total and per-config-pair discrepancy counts.
+/// Callers invoke this *post-cache* (on the result a program actually
+/// contributes, computed or replayed), which is what makes these plain
+/// counters deterministic — unlike compute-level work, which is keyed.
+pub fn record_outcome_metrics(telemetry: &Telemetry, result: &ProgramDiffResult) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    telemetry.add(keys::PROGRAMS, 1);
+    telemetry.add(keys::COMPARISONS, result.comparisons_performed as u64);
+    if !result.records.is_empty() {
+        telemetry.add(keys::DISCREPANCIES, result.records.len() as u64);
+        for record in &result.records {
+            let key = format!(
+                "{}{}-{lvl}.vs.{}-{lvl}",
+                keys::DISCREPANCY_PAIR_PREFIX,
+                record.pair.0,
+                record.pair.1,
+                lvl = record.level,
+            );
+            telemetry.add(&key, 1);
+        }
+    }
 }
 
 fn outcome_of(result: Result<ExecResult, ExecError>) -> Outcome {

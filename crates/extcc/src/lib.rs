@@ -146,6 +146,25 @@ impl std::fmt::Display for ExtError {
     }
 }
 
+impl ExtError {
+    /// A stable machine-readable slug for this failure class, used as
+    /// the metric-key suffix of telemetry taxonomy counters
+    /// (`extcc.err.<taxonomy>`). Timeouts split by phase because a
+    /// compiler hang and a runaway binary are operationally different
+    /// problems.
+    pub fn taxonomy(&self) -> &'static str {
+        match self {
+            ExtError::Io(_) => "io",
+            ExtError::MissingCompiler { .. } => "missing-compiler",
+            ExtError::CompileFailed { .. } => "compile-failed",
+            ExtError::RunCrashed { .. } => "run-crashed",
+            ExtError::Timeout { phase: ExtPhase::Compile, .. } => "timeout-compile",
+            ExtError::Timeout { phase: ExtPhase::Run, .. } => "timeout-run",
+            ExtError::BadOutput { .. } => "bad-output",
+        }
+    }
+}
+
 impl std::error::Error for ExtError {}
 
 /// Parse the hexadecimal bit pattern a generated program prints.
@@ -204,5 +223,22 @@ mod tests {
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");
         }
+    }
+
+    #[test]
+    fn taxonomy_slugs_are_distinct_per_failure_class() {
+        let errors = [
+            ExtError::Io("boom".into()),
+            ExtError::MissingCompiler { compiler: "nvcc".into() },
+            ExtError::CompileFailed { stderr: String::new() },
+            ExtError::RunCrashed { code: None, stderr: String::new() },
+            ExtError::Timeout { phase: ExtPhase::Compile, after_ms: 10 },
+            ExtError::Timeout { phase: ExtPhase::Run, after_ms: 10 },
+            ExtError::BadOutput { stdout: String::new() },
+        ];
+        let slugs: std::collections::HashSet<&str> = errors.iter().map(|e| e.taxonomy()).collect();
+        assert_eq!(slugs.len(), errors.len(), "taxonomy slugs must not collide");
+        assert_eq!(errors[4].taxonomy(), "timeout-compile");
+        assert_eq!(errors[5].taxonomy(), "timeout-run");
     }
 }

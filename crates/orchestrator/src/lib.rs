@@ -87,6 +87,6 @@ pub use orchestrate::{
 pub use persist::{PersistError, RunDir, RunManifest};
 pub use scheduler::Scheduler;
 pub use shard::{
-    merge_shards, plan_epoch_segments, plan_shards, run_shard, run_shard_budgeted, shard_seed,
-    ShardOutput, ShardRunner, ShardSpec,
+    merge_shards, plan_epoch_segments, plan_shards, run_shard, run_shard_budgeted,
+    run_shard_instrumented, shard_seed, ShardOutput, ShardRunner, ShardSpec,
 };

@@ -30,12 +30,13 @@ use serde::{Deserialize, Serialize};
 
 use llm4fp::{Campaign, CampaignConfig, CampaignResult, SuccessfulSet};
 use llm4fp_difftest::{CacheStats, ProcessBudget, ResultCache};
+use llm4fp_telemetry::{keys, TelemetryHub, TelemetrySpec, TelemetrySummary};
 
 use crate::persist::{PersistError, RunDir, RunManifest, ShardWriter};
 use crate::pool::{run_epochs, run_indexed};
 use crate::shard::{
-    merge_shards, plan_epoch_segments, plan_shards, run_shard_budgeted, ShardOutput, ShardRunner,
-    ShardSpec,
+    merge_shards, plan_epoch_segments, plan_shards, run_shard_instrumented, ShardOutput,
+    ShardRunner, ShardSpec,
 };
 
 /// How an orchestrated run executes.
@@ -65,6 +66,13 @@ pub struct OrchestratorOptions {
     /// shard outputs, merged result) into this directory, and resume from
     /// whatever complete state is already present.
     pub run_dir: Option<PathBuf>,
+    /// Telemetry collection for this run (off by default — the disabled
+    /// path costs one branch per call site). With `metrics` on, persisted
+    /// runs also write the deterministic `metrics.json` flight recorder;
+    /// with `trace` on, a Chrome `trace_event`-compatible `trace.jsonl`.
+    /// Collection is pure observation: results are bit-identical with
+    /// telemetry on or off.
+    pub telemetry: TelemetrySpec,
 }
 
 impl Default for OrchestratorOptions {
@@ -75,6 +83,7 @@ impl Default for OrchestratorOptions {
             epochs: 1,
             process_slots: default_workers(),
             run_dir: None,
+            telemetry: TelemetrySpec::OFF,
         }
     }
 }
@@ -115,6 +124,10 @@ pub struct RunStats {
     /// actually performed; `wall_time` approaches this divided by the
     /// effective worker count).
     pub shard_pipeline_time: Duration,
+    /// Telemetry roll-up (`None` when telemetry was off). Counter-derived
+    /// fields are deterministic for fully computed runs; the time fields
+    /// describe only work computed in *this* invocation.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl RunStats {
@@ -135,9 +148,19 @@ impl RunStats {
             Some(regs) => format!(", peak register file {regs}"),
             None => String::new(),
         };
+        let telemetry = match &self.telemetry {
+            Some(t) => format!(
+                ", telemetry: {} keys, {} fallback(s), {:.2}s seal / {:.2}s exec",
+                t.counter_keys,
+                t.interpreter_fallbacks,
+                t.seal_time.as_secs_f64(),
+                t.exec_time.as_secs_f64()
+            ),
+            None => String::new(),
+        };
         format!(
             "{} shard(s) x {} epoch(s) on {} worker(s), {} reused, \
-             {:.2}s wall ({:.2}s shard time), {}{}",
+             {:.2}s wall ({:.2}s shard time), {}{}{}",
             self.shards,
             self.epochs,
             self.workers,
@@ -145,7 +168,8 @@ impl RunStats {
             self.wall_time.as_secs_f64(),
             self.shard_pipeline_time.as_secs_f64(),
             cache,
-            peak
+            peak,
+            telemetry
         )
     }
 }
@@ -214,7 +238,12 @@ impl Orchestrator {
             )?),
             None => None,
         };
-        let outcome = self.execute(config, &specs, epochs, cache.as_ref(), run_dir.as_ref());
+        let hub = TelemetryHub::new(self.options.telemetry);
+        let outcome = {
+            // The orchestrator's own lane sits past every shard lane.
+            let _run = hub.lane(specs.len()).span(keys::SPAN_RUN);
+            self.execute(config, &specs, epochs, cache.as_ref(), run_dir.as_ref(), &hub)
+        };
         let peak_regs = outcome.outputs.iter().filter_map(|o| o.peak_regs).max();
         let result = merge_shards(config, outcome.outputs, start.elapsed());
         let stats = RunStats {
@@ -228,10 +257,21 @@ impl Orchestrator {
             peak_regs,
             wall_time: start.elapsed(),
             shard_pipeline_time: outcome.pipeline_time,
+            telemetry: hub.enabled().then(|| hub.summary()),
         };
         if let Some(dir) = &run_dir {
             dir.write_result(&result)?;
             dir.write_summary(&stats)?;
+            // The flight recorder is only written for fully computed runs:
+            // reused shards and restored epochs record nothing, so a
+            // partial recompute would under-count relative to the
+            // determinism contract's byte-identical promise.
+            if hub.enabled() && outcome.reused == 0 && outcome.epochs_restored == 0 {
+                dir.write_metrics(&hub.metrics())?;
+            }
+            if hub.spec().trace_enabled() {
+                dir.write_trace(&hub.trace_events())?;
+            }
         }
         Ok(OrchestratedResult { stats, result })
     }
@@ -259,6 +299,7 @@ impl Orchestrator {
         epochs: usize,
         cache: Option<&Arc<ResultCache>>,
         run_dir: Option<&RunDir>,
+        hub: &TelemetryHub,
     ) -> ExecOutcome {
         // External campaigns share one process budget across all shards
         // (the process-pool worker bound); virtual campaigns never
@@ -286,9 +327,9 @@ impl Orchestrator {
         }
         if epochs <= 1 {
             return self
-                .execute_independent(config, specs, outputs, reused, cache, budget, run_dir);
+                .execute_independent(config, specs, outputs, reused, cache, budget, run_dir, hub);
         }
-        self.execute_exchanged(config, specs, epochs, cache, budget, run_dir)
+        self.execute_exchanged(config, specs, epochs, cache, budget, run_dir, hub)
     }
 
     /// The no-exchange path: shards never communicate, so missing shards
@@ -303,6 +344,7 @@ impl Orchestrator {
         cache: Option<&Arc<ResultCache>>,
         budget: Option<&Arc<ProcessBudget>>,
         run_dir: Option<&RunDir>,
+        hub: &TelemetryHub,
     ) -> ExecOutcome {
         let pending: Vec<ShardSpec> = specs
             .iter()
@@ -311,12 +353,23 @@ impl Orchestrator {
             .map(|(spec, _)| *spec)
             .collect();
 
+        let pool_start = Instant::now();
         let computed = run_indexed(pending.len(), self.options.workers, |task| {
             let spec = pending[task];
             let shard_cache = cache.map(Arc::clone);
             let shard_budget = budget.map(Arc::clone);
+            let telemetry = hub.lane(spec.index);
+            telemetry.observe(keys::QUEUE_WAIT, pool_start.elapsed());
+            let _span = telemetry.span(keys::SPAN_SHARD_RUN);
             match run_dir {
-                None => run_shard_budgeted(config, spec, shard_cache, shard_budget, |_| {}),
+                None => run_shard_instrumented(
+                    config,
+                    spec,
+                    shard_cache,
+                    shard_budget,
+                    telemetry.clone(),
+                    |_| {},
+                ),
                 Some(dir) => {
                     // Persistence failures on progress lines must not kill
                     // the computation; the summary write decides
@@ -324,11 +377,12 @@ impl Orchestrator {
                     match dir.shard_writer(&spec) {
                         Ok(writer) => {
                             let writer = Mutex::new(writer);
-                            let output = run_shard_budgeted(
+                            let output = run_shard_instrumented(
                                 config,
                                 spec,
                                 shard_cache,
                                 shard_budget,
+                                telemetry.clone(),
                                 |record| {
                                     writer.lock().unwrap().record(record);
                                 },
@@ -336,9 +390,14 @@ impl Orchestrator {
                             let _ = writer.into_inner().unwrap().finish(&output);
                             output
                         }
-                        Err(_) => {
-                            run_shard_budgeted(config, spec, shard_cache, shard_budget, |_| {})
-                        }
+                        Err(_) => run_shard_instrumented(
+                            config,
+                            spec,
+                            shard_cache,
+                            shard_budget,
+                            telemetry.clone(),
+                            |_| {},
+                        ),
                     }
                 }
             }
@@ -366,6 +425,7 @@ impl Orchestrator {
     /// persisted run recorded the pool and every shard's checkpoint.
     /// (Per-shard summary reuse is only sound when *all* shards are
     /// complete, which `execute` already handled.)
+    #[allow(clippy::too_many_arguments)]
     fn execute_exchanged(
         &self,
         config: &CampaignConfig,
@@ -374,6 +434,7 @@ impl Orchestrator {
         cache: Option<&Arc<ResultCache>>,
         budget: Option<&Arc<ProcessBudget>>,
         run_dir: Option<&RunDir>,
+        hub: &TelemetryHub,
     ) -> ExecOutcome {
         let restored_barrier =
             run_dir.and_then(|dir| dir.latest_restorable_epoch(specs.len(), epochs));
@@ -403,6 +464,9 @@ impl Orchestrator {
                 if let Some(budget) = budget {
                     runner = runner.with_process_budget(Arc::clone(budget));
                 }
+                // Telemetry is never part of checkpoints; (re)attach the
+                // shard's lane handle on both the fresh and restored path.
+                runner = runner.with_telemetry(hub.lane(index));
                 let writer = run_dir.and_then(|dir| dir.shard_writer(spec).ok());
                 Mutex::new(ShardSlot { runner, writer })
             })
@@ -412,11 +476,15 @@ impl Orchestrator {
             specs.iter().map(|spec| plan_epoch_segments(spec.budget, epochs)).collect();
         let start_epoch = restored_barrier.map_or(0, |barrier| barrier + 1);
 
+        let pool_start = Instant::now();
         run_epochs(
             specs.len(),
             self.options.workers,
             start_epoch..epochs,
             |task, epoch| {
+                let telemetry = hub.lane(task);
+                telemetry.observe(keys::QUEUE_WAIT, pool_start.elapsed());
+                let _span = telemetry.span(keys::SPAN_SHARD_RUN);
                 let mut slot = runners[task].lock().unwrap();
                 let ShardSlot { runner, writer } = &mut *slot;
                 runner.run_segment(segments[task][epoch], |record| {
@@ -426,6 +494,7 @@ impl Orchestrator {
                 })
             },
             |epoch, deltas| {
+                let _span = hub.lane(specs.len()).span(keys::SPAN_EXCHANGE);
                 // Merge the epoch's deltas in shard-index order (the pool
                 // deduplicates structurally), persist the barrier, then
                 // broadcast the merged pool back into every shard.

@@ -48,6 +48,7 @@ use serde::{Deserialize, Serialize};
 use serde_json::Value;
 
 use llm4fp::{CampaignConfig, CampaignResult, ProgramRecord, RunnerCheckpoint};
+use llm4fp_telemetry::{MetricsReport, TraceEvent};
 
 use crate::orchestrate::RunStats;
 use crate::shard::{ShardOutput, ShardSpec};
@@ -59,6 +60,10 @@ pub enum PersistError {
     /// A manifest exists but doesn't match the requested run.
     ManifestMismatch(String),
     Corrupt(String),
+    /// A value failed to serialize (e.g. a non-finite float somewhere in
+    /// the stats). Surfaced instead of panicking so a persistence problem
+    /// never kills an otherwise complete in-memory run.
+    Encode(String),
 }
 
 impl std::fmt::Display for PersistError {
@@ -67,6 +72,7 @@ impl std::fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "run-dir io error: {e}"),
             PersistError::ManifestMismatch(msg) => write!(f, "manifest mismatch: {msg}"),
             PersistError::Corrupt(msg) => write!(f, "corrupt run dir: {msg}"),
+            PersistError::Encode(msg) => write!(f, "serialization failed: {msg}"),
         }
     }
 }
@@ -77,6 +83,16 @@ impl From<std::io::Error> for PersistError {
     fn from(e: std::io::Error) -> Self {
         PersistError::Io(e)
     }
+}
+
+/// Serialize `value` compactly, naming `what` in the error.
+fn encode<T: Serialize + ?Sized>(what: &str, value: &T) -> Result<String, PersistError> {
+    serde_json::to_string(value).map_err(|e| PersistError::Encode(format!("{what}: {e}")))
+}
+
+/// Serialize `value` pretty-printed, naming `what` in the error.
+fn encode_pretty<T: Serialize + ?Sized>(what: &str, value: &T) -> Result<String, PersistError> {
+    serde_json::to_string_pretty(value).map_err(|e| PersistError::Encode(format!("{what}: {e}")))
 }
 
 /// The run's identity: what was asked for, and how it was decomposed.
@@ -117,7 +133,7 @@ impl RunDir {
                 )));
             }
         } else {
-            write_atomically(&manifest_path, &serde_json::to_string_pretty(manifest).unwrap())?;
+            write_atomically(&manifest_path, &encode_pretty("manifest.json", manifest)?)?;
         }
         Ok(RunDir { root })
     }
@@ -165,7 +181,7 @@ impl RunDir {
         let mut writer = BufWriter::new(File::create(&path)?);
         let mut header = serde_json::Map::new();
         header.insert("spec".to_string(), serde_json::to_value(spec));
-        writeln!(writer, "{}", serde_json::to_string(&Value::Obj(header)).unwrap())?;
+        writeln!(writer, "{}", encode("shard header", &Value::Obj(header))?)?;
         writer.flush()?;
         Ok(ShardWriter { writer })
     }
@@ -181,7 +197,7 @@ impl RunDir {
     /// Atomically record the cumulative exchange pool after a barrier.
     pub fn write_epoch_pool(&self, epoch: usize, pool: &[String]) -> Result<(), PersistError> {
         fs::create_dir_all(self.root.join("epochs"))?;
-        write_atomically(&self.epoch_pool_path(epoch), &serde_json::to_string(&pool).unwrap())
+        write_atomically(&self.epoch_pool_path(epoch), &encode("epoch pool", pool)?)
     }
 
     /// Load the cumulative exchange pool recorded at a barrier, if any.
@@ -199,10 +215,7 @@ impl RunDir {
         checkpoint: &RunnerCheckpoint,
     ) -> Result<(), PersistError> {
         fs::create_dir_all(self.root.join("checkpoints"))?;
-        write_atomically(
-            &self.checkpoint_path(shard, epoch),
-            &serde_json::to_string(checkpoint).unwrap(),
-        )
+        write_atomically(&self.checkpoint_path(shard, epoch), &encode("checkpoint", checkpoint)?)
     }
 
     /// Load one shard's checkpoint at a barrier, if present and parseable.
@@ -223,10 +236,7 @@ impl RunDir {
 
     /// Persist the merged campaign result.
     pub fn write_result(&self, result: &CampaignResult) -> Result<(), PersistError> {
-        write_atomically(
-            &self.root.join("result.json"),
-            &serde_json::to_string_pretty(result).unwrap(),
-        )
+        write_atomically(&self.root.join("result.json"), &encode_pretty("result.json", result)?)
     }
 
     /// Load a previously persisted merged result, if any.
@@ -237,17 +247,48 @@ impl RunDir {
 
     /// Persist the run's execution statistics (worker/shard/epoch counts
     /// and the result-cache hit rate) alongside the merged result.
+    /// Serialization failures propagate as [`PersistError::Encode`] —
+    /// completeness checks depend on `summary.json`, so a silently
+    /// missing or partial summary must never look like success.
     pub fn write_summary(&self, stats: &RunStats) -> Result<(), PersistError> {
-        write_atomically(
-            &self.root.join("summary.json"),
-            &serde_json::to_string_pretty(stats).unwrap(),
-        )
+        write_atomically(&self.root.join("summary.json"), &encode_pretty("summary.json", stats)?)
     }
 
     /// Load a previously persisted run summary, if any.
     pub fn load_summary(&self) -> Option<RunStats> {
         let text = fs::read_to_string(self.root.join("summary.json")).ok()?;
         serde_json::from_str(&text).ok()
+    }
+
+    /// Persist the deterministic metrics flight recorder. For fully
+    /// computed runs the bytes are a pure function of `(config, K, E)` —
+    /// diffable between runs like any other campaign artifact.
+    pub fn write_metrics(&self, report: &MetricsReport) -> Result<(), PersistError> {
+        write_atomically(&self.root.join("metrics.json"), &encode_pretty("metrics.json", report)?)
+    }
+
+    /// Load a previously persisted metrics report, if any.
+    pub fn load_metrics(&self) -> Option<MetricsReport> {
+        let text = fs::read_to_string(self.root.join("metrics.json")).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Persist the Chrome `trace_event` flight recorder as JSON lines
+    /// (`chrome://tracing` and Perfetto both ingest the format). Wall
+    /// clock data — unlike `metrics.json` it never reproduces exactly.
+    pub fn write_trace(&self, events: &[TraceEvent]) -> Result<(), PersistError> {
+        let mut out = String::new();
+        for event in events {
+            out.push_str(&event.to_json_line());
+            out.push('\n');
+        }
+        write_atomically(&self.root.join("trace.jsonl"), &out)
+    }
+
+    /// Load the persisted trace's JSON lines, if any.
+    pub fn load_trace_lines(&self) -> Option<Vec<String>> {
+        let text = fs::read_to_string(self.root.join("trace.jsonl")).ok()?;
+        Some(text.lines().map(str::to_string).collect())
     }
 }
 
@@ -257,12 +298,17 @@ pub struct ShardWriter {
 }
 
 impl ShardWriter {
-    /// Append one processed-program progress line.
+    /// Append one processed-program progress line. Progress lines are
+    /// best-effort: write *and* serialization problems are swallowed (a
+    /// shard with dropped lines just recomputes on resume; only the
+    /// summary line decides completeness).
     pub fn record(&mut self, record: &ProgramRecord) {
         let mut line = serde_json::Map::new();
         line.insert("record".to_string(), serde_json::to_value(record));
-        let _ = writeln!(self.writer, "{}", serde_json::to_string(&Value::Obj(line)).unwrap());
-        let _ = self.writer.flush();
+        if let Ok(text) = serde_json::to_string(&Value::Obj(line)) {
+            let _ = writeln!(self.writer, "{text}");
+            let _ = self.writer.flush();
+        }
     }
 
     /// Append the completing summary line. The shard only counts as done
@@ -270,7 +316,7 @@ impl ShardWriter {
     pub fn finish(mut self, output: &ShardOutput) -> Result<(), PersistError> {
         let mut line = serde_json::Map::new();
         line.insert("summary".to_string(), serde_json::to_value(output));
-        writeln!(self.writer, "{}", serde_json::to_string(&Value::Obj(line)).unwrap())?;
+        writeln!(self.writer, "{}", encode("shard summary", &Value::Obj(line))?)?;
         self.writer.flush()?;
         Ok(())
     }

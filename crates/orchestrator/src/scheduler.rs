@@ -20,6 +20,7 @@ use llm4fp::{BackendSpec, CampaignConfig, SuccessfulSet};
 use llm4fp_compiler::{CompilerId, OptLevel};
 use llm4fp_difftest::{ProcessBudget, ResultCache};
 use llm4fp_fpir::Precision;
+use llm4fp_telemetry::{keys, TelemetryHub};
 
 use crate::orchestrate::{OrchestratedResult, OrchestratorOptions, RunStats};
 use crate::pool::run_epochs;
@@ -116,6 +117,12 @@ impl Scheduler {
             .any(|config| config.backend.is_external())
             .then(|| Arc::new(ProcessBudget::new(self.options.process_slots)));
 
+        // One telemetry hub per campaign (lanes are shard indices within
+        // the campaign), so each campaign's metrics merge exactly as its
+        // individual orchestration would — no cross-campaign bleed.
+        let hubs: Vec<TelemetryHub> =
+            configs.iter().map(|_| TelemetryHub::new(self.options.telemetry)).collect();
+
         // One live runner per (campaign, shard) task and one exchange pool
         // per campaign; epoch barriers span the whole suite but deltas
         // stay within their campaign.
@@ -123,7 +130,8 @@ impl Scheduler {
             .iter()
             .map(|(campaign, spec)| {
                 let mut runner =
-                    ShardRunner::new(&configs[*campaign], *spec, caches[*campaign].clone());
+                    ShardRunner::new(&configs[*campaign], *spec, caches[*campaign].clone())
+                        .with_telemetry(hubs[*campaign].lane(spec.index));
                 if configs[*campaign].backend.is_external() {
                     if let Some(budget) = &budget {
                         runner = runner.with_process_budget(Arc::clone(budget));
@@ -136,12 +144,39 @@ impl Scheduler {
             tasks.iter().map(|(_, spec)| plan_epoch_segments(spec.budget, epochs)).collect();
         let mut pools: Vec<SuccessfulSet> = configs.iter().map(|_| SuccessfulSet::new()).collect();
 
+        // Per-campaign wall clocks: a campaign's elapsed time runs from
+        // the instant the pool first picks up one of its shards to the
+        // instant its last segment finishes — not the suite-wide elapsed,
+        // which would charge every campaign for every other campaign's
+        // work and flatten Table 2's time-cost comparison.
+        let timings: Vec<Mutex<(Option<Instant>, Option<Instant>)>> =
+            configs.iter().map(|_| Mutex::new((None, None))).collect();
+
+        let pool_start = Instant::now();
         run_epochs(
             tasks.len(),
             self.options.workers,
             0..epochs,
-            |task, epoch| runners[task].lock().unwrap().run_segment(segments[task][epoch], |_| {}),
+            |task, epoch| {
+                let (campaign, spec) = tasks[task];
+                let telemetry = hubs[campaign].lane(spec.index);
+                telemetry.observe(keys::QUEUE_WAIT, pool_start.elapsed());
+                timings[campaign].lock().unwrap().0.get_or_insert_with(Instant::now);
+                let delta = {
+                    let _span = telemetry.span(keys::SPAN_SHARD_RUN);
+                    runners[task].lock().unwrap().run_segment(segments[task][epoch], |_| {})
+                };
+                timings[campaign].lock().unwrap().1 = Some(Instant::now());
+                delta
+            },
             |_, deltas| {
+                // Each campaign's hub times the suite-wide barrier on its
+                // own orchestrator lane (one index past its shards).
+                let _spans: Vec<_> = hubs
+                    .iter()
+                    .zip(&plans)
+                    .map(|(hub, plan)| hub.lane(plan.len()).span(keys::SPAN_EXCHANGE))
+                    .collect();
                 // Task order is campaign-major then shard index, so each
                 // campaign's deltas merge in exactly the order its
                 // individual orchestration would use.
@@ -161,7 +196,14 @@ impl Scheduler {
             .collect();
 
         // Regroup by campaign (merge_shards re-sorts by shard index).
-        let wall_time = start.elapsed();
+        let suite_elapsed = start.elapsed();
+        let campaign_walls: Vec<std::time::Duration> = timings
+            .into_iter()
+            .map(|timing| match timing.into_inner().unwrap() {
+                (Some(first_start), Some(last_end)) => last_end - first_start,
+                _ => suite_elapsed,
+            })
+            .collect();
         let mut grouped: Vec<Vec<_>> = configs.iter().map(|_| Vec::new()).collect();
         for (campaign, output) in outputs {
             grouped[campaign].push(output);
@@ -194,8 +236,9 @@ impl Scheduler {
                         // separable from shared counters.
                         cache: caches[campaign].as_ref().map(|c| c.stats()),
                         peak_regs,
-                        wall_time,
+                        wall_time: campaign_walls[campaign],
                         shard_pipeline_time,
+                        telemetry: hubs[campaign].enabled().then(|| hubs[campaign].summary()),
                     },
                     result,
                 }

@@ -23,6 +23,7 @@ use serde::{Deserialize, Serialize};
 use llm4fp::{CampaignConfig, CampaignResult, CampaignRunner, ProgramRecord, RunnerCheckpoint};
 use llm4fp_difftest::{Aggregates, ProcessBudget, ResultCache};
 use llm4fp_fpir::source_hash;
+use llm4fp_telemetry::Telemetry;
 
 /// Plan for one shard of a campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -166,6 +167,15 @@ impl ShardRunner {
         self
     }
 
+    /// Attach a telemetry lane handle (pure observation: results are
+    /// bit-identical with or without it). Telemetry is never part of
+    /// checkpoints, so restored shards must re-attach their lane —
+    /// [`ShardRunner::from_checkpoint`] leaves it disabled.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.runner.set_telemetry(telemetry);
+        self
+    }
+
     pub fn spec(&self) -> ShardSpec {
         self.spec
     }
@@ -251,7 +261,21 @@ pub fn run_shard_budgeted(
     budget: Option<Arc<ProcessBudget>>,
     on_record: impl FnMut(&ProgramRecord),
 ) -> ShardOutput {
-    let mut runner = ShardRunner::new(config, spec, cache);
+    run_shard_instrumented(config, spec, cache, budget, Telemetry::disabled(), on_record)
+}
+
+/// [`run_shard_budgeted`] with a telemetry lane handle attached for the
+/// duration of the run (pure observation — the output is bit-identical
+/// to the uninstrumented variants).
+pub fn run_shard_instrumented(
+    config: &CampaignConfig,
+    spec: ShardSpec,
+    cache: Option<Arc<ResultCache>>,
+    budget: Option<Arc<ProcessBudget>>,
+    telemetry: Telemetry,
+    on_record: impl FnMut(&ProgramRecord),
+) -> ShardOutput {
+    let mut runner = ShardRunner::new(config, spec, cache).with_telemetry(telemetry);
     if let Some(budget) = budget {
         runner = runner.with_process_budget(budget);
     }

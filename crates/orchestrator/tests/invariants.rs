@@ -344,7 +344,13 @@ mod external_backend {
         epochs: usize,
         slots: usize,
     ) -> OrchestratorOptions {
-        OrchestratorOptions { workers, cache, epochs, process_slots: slots, run_dir: None }
+        OrchestratorOptions {
+            workers,
+            cache,
+            epochs,
+            process_slots: slots,
+            ..OrchestratorOptions::default()
+        }
     }
 
     #[test]

@@ -1,0 +1,370 @@
+//! Per-lane collectors and the hub that merges them deterministically.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::report::{MetricsReport, TelemetrySummary};
+use crate::{keys, Telemetry, TelemetrySpec};
+
+/// Number of power-of-two duration buckets: bucket `i` holds
+/// observations with `i`-bit nanosecond magnitudes, so the top bucket
+/// absorbs everything from ~9 minutes up.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A fixed-bucket log₂ duration histogram. Allocation-free to update;
+/// `Copy` so merging is plain arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurationHistogram {
+    /// `buckets[i]` counts observations whose nanosecond value has `i`
+    /// significant bits (bucket 0: zero-length).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations in nanoseconds (saturating).
+    pub sum_nanos: u64,
+    /// Largest single observation in nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        DurationHistogram { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum_nanos: 0, max_nanos: 0 }
+    }
+}
+
+impl DurationHistogram {
+    /// Record one observation.
+    pub fn observe(&mut self, duration: Duration) {
+        let nanos = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+        let bucket = (64 - nanos.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_nanos = self.sum_nanos.saturating_add(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &DurationHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_nanos = self.sum_nanos.saturating_add(other.sum_nanos);
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+
+    /// Total recorded time.
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_nanos)
+    }
+
+    /// Mean observation, or zero when empty.
+    pub fn mean(&self) -> Duration {
+        self.sum_nanos.checked_div(self.count).map_or(Duration::ZERO, Duration::from_nanos)
+    }
+}
+
+/// One completed span occurrence, timestamped relative to the hub epoch
+/// so events from every lane share a clock. Renders as a Chrome
+/// `trace_event` complete event (`"ph": "X"`); lanes map to `tid`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (a `keys::SPAN_*` constant at every internal site).
+    pub name: &'static str,
+    /// Lane (shard index, or the orchestrator's own lane) — the `tid`.
+    pub lane: u32,
+    /// Start offset from the hub epoch, in microseconds.
+    pub start_micros: u64,
+    /// Span duration in microseconds.
+    pub dur_micros: u64,
+}
+
+impl TraceEvent {
+    /// One line of Chrome `trace_event` JSON (the JSON-lines flavour
+    /// `chrome://tracing` and Perfetto both ingest). Span names are
+    /// static identifiers, so no string escaping is needed.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"cat\":\"llm4fp\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+            self.name, self.start_micros, self.dur_micros, self.lane
+        )
+    }
+}
+
+/// The per-lane sink behind enabled [`Telemetry`] handles. Interior
+/// mutability keeps the recording API `&self` (lanes are shared across
+/// a shard's worker threads); each category sits behind its own lock so
+/// counters never contend with span recording.
+#[derive(Debug)]
+pub struct Collector {
+    lane: u32,
+    trace: bool,
+    epoch: Instant,
+    counters: Mutex<BTreeMap<String, u64>>,
+    keyed: Mutex<BTreeMap<String, BTreeMap<u64, u64>>>,
+    histograms: Mutex<BTreeMap<String, DurationHistogram>>,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Telemetry never panics while holding these locks; recover anyway
+    // rather than poison-propagate out of an observability call.
+    mutex.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+impl Collector {
+    fn new(lane: u32, trace: bool, epoch: Instant) -> Collector {
+        Collector {
+            lane,
+            trace,
+            epoch,
+            counters: Mutex::new(BTreeMap::new()),
+            keyed: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether this collector records trace events.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace
+    }
+
+    pub(crate) fn add(&self, key: &str, n: u64) {
+        let mut counters = lock(&self.counters);
+        match counters.get_mut(key) {
+            Some(count) => *count += n,
+            None => {
+                counters.insert(key.to_string(), n);
+            }
+        }
+    }
+
+    pub(crate) fn add_keyed(&self, key: &str, id: u64, n: u64) {
+        let mut keyed = lock(&self.keyed);
+        match keyed.get_mut(key) {
+            Some(ids) => {
+                ids.insert(id, n);
+            }
+            None => {
+                keyed.insert(key.to_string(), BTreeMap::from([(id, n)]));
+            }
+        }
+    }
+
+    pub(crate) fn observe(&self, key: &str, duration: Duration) {
+        let mut histograms = lock(&self.histograms);
+        match histograms.get_mut(key) {
+            Some(histogram) => histogram.observe(duration),
+            None => {
+                let mut histogram = DurationHistogram::default();
+                histogram.observe(duration);
+                histograms.insert(key.to_string(), histogram);
+            }
+        }
+    }
+
+    pub(crate) fn record_span(&self, name: &'static str, start: Instant) {
+        let end = Instant::now();
+        self.observe(name, end - start);
+        if self.trace {
+            let event = TraceEvent {
+                name,
+                lane: self.lane,
+                start_micros: (start - self.epoch).as_micros() as u64,
+                dur_micros: (end - start).as_micros() as u64,
+            };
+            lock(&self.events).push(event);
+        }
+    }
+}
+
+/// Owns every lane of one run and merges them in lane-index order, which
+/// is what makes the merged [`MetricsReport`] deterministic: plain
+/// counters commute, keyed counters union by id (first writer wins, and
+/// every writer wrote the same value — the computation is deterministic
+/// per id), and the fold order itself never depends on thread timing.
+#[derive(Debug)]
+pub struct TelemetryHub {
+    spec: TelemetrySpec,
+    epoch: Instant,
+    lanes: Mutex<Vec<Option<Arc<Collector>>>>,
+}
+
+impl TelemetryHub {
+    /// A hub for one run. With `TelemetrySpec::OFF` every lane handle it
+    /// issues is the no-op [`Telemetry::disabled`].
+    pub fn new(spec: TelemetrySpec) -> TelemetryHub {
+        TelemetryHub { spec, epoch: Instant::now(), lanes: Mutex::new(Vec::new()) }
+    }
+
+    /// Whether this hub collects anything.
+    pub fn enabled(&self) -> bool {
+        self.spec.enabled()
+    }
+
+    /// The spec this hub was built with.
+    pub fn spec(&self) -> TelemetrySpec {
+        self.spec
+    }
+
+    /// The recording handle for lane `index` (shard index; use an index
+    /// past the shard count for the orchestrator's own lane). Repeated
+    /// calls share one collector, so lanes survive across epochs.
+    pub fn lane(&self, index: usize) -> Telemetry {
+        if !self.spec.enabled() {
+            return Telemetry::disabled();
+        }
+        let mut lanes = lock(&self.lanes);
+        if lanes.len() <= index {
+            lanes.resize(index + 1, None);
+        }
+        let collector = lanes[index].get_or_insert_with(|| {
+            Arc::new(Collector::new(index as u32, self.spec.trace_enabled(), self.epoch))
+        });
+        Telemetry::from_collector(Arc::clone(collector))
+    }
+
+    fn collectors(&self) -> Vec<Arc<Collector>> {
+        lock(&self.lanes).iter().flatten().map(Arc::clone).collect()
+    }
+
+    /// Merge every lane's counters, in lane order, into the
+    /// deterministic metrics report.
+    pub fn metrics(&self) -> MetricsReport {
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut keyed: BTreeMap<String, BTreeMap<u64, u64>> = BTreeMap::new();
+        for collector in self.collectors() {
+            for (key, n) in lock(&collector.counters).iter() {
+                *counters.entry(key.clone()).or_insert(0) += n;
+            }
+            for (key, ids) in lock(&collector.keyed).iter() {
+                let merged = keyed.entry(key.clone()).or_default();
+                for (&id, &n) in ids {
+                    merged.entry(id).or_insert(n);
+                }
+            }
+        }
+        for (key, ids) in keyed {
+            *counters.entry(key).or_insert(0) += ids.values().sum::<u64>();
+        }
+        MetricsReport { counters }
+    }
+
+    /// Every lane's merged histogram for `key`, if any lane observed it.
+    pub fn histogram(&self, key: &str) -> Option<DurationHistogram> {
+        let mut merged: Option<DurationHistogram> = None;
+        for collector in self.collectors() {
+            if let Some(histogram) = lock(&collector.histograms).get(key) {
+                merged.get_or_insert_with(DurationHistogram::default).merge(histogram);
+            }
+        }
+        merged
+    }
+
+    /// All merged histograms, keyed by name.
+    pub fn histograms(&self) -> BTreeMap<String, DurationHistogram> {
+        let mut merged: BTreeMap<String, DurationHistogram> = BTreeMap::new();
+        for collector in self.collectors() {
+            for (key, histogram) in lock(&collector.histograms).iter() {
+                merged.entry(key.clone()).or_default().merge(histogram);
+            }
+        }
+        merged
+    }
+
+    /// Every recorded trace event, in (lane, start) order. Wall-clock
+    /// data: stable only for a fixed execution, unlike [`Self::metrics`].
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        let mut events: Vec<TraceEvent> = Vec::new();
+        for collector in self.collectors() {
+            events.extend(lock(&collector.events).iter().cloned());
+        }
+        events.sort_by_key(|e| (e.lane, e.start_micros));
+        events
+    }
+
+    /// The compact roll-up embedded in `RunStats` / `summary.json`.
+    pub fn summary(&self) -> TelemetrySummary {
+        let metrics = self.metrics();
+        let seal = self.histogram(keys::SPAN_SEAL).unwrap_or_default();
+        let execute = self.histogram(keys::SPAN_EXECUTE).unwrap_or_default();
+        TelemetrySummary {
+            counter_keys: metrics.counters.len() as u64,
+            trace_events: self.collectors().iter().map(|c| lock(&c.events).len() as u64).sum(),
+            seal_refusals: metrics.get(keys::SEAL_REFUSALS),
+            interpreter_fallbacks: metrics.get(keys::INTERPRETER_FALLBACKS),
+            discrepancies: metrics.get(keys::DISCREPANCIES),
+            seal_time: seal.sum(),
+            exec_time: execute.sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_magnitude() {
+        let mut histogram = DurationHistogram::default();
+        histogram.observe(Duration::ZERO);
+        histogram.observe(Duration::from_nanos(1));
+        histogram.observe(Duration::from_nanos(1)); // 1 bit
+        histogram.observe(Duration::from_nanos(900)); // 10 bits
+        assert_eq!(histogram.count, 4);
+        assert_eq!(histogram.buckets[0], 1);
+        assert_eq!(histogram.buckets[1], 2);
+        assert_eq!(histogram.buckets[10], 1);
+        assert_eq!(histogram.sum_nanos, 902);
+        assert_eq!(histogram.max_nanos, 900);
+        assert_eq!(histogram.mean(), Duration::from_nanos(225));
+    }
+
+    #[test]
+    fn histogram_merge_is_componentwise() {
+        let mut a = DurationHistogram::default();
+        a.observe(Duration::from_nanos(3));
+        let mut b = DurationHistogram::default();
+        b.observe(Duration::from_micros(1));
+        a.merge(&b);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.sum_nanos, 1003);
+        assert_eq!(a.max_nanos, 1000);
+    }
+
+    #[test]
+    fn huge_durations_land_in_the_top_bucket() {
+        let mut histogram = DurationHistogram::default();
+        histogram.observe(Duration::from_secs(40 * 60));
+        assert_eq!(histogram.buckets[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn trace_events_render_chrome_trace_json() {
+        let event = TraceEvent { name: "shard.run", lane: 3, start_micros: 17, dur_micros: 250 };
+        assert_eq!(
+            event.to_json_line(),
+            "{\"name\":\"shard.run\",\"cat\":\"llm4fp\",\"ph\":\"X\",\
+             \"ts\":17,\"dur\":250,\"pid\":1,\"tid\":3}"
+        );
+    }
+
+    #[test]
+    fn summary_rolls_up_counters_and_span_time() {
+        let hub = TelemetryHub::new(TelemetrySpec::TRACE);
+        let tel = hub.lane(0);
+        tel.add(keys::DISCREPANCIES, 4);
+        tel.add_keyed(keys::SEAL_REFUSALS, 9, 1);
+        tel.add_keyed(keys::INTERPRETER_FALLBACKS, 9, 3);
+        tel.span(keys::SPAN_SEAL).finish();
+        let summary = hub.summary();
+        assert_eq!(summary.discrepancies, 4);
+        assert_eq!(summary.seal_refusals, 1);
+        assert_eq!(summary.interpreter_fallbacks, 3);
+        assert_eq!(summary.trace_events, 1);
+        assert!(summary.counter_keys >= 3);
+        assert_eq!(summary.exec_time, Duration::ZERO);
+    }
+}
