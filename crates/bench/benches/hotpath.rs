@@ -32,7 +32,7 @@ use llm4fp_compiler::{
 use llm4fp_difftest::{DiffTester, ExecEngine, MatrixScratch};
 use llm4fp_fpir::{InputSet, Program};
 use llm4fp_generator::{InputGenerator, VarityGenerator};
-use llm4fp_orchestrator::{Orchestrator, OrchestratorOptions};
+use llm4fp_orchestrator::Orchestrator;
 use llm4fp_telemetry::TelemetrySpec;
 
 const CORPUS: usize = 24;
@@ -213,13 +213,12 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
         ("sharded_campaign_trace", TelemetrySpec::TRACE),
     ] {
         group.bench_function(label, |b| {
-            let orchestrator = Orchestrator::new(OrchestratorOptions {
-                workers: 2,
-                cache: false,
-                telemetry,
-                ..OrchestratorOptions::default()
-            });
-            b.iter(|| black_box(orchestrator.run(&config, 4).unwrap()))
+            let orchestrator = Orchestrator::new(config.clone())
+                .shards(4)
+                .workers(2)
+                .cache(false)
+                .telemetry(telemetry);
+            b.iter(|| black_box(orchestrator.clone().run().unwrap()))
         });
     }
     group.finish();

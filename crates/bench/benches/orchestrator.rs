@@ -15,7 +15,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use llm4fp::{ApproachKind, Campaign, CampaignConfig};
-use llm4fp_orchestrator::{Orchestrator, OrchestratorOptions};
+use llm4fp_orchestrator::Orchestrator;
 
 fn varity_200(threads: usize) -> CampaignConfig {
     CampaignConfig::new(ApproachKind::Varity).with_budget(200).with_seed(7).with_threads(threads)
@@ -31,24 +31,15 @@ fn bench_sharding(c: &mut Criterion) {
     });
     for shards in [2usize, 4, 8] {
         group.bench_function(format!("sharded_k{shards}"), |b| {
-            let config = varity_200(1);
-            let orchestrator = Orchestrator::new(OrchestratorOptions {
-                cache: false,
-                ..OrchestratorOptions::default()
-            });
-            b.iter(|| orchestrator.run(&config, shards).unwrap())
+            let orchestrator = Orchestrator::new(varity_200(1)).shards(shards).cache(false);
+            b.iter(|| orchestrator.clone().run().unwrap())
         });
     }
     // Feedback exchange adds E - 1 barrier synchronizations per campaign;
     // against sharded_k8 this prices the barrier overhead.
     group.bench_function("sharded_k8_e4_exchange", |b| {
-        let config = varity_200(1);
-        let orchestrator = Orchestrator::new(OrchestratorOptions {
-            cache: false,
-            epochs: 4,
-            ..OrchestratorOptions::default()
-        });
-        b.iter(|| orchestrator.run(&config, 8).unwrap())
+        let orchestrator = Orchestrator::new(varity_200(1)).shards(8).epochs(4).cache(false);
+        b.iter(|| orchestrator.clone().run().unwrap())
     });
     group.finish();
 }
@@ -62,9 +53,8 @@ fn bench_cache(c: &mut Criterion) {
         .with_threads(1);
     for (label, cache) in [("cache_off", false), ("cache_on", true)] {
         group.bench_function(label, |b| {
-            let orchestrator =
-                Orchestrator::new(OrchestratorOptions { cache, ..OrchestratorOptions::default() });
-            b.iter(|| orchestrator.run(&config, 4).unwrap())
+            let orchestrator = Orchestrator::new(config.clone()).shards(4).cache(cache);
+            b.iter(|| orchestrator.clone().run().unwrap())
         });
     }
     group.finish();

@@ -35,6 +35,12 @@
 //! * `--run-dir PATH` — persist the run (and its telemetry flight
 //!   recorders) into a resumable run directory (single-campaign binaries;
 //!   suite binaries schedule in memory);
+//! * `--executor in-process|process-pool` — the shard transport (default
+//!   `in-process`: a thread pool in this process; `process-pool` farms
+//!   shard segments to out-of-process `llm4fp-worker` daemons — results
+//!   are bit-identical either way);
+//! * `--worker-procs N` — worker daemon count for
+//!   `--executor process-pool` (default: available parallelism);
 //! * `--trace` — record span events; with `--run-dir` a Chrome
 //!   `trace_event`-compatible `trace.jsonl` is written (implies metrics);
 //! * `--no-metrics` — disable telemetry counters/histograms entirely
@@ -44,12 +50,14 @@
 #![deny(unsafe_code)]
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use llm4fp::{
     ApproachKind, BackendSpec, CampaignConfig, CampaignResult, ExternalBackendSpec, SealMode,
 };
 use llm4fp_orchestrator::{
-    default_workers, OrchestratedResult, Orchestrator, OrchestratorOptions, Scheduler,
+    default_workers, OrchestratedResult, Orchestrator, OrchestratorOptions, ProcessPoolExecutor,
+    Scheduler, ShardExecutor,
 };
 use llm4fp_telemetry::TelemetrySpec;
 
@@ -61,6 +69,17 @@ pub enum CliBackend {
     Virtual,
     /// Real host compilers detected on this machine (`llm4fp-extcc`).
     Extcc,
+}
+
+/// Which shard transport the experiment binaries execute through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CliExecutor {
+    /// A thread pool inside this process (the default).
+    #[default]
+    InProcess,
+    /// Out-of-process `llm4fp-worker` daemons (`llm4fp-orchestrator`'s
+    /// process-pool transport). Results are bit-identical to in-process.
+    ProcessPool,
 }
 
 /// Command-line options shared by all experiment binaries.
@@ -89,6 +108,11 @@ pub struct ExpOptions {
     /// Persist single-campaign runs into this directory (`--run-dir`),
     /// including the `metrics.json`/`trace.jsonl` flight recorders.
     pub run_dir: Option<PathBuf>,
+    /// The shard transport (`--executor in-process|process-pool`).
+    pub executor: CliExecutor,
+    /// Worker daemon count for `--executor process-pool`
+    /// (`--worker-procs`; 0 = available parallelism).
+    pub worker_procs: usize,
 }
 
 impl Default for ExpOptions {
@@ -106,6 +130,8 @@ impl Default for ExpOptions {
             metrics: true,
             trace: false,
             run_dir: None,
+            executor: CliExecutor::InProcess,
+            worker_procs: 0,
         }
     }
 }
@@ -156,6 +182,19 @@ impl ExpOptions {
                     opts.process_slots =
                         v.parse().map_err(|_| format!("invalid --process-slots {v}"))?;
                 }
+                "--executor" => {
+                    let v = iter.next().ok_or("--executor needs a value")?;
+                    opts.executor = match v.as_str() {
+                        "in-process" => CliExecutor::InProcess,
+                        "process-pool" => CliExecutor::ProcessPool,
+                        other => return Err(format!("invalid --executor `{other}`")),
+                    };
+                }
+                "--worker-procs" => {
+                    let v = iter.next().ok_or("--worker-procs needs a value")?;
+                    opts.worker_procs =
+                        v.parse().map_err(|_| format!("invalid --worker-procs {v}"))?;
+                }
                 "--no-seal-opt" => opts.seal_opt = false,
                 "--trace" => opts.trace = true,
                 "--no-metrics" => opts.metrics = false,
@@ -167,7 +206,8 @@ impl ExpOptions {
                     return Err("usage: [--programs N] [--paper] [--seed S] [--threads T] \
                          [--shards K] [--epochs E] [--workers W] \
                          [--backend virtual|extcc] [--process-slots P] [--no-seal-opt] \
-                         [--run-dir PATH] [--trace] [--no-metrics]"
+                         [--run-dir PATH] [--trace] [--no-metrics] \
+                         [--executor in-process|process-pool] [--worker-procs N]"
                         .into())
                 }
                 other => return Err(format!("unknown argument `{other}`")),
@@ -283,6 +323,19 @@ impl ExpOptions {
             telemetry: self.telemetry_spec(),
         }
     }
+
+    /// The shard transport these options select, or `None` for the
+    /// orchestrator's in-process default.
+    pub fn shard_executor(&self) -> Option<Arc<dyn ShardExecutor>> {
+        match self.executor {
+            CliExecutor::InProcess => None,
+            CliExecutor::ProcessPool => {
+                let procs =
+                    if self.worker_procs == 0 { default_workers() } else { self.worker_procs };
+                Some(Arc::new(ProcessPoolExecutor::new(procs)))
+            }
+        }
+    }
 }
 
 fn log_stats(approach: ApproachKind, orchestrated: &OrchestratedResult) {
@@ -301,12 +354,16 @@ pub fn run_campaign(opts: &ExpOptions, approach: ApproachKind) -> CampaignResult
         opts.shards,
         opts.epochs
     );
-    let orchestrated = Orchestrator::new(opts.orchestrator_options())
-        .run(&opts.campaign_config(approach), opts.shards)
-        .unwrap_or_else(|e| {
-            eprintln!("[llm4fp-bench] run-dir persistence failed: {e}");
-            std::process::exit(1);
-        });
+    let mut builder = Orchestrator::new(opts.campaign_config(approach))
+        .options(opts.orchestrator_options())
+        .shards(opts.shards);
+    if let Some(executor) = opts.shard_executor() {
+        builder = builder.executor(executor);
+    }
+    let orchestrated = builder.run().unwrap_or_else(|e| {
+        eprintln!("[llm4fp-bench] campaign failed: {e}");
+        std::process::exit(1);
+    });
     log_stats(approach, &orchestrated);
     orchestrated.result
 }
@@ -352,7 +409,14 @@ fn run_suite(opts: &ExpOptions, approaches: &[ApproachKind]) -> Vec<CampaignResu
             dir.display()
         );
     }
-    let suite = Scheduler::new(options).run_suite(&configs, opts.shards);
+    let mut scheduler = Scheduler::new(options).shards(opts.shards);
+    if let Some(executor) = opts.shard_executor() {
+        scheduler = scheduler.executor(executor);
+    }
+    let suite = scheduler.run(&configs).unwrap_or_else(|e| {
+        eprintln!("[llm4fp-bench] suite failed: {e}");
+        std::process::exit(1);
+    });
     approaches
         .iter()
         .zip(suite)
@@ -391,6 +455,10 @@ mod tests {
                 "--trace",
                 "--run-dir",
                 "/tmp/llm4fp-run",
+                "--executor",
+                "process-pool",
+                "--worker-procs",
+                "6",
             ]
             .map(String::from),
         )
@@ -410,9 +478,14 @@ mod tests {
                 metrics: true,
                 trace: true,
                 run_dir: Some(PathBuf::from("/tmp/llm4fp-run")),
+                executor: CliExecutor::ProcessPool,
+                worker_procs: 6,
             }
         );
         assert_eq!(opts.telemetry_spec(), TelemetrySpec::TRACE);
+        assert!(opts.shard_executor().is_some(), "process-pool selects an executor");
+        assert!(ExpOptions::default().shard_executor().is_none(), "in-process is the default");
+        assert!(ExpOptions::parse(["--executor".to_string(), "bogus".to_string()]).is_err());
         let quiet = ExpOptions::parse(["--no-metrics".to_string()]).unwrap();
         assert_eq!(quiet.telemetry_spec(), TelemetrySpec::OFF);
         assert_eq!(ExpOptions::default().telemetry_spec(), TelemetrySpec::METRICS);

@@ -300,6 +300,28 @@ pub struct RunnerCheckpoint {
     pub pipeline_time: Duration,
 }
 
+impl RunnerCheckpoint {
+    /// Merge externally found successful sources into the checkpointed
+    /// feedback pool, exactly as [`CampaignRunner::inject_successful`]
+    /// would on a live runner: structurally deduplicated, order
+    /// preserved, injected entries flagged as not-own. Returns how many
+    /// were new.
+    ///
+    /// Injection and checkpointing commute — the pool merge touches no
+    /// RNG stream and no accumulated output — so a coordinator holding a
+    /// checkpoint can perform the exchange-barrier injection itself and
+    /// dispatch the updated checkpoint to whichever worker process (or
+    /// machine) runs the next epoch segment. A runner restored from the
+    /// result is bit-identical to one that ran [`Self`]-side injection
+    /// before being checkpointed.
+    pub fn inject_successful(&mut self, sources: &[String]) -> usize {
+        let mut set = SuccessfulSet::restore(self.successful.clone());
+        let added = set.merge_sources(sources);
+        self.successful = set.snapshot();
+        added
+    }
+}
+
 impl CampaignRunner {
     /// Build a runner for one campaign configuration. Panics on an invalid
     /// configuration (mirroring [`Campaign::run`]).
@@ -874,6 +896,51 @@ mod tests {
         assert_eq!(resumed.aggregates, reference.aggregates);
         assert_eq!(resumed.llm_calls, reference.llm_calls);
         assert_eq!(resumed.simulated_llm_time, reference.simulated_llm_time);
+    }
+
+    #[test]
+    fn checkpoint_side_injection_commutes_with_runner_side_injection() {
+        // The out-of-process exchange barrier: the coordinator injects
+        // the global pool into a stored checkpoint instead of a live
+        // runner. Both orders must produce bit-identical continuations.
+        let config =
+            CampaignConfig::new(ApproachKind::Llm4Fp).with_budget(24).with_seed(31).with_threads(2);
+        let pool = vec![
+            "void compute(double q) { comp = q / 3.0; }".to_string(),
+            "void compute(double z) { comp = z - 0.5; }".to_string(),
+        ];
+        let drive = |mut runner: CampaignRunner, from: usize| {
+            for index in from..config.programs {
+                runner.run_one(index);
+            }
+            runner.finish()
+        };
+        // Runner-side: run half, inject live, checkpoint, continue.
+        let mut live = CampaignRunner::new(config.clone());
+        for index in 0..12 {
+            live.run_one(index);
+        }
+        assert_eq!(live.inject_successful(&pool), 2);
+        let live_checkpoint = live.checkpoint();
+        // Coordinator-side: checkpoint first, inject into the snapshot.
+        let mut coordinator = CampaignRunner::new(config.clone());
+        for index in 0..12 {
+            coordinator.run_one(index);
+        }
+        let mut stored = coordinator.checkpoint();
+        assert_eq!(stored.inject_successful(&pool), 2);
+        // Wall clocks are not replayable; everything else must commute.
+        let mut live_checkpoint = live_checkpoint;
+        live_checkpoint.pipeline_time = Duration::ZERO;
+        stored.pipeline_time = Duration::ZERO;
+        assert_eq!(stored, live_checkpoint, "injection must commute with checkpointing");
+        // Injection is idempotent on the snapshot, like on the live set.
+        assert_eq!(stored.inject_successful(&pool), 0);
+        let a = drive(CampaignRunner::restore(config.clone(), live_checkpoint), 12);
+        let b = drive(CampaignRunner::restore(config.clone(), stored), 12);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.successful_sources, b.successful_sources);
+        assert_eq!(a.aggregates, b.aggregates);
     }
 
     #[test]

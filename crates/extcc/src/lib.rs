@@ -33,7 +33,10 @@ mod session;
 #[cfg(unix)]
 pub mod fakecc;
 
-pub use session::{ExtArtifact, ExtRunResult, ExtSession, HostToolchain, SpawnStats};
+pub use session::{
+    group_spawn, kill_group, run_with_timeout, ExtArtifact, ExtRunResult, ExtSession,
+    HostToolchain, SpawnStats, TimedOutput,
+};
 
 use std::process::Command;
 

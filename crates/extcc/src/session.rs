@@ -298,34 +298,48 @@ impl Drop for ExtSession<'_> {
     }
 }
 
-pub(crate) struct TimedOutput {
-    pub(crate) status: std::process::ExitStatus,
-    pub(crate) stdout: Vec<u8>,
-    pub(crate) stderr: Vec<u8>,
-    pub(crate) elapsed: Duration,
+/// Captured output of one timed process spawn ([`run_with_timeout`]).
+#[derive(Debug)]
+pub struct TimedOutput {
+    /// Exit status of the process.
+    pub status: std::process::ExitStatus,
+    /// Everything the process wrote to stdout.
+    pub stdout: Vec<u8>,
+    /// Everything the process wrote to stderr.
+    pub stderr: Vec<u8>,
+    /// Wall-clock time from spawn to exit.
+    pub elapsed: Duration,
+}
+
+/// Arrange for `cmd` to start in its own process group (pgid = child
+/// pid) on Unix, so a later [`kill_group`] can signal the child's entire
+/// descendant tree — a killed compiler driver cannot leave `cc1`-style
+/// grandchildren burning CPU, and a killed worker daemon takes any
+/// compiler processes it spawned with it. A no-op on other platforms,
+/// where [`kill_group`] falls back to killing the child alone.
+pub fn group_spawn(cmd: &mut Command) -> &mut Command {
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::CommandExt as _;
+        cmd.process_group(0);
+    }
+    cmd
 }
 
 /// Spawn `cmd` with piped output and a wall-clock deadline. On timeout
-/// the child — and, on Unix, its whole process group, so a killed
-/// compiler driver cannot leave `cc1`-style grandchildren burning CPU —
-/// is killed and reaped; the caller gets a structured
-/// [`ExtError::Timeout`]. (The pipes are drained only after exit, which
-/// is safe for the tiny outputs generated programs produce — a process
-/// that fills the pipe buffer and blocks reads as a hang, which the
-/// timeout converts into a recorded finding.)
-pub(crate) fn run_with_timeout(
+/// the child — and, on Unix, its whole process group — is killed and
+/// reaped; the caller gets a structured [`ExtError::Timeout`]. (The
+/// pipes are drained only after exit, which is safe for the tiny
+/// outputs generated programs produce — a process that fills the pipe
+/// buffer and blocks reads as a hang, which the timeout converts into a
+/// recorded finding.)
+pub fn run_with_timeout(
     mut cmd: Command,
     timeout: Duration,
     phase: ExtPhase,
 ) -> Result<TimedOutput, ExtError> {
     cmd.stdin(Stdio::null()).stdout(Stdio::piped()).stderr(Stdio::piped());
-    #[cfg(unix)]
-    {
-        // New process group (pgid = child pid): lets the timeout path
-        // signal the child's entire descendant tree.
-        use std::os::unix::process::CommandExt as _;
-        cmd.process_group(0);
-    }
+    group_spawn(&mut cmd);
     let start = Instant::now();
     let mut child = cmd.spawn().map_err(|e| ExtError::Io(e.to_string()))?;
     loop {
@@ -333,13 +347,13 @@ pub(crate) fn run_with_timeout(
             Ok(Some(_)) => break,
             Ok(None) => {
                 if start.elapsed() >= timeout {
-                    kill_tree(&mut child);
+                    kill_group(&mut child);
                     return Err(ExtError::Timeout { phase, after_ms: timeout.as_millis() as u64 });
                 }
                 std::thread::sleep(Duration::from_millis(2));
             }
             Err(e) => {
-                kill_tree(&mut child);
+                kill_group(&mut child);
                 return Err(ExtError::Io(e.to_string()));
             }
         }
@@ -349,12 +363,12 @@ pub(crate) fn run_with_timeout(
     Ok(TimedOutput { status: output.status, stdout: output.stdout, stderr: output.stderr, elapsed })
 }
 
-/// Kill a timed-out child and (on Unix) every process in its group, then
-/// reap it. The group signal goes through `/bin/kill -- -pgid` — this
-/// crate is `deny(unsafe_code)`, so no direct `libc::kill` — and is
-/// best-effort: the direct `Child::kill` below covers the child itself
-/// either way.
-fn kill_tree(child: &mut std::process::Child) {
+/// Kill a child spawned via [`group_spawn`] and (on Unix) every process
+/// in its group, then reap it. The group signal goes through
+/// `/bin/kill -- -pgid` — this crate is `deny(unsafe_code)`, so no
+/// direct `libc::kill` — and is best-effort: the direct `Child::kill`
+/// below covers the child itself either way.
+pub fn kill_group(child: &mut std::process::Child) {
     #[cfg(unix)]
     {
         let _ = Command::new("kill")

@@ -1,0 +1,99 @@
+//! The out-of-process shard worker daemon.
+//!
+//! Spawned by [`llm4fp_orchestrator::ProcessPoolExecutor`], one daemon
+//! per worker slot. The protocol is a loop of length-prefixed JSON
+//! frames on stdin/stdout (see [`llm4fp_orchestrator::wire`]): each
+//! [`WireRequest::Job`] restores (or freshly creates) a shard runner
+//! from the job's checkpoint, runs one segment, and answers with the
+//! updated checkpoint — or, on `finish`, the shard's final output.
+//! EOF on stdin or a [`WireRequest::Shutdown`] frame exits cleanly.
+//!
+//! The daemon holds **no state between jobs** — any job can be replayed
+//! on any worker with byte-identical results, which is what makes the
+//! coordinator's crash-redispatch and straggler duplication sound.
+//!
+//! Deterministic fault-injection knobs for the orchestrator test suite
+//! (read once at startup, applied by the coordinator only to worker
+//! slot 0's first spawn):
+//!
+//! * `LLM4FP_WORKER_CRASH_AT_JOB=<n>` — exit(101) upon receiving the
+//!   n-th job, *before* answering (simulates a mid-epoch crash).
+//! * `LLM4FP_WORKER_STALL_MS=<ms>` — sleep before every answer
+//!   (simulates a straggler/hang for the timeout-kill path).
+
+use std::io::{self, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+use llm4fp_difftest::ProcessBudget;
+use llm4fp_orchestrator::wire::{self, ShardJob, ShardJobResult, WireRequest};
+use llm4fp_orchestrator::ShardRunner;
+use llm4fp_telemetry::{TelemetryHub, TelemetrySpec};
+
+fn env_number(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Run one job: restore-or-create the runner, run the segment, hand the
+/// state back. Pure — everything derives from the job's bytes.
+fn run_job(job: ShardJob) -> ShardJobResult {
+    let hub =
+        TelemetryHub::new(if job.telemetry { TelemetrySpec::METRICS } else { TelemetrySpec::OFF });
+    let telemetry = hub.lane(0);
+    let mut runner = match job.checkpoint {
+        Some(checkpoint) => ShardRunner::from_checkpoint(&job.config, job.spec, None, checkpoint),
+        None => ShardRunner::new(&job.config, job.spec, None),
+    };
+    if job.config.backend.is_external() {
+        runner = runner.with_process_budget(Arc::new(ProcessBudget::new(job.process_slots)));
+    }
+    runner = runner.with_telemetry(telemetry.clone());
+    let delta = runner.run_segment(job.segment, |_| {});
+    let (checkpoint, output) =
+        if job.finish { (None, Some(runner.finish())) } else { (Some(runner.checkpoint()), None) };
+    ShardJobResult {
+        index: job.spec.index,
+        delta,
+        checkpoint,
+        output,
+        telemetry: telemetry.export(),
+    }
+}
+
+fn main() {
+    let crash_at_job = env_number("LLM4FP_WORKER_CRASH_AT_JOB");
+    let stall = env_number("LLM4FP_WORKER_STALL_MS").map(Duration::from_millis);
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut reader = stdin.lock();
+    let mut writer = stdout.lock();
+    let mut handled: u64 = 0;
+    loop {
+        let request: WireRequest = match wire::read_frame(&mut reader) {
+            Ok(request) => request,
+            // Coordinator closed our stdin: the clean shutdown signal.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => {
+                eprintln!("llm4fp-worker: protocol error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let job = match request {
+            WireRequest::Shutdown => break,
+            WireRequest::Job(job) => *job,
+        };
+        handled += 1;
+        if crash_at_job == Some(handled) {
+            std::process::exit(101);
+        }
+        if let Some(stall) = stall {
+            std::thread::sleep(stall);
+        }
+        let result = run_job(job);
+        if let Err(e) = wire::write_frame(&mut writer, &result) {
+            eprintln!("llm4fp-worker: cannot answer: {e}");
+            std::process::exit(2);
+        }
+    }
+    let _ = writer.flush();
+}

@@ -1,0 +1,422 @@
+//! The transport-agnostic shard execution layer.
+//!
+//! [`ShardExecutor`] is the seam between the orchestrator's *planning*
+//! (shard decomposition, epoch barriers, delta merging, persistence) and
+//! the *mechanics* of running shard segments somewhere. The coordinator
+//! talks to every transport through the same session protocol:
+//!
+//! ```text
+//!   Orchestrator / Scheduler          ShardExecutor::begin(tasks, sink)
+//!            |                                      |
+//!            |            Box<dyn ShardSession>     |
+//!            +------------------+-------------------+
+//!                               |
+//!            per epoch:  run_epoch(segments, last) -> deltas
+//!            at barrier: inject(pools), checkpoints()
+//!            at the end: finish() -> Vec<ShardOutput>
+//! ```
+//!
+//! Everything a transport needs to run one shard is a serializable
+//! [`ShardTask`]; everything it produces is the serializable
+//! [`crate::ShardOutput`] — the same contract the JSONL run directory
+//! already persists, promoted to a wire contract. Two implementations
+//! share all merge/barrier logic in the coordinator:
+//!
+//! * [`InProcessExecutor`] — shard runners on a worker-thread pool inside
+//!   this process (the classic engine, bit-identical to the pre-executor
+//!   code path);
+//! * [`crate::ProcessPoolExecutor`] — `llm4fp-worker` daemon processes fed
+//!   length-prefixed JSON jobs over stdin/stdout (see [`crate::wire`]),
+//!   with per-shard timeouts, crash-and-redispatch and straggler
+//!   re-dispatch at epoch barriers.
+//!
+//! Determinism is preserved across transports because a shard segment is
+//! a pure function of `(config, spec, checkpoint, segment length)`:
+//! whichever process computes it — and however many times a crash makes
+//! it recompute — the bytes that reach the barrier are identical.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use llm4fp::{CampaignConfig, ProgramRecord, RunnerCheckpoint};
+use llm4fp_difftest::{ProcessBudget, ResultCache};
+use llm4fp_telemetry::{keys, Telemetry};
+
+use crate::persist::PersistError;
+use crate::pool::run_indexed;
+use crate::shard::{ShardOutput, ShardRunner, ShardSpec};
+
+/// Errors from orchestrated execution.
+#[derive(Debug)]
+pub enum OrchestratorError {
+    /// `workers == 0` was requested. Worker counts are validated at the
+    /// API boundary instead of being silently clamped.
+    InvalidWorkers,
+    /// The persistence layer failed (run-dir I/O, manifest mismatch,
+    /// corrupt files).
+    Persist(PersistError),
+    /// A shard executor failed in a way that cannot be retried away
+    /// (worker binary missing, a shard crashing repeatedly, a protocol
+    /// violation on the wire).
+    Executor(String),
+}
+
+impl fmt::Display for OrchestratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrchestratorError::InvalidWorkers => {
+                write!(f, "workers must be at least 1 (got 0)")
+            }
+            OrchestratorError::Persist(e) => write!(f, "{e}"),
+            OrchestratorError::Executor(msg) => write!(f, "shard executor failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OrchestratorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OrchestratorError::Persist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PersistError> for OrchestratorError {
+    fn from(e: PersistError) -> Self {
+        OrchestratorError::Persist(e)
+    }
+}
+
+/// Everything one transport needs to run one shard: the campaign config,
+/// the shard plan, and the run-level wiring (cache/budget handles for
+/// in-process execution, the declarative `process_slots` knob for
+/// transports that must rebuild a budget elsewhere, the shard's telemetry
+/// lane, and an optional checkpoint to resume from).
+#[derive(Clone)]
+pub struct ShardTask {
+    /// The parent campaign's configuration.
+    pub config: CampaignConfig,
+    /// The shard plan to execute.
+    pub spec: ShardSpec,
+    /// Shared differential-testing result cache (in-process transports
+    /// only; out-of-process workers run uncached — the cache is
+    /// semantically transparent, so results are unaffected).
+    pub cache: Option<Arc<ResultCache>>,
+    /// Shared external-process budget (in-process transports only).
+    pub budget: Option<Arc<ProcessBudget>>,
+    /// The process-slot count behind `budget`, for transports that must
+    /// materialize their own budget in another process.
+    pub process_slots: usize,
+    /// This shard's telemetry lane. Out-of-process transports absorb the
+    /// worker's exported counters into it at each barrier.
+    pub telemetry: Telemetry,
+    /// Resume from this barrier checkpoint instead of starting fresh.
+    pub checkpoint: Option<RunnerCheckpoint>,
+}
+
+/// Observes shard progress as it happens: one call per processed program
+/// and one per completed shard. The orchestrator's sink streams records
+/// into the JSONL run directory; the scheduler's sink keeps per-campaign
+/// wall clocks. `task` is the index into the `tasks` slice passed to
+/// [`ShardExecutor::begin`].
+pub trait RecordSink: Sync {
+    /// One program was processed by task `task`.
+    fn record(&self, task: usize, record: &ProgramRecord);
+    /// Task `task` ran its full budget; `output` is its final summary.
+    fn complete(&self, task: usize, output: &ShardOutput);
+}
+
+/// A sink that observes nothing (memory-only runs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl RecordSink for NullSink {
+    fn record(&self, _task: usize, _record: &ProgramRecord) {}
+    fn complete(&self, _task: usize, _output: &ShardOutput) {}
+}
+
+/// A transport for running shard tasks. Implementations are cheap,
+/// reusable handles; all per-run state lives in the [`ShardSession`]
+/// returned by [`ShardExecutor::begin`].
+pub trait ShardExecutor: Send + Sync + fmt::Debug {
+    /// Short stable name for logs and CLIs (`"in-process"`,
+    /// `"process-pool"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether the shared [`ShardTask::cache`] handles are actually
+    /// consulted by this transport. Out-of-process executors return
+    /// `false`: their workers run uncached, so coordinator-side cache
+    /// statistics would be meaningless.
+    fn shares_cache(&self) -> bool {
+        true
+    }
+
+    /// Start a session over `tasks`. Progress streams into `sink` as it
+    /// happens (subject to the transport's delivery granularity: an
+    /// out-of-process executor replays records at epoch barriers).
+    fn begin<'s>(
+        &self,
+        tasks: Vec<ShardTask>,
+        sink: &'s dyn RecordSink,
+    ) -> Result<Box<dyn ShardSession + 's>, OrchestratorError>;
+}
+
+/// One run's worth of live shard state behind a [`ShardExecutor`]. The
+/// coordinator drives the same barrier protocol against every transport:
+/// `run_epoch` for each epoch (with `last = true` on the final one),
+/// `inject`/`checkpoints` between epochs, `finish` at the end.
+pub trait ShardSession {
+    /// Run `segments[i]` programs of task `i` (zero-length segments are
+    /// legal no-ops) and return each task's *delta* — the successful
+    /// sources it newly found this epoch, in task order. With `last` the
+    /// tasks also finish: their outputs become available to [`finish`]
+    /// and `sink.complete` fires per task.
+    ///
+    /// [`finish`]: ShardSession::finish
+    fn run_epoch(
+        &mut self,
+        segments: &[usize],
+        last: bool,
+    ) -> Result<Vec<Vec<String>>, OrchestratorError>;
+
+    /// Broadcast merged exchange pools into the paused tasks
+    /// (`pools[i]` into task `i`). Injection is a pure set-merge — see
+    /// `llm4fp::RunnerCheckpoint::inject_successful` — so transports may
+    /// apply it to a live runner or to a stored checkpoint
+    /// interchangeably.
+    fn inject(&mut self, pools: &[&[String]]) -> Result<(), OrchestratorError>;
+
+    /// Snapshot every paused task for barrier persistence. Call after
+    /// [`inject`](ShardSession::inject), mirroring the runner-side
+    /// checkpoint-after-injection order.
+    fn checkpoints(&mut self) -> Result<Vec<RunnerCheckpoint>, OrchestratorError>;
+
+    /// Collect every task's output, in task order. Only valid after
+    /// `run_epoch(.., last = true)` ran.
+    fn finish(self: Box<Self>) -> Result<Vec<ShardOutput>, OrchestratorError>;
+}
+
+/// The in-process transport: shard runners on a worker-thread pool in
+/// this process, sharing the result cache and process budget directly.
+/// This is the refactored classic engine — outputs are bit-identical to
+/// the pre-executor code path (pinned by `tests/invariants.rs`).
+#[derive(Debug, Clone)]
+pub struct InProcessExecutor {
+    workers: usize,
+}
+
+impl InProcessExecutor {
+    /// An executor running tasks on up to `workers` threads (clamped to
+    /// at least 1; the orchestrator builder rejects `workers == 0` with
+    /// [`OrchestratorError::InvalidWorkers`] before constructing one).
+    pub fn new(workers: usize) -> Self {
+        InProcessExecutor { workers: workers.max(1) }
+    }
+}
+
+impl ShardExecutor for InProcessExecutor {
+    fn name(&self) -> &'static str {
+        "in-process"
+    }
+
+    fn begin<'s>(
+        &self,
+        tasks: Vec<ShardTask>,
+        sink: &'s dyn RecordSink,
+    ) -> Result<Box<dyn ShardSession + 's>, OrchestratorError> {
+        let slots = tasks.iter().map(|_| Mutex::new(None)).collect();
+        let outputs = tasks.iter().map(|_| Mutex::new(None)).collect();
+        Ok(Box::new(InProcessSession {
+            workers: self.workers,
+            tasks,
+            sink,
+            slots,
+            outputs,
+            pool_start: Instant::now(),
+        }))
+    }
+}
+
+/// Build the live runner for one task (first time its segment runs).
+/// Construction happens lazily inside the pool so its cost parallelizes
+/// with the rest of the shard's work.
+fn build_runner(task: &ShardTask) -> ShardRunner {
+    let mut runner = match task.checkpoint.clone() {
+        Some(checkpoint) => {
+            ShardRunner::from_checkpoint(&task.config, task.spec, task.cache.clone(), checkpoint)
+        }
+        None => ShardRunner::new(&task.config, task.spec, task.cache.clone()),
+    };
+    if let Some(budget) = &task.budget {
+        runner = runner.with_process_budget(Arc::clone(budget));
+    }
+    runner.with_telemetry(task.telemetry.clone())
+}
+
+struct InProcessSession<'s> {
+    workers: usize,
+    tasks: Vec<ShardTask>,
+    sink: &'s dyn RecordSink,
+    /// Lazily constructed runners; `None` before the first segment and
+    /// after the finishing one.
+    slots: Vec<Mutex<Option<ShardRunner>>>,
+    outputs: Vec<Mutex<Option<ShardOutput>>>,
+    pool_start: Instant,
+}
+
+impl ShardSession for InProcessSession<'_> {
+    fn run_epoch(
+        &mut self,
+        segments: &[usize],
+        last: bool,
+    ) -> Result<Vec<Vec<String>>, OrchestratorError> {
+        debug_assert_eq!(segments.len(), self.tasks.len());
+        let deltas = run_indexed(self.tasks.len(), self.workers, |task| {
+            let telemetry = &self.tasks[task].telemetry;
+            telemetry.observe(keys::QUEUE_WAIT, self.pool_start.elapsed());
+            let _span = telemetry.span(keys::SPAN_SHARD_RUN);
+            let mut slot = self.slots[task].lock().unwrap();
+            let runner = slot.get_or_insert_with(|| build_runner(&self.tasks[task]));
+            let delta = runner.run_segment(segments[task], |record| self.sink.record(task, record));
+            if last {
+                let output = slot.take().expect("runner present").finish();
+                self.sink.complete(task, &output);
+                *self.outputs[task].lock().unwrap() = Some(output);
+            }
+            delta
+        });
+        Ok(deltas)
+    }
+
+    fn inject(&mut self, pools: &[&[String]]) -> Result<(), OrchestratorError> {
+        debug_assert_eq!(pools.len(), self.slots.len());
+        for (slot, pool) in self.slots.iter().zip(pools) {
+            if let Some(runner) = slot.lock().unwrap().as_mut() {
+                runner.inject(pool);
+            }
+        }
+        Ok(())
+    }
+
+    fn checkpoints(&mut self) -> Result<Vec<RunnerCheckpoint>, OrchestratorError> {
+        self.slots
+            .iter()
+            .map(|slot| {
+                slot.lock().unwrap().as_ref().map(|runner| runner.checkpoint()).ok_or_else(|| {
+                    OrchestratorError::Executor(
+                        "checkpoint requested for a task that never ran".into(),
+                    )
+                })
+            })
+            .collect()
+    }
+
+    fn finish(self: Box<Self>) -> Result<Vec<ShardOutput>, OrchestratorError> {
+        self.outputs
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner().unwrap().ok_or_else(|| {
+                    OrchestratorError::Executor("finish called before the final epoch ran".into())
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::{plan_epoch_segments, plan_shards, run_shard, ShardCtx};
+    use llm4fp::ApproachKind;
+
+    fn config(budget: usize, seed: u64) -> CampaignConfig {
+        CampaignConfig::new(ApproachKind::Llm4Fp)
+            .with_budget(budget)
+            .with_seed(seed)
+            .with_threads(1)
+    }
+
+    fn tasks_for(config: &CampaignConfig, shards: usize) -> Vec<ShardTask> {
+        plan_shards(config, shards)
+            .into_iter()
+            .map(|spec| ShardTask {
+                config: config.clone(),
+                spec,
+                cache: None,
+                budget: None,
+                process_slots: 1,
+                telemetry: Telemetry::disabled(),
+                checkpoint: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn a_single_epoch_session_reproduces_run_shard() {
+        let config = config(12, 5);
+        let specs = plan_shards(&config, 3);
+        let executor = InProcessExecutor::new(2);
+        let mut session = executor.begin(tasks_for(&config, 3), &NullSink).unwrap();
+        let budgets: Vec<usize> = specs.iter().map(|s| s.budget).collect();
+        session.run_epoch(&budgets, true).unwrap();
+        let outputs = session.finish().unwrap();
+        for (spec, output) in specs.iter().zip(&outputs) {
+            let direct = run_shard(spec, &ShardCtx::new(&config));
+            assert_eq!(output.records, direct.records);
+            assert_eq!(output.successful_sources, direct.successful_sources);
+        }
+    }
+
+    #[test]
+    fn epoch_segments_with_injection_match_a_manual_runner() {
+        let config = config(16, 9);
+        let spec = plan_shards(&config, 1)[0];
+        let segments = plan_epoch_segments(spec.budget, 2);
+
+        let executor = InProcessExecutor::new(1);
+        let mut session = executor
+            .begin(
+                vec![ShardTask {
+                    config: config.clone(),
+                    spec,
+                    cache: None,
+                    budget: None,
+                    process_slots: 1,
+                    telemetry: Telemetry::disabled(),
+                    checkpoint: None,
+                }],
+                &NullSink,
+            )
+            .unwrap();
+        let deltas = session.run_epoch(&segments[..1], false).unwrap();
+        let pool = deltas[0].clone();
+        session.inject(&[&pool]).unwrap();
+        let checkpoints = session.checkpoints().unwrap();
+        session.run_epoch(&[segments[1]], true).unwrap();
+        let output = session.finish().unwrap().remove(0);
+
+        let mut manual = ShardRunner::new(&config, spec, None);
+        let manual_delta = manual.run_segment(segments[0], |_| {});
+        assert_eq!(manual_delta, pool);
+        manual.inject(&pool);
+        let mut manual_checkpoint = manual.checkpoint();
+        // Wall clocks never replay; everything else must.
+        manual_checkpoint.pipeline_time = checkpoints[0].pipeline_time;
+        assert_eq!(checkpoints[0], manual_checkpoint);
+        manual.run_segment(segments[1], |_| {});
+        let manual_output = manual.finish();
+        assert_eq!(output.records, manual_output.records);
+        assert_eq!(output.successful_sources, manual_output.successful_sources);
+        assert_eq!(output.aggregates, manual_output.aggregates);
+    }
+
+    #[test]
+    fn errors_render_and_convert() {
+        assert!(OrchestratorError::InvalidWorkers.to_string().contains("at least 1"));
+        assert!(OrchestratorError::Executor("boom".into()).to_string().contains("boom"));
+        let persist: OrchestratorError = PersistError::Corrupt("bad manifest".into()).into();
+        assert!(persist.to_string().contains("bad manifest"));
+    }
+}

@@ -2,8 +2,9 @@
 //!
 //! The scalable execution engine over `llm4fp`'s campaign framework:
 //! where [`llm4fp::Campaign`] runs one budget sequentially, the
-//! orchestrator decomposes it into independent shards, executes them on a
-//! worker pool, and deterministically merges the outputs.
+//! orchestrator decomposes it into independent shards, executes them
+//! through a pluggable transport, and deterministically merges the
+//! outputs.
 //!
 //! ```text
 //!            CampaignConfig (budget N, seed S)
@@ -12,9 +13,12 @@
 //!                          |
 //!      +------- K shards, seed S ^ mix(k) -------+
 //!      |                   |                      |
-//!   CampaignRunner    CampaignRunner  ...    CampaignRunner     worker pool
-//!      |   \               |   /                  |             (W threads)
-//!      |    +---- shared ResultCache (optional)---+
+//!      |        ShardExecutor::begin(tasks, sink) |
+//!      |                   |                      |
+//!      |     InProcessExecutor    ProcessPoolExecutor
+//!      |     (thread pool +       (llm4fp-worker daemons,
+//!      |      shared cache)        length-prefixed JSON jobs,
+//!      |                           crash/straggler redispatch)
 //!      |                   |                      |
 //!   ShardOutput       ShardOutput            ShardOutput   --> JSONL run dir
 //!      +---------------- merge (shard order) ----------------+  (optional)
@@ -31,9 +35,11 @@
 //! cache is semantically transparent), shards only communicate at
 //! deterministic epoch barriers (merge in shard-index order, broadcast of
 //! the merged pool), and outputs merge in shard order.
-//! Worker count, scheduling order, caching, and interruption/resume all
-//! leave the result bit-identical. For `K = 1`, shard 0's streams are
-//! exactly the sequential campaign's, so the orchestrated result matches
+//! Worker count, scheduling order, caching, **transport** (in-process
+//! threads or out-of-process worker daemons, including worker crashes and
+//! straggler re-dispatch), and interruption/resume all leave the result
+//! bit-identical. For `K = 1`, shard 0's streams are exactly the
+//! sequential campaign's, so the orchestrated result matches
 //! [`llm4fp::Campaign::run`] field for field — for any `E`, since a
 //! single shard's exchange is a structural no-op.
 //!
@@ -50,10 +56,16 @@
 //!
 //! Provided here:
 //!
-//! * [`Orchestrator`] — sharded execution with optional cross-shard
-//!   feedback exchange ([`OrchestratorOptions::epochs`]), caching and
-//!   persistent, resumable run directories ([`Orchestrator::resume`],
-//!   including mid-campaign restore from epoch-barrier checkpoints);
+//! * [`Orchestrator`] — the builder API for one campaign: shard count,
+//!   exchange epochs, caching, persistent resumable run directories
+//!   ([`Orchestrator::resume`], including mid-campaign restore from
+//!   epoch-barrier checkpoints), telemetry, and the transport;
+//! * [`executor`] — the transport seam: [`ShardExecutor`] /
+//!   [`ShardSession`] and the in-process implementation;
+//! * [`process_pool`] — the out-of-process transport
+//!   ([`ProcessPoolExecutor`]) farming [`wire`] jobs to `llm4fp-worker`
+//!   daemons with per-shard timeouts, crash-and-redispatch and straggler
+//!   re-dispatch;
 //! * [`Scheduler`] — multi-campaign suites (all four Table 2 approaches)
 //!   over one shared worker budget, with per-campaign exchange;
 //! * [`shard`] — the shard planning/merging primitives and the
@@ -68,25 +80,33 @@
 //! use llm4fp_orchestrator::Orchestrator;
 //!
 //! let config = CampaignConfig::new(ApproachKind::Llm4Fp).with_budget(1_000);
-//! let result = Orchestrator::run_sharded(&config, 8);
-//! println!("rate: {:.2}%", 100.0 * result.inconsistency_rate());
+//! let outcome = Orchestrator::new(config).shards(8).run().expect("in-memory run");
+//! println!("rate: {:.2}%", 100.0 * outcome.result.inconsistency_rate());
 //! ```
 
 #![deny(unsafe_code)]
 
+pub mod executor;
 pub mod orchestrate;
 pub mod persist;
 pub mod pool;
+pub mod process_pool;
 pub mod scheduler;
 pub mod shard;
+pub mod wire;
 
+pub use executor::{
+    InProcessExecutor, NullSink, OrchestratorError, RecordSink, ShardExecutor, ShardSession,
+    ShardTask,
+};
 pub use orchestrate::{
     default_workers, matches_sequential, OrchestratedResult, Orchestrator, OrchestratorOptions,
     RunStats,
 };
 pub use persist::{PersistError, RunDir, RunManifest};
+pub use process_pool::ProcessPoolExecutor;
 pub use scheduler::Scheduler;
 pub use shard::{
-    merge_shards, plan_epoch_segments, plan_shards, run_shard, run_shard_budgeted,
-    run_shard_instrumented, shard_seed, ShardOutput, ShardRunner, ShardSpec,
+    merge_shards, plan_epoch_segments, plan_shards, run_shard, shard_seed, ShardCtx, ShardOutput,
+    ShardRunner, ShardSpec,
 };

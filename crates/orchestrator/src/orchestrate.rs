@@ -1,6 +1,24 @@
-//! The campaign orchestrator: sharded execution on a worker pool, with
-//! optional epoch-based cross-shard feedback exchange, result caching and
-//! persistent, resumable run directories.
+//! The campaign orchestrator: sharded execution behind a pluggable
+//! [`ShardExecutor`] transport, with optional epoch-based cross-shard
+//! feedback exchange, result caching and persistent, resumable run
+//! directories.
+//!
+//! ## One builder, any transport
+//!
+//! The public API is a single builder:
+//!
+//! ```ignore
+//! let outcome = Orchestrator::new(config)
+//!     .shards(4)
+//!     .epochs(2)
+//!     .executor(Arc::new(ProcessPoolExecutor::new(4)))
+//!     .run()?;
+//! ```
+//!
+//! Planning (shard decomposition, epoch barriers, delta merging,
+//! persistence, telemetry) lives here and is shared by every transport;
+//! only the mechanics of running a segment differ between
+//! [`InProcessExecutor`] (the default) and out-of-process executors.
 //!
 //! ## Cross-shard feedback exchange
 //!
@@ -16,9 +34,9 @@
 //!
 //! The determinism contract extends to `(config, K, E)`: barrier order is
 //! fixed by shard index (never completion order), so results stay
-//! bit-identical across worker counts, and `E = 1` runs the exact
-//! no-exchange code path. Persisted multi-epoch runs record the pool and
-//! every shard's paused-runner checkpoint at each barrier, so a killed
+//! bit-identical across worker counts *and transports*, and `E = 1` runs
+//! the exact no-exchange code path. Persisted multi-epoch runs record the
+//! pool and every shard's paused checkpoint at each barrier, so a killed
 //! campaign resumes mid-run from the latest complete barrier and still
 //! reproduces the uninterrupted result bit for bit.
 
@@ -28,25 +46,25 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use llm4fp::{Campaign, CampaignConfig, CampaignResult, SuccessfulSet};
+use llm4fp::{Campaign, CampaignConfig, CampaignResult, ProgramRecord, SuccessfulSet};
 use llm4fp_difftest::{CacheStats, ProcessBudget, ResultCache};
 use llm4fp_telemetry::{keys, TelemetryHub, TelemetrySpec, TelemetrySummary};
 
-use crate::persist::{PersistError, RunDir, RunManifest, ShardWriter};
-use crate::pool::{run_epochs, run_indexed};
-use crate::shard::{
-    merge_shards, plan_epoch_segments, plan_shards, run_shard_instrumented, ShardOutput,
-    ShardRunner, ShardSpec,
-};
+use crate::executor::{InProcessExecutor, OrchestratorError, RecordSink, ShardExecutor, ShardTask};
+use crate::persist::{RunDir, RunManifest, ShardWriter};
+use crate::shard::{merge_shards, plan_epoch_segments, plan_shards, ShardOutput, ShardSpec};
 
 /// How an orchestrated run executes.
 #[derive(Debug, Clone)]
 pub struct OrchestratorOptions {
     /// Worker threads for shard execution (shards themselves also
     /// parallelize their difftest matrix with `config.threads` workers).
-    /// Defaults to the machine's available parallelism.
+    /// Defaults to the machine's available parallelism. `0` is rejected
+    /// with [`OrchestratorError::InvalidWorkers`] at run time.
     pub workers: usize,
-    /// Share a differential-testing result cache across shards.
+    /// Share a differential-testing result cache across shards (only
+    /// consulted by executors whose
+    /// [`shares_cache`](ShardExecutor::shares_cache) is true).
     pub cache: bool,
     /// Feedback-exchange epochs. `1` (the default) disables exchange and
     /// reproduces the independent-shard output exactly; `E > 1` slices
@@ -109,7 +127,9 @@ pub struct RunStats {
     /// Epochs skipped by restoring persisted barrier checkpoints instead
     /// of recomputing them (multi-epoch resume).
     pub epochs_restored: usize,
-    /// Result-cache statistics (`None` when caching was off).
+    /// Result-cache statistics (`None` when caching was off, or when the
+    /// executor runs its shards out of process and never consults the
+    /// coordinator's cache).
     pub cache: Option<CacheStats>,
     /// Largest VM register file any shard's reused execution scratch
     /// prepared during this run — a readout of the seal-time register
@@ -181,74 +201,136 @@ pub struct OrchestratedResult {
     pub stats: RunStats,
 }
 
-/// Drives sharded campaign runs. See the crate docs for the determinism
-/// contract: results are a pure function of `(config, shard count,
-/// epoch count)`.
-#[derive(Debug, Clone, Default)]
+/// The orchestrated-run builder. Configure a campaign's decomposition and
+/// transport, then [`run`](Orchestrator::run) it:
+///
+/// ```ignore
+/// let outcome = Orchestrator::new(config).shards(4).epochs(2).run()?;
+/// ```
+///
+/// See the crate docs for the determinism contract: results are a pure
+/// function of `(config, shard count, epoch count)` — never of the
+/// worker count, the transport, or crash/redispatch schedules.
+#[derive(Debug, Clone)]
 pub struct Orchestrator {
+    config: CampaignConfig,
+    shards: usize,
     options: OrchestratorOptions,
+    executor: Option<Arc<dyn ShardExecutor>>,
 }
 
 impl Orchestrator {
-    pub fn new(options: OrchestratorOptions) -> Self {
-        Orchestrator { options }
+    /// A builder for one campaign with default options: one shard, one
+    /// epoch, default worker pool, caching on, in-process execution.
+    pub fn new(config: CampaignConfig) -> Self {
+        Orchestrator { config, shards: 1, options: OrchestratorOptions::default(), executor: None }
     }
 
-    pub fn options(&self) -> &OrchestratorOptions {
-        &self.options
+    /// Decompose the campaign into `shards` shards (clamped to the
+    /// program budget at planning time).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
 
-    /// Convenience entry point: run `config` split into `shards` shards on
-    /// the default worker pool with caching enabled and no feedback
-    /// exchange, returning just the campaign result. Bit-deterministic
-    /// across worker counts; for `shards == 1` the result matches
-    /// [`Campaign::run`] exactly.
-    pub fn run_sharded(config: &CampaignConfig, shards: usize) -> CampaignResult {
-        Self::run_sharded_epochs(config, shards, 1)
+    /// Slice every shard's budget into `epochs` feedback-exchange epochs.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.options.epochs = epochs;
+        self
     }
 
-    /// Like [`Orchestrator::run_sharded`], with `epochs` cross-shard
-    /// feedback-exchange epochs (`epochs == 1` is exactly `run_sharded`).
-    pub fn run_sharded_epochs(
-        config: &CampaignConfig,
-        shards: usize,
-        epochs: usize,
-    ) -> CampaignResult {
-        Orchestrator::new(OrchestratorOptions { epochs, ..OrchestratorOptions::default() })
-            .run(config, shards)
-            .expect("in-memory orchestrated run cannot fail")
-            .result
+    /// Worker threads for the default in-process executor (`0` errors at
+    /// run time with [`OrchestratorError::InvalidWorkers`]).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.options.workers = workers;
+        self
     }
 
-    /// Run one campaign decomposed into `shards` shards. Only persistence
-    /// problems error; a memory-only run always succeeds.
-    pub fn run(
-        &self,
-        config: &CampaignConfig,
-        shards: usize,
-    ) -> Result<OrchestratedResult, PersistError> {
+    /// Toggle the shared differential-testing result cache.
+    pub fn cache(mut self, cache: bool) -> Self {
+        self.options.cache = cache;
+        self
+    }
+
+    /// External-process concurrency bound (see
+    /// [`OrchestratorOptions::process_slots`]).
+    pub fn process_slots(mut self, slots: usize) -> Self {
+        self.options.process_slots = slots;
+        self
+    }
+
+    /// Persist into (and resume from) this run directory.
+    pub fn run_dir(mut self, root: impl Into<PathBuf>) -> Self {
+        self.options.run_dir = Some(root.into());
+        self
+    }
+
+    /// Telemetry collection for this run.
+    pub fn telemetry(mut self, spec: TelemetrySpec) -> Self {
+        self.options.telemetry = spec;
+        self
+    }
+
+    /// Replace the whole options bag at once (existing call sites that
+    /// assemble an [`OrchestratorOptions`] keep working unchanged).
+    pub fn options(mut self, options: OrchestratorOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Execute shard segments through this transport instead of the
+    /// default [`InProcessExecutor`]. The merged result is bit-identical
+    /// for any executor — only wall-clock behavior and cache statistics
+    /// differ.
+    pub fn executor(mut self, executor: Arc<dyn ShardExecutor>) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// Run the configured campaign: plan shards, drive the executor's
+    /// session through the epoch-barrier protocol, merge outputs, and
+    /// persist (if a run directory is set).
+    pub fn run(self) -> Result<OrchestratedResult, OrchestratorError> {
+        let Orchestrator { config, shards, options, executor } = self;
+        if options.workers == 0 {
+            return Err(OrchestratorError::InvalidWorkers);
+        }
         let start = Instant::now();
-        let specs = plan_shards(config, shards);
-        let epochs = self.options.epochs.max(1);
-        let cache = self.options.cache.then(|| Arc::new(ResultCache::new()));
-        let run_dir = match &self.options.run_dir {
+        let specs = plan_shards(&config, shards);
+        let epochs = options.epochs.max(1);
+        let executor: Arc<dyn ShardExecutor> =
+            executor.unwrap_or_else(|| Arc::new(InProcessExecutor::new(options.workers)));
+        // Cache statistics only make sense when the transport actually
+        // consults the coordinator's cache handles.
+        let cache =
+            (options.cache && executor.shares_cache()).then(|| Arc::new(ResultCache::new()));
+        let run_dir = match &options.run_dir {
             Some(root) => Some(RunDir::open(
                 root,
                 &RunManifest { config: config.clone(), shards: specs.len(), epochs },
             )?),
             None => None,
         };
-        let hub = TelemetryHub::new(self.options.telemetry);
+        let hub = TelemetryHub::new(options.telemetry);
         let outcome = {
             // The orchestrator's own lane sits past every shard lane.
             let _run = hub.lane(specs.len()).span(keys::SPAN_RUN);
-            self.execute(config, &specs, epochs, cache.as_ref(), run_dir.as_ref(), &hub)
+            execute(
+                &config,
+                &specs,
+                epochs,
+                &options,
+                executor.as_ref(),
+                cache.as_ref(),
+                run_dir.as_ref(),
+                &hub,
+            )?
         };
         let peak_regs = outcome.outputs.iter().filter_map(|o| o.peak_regs).max();
-        let result = merge_shards(config, outcome.outputs, start.elapsed());
+        let result = merge_shards(&config, outcome.outputs, start.elapsed());
         let stats = RunStats {
             shards: specs.len(),
-            workers: self.options.workers.max(1),
+            workers: options.workers,
             epochs,
             shards_reused: outcome.reused,
             shards_computed: outcome.computed,
@@ -281,268 +363,212 @@ impl Orchestrator {
     /// shard from the latest persisted exchange barrier. The merged
     /// result is (re)written and bit-identical to an uninterrupted run of
     /// the same manifest.
-    pub fn resume(root: impl Into<PathBuf>) -> Result<OrchestratedResult, PersistError> {
+    pub fn resume(root: impl Into<PathBuf>) -> Result<OrchestratedResult, OrchestratorError> {
         let root = root.into();
         let manifest = RunDir::read_manifest(&root)?;
-        let orchestrator = Orchestrator::new(OrchestratorOptions {
-            run_dir: Some(root),
-            epochs: manifest.epochs,
-            ..OrchestratorOptions::default()
-        });
-        orchestrator.run(&manifest.config, manifest.shards)
+        Orchestrator::new(manifest.config.clone())
+            .shards(manifest.shards)
+            .epochs(manifest.epochs)
+            .run_dir(root)
+            .run()
     }
 
-    fn execute(
-        &self,
+    /// Deprecated convenience entry point: run `config` split into
+    /// `shards` shards with default options, returning just the campaign
+    /// result.
+    #[deprecated(since = "0.3.0", note = "use `Orchestrator::new(config).shards(k).run()`")]
+    pub fn run_sharded(config: &CampaignConfig, shards: usize) -> CampaignResult {
+        Orchestrator::new(config.clone())
+            .shards(shards)
+            .run()
+            .expect("in-memory orchestrated run cannot fail")
+            .result
+    }
+
+    /// Deprecated convenience entry point: like `run_sharded`, with
+    /// `epochs` cross-shard feedback-exchange epochs.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Orchestrator::new(config).shards(k).epochs(e).run()`"
+    )]
+    pub fn run_sharded_epochs(
         config: &CampaignConfig,
-        specs: &[ShardSpec],
+        shards: usize,
         epochs: usize,
-        cache: Option<&Arc<ResultCache>>,
-        run_dir: Option<&RunDir>,
-        hub: &TelemetryHub,
-    ) -> ExecOutcome {
-        // External campaigns share one process budget across all shards
-        // (the process-pool worker bound); virtual campaigns never
-        // allocate one.
-        let budget = config
-            .backend
-            .is_external()
-            .then(|| Arc::new(ProcessBudget::new(self.options.process_slots)));
-        let budget = budget.as_ref();
-        // Shards already complete on disk load without recomputation.
-        let outputs: Vec<Option<ShardOutput>> =
-            specs.iter().map(|spec| run_dir.and_then(|dir| dir.load_shard(spec))).collect();
-        let reused = outputs.iter().filter(|o| o.is_some()).count();
-
-        if reused == specs.len() {
-            // Whole-shard reuse, not checkpoint restoration: no barrier
-            // checkpoint was read, so `epochs_restored` stays 0.
-            return ExecOutcome {
-                outputs: outputs.into_iter().map(|o| o.expect("all loaded")).collect(),
-                reused,
-                computed: 0,
-                epochs_restored: 0,
-                pipeline_time: Duration::ZERO,
-            };
-        }
-        if epochs <= 1 {
-            return self
-                .execute_independent(config, specs, outputs, reused, cache, budget, run_dir, hub);
-        }
-        self.execute_exchanged(config, specs, epochs, cache, budget, run_dir, hub)
+    ) -> CampaignResult {
+        Orchestrator::new(config.clone())
+            .shards(shards)
+            .epochs(epochs)
+            .run()
+            .expect("in-memory orchestrated run cannot fail")
+            .result
     }
+}
 
-    /// The no-exchange path: shards never communicate, so missing shards
-    /// recompute individually next to reused ones.
-    #[allow(clippy::too_many_arguments)]
-    fn execute_independent(
-        &self,
-        config: &CampaignConfig,
-        specs: &[ShardSpec],
-        mut outputs: Vec<Option<ShardOutput>>,
-        reused: usize,
-        cache: Option<&Arc<ResultCache>>,
-        budget: Option<&Arc<ProcessBudget>>,
-        run_dir: Option<&RunDir>,
-        hub: &TelemetryHub,
-    ) -> ExecOutcome {
-        let pending: Vec<ShardSpec> = specs
-            .iter()
-            .zip(&outputs)
-            .filter(|(_, loaded)| loaded.is_none())
-            .map(|(spec, _)| *spec)
-            .collect();
-
-        let pool_start = Instant::now();
-        let computed = run_indexed(pending.len(), self.options.workers, |task| {
-            let spec = pending[task];
-            let shard_cache = cache.map(Arc::clone);
-            let shard_budget = budget.map(Arc::clone);
-            let telemetry = hub.lane(spec.index);
-            telemetry.observe(keys::QUEUE_WAIT, pool_start.elapsed());
-            let _span = telemetry.span(keys::SPAN_SHARD_RUN);
-            match run_dir {
-                None => run_shard_instrumented(
-                    config,
-                    spec,
-                    shard_cache,
-                    shard_budget,
-                    telemetry.clone(),
-                    |_| {},
-                ),
-                Some(dir) => {
-                    // Persistence failures on progress lines must not kill
-                    // the computation; the summary write decides
-                    // completeness.
-                    match dir.shard_writer(&spec) {
-                        Ok(writer) => {
-                            let writer = Mutex::new(writer);
-                            let output = run_shard_instrumented(
-                                config,
-                                spec,
-                                shard_cache,
-                                shard_budget,
-                                telemetry.clone(),
-                                |record| {
-                                    writer.lock().unwrap().record(record);
-                                },
-                            );
-                            let _ = writer.into_inner().unwrap().finish(&output);
-                            output
-                        }
-                        Err(_) => run_shard_instrumented(
-                            config,
-                            spec,
-                            shard_cache,
-                            shard_budget,
-                            telemetry.clone(),
-                            |_| {},
-                        ),
-                    }
-                }
-            }
-        });
-
-        let pipeline_time = computed.iter().map(|o| o.pipeline_time).sum();
-        let computed_count = computed.len();
-        let mut fresh = computed.into_iter();
-        for slot in outputs.iter_mut() {
-            if slot.is_none() {
-                *slot = fresh.next();
-            }
-        }
-        ExecOutcome {
-            outputs: outputs.into_iter().map(|o| o.expect("every shard resolved")).collect(),
+/// The unified execution engine shared by every transport: load reusable
+/// shard outputs, build [`ShardTask`]s for the rest, and drive the
+/// executor's session through the epoch-barrier protocol.
+#[allow(clippy::too_many_arguments)]
+fn execute(
+    config: &CampaignConfig,
+    specs: &[ShardSpec],
+    epochs: usize,
+    options: &OrchestratorOptions,
+    executor: &dyn ShardExecutor,
+    cache: Option<&Arc<ResultCache>>,
+    run_dir: Option<&RunDir>,
+    hub: &TelemetryHub,
+) -> Result<ExecOutcome, OrchestratorError> {
+    // External campaigns share one process budget across all in-process
+    // shards (out-of-process workers rebuild their own from
+    // `process_slots`); virtual campaigns never allocate one.
+    let budget =
+        config.backend.is_external().then(|| Arc::new(ProcessBudget::new(options.process_slots)));
+    // Shards already complete on disk load without recomputation.
+    let mut loaded: Vec<Option<ShardOutput>> =
+        specs.iter().map(|spec| run_dir.and_then(|dir| dir.load_shard(spec))).collect();
+    let mut reused = loaded.iter().filter(|o| o.is_some()).count();
+    if reused == specs.len() {
+        // Whole-shard reuse, not checkpoint restoration: no barrier
+        // checkpoint was read, so `epochs_restored` stays 0.
+        return Ok(ExecOutcome {
+            outputs: loaded.into_iter().map(|o| o.expect("all loaded")).collect(),
             reused,
-            computed: computed_count,
+            computed: 0,
             epochs_restored: 0,
-            pipeline_time,
+            pipeline_time: Duration::ZERO,
+        });
+    }
+    // Exchange barriers couple every shard, so per-shard reuse is only
+    // sound without exchange (or when *all* shards were complete, which
+    // returned above). Multi-epoch runs instead restart every shard from
+    // the latest barrier at which the pool and all checkpoints persisted.
+    let restored_barrier = if epochs > 1 {
+        loaded = specs.iter().map(|_| None).collect();
+        reused = 0;
+        run_dir.and_then(|dir| dir.latest_restorable_epoch(specs.len(), epochs))
+    } else {
+        None
+    };
+    let task_specs: Vec<ShardSpec> = specs
+        .iter()
+        .zip(&loaded)
+        .filter(|(_, loaded)| loaded.is_none())
+        .map(|(spec, _)| *spec)
+        .collect();
+
+    // The cumulative exchange pool, in deterministic merge order.
+    let mut pool = SuccessfulSet::new();
+    if let (Some(barrier), Some(dir)) = (restored_barrier, run_dir) {
+        pool.merge_sources(
+            &dir.load_epoch_pool(barrier).expect("validated by latest_restorable_epoch"),
+        );
+    }
+
+    let tasks: Vec<ShardTask> = task_specs
+        .iter()
+        .map(|spec| ShardTask {
+            config: config.clone(),
+            spec: *spec,
+            cache: cache.map(Arc::clone),
+            budget: budget.clone(),
+            process_slots: options.process_slots,
+            // Telemetry is never part of checkpoints; the task's lane
+            // handle covers both the fresh and the restored path.
+            telemetry: hub.lane(spec.index),
+            checkpoint: restored_barrier.map(|barrier| {
+                run_dir
+                    .expect("a restored barrier implies a run dir")
+                    .load_checkpoint(spec.index, barrier)
+                    .expect("validated by latest_restorable_epoch")
+            }),
+        })
+        .collect();
+
+    let sink = WriterSink::new(run_dir, &task_specs);
+    let mut session = executor.begin(tasks, &sink)?;
+    let segments: Vec<Vec<usize>> =
+        task_specs.iter().map(|spec| plan_epoch_segments(spec.budget, epochs)).collect();
+    let start_epoch = restored_barrier.map_or(0, |barrier| barrier + 1);
+
+    for epoch in start_epoch..epochs {
+        let last = epoch + 1 == epochs;
+        let plan: Vec<usize> = segments.iter().map(|segments| segments[epoch]).collect();
+        let deltas = session.run_epoch(&plan, last)?;
+        if last {
+            break;
+        }
+        let _span = hub.lane(specs.len()).span(keys::SPAN_EXCHANGE);
+        // Merge the epoch's deltas in shard-index order (the pool
+        // deduplicates structurally), persist the barrier, then
+        // broadcast the merged pool back into every shard.
+        for delta in &deltas {
+            pool.merge_sources(delta);
+        }
+        let snapshot = pool.sources().to_vec();
+        if let Some(dir) = run_dir {
+            let _ = dir.write_epoch_pool(epoch, &snapshot);
+        }
+        let broadcast: Vec<&[String]> = task_specs.iter().map(|_| snapshot.as_slice()).collect();
+        session.inject(&broadcast)?;
+        if let Some(dir) = run_dir {
+            // Checkpoints are taken after injection, mirroring the
+            // runner-side checkpoint-after-inject order.
+            for (spec, checkpoint) in task_specs.iter().zip(session.checkpoints()?) {
+                let _ = dir.write_checkpoint(spec.index, epoch, &checkpoint);
+            }
         }
     }
 
-    /// The exchange path: barriers couple every shard, so all shards run
-    /// together — from scratch, or from the latest barrier at which a
-    /// persisted run recorded the pool and every shard's checkpoint.
-    /// (Per-shard summary reuse is only sound when *all* shards are
-    /// complete, which `execute` already handled.)
-    #[allow(clippy::too_many_arguments)]
-    fn execute_exchanged(
-        &self,
-        config: &CampaignConfig,
-        specs: &[ShardSpec],
-        epochs: usize,
-        cache: Option<&Arc<ResultCache>>,
-        budget: Option<&Arc<ProcessBudget>>,
-        run_dir: Option<&RunDir>,
-        hub: &TelemetryHub,
-    ) -> ExecOutcome {
-        let restored_barrier =
-            run_dir.and_then(|dir| dir.latest_restorable_epoch(specs.len(), epochs));
-
-        // The cumulative exchange pool, in deterministic merge order.
-        let mut pool = SuccessfulSet::new();
-        if let (Some(barrier), Some(dir)) = (restored_barrier, run_dir) {
-            pool.merge_sources(
-                &dir.load_epoch_pool(barrier).expect("validated by latest_restorable_epoch"),
-            );
+    let fresh = session.finish()?;
+    let pipeline_time = fresh.iter().map(|o| o.pipeline_time).sum();
+    let computed = fresh.len();
+    let mut fresh = fresh.into_iter();
+    for slot in loaded.iter_mut() {
+        if slot.is_none() {
+            *slot = fresh.next();
         }
+    }
+    Ok(ExecOutcome {
+        outputs: loaded.into_iter().map(|o| o.expect("every shard resolved")).collect(),
+        reused,
+        computed,
+        epochs_restored: start_epoch,
+        pipeline_time,
+    })
+}
 
-        let runners: Vec<Mutex<ShardSlot>> = specs
-            .iter()
-            .enumerate()
-            .map(|(index, spec)| {
-                let shard_cache = cache.map(Arc::clone);
-                let mut runner = match (restored_barrier, run_dir) {
-                    (Some(barrier), Some(dir)) => {
-                        let checkpoint = dir
-                            .load_checkpoint(index, barrier)
-                            .expect("validated by latest_restorable_epoch");
-                        ShardRunner::from_checkpoint(config, *spec, shard_cache, checkpoint)
-                    }
-                    _ => ShardRunner::new(config, *spec, shard_cache),
-                };
-                if let Some(budget) = budget {
-                    runner = runner.with_process_budget(Arc::clone(budget));
-                }
-                // Telemetry is never part of checkpoints; (re)attach the
-                // shard's lane handle on both the fresh and restored path.
-                runner = runner.with_telemetry(hub.lane(index));
-                let writer = run_dir.and_then(|dir| dir.shard_writer(spec).ok());
-                Mutex::new(ShardSlot { runner, writer })
-            })
-            .collect();
+/// The orchestrator's [`RecordSink`]: streams per-program progress lines
+/// into the run directory's shard files as they happen, and seals each
+/// file when the shard completes. Persistence failures on progress lines
+/// never kill the computation — the summary write decides completeness.
+struct WriterSink {
+    writers: Vec<Mutex<Option<ShardWriter>>>,
+}
 
-        let segments: Vec<Vec<usize>> =
-            specs.iter().map(|spec| plan_epoch_segments(spec.budget, epochs)).collect();
-        let start_epoch = restored_barrier.map_or(0, |barrier| barrier + 1);
-
-        let pool_start = Instant::now();
-        run_epochs(
-            specs.len(),
-            self.options.workers,
-            start_epoch..epochs,
-            |task, epoch| {
-                let telemetry = hub.lane(task);
-                telemetry.observe(keys::QUEUE_WAIT, pool_start.elapsed());
-                let _span = telemetry.span(keys::SPAN_SHARD_RUN);
-                let mut slot = runners[task].lock().unwrap();
-                let ShardSlot { runner, writer } = &mut *slot;
-                runner.run_segment(segments[task][epoch], |record| {
-                    if let Some(writer) = writer {
-                        writer.record(record);
-                    }
-                })
-            },
-            |epoch, deltas| {
-                let _span = hub.lane(specs.len()).span(keys::SPAN_EXCHANGE);
-                // Merge the epoch's deltas in shard-index order (the pool
-                // deduplicates structurally), persist the barrier, then
-                // broadcast the merged pool back into every shard.
-                for delta in &deltas {
-                    pool.merge_sources(delta);
-                }
-                let snapshot = pool.sources().to_vec();
-                if let Some(dir) = run_dir {
-                    let _ = dir.write_epoch_pool(epoch, &snapshot);
-                }
-                for (index, slot) in runners.iter().enumerate() {
-                    let mut slot = slot.lock().unwrap();
-                    slot.runner.inject(&snapshot);
-                    if let Some(dir) = run_dir {
-                        let _ = dir.write_checkpoint(index, epoch, &slot.runner.checkpoint());
-                    }
-                }
-            },
-        );
-
-        let mut pipeline_time = Duration::ZERO;
-        let outputs: Vec<ShardOutput> = runners
-            .into_iter()
-            .map(|slot| {
-                let ShardSlot { runner, writer } = slot.into_inner().unwrap();
-                let output = runner.finish();
-                if let Some(writer) = writer {
-                    let _ = writer.finish(&output);
-                }
-                pipeline_time += output.pipeline_time;
-                output
-            })
-            .collect();
-        ExecOutcome {
-            reused: 0,
-            computed: outputs.len(),
-            epochs_restored: start_epoch,
-            pipeline_time,
-            outputs,
+impl WriterSink {
+    fn new(run_dir: Option<&RunDir>, specs: &[ShardSpec]) -> Self {
+        WriterSink {
+            writers: specs
+                .iter()
+                .map(|spec| Mutex::new(run_dir.and_then(|dir| dir.shard_writer(spec).ok())))
+                .collect(),
         }
     }
 }
 
-/// One shard's live state on the exchange path: the paused runner plus
-/// its (optional) streaming progress writer.
-struct ShardSlot {
-    runner: ShardRunner,
-    writer: Option<ShardWriter>,
+impl RecordSink for WriterSink {
+    fn record(&self, task: usize, record: &ProgramRecord) {
+        if let Some(writer) = self.writers[task].lock().unwrap().as_mut() {
+            writer.record(record);
+        }
+    }
+
+    fn complete(&self, task: usize, output: &ShardOutput) {
+        if let Some(writer) = self.writers[task].lock().unwrap().take() {
+            let _ = writer.finish(output);
+        }
+    }
 }
 
 struct ExecOutcome {
@@ -556,7 +582,10 @@ struct ExecOutcome {
 /// Compare an orchestrated run against the sequential driver (used by
 /// tests and kept public for doc examples / sanity scripts).
 pub fn matches_sequential(config: &CampaignConfig) -> bool {
-    let orchestrated = Orchestrator::run_sharded(config, 1);
+    let orchestrated = Orchestrator::new(config.clone())
+        .run()
+        .expect("in-memory orchestrated run cannot fail")
+        .result;
     let sequential = Campaign::new(config.clone()).run();
     orchestrated.records == sequential.records
         && orchestrated.sources == sequential.sources

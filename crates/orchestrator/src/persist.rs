@@ -420,7 +420,9 @@ mod tests {
         let config = manifest().config;
         let spec = crate::shard::plan_shards(&config, 2)[0];
         let mut writer = dir.shard_writer(&spec).unwrap();
-        let output = crate::shard::run_shard(&config, spec, None, |r| writer.record(r));
+        let mut runner = crate::shard::ShardRunner::new(&config, spec, None);
+        runner.run_segment(spec.budget, |r| writer.record(r));
+        let output = runner.finish();
         writer.finish(&output).unwrap();
         assert_eq!(dir.load_shard(&spec).unwrap(), output);
         // A spec from a different plan must not accept this file.

@@ -8,6 +8,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::executor::OrchestratorError;
+
 /// Run `tasks` closures (`f(0) .. f(tasks - 1)`) on up to `workers`
 /// threads and return their results ordered by task index. A panicking
 /// task propagates the panic to the caller once the scope joins.
@@ -56,23 +58,35 @@ where
 /// of `(tasks, epochs)` — worker count only changes wall-clock time.
 /// `exchange` is not called after the final epoch (there is no next
 /// segment to feed).
+///
+/// `workers == 0` is a configuration error, not a silent clamp: it
+/// returns [`OrchestratorError::InvalidWorkers`] so a zero threaded
+/// through from a public option surfaces instead of degrading to
+/// single-threaded execution nobody asked for. ([`run_indexed`] keeps
+/// clamping — it is the low-level primitive internal callers feed
+/// already validated counts.)
 pub fn run_epochs<D, F, B>(
     tasks: usize,
     workers: usize,
     epochs: std::ops::Range<usize>,
     f: F,
     mut exchange: B,
-) where
+) -> Result<(), OrchestratorError>
+where
     D: Send,
     F: Fn(usize, usize) -> D + Sync,
     B: FnMut(usize, Vec<D>),
 {
+    if workers == 0 {
+        return Err(OrchestratorError::InvalidWorkers);
+    }
     for epoch in epochs.clone() {
         let deltas = run_indexed(tasks, workers, |task| f(task, epoch));
         if epoch + 1 < epochs.end {
             exchange(epoch, deltas);
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -108,7 +122,8 @@ mod tests {
                 |epoch, deltas| {
                     log.lock().unwrap().push((epoch, deltas));
                 },
-            );
+            )
+            .unwrap();
             let log = log.into_inner().unwrap();
             assert_eq!(
                 log,
@@ -125,8 +140,15 @@ mod tests {
     #[test]
     fn resumed_epoch_ranges_skip_completed_epochs() {
         let mut seen = Vec::new();
-        run_epochs(2, 1, 2..4, |task, epoch| (task, epoch), |epoch, _| seen.push(epoch));
+        run_epochs(2, 1, 2..4, |task, epoch| (task, epoch), |epoch, _| seen.push(epoch)).unwrap();
         assert_eq!(seen, vec![2], "only the non-final epoch of the range exchanges");
+    }
+
+    #[test]
+    fn zero_workers_in_epochs_is_a_typed_error_not_a_clamp() {
+        let err = run_epochs(2, 0, 0..2, |task, _| task, |_, _| {}).unwrap_err();
+        assert!(matches!(err, OrchestratorError::InvalidWorkers));
+        assert!(err.to_string().contains("at least 1"));
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! approach. Running them back to back wastes the pool whenever one
 //! campaign's tail shards leave workers idle; the scheduler flattens every
 //! campaign's shards into one task list so the pool stays saturated across
-//! campaign boundaries.
+//! campaign boundaries. The flattened list runs on any [`ShardExecutor`]
+//! — the same transports (and the same barrier protocol) as
+//! single-campaign orchestration.
 //!
 //! Campaigns whose test context matches — same seed, precision and
 //! compiler/level matrix — share one result cache: program inputs are
@@ -16,17 +18,15 @@
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use llm4fp::{BackendSpec, CampaignConfig, SuccessfulSet};
+use llm4fp::{BackendSpec, CampaignConfig, ProgramRecord, SuccessfulSet};
 use llm4fp_compiler::{CompilerId, OptLevel};
 use llm4fp_difftest::{ProcessBudget, ResultCache};
 use llm4fp_fpir::Precision;
 use llm4fp_telemetry::{keys, TelemetryHub};
 
+use crate::executor::{InProcessExecutor, OrchestratorError, RecordSink, ShardExecutor, ShardTask};
 use crate::orchestrate::{OrchestratedResult, OrchestratorOptions, RunStats};
-use crate::pool::run_epochs;
-use crate::shard::{
-    merge_shards, plan_epoch_segments, plan_shards, ShardOutput, ShardRunner, ShardSpec,
-};
+use crate::shard::{merge_shards, plan_epoch_segments, plan_shards, ShardOutput, ShardSpec};
 
 /// The part of a campaign config that determines differential-testing
 /// results for a given program: configs with equal contexts may share a
@@ -54,21 +54,48 @@ impl TestContext {
     }
 }
 
-/// Runs a suite of campaigns concurrently over one worker pool.
-#[derive(Debug, Clone, Default)]
+/// Runs a suite of campaigns concurrently over one worker pool. Builder
+/// style, mirroring [`crate::Orchestrator`]:
+///
+/// ```ignore
+/// let results = Scheduler::new(options).shards(4).run(&configs)?;
+/// ```
+#[derive(Debug, Clone)]
 pub struct Scheduler {
     options: OrchestratorOptions,
+    shards: usize,
+    executor: Option<Arc<dyn ShardExecutor>>,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::new(OrchestratorOptions::default())
+    }
 }
 
 impl Scheduler {
     pub fn new(options: OrchestratorOptions) -> Self {
-        Scheduler { options }
+        Scheduler { options, shards: 1, executor: None }
     }
 
-    /// Run every campaign, each split into `shards` shards (and, when
-    /// `options.epochs > 1`, its own cross-shard feedback exchange),
-    /// sharing the worker pool and, where sound, the result cache.
-    /// Results come back in input order and are bit-identical to
+    /// Split every campaign into `shards` shards (default 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Run the suite's flattened shard list through this transport
+    /// instead of the default [`InProcessExecutor`]. Results are
+    /// bit-identical for any executor.
+    pub fn executor(mut self, executor: Arc<dyn ShardExecutor>) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// Run every campaign (each split into the configured shard count
+    /// and, when `options.epochs > 1`, its own cross-shard feedback
+    /// exchange), sharing the worker pool and, where sound, the result
+    /// cache. Results come back in input order and are bit-identical to
     /// orchestrating each campaign individually with the same shard and
     /// epoch counts: exchange barriers are suite-wide (the pool stays
     /// saturated across campaign boundaries within an epoch), but deltas
@@ -76,13 +103,25 @@ impl Scheduler {
     ///
     /// Persistence (`options.run_dir`) applies to single-campaign runs via
     /// [`crate::Orchestrator`]; the scheduler itself executes in memory.
-    pub fn run_suite(&self, configs: &[CampaignConfig], shards: usize) -> Vec<OrchestratedResult> {
+    pub fn run(
+        &self,
+        configs: &[CampaignConfig],
+    ) -> Result<Vec<OrchestratedResult>, OrchestratorError> {
+        if self.options.workers == 0 {
+            return Err(OrchestratorError::InvalidWorkers);
+        }
         let start = Instant::now();
         let epochs = self.options.epochs.max(1);
+        let executor: Arc<dyn ShardExecutor> = self
+            .executor
+            .clone()
+            .unwrap_or_else(|| Arc::new(InProcessExecutor::new(self.options.workers)));
 
-        // One cache per distinct test context (None when caching is off).
+        // One cache per distinct test context (None when caching is off,
+        // or when the transport never consults coordinator-side caches).
         let contexts: Vec<TestContext> = configs.iter().map(TestContext::of).collect();
-        let caches: Vec<Option<Arc<ResultCache>>> = if self.options.cache {
+        let caches: Vec<Option<Arc<ResultCache>>> = if self.options.cache && executor.shares_cache()
+        {
             let mut distinct: Vec<(TestContext, Arc<ResultCache>)> = Vec::new();
             contexts
                 .iter()
@@ -102,7 +141,7 @@ impl Scheduler {
 
         // Flatten every campaign's shards into one task list.
         let plans: Vec<Vec<ShardSpec>> =
-            configs.iter().map(|config| plan_shards(config, shards)).collect();
+            configs.iter().map(|config| plan_shards(config, self.shards)).collect();
         let tasks: Vec<(usize, ShardSpec)> = plans
             .iter()
             .enumerate()
@@ -123,92 +162,65 @@ impl Scheduler {
         let hubs: Vec<TelemetryHub> =
             configs.iter().map(|_| TelemetryHub::new(self.options.telemetry)).collect();
 
-        // One live runner per (campaign, shard) task and one exchange pool
-        // per campaign; epoch barriers span the whole suite but deltas
-        // stay within their campaign.
-        let runners: Vec<Mutex<ShardRunner>> = tasks
+        let shard_tasks: Vec<ShardTask> = tasks
             .iter()
-            .map(|(campaign, spec)| {
-                let mut runner =
-                    ShardRunner::new(&configs[*campaign], *spec, caches[*campaign].clone())
-                        .with_telemetry(hubs[*campaign].lane(spec.index));
-                if configs[*campaign].backend.is_external() {
-                    if let Some(budget) = &budget {
-                        runner = runner.with_process_budget(Arc::clone(budget));
-                    }
-                }
-                Mutex::new(runner)
+            .map(|(campaign, spec)| ShardTask {
+                config: configs[*campaign].clone(),
+                spec: *spec,
+                cache: caches[*campaign].clone(),
+                budget: if configs[*campaign].backend.is_external() {
+                    budget.clone()
+                } else {
+                    None
+                },
+                process_slots: self.options.process_slots,
+                telemetry: hubs[*campaign].lane(spec.index),
+                checkpoint: None,
             })
             .collect();
         let segments: Vec<Vec<usize>> =
             tasks.iter().map(|(_, spec)| plan_epoch_segments(spec.budget, epochs)).collect();
         let mut pools: Vec<SuccessfulSet> = configs.iter().map(|_| SuccessfulSet::new()).collect();
 
-        // Per-campaign wall clocks: a campaign's elapsed time runs from
-        // the instant the pool first picks up one of its shards to the
-        // instant its last segment finishes — not the suite-wide elapsed,
-        // which would charge every campaign for every other campaign's
-        // work and flatten Table 2's time-cost comparison.
-        let timings: Vec<Mutex<(Option<Instant>, Option<Instant>)>> =
-            configs.iter().map(|_| Mutex::new((None, None))).collect();
+        let sink = TimingSink::new(tasks.iter().map(|(campaign, _)| *campaign).collect());
+        let mut session = executor.begin(shard_tasks, &sink)?;
 
-        let pool_start = Instant::now();
-        run_epochs(
-            tasks.len(),
-            self.options.workers,
-            0..epochs,
-            |task, epoch| {
-                let (campaign, spec) = tasks[task];
-                let telemetry = hubs[campaign].lane(spec.index);
-                telemetry.observe(keys::QUEUE_WAIT, pool_start.elapsed());
-                timings[campaign].lock().unwrap().0.get_or_insert_with(Instant::now);
-                let delta = {
-                    let _span = telemetry.span(keys::SPAN_SHARD_RUN);
-                    runners[task].lock().unwrap().run_segment(segments[task][epoch], |_| {})
-                };
-                timings[campaign].lock().unwrap().1 = Some(Instant::now());
-                delta
-            },
-            |_, deltas| {
-                // Each campaign's hub times the suite-wide barrier on its
-                // own orchestrator lane (one index past its shards).
-                let _spans: Vec<_> = hubs
-                    .iter()
-                    .zip(&plans)
-                    .map(|(hub, plan)| hub.lane(plan.len()).span(keys::SPAN_EXCHANGE))
-                    .collect();
-                // Task order is campaign-major then shard index, so each
-                // campaign's deltas merge in exactly the order its
-                // individual orchestration would use.
-                for ((campaign, _), delta) in tasks.iter().zip(&deltas) {
-                    pools[*campaign].merge_sources(delta);
-                }
-                for ((campaign, _), runner) in tasks.iter().zip(&runners) {
-                    runner.lock().unwrap().inject(pools[*campaign].sources());
-                }
-            },
-        );
+        for epoch in 0..epochs {
+            let last = epoch + 1 == epochs;
+            let plan: Vec<usize> = segments.iter().map(|segments| segments[epoch]).collect();
+            let deltas = session.run_epoch(&plan, last)?;
+            if last {
+                break;
+            }
+            // Each campaign's hub times the suite-wide barrier on its
+            // own orchestrator lane (one index past its shards).
+            let _spans: Vec<_> = hubs
+                .iter()
+                .zip(&plans)
+                .map(|(hub, plan)| hub.lane(plan.len()).span(keys::SPAN_EXCHANGE))
+                .collect();
+            // Task order is campaign-major then shard index, so each
+            // campaign's deltas merge in exactly the order its
+            // individual orchestration would use.
+            for ((campaign, _), delta) in tasks.iter().zip(&deltas) {
+                pools[*campaign].merge_sources(delta);
+            }
+            let broadcast: Vec<&[String]> =
+                tasks.iter().map(|(campaign, _)| pools[*campaign].sources()).collect();
+            session.inject(&broadcast)?;
+        }
 
-        let outputs: Vec<(usize, ShardOutput)> = tasks
-            .iter()
-            .zip(runners)
-            .map(|((campaign, _), runner)| (*campaign, runner.into_inner().unwrap().finish()))
-            .collect();
+        let outputs: Vec<(usize, ShardOutput)> =
+            tasks.iter().map(|(campaign, _)| *campaign).zip(session.finish()?).collect();
 
         // Regroup by campaign (merge_shards re-sorts by shard index).
         let suite_elapsed = start.elapsed();
-        let campaign_walls: Vec<std::time::Duration> = timings
-            .into_iter()
-            .map(|timing| match timing.into_inner().unwrap() {
-                (Some(first_start), Some(last_end)) => last_end - first_start,
-                _ => suite_elapsed,
-            })
-            .collect();
+        let campaign_walls = sink.campaign_walls(suite_elapsed);
         let mut grouped: Vec<Vec<_>> = configs.iter().map(|_| Vec::new()).collect();
         for (campaign, output) in outputs {
             grouped[campaign].push(output);
         }
-        configs
+        Ok(configs
             .iter()
             .zip(grouped)
             .enumerate()
@@ -225,7 +237,7 @@ impl Scheduler {
                 OrchestratedResult {
                     stats: RunStats {
                         shards: shards_computed,
-                        workers: self.options.workers.max(1),
+                        workers: self.options.workers,
                         epochs,
                         shards_reused: 0,
                         shards_computed,
@@ -243,6 +255,64 @@ impl Scheduler {
                     result,
                 }
             })
+            .collect())
+    }
+
+    /// Deprecated positional entry point.
+    #[deprecated(since = "0.3.0", note = "use `Scheduler::new(options).shards(k).run(configs)`")]
+    pub fn run_suite(&self, configs: &[CampaignConfig], shards: usize) -> Vec<OrchestratedResult> {
+        let mut scheduler = self.clone().shards(shards);
+        // The old signature silently tolerated `workers == 0`; preserve
+        // that for existing callers (the builder rejects it instead).
+        scheduler.options.workers = scheduler.options.workers.max(1);
+        scheduler.run(configs).expect("in-memory suite cannot fail")
+    }
+}
+
+/// The scheduler's [`RecordSink`]: per-campaign wall clocks. A campaign's
+/// elapsed time runs from the instant the pool first processes one of its
+/// programs to the instant its last shard makes progress or completes —
+/// not the suite-wide elapsed, which would charge every campaign for
+/// every other campaign's work and flatten Table 2's time-cost
+/// comparison.
+struct TimingSink {
+    /// Task index -> campaign index.
+    campaigns: Vec<usize>,
+    timings: Vec<Mutex<(Option<Instant>, Option<Instant>)>>,
+}
+
+impl TimingSink {
+    fn new(campaigns: Vec<usize>) -> Self {
+        let campaign_count = campaigns.iter().copied().max().map_or(0, |max| max + 1);
+        TimingSink {
+            campaigns,
+            timings: (0..campaign_count).map(|_| Mutex::new((None, None))).collect(),
+        }
+    }
+
+    fn touch(&self, task: usize) {
+        let mut timing = self.timings[self.campaigns[task]].lock().unwrap();
+        timing.0.get_or_insert_with(Instant::now);
+        timing.1 = Some(Instant::now());
+    }
+
+    fn campaign_walls(&self, fallback: std::time::Duration) -> Vec<std::time::Duration> {
+        self.timings
+            .iter()
+            .map(|timing| match *timing.lock().unwrap() {
+                (Some(first_start), Some(last_end)) => last_end - first_start,
+                _ => fallback,
+            })
             .collect()
+    }
+}
+
+impl RecordSink for TimingSink {
+    fn record(&self, task: usize, _record: &ProgramRecord) {
+        self.touch(task);
+    }
+
+    fn complete(&self, task: usize, _output: &ShardOutput) {
+        self.touch(task);
     }
 }

@@ -239,47 +239,55 @@ impl ShardRunner {
     }
 }
 
-/// Run one shard to completion without exchange barriers. `on_record`
-/// observes every processed program (the persistence layer streams
-/// progress lines through it).
-pub fn run_shard(
-    config: &CampaignConfig,
-    spec: ShardSpec,
-    cache: Option<Arc<ResultCache>>,
-    on_record: impl FnMut(&ProgramRecord),
-) -> ShardOutput {
-    run_shard_budgeted(config, spec, cache, None, on_record)
-}
-
-/// [`run_shard`] with an optional shared process budget for
-/// external-backend campaigns (throttling changes scheduling only, never
-/// the recorded output).
-pub fn run_shard_budgeted(
-    config: &CampaignConfig,
-    spec: ShardSpec,
-    cache: Option<Arc<ResultCache>>,
-    budget: Option<Arc<ProcessBudget>>,
-    on_record: impl FnMut(&ProgramRecord),
-) -> ShardOutput {
-    run_shard_instrumented(config, spec, cache, budget, Telemetry::disabled(), on_record)
-}
-
-/// [`run_shard_budgeted`] with a telemetry lane handle attached for the
-/// duration of the run (pure observation — the output is bit-identical
-/// to the uninstrumented variants).
-pub fn run_shard_instrumented(
-    config: &CampaignConfig,
-    spec: ShardSpec,
+/// Everything a shard needs besides its own plan: the parent campaign's
+/// configuration plus the optional shared machinery (cache, process
+/// budget, telemetry lane). One context serves any number of shards, and
+/// every attachment is a pure observer or scheduler — the shard's output
+/// is a function of `(config, spec)` alone.
+#[derive(Debug, Clone)]
+pub struct ShardCtx<'a> {
+    config: &'a CampaignConfig,
     cache: Option<Arc<ResultCache>>,
     budget: Option<Arc<ProcessBudget>>,
     telemetry: Telemetry,
-    on_record: impl FnMut(&ProgramRecord),
-) -> ShardOutput {
-    let mut runner = ShardRunner::new(config, spec, cache).with_telemetry(telemetry);
-    if let Some(budget) = budget {
-        runner = runner.with_process_budget(budget);
+}
+
+impl<'a> ShardCtx<'a> {
+    /// A bare context: no cache, no process budget, telemetry disabled.
+    pub fn new(config: &'a CampaignConfig) -> Self {
+        ShardCtx { config, cache: None, budget: None, telemetry: Telemetry::disabled() }
     }
-    runner.run_segment(spec.budget, on_record);
+
+    /// Share a cross-shard result cache (semantically transparent).
+    pub fn with_cache(mut self, cache: Option<Arc<ResultCache>>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Throttle external process spawns with a shared budget (scheduling
+    /// only — never changes recorded output).
+    pub fn with_process_budget(mut self, budget: Option<Arc<ProcessBudget>>) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attach a telemetry lane handle (pure observation).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+}
+
+/// Run one shard to completion without exchange barriers. Record
+/// streaming lives in the executor layer's `RecordSink`; this entry
+/// point is the one-shot form of driving a [`ShardRunner`] by hand.
+pub fn run_shard(spec: &ShardSpec, ctx: &ShardCtx<'_>) -> ShardOutput {
+    let mut runner = ShardRunner::new(ctx.config, *spec, ctx.cache.clone())
+        .with_telemetry(ctx.telemetry.clone());
+    if let Some(budget) = &ctx.budget {
+        runner = runner.with_process_budget(budget.clone());
+    }
+    runner.run_segment(spec.budget, |_| {});
     runner.finish()
 }
 
@@ -383,7 +391,7 @@ mod tests {
         let config =
             CampaignConfig::new(ApproachKind::Varity).with_budget(8).with_seed(9).with_threads(1);
         let specs = plan_shards(&config, 1);
-        let output = run_shard(&config, specs[0], None, |_| {});
+        let output = run_shard(&specs[0], &ShardCtx::new(&config));
         let sequential = llm4fp::Campaign::new(config.clone()).run();
         assert_eq!(output.records, sequential.records);
         assert_eq!(output.sources, sequential.sources);
@@ -419,7 +427,7 @@ mod tests {
         let config =
             CampaignConfig::new(ApproachKind::Llm4Fp).with_budget(20).with_seed(6).with_threads(1);
         let spec = plan_shards(&config, 2)[1];
-        let oneshot = run_shard(&config, spec, None, |_| {});
+        let oneshot = run_shard(&spec, &ShardCtx::new(&config));
         let mut runner = ShardRunner::new(&config, spec, None);
         for segment in plan_epoch_segments(spec.budget, 4) {
             runner.run_segment(segment, |_| {});
@@ -453,8 +461,8 @@ mod tests {
         let config =
             CampaignConfig::new(ApproachKind::Varity).with_budget(9).with_seed(4).with_threads(1);
         let outputs: Vec<ShardOutput> = plan_shards(&config, 3)
-            .into_iter()
-            .map(|spec| run_shard(&config, spec, None, |_| {}))
+            .iter()
+            .map(|spec| run_shard(spec, &ShardCtx::new(&config)))
             .collect();
         let merged = merge_shards(&config, outputs, Duration::ZERO);
         assert_eq!(merged.records.len(), 9);

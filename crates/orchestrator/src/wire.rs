@@ -1,0 +1,197 @@
+//! The coordinator ↔ worker-daemon wire contract.
+//!
+//! The process-pool transport farms [`ShardJob`]s to `llm4fp-worker`
+//! daemons over their stdin/stdout as **length-prefixed JSON frames**:
+//!
+//! ```text
+//! 0000000123\n{...123 bytes of JSON...}
+//! ```
+//!
+//! The prefix is a fixed-width 10-digit ASCII decimal byte length
+//! followed by one newline — trivially parseable from any language, easy
+//! to eyeball in a captured stream, and unambiguous under partial reads.
+//! Every message is one frame; the stream carries no other bytes.
+//!
+//! The payloads are the run directory's JSONL vocabulary promoted to a
+//! wire contract: a job is `(config, spec, segment, checkpoint)` and an
+//! answer is `(delta, checkpoint | output, counters)` — the same
+//! serializable types the persistence layer already round-trips, which
+//! is what makes a worker interchangeable with an in-process runner.
+//!
+//! A worker is *stateless between jobs*: each job carries everything
+//! needed to restore (or freshly create) the shard runner, run one
+//! segment, and hand the updated state back. Statelessness is what makes
+//! crash-and-redispatch and straggler duplication sound — recomputing a
+//! job on another worker yields byte-identical results.
+
+use std::io::{self, Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use llm4fp::{CampaignConfig, RunnerCheckpoint};
+use llm4fp_telemetry::CounterSnapshot;
+
+use crate::shard::{ShardOutput, ShardSpec};
+
+/// One segment of one shard, self-contained: everything a stateless
+/// worker needs to produce the next barrier state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardJob {
+    /// The parent campaign's configuration.
+    pub config: CampaignConfig,
+    /// The shard plan being executed.
+    pub spec: ShardSpec,
+    /// How many programs to run this epoch (0 is a legal no-op segment).
+    pub segment: usize,
+    /// Whether this is the shard's final segment: the worker finishes the
+    /// runner and returns its [`ShardOutput`] instead of a checkpoint.
+    pub finish: bool,
+    /// Resume state from the previous barrier (with the exchange pool
+    /// already injected coordinator-side); `None` starts the shard fresh.
+    pub checkpoint: Option<RunnerCheckpoint>,
+    /// Process-budget slots for external-backend campaigns (each worker
+    /// daemon materializes its own budget — the bound is per worker, not
+    /// global; results are unaffected either way).
+    pub process_slots: usize,
+    /// Collect telemetry counters and return them in the result.
+    pub telemetry: bool,
+}
+
+/// A worker's answer to one [`ShardJob`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardJobResult {
+    /// The shard index this result answers (protocol sanity check).
+    pub index: usize,
+    /// Successful sources newly found during the segment, in discovery
+    /// order — the delta the barrier merges.
+    pub delta: Vec<String>,
+    /// The paused runner's state after the segment (`None` on `finish`).
+    pub checkpoint: Option<RunnerCheckpoint>,
+    /// The finished shard's output (`Some` exactly on `finish`).
+    pub output: Option<ShardOutput>,
+    /// Counters the worker collected for this segment, for the
+    /// coordinator to absorb into the shard's telemetry lane. Plain
+    /// counters sum across segments; keyed counters union first-writer-
+    /// wins by id, so the merged `metrics.json` matches in-process runs.
+    pub telemetry: Option<CounterSnapshot>,
+}
+
+/// A frame from the coordinator to a worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireRequest {
+    /// Run one shard segment and answer with a [`ShardJobResult`] frame.
+    Job(Box<ShardJob>),
+    /// Exit cleanly (EOF on stdin means the same).
+    Shutdown,
+}
+
+/// Byte length of the frame header: 10 ASCII digits + `\n`.
+const HEADER_LEN: usize = 11;
+
+/// Write `value` as one frame.
+pub fn write_frame<T: Serialize, W: Write>(writer: &mut W, value: &T) -> io::Result<()> {
+    let payload = serde_json::to_string(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("encode frame: {e}")))?;
+    writeln!(writer, "{:010}", payload.len())?;
+    writer.write_all(payload.as_bytes())?;
+    writer.flush()
+}
+
+/// Read one frame. An EOF *before the first header byte* surfaces as
+/// [`io::ErrorKind::UnexpectedEof`] (the clean end-of-stream signal);
+/// anything malformed is [`io::ErrorKind::InvalidData`].
+pub fn read_frame<T: serde::de::DeserializeOwned, R: Read>(reader: &mut R) -> io::Result<T> {
+    let mut header = [0u8; HEADER_LEN];
+    reader.read_exact(&mut header)?;
+    if header[HEADER_LEN - 1] != b'\n' {
+        return Err(bad_frame("header missing newline"));
+    }
+    let digits = std::str::from_utf8(&header[..HEADER_LEN - 1])
+        .map_err(|_| bad_frame("header is not ASCII"))?;
+    let len: usize = digits.parse().map_err(|_| bad_frame("header is not a decimal length"))?;
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    let text = std::str::from_utf8(&payload).map_err(|_| bad_frame("payload is not UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| bad_frame(&format!("payload does not parse: {e}")))
+}
+
+fn bad_frame(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("malformed wire frame: {what}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::{plan_shards, shard_seed};
+    use llm4fp::ApproachKind;
+
+    fn job(seed: u64, segment: usize, finish: bool) -> ShardJob {
+        let config = CampaignConfig::new(ApproachKind::Varity).with_budget(6).with_seed(seed);
+        ShardJob {
+            spec: plan_shards(&config, 2)[1],
+            config,
+            segment,
+            finish,
+            checkpoint: None,
+            process_slots: 3,
+            telemetry: true,
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_requests() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &WireRequest::Job(Box::new(job(7, 3, false)))).unwrap();
+        write_frame(&mut buf, &WireRequest::Shutdown).unwrap();
+        let mut reader = buf.as_slice();
+        let first: WireRequest = read_frame(&mut reader).unwrap();
+        assert_eq!(first, WireRequest::Job(Box::new(job(7, 3, false))));
+        let second: WireRequest = read_frame(&mut reader).unwrap();
+        assert_eq!(second, WireRequest::Shutdown);
+        // Clean end-of-stream reads as UnexpectedEof.
+        let eof = read_frame::<WireRequest, _>(&mut reader).unwrap_err();
+        assert_eq!(eof.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn header_is_fixed_width_decimal_plus_newline() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &WireRequest::Shutdown).unwrap();
+        assert_eq!(&buf[..10], format!("{:010}", buf.len() - HEADER_LEN).as_bytes());
+        assert_eq!(buf[10], b'\n');
+    }
+
+    #[test]
+    fn malformed_frames_are_invalid_data_not_panics() {
+        for bytes in [
+            b"000000000x\n{}".as_slice(), // non-decimal length
+            b"0000000002X{}".as_slice(),  // missing newline
+            b"0000000002{]".as_slice(),   // unparseable payload
+        ] {
+            let err = read_frame::<WireRequest, _>(&mut &bytes[..]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{bytes:?}");
+        }
+        // Truncated payload: the stream died mid-frame.
+        let err = read_frame::<WireRequest, _>(&mut &b"0000000099\n{}"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn results_round_trip_with_output_and_counters() {
+        let config = CampaignConfig::new(ApproachKind::Varity).with_budget(4).with_seed(2);
+        let spec = plan_shards(&config, 1)[0];
+        let output = crate::shard::run_shard(&spec, &crate::shard::ShardCtx::new(&config));
+        let result = ShardJobResult {
+            index: spec.index,
+            delta: output.successful_sources.clone(),
+            checkpoint: None,
+            output: Some(output),
+            telemetry: None,
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &result).unwrap();
+        let back: ShardJobResult = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, result);
+        assert_eq!(shard_seed(2, 0), 2);
+    }
+}

@@ -25,8 +25,8 @@ use std::time::Duration;
 
 use llm4fp::{ApproachKind, Campaign, CampaignConfig, CampaignResult};
 use llm4fp_orchestrator::{
-    merge_shards, plan_shards, run_shard, Orchestrator, OrchestratorOptions, RunDir, RunManifest,
-    Scheduler,
+    merge_shards, plan_shards, run_shard, OrchestratedResult, Orchestrator, OrchestratorError,
+    OrchestratorOptions, RunDir, RunManifest, Scheduler, ShardCtx,
 };
 
 fn config(approach: ApproachKind, budget: usize, seed: u64) -> CampaignConfig {
@@ -36,6 +36,24 @@ fn config(approach: ApproachKind, budget: usize, seed: u64) -> CampaignConfig {
 
 fn options(workers: usize, cache: bool, epochs: usize) -> OrchestratorOptions {
     OrchestratorOptions { workers, cache, epochs, run_dir: None, ..Default::default() }
+}
+
+/// The builder invocation most tests drive: explicit options bag, shard
+/// count, in-memory run.
+fn orchestrate(
+    config: &CampaignConfig,
+    shards: usize,
+    opts: OrchestratorOptions,
+) -> Result<OrchestratedResult, OrchestratorError> {
+    Orchestrator::new(config.clone()).options(opts).shards(shards).run()
+}
+
+fn run_sharded(config: &CampaignConfig, shards: usize) -> CampaignResult {
+    Orchestrator::new(config.clone()).shards(shards).run().unwrap().result
+}
+
+fn run_sharded_epochs(config: &CampaignConfig, shards: usize, epochs: usize) -> CampaignResult {
+    Orchestrator::new(config.clone()).shards(shards).epochs(epochs).run().unwrap().result
 }
 
 fn assert_results_identical(a: &CampaignResult, b: &CampaignResult, what: &str) {
@@ -53,11 +71,11 @@ fn k1_matches_the_sequential_campaign_exactly() {
     for approach in [ApproachKind::Varity, ApproachKind::Llm4Fp] {
         let config = config(approach, 24, 11);
         let sequential = Campaign::new(config.clone()).run();
-        let orchestrated = Orchestrator::run_sharded(&config, 1);
+        let orchestrated = run_sharded(&config, 1);
         assert_results_identical(&orchestrated, &sequential, &format!("K=1 {:?}", config.approach));
         // A single shard exchanges only with itself: structurally a
         // no-op, so any epoch count still reproduces the sequential run.
-        let epoched = Orchestrator::run_sharded_epochs(&config, 1, 4);
+        let epoched = run_sharded_epochs(&config, 1, 4);
         assert_results_identical(&epoched, &sequential, &format!("K=1 E=4 {:?}", config.approach));
     }
     assert!(llm4fp_orchestrator::matches_sequential(&config(ApproachKind::GrammarGuided, 10, 3)));
@@ -71,11 +89,11 @@ fn e1_reproduces_the_no_exchange_sharded_output() {
     let config = config(ApproachKind::Llm4Fp, 30, 7);
     for shards in [2usize, 4, 5] {
         let outputs: Vec<_> = plan_shards(&config, shards)
-            .into_iter()
-            .map(|spec| run_shard(&config, spec, None, |_| {}))
+            .iter()
+            .map(|spec| run_shard(spec, &ShardCtx::new(&config)))
             .collect();
         let reference = merge_shards(&config, outputs, Duration::ZERO);
-        let orchestrated = Orchestrator::new(options(4, false, 1)).run(&config, shards).unwrap();
+        let orchestrated = orchestrate(&config, shards, options(4, false, 1)).unwrap();
         assert_results_identical(&orchestrated.result, &reference, &format!("E=1 K={shards}"));
     }
 }
@@ -85,13 +103,11 @@ fn sharded_runs_are_bit_identical_across_worker_counts() {
     let config = config(ApproachKind::Llm4Fp, 30, 7);
     for epochs in [1usize, 4] {
         for shards in [1usize, 2, 4] {
-            let reference =
-                Orchestrator::new(options(1, true, epochs)).run(&config, shards).unwrap();
+            let reference = orchestrate(&config, shards, options(1, true, epochs)).unwrap();
             assert_eq!(reference.stats.shards, shards.min(config.programs));
             assert_eq!(reference.stats.epochs, epochs);
             for workers in [2usize, 8] {
-                let other =
-                    Orchestrator::new(options(workers, true, epochs)).run(&config, shards).unwrap();
+                let other = orchestrate(&config, shards, options(workers, true, epochs)).unwrap();
                 assert_results_identical(
                     &other.result,
                     &reference.result,
@@ -110,7 +126,7 @@ fn different_shard_counts_account_the_same_totals() {
     let config = config(ApproachKind::Varity, 25, 13);
     for shards in [1usize, 2, 4, 7] {
         for epochs in [1usize, 3, 4] {
-            let result = Orchestrator::run_sharded_epochs(&config, shards, epochs);
+            let result = run_sharded_epochs(&config, shards, epochs);
             assert_eq!(result.aggregates.programs, 25, "K={shards} E={epochs}");
             assert_eq!(result.aggregates.total_comparisons, 25 * 18, "K={shards} E={epochs}");
             assert_eq!(result.records.len(), 25, "K={shards} E={epochs}");
@@ -134,8 +150,8 @@ fn exchange_broadcasts_the_global_pool_at_k4() {
     // must actually diverge from the isolated-feedback run (the injected
     // pool changes seed selection).
     let config = config(ApproachKind::Llm4Fp, 48, 9);
-    let isolated = Orchestrator::run_sharded_epochs(&config, 4, 1);
-    let exchanged = Orchestrator::run_sharded_epochs(&config, 4, 4);
+    let isolated = run_sharded_epochs(&config, 4, 1);
+    let exchanged = run_sharded_epochs(&config, 4, 4);
     assert_eq!(exchanged.aggregates.programs, isolated.aggregates.programs);
     assert_ne!(
         exchanged.records, isolated.records,
@@ -155,8 +171,8 @@ fn exchange_broadcasts_the_global_pool_at_k4() {
 fn cache_is_semantically_transparent_and_reports_stats() {
     let config = config(ApproachKind::Llm4Fp, 40, 5);
     for epochs in [1usize, 4] {
-        let cached = Orchestrator::new(options(4, true, epochs)).run(&config, 4).unwrap();
-        let uncached = Orchestrator::new(options(4, false, epochs)).run(&config, 4).unwrap();
+        let cached = orchestrate(&config, 4, options(4, true, epochs)).unwrap();
+        let uncached = orchestrate(&config, 4, options(4, false, epochs)).unwrap();
         assert_results_identical(
             &cached.result,
             &uncached.result,
@@ -182,15 +198,12 @@ fn interrupted_runs_resume_to_identical_results() {
     let _ = std::fs::remove_dir_all(&root);
 
     // Reference: one uninterrupted, persisted run.
-    let full = Orchestrator::new(OrchestratorOptions {
-        workers: 2,
-        cache: true,
-        epochs: 1,
-        run_dir: Some(root.clone()),
-        ..Default::default()
-    })
-    .run(&config, shards)
-    .unwrap();
+    let full = Orchestrator::new(config.clone())
+        .shards(shards)
+        .workers(2)
+        .run_dir(root.clone())
+        .run()
+        .unwrap();
     assert_eq!(full.stats.shards_computed, shards);
     assert_eq!(full.stats.shards_reused, 0);
 
@@ -228,15 +241,13 @@ fn interrupted_multi_epoch_runs_resume_from_the_latest_barrier() {
     let _ = std::fs::remove_dir_all(&root);
 
     // Reference: one uninterrupted, persisted exchange run.
-    let full = Orchestrator::new(OrchestratorOptions {
-        workers: 2,
-        cache: true,
-        epochs,
-        run_dir: Some(root.clone()),
-        ..Default::default()
-    })
-    .run(&config, shards)
-    .unwrap();
+    let full = Orchestrator::new(config.clone())
+        .shards(shards)
+        .workers(2)
+        .epochs(epochs)
+        .run_dir(root.clone())
+        .run()
+        .unwrap();
     assert_eq!(full.stats.epochs_restored, 0);
 
     // Simulate a kill after epoch 1 of 4: nothing past barrier 1 exists
@@ -283,14 +294,14 @@ fn mismatched_manifests_refuse_to_mix_runs() {
         run_dir: Some(root),
         ..Default::default()
     };
-    Orchestrator::new(persisted(1, root.clone())).run(&config_a, 2).unwrap();
+    orchestrate(&config_a, 2, persisted(1, root.clone())).unwrap();
     // Same dir, different seed: must be refused, not silently merged.
     let config_b = config(ApproachKind::Varity, 8, 2);
-    let err = Orchestrator::new(persisted(1, root.clone())).run(&config_b, 2);
+    let err = orchestrate(&config_b, 2, persisted(1, root.clone()));
     assert!(err.is_err(), "mismatched manifest must error");
     // Same config, different epoch count: exchanged and non-exchanged
     // outputs differ, so this must be refused too.
-    let err = Orchestrator::new(persisted(4, root.clone())).run(&config_a, 2);
+    let err = orchestrate(&config_a, 2, persisted(4, root.clone()));
     assert!(err.is_err(), "mismatched epoch count must error");
     let _ = std::fs::remove_dir_all(&root);
 }
@@ -300,10 +311,10 @@ fn scheduler_suite_matches_individual_orchestration() {
     let configs: Vec<CampaignConfig> =
         ApproachKind::ALL.iter().map(|&a| config(a, 16, 21)).collect();
     for epochs in [1usize, 2] {
-        let suite = Scheduler::new(options(4, true, epochs)).run_suite(&configs, 2);
+        let suite = Scheduler::new(options(4, true, epochs)).shards(2).run(&configs).unwrap();
         assert_eq!(suite.len(), configs.len());
         for (cfg, orchestrated) in configs.iter().zip(&suite) {
-            let individual = Orchestrator::new(options(1, false, epochs)).run(cfg, 2).unwrap();
+            let individual = orchestrate(cfg, 2, options(1, false, epochs)).unwrap();
             assert_results_identical(
                 &orchestrated.result,
                 &individual.result,
@@ -362,10 +373,10 @@ mod external_backend {
             sequential.aggregates.inconsistencies > 0,
             "fake toolchain must produce findings for the feedback loop"
         );
-        let orchestrated = Orchestrator::run_sharded(&config, 1);
+        let orchestrated = run_sharded(&config, 1);
         assert_results_identical(&orchestrated, &sequential, "external K=1");
         // Single-shard exchange stays a structural no-op externally too.
-        let epoched = Orchestrator::run_sharded_epochs(&config, 1, 3);
+        let epoched = run_sharded_epochs(&config, 1, 3);
         assert_results_identical(&epoched, &sequential, "external K=1 E=3");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -375,12 +386,10 @@ mod external_backend {
         let dir = fake_dir("workers");
         let config = fake_config(&dir, ApproachKind::Llm4Fp, 8, 7);
         for epochs in [1usize, 2] {
-            let reference =
-                Orchestrator::new(ext_options(1, true, epochs, 1)).run(&config, 2).unwrap();
+            let reference = orchestrate(&config, 2, ext_options(1, true, epochs, 1)).unwrap();
             for (workers, slots) in [(4usize, 1usize), (4, 8)] {
-                let other = Orchestrator::new(ext_options(workers, true, epochs, slots))
-                    .run(&config, 2)
-                    .unwrap();
+                let other =
+                    orchestrate(&config, 2, ext_options(workers, true, epochs, slots)).unwrap();
                 assert_results_identical(
                     &other.result,
                     &reference.result,
@@ -404,7 +413,7 @@ mod external_backend {
         // workers = 1 keeps cache counting exact (no double-computed
         // misses) — the bit-identity across worker counts is pinned by
         // the test above.
-        let cached = Orchestrator::new(ext_options(1, true, 1, 1)).run(&config, 2).unwrap();
+        let cached = orchestrate(&config, 2, ext_options(1, true, 1, 1)).unwrap();
         let stats = cached.stats.cache.expect("cache stats recorded");
         assert!(stats.hits > 0, "Direct-Prompt budget 30 must contain duplicates");
         assert_eq!(
@@ -420,7 +429,7 @@ mod external_backend {
         );
 
         // And the cache stays semantically transparent externally.
-        let uncached = Orchestrator::new(ext_options(1, false, 1, 1)).run(&config, 2).unwrap();
+        let uncached = orchestrate(&config, 2, ext_options(1, false, 1, 1)).unwrap();
         assert_results_identical(&cached.result, &uncached.result, "external cache on/off");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -436,10 +445,12 @@ mod external_backend {
         let virtual_config = config(ApproachKind::Llm4Fp, 16, 21);
         let external_config = fake_config(&dir, ApproachKind::GrammarGuided, 6, 21);
         let suite = Scheduler::new(ext_options(4, true, 2, 1))
-            .run_suite(&[virtual_config.clone(), external_config.clone()], 2);
+            .shards(2)
+            .run(&[virtual_config.clone(), external_config.clone()])
+            .unwrap();
         assert_eq!(suite.len(), 2);
         for (cfg, orchestrated) in [&virtual_config, &external_config].into_iter().zip(&suite) {
-            let individual = Orchestrator::new(ext_options(1, false, 2, 1)).run(cfg, 2).unwrap();
+            let individual = orchestrate(cfg, 2, ext_options(1, false, 2, 1)).unwrap();
             assert_results_identical(
                 &orchestrated.result,
                 &individual.result,
@@ -458,6 +469,45 @@ mod external_backend {
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+#[test]
+fn zero_workers_is_a_typed_error_everywhere() {
+    // The 0.3 API contract: `workers == 0` is a configuration mistake
+    // and must surface as `InvalidWorkers`, not a silent clamp — from
+    // both the single-campaign builder and the suite scheduler.
+    let cfg = config(ApproachKind::Varity, 4, 1);
+    let err = Orchestrator::new(cfg.clone()).workers(0).run().unwrap_err();
+    assert!(matches!(err, OrchestratorError::InvalidWorkers), "got {err}");
+    let err = orchestrate(&cfg, 2, options(0, false, 1)).unwrap_err();
+    assert!(matches!(err, OrchestratorError::InvalidWorkers), "got {err}");
+    let err = Scheduler::new(options(0, false, 1)).run(&[cfg]).unwrap_err();
+    assert!(matches!(err, OrchestratorError::InvalidWorkers), "got {err}");
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_reproduce_the_builder_output() {
+    // The 0.2 entry points survive as shims over the builder; they must
+    // keep producing bit-identical results until they are removed.
+    let cfg = config(ApproachKind::Llm4Fp, 20, 3);
+    let builder = run_sharded(&cfg, 3);
+    let shim = Orchestrator::run_sharded(&cfg, 3);
+    assert_results_identical(&shim, &builder, "run_sharded shim");
+    let builder = run_sharded_epochs(&cfg, 3, 2);
+    let shim = Orchestrator::run_sharded_epochs(&cfg, 3, 2);
+    assert_results_identical(&shim, &builder, "run_sharded_epochs shim");
+
+    let configs = vec![cfg.clone(), config(ApproachKind::Varity, 12, 5)];
+    let builder = Scheduler::new(options(2, true, 2)).shards(2).run(&configs).unwrap();
+    let shim = Scheduler::new(options(2, true, 2)).run_suite(&configs, 2);
+    assert_eq!(shim.len(), builder.len());
+    for (s, b) in shim.iter().zip(&builder) {
+        assert_results_identical(&s.result, &b.result, "run_suite shim");
+    }
+    // And the old zero-worker tolerance is preserved by the shim alone.
+    let clamped = Scheduler::new(options(0, false, 1)).run_suite(&configs, 2);
+    assert_eq!(clamped.len(), configs.len());
 }
 
 #[test]

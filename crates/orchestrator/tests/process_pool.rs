@@ -1,0 +1,192 @@
+//! The out-of-process transport's load-bearing guarantee, exercised
+//! against real `llm4fp-worker` daemons: a process-pool run is
+//! bit-identical to the in-process run for any `(K, E, worker_procs)` —
+//! including under an injected worker crash (the job redispatches to a
+//! respawned daemon) and under a stalled worker (the per-shard timeout
+//! kills the process group and redispatches). The merged `metrics.json`
+//! flight recorder is byte-identical across transports, which is what
+//! the CI smoke campaign asserts end to end.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use llm4fp::{ApproachKind, CampaignConfig, CampaignResult};
+use llm4fp_orchestrator::{
+    OrchestratedResult, Orchestrator, OrchestratorOptions, ProcessPoolExecutor, Scheduler,
+};
+use llm4fp_telemetry::TelemetrySpec;
+
+/// Cargo builds the worker daemon alongside the test binary and hands us
+/// its path; `with_worker_bin` skips the sibling-binary search.
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_llm4fp-worker"))
+}
+
+fn pool(worker_procs: usize) -> ProcessPoolExecutor {
+    ProcessPoolExecutor::new(worker_procs).with_worker_bin(worker_bin())
+}
+
+fn config(approach: ApproachKind, budget: usize, seed: u64) -> CampaignConfig {
+    CampaignConfig::new(approach).with_budget(budget).with_seed(seed).with_threads(1)
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("llm4fp-orchestrator-tests")
+        .join(format!("pp-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn in_process(config: &CampaignConfig, shards: usize, epochs: usize) -> OrchestratedResult {
+    Orchestrator::new(config.clone()).shards(shards).epochs(epochs).run().unwrap()
+}
+
+fn on_pool(
+    config: &CampaignConfig,
+    shards: usize,
+    epochs: usize,
+    executor: ProcessPoolExecutor,
+) -> OrchestratedResult {
+    Orchestrator::new(config.clone())
+        .shards(shards)
+        .epochs(epochs)
+        .executor(Arc::new(executor))
+        .run()
+        .unwrap()
+}
+
+/// Transport equivalence compares everything deterministic. (`RunStats`
+/// wall-clock fields and `peak_regs` are runtime artifacts, not part of
+/// the contract.)
+fn assert_results_identical(a: &CampaignResult, b: &CampaignResult, what: &str) {
+    assert_eq!(a.records, b.records, "{what}: records differ");
+    assert_eq!(a.sources, b.sources, "{what}: sources differ");
+    assert_eq!(a.successful_sources, b.successful_sources, "{what}: successful sets differ");
+    assert_eq!(a.aggregates, b.aggregates, "{what}: aggregates differ");
+    assert_eq!(a.generation_failures, b.generation_failures, "{what}: failures differ");
+    assert_eq!(a.llm_calls, b.llm_calls, "{what}: llm calls differ");
+    assert_eq!(a.simulated_llm_time, b.simulated_llm_time, "{what}: llm time differs");
+}
+
+#[test]
+fn process_pool_matches_in_process_bit_for_bit() {
+    let config = config(ApproachKind::Llm4Fp, 24, 7);
+    for epochs in [1usize, 3] {
+        let reference = in_process(&config, 4, epochs);
+        for worker_procs in [1usize, 2, 4] {
+            let pooled = on_pool(&config, 4, epochs, pool(worker_procs));
+            assert_results_identical(
+                &pooled.result,
+                &reference.result,
+                &format!("E={epochs} procs={worker_procs}"),
+            );
+            assert_eq!(pooled.stats.shards, reference.stats.shards);
+            assert_eq!(pooled.stats.epochs, epochs);
+        }
+    }
+}
+
+#[test]
+fn process_pool_k1_matches_the_sequential_campaign() {
+    let config = config(ApproachKind::Varity, 12, 19);
+    let sequential = llm4fp::Campaign::new(config.clone()).run();
+    let pooled = on_pool(&config, 1, 1, pool(2));
+    assert_results_identical(&pooled.result, &sequential, "process pool K=1");
+}
+
+#[test]
+fn metrics_json_is_byte_identical_across_transports() {
+    // The telemetry counters a worker daemon ships home must merge into
+    // the exact bytes the in-process transport writes: metrics.json is
+    // the cross-transport determinism witness the CI smoke relies on.
+    let config = config(ApproachKind::Llm4Fp, 18, 9);
+    let mut reference: Option<String> = None;
+    let executors: [Option<ProcessPoolExecutor>; 2] = [None, Some(pool(3))];
+    for (tag, executor) in ["in-process", "process-pool"].into_iter().zip(executors) {
+        let root = temp_dir(&format!("metrics-{tag}"));
+        let mut builder = Orchestrator::new(config.clone())
+            .shards(3)
+            .epochs(2)
+            .run_dir(root.clone())
+            .telemetry(TelemetrySpec::METRICS);
+        if let Some(executor) = executor {
+            builder = builder.executor(Arc::new(executor));
+        }
+        let orchestrated = builder.run().unwrap();
+        assert_eq!(orchestrated.stats.shards_computed, 3, "{tag}");
+        let bytes = std::fs::read_to_string(root.join("metrics.json"))
+            .expect("metrics.json written for a fully computed run");
+        match &reference {
+            None => reference = Some(bytes),
+            Some(expected) => {
+                assert_eq!(&bytes, expected, "metrics.json must not depend on the transport")
+            }
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
+#[test]
+fn worker_crash_redispatches_and_stays_bit_identical() {
+    // Worker slot 0's first daemon dies with exit(101) upon receiving
+    // its first job, before answering. The coordinator must detect the
+    // broken pipe, kill the remains, respawn a clean daemon, and replay
+    // the job — with no trace in the results.
+    let config = config(ApproachKind::Llm4Fp, 20, 5);
+    for epochs in [1usize, 2] {
+        let reference = in_process(&config, 4, epochs);
+        let crashing = pool(2)
+            .with_first_worker_env([("LLM4FP_WORKER_CRASH_AT_JOB".to_string(), "1".to_string())]);
+        let survived = on_pool(&config, 4, epochs, crashing);
+        assert_results_identical(
+            &survived.result,
+            &reference.result,
+            &format!("crash redispatch E={epochs}"),
+        );
+    }
+}
+
+#[test]
+fn stalled_worker_is_killed_and_its_job_redispatched() {
+    // Worker slot 0's first daemon stalls far past the shard timeout on
+    // every job it receives. The coordinator must give up on it, kill
+    // its process group, and redispatch to a clean respawn — again with
+    // bit-identical results.
+    let config = config(ApproachKind::Varity, 12, 3);
+    let reference = in_process(&config, 3, 1);
+    let stalling = pool(2)
+        .with_first_worker_env([("LLM4FP_WORKER_STALL_MS".to_string(), "60000".to_string())])
+        .with_shard_timeout(Duration::from_millis(500));
+    let survived = on_pool(&config, 3, 1, stalling);
+    assert_results_identical(&survived.result, &reference.result, "stall timeout redispatch");
+}
+
+#[test]
+fn scheduler_suites_run_on_the_process_pool() {
+    // The suite scheduler is transport-agnostic through the same seam:
+    // a multi-campaign suite farmed to worker daemons must match the
+    // in-process suite campaign for campaign.
+    let configs: Vec<CampaignConfig> =
+        [ApproachKind::Varity, ApproachKind::Llm4Fp].iter().map(|&a| config(a, 12, 8)).collect();
+    let options = OrchestratorOptions { workers: 2, epochs: 2, ..Default::default() };
+    let reference = Scheduler::new(options.clone()).shards(2).run(&configs).unwrap();
+    let pooled =
+        Scheduler::new(options).shards(2).executor(Arc::new(pool(3))).run(&configs).unwrap();
+    assert_eq!(pooled.len(), reference.len());
+    for (p, r) in pooled.iter().zip(&reference) {
+        assert_results_identical(&p.result, &r.result, "suite on process pool");
+        // The pool cannot share an in-memory cache across processes, so
+        // the scheduler must not report (or rely on) cache stats.
+        assert!(p.stats.cache.is_none(), "no shared-cache stats over the process pool");
+    }
+}
+
+#[test]
+fn missing_worker_binary_is_a_typed_executor_error() {
+    let config = config(ApproachKind::Varity, 4, 1);
+    let executor = ProcessPoolExecutor::new(2).with_worker_bin("/nonexistent/llm4fp-worker");
+    let err = Orchestrator::new(config).shards(2).executor(Arc::new(executor)).run().unwrap_err();
+    assert!(matches!(err, llm4fp_orchestrator::OrchestratorError::Executor(_)), "got {err}");
+}

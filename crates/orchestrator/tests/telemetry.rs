@@ -18,6 +18,14 @@ fn options(workers: usize, epochs: usize, telemetry: TelemetrySpec) -> Orchestra
     OrchestratorOptions { workers, epochs, telemetry, ..OrchestratorOptions::default() }
 }
 
+fn orchestrate(
+    config: &CampaignConfig,
+    shards: usize,
+    opts: OrchestratorOptions,
+) -> llm4fp_orchestrator::OrchestratedResult {
+    Orchestrator::new(config.clone()).options(opts).shards(shards).run().unwrap()
+}
+
 fn temp_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir()
         .join("llm4fp-orchestrator-tests")
@@ -39,11 +47,10 @@ fn results_are_bit_identical_with_telemetry_on_or_off() {
     for approach in [ApproachKind::Varity, ApproachKind::Llm4Fp] {
         let config = config(approach, 16, 33);
         for epochs in [1usize, 2] {
-            let off =
-                Orchestrator::new(options(2, epochs, TelemetrySpec::OFF)).run(&config, 2).unwrap();
+            let off = orchestrate(&config, 2, options(2, epochs, TelemetrySpec::OFF));
             assert!(off.stats.telemetry.is_none(), "telemetry off leaves no summary");
             for spec in [TelemetrySpec::METRICS, TelemetrySpec::TRACE] {
-                let on = Orchestrator::new(options(2, epochs, spec)).run(&config, 2).unwrap();
+                let on = orchestrate(&config, 2, options(2, epochs, spec));
                 assert_results_identical(
                     &on.result,
                     &off.result,
@@ -67,12 +74,14 @@ fn metrics_json_is_byte_identical_across_worker_counts() {
     let mut reference: Option<String> = None;
     for (tag, workers) in [("w1", 1usize), ("w4", 4)] {
         let root = temp_dir(&format!("workers-{tag}"));
-        let orchestrated = Orchestrator::new(OrchestratorOptions {
-            run_dir: Some(root.clone()),
-            ..options(workers, 2, TelemetrySpec::METRICS)
-        })
-        .run(&config, 3)
-        .unwrap();
+        let orchestrated = orchestrate(
+            &config,
+            3,
+            OrchestratorOptions {
+                run_dir: Some(root.clone()),
+                ..options(workers, 2, TelemetrySpec::METRICS)
+            },
+        );
         assert_eq!(orchestrated.stats.shards_computed, 3);
         let bytes = std::fs::read_to_string(root.join("metrics.json"))
             .expect("metrics.json written for a fully computed run");
@@ -96,12 +105,11 @@ fn metrics_json_is_byte_identical_across_worker_counts() {
 fn trace_runs_write_chrome_trace_lines_and_a_loadable_report() {
     let config = config(ApproachKind::Varity, 10, 5);
     let root = temp_dir("trace");
-    let orchestrated = Orchestrator::new(OrchestratorOptions {
-        run_dir: Some(root.clone()),
-        ..options(2, 1, TelemetrySpec::TRACE)
-    })
-    .run(&config, 2)
-    .unwrap();
+    let orchestrated = orchestrate(
+        &config,
+        2,
+        OrchestratorOptions { run_dir: Some(root.clone()), ..options(2, 1, TelemetrySpec::TRACE) },
+    );
     let summary = orchestrated.stats.telemetry.expect("summary present");
     assert!(summary.trace_events > 0);
 
@@ -138,14 +146,14 @@ fn resume_with_telemetry_files_present_stays_bit_identical() {
         run_dir: Some(root.clone()),
         ..options(2, 1, TelemetrySpec::TRACE)
     };
-    let full = Orchestrator::new(persisted()).run(&config, 4).unwrap();
+    let full = orchestrate(&config, 4, persisted());
     let metrics_before = std::fs::read_to_string(root.join("metrics.json")).unwrap();
     assert!(root.join("trace.jsonl").exists());
 
     // Interrupt: one shard recomputes while metrics.json and trace.jsonl
     // from the complete run sit in the directory.
     std::fs::remove_file(root.join("shards").join("shard-0002.jsonl")).unwrap();
-    let resumed = Orchestrator::new(persisted()).run(&config, 4).unwrap();
+    let resumed = orchestrate(&config, 4, persisted());
     assert_eq!(resumed.stats.shards_reused, 3);
     assert_eq!(resumed.stats.shards_computed, 1);
     assert_results_identical(&resumed.result, &full.result, "resume with telemetry files");
@@ -177,10 +185,11 @@ fn scheduler_suites_report_per_campaign_telemetry_and_wall_times() {
         [ApproachKind::Varity, ApproachKind::Llm4Fp].iter().map(|&a| config(a, 12, 8)).collect();
 
     let started = std::time::Instant::now();
-    let suite = Scheduler::new(options(2, 2, TelemetrySpec::METRICS)).run_suite(&configs, 2);
+    let suite =
+        Scheduler::new(options(2, 2, TelemetrySpec::METRICS)).shards(2).run(&configs).unwrap();
     let suite_elapsed = started.elapsed();
 
-    let off = Scheduler::new(options(2, 2, TelemetrySpec::OFF)).run_suite(&configs, 2);
+    let off = Scheduler::new(options(2, 2, TelemetrySpec::OFF)).shards(2).run(&configs).unwrap();
     for (on, off) in suite.iter().zip(&off) {
         assert_results_identical(&on.result, &off.result, "scheduler telemetry on/off");
         assert!(off.stats.telemetry.is_none());
@@ -215,13 +224,15 @@ mod external_backend {
         let mut reference: Option<String> = None;
         for (tag, workers, slots) in [("w1s1", 1usize, 1usize), ("w4s8", 4, 8)] {
             let root = temp_dir(&format!("ext-{tag}"));
-            let orchestrated = Orchestrator::new(OrchestratorOptions {
-                run_dir: Some(root.clone()),
-                process_slots: slots,
-                ..options(workers, 1, TelemetrySpec::METRICS)
-            })
-            .run(&config, 2)
-            .unwrap();
+            let orchestrated = orchestrate(
+                &config,
+                2,
+                OrchestratorOptions {
+                    run_dir: Some(root.clone()),
+                    process_slots: slots,
+                    ..options(workers, 1, TelemetrySpec::METRICS)
+                },
+            );
             assert_eq!(orchestrated.stats.shards_computed, 2);
             let bytes = std::fs::read_to_string(root.join("metrics.json")).unwrap();
             match &reference {

@@ -1,0 +1,136 @@
+//! Property tests for the coordinator ↔ worker wire contract: every
+//! payload the process-pool transport can ship — jobs fresh or
+//! checkpointed, results with deltas, checkpoints, outputs and telemetry
+//! counters — survives a frame round trip byte-for-byte equal. This is
+//! the serialization half of the transport-equivalence guarantee: if
+//! round-tripping ever lost information, `process_pool.rs`'s
+//! bit-identity tests would fail only for the affected field, whereas
+//! these pin the wire layer in isolation.
+
+use llm4fp::{ApproachKind, CampaignConfig};
+use llm4fp_orchestrator::wire::{read_frame, write_frame, ShardJob, ShardJobResult, WireRequest};
+use llm4fp_orchestrator::{plan_shards, run_shard, ShardCtx, ShardRunner};
+use llm4fp_telemetry::{TelemetryHub, TelemetrySpec};
+use proptest::prelude::*;
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let mut buf = Vec::new();
+    write_frame(&mut buf, value).expect("frame encodes");
+    read_frame(&mut buf.as_slice()).expect("frame decodes")
+}
+
+fn config(approach: usize, budget: usize, seed: u64) -> CampaignConfig {
+    let approach = ApproachKind::ALL[approach % ApproachKind::ALL.len()];
+    CampaignConfig::new(approach).with_budget(budget).with_seed(seed).with_threads(1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fresh_jobs_round_trip(
+        seed in any::<u64>(),
+        approach in 0usize..8,
+        budget in 1usize..12,
+        shards in 1usize..5,
+        segment in 0usize..12,
+        finish in any::<bool>(),
+        slots in 1usize..9,
+        telemetry in any::<bool>(),
+    ) {
+        let config = config(approach, budget, seed);
+        for spec in plan_shards(&config, shards) {
+            let job = ShardJob {
+                config: config.clone(),
+                spec,
+                segment,
+                finish,
+                checkpoint: None,
+                process_slots: slots,
+                telemetry,
+            };
+            let request = WireRequest::Job(Box::new(job));
+            prop_assert_eq!(round_trip(&request), request);
+        }
+    }
+
+    #[test]
+    fn checkpointed_jobs_round_trip(
+        seed in any::<u64>(),
+        approach in 0usize..8,
+        budget in 2usize..8,
+        segment in 1usize..4,
+    ) {
+        // A mid-campaign job carries real runner state: pause an actual
+        // runner after a partial segment and ship its checkpoint.
+        let config = config(approach, budget, seed);
+        let spec = plan_shards(&config, 2)[1];
+        let mut runner = ShardRunner::new(&config, spec, None);
+        runner.run_segment(segment.min(spec.budget), |_| {});
+        let job = ShardJob {
+            config: config.clone(),
+            spec,
+            segment: spec.budget - segment.min(spec.budget),
+            finish: true,
+            checkpoint: Some(runner.checkpoint()),
+            process_slots: 1,
+            telemetry: false,
+        };
+        let request = WireRequest::Job(Box::new(job));
+        prop_assert_eq!(round_trip(&request), request);
+    }
+
+    #[test]
+    fn results_round_trip(
+        seed in any::<u64>(),
+        approach in 0usize..8,
+        budget in 1usize..10,
+        with_telemetry in any::<bool>(),
+    ) {
+        // A finished shard's answer: real output, real counters.
+        let config = config(approach, budget, seed);
+        let spec = plan_shards(&config, 1)[0];
+        let hub = TelemetryHub::new(if with_telemetry {
+            TelemetrySpec::METRICS
+        } else {
+            TelemetrySpec::OFF
+        });
+        let ctx = ShardCtx::new(&config).with_telemetry(hub.lane(0));
+        let output = run_shard(&spec, &ctx);
+        let result = ShardJobResult {
+            index: spec.index,
+            delta: output.successful_sources.clone(),
+            checkpoint: None,
+            output: Some(output),
+            telemetry: hub.lane(0).export(),
+        };
+        prop_assert_eq!(with_telemetry, result.telemetry.is_some());
+        prop_assert_eq!(round_trip(&result), result);
+    }
+
+    #[test]
+    fn paused_results_round_trip(
+        seed in any::<u64>(),
+        approach in 0usize..8,
+        budget in 2usize..8,
+        segment in 1usize..4,
+    ) {
+        // A paused shard's answer: the delta plus the checkpoint that
+        // the next epoch's job will carry back out.
+        let config = config(approach, budget, seed);
+        let spec = plan_shards(&config, 2)[0];
+        let mut runner = ShardRunner::new(&config, spec, None);
+        let delta = runner.run_segment(segment.min(spec.budget), |_| {});
+        let result = ShardJobResult {
+            index: spec.index,
+            delta,
+            checkpoint: Some(runner.checkpoint()),
+            output: None,
+            telemetry: None,
+        };
+        prop_assert_eq!(round_trip(&result), result);
+    }
+}

@@ -4,6 +4,8 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use serde::{Deserialize, Serialize};
+
 use crate::report::{MetricsReport, TelemetrySummary};
 use crate::{keys, Telemetry, TelemetrySpec};
 
@@ -92,6 +94,30 @@ impl TraceEvent {
     }
 }
 
+/// A serializable snapshot of one lane's counter state — the part of a
+/// collector that feeds the deterministic [`MetricsReport`]. This is the
+/// wire format out-of-process workers use to ship their metrics home:
+/// plain counters sum when absorbed, keyed counters union by id with
+/// first-writer-wins — exactly the lane-merge semantics of
+/// [`TelemetryHub::metrics`], so a campaign farmed to worker processes
+/// reports byte-identical metrics to an in-process run. Histograms and
+/// trace events are deliberately absent: they carry wall-clock data,
+/// which never participates in `metrics.json`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Plain counters (deterministic by construction at the call sites).
+    pub counters: BTreeMap<String, u64>,
+    /// Keyed counters: metric key → (stable id → contribution).
+    pub keyed: BTreeMap<String, BTreeMap<u64, u64>>,
+}
+
+impl CounterSnapshot {
+    /// True when the snapshot carries no contributions at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.keyed.is_empty()
+    }
+}
+
 /// The per-lane sink behind enabled [`Telemetry`] handles. Interior
 /// mutability keeps the recording API `&self` (lanes are shared across
 /// a shard's worker threads); each category sits behind its own lock so
@@ -161,6 +187,23 @@ impl Collector {
                 let mut histogram = DurationHistogram::default();
                 histogram.observe(duration);
                 histograms.insert(key.to_string(), histogram);
+            }
+        }
+    }
+
+    pub(crate) fn export(&self) -> CounterSnapshot {
+        CounterSnapshot { counters: lock(&self.counters).clone(), keyed: lock(&self.keyed).clone() }
+    }
+
+    pub(crate) fn absorb(&self, snapshot: &CounterSnapshot) {
+        for (key, &n) in &snapshot.counters {
+            self.add(key, n);
+        }
+        let mut keyed = lock(&self.keyed);
+        for (key, ids) in &snapshot.keyed {
+            let mine = keyed.entry(key.clone()).or_default();
+            for (&id, &n) in ids {
+                mine.entry(id).or_insert(n);
             }
         }
     }

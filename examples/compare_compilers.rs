@@ -17,7 +17,7 @@
 
 use llm4fp_suite::core::report::{table4, table5};
 use llm4fp_suite::core::{ApproachKind, BackendSpec, CampaignConfig, ExternalBackendSpec};
-use llm4fp_suite::orchestrator::{Orchestrator, OrchestratorOptions};
+use llm4fp_suite::orchestrator::Orchestrator;
 
 fn main() {
     let budget = 60;
@@ -26,20 +26,17 @@ fn main() {
         "generating and testing {budget} programs per approach \
          (Varity and LLM4FP, {shards} shards)...\n"
     );
-    let varity = Orchestrator::run_sharded(
-        &CampaignConfig::new(ApproachKind::Varity)
-            .with_budget(budget)
-            .with_seed(2024)
-            .with_threads(4),
-        shards,
-    );
-    let llm4fp = Orchestrator::run_sharded(
-        &CampaignConfig::new(ApproachKind::Llm4Fp)
-            .with_budget(budget)
-            .with_seed(2024)
-            .with_threads(4),
-        shards,
-    );
+    let run = |approach| {
+        Orchestrator::new(
+            CampaignConfig::new(approach).with_budget(budget).with_seed(2024).with_threads(4),
+        )
+        .shards(shards)
+        .run()
+        .expect("in-memory run")
+        .result
+    };
+    let varity = run(ApproachKind::Varity);
+    let llm4fp = run(ApproachKind::Llm4Fp);
 
     println!(
         "Varity : {:5.2}% inconsistency rate ({} inconsistencies)",
@@ -117,13 +114,12 @@ fn external_section() {
          (4 shards, 2 process slots)...",
         config.programs, configs_per_program
     );
-    let orchestrated = Orchestrator::new(OrchestratorOptions {
-        workers: 4,
-        process_slots: 2,
-        ..OrchestratorOptions::default()
-    })
-    .run(&config, 4)
-    .expect("in-memory orchestrated run cannot fail");
+    let orchestrated = Orchestrator::new(config.clone())
+        .shards(4)
+        .workers(4)
+        .process_slots(2)
+        .run()
+        .expect("in-memory orchestrated run cannot fail");
     let result = &orchestrated.result;
     println!("real-toolchain campaign: {}", orchestrated.stats.summary_line());
     println!(

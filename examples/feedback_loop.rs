@@ -12,7 +12,7 @@
 use llm4fp_suite::compiler::{CompilerId, OptLevel};
 use llm4fp_suite::core::{ApproachKind, CampaignConfig};
 use llm4fp_suite::metrics::CloneType;
-use llm4fp_suite::orchestrator::{plan_shards, Orchestrator, OrchestratorOptions};
+use llm4fp_suite::orchestrator::{plan_shards, Orchestrator};
 
 fn main() {
     let config =
@@ -30,13 +30,12 @@ fn main() {
         epochs,
         run_dir.display()
     );
-    let orchestrated = Orchestrator::new(OrchestratorOptions {
-        run_dir: Some(run_dir.clone()),
-        epochs,
-        ..OrchestratorOptions::default()
-    })
-    .run(&config, shards)
-    .expect("orchestrated run");
+    let orchestrated = Orchestrator::new(config.clone())
+        .shards(shards)
+        .epochs(epochs)
+        .run_dir(run_dir.clone())
+        .run()
+        .expect("orchestrated run");
     let result = &orchestrated.result;
     let stats = &orchestrated.stats;
 
@@ -103,7 +102,12 @@ fn main() {
         sparse.programs
     );
     for (label, epochs) in [("isolated shards (E=1)", 1usize), ("exchange (E=4)", 4)] {
-        let run = Orchestrator::run_sharded_epochs(&sparse, sparse_shards, epochs);
+        let run = Orchestrator::new(sparse.clone())
+            .shards(sparse_shards)
+            .epochs(epochs)
+            .run()
+            .expect("in-memory run")
+            .result;
         // Feedback activation per shard: how many programs into its slice
         // the shard first drew a mutation seed. Isolated shards must each
         // bootstrap their own pool; exchanged shards get the global pool
