@@ -45,19 +45,36 @@
 //!   `trace_event`-compatible `trace.jsonl` is written (implies metrics);
 //! * `--no-metrics` — disable telemetry counters/histograms entirely
 //!   (they are on by default for experiment runs; campaign results are
-//!   bit-identical either way).
+//!   bit-identical either way);
+//! * `--max-dispatch-attempts N` — per-shard-job dispatch budget for
+//!   `--executor process-pool` (default 3; crashes and timeouts consume
+//!   attempts, results stay bit-identical across redispatch);
+//! * `--shard-timeout-ms N` — straggler/stall timeout per shard job for
+//!   `--executor process-pool`;
+//! * `--on-shard-failure abort|quarantine` — what happens when a shard
+//!   job exhausts its dispatch budget (default `abort`; `quarantine`
+//!   completes the surviving shards and reports the casualties in the
+//!   run stats);
+//! * `--fallback-in-process` — degrade to the in-process executor (same
+//!   results) when the process-pool transport cannot spawn workers;
+//! * `--fault-plan PATH` — chaos testing: load a JSON
+//!   `llm4fp_orchestrator::FaultPlan` and inject its worker/persistence
+//!   faults into the run (deterministic supervision means an abort-mode
+//!   run that survives a fault plan is bit-identical to a fault-free
+//!   run).
 
 #![deny(unsafe_code)]
 
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 use llm4fp::{
     ApproachKind, BackendSpec, CampaignConfig, CampaignResult, ExternalBackendSpec, SealMode,
 };
 use llm4fp_orchestrator::{
-    default_workers, OrchestratedResult, Orchestrator, OrchestratorOptions, ProcessPoolExecutor,
-    Scheduler, ShardExecutor,
+    default_workers, FailurePolicy, FaultPlan, OrchestratedResult, Orchestrator,
+    OrchestratorOptions, ProcessPoolExecutor, Scheduler, ShardExecutor,
 };
 use llm4fp_telemetry::TelemetrySpec;
 
@@ -113,6 +130,22 @@ pub struct ExpOptions {
     /// Worker daemon count for `--executor process-pool`
     /// (`--worker-procs`; 0 = available parallelism).
     pub worker_procs: usize,
+    /// Dispatch budget per shard job for `--executor process-pool`
+    /// (`--max-dispatch-attempts`; 0 = transport default).
+    pub max_dispatch_attempts: u8,
+    /// Straggler/stall timeout per shard job for `--executor
+    /// process-pool` (`--shard-timeout-ms`; 0 = transport default).
+    pub shard_timeout_ms: u64,
+    /// What to do when a shard job exhausts its dispatch budget
+    /// (`--on-shard-failure abort|quarantine`).
+    pub on_shard_failure: FailurePolicy,
+    /// Degrade to the in-process executor when the selected transport's
+    /// workers cannot be spawned (`--fallback-in-process`).
+    pub fallback_in_process: bool,
+    /// Deterministic chaos-testing plan loaded from `--fault-plan PATH`:
+    /// worker faults ship to the process-pool transport, persistence
+    /// faults to the run directory.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ExpOptions {
@@ -132,6 +165,11 @@ impl Default for ExpOptions {
             run_dir: None,
             executor: CliExecutor::InProcess,
             worker_procs: 0,
+            max_dispatch_attempts: 0,
+            shard_timeout_ms: 0,
+            on_shard_failure: FailurePolicy::default(),
+            fallback_in_process: false,
+            fault_plan: None,
         }
     }
 }
@@ -195,6 +233,39 @@ impl ExpOptions {
                     opts.worker_procs =
                         v.parse().map_err(|_| format!("invalid --worker-procs {v}"))?;
                 }
+                "--max-dispatch-attempts" => {
+                    let v = iter.next().ok_or("--max-dispatch-attempts needs a value")?;
+                    opts.max_dispatch_attempts =
+                        v.parse().map_err(|_| format!("invalid --max-dispatch-attempts {v}"))?;
+                    if opts.max_dispatch_attempts == 0 {
+                        return Err("--max-dispatch-attempts must be at least 1".into());
+                    }
+                }
+                "--shard-timeout-ms" => {
+                    let v = iter.next().ok_or("--shard-timeout-ms needs a value")?;
+                    opts.shard_timeout_ms =
+                        v.parse().map_err(|_| format!("invalid --shard-timeout-ms {v}"))?;
+                    if opts.shard_timeout_ms == 0 {
+                        return Err("--shard-timeout-ms must be positive".into());
+                    }
+                }
+                "--on-shard-failure" => {
+                    let v = iter.next().ok_or("--on-shard-failure needs a value")?;
+                    opts.on_shard_failure = match v.as_str() {
+                        "abort" => FailurePolicy::Abort,
+                        "quarantine" => FailurePolicy::Quarantine,
+                        other => return Err(format!("invalid --on-shard-failure `{other}`")),
+                    };
+                }
+                "--fallback-in-process" => opts.fallback_in_process = true,
+                "--fault-plan" => {
+                    let v = iter.next().ok_or("--fault-plan needs a path")?;
+                    let text = std::fs::read_to_string(&v)
+                        .map_err(|e| format!("cannot read --fault-plan {v}: {e}"))?;
+                    let plan: FaultPlan = serde_json::from_str(&text)
+                        .map_err(|e| format!("cannot parse --fault-plan {v}: {e}"))?;
+                    opts.fault_plan = Some(plan);
+                }
                 "--no-seal-opt" => opts.seal_opt = false,
                 "--trace" => opts.trace = true,
                 "--no-metrics" => opts.metrics = false,
@@ -207,7 +278,10 @@ impl ExpOptions {
                          [--shards K] [--epochs E] [--workers W] \
                          [--backend virtual|extcc] [--process-slots P] [--no-seal-opt] \
                          [--run-dir PATH] [--trace] [--no-metrics] \
-                         [--executor in-process|process-pool] [--worker-procs N]"
+                         [--executor in-process|process-pool] [--worker-procs N] \
+                         [--max-dispatch-attempts N] [--shard-timeout-ms N] \
+                         [--on-shard-failure abort|quarantine] [--fallback-in-process] \
+                         [--fault-plan PATH]"
                         .into())
                 }
                 other => return Err(format!("unknown argument `{other}`")),
@@ -321,18 +395,39 @@ impl ExpOptions {
             },
             run_dir: self.run_dir.clone(),
             telemetry: self.telemetry_spec(),
+            fallback_to_in_process: self.fallback_in_process,
+            persist_faults: self
+                .fault_plan
+                .as_ref()
+                .map(|plan| plan.persist.clone())
+                .unwrap_or_default(),
         }
     }
 
     /// The shard transport these options select, or `None` for the
-    /// orchestrator's in-process default.
+    /// orchestrator's in-process default. The process-pool transport
+    /// picks up the supervision knobs (`--max-dispatch-attempts`,
+    /// `--shard-timeout-ms`, `--on-shard-failure`) and the worker half
+    /// of any `--fault-plan`.
     pub fn shard_executor(&self) -> Option<Arc<dyn ShardExecutor>> {
         match self.executor {
             CliExecutor::InProcess => None,
             CliExecutor::ProcessPool => {
                 let procs =
                     if self.worker_procs == 0 { default_workers() } else { self.worker_procs };
-                Some(Arc::new(ProcessPoolExecutor::new(procs)))
+                let mut executor =
+                    ProcessPoolExecutor::new(procs).on_shard_failure(self.on_shard_failure);
+                if self.max_dispatch_attempts != 0 {
+                    executor = executor.max_dispatch_attempts(self.max_dispatch_attempts);
+                }
+                if self.shard_timeout_ms != 0 {
+                    executor =
+                        executor.with_shard_timeout(Duration::from_millis(self.shard_timeout_ms));
+                }
+                if let Some(plan) = &self.fault_plan {
+                    executor = executor.with_fault_plan(plan.clone());
+                }
+                Some(Arc::new(executor))
             }
         }
     }
@@ -433,6 +528,14 @@ mod tests {
 
     #[test]
     fn option_parsing_handles_all_flags() {
+        // A real fault-plan file for --fault-plan to load.
+        let plan_path = std::env::temp_dir()
+            .join(format!("llm4fp-bench-fault-plan-{}.json", std::process::id()));
+        std::fs::write(
+            &plan_path,
+            r#"{"first_worker":[{"CrashAtJob":1}],"persist":[{"TornWrite":"checkpoint"}]}"#,
+        )
+        .unwrap();
         let opts = ExpOptions::parse(
             [
                 "--programs",
@@ -459,10 +562,25 @@ mod tests {
                 "process-pool",
                 "--worker-procs",
                 "6",
+                "--max-dispatch-attempts",
+                "5",
+                "--shard-timeout-ms",
+                "2500",
+                "--on-shard-failure",
+                "quarantine",
+                "--fallback-in-process",
+                "--fault-plan",
+                plan_path.to_str().unwrap(),
             ]
             .map(String::from),
         )
         .unwrap();
+        std::fs::remove_file(&plan_path).ok();
+        let expected_plan = FaultPlan {
+            first_worker: vec![llm4fp_orchestrator::WorkerFault::CrashAtJob(1)],
+            persist: vec![llm4fp_orchestrator::PersistFault::TornWrite("checkpoint".into())],
+            ..FaultPlan::default()
+        };
         assert_eq!(
             opts,
             ExpOptions {
@@ -480,8 +598,16 @@ mod tests {
                 run_dir: Some(PathBuf::from("/tmp/llm4fp-run")),
                 executor: CliExecutor::ProcessPool,
                 worker_procs: 6,
+                max_dispatch_attempts: 5,
+                shard_timeout_ms: 2500,
+                on_shard_failure: FailurePolicy::Quarantine,
+                fallback_in_process: true,
+                fault_plan: Some(expected_plan.clone()),
             }
         );
+        let options = opts.orchestrator_options();
+        assert!(options.fallback_to_in_process);
+        assert_eq!(options.persist_faults, expected_plan.persist);
         assert_eq!(opts.telemetry_spec(), TelemetrySpec::TRACE);
         assert!(opts.shard_executor().is_some(), "process-pool selects an executor");
         assert!(ExpOptions::default().shard_executor().is_none(), "in-process is the default");
@@ -497,6 +623,17 @@ mod tests {
         assert!(ExpOptions::parse(["--programs".to_string(), "0".to_string()]).is_err());
         assert!(ExpOptions::parse(["--shards".to_string(), "0".to_string()]).is_err());
         assert!(ExpOptions::parse(["--epochs".to_string(), "0".to_string()]).is_err());
+        assert!(
+            ExpOptions::parse(["--max-dispatch-attempts".to_string(), "0".to_string()]).is_err(),
+            "a zero dispatch budget is rejected at the CLI boundary"
+        );
+        assert!(ExpOptions::parse(["--shard-timeout-ms".to_string(), "0".to_string()]).is_err());
+        assert!(ExpOptions::parse(["--on-shard-failure".to_string(), "bogus".to_string()]).is_err());
+        assert!(
+            ExpOptions::parse(["--fault-plan".to_string(), "/nonexistent/plan.json".to_string()])
+                .is_err(),
+            "an unreadable fault plan is a parse error, not a silent no-op"
+        );
         assert_eq!(ExpOptions::parse(std::iter::empty::<String>()).unwrap(), ExpOptions::default());
     }
 

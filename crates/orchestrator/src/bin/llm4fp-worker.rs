@@ -12,27 +12,22 @@
 //! on any worker with byte-identical results, which is what makes the
 //! coordinator's crash-redispatch and straggler duplication sound.
 //!
-//! Deterministic fault-injection knobs for the orchestrator test suite
-//! (read once at startup, applied by the coordinator only to worker
-//! slot 0's first spawn):
-//!
-//! * `LLM4FP_WORKER_CRASH_AT_JOB=<n>` — exit(101) upon receiving the
-//!   n-th job, *before* answering (simulates a mid-epoch crash).
-//! * `LLM4FP_WORKER_STALL_MS=<ms>` — sleep before every answer
-//!   (simulates a straggler/hang for the timeout-kill path).
+//! Deterministic fault injection: the coordinator ships this spawn's
+//! effective [`WorkerFault`](llm4fp_orchestrator::WorkerFault) set as
+//! JSON in the `LLM4FP_FAULT_PLAN` environment variable (absent on
+//! production spawns — the per-job check is then a single branch). The
+//! [`WorkerFaultHarness`] decides per received job whether to crash,
+//! stall, simulate an external-compiler spawn error, or sabotage the
+//! answer frame (garbage bytes / a truncated frame).
 
 use std::io::{self, Write};
 use std::sync::Arc;
-use std::time::Duration;
 
 use llm4fp_difftest::ProcessBudget;
+use llm4fp_orchestrator::faults::{FrameSabotage, WorkerFaultHarness, EXIT_SABOTAGED_ANSWER};
 use llm4fp_orchestrator::wire::{self, ShardJob, ShardJobResult, WireRequest};
 use llm4fp_orchestrator::ShardRunner;
 use llm4fp_telemetry::{TelemetryHub, TelemetrySpec};
-
-fn env_number(name: &str) -> Option<u64> {
-    std::env::var(name).ok()?.trim().parse().ok()
-}
 
 /// Run one job: restore-or-create the runner, run the segment, hand the
 /// state back. Pure — everything derives from the job's bytes.
@@ -60,14 +55,33 @@ fn run_job(job: ShardJob) -> ShardJobResult {
     }
 }
 
+/// Write a deliberately broken answer in place of `result`'s frame, then
+/// exit: the stream is unusable afterwards, so the daemon does not
+/// linger. `Corrupt` sends bytes that parse as no frame header at all;
+/// `Truncate` sends a header promising the full payload but only half of
+/// the bytes, so the coordinator sees a mid-frame EOF.
+fn sabotage_answer(writer: &mut impl Write, result: &ShardJobResult, how: FrameSabotage) -> ! {
+    match how {
+        FrameSabotage::Corrupt => {
+            let _ = writer.write_all(b"!corrupt!!\n{\"not\":\"a frame\"}");
+        }
+        FrameSabotage::Truncate => {
+            let payload = serde_json::to_string(result).expect("job results always serialize");
+            let bytes = payload.as_bytes();
+            let _ = writer.write_all(format!("{:010}\n", bytes.len()).as_bytes());
+            let _ = writer.write_all(&bytes[..bytes.len() / 2]);
+        }
+    }
+    let _ = writer.flush();
+    std::process::exit(EXIT_SABOTAGED_ANSWER);
+}
+
 fn main() {
-    let crash_at_job = env_number("LLM4FP_WORKER_CRASH_AT_JOB");
-    let stall = env_number("LLM4FP_WORKER_STALL_MS").map(Duration::from_millis);
+    let mut harness = WorkerFaultHarness::from_env();
     let stdin = io::stdin();
     let stdout = io::stdout();
     let mut reader = stdin.lock();
     let mut writer = stdout.lock();
-    let mut handled: u64 = 0;
     loop {
         let request: WireRequest = match wire::read_frame(&mut reader) {
             Ok(request) => request,
@@ -82,14 +96,21 @@ fn main() {
             WireRequest::Shutdown => break,
             WireRequest::Job(job) => *job,
         };
-        handled += 1;
-        if crash_at_job == Some(handled) {
-            std::process::exit(101);
-        }
-        if let Some(stall) = stall {
-            std::thread::sleep(stall);
+        let mut answer_sabotage = None;
+        if !harness.is_empty() {
+            let sabotage = harness.on_job(job.spec.index, job.config.backend.is_external());
+            if let Some(code) = sabotage.exit_code {
+                std::process::exit(code);
+            }
+            if let Some(stall) = sabotage.stall {
+                std::thread::sleep(stall);
+            }
+            answer_sabotage = sabotage.answer;
         }
         let result = run_job(job);
+        if let Some(how) = answer_sabotage {
+            sabotage_answer(&mut writer, &result, how);
+        }
         if let Err(e) = wire::write_frame(&mut writer, &result) {
             eprintln!("llm4fp-worker: cannot answer: {e}");
             std::process::exit(2);

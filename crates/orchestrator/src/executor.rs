@@ -45,7 +45,7 @@ use llm4fp_telemetry::{keys, Telemetry};
 
 use crate::persist::PersistError;
 use crate::pool::run_indexed;
-use crate::shard::{ShardOutput, ShardRunner, ShardSpec};
+use crate::shard::{ShardFailureReport, ShardOutput, ShardRunner, ShardSpec};
 
 /// Errors from orchestrated execution.
 #[derive(Debug)]
@@ -53,12 +53,22 @@ pub enum OrchestratorError {
     /// `workers == 0` was requested. Worker counts are validated at the
     /// API boundary instead of being silently clamped.
     InvalidWorkers,
+    /// `max_dispatch_attempts == 0` was requested — a budget of zero
+    /// would fail every job before its first dispatch. Validated at the
+    /// API boundary like [`InvalidWorkers`](Self::InvalidWorkers).
+    InvalidDispatchAttempts,
     /// The persistence layer failed (run-dir I/O, manifest mismatch,
     /// corrupt files).
     Persist(PersistError),
+    /// The transport's workers cannot be spawned (or respawned) at all —
+    /// the binary is missing or every spawn attempt failed. This class
+    /// of failure is recoverable by *changing transports*: with
+    /// [`fallback_to_in_process`](crate::OrchestratorOptions::fallback_to_in_process)
+    /// the run restarts on [`InProcessExecutor`] with bit-identical
+    /// results (the determinism contract is transport-independent).
+    WorkerUnavailable(String),
     /// A shard executor failed in a way that cannot be retried away
-    /// (worker binary missing, a shard crashing repeatedly, a protocol
-    /// violation on the wire).
+    /// (a shard crashing repeatedly, a protocol violation on the wire).
     Executor(String),
 }
 
@@ -68,7 +78,13 @@ impl fmt::Display for OrchestratorError {
             OrchestratorError::InvalidWorkers => {
                 write!(f, "workers must be at least 1 (got 0)")
             }
+            OrchestratorError::InvalidDispatchAttempts => {
+                write!(f, "max_dispatch_attempts must be at least 1 (got 0)")
+            }
             OrchestratorError::Persist(e) => write!(f, "{e}"),
+            OrchestratorError::WorkerUnavailable(msg) => {
+                write!(f, "worker transport unavailable: {msg}")
+            }
             OrchestratorError::Executor(msg) => write!(f, "shard executor failed: {msg}"),
         }
     }
@@ -86,6 +102,40 @@ impl std::error::Error for OrchestratorError {
 impl From<PersistError> for OrchestratorError {
     fn from(e: PersistError) -> Self {
         OrchestratorError::Persist(e)
+    }
+}
+
+/// What a supervising transport does when one shard exhausts its dispatch
+/// budget (see
+/// [`ProcessPoolExecutor::on_shard_failure`](crate::ProcessPoolExecutor::on_shard_failure)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Fail the whole run (the default). The only policy that preserves
+    /// the determinism contract: either the full `(config, K, E)` result
+    /// exists, or no result does.
+    #[default]
+    Abort,
+    /// Quarantine the shard and complete the campaign on the survivors.
+    /// The merged result then covers only the surviving shards' budgets —
+    /// a deliberate trade of completeness for progress on hours-long
+    /// unattended runs — and every quarantined shard is named in
+    /// [`RunStats::failures`](crate::RunStats::failures) /
+    /// `summary.json` with its attempt count and last error.
+    Quarantine,
+}
+
+/// What a session produced for every task, in task order: the shard's
+/// output, or (under [`FailurePolicy::Quarantine`]) the failure report
+/// that quarantined it.
+pub struct SessionOutcome {
+    pub shards: Vec<Result<ShardOutput, ShardFailureReport>>,
+}
+
+impl SessionOutcome {
+    /// Wrap an all-successful output list (transports without a
+    /// quarantine policy).
+    pub fn all_ok(outputs: Vec<ShardOutput>) -> Self {
+        SessionOutcome { shards: outputs.into_iter().map(Ok).collect() }
     }
 }
 
@@ -190,12 +240,16 @@ pub trait ShardSession {
 
     /// Snapshot every paused task for barrier persistence. Call after
     /// [`inject`](ShardSession::inject), mirroring the runner-side
-    /// checkpoint-after-injection order.
-    fn checkpoints(&mut self) -> Result<Vec<RunnerCheckpoint>, OrchestratorError>;
+    /// checkpoint-after-injection order. `None` for a quarantined task
+    /// (it has no live state to persist); a task that simply never ran is
+    /// still an error.
+    fn checkpoints(&mut self) -> Result<Vec<Option<RunnerCheckpoint>>, OrchestratorError>;
 
-    /// Collect every task's output, in task order. Only valid after
+    /// Collect every task's outcome, in task order: its output, or — for
+    /// transports with a [`FailurePolicy::Quarantine`] policy — the
+    /// failure report explaining why it has none. Only valid after
     /// `run_epoch(.., last = true)` ran.
-    fn finish(self: Box<Self>) -> Result<Vec<ShardOutput>, OrchestratorError>;
+    fn finish(self: Box<Self>) -> Result<SessionOutcome, OrchestratorError>;
 }
 
 /// The in-process transport: shard runners on a worker-thread pool in
@@ -300,28 +354,34 @@ impl ShardSession for InProcessSession<'_> {
         Ok(())
     }
 
-    fn checkpoints(&mut self) -> Result<Vec<RunnerCheckpoint>, OrchestratorError> {
+    fn checkpoints(&mut self) -> Result<Vec<Option<RunnerCheckpoint>>, OrchestratorError> {
+        // In-process tasks are never quarantined, so every slot must hold
+        // a live runner here.
         self.slots
             .iter()
             .map(|slot| {
-                slot.lock().unwrap().as_ref().map(|runner| runner.checkpoint()).ok_or_else(|| {
-                    OrchestratorError::Executor(
-                        "checkpoint requested for a task that never ran".into(),
-                    )
-                })
+                slot.lock().unwrap().as_ref().map(|runner| Some(runner.checkpoint())).ok_or_else(
+                    || {
+                        OrchestratorError::Executor(
+                            "checkpoint requested for a task that never ran".into(),
+                        )
+                    },
+                )
             })
             .collect()
     }
 
-    fn finish(self: Box<Self>) -> Result<Vec<ShardOutput>, OrchestratorError> {
-        self.outputs
+    fn finish(self: Box<Self>) -> Result<SessionOutcome, OrchestratorError> {
+        let outputs = self
+            .outputs
             .into_iter()
             .map(|slot| {
                 slot.into_inner().unwrap().ok_or_else(|| {
                     OrchestratorError::Executor("finish called before the final epoch ran".into())
                 })
             })
-            .collect()
+            .collect::<Result<Vec<ShardOutput>, OrchestratorError>>()?;
+        Ok(SessionOutcome::all_ok(outputs))
     }
 }
 
@@ -361,7 +421,13 @@ mod tests {
         let mut session = executor.begin(tasks_for(&config, 3), &NullSink).unwrap();
         let budgets: Vec<usize> = specs.iter().map(|s| s.budget).collect();
         session.run_epoch(&budgets, true).unwrap();
-        let outputs = session.finish().unwrap();
+        let outputs: Vec<ShardOutput> = session
+            .finish()
+            .unwrap()
+            .shards
+            .into_iter()
+            .map(|shard| shard.expect("in-process tasks never quarantine"))
+            .collect();
         for (spec, output) in specs.iter().zip(&outputs) {
             let direct = run_shard(spec, &ShardCtx::new(&config));
             assert_eq!(output.records, direct.records);
@@ -393,9 +459,15 @@ mod tests {
         let deltas = session.run_epoch(&segments[..1], false).unwrap();
         let pool = deltas[0].clone();
         session.inject(&[&pool]).unwrap();
-        let checkpoints = session.checkpoints().unwrap();
+        let checkpoints: Vec<_> = session
+            .checkpoints()
+            .unwrap()
+            .into_iter()
+            .map(|c| c.expect("live task has a checkpoint"))
+            .collect();
         session.run_epoch(&[segments[1]], true).unwrap();
-        let output = session.finish().unwrap().remove(0);
+        let output =
+            session.finish().unwrap().shards.remove(0).expect("in-process tasks never quarantine");
 
         let mut manual = ShardRunner::new(&config, spec, None);
         let manual_delta = manual.run_segment(segments[0], |_| {});
@@ -415,8 +487,14 @@ mod tests {
     #[test]
     fn errors_render_and_convert() {
         assert!(OrchestratorError::InvalidWorkers.to_string().contains("at least 1"));
+        assert!(OrchestratorError::InvalidDispatchAttempts.to_string().contains("at least 1"));
         assert!(OrchestratorError::Executor("boom".into()).to_string().contains("boom"));
-        let persist: OrchestratorError = PersistError::Corrupt("bad manifest".into()).into();
+        assert!(OrchestratorError::WorkerUnavailable("no binary".into())
+            .to_string()
+            .contains("no binary"));
+        let persist: OrchestratorError =
+            PersistError::corrupt(crate::persist::Artifact::Manifest, "bad manifest").into();
         assert!(persist.to_string().contains("bad manifest"));
+        assert!(persist.to_string().contains("manifest"));
     }
 }

@@ -73,7 +73,21 @@
 //! * [`pool`] — the indexed worker pool and the [`pool::run_epochs`]
 //!   barrier protocol;
 //! * [`persist`] — the JSONL run-directory format with per-epoch pool
-//!   and checkpoint records.
+//!   and checkpoint records, crash-safe (atomic temp+rename artifacts,
+//!   torn-tail tolerance, schema-versioned manifests);
+//! * [`faults`] — deterministic fault injection ([`FaultPlan`]) for
+//!   chaos-testing the supervisor: worker crashes/stalls/frame sabotage,
+//!   respawn failures, torn run-dir writes.
+//!
+//! **Failure model.** Supervision is configurable per transport: a job
+//! that exhausts its dispatch budget either aborts the run (default —
+//! determinism preserved, error surfaced) or is *quarantined*
+//! ([`FailurePolicy::Quarantine`]) so the campaign completes on the
+//! surviving shards with per-shard [`ShardFailureReport`]s in
+//! [`RunStats::failures`]. A transport whose workers can't be spawned at
+//! all can degrade to in-process execution
+//! ([`Orchestrator::fallback_to_in_process`]) with bit-identical
+//! results.
 //!
 //! ```no_run
 //! use llm4fp::{ApproachKind, CampaignConfig};
@@ -87,6 +101,7 @@
 #![deny(unsafe_code)]
 
 pub mod executor;
+pub mod faults;
 pub mod orchestrate;
 pub mod persist;
 pub mod pool;
@@ -96,17 +111,18 @@ pub mod shard;
 pub mod wire;
 
 pub use executor::{
-    InProcessExecutor, NullSink, OrchestratorError, RecordSink, ShardExecutor, ShardSession,
-    ShardTask,
+    FailurePolicy, InProcessExecutor, NullSink, OrchestratorError, RecordSink, SessionOutcome,
+    ShardExecutor, ShardSession, ShardTask,
 };
+pub use faults::{FaultPlan, PersistFault, WorkerFault};
 pub use orchestrate::{
     default_workers, matches_sequential, OrchestratedResult, Orchestrator, OrchestratorOptions,
     RunStats,
 };
-pub use persist::{PersistError, RunDir, RunManifest};
+pub use persist::{Artifact, PersistError, RunDir, RunManifest, MANIFEST_SCHEMA};
 pub use process_pool::ProcessPoolExecutor;
 pub use scheduler::Scheduler;
 pub use shard::{
-    merge_shards, plan_epoch_segments, plan_shards, run_shard, shard_seed, ShardCtx, ShardOutput,
-    ShardRunner, ShardSpec,
+    merge_shards, plan_epoch_segments, plan_shards, run_shard, shard_seed, ShardCtx,
+    ShardFailureReport, ShardOutput, ShardRunner, ShardSpec,
 };

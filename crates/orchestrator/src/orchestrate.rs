@@ -51,8 +51,11 @@ use llm4fp_difftest::{CacheStats, ProcessBudget, ResultCache};
 use llm4fp_telemetry::{keys, TelemetryHub, TelemetrySpec, TelemetrySummary};
 
 use crate::executor::{InProcessExecutor, OrchestratorError, RecordSink, ShardExecutor, ShardTask};
+use crate::faults::PersistFault;
 use crate::persist::{RunDir, RunManifest, ShardWriter};
-use crate::shard::{merge_shards, plan_epoch_segments, plan_shards, ShardOutput, ShardSpec};
+use crate::shard::{
+    merge_shards, plan_epoch_segments, plan_shards, ShardFailureReport, ShardOutput, ShardSpec,
+};
 
 /// How an orchestrated run executes.
 #[derive(Debug, Clone)]
@@ -91,6 +94,18 @@ pub struct OrchestratorOptions {
     /// Collection is pure observation: results are bit-identical with
     /// telemetry on or off.
     pub telemetry: TelemetrySpec,
+    /// The graceful-degradation rung: when the configured transport's
+    /// workers cannot be (re)spawned at all
+    /// ([`OrchestratorError::WorkerUnavailable`]), rerun the campaign on
+    /// the [`InProcessExecutor`] instead of failing. Sound because every
+    /// transport is pinned bit-identical — the degraded run's results
+    /// are *unchanged*, only slower/less isolated. Off by default (an
+    /// unavailable transport is then a hard error), and recorded in
+    /// [`RunStats::fell_back_to_in_process`] when it triggers.
+    pub fallback_to_in_process: bool,
+    /// Deterministic persistence faults for chaos testing (see
+    /// [`PersistFault`]); empty outside tests.
+    pub persist_faults: Vec<PersistFault>,
 }
 
 impl Default for OrchestratorOptions {
@@ -102,6 +117,8 @@ impl Default for OrchestratorOptions {
             process_slots: default_workers(),
             run_dir: None,
             telemetry: TelemetrySpec::OFF,
+            fallback_to_in_process: false,
+            persist_faults: Vec::new(),
         }
     }
 }
@@ -112,7 +129,7 @@ pub fn default_workers() -> usize {
 }
 
 /// Execution statistics of one orchestrated run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunStats {
     /// Number of shards in the plan.
     pub shards: usize,
@@ -148,6 +165,21 @@ pub struct RunStats {
     /// fields are deterministic for fully computed runs; the time fields
     /// describe only work computed in *this* invocation.
     pub telemetry: Option<TelemetrySummary>,
+    /// Shards the quarantine policy retired after exhausting their
+    /// dispatch budget, with attempt counts and last errors. Empty on
+    /// healthy runs and always empty under the default Abort policy
+    /// (which errors out instead). Supervision bookkeeping, not campaign
+    /// telemetry — it describes this invocation's luck, never the
+    /// deterministic `(config, K, E)` result.
+    pub failures: Vec<ShardFailureReport>,
+    /// Best-effort persistence writes this run dropped (shard progress
+    /// lines, barrier artifacts). `0` on healthy runs; dropped lines only
+    /// cost recompute-on-resume, never results.
+    pub persist_errors: u64,
+    /// Whether the configured transport was unavailable and the run
+    /// completed on the in-process fallback instead (see
+    /// [`OrchestratorOptions::fallback_to_in_process`]).
+    pub fell_back_to_in_process: bool,
 }
 
 impl RunStats {
@@ -178,9 +210,22 @@ impl RunStats {
             ),
             None => String::new(),
         };
+        let health = {
+            let mut parts = String::new();
+            if !self.failures.is_empty() {
+                parts.push_str(&format!(", {} shard(s) quarantined", self.failures.len()));
+            }
+            if self.persist_errors > 0 {
+                parts.push_str(&format!(", {} persist error(s)", self.persist_errors));
+            }
+            if self.fell_back_to_in_process {
+                parts.push_str(", fell back to in-process");
+            }
+            parts
+        };
         format!(
             "{} shard(s) x {} epoch(s) on {} worker(s), {} reused, \
-             {:.2}s wall ({:.2}s shard time), {}{}{}",
+             {:.2}s wall ({:.2}s shard time), {}{}{}{}",
             self.shards,
             self.epochs,
             self.workers,
@@ -189,7 +234,8 @@ impl RunStats {
             self.shard_pipeline_time.as_secs_f64(),
             cache,
             peak,
-            telemetry
+            telemetry,
+            health
         )
     }
 }
@@ -271,6 +317,23 @@ impl Orchestrator {
         self
     }
 
+    /// The graceful-degradation rung: rerun on the in-process executor
+    /// (with unchanged results — transports are pinned bit-identical) if
+    /// the configured transport's workers cannot be spawned at all. See
+    /// [`OrchestratorOptions::fallback_to_in_process`].
+    pub fn fallback_to_in_process(mut self, fallback: bool) -> Self {
+        self.options.fallback_to_in_process = fallback;
+        self
+    }
+
+    /// Arm deterministic persistence faults for chaos testing (see
+    /// [`PersistFault`] — worker faults are armed on the executor via
+    /// [`crate::ProcessPoolExecutor::with_fault_plan`]).
+    pub fn persist_faults(mut self, faults: Vec<PersistFault>) -> Self {
+        self.options.persist_faults = faults;
+        self
+    }
+
     /// Replace the whole options bag at once (existing call sites that
     /// assemble an [`OrchestratorOptions`] keep working unchanged).
     pub fn options(mut self, options: OrchestratorOptions) -> Self {
@@ -298,36 +361,58 @@ impl Orchestrator {
         let start = Instant::now();
         let specs = plan_shards(&config, shards);
         let epochs = options.epochs.max(1);
-        let executor: Arc<dyn ShardExecutor> =
+        let mut executor: Arc<dyn ShardExecutor> =
             executor.unwrap_or_else(|| Arc::new(InProcessExecutor::new(options.workers)));
-        // Cache statistics only make sense when the transport actually
-        // consults the coordinator's cache handles.
-        let cache =
-            (options.cache && executor.shares_cache()).then(|| Arc::new(ResultCache::new()));
         let run_dir = match &options.run_dir {
-            Some(root) => Some(RunDir::open(
-                root,
-                &RunManifest { config: config.clone(), shards: specs.len(), epochs },
-            )?),
+            Some(root) => Some(
+                RunDir::open(root, &RunManifest::new(config.clone(), specs.len(), epochs))?
+                    .with_persist_faults(&options.persist_faults),
+            ),
             None => None,
         };
         let hub = TelemetryHub::new(options.telemetry);
-        let outcome = {
-            // The orchestrator's own lane sits past every shard lane.
-            let _run = hub.lane(specs.len()).span(keys::SPAN_RUN);
-            execute(
-                &config,
-                &specs,
-                epochs,
-                &options,
-                executor.as_ref(),
-                cache.as_ref(),
-                run_dir.as_ref(),
-                &hub,
-            )?
+        let mut fell_back = false;
+        let (outcome, cache) = loop {
+            // Cache statistics only make sense when the transport actually
+            // consults the coordinator's cache handles.
+            let cache =
+                (options.cache && executor.shares_cache()).then(|| Arc::new(ResultCache::new()));
+            let attempt = {
+                // The orchestrator's own lane sits past every shard lane.
+                let _run = hub.lane(specs.len()).span(keys::SPAN_RUN);
+                execute(
+                    &config,
+                    &specs,
+                    epochs,
+                    &options,
+                    executor.as_ref(),
+                    cache.as_ref(),
+                    run_dir.as_ref(),
+                    &hub,
+                )
+            };
+            match attempt {
+                Ok(outcome) => break (outcome, cache),
+                // The degradation ladder: a transport whose workers can't
+                // even be spawned reruns in process with unchanged results
+                // (anything the dead attempt persisted — sealed shards,
+                // barrier files — is picked right back up by resume).
+                Err(OrchestratorError::WorkerUnavailable(why))
+                    if options.fallback_to_in_process && !fell_back =>
+                {
+                    eprintln!(
+                        "llm4fp-orchestrator: worker transport unavailable ({why}); \
+                         falling back to in-process execution"
+                    );
+                    executor = Arc::new(InProcessExecutor::new(options.workers));
+                    fell_back = true;
+                }
+                Err(e) => return Err(e),
+            }
         };
         let peak_regs = outcome.outputs.iter().filter_map(|o| o.peak_regs).max();
         let result = merge_shards(&config, outcome.outputs, start.elapsed());
+        let fully_computed = outcome.reused == 0 && outcome.epochs_restored == 0;
         let stats = RunStats {
             shards: specs.len(),
             workers: options.workers,
@@ -340,15 +425,19 @@ impl Orchestrator {
             wall_time: start.elapsed(),
             shard_pipeline_time: outcome.pipeline_time,
             telemetry: hub.enabled().then(|| hub.summary()),
+            failures: outcome.failures,
+            persist_errors: run_dir.as_ref().map_or(0, |dir| dir.persist_errors()),
+            fell_back_to_in_process: fell_back,
         };
         if let Some(dir) = &run_dir {
             dir.write_result(&result)?;
             dir.write_summary(&stats)?;
-            // The flight recorder is only written for fully computed runs:
-            // reused shards and restored epochs record nothing, so a
+            // The flight recorder is only written for fully computed runs
+            // with no quarantined shards: reused shards, restored epochs
+            // and quarantined shards record nothing (or only part), so a
             // partial recompute would under-count relative to the
             // determinism contract's byte-identical promise.
-            if hub.enabled() && outcome.reused == 0 && outcome.epochs_restored == 0 {
+            if hub.enabled() && fully_computed && stats.failures.is_empty() {
                 dir.write_metrics(&hub.metrics())?;
             }
             if hub.spec().trace_enabled() {
@@ -437,6 +526,7 @@ fn execute(
             computed: 0,
             epochs_restored: 0,
             pipeline_time: Duration::ZERO,
+            failures: Vec::new(),
         });
     }
     // Exchange barriers couple every shard, so per-shard reuse is only
@@ -485,7 +575,7 @@ fn execute(
         })
         .collect();
 
-    let sink = WriterSink::new(run_dir, &task_specs);
+    let sink = WriterSink::new(run_dir, &task_specs, hub);
     let mut session = executor.begin(tasks, &sink)?;
     let segments: Vec<Vec<usize>> =
         task_specs.iter().map(|spec| plan_epoch_segments(spec.budget, epochs)).collect();
@@ -507,34 +597,65 @@ fn execute(
         }
         let snapshot = pool.sources().to_vec();
         if let Some(dir) = run_dir {
-            let _ = dir.write_epoch_pool(epoch, &snapshot);
+            // Barrier artifacts are best-effort (a missing one only costs
+            // recompute on resume) — but never silently so.
+            if dir.write_epoch_pool(epoch, &snapshot).is_err() {
+                dir.note_persist_error();
+            }
         }
         let broadcast: Vec<&[String]> = task_specs.iter().map(|_| snapshot.as_slice()).collect();
         session.inject(&broadcast)?;
         if let Some(dir) = run_dir {
             // Checkpoints are taken after injection, mirroring the
-            // runner-side checkpoint-after-inject order.
+            // runner-side checkpoint-after-inject order. Quarantined
+            // shards have no live barrier state (`None`) and persist
+            // nothing.
             for (spec, checkpoint) in task_specs.iter().zip(session.checkpoints()?) {
-                let _ = dir.write_checkpoint(spec.index, epoch, &checkpoint);
+                let Some(checkpoint) = checkpoint else { continue };
+                if dir.write_checkpoint(spec.index, epoch, &checkpoint).is_err() {
+                    dir.note_persist_error();
+                }
             }
         }
     }
 
-    let fresh = session.finish()?;
-    let pipeline_time = fresh.iter().map(|o| o.pipeline_time).sum();
-    let computed = fresh.len();
+    let session_outcome = session.finish()?;
+    let mut failures = Vec::new();
+    let mut fresh: Vec<Option<ShardOutput>> = Vec::with_capacity(session_outcome.shards.len());
+    for shard in session_outcome.shards {
+        match shard {
+            Ok(output) => fresh.push(Some(output)),
+            Err(report) => {
+                failures.push(report);
+                fresh.push(None);
+            }
+        }
+    }
+    let pipeline_time = fresh.iter().flatten().map(|o| o.pipeline_time).sum();
+    let computed = fresh.iter().filter(|o| o.is_some()).count();
     let mut fresh = fresh.into_iter();
     for slot in loaded.iter_mut() {
         if slot.is_none() {
-            *slot = fresh.next();
+            *slot = fresh.next().expect("one session result per planned task");
         }
     }
+    // Quarantined shards contribute nothing to the merge; a run where
+    // *nothing* survived has no result to report at all.
+    let outputs: Vec<ShardOutput> = loaded.into_iter().flatten().collect();
+    if outputs.is_empty() && !failures.is_empty() {
+        return Err(OrchestratorError::Executor(format!(
+            "every shard was quarantined ({} failure(s)); last: {}",
+            failures.len(),
+            failures.last().map(|f| f.last_error.as_str()).unwrap_or("unknown")
+        )));
+    }
     Ok(ExecOutcome {
-        outputs: loaded.into_iter().map(|o| o.expect("every shard resolved")).collect(),
+        outputs,
         reused,
         computed,
         epochs_restored: start_epoch,
         pipeline_time,
+        failures,
     })
 }
 
@@ -547,11 +668,17 @@ struct WriterSink {
 }
 
 impl WriterSink {
-    fn new(run_dir: Option<&RunDir>, specs: &[ShardSpec]) -> Self {
+    fn new(run_dir: Option<&RunDir>, specs: &[ShardSpec], hub: &TelemetryHub) -> Self {
         WriterSink {
             writers: specs
                 .iter()
-                .map(|spec| Mutex::new(run_dir.and_then(|dir| dir.shard_writer(spec).ok())))
+                .map(|spec| {
+                    Mutex::new(run_dir.and_then(|dir| {
+                        // Dropped lines count into the shard's own lane,
+                        // so the keyed ids match across transports.
+                        dir.shard_writer(spec, hub.lane(spec.index)).ok()
+                    }))
+                })
                 .collect(),
         }
     }
@@ -577,6 +704,9 @@ struct ExecOutcome {
     computed: usize,
     epochs_restored: usize,
     pipeline_time: Duration,
+    /// Per-shard quarantine reports (empty unless the executor ran with
+    /// the Quarantine failure policy and shards actually failed).
+    failures: Vec<ShardFailureReport>,
 }
 
 /// Compare an orchestrated run against the sequential driver (used by

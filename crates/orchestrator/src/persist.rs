@@ -39,19 +39,76 @@
 //! mismatched plan) makes the shard recompute on resume. The summary line
 //! carries everything the merge needs, so resumed and fresh runs produce
 //! bit-identical campaign results.
+//!
+//! ## Crash safety
+//!
+//! Every non-streamed artifact is written via a unique temp file in the
+//! same directory plus an atomic rename, so a crash mid-write can never
+//! leave a half-written `manifest.json`, barrier file, or result — only
+//! a stale `.tmp` straggler, which [`RunDir::open`] sweeps away. The
+//! streamed shard JSONL files tolerate damage instead: a torn tail (the
+//! process died mid-`writeln!`) is *partial progress*, not corruption —
+//! unparseable lines are skipped and the shard simply recomputes unless
+//! its summary line survived. The manifest carries a schema version
+//! ([`MANIFEST_SCHEMA`]); a run dir written by a newer schema is refused
+//! with the typed [`PersistError::SchemaMismatch`] rather than being
+//! misread, while pre-versioning dirs (no `schema` field) still open.
+//!
+//! Failures are never silent: artifact problems surface as the typed
+//! [`PersistError`] taxonomy, and best-effort paths (shard progress
+//! lines, barrier writes) count into [`RunDir::persist_errors`] and the
+//! [`llm4fp_telemetry::keys::PERSIST_ERRORS`] keyed counter so
+//! `summary.json` reports exactly how much was dropped.
 
 use std::fs::{self, File};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 
 use llm4fp::{CampaignConfig, CampaignResult, ProgramRecord, RunnerCheckpoint};
-use llm4fp_telemetry::{MetricsReport, TraceEvent};
+use llm4fp_telemetry::{keyed_id, keys, MetricsReport, Telemetry, TraceEvent};
 
+use crate::faults::PersistFault;
 use crate::orchestrate::RunStats;
 use crate::shard::{ShardOutput, ShardSpec};
+
+/// The manifest schema this build reads and writes. Version 1 is the
+/// pre-versioning layout (no `schema` field); version 2 added the field
+/// itself. Opening a run dir written by a *newer* schema fails with
+/// [`PersistError::SchemaMismatch`] instead of silently misreading it.
+pub const MANIFEST_SCHEMA: u32 = 2;
+
+/// Which run-dir artifact a persistence error is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Artifact {
+    Manifest,
+    ShardFile,
+    EpochPool,
+    Checkpoint,
+    Result,
+    Summary,
+    Metrics,
+    Trace,
+}
+
+impl std::fmt::Display for Artifact {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Artifact::Manifest => "manifest.json",
+            Artifact::ShardFile => "shard file",
+            Artifact::EpochPool => "epoch pool",
+            Artifact::Checkpoint => "checkpoint",
+            Artifact::Result => "result.json",
+            Artifact::Summary => "summary.json",
+            Artifact::Metrics => "metrics.json",
+            Artifact::Trace => "trace.jsonl",
+        })
+    }
+}
 
 /// Errors from the persistence layer.
 #[derive(Debug)]
@@ -59,11 +116,28 @@ pub enum PersistError {
     Io(std::io::Error),
     /// A manifest exists but doesn't match the requested run.
     ManifestMismatch(String),
-    Corrupt(String),
+    /// An artifact exists but cannot be read as what it claims to be.
+    Corrupt {
+        artifact: Artifact,
+        detail: String,
+    },
+    /// The run dir was written by a newer manifest schema than this build
+    /// understands.
+    SchemaMismatch {
+        found: u32,
+        supported: u32,
+    },
     /// A value failed to serialize (e.g. a non-finite float somewhere in
     /// the stats). Surfaced instead of panicking so a persistence problem
     /// never kills an otherwise complete in-memory run.
     Encode(String),
+}
+
+impl PersistError {
+    /// A typed corruption error naming the damaged artifact.
+    pub fn corrupt(artifact: Artifact, detail: impl Into<String>) -> Self {
+        PersistError::Corrupt { artifact, detail: detail.into() }
+    }
 }
 
 impl std::fmt::Display for PersistError {
@@ -71,7 +145,14 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "run-dir io error: {e}"),
             PersistError::ManifestMismatch(msg) => write!(f, "manifest mismatch: {msg}"),
-            PersistError::Corrupt(msg) => write!(f, "corrupt run dir: {msg}"),
+            PersistError::Corrupt { artifact, detail } => {
+                write!(f, "corrupt run dir ({artifact}): {detail}")
+            }
+            PersistError::SchemaMismatch { found, supported } => write!(
+                f,
+                "manifest schema {found} is newer than this build supports (max {supported}); \
+                 refusing to misread the run dir"
+            ),
             PersistError::Encode(msg) => write!(f, "serialization failed: {msg}"),
         }
     }
@@ -98,34 +179,95 @@ fn encode_pretty<T: Serialize + ?Sized>(what: &str, value: &T) -> Result<String,
 /// The run's identity: what was asked for, and how it was decomposed.
 /// `epochs` is part of the identity — exchanged and non-exchanged runs of
 /// the same `(config, shards)` produce different results, so their shard
-/// outputs must never mix.
+/// outputs must never mix. `schema` versions the layout itself (`None`
+/// means a pre-versioning dir, schema 1) and is *not* part of the
+/// identity comparison.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunManifest {
     pub config: CampaignConfig,
     pub shards: usize,
     pub epochs: usize,
+    pub schema: Option<u32>,
+}
+
+impl RunManifest {
+    /// A manifest for this build's schema version.
+    pub fn new(config: CampaignConfig, shards: usize, epochs: usize) -> Self {
+        RunManifest { config, shards, epochs, schema: Some(MANIFEST_SCHEMA) }
+    }
+
+    /// The effective schema version (`None` = pre-versioning = 1).
+    pub fn schema_version(&self) -> u32 {
+        self.schema.unwrap_or(1)
+    }
+
+    /// Whether two manifests describe the same run (config, decomposition
+    /// and epoch plan — the schema version is a layout property, not an
+    /// identity property, so resuming a schema-1 dir with this build is
+    /// fine).
+    fn same_run(&self, other: &RunManifest) -> bool {
+        self.config == other.config && self.shards == other.shards && self.epochs == other.epochs
+    }
+}
+
+/// Shared mutable state of a [`RunDir`]: the persist-error counter and
+/// the armed torn-write faults (empty outside chaos tests — one branch
+/// per write).
+#[derive(Debug, Default)]
+struct PersistState {
+    errors: AtomicU64,
+    /// `(file-name substring, already fired)` — each fault fires once.
+    torn_writes: Vec<(String, AtomicBool)>,
+}
+
+impl PersistState {
+    /// Whether an armed torn-write fault claims this artifact write.
+    /// Matched against `dir/name` so a plan can target one artifact
+    /// (`"epoch-0001"`) or a whole class (`"checkpoints/"`).
+    fn sabotage(&self, path: &Path) -> bool {
+        if self.torn_writes.is_empty() {
+            return false;
+        }
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        let ident = match path.parent().and_then(|p| p.file_name()) {
+            Some(dir) => format!("{}/{name}", dir.to_string_lossy()),
+            None => name,
+        };
+        self.torn_writes.iter().any(|(needle, fired)| {
+            ident.contains(needle.as_str())
+                && fired.compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst).is_ok()
+        })
+    }
 }
 
 /// Handle to one run directory.
 #[derive(Debug, Clone)]
 pub struct RunDir {
     root: PathBuf,
+    state: Arc<PersistState>,
 }
 
 impl RunDir {
     /// Open (creating directories as needed) a run directory for the given
-    /// manifest. If a manifest is already present it must match — resuming
-    /// a run with a different config or shard count would silently mix
-    /// incompatible shard outputs.
+    /// manifest, sweeping any stale `.tmp` stragglers a crashed writer
+    /// left behind. If a manifest is already present it must describe the
+    /// same run — resuming with a different config or shard count would
+    /// silently mix incompatible shard outputs — and must not come from a
+    /// newer [`MANIFEST_SCHEMA`] than this build understands.
     pub fn open(root: impl Into<PathBuf>, manifest: &RunManifest) -> Result<Self, PersistError> {
         let root = root.into();
         fs::create_dir_all(root.join("shards"))?;
+        sweep_stale_tmp_files(&root);
         let manifest_path = root.join("manifest.json");
         if manifest_path.exists() {
             let text = fs::read_to_string(&manifest_path)?;
             let existing: RunManifest = serde_json::from_str(&text)
-                .map_err(|e| PersistError::Corrupt(format!("manifest.json: {e}")))?;
-            if &existing != manifest {
+                .map_err(|e| PersistError::corrupt(Artifact::Manifest, e.to_string()))?;
+            let found = existing.schema_version();
+            if found > MANIFEST_SCHEMA {
+                return Err(PersistError::SchemaMismatch { found, supported: MANIFEST_SCHEMA });
+            }
+            if !existing.same_run(manifest) {
                 return Err(PersistError::ManifestMismatch(format!(
                     "run dir {} was created for a different (config, shards); \
                      refusing to mix shard outputs",
@@ -135,7 +277,25 @@ impl RunDir {
         } else {
             write_atomically(&manifest_path, &encode_pretty("manifest.json", manifest)?)?;
         }
-        Ok(RunDir { root })
+        Ok(RunDir { root, state: Arc::new(PersistState::default()) })
+    }
+
+    /// Arm deterministic persistence faults for chaos testing (see
+    /// [`PersistFault`]). Call right after [`open`](RunDir::open), before
+    /// any artifact writes; an empty slice (the default) keeps every
+    /// write on the one-branch fast path.
+    pub fn with_persist_faults(mut self, faults: &[PersistFault]) -> Self {
+        let torn_writes = faults
+            .iter()
+            .map(|fault| match fault {
+                PersistFault::TornWrite(needle) => (needle.clone(), AtomicBool::new(false)),
+            })
+            .collect();
+        self.state = Arc::new(PersistState {
+            errors: AtomicU64::new(self.state.errors.load(Ordering::Relaxed)),
+            torn_writes,
+        });
+        self
     }
 
     /// Read the manifest of an existing run directory.
@@ -143,11 +303,36 @@ impl RunDir {
         let path = root.as_ref().join("manifest.json");
         let text = fs::read_to_string(&path)?;
         serde_json::from_str(&text)
-            .map_err(|e| PersistError::Corrupt(format!("manifest.json: {e}")))
+            .map_err(|e| PersistError::corrupt(Artifact::Manifest, e.to_string()))
     }
 
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// Count one dropped/failed best-effort write. Surfaced as
+    /// `persist_errors` in `RunStats` / `summary.json`.
+    pub fn note_persist_error(&self) {
+        self.state.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// How many best-effort writes this run dir has dropped so far.
+    pub fn persist_errors(&self) -> u64 {
+        self.state.errors.load(Ordering::Relaxed)
+    }
+
+    /// The atomic-write path for every non-streamed artifact, with the
+    /// torn-write failpoint: a claimed write lands only its first half,
+    /// bypassing temp+rename, is counted as a persist error, and reports
+    /// success — artifact writes are best-effort, so the run continues
+    /// and the damaged file exercises the resume-side tolerance instead.
+    fn write_artifact(&self, path: &Path, contents: &str) -> Result<(), PersistError> {
+        if self.state.sabotage(path) {
+            let _ = fs::write(path, &contents.as_bytes()[..contents.len() / 2]);
+            self.note_persist_error();
+            return Ok(());
+        }
+        write_atomically(path, contents)
     }
 
     fn shard_path(&self, index: usize) -> PathBuf {
@@ -155,16 +340,20 @@ impl RunDir {
     }
 
     /// Load a shard's output if its file is complete and matches `spec`.
-    /// Incomplete or stale files yield `None` (the shard reruns).
+    /// Incomplete or stale files yield `None` (the shard reruns). Damaged
+    /// lines — a torn tail from a mid-write crash, garbage from a torn
+    /// overwrite — are skipped, not fatal: only the summary line decides
+    /// completeness, so a torn tail is partial progress, never `Corrupt`.
     pub fn load_shard(&self, spec: &ShardSpec) -> Option<ShardOutput> {
         let file = File::open(self.shard_path(spec.index)).ok()?;
         let mut summary: Option<ShardOutput> = None;
         for line in BufReader::new(file).lines() {
-            let line = line.ok()?;
+            // An unreadable rest-of-file can hide no valid summary line.
+            let Ok(line) = line else { break };
             if line.trim().is_empty() {
                 continue;
             }
-            let value: Value = serde_json::parse(&line).ok()?;
+            let Ok(value) = serde_json::parse(&line) else { continue };
             if let Some(obj) = value.as_obj() {
                 if let Some(inner) = obj.get("summary") {
                     summary = serde_json::from_value(inner).ok();
@@ -175,15 +364,27 @@ impl RunDir {
         (output.spec == *spec).then_some(output)
     }
 
-    /// Start streaming one shard's progress to disk.
-    pub fn shard_writer(&self, spec: &ShardSpec) -> Result<ShardWriter, PersistError> {
+    /// Start streaming one shard's progress to disk, counting dropped
+    /// lines into this run dir's persist-error counter and `telemetry`'s
+    /// [`keys::PERSIST_ERRORS`] keyed counter.
+    pub fn shard_writer(
+        &self,
+        spec: &ShardSpec,
+        telemetry: Telemetry,
+    ) -> Result<ShardWriter, PersistError> {
         let path = self.shard_path(spec.index);
         let mut writer = BufWriter::new(File::create(&path)?);
         let mut header = serde_json::Map::new();
         header.insert("spec".to_string(), serde_json::to_value(spec));
         writeln!(writer, "{}", encode("shard header", &Value::Obj(header))?)?;
         writer.flush()?;
-        Ok(ShardWriter { writer })
+        Ok(ShardWriter {
+            writer,
+            shard: spec.index,
+            lines: 0,
+            state: Arc::clone(&self.state),
+            telemetry,
+        })
     }
 
     fn epoch_pool_path(&self, epoch: usize) -> PathBuf {
@@ -197,7 +398,7 @@ impl RunDir {
     /// Atomically record the cumulative exchange pool after a barrier.
     pub fn write_epoch_pool(&self, epoch: usize, pool: &[String]) -> Result<(), PersistError> {
         fs::create_dir_all(self.root.join("epochs"))?;
-        write_atomically(&self.epoch_pool_path(epoch), &encode("epoch pool", pool)?)
+        self.write_artifact(&self.epoch_pool_path(epoch), &encode("epoch pool", pool)?)
     }
 
     /// Load the cumulative exchange pool recorded at a barrier, if any.
@@ -215,10 +416,12 @@ impl RunDir {
         checkpoint: &RunnerCheckpoint,
     ) -> Result<(), PersistError> {
         fs::create_dir_all(self.root.join("checkpoints"))?;
-        write_atomically(&self.checkpoint_path(shard, epoch), &encode("checkpoint", checkpoint)?)
+        self.write_artifact(&self.checkpoint_path(shard, epoch), &encode("checkpoint", checkpoint)?)
     }
 
-    /// Load one shard's checkpoint at a barrier, if present and parseable.
+    /// Load one shard's checkpoint at a barrier, if present and parseable
+    /// (a truncated checkpoint simply disqualifies its barrier — resume
+    /// falls back to an earlier restorable one).
     pub fn load_checkpoint(&self, shard: usize, epoch: usize) -> Option<RunnerCheckpoint> {
         let text = fs::read_to_string(self.checkpoint_path(shard, epoch)).ok()?;
         serde_json::from_str(&text).ok()
@@ -236,7 +439,7 @@ impl RunDir {
 
     /// Persist the merged campaign result.
     pub fn write_result(&self, result: &CampaignResult) -> Result<(), PersistError> {
-        write_atomically(&self.root.join("result.json"), &encode_pretty("result.json", result)?)
+        self.write_artifact(&self.root.join("result.json"), &encode_pretty("result.json", result)?)
     }
 
     /// Load a previously persisted merged result, if any.
@@ -251,7 +454,7 @@ impl RunDir {
     /// completeness checks depend on `summary.json`, so a silently
     /// missing or partial summary must never look like success.
     pub fn write_summary(&self, stats: &RunStats) -> Result<(), PersistError> {
-        write_atomically(&self.root.join("summary.json"), &encode_pretty("summary.json", stats)?)
+        self.write_artifact(&self.root.join("summary.json"), &encode_pretty("summary.json", stats)?)
     }
 
     /// Load a previously persisted run summary, if any.
@@ -264,7 +467,10 @@ impl RunDir {
     /// computed runs the bytes are a pure function of `(config, K, E)` —
     /// diffable between runs like any other campaign artifact.
     pub fn write_metrics(&self, report: &MetricsReport) -> Result<(), PersistError> {
-        write_atomically(&self.root.join("metrics.json"), &encode_pretty("metrics.json", report)?)
+        self.write_artifact(
+            &self.root.join("metrics.json"),
+            &encode_pretty("metrics.json", report)?,
+        )
     }
 
     /// Load a previously persisted metrics report, if any.
@@ -282,7 +488,7 @@ impl RunDir {
             out.push_str(&event.to_json_line());
             out.push('\n');
         }
-        write_atomically(&self.root.join("trace.jsonl"), &out)
+        self.write_artifact(&self.root.join("trace.jsonl"), &out)
     }
 
     /// Load the persisted trace's JSON lines, if any.
@@ -295,19 +501,35 @@ impl RunDir {
 /// Streams one shard's records and final summary to its JSONL file.
 pub struct ShardWriter {
     writer: BufWriter<File>,
+    shard: usize,
+    lines: u64,
+    state: Arc<PersistState>,
+    telemetry: Telemetry,
 }
 
 impl ShardWriter {
     /// Append one processed-program progress line. Progress lines are
-    /// best-effort: write *and* serialization problems are swallowed (a
-    /// shard with dropped lines just recomputes on resume; only the
-    /// summary line decides completeness).
+    /// best-effort — a shard with dropped lines just recomputes on
+    /// resume; only the summary line decides completeness — but failures
+    /// are *counted*, never silent: each dropped line increments the run
+    /// dir's persist-error counter and the [`keys::PERSIST_ERRORS`]
+    /// keyed telemetry counter (keyed by shard and line ordinal, so a
+    /// redispatched shard's retries collapse).
     pub fn record(&mut self, record: &ProgramRecord) {
+        self.lines += 1;
         let mut line = serde_json::Map::new();
         line.insert("record".to_string(), serde_json::to_value(record));
-        if let Ok(text) = serde_json::to_string(&Value::Obj(line)) {
-            let _ = writeln!(self.writer, "{text}");
-            let _ = self.writer.flush();
+        let written = match serde_json::to_string(&Value::Obj(line)) {
+            Ok(text) => writeln!(self.writer, "{text}").and_then(|()| self.writer.flush()).is_ok(),
+            Err(_) => false,
+        };
+        if !written {
+            self.state.errors.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.add_keyed(
+                keys::PERSIST_ERRORS,
+                keyed_id(self.shard as u64, self.lines),
+                1,
+            );
         }
     }
 
@@ -322,10 +544,38 @@ impl ShardWriter {
     }
 }
 
+/// Remove `.tmp` stragglers a crashed writer left in the run dir's
+/// artifact directories (never recursive — artifacts live exactly one
+/// level deep). Best-effort: an unreadable dir just skips.
+fn sweep_stale_tmp_files(root: &Path) {
+    for dir in
+        [root.to_path_buf(), root.join("shards"), root.join("epochs"), root.join("checkpoints")]
+    {
+        let Ok(entries) = fs::read_dir(dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|ext| ext == "tmp") && path.is_file() {
+                let _ = fs::remove_file(path);
+            }
+        }
+    }
+}
+
+/// Write `contents` to a unique dot-prefixed temp file in `path`'s own
+/// directory, then atomically rename over `path` — a crash mid-write
+/// leaves the old artifact intact (plus a `.tmp` straggler for the next
+/// [`RunDir::open`] to sweep), never a torn one. Temp names mix the pid
+/// and a process-wide counter so concurrent writers can't collide.
 fn write_atomically(path: &Path, contents: &str) -> Result<(), PersistError> {
-    let tmp = path.with_extension("tmp");
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    let tmp = path.with_file_name(format!(".{name}.{}-{seq}.tmp", std::process::id()));
     fs::write(&tmp, contents)?;
-    fs::rename(&tmp, path)?;
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e.into());
+    }
     Ok(())
 }
 
@@ -343,10 +593,21 @@ mod tests {
     }
 
     fn manifest() -> RunManifest {
-        RunManifest {
-            config: CampaignConfig::new(ApproachKind::Varity).with_budget(6).with_seed(2),
-            shards: 2,
-            epochs: 1,
+        RunManifest::new(
+            CampaignConfig::new(ApproachKind::Varity).with_budget(6).with_seed(2),
+            2,
+            1,
+        )
+    }
+
+    fn record(index: usize) -> ProgramRecord {
+        ProgramRecord {
+            index,
+            program_id: "p".into(),
+            strategy: "varity".into(),
+            valid: true,
+            inconsistencies: 0,
+            successful: false,
         }
     }
 
@@ -355,7 +616,9 @@ mod tests {
         let root = temp_dir("manifest");
         let m = manifest();
         let _dir = RunDir::open(&root, &m).unwrap();
-        assert_eq!(RunDir::read_manifest(&root).unwrap(), m);
+        let read = RunDir::read_manifest(&root).unwrap();
+        assert_eq!(read, m);
+        assert_eq!(read.schema_version(), MANIFEST_SCHEMA);
         // Reopening with the same manifest is fine.
         RunDir::open(&root, &m).unwrap();
         // A different plan is refused.
@@ -365,22 +628,73 @@ mod tests {
     }
 
     #[test]
+    fn newer_schema_dirs_are_refused_and_older_ones_accepted() {
+        let root = temp_dir("schema");
+        let m = manifest();
+        let _dir = RunDir::open(&root, &m).unwrap();
+        // A dir written by a future schema must not be misread.
+        let newer = RunManifest { schema: Some(MANIFEST_SCHEMA + 97), ..m.clone() };
+        fs::write(root.join("manifest.json"), serde_json::to_string_pretty(&newer).unwrap())
+            .unwrap();
+        match RunDir::open(&root, &m) {
+            Err(PersistError::SchemaMismatch { found, supported }) => {
+                assert_eq!(found, MANIFEST_SCHEMA + 97);
+                assert_eq!(supported, MANIFEST_SCHEMA);
+            }
+            other => panic!("expected SchemaMismatch, got {other:?}"),
+        }
+        // A pre-versioning dir (no schema field at all) still opens.
+        let old = RunManifest { schema: None, ..m.clone() };
+        fs::write(root.join("manifest.json"), serde_json::to_string_pretty(&old).unwrap()).unwrap();
+        assert_eq!(RunDir::read_manifest(&root).unwrap().schema_version(), 1);
+        RunDir::open(&root, &m).unwrap();
+        // Unparseable manifests are typed corruption, naming the artifact.
+        fs::write(root.join("manifest.json"), "{torn").unwrap();
+        assert!(matches!(
+            RunDir::open(&root, &m),
+            Err(PersistError::Corrupt { artifact: Artifact::Manifest, .. })
+        ));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
     fn incomplete_shard_files_do_not_load() {
         let root = temp_dir("incomplete");
         let dir = RunDir::open(&root, &manifest()).unwrap();
         let spec = ShardSpec { index: 0, budget: 3, offset: 0, seed: 2 };
         // Header + records but no summary: must not load.
-        let mut writer = dir.shard_writer(&spec).unwrap();
-        writer.record(&ProgramRecord {
-            index: 0,
-            program_id: "p".into(),
-            strategy: "varity".into(),
-            valid: true,
-            inconsistencies: 0,
-            successful: false,
-        });
+        let mut writer = dir.shard_writer(&spec, Telemetry::disabled()).unwrap();
+        writer.record(&record(0));
         drop(writer);
         assert!(dir.load_shard(&spec).is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_shard_tails_are_partial_progress_not_corruption() {
+        let root = temp_dir("torn-tail");
+        let dir = RunDir::open(&root, &manifest()).unwrap();
+        let config = manifest().config;
+        let spec = crate::shard::plan_shards(&config, 2)[0];
+        let mut writer = dir.shard_writer(&spec, Telemetry::disabled()).unwrap();
+        let mut runner = crate::shard::ShardRunner::new(&config, spec, None);
+        runner.run_segment(spec.budget, |r| writer.record(r));
+        let output = runner.finish();
+        writer.finish(&output).unwrap();
+        // Tear the tail mid-record, as a crash mid-`writeln!` would: the
+        // incomplete shard recomputes (None), with no panic or Corrupt.
+        let path = root.join("shards").join("shard-0000.jsonl");
+        let full = fs::read_to_string(&path).unwrap();
+        let torn: String = full.chars().take(full.len() / 2).collect();
+        fs::write(&path, &torn).unwrap();
+        assert!(dir.load_shard(&spec).is_none());
+        // A damaged *middle* line doesn't disqualify a surviving summary:
+        // the skipped line is exactly the progress it failed to record.
+        let mut lines: Vec<&str> = full.lines().collect();
+        let torn_middle = &lines[1][..lines[1].len() / 2].to_string();
+        lines[1] = torn_middle;
+        fs::write(&path, lines.join("\n")).unwrap();
+        assert_eq!(dir.load_shard(&spec).unwrap(), output);
         let _ = fs::remove_dir_all(&root);
     }
 
@@ -414,20 +728,99 @@ mod tests {
     }
 
     #[test]
+    fn truncated_checkpoints_disqualify_their_barrier_only() {
+        let root = temp_dir("truncated-checkpoint");
+        let m = RunManifest::new(manifest().config, 1, 4);
+        let dir = RunDir::open(&root, &m).unwrap();
+        let config = m.config;
+        let spec = crate::shard::plan_shards(&config, 1)[0];
+        let mut runner = crate::shard::ShardRunner::new(&config, spec, None);
+        runner.run_segment(2, |_| {});
+        for epoch in 0..2 {
+            dir.write_epoch_pool(epoch, &[]).unwrap();
+            dir.write_checkpoint(0, epoch, &runner.checkpoint()).unwrap();
+        }
+        assert_eq!(dir.latest_restorable_epoch(1, 4), Some(1));
+        // Truncate the latest barrier's checkpoint mid-file: resume falls
+        // back to the previous complete barrier instead of failing.
+        let path = root.join("checkpoints").join("shard-0000-epoch-0001.json");
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(dir.load_checkpoint(0, 1).is_none());
+        assert_eq!(dir.latest_restorable_epoch(1, 4), Some(0));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
     fn complete_shards_round_trip_and_stale_specs_are_ignored() {
         let root = temp_dir("roundtrip");
         let dir = RunDir::open(&root, &manifest()).unwrap();
         let config = manifest().config;
         let spec = crate::shard::plan_shards(&config, 2)[0];
-        let mut writer = dir.shard_writer(&spec).unwrap();
+        let mut writer = dir.shard_writer(&spec, Telemetry::disabled()).unwrap();
         let mut runner = crate::shard::ShardRunner::new(&config, spec, None);
         runner.run_segment(spec.budget, |r| writer.record(r));
         let output = runner.finish();
         writer.finish(&output).unwrap();
         assert_eq!(dir.load_shard(&spec).unwrap(), output);
+        assert_eq!(dir.persist_errors(), 0, "healthy writes count nothing");
         // A spec from a different plan must not accept this file.
         let stale = ShardSpec { budget: spec.budget + 1, ..spec };
         assert!(dir.load_shard(&stale).is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stale_tmp_stragglers_are_swept_on_open() {
+        let root = temp_dir("sweep");
+        let m = manifest();
+        let _dir = RunDir::open(&root, &m).unwrap();
+        let straggler = root.join(".result.json.999-0.tmp");
+        let nested = root.join("checkpoints");
+        fs::create_dir_all(&nested).unwrap();
+        let nested_straggler = nested.join(".shard-0000-epoch-0000.json.999-1.tmp");
+        fs::write(&straggler, "{half").unwrap();
+        fs::write(&nested_straggler, "{half").unwrap();
+        RunDir::open(&root, &m).unwrap();
+        assert!(!straggler.exists());
+        assert!(!nested_straggler.exists());
+        // The real artifacts survive the sweep.
+        assert!(root.join("manifest.json").exists());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_write_faults_fire_once_count_and_damage_the_artifact() {
+        let root = temp_dir("torn-write");
+        let dir = RunDir::open(&root, &manifest())
+            .unwrap()
+            .with_persist_faults(&[PersistFault::TornWrite("epoch".into())]);
+        let pool = vec!["void compute(double x) { comp = x; }".to_string()];
+        // The claimed write reports success but lands torn and counted.
+        dir.write_epoch_pool(0, &pool).unwrap();
+        assert_eq!(dir.persist_errors(), 1);
+        assert_eq!(dir.load_epoch_pool(0), None, "torn pool must not parse");
+        // The fault fired: the next matching write is healthy.
+        dir.write_epoch_pool(1, &pool).unwrap();
+        assert_eq!(dir.persist_errors(), 1);
+        assert_eq!(dir.load_epoch_pool(1).unwrap(), pool);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn dropped_record_lines_are_counted_not_silent() {
+        let root = temp_dir("dropped-lines");
+        let dir = RunDir::open(&root, &manifest()).unwrap();
+        let spec = ShardSpec { index: 0, budget: 3, offset: 0, seed: 2 };
+        let hub = llm4fp_telemetry::TelemetryHub::new(llm4fp_telemetry::TelemetrySpec::METRICS);
+        let mut writer = dir.shard_writer(&spec, hub.lane(0)).unwrap();
+        // Swap in a read-only handle: every flush now fails with a real
+        // io error, deterministically exercising the dropped-line path.
+        writer.writer = BufWriter::new(File::open(root.join("manifest.json")).unwrap());
+        writer.record(&record(0));
+        writer.record(&record(1));
+        assert_eq!(dir.persist_errors(), 2, "both drops counted on the run dir");
+        assert_eq!(hub.metrics().get(keys::PERSIST_ERRORS), 2, "and in telemetry");
         let _ = fs::remove_dir_all(&root);
     }
 }

@@ -11,12 +11,29 @@
 //!   within [`ProcessPoolExecutor::with_shard_timeout`] is killed (whole
 //!   process group, reusing the extcc kill machinery) and replaced.
 //! * **Crash-and-redispatch** — a dead or hung worker's job re-enters the
-//!   queue; after [`MAX_DISPATCH_ATTEMPTS`] failures the run errors out
-//!   instead of looping.
+//!   queue; after [`max_dispatch_attempts`] failures the failure policy
+//!   decides: [`FailurePolicy::Abort`] (default) errors the run out,
+//!   [`FailurePolicy::Quarantine`] completes the campaign on the
+//!   surviving shards and reports the losses.
+//! * **Respawn supervision** — a failed worker spawn is itself a
+//!   retryable dispatch failure, spaced by a deterministic seed-derived
+//!   exponential backoff ([`crate::faults::respawn_backoff`]); a
+//!   transport whose workers can never spawn surfaces
+//!   [`OrchestratorError::WorkerUnavailable`], the trigger for the
+//!   in-process fallback rung of the degradation ladder.
+//! * **Liveness checks at epoch barriers** — a daemon that died between
+//!   epochs is detected and its slot cleared before dispatch, so the new
+//!   epoch never burns a dispatch attempt discovering a known corpse.
 //! * **Straggler re-dispatch** — an idle worker at the epoch tail
 //!   duplicates the slowest still-running job (at most one duplicate);
 //!   the first answer wins and the loser is discarded, so barriers are
 //!   bounded by the second-slowest attempt instead of one bad process.
+//!
+//! Deterministic chaos testing drives all of this through a serializable
+//! [`FaultPlan`] ([`ProcessPoolExecutor::with_fault_plan`]): worker
+//! crash/stall/frame-sabotage faults ship to the daemons via one
+//! environment variable, and respawn failures inject into the
+//! coordinator's own spawn path.
 //!
 //! Shard state lives coordinator-side between epochs: each barrier's
 //! checkpoint comes back with the job result, the exchange pool is
@@ -28,11 +45,14 @@
 //! duplication schedule. (The only non-contractual divergence: workers
 //! run uncached and runtime scratch is not checkpointed, so wall-clock
 //! fields and `ShardOutput::peak_regs` may differ — never the records.)
+//!
+//! [`max_dispatch_attempts`]: ProcessPoolExecutor::max_dispatch_attempts
 
 use std::collections::VecDeque;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -41,13 +61,21 @@ use llm4fp::RunnerCheckpoint;
 use llm4fp_extcc::{group_spawn, kill_group};
 use llm4fp_telemetry::keys;
 
-use crate::executor::{OrchestratorError, RecordSink, ShardExecutor, ShardSession, ShardTask};
-use crate::shard::ShardOutput;
+use crate::executor::{
+    FailurePolicy, OrchestratorError, RecordSink, SessionOutcome, ShardExecutor, ShardSession,
+    ShardTask,
+};
+use crate::faults::{self, FaultPlan};
+use crate::shard::{ShardFailureReport, ShardOutput};
 use crate::wire::{self, ShardJob, ShardJobResult, WireRequest};
 
-/// How many times one job may fail (crash, hang, spawn failure) before
-/// the run errors out instead of redispatching again.
+/// Default dispatch-attempt budget per job (crash, hang, spawn failure all
+/// count). Override per executor with
+/// [`ProcessPoolExecutor::max_dispatch_attempts`].
 pub const MAX_DISPATCH_ATTEMPTS: u8 = 3;
+
+/// Default base delay of the deterministic exponential respawn backoff.
+pub const DEFAULT_RESPAWN_BACKOFF: Duration = Duration::from_millis(25);
 
 /// Environment variable overriding the worker binary path (useful for
 /// driving an explicitly built binary from scripts and CI).
@@ -59,7 +87,10 @@ pub struct ProcessPoolExecutor {
     worker_procs: usize,
     worker_bin: Option<PathBuf>,
     shard_timeout: Duration,
-    fault_env: Vec<(String, String)>,
+    max_dispatch_attempts: u8,
+    backoff_base: Duration,
+    policy: FailurePolicy,
+    faults: FaultPlan,
 }
 
 impl ProcessPoolExecutor {
@@ -73,7 +104,10 @@ impl ProcessPoolExecutor {
             worker_procs: worker_procs.max(1),
             worker_bin: None,
             shard_timeout: Duration::from_secs(300),
-            fault_env: Vec::new(),
+            max_dispatch_attempts: MAX_DISPATCH_ATTEMPTS,
+            backoff_base: DEFAULT_RESPAWN_BACKOFF,
+            policy: FailurePolicy::default(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -90,16 +124,42 @@ impl ProcessPoolExecutor {
         self
     }
 
-    /// Extra environment for the *first spawn of worker slot 0* only —
-    /// the deterministic fault-injection hook the crash/stall tests use
-    /// (`LLM4FP_WORKER_CRASH_AT_JOB`, `LLM4FP_WORKER_STALL_MS`).
-    /// Respawns after a kill never re-apply it, so an injected fault
-    /// cannot fail the same job [`MAX_DISPATCH_ATTEMPTS`] times.
-    pub fn with_first_worker_env(
-        mut self,
-        vars: impl IntoIterator<Item = (String, String)>,
-    ) -> Self {
-        self.fault_env = vars.into_iter().collect();
+    /// How many times one job may fail (crash, hang, spawn failure)
+    /// before the [`on_shard_failure`](Self::on_shard_failure) policy
+    /// applies. Defaults to [`MAX_DISPATCH_ATTEMPTS`]; `0` is rejected at
+    /// [`begin`](ShardExecutor::begin) with
+    /// [`OrchestratorError::InvalidDispatchAttempts`].
+    pub fn max_dispatch_attempts(mut self, attempts: u8) -> Self {
+        self.max_dispatch_attempts = attempts;
+        self
+    }
+
+    /// Base delay of the deterministic exponential backoff between
+    /// consecutive failed spawn attempts of one worker slot (doubles up
+    /// to 64x, with seed-derived jitter — see
+    /// [`crate::faults::respawn_backoff`]).
+    pub fn respawn_backoff_base(mut self, base: Duration) -> Self {
+        self.backoff_base = base;
+        self
+    }
+
+    /// What happens when a shard job exhausts its dispatch budget:
+    /// [`FailurePolicy::Abort`] (default) fails the run,
+    /// [`FailurePolicy::Quarantine`] completes the surviving shards and
+    /// reports the losses in `RunStats::failures` / `summary.json`.
+    pub fn on_shard_failure(mut self, policy: FailurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Arm a deterministic [`FaultPlan`] for chaos testing: worker faults
+    /// ship to the daemons via [`crate::faults::FAULT_PLAN_ENV`], and
+    /// `respawn_failures` inject into the coordinator's spawn path. An
+    /// empty plan (the default) costs one branch per site.
+    /// ([`PersistFault`](crate::faults::PersistFault)s belong to the
+    /// orchestrator — see [`crate::Orchestrator::persist_faults`].)
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 
@@ -111,7 +171,7 @@ impl ProcessPoolExecutor {
             return Ok(PathBuf::from(bin));
         }
         let exe = std::env::current_exe().map_err(|e| {
-            OrchestratorError::Executor(format!("cannot locate current executable: {e}"))
+            OrchestratorError::WorkerUnavailable(format!("cannot locate current executable: {e}"))
         })?;
         let mut dir = exe.parent().unwrap_or_else(|| Path::new(".")).to_path_buf();
         // Test binaries live in target/<profile>/deps/; the worker bin
@@ -123,7 +183,7 @@ impl ProcessPoolExecutor {
         if bin.exists() {
             Ok(bin)
         } else {
-            Err(OrchestratorError::Executor(format!(
+            Err(OrchestratorError::WorkerUnavailable(format!(
                 "worker binary not found at {} (build it with `cargo build -p \
                  llm4fp-orchestrator --bin llm4fp-worker`, set {WORKER_BIN_ENV}, or use \
                  with_worker_bin)",
@@ -149,6 +209,9 @@ impl ShardExecutor for ProcessPoolExecutor {
         tasks: Vec<ShardTask>,
         sink: &'s dyn RecordSink,
     ) -> Result<Box<dyn ShardSession + 's>, OrchestratorError> {
+        if self.max_dispatch_attempts == 0 {
+            return Err(OrchestratorError::InvalidDispatchAttempts);
+        }
         let bin = self.resolve_worker_bin()?;
         let checkpoints: Vec<Option<RunnerCheckpoint>> =
             tasks.iter().map(|task| task.checkpoint.clone()).collect();
@@ -161,10 +224,21 @@ impl ShardExecutor for ProcessPoolExecutor {
             .map(|checkpoint| checkpoint.as_ref().map_or(0, |c| c.records.len()))
             .collect();
         let workers = (0..self.worker_procs.max(1).min(tasks.len().max(1))).map(|_| None).collect();
+        // Backoff jitter derives from the campaign seed so chaos runs
+        // replay identically (any fixed seed preserves determinism; the
+        // campaign's makes runs distinguishable in traces).
+        let backoff_seed = tasks.first().map_or(0, |task| task.config.seed);
         Ok(Box::new(ProcessPoolSession {
             bin,
             shard_timeout: self.shard_timeout,
-            fault_env: self.fault_env.clone(),
+            max_dispatch_attempts: self.max_dispatch_attempts,
+            backoff_base: self.backoff_base,
+            backoff_seed,
+            policy: self.policy,
+            faults: self.faults.clone(),
+            respawn_budget: AtomicU32::new(self.faults.respawn_failures),
+            quarantined: vec![false; tasks.len()],
+            failures: tasks.iter().map(|_| None).collect(),
             tasks,
             sink,
             workers,
@@ -186,12 +260,12 @@ struct Worker {
 }
 
 impl Worker {
-    fn spawn(bin: &Path, env: &[(String, String)]) -> io::Result<Worker> {
+    fn spawn(bin: &Path, fault_env: Option<&str>) -> io::Result<Worker> {
         let mut cmd = Command::new(bin);
         cmd.stdin(Stdio::piped()).stdout(Stdio::piped()).stderr(Stdio::inherit());
         group_spawn(&mut cmd);
-        for (key, value) in env {
-            cmd.env(key, value);
+        if let Some(value) = fault_env {
+            cmd.env(faults::FAULT_PLAN_ENV, value);
         }
         let mut child = cmd.spawn()?;
         let stdin = child.stdin.take().expect("stdin piped");
@@ -237,6 +311,15 @@ impl Drop for Worker {
     }
 }
 
+/// Why an epoch gave up, and whether the terminal failure was the
+/// spawn-the-worker class (which maps to
+/// [`OrchestratorError::WorkerUnavailable`] — the in-process fallback's
+/// trigger) rather than a job-execution failure.
+struct EpochFailure {
+    message: String,
+    worker_unavailable: bool,
+}
+
 /// Shared per-epoch dispatch state (one lock, held only for bookkeeping).
 struct EpochState {
     /// Jobs not currently running anywhere (fresh or requeued).
@@ -245,22 +328,43 @@ struct EpochState {
     running: Vec<u8>,
     /// Failed attempts per job.
     attempts: Vec<u8>,
+    /// Last failure per job, for quarantine reports.
+    last_error: Vec<Option<String>>,
     done: Vec<bool>,
     remaining: usize,
     results: Vec<Option<ShardJobResult>>,
-    failed: Option<String>,
+    /// Jobs that exhausted their budget under the quarantine policy this
+    /// epoch (sticky `done`, no result, no requeue).
+    quarantined: Vec<bool>,
+    failed: Option<EpochFailure>,
+    max_attempts: u8,
+    policy: FailurePolicy,
 }
 
 impl EpochState {
-    fn new(jobs: usize) -> Self {
+    /// Dispatch state over `jobs` jobs, skipping the ones already
+    /// quarantined in earlier epochs.
+    fn new(
+        jobs: usize,
+        already_quarantined: &[bool],
+        max_attempts: u8,
+        policy: FailurePolicy,
+    ) -> Self {
+        debug_assert_eq!(already_quarantined.len(), jobs);
+        let queue: VecDeque<usize> = (0..jobs).filter(|&job| !already_quarantined[job]).collect();
+        let remaining = queue.len();
         EpochState {
-            queue: (0..jobs).collect(),
+            queue,
             running: vec![0; jobs],
             attempts: vec![0; jobs],
-            done: vec![false; jobs],
-            remaining: jobs,
+            last_error: (0..jobs).map(|_| None).collect(),
+            done: already_quarantined.to_vec(),
+            remaining,
             results: (0..jobs).map(|_| None).collect(),
+            quarantined: vec![false; jobs],
             failed: None,
+            max_attempts,
+            policy,
         }
     }
 
@@ -284,19 +388,37 @@ impl EpochState {
         }
     }
 
-    /// A dispatch failed (crash, hang, protocol violation). Requeue
-    /// unless the job already completed elsewhere or ran out of attempts.
-    fn abandon(&mut self, job: usize, why: String) {
+    /// A dispatch failed (crash, hang, protocol violation, spawn
+    /// failure). Requeue unless the job already completed elsewhere or
+    /// ran out of attempts — then the failure policy decides between
+    /// failing the epoch and quarantining the job. `spawn_failure` marks
+    /// the cannot-even-spawn class for the degradation ladder.
+    fn abandon(&mut self, job: usize, why: String, spawn_failure: bool) {
         self.running[job] -= 1;
         if self.done[job] {
             return;
         }
         self.attempts[job] += 1;
-        if self.attempts[job] >= MAX_DISPATCH_ATTEMPTS {
-            self.failed = Some(format!(
-                "shard job {job} failed {MAX_DISPATCH_ATTEMPTS} times; last error: {why}"
-            ));
+        if self.attempts[job] >= self.max_attempts {
+            let budget = self.max_attempts;
+            match self.policy {
+                FailurePolicy::Abort => {
+                    self.failed = Some(EpochFailure {
+                        message: format!(
+                            "shard job {job} failed {budget} time(s); last error: {why}"
+                        ),
+                        worker_unavailable: spawn_failure,
+                    });
+                }
+                FailurePolicy::Quarantine => {
+                    self.quarantined[job] = true;
+                    self.done[job] = true;
+                    self.remaining -= 1;
+                }
+            }
+            self.last_error[job] = Some(why);
         } else {
+            self.last_error[job] = Some(why);
             self.queue.push_front(job);
         }
     }
@@ -305,7 +427,17 @@ impl EpochState {
 struct ProcessPoolSession<'s> {
     bin: PathBuf,
     shard_timeout: Duration,
-    fault_env: Vec<(String, String)>,
+    max_dispatch_attempts: u8,
+    backoff_base: Duration,
+    backoff_seed: u64,
+    policy: FailurePolicy,
+    faults: FaultPlan,
+    /// Remaining injected spawn failures ([`FaultPlan::respawn_failures`]).
+    respawn_budget: AtomicU32,
+    /// Tasks quarantined in *any* epoch so far (sticky for the session).
+    quarantined: Vec<bool>,
+    /// Failure report per quarantined task.
+    failures: Vec<Option<ShardFailureReport>>,
     tasks: Vec<ShardTask>,
     sink: &'s dyn RecordSink,
     /// Worker slots; `None` until a slot's coordinator thread first needs
@@ -325,7 +457,10 @@ struct ProcessPoolSession<'s> {
 struct PumpCtx<'a> {
     bin: &'a Path,
     shard_timeout: Duration,
-    fault_env: &'a [(String, String)],
+    backoff_base: Duration,
+    backoff_seed: u64,
+    faults: &'a FaultPlan,
+    respawn_budget: &'a AtomicU32,
     tasks: &'a [ShardTask],
     checkpoints: &'a [Option<RunnerCheckpoint>],
     segments: &'a [usize],
@@ -346,19 +481,32 @@ impl PumpCtx<'_> {
             telemetry: task.telemetry.is_enabled(),
         }))
     }
+
+    /// Whether this spawn attempt is sacrificed to the fault plan's
+    /// injected respawn-failure budget (one branch when unarmed).
+    fn injected_spawn_failure(&self) -> bool {
+        self.faults.respawn_failures != 0
+            && self
+                .respawn_budget
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+    }
 }
 
 /// One worker slot's dispatch loop: pull a job, ensure a live daemon,
-/// send the frame, wait (bounded) for the answer, and translate crashes
-/// and hangs into kill + redispatch.
+/// send the frame, wait (bounded) for the answer, and translate crashes,
+/// hangs and failed spawns into kill + backoff + redispatch.
 fn pump_worker(
     slot_index: usize,
     slot: &mut Option<Worker>,
     session: &PumpCtx<'_>,
     state: &Mutex<EpochState>,
 ) {
-    // Fault-injection env applies to slot 0's first spawn only.
+    // Worker faults apply to slot 0's first *successful* spawn only (plus
+    // whatever `every_worker` adds to all spawns).
     let mut first_spawn = true;
+    // Consecutive failed spawn attempts of this slot, for the backoff.
+    let mut spawn_failures: u32 = 0;
     loop {
         let job = {
             let mut state = state.lock().unwrap();
@@ -375,20 +523,38 @@ fn pump_worker(
             }
         };
         if slot.is_none() {
-            let env: &[(String, String)] =
-                if slot_index == 0 && first_spawn { session.fault_env } else { &[] };
-            match Worker::spawn(session.bin, env) {
-                Ok(worker) => *slot = Some(worker),
+            let spawned = if session.injected_spawn_failure() {
+                Err(io::Error::other("injected respawn failure"))
+            } else {
+                let env = session.faults.worker_env(slot_index == 0 && first_spawn);
+                Worker::spawn(session.bin, env.as_deref())
+            };
+            match spawned {
+                Ok(worker) => {
+                    *slot = Some(worker);
+                    first_spawn = false;
+                    spawn_failures = 0;
+                }
                 Err(e) => {
-                    let mut state = state.lock().unwrap();
-                    state.running[job] -= 1;
-                    state.failed =
-                        Some(format!("cannot spawn worker {}: {e}", session.bin.display()));
-                    return;
+                    spawn_failures += 1;
+                    state.lock().unwrap().abandon(
+                        job,
+                        format!("cannot spawn worker {}: {e}", session.bin.display()),
+                        true,
+                    );
+                    // Deterministic exponential backoff before this slot
+                    // tries to spawn again (the job itself is already
+                    // requeued for any slot to pick up).
+                    std::thread::sleep(faults::respawn_backoff(
+                        session.backoff_seed,
+                        slot_index,
+                        spawn_failures,
+                        session.backoff_base,
+                    ));
+                    continue;
                 }
             }
         }
-        first_spawn = false;
         let worker = slot.as_mut().expect("worker spawned");
         let telemetry = &session.tasks[job].telemetry;
         telemetry.observe(keys::QUEUE_WAIT, session.pool_start.elapsed());
@@ -418,7 +584,24 @@ fn pump_worker(
                     kill_group(&mut dead.child);
                     dead.reaped = true;
                 }
-                state.lock().unwrap().abandon(job, why);
+                state.lock().unwrap().abandon(job, why, false);
+            }
+        }
+    }
+}
+
+impl ProcessPoolSession<'_> {
+    /// Barrier liveness sweep: clear slots whose daemon died between
+    /// epochs (crash after answering, external kill), so dispatch
+    /// respawns them immediately instead of burning a dispatch attempt
+    /// on a broken pipe.
+    fn sweep_dead_workers(&mut self) {
+        for slot in self.workers.iter_mut() {
+            let dead = matches!(slot.as_mut().map(|w| w.child.try_wait()), Some(Ok(Some(_))));
+            if dead {
+                let mut worker = slot.take().expect("slot checked non-empty");
+                // Already exited — nothing to kill, nothing to reap.
+                worker.reaped = true;
             }
         }
     }
@@ -431,14 +614,23 @@ impl ShardSession for ProcessPoolSession<'_> {
         last: bool,
     ) -> Result<Vec<Vec<String>>, OrchestratorError> {
         debug_assert_eq!(segments.len(), self.tasks.len());
-        let state = Mutex::new(EpochState::new(self.tasks.len()));
+        self.sweep_dead_workers();
+        let state = Mutex::new(EpochState::new(
+            self.tasks.len(),
+            &self.quarantined,
+            self.max_dispatch_attempts,
+            self.policy,
+        ));
         {
             // Split-borrow: each dispatch thread exclusively owns its
             // worker slot; everything else is shared read-only.
             let ctx = PumpCtx {
                 bin: &self.bin,
                 shard_timeout: self.shard_timeout,
-                fault_env: &self.fault_env,
+                backoff_base: self.backoff_base,
+                backoff_seed: self.backoff_seed,
+                faults: &self.faults,
+                respawn_budget: &self.respawn_budget,
                 tasks: &self.tasks,
                 checkpoints: &self.checkpoints,
                 segments,
@@ -454,18 +646,39 @@ impl ShardSession for ProcessPoolSession<'_> {
             });
         }
         let mut state = state.into_inner().unwrap();
-        if let Some(why) = state.failed.take() {
-            return Err(OrchestratorError::Executor(why));
+        if let Some(failure) = state.failed.take() {
+            return Err(if failure.worker_unavailable {
+                OrchestratorError::WorkerUnavailable(failure.message)
+            } else {
+                OrchestratorError::Executor(failure.message)
+            });
+        }
+        // Fold this epoch's quarantine decisions into the session; the
+        // reports surface through `finish` and `RunStats::failures`.
+        for job in 0..self.tasks.len() {
+            if state.quarantined[job] && !self.quarantined[job] {
+                self.quarantined[job] = true;
+                self.failures[job] = Some(ShardFailureReport {
+                    shard: self.tasks[job].spec.index,
+                    attempts: u32::from(state.attempts[job]),
+                    last_error: state.last_error[job].clone().unwrap_or_default(),
+                });
+            }
         }
         // Single-threaded post-processing in task order: absorb worker
         // counters (exactly once per job — duplicates were discarded),
         // replay newly computed records into the sink, store barrier
-        // state or final outputs.
+        // state or final outputs. Quarantined jobs contribute an empty
+        // delta and nothing else.
         let mut deltas = Vec::with_capacity(self.tasks.len());
         if last {
             self.outputs = (0..self.tasks.len()).map(|_| None).collect();
         }
         for (job, result) in state.results.iter_mut().enumerate() {
+            if self.quarantined[job] {
+                deltas.push(Vec::new());
+                continue;
+            }
             let result = result.take().ok_or_else(|| {
                 OrchestratorError::Executor(format!("shard job {job} never completed"))
             })?;
@@ -505,6 +718,9 @@ impl ShardSession for ProcessPoolSession<'_> {
     fn inject(&mut self, pools: &[&[String]]) -> Result<(), OrchestratorError> {
         debug_assert_eq!(pools.len(), self.checkpoints.len());
         for (job, pool) in pools.iter().enumerate() {
+            if self.quarantined[job] {
+                continue;
+            }
             let checkpoint = self.checkpoints[job].as_mut().ok_or_else(|| {
                 OrchestratorError::Executor(format!(
                     "inject before shard job {job} ever ran an epoch"
@@ -515,12 +731,18 @@ impl ShardSession for ProcessPoolSession<'_> {
         Ok(())
     }
 
-    fn checkpoints(&mut self) -> Result<Vec<RunnerCheckpoint>, OrchestratorError> {
+    fn checkpoints(&mut self) -> Result<Vec<Option<RunnerCheckpoint>>, OrchestratorError> {
         self.checkpoints
             .iter()
             .enumerate()
             .map(|(job, checkpoint)| {
-                checkpoint.clone().ok_or_else(|| {
+                if self.quarantined[job] {
+                    // A quarantined job has no live barrier state; its
+                    // stale checkpoint (if any) must not be persisted as
+                    // if the barrier were complete.
+                    return Ok(None);
+                }
+                checkpoint.clone().map(Some).ok_or_else(|| {
                     OrchestratorError::Executor(format!(
                         "checkpoint requested before shard job {job} ever ran"
                     ))
@@ -529,7 +751,7 @@ impl ShardSession for ProcessPoolSession<'_> {
             .collect()
     }
 
-    fn finish(mut self: Box<Self>) -> Result<Vec<ShardOutput>, OrchestratorError> {
+    fn finish(mut self: Box<Self>) -> Result<SessionOutcome, OrchestratorError> {
         for worker in self.workers.iter_mut().filter_map(Option::take) {
             worker.shutdown();
         }
@@ -539,15 +761,19 @@ impl ShardSession for ProcessPoolSession<'_> {
                 "finish called before the final epoch ran".into(),
             ));
         }
-        outputs
+        let shards = outputs
             .into_iter()
+            .zip(std::mem::take(&mut self.failures))
             .enumerate()
-            .map(|(job, output)| {
-                output.ok_or_else(|| {
-                    OrchestratorError::Executor(format!("shard job {job} has no output"))
-                })
+            .map(|(job, (output, failure))| match (output, failure) {
+                (Some(output), _) => Ok(Ok(output)),
+                (None, Some(report)) => Ok(Err(report)),
+                (None, None) => {
+                    Err(OrchestratorError::Executor(format!("shard job {job} has no output")))
+                }
             })
-            .collect()
+            .collect::<Result<Vec<_>, OrchestratorError>>()?;
+        Ok(SessionOutcome { shards })
     }
 }
 
@@ -555,25 +781,62 @@ impl ShardSession for ProcessPoolSession<'_> {
 mod tests {
     use super::*;
 
+    fn abort_state(jobs: usize) -> EpochState {
+        EpochState::new(jobs, &vec![false; jobs], MAX_DISPATCH_ATTEMPTS, FailurePolicy::Abort)
+    }
+
     #[test]
     fn dispatch_state_requeues_failures_and_caps_attempts() {
-        let mut state = EpochState::new(2);
+        let mut state = abort_state(2);
         assert_eq!(state.next_job(), Some(0));
         assert_eq!(state.next_job(), Some(1));
         // Worker holding job 0 crashes twice; job re-enters the queue.
-        state.abandon(0, "crash".into());
+        state.abandon(0, "crash".into(), false);
         assert!(state.failed.is_none());
         assert_eq!(state.next_job(), Some(0));
-        state.abandon(0, "crash".into());
+        state.abandon(0, "crash".into(), false);
         assert_eq!(state.next_job(), Some(0));
         // Third failure exhausts the attempt budget.
-        state.abandon(0, "crash".into());
-        assert!(state.failed.as_deref().unwrap().contains("3 times"));
+        state.abandon(0, "crash".into(), false);
+        let failure = state.failed.as_ref().unwrap();
+        assert!(failure.message.contains("3 time(s)"));
+        assert!(!failure.worker_unavailable);
+    }
+
+    #[test]
+    fn spawn_class_failures_mark_worker_unavailable() {
+        let mut state = EpochState::new(1, &[false], 1, FailurePolicy::Abort);
+        assert_eq!(state.next_job(), Some(0));
+        state.abandon(0, "cannot spawn worker".into(), true);
+        assert!(state.failed.as_ref().unwrap().worker_unavailable);
+    }
+
+    #[test]
+    fn quarantine_policy_retires_the_job_instead_of_failing_the_epoch() {
+        let mut state = EpochState::new(2, &[false, false], 2, FailurePolicy::Quarantine);
+        assert_eq!(state.next_job(), Some(0));
+        state.abandon(0, "crash".into(), false);
+        assert_eq!(state.next_job(), Some(0));
+        state.abandon(0, "crash again".into(), false);
+        // Budget exhausted: quarantined, not failed; the epoch continues
+        // with the surviving job.
+        assert!(state.failed.is_none());
+        assert!(state.quarantined[0]);
+        assert!(state.done[0]);
+        assert_eq!(state.remaining, 1);
+        assert_eq!(state.last_error[0].as_deref(), Some("crash again"));
+        assert_eq!(state.attempts[0], 2);
+        assert_eq!(state.next_job(), Some(1));
+        // Later epochs skip quarantined jobs entirely.
+        let later = EpochState::new(2, &[true, false], 2, FailurePolicy::Quarantine);
+        assert_eq!(later.remaining, 1);
+        assert!(later.done[0]);
+        assert_eq!(later.queue, VecDeque::from([1]));
     }
 
     #[test]
     fn stragglers_get_one_duplicate_and_first_answer_wins() {
-        let mut state = EpochState::new(1);
+        let mut state = abort_state(1);
         assert_eq!(state.next_job(), Some(0));
         // Queue empty, job 0 still running: an idle worker duplicates it.
         assert_eq!(state.next_job(), Some(0));
@@ -601,13 +864,24 @@ mod tests {
     fn missing_worker_binary_is_a_clean_error() {
         let executor = ProcessPoolExecutor::new(2).with_worker_bin("/nonexistent/llm4fp-worker");
         // Resolution succeeds (the path is pinned); the spawn inside the
-        // first epoch fails and surfaces as an executor error — covered
-        // by the integration tests. Here: the unpinned resolver errors
-        // when nothing exists next to the test binary and the env is
-        // unset (or points somewhere real — accept both).
+        // first epoch fails and surfaces as `WorkerUnavailable` — covered
+        // by the integration tests. Here: the pinned resolver hands the
+        // path through untouched.
         assert_eq!(
             executor.resolve_worker_bin().unwrap(),
             PathBuf::from("/nonexistent/llm4fp-worker")
         );
+    }
+
+    #[test]
+    fn zero_dispatch_attempts_is_rejected_at_begin() {
+        let executor = ProcessPoolExecutor::new(1)
+            .with_worker_bin("/nonexistent/llm4fp-worker")
+            .max_dispatch_attempts(0);
+        let err = match executor.begin(Vec::new(), &crate::executor::NullSink) {
+            Ok(_) => panic!("begin must reject a zero dispatch budget"),
+            Err(err) => err,
+        };
+        assert!(matches!(err, OrchestratorError::InvalidDispatchAttempts), "got {err}");
     }
 }

@@ -210,15 +210,21 @@ impl Scheduler {
             session.inject(&broadcast)?;
         }
 
-        let outputs: Vec<(usize, ShardOutput)> =
-            tasks.iter().map(|(campaign, _)| *campaign).zip(session.finish()?).collect();
+        let session_outcome = session.finish()?;
 
         // Regroup by campaign (merge_shards re-sorts by shard index).
+        // Quarantined shards land in their campaign's failure reports
+        // instead of its merge set — one poisonous shard degrades only
+        // its own campaign's coverage, never the whole suite.
         let suite_elapsed = start.elapsed();
         let campaign_walls = sink.campaign_walls(suite_elapsed);
-        let mut grouped: Vec<Vec<_>> = configs.iter().map(|_| Vec::new()).collect();
-        for (campaign, output) in outputs {
-            grouped[campaign].push(output);
+        let mut grouped: Vec<Vec<ShardOutput>> = configs.iter().map(|_| Vec::new()).collect();
+        let mut campaign_failures: Vec<Vec<_>> = configs.iter().map(|_| Vec::new()).collect();
+        for ((campaign, _), shard) in tasks.iter().zip(session_outcome.shards) {
+            match shard {
+                Ok(output) => grouped[*campaign].push(output),
+                Err(report) => campaign_failures[*campaign].push(report),
+            }
         }
         Ok(configs
             .iter()
@@ -251,6 +257,9 @@ impl Scheduler {
                         wall_time: campaign_walls[campaign],
                         shard_pipeline_time,
                         telemetry: hubs[campaign].enabled().then(|| hubs[campaign].summary()),
+                        failures: std::mem::take(&mut campaign_failures[campaign]),
+                        persist_errors: 0,
+                        fell_back_to_in_process: false,
                     },
                     result,
                 }

@@ -93,6 +93,21 @@ pub struct ShardOutput {
     pub peak_regs: Option<usize>,
 }
 
+/// Why one shard contributed nothing to a merged campaign: it exhausted
+/// its dispatch budget and was quarantined instead of aborting the run
+/// (see [`crate::executor::FailurePolicy::Quarantine`]). Serialized into
+/// `summary.json` so an unattended chaos run leaves an auditable record
+/// of exactly which shards were lost, after how many attempts, and why.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardFailureReport {
+    /// The failed shard's index within its campaign plan.
+    pub shard: usize,
+    /// Dispatch attempts spent before quarantining.
+    pub attempts: u32,
+    /// The last dispatch's failure, verbatim.
+    pub last_error: String,
+}
+
 /// Split one shard's budget into `epochs` consecutive segment lengths
 /// (differing by at most one program, remainder on the leading epochs).
 /// Zero-length segments are legal — a shard smaller than the epoch count

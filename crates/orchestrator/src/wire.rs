@@ -88,10 +88,26 @@ pub enum WireRequest {
 /// Byte length of the frame header: 10 ASCII digits + `\n`.
 const HEADER_LEN: usize = 11;
 
-/// Write `value` as one frame.
+/// Upper bound on one frame's payload (256 MiB — far above any real
+/// job or result, far below what a corrupt 10-digit header can demand).
+/// A header promising more is a typed malformed-frame error *before any
+/// allocation*, so a byte-flipped length can never turn into a multi-GB
+/// allocation or an OOM kill of the coordinator.
+pub const MAX_FRAME_LEN: usize = 256 << 20;
+
+/// Write `value` as one frame. Refuses (with
+/// [`io::ErrorKind::InvalidData`]) payloads over [`MAX_FRAME_LEN`] —
+/// the receiver would reject them anyway, so fail at the producer where
+/// the diagnosis is cheap.
 pub fn write_frame<T: Serialize, W: Write>(writer: &mut W, value: &T) -> io::Result<()> {
     let payload = serde_json::to_string(value)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("encode frame: {e}")))?;
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(bad_frame(&format!(
+            "payload of {} bytes exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN})",
+            payload.len()
+        )));
+    }
     writeln!(writer, "{:010}", payload.len())?;
     writer.write_all(payload.as_bytes())?;
     writer.flush()
@@ -99,7 +115,8 @@ pub fn write_frame<T: Serialize, W: Write>(writer: &mut W, value: &T) -> io::Res
 
 /// Read one frame. An EOF *before the first header byte* surfaces as
 /// [`io::ErrorKind::UnexpectedEof`] (the clean end-of-stream signal);
-/// anything malformed is [`io::ErrorKind::InvalidData`].
+/// anything malformed — including a length over [`MAX_FRAME_LEN`] — is
+/// [`io::ErrorKind::InvalidData`].
 pub fn read_frame<T: serde::de::DeserializeOwned, R: Read>(reader: &mut R) -> io::Result<T> {
     let mut header = [0u8; HEADER_LEN];
     reader.read_exact(&mut header)?;
@@ -109,6 +126,11 @@ pub fn read_frame<T: serde::de::DeserializeOwned, R: Read>(reader: &mut R) -> io
     let digits = std::str::from_utf8(&header[..HEADER_LEN - 1])
         .map_err(|_| bad_frame("header is not ASCII"))?;
     let len: usize = digits.parse().map_err(|_| bad_frame("header is not a decimal length"))?;
+    if len > MAX_FRAME_LEN {
+        return Err(bad_frame(&format!(
+            "header demands {len} bytes, over MAX_FRAME_LEN ({MAX_FRAME_LEN})"
+        )));
+    }
     let mut payload = vec![0u8; len];
     reader.read_exact(&mut payload)?;
     let text = std::str::from_utf8(&payload).map_err(|_| bad_frame("payload is not UTF-8"))?;
@@ -174,6 +196,15 @@ mod tests {
         // Truncated payload: the stream died mid-frame.
         let err = read_frame::<WireRequest, _>(&mut &b"0000000099\n{}"[..]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_headers_are_rejected_before_allocating() {
+        // A corrupt header demanding ~9.3 GiB must fail fast as a typed
+        // bad-frame error, not attempt the allocation.
+        let err = read_frame::<WireRequest, _>(&mut &b"9999999999\n{}"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("MAX_FRAME_LEN"), "{err}");
     }
 
     #[test]

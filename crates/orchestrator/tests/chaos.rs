@@ -1,0 +1,237 @@
+//! Crash-safety chaos tests: runs that die, lie, or rot on disk must
+//! either recover bit-identically or fail with a typed error — never
+//! silently produce different results.
+//!
+//! The damage shapes here are the ones a real crash leaves behind:
+//! torn JSONL tails (the process died mid-`writeln!`), binary garbage
+//! from a torn overwrite, truncated barrier checkpoints, stale `.tmp`
+//! stragglers, and manifests from a different schema generation. The
+//! injected-at-runtime counterpart ([`PersistFault::TornWrite`]) drives
+//! the same recovery paths from the writing side.
+
+use std::path::{Path, PathBuf};
+
+use llm4fp::{ApproachKind, CampaignConfig, CampaignResult};
+use llm4fp_orchestrator::{
+    OrchestratedResult, Orchestrator, OrchestratorError, PersistError, PersistFault, RunDir,
+    RunManifest, MANIFEST_SCHEMA,
+};
+use serde::{Number, Value};
+
+fn config(approach: ApproachKind, budget: usize, seed: u64) -> CampaignConfig {
+    CampaignConfig::new(approach).with_budget(budget).with_seed(seed).with_threads(1)
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("llm4fp-orchestrator-tests")
+        .join(format!("chaos-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_results_identical(a: &CampaignResult, b: &CampaignResult, what: &str) {
+    assert_eq!(a.records, b.records, "{what}: records differ");
+    assert_eq!(a.sources, b.sources, "{what}: sources differ");
+    assert_eq!(a.successful_sources, b.successful_sources, "{what}: successful sets differ");
+    assert_eq!(a.aggregates, b.aggregates, "{what}: aggregates differ");
+}
+
+/// A complete, persisted multi-epoch reference run.
+fn persisted_run(config: &CampaignConfig, root: &Path, epochs: usize) -> OrchestratedResult {
+    Orchestrator::new(config.clone())
+        .shards(3)
+        .workers(2)
+        .epochs(epochs)
+        .run_dir(root.to_path_buf())
+        .run()
+        .unwrap()
+}
+
+/// Force a resume to actually recompute by deleting the completion
+/// artifacts (a finished run would otherwise just reload `result.json`).
+fn force_recompute(root: &Path) {
+    let _ = std::fs::remove_file(root.join("result.json"));
+    let _ = std::fs::remove_file(root.join("summary.json"));
+}
+
+#[test]
+fn resume_survives_torn_tails_and_binary_garbage_in_shard_files() {
+    let config = config(ApproachKind::Llm4Fp, 24, 31);
+    let root = temp_dir("torn-tail");
+    let full = persisted_run(&config, &root, 1);
+    force_recompute(&root);
+
+    // Shard 0: the tail is a half-written JSON line, as a crash mid-
+    // writeln! leaves it. Shard 1: a torn binary overwrite — non-UTF-8
+    // garbage splattered over the tail. Both are partial progress, not
+    // corruption: the shards recompute and the merged result is
+    // bit-identical.
+    let shard0 = root.join("shards").join("shard-0000.jsonl");
+    let mut text = std::fs::read_to_string(&shard0).unwrap();
+    let keep = text.len() - text.len() / 3;
+    text.truncate(keep);
+    std::fs::write(&shard0, text).unwrap();
+
+    let shard1 = root.join("shards").join("shard-0001.jsonl");
+    let mut bytes = std::fs::read(&shard1).unwrap();
+    let tail = bytes.len() / 2;
+    for b in &mut bytes[tail..] {
+        *b = 0xFF;
+    }
+    std::fs::write(&shard1, bytes).unwrap();
+
+    let resumed = Orchestrator::resume(&root).unwrap();
+    assert_eq!(resumed.stats.shards_reused, 1, "only the undamaged shard is reused");
+    assert_eq!(resumed.stats.shards_computed, 2, "both damaged shards recompute");
+    assert_results_identical(&resumed.result, &full.result, "torn-tail resume");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn truncated_checkpoints_fall_back_to_an_earlier_barrier() {
+    let config = config(ApproachKind::Llm4Fp, 24, 37);
+    let (shards, epochs) = (3usize, 3usize);
+    let root = temp_dir("truncated-checkpoint");
+    let full = persisted_run(&config, &root, epochs);
+    force_recompute(&root);
+    // Make every shard recompute so the barrier restore actually runs.
+    for shard in 0..shards {
+        let _ = std::fs::remove_file(root.join("shards").join(format!("shard-{shard:04}.jsonl")));
+    }
+
+    // The latest barrier (epoch 1) has one checkpoint cut in half — a
+    // crash during a torn (non-atomic) write. That disqualifies barrier
+    // 1 only: resume restores from barrier 0 and recomputes epochs 1-2,
+    // with bit-identical results.
+    let dir = RunDir::open(&root, &RunManifest::new(config.clone(), shards, epochs)).unwrap();
+    assert_eq!(dir.latest_restorable_epoch(shards, epochs), Some(1));
+    let damaged = root.join("checkpoints").join("shard-0002-epoch-0001.json");
+    let bytes = std::fs::read(&damaged).unwrap();
+    std::fs::write(&damaged, &bytes[..bytes.len() / 2]).unwrap();
+    assert_eq!(
+        dir.latest_restorable_epoch(shards, epochs),
+        Some(0),
+        "a truncated checkpoint disqualifies its barrier, not the whole run dir"
+    );
+
+    let resumed = Orchestrator::resume(&root).unwrap();
+    assert_eq!(resumed.stats.epochs_restored, 1, "restored through barrier 0");
+    assert_results_identical(&resumed.result, &full.result, "earlier-barrier resume");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn newer_schema_manifests_are_refused_with_a_typed_error() {
+    let config = config(ApproachKind::Varity, 8, 41);
+    let root = temp_dir("newer-schema");
+    persisted_run(&config, &root, 1);
+
+    // A future build bumped the schema: this build must refuse the dir
+    // outright rather than guess at the layout.
+    let manifest_path = root.join("manifest.json");
+    let text = std::fs::read_to_string(&manifest_path).unwrap();
+    let Value::Obj(mut map) = serde_json::parse(&text).unwrap() else {
+        panic!("manifest.json is an object")
+    };
+    map.insert("schema".to_string(), Value::Num(Number::U(u64::from(MANIFEST_SCHEMA) + 7)));
+    std::fs::write(&manifest_path, serde_json::to_string(&Value::Obj(map)).unwrap()).unwrap();
+
+    let err = Orchestrator::resume(&root).expect_err("newer schema must refuse to open");
+    match err {
+        OrchestratorError::Persist(PersistError::SchemaMismatch { found, supported }) => {
+            assert_eq!(found, MANIFEST_SCHEMA + 7);
+            assert_eq!(supported, MANIFEST_SCHEMA);
+        }
+        other => panic!("expected SchemaMismatch, got {other}"),
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn pre_versioning_manifests_still_resume_bit_identically() {
+    let config = config(ApproachKind::Llm4Fp, 16, 43);
+    let root = temp_dir("schema-v1");
+    let full = persisted_run(&config, &root, 2);
+    force_recompute(&root);
+
+    // Strip the schema field entirely — the manifest a pre-versioning
+    // build wrote. It reads as schema 1 and resumes normally.
+    let manifest_path = root.join("manifest.json");
+    let text = std::fs::read_to_string(&manifest_path).unwrap();
+    let Value::Obj(mut map) = serde_json::parse(&text).unwrap() else {
+        panic!("manifest.json is an object")
+    };
+    map.remove("schema");
+    std::fs::write(&manifest_path, serde_json::to_string(&Value::Obj(map)).unwrap()).unwrap();
+    assert_eq!(RunDir::read_manifest(&root).unwrap().schema_version(), 1);
+
+    let resumed = Orchestrator::resume(&root).unwrap();
+    assert_results_identical(&resumed.result, &full.result, "schema-1 resume");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn torn_write_faults_are_counted_and_leave_results_bit_identical() {
+    let config = config(ApproachKind::Llm4Fp, 24, 47);
+    let reference = Orchestrator::new(config.clone()).shards(3).epochs(3).run().unwrap();
+
+    // Inject a torn checkpoint write at runtime: the artifact lands half-
+    // written (bypassing temp+rename), the failure is counted — never
+    // silent — and the run completes with bit-identical results, because
+    // barrier artifacts are best-effort redundancy, not the results path.
+    let root = temp_dir("torn-write-fault");
+    let torn = Orchestrator::new(config.clone())
+        .shards(3)
+        .epochs(3)
+        .run_dir(root.clone())
+        .persist_faults(vec![PersistFault::TornWrite("checkpoint".into())])
+        .run()
+        .unwrap();
+    assert_results_identical(&torn.result, &reference.result, "run under a torn-write fault");
+    assert!(torn.stats.persist_errors >= 1, "the torn write is counted, not silent");
+    let summary = RunDir::open(&root, &RunManifest::new(config.clone(), 3, 3))
+        .unwrap()
+        .load_summary()
+        .expect("summary.json written");
+    assert_eq!(summary.persist_errors, torn.stats.persist_errors, "summary.json reports it");
+
+    // The damaged checkpoint is exactly the resume shape the earlier
+    // tests pin: a subsequent resume still reproduces the run.
+    force_recompute(&root);
+    let resumed = Orchestrator::resume(&root).unwrap();
+    assert_results_identical(&resumed.result, &reference.result, "resume after torn write");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn stale_tmp_stragglers_never_block_or_pollute_a_resume() {
+    let config = config(ApproachKind::Varity, 12, 53);
+    let root = temp_dir("tmp-stragglers");
+    let full = persisted_run(&config, &root, 2);
+    force_recompute(&root);
+
+    // Simulate a crash mid-atomic-write in every artifact directory.
+    for (dir, name) in [
+        ("", ".result.json.999-0.tmp"),
+        ("shards", ".shard-0000.jsonl.999-1.tmp"),
+        ("epochs", ".epoch-0000.json.999-2.tmp"),
+        ("checkpoints", ".shard-0000-epoch-0000.json.999-3.tmp"),
+    ] {
+        let at = if dir.is_empty() { root.clone() } else { root.join(dir) };
+        std::fs::write(at.join(name), "{\"half\":").unwrap();
+    }
+
+    let resumed = Orchestrator::resume(&root).unwrap();
+    assert_results_identical(&resumed.result, &full.result, "resume with tmp stragglers");
+    for dir in ["", "shards", "epochs", "checkpoints"] {
+        let at = if dir.is_empty() { root.clone() } else { root.join(dir) };
+        let stragglers: Vec<_> = std::fs::read_dir(&at)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|ext| ext == "tmp"))
+            .collect();
+        assert!(stragglers.is_empty(), "{dir:?} still holds tmp stragglers");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -221,8 +221,7 @@ fn interrupted_runs_resume_to_identical_results() {
     assert_results_identical(&resumed.result, &full.result, "resume");
 
     // The merged result and run summary on disk match too.
-    let dir =
-        RunDir::open(&root, &RunManifest { config: config.clone(), shards, epochs: 1 }).unwrap();
+    let dir = RunDir::open(&root, &RunManifest::new(config.clone(), shards, 1)).unwrap();
     let persisted = dir.load_result().expect("result.json written");
     assert_results_identical(&persisted, &full.result, "persisted result");
     let summary = dir.load_summary().expect("summary.json written");

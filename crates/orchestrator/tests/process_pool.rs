@@ -13,7 +13,8 @@ use std::time::Duration;
 
 use llm4fp::{ApproachKind, CampaignConfig, CampaignResult};
 use llm4fp_orchestrator::{
-    OrchestratedResult, Orchestrator, OrchestratorOptions, ProcessPoolExecutor, Scheduler,
+    FailurePolicy, FaultPlan, OrchestratedResult, Orchestrator, OrchestratorError,
+    OrchestratorOptions, ProcessPoolExecutor, Scheduler, WorkerFault,
 };
 use llm4fp_telemetry::TelemetrySpec;
 
@@ -128,6 +129,12 @@ fn metrics_json_is_byte_identical_across_transports() {
     }
 }
 
+/// A plan faulting only worker slot 0's first spawn — the redispatch-
+/// equivalence shape: the fault fires once and recovery heals it.
+fn first_worker_plan(fault: WorkerFault) -> FaultPlan {
+    FaultPlan { first_worker: vec![fault], ..FaultPlan::default() }
+}
+
 #[test]
 fn worker_crash_redispatches_and_stays_bit_identical() {
     // Worker slot 0's first daemon dies with exit(101) upon receiving
@@ -137,14 +144,14 @@ fn worker_crash_redispatches_and_stays_bit_identical() {
     let config = config(ApproachKind::Llm4Fp, 20, 5);
     for epochs in [1usize, 2] {
         let reference = in_process(&config, 4, epochs);
-        let crashing = pool(2)
-            .with_first_worker_env([("LLM4FP_WORKER_CRASH_AT_JOB".to_string(), "1".to_string())]);
+        let crashing = pool(2).with_fault_plan(first_worker_plan(WorkerFault::CrashAtJob(1)));
         let survived = on_pool(&config, 4, epochs, crashing);
         assert_results_identical(
             &survived.result,
             &reference.result,
             &format!("crash redispatch E={epochs}"),
         );
+        assert!(survived.stats.failures.is_empty(), "a healed crash is not a shard failure");
     }
 }
 
@@ -157,10 +164,122 @@ fn stalled_worker_is_killed_and_its_job_redispatched() {
     let config = config(ApproachKind::Varity, 12, 3);
     let reference = in_process(&config, 3, 1);
     let stalling = pool(2)
-        .with_first_worker_env([("LLM4FP_WORKER_STALL_MS".to_string(), "60000".to_string())])
+        .with_fault_plan(first_worker_plan(WorkerFault::StallMs(60_000)))
         .with_shard_timeout(Duration::from_millis(500));
     let survived = on_pool(&config, 3, 1, stalling);
     assert_results_identical(&survived.result, &reference.result, "stall timeout redispatch");
+}
+
+#[test]
+fn sabotaged_answer_frames_redispatch_and_stay_bit_identical() {
+    // A worker that answers with garbage (or a truncated frame) is as
+    // dead as one that crashed: the coordinator must treat the malformed
+    // answer as a dispatch failure and replay the job elsewhere.
+    let config = config(ApproachKind::Llm4Fp, 16, 21);
+    let reference = in_process(&config, 3, 1);
+    for fault in [WorkerFault::CorruptFrameAtJob(1), WorkerFault::TruncateFrameAtJob(1)] {
+        let what = format!("{fault:?}");
+        let sabotaged = pool(2).with_fault_plan(first_worker_plan(fault));
+        let survived = on_pool(&config, 3, 1, sabotaged);
+        assert_results_identical(&survived.result, &reference.result, &what);
+        assert!(survived.stats.failures.is_empty(), "{what}: healed, not quarantined");
+    }
+}
+
+#[test]
+fn injected_respawn_failures_back_off_and_recover() {
+    // Chaos shape: slot 0's first daemon crashes AND the coordinator's
+    // next spawn attempt is itself made to fail (as if fork/exec died).
+    // The spawn failure burns a dispatch attempt, waits out the
+    // deterministic backoff, and the next respawn succeeds — results
+    // stay bit-identical with a default budget of 3.
+    let config = config(ApproachKind::Varity, 12, 17);
+    let reference = in_process(&config, 3, 1);
+    let flaky = pool(2).respawn_backoff_base(Duration::from_millis(1)).with_fault_plan(FaultPlan {
+        first_worker: vec![WorkerFault::CrashAtJob(1)],
+        respawn_failures: 1,
+        ..FaultPlan::default()
+    });
+    let survived = on_pool(&config, 3, 1, flaky);
+    assert_results_identical(&survived.result, &reference.result, "respawn failure recovery");
+}
+
+#[test]
+fn poisonous_shard_aborts_the_run_under_the_default_policy() {
+    // `every_worker` poison survives respawns: shard 1's job crashes
+    // every daemon that touches it, exhausting the dispatch budget. The
+    // default Abort policy must fail the whole run with a typed error
+    // naming the job.
+    let config = config(ApproachKind::Varity, 12, 23);
+    let poisoned =
+        pool(2).respawn_backoff_base(Duration::from_millis(1)).with_fault_plan(FaultPlan {
+            every_worker: vec![WorkerFault::CrashOnShard(1)],
+            ..FaultPlan::default()
+        });
+    let err = Orchestrator::new(config)
+        .shards(3)
+        .executor(Arc::new(poisoned))
+        .run()
+        .expect_err("a shard that can never complete must abort the run");
+    assert!(matches!(err, OrchestratorError::Executor(_)), "got {err}");
+    assert!(err.to_string().contains("failed"), "{err}");
+}
+
+#[test]
+fn quarantine_policy_completes_the_surviving_shards() {
+    // Same poison, opposite policy: the campaign completes on shards 0
+    // and 2, and the casualty is reported — shard index, attempt count,
+    // and the last error — instead of sinking the run.
+    let config = config(ApproachKind::Varity, 12, 23);
+    let poisoned = pool(2)
+        .respawn_backoff_base(Duration::from_millis(1))
+        .on_shard_failure(FailurePolicy::Quarantine)
+        .with_fault_plan(FaultPlan {
+            every_worker: vec![WorkerFault::CrashOnShard(1)],
+            ..FaultPlan::default()
+        });
+    let survived = Orchestrator::new(config.clone())
+        .shards(3)
+        .executor(Arc::new(poisoned))
+        .run()
+        .expect("quarantine completes the run");
+    assert_eq!(survived.stats.failures.len(), 1, "exactly one shard was lost");
+    let report = &survived.stats.failures[0];
+    assert_eq!(report.shard, 1);
+    assert_eq!(report.attempts, 3, "the full dispatch budget was spent");
+    assert!(!report.last_error.is_empty(), "the last error is preserved");
+    assert!(!survived.result.records.is_empty(), "surviving shards produced records");
+    assert!(
+        survived.result.records.len() < in_process(&config, 3, 1).result.records.len(),
+        "a quarantined run is visibly partial, never silently complete"
+    );
+    assert!(
+        survived.stats.summary_line().contains("quarantined"),
+        "stats advertise the quarantine: {}",
+        survived.stats.summary_line()
+    );
+}
+
+#[test]
+fn unavailable_transport_falls_back_to_in_process_when_allowed() {
+    // The bottom rung of the degradation ladder: a transport whose
+    // workers can never spawn degrades to the in-process executor and
+    // the results are bit-identical (the determinism contract is
+    // transport-independent).
+    let config = config(ApproachKind::Llm4Fp, 16, 29);
+    let reference = in_process(&config, 3, 2);
+    let doomed = ProcessPoolExecutor::new(2)
+        .with_worker_bin("/nonexistent/llm4fp-worker")
+        .respawn_backoff_base(Duration::from_millis(1));
+    let degraded = Orchestrator::new(config)
+        .shards(3)
+        .epochs(2)
+        .executor(Arc::new(doomed))
+        .fallback_to_in_process(true)
+        .run()
+        .expect("fallback completes the run in process");
+    assert!(degraded.stats.fell_back_to_in_process, "stats record the degradation");
+    assert_results_identical(&degraded.result, &reference.result, "in-process fallback");
 }
 
 #[test]
@@ -184,9 +303,14 @@ fn scheduler_suites_run_on_the_process_pool() {
 }
 
 #[test]
-fn missing_worker_binary_is_a_typed_executor_error() {
+fn missing_worker_binary_is_a_typed_worker_unavailable_error() {
+    // Without the fallback opt-in, an unspawnable transport surfaces as
+    // `WorkerUnavailable` — the typed trigger the degradation ladder (and
+    // any caller-side retry logic) keys on.
     let config = config(ApproachKind::Varity, 4, 1);
-    let executor = ProcessPoolExecutor::new(2).with_worker_bin("/nonexistent/llm4fp-worker");
+    let executor = ProcessPoolExecutor::new(2)
+        .with_worker_bin("/nonexistent/llm4fp-worker")
+        .respawn_backoff_base(Duration::from_millis(1));
     let err = Orchestrator::new(config).shards(2).executor(Arc::new(executor)).run().unwrap_err();
-    assert!(matches!(err, llm4fp_orchestrator::OrchestratorError::Executor(_)), "got {err}");
+    assert!(matches!(err, OrchestratorError::WorkerUnavailable(_)), "got {err}");
 }

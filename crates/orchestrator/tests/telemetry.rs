@@ -91,9 +91,7 @@ fn metrics_json_is_byte_identical_across_worker_counts() {
                 assert_eq!(&bytes, expected, "metrics.json must not depend on worker count")
             }
         }
-        let dir =
-            RunDir::open(&root, &RunManifest { config: config.clone(), shards: 3, epochs: 2 })
-                .unwrap();
+        let dir = RunDir::open(&root, &RunManifest::new(config.clone(), 3, 2)).unwrap();
         let report = dir.load_metrics().expect("metrics.json parses");
         assert_eq!(report.get(keys::PROGRAMS), 18, "every program counted once");
         assert!(report.get(keys::COMPARISONS) > 0, "comparisons recorded");
@@ -113,8 +111,7 @@ fn trace_runs_write_chrome_trace_lines_and_a_loadable_report() {
     let summary = orchestrated.stats.telemetry.expect("summary present");
     assert!(summary.trace_events > 0);
 
-    let dir =
-        RunDir::open(&root, &RunManifest { config: config.clone(), shards: 2, epochs: 1 }).unwrap();
+    let dir = RunDir::open(&root, &RunManifest::new(config.clone(), 2, 1)).unwrap();
     let lines = dir.load_trace_lines().expect("trace.jsonl written");
     assert!(!lines.is_empty());
     let mut names = std::collections::BTreeSet::new();
@@ -163,8 +160,7 @@ fn resume_with_telemetry_files_present_stays_bit_identical() {
     // the wall-clock trace of the latest invocation is rewritten.
     let metrics_after = std::fs::read_to_string(root.join("metrics.json")).unwrap();
     assert_eq!(metrics_after, metrics_before, "metrics.json untouched by partial recompute");
-    let dir =
-        RunDir::open(&root, &RunManifest { config: config.clone(), shards: 4, epochs: 1 }).unwrap();
+    let dir = RunDir::open(&root, &RunManifest::new(config.clone(), 4, 1)).unwrap();
     let lines = dir.load_trace_lines().expect("trace.jsonl rewritten");
     assert!(
         lines.iter().any(|l| l.contains(keys::SPAN_SHARD_RUN)),

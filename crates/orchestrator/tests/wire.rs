@@ -6,9 +6,22 @@
 //! round-tripping ever lost information, `process_pool.rs`'s
 //! bit-identity tests would fail only for the affected field, whereas
 //! these pin the wire layer in isolation.
+//!
+//! The malformed-input half pins the robustness guarantee the fault
+//! harness leans on: a worker can die mid-frame or write garbage
+//! ([`WorkerFault::CorruptFrameAtJob`][cf]), and the reader must answer
+//! every such stream with a typed `io::Error` — never a panic, and never
+//! an attacker-sized allocation (a corrupt 10-digit header can demand up
+//! to ~9.3 GiB; `MAX_FRAME_LEN` caps it before the buffer exists).
+//!
+//! [cf]: llm4fp_orchestrator::WorkerFault::CorruptFrameAtJob
+
+use std::io;
 
 use llm4fp::{ApproachKind, CampaignConfig};
-use llm4fp_orchestrator::wire::{read_frame, write_frame, ShardJob, ShardJobResult, WireRequest};
+use llm4fp_orchestrator::wire::{
+    read_frame, write_frame, ShardJob, ShardJobResult, WireRequest, MAX_FRAME_LEN,
+};
 use llm4fp_orchestrator::{plan_shards, run_shard, ShardCtx, ShardRunner};
 use llm4fp_telemetry::{TelemetryHub, TelemetrySpec};
 use proptest::prelude::*;
@@ -25,6 +38,21 @@ where
 fn config(approach: usize, budget: usize, seed: u64) -> CampaignConfig {
     let approach = ApproachKind::ALL[approach % ApproachKind::ALL.len()];
     CampaignConfig::new(approach).with_budget(budget).with_seed(seed).with_threads(1)
+}
+
+/// Deterministic garbage for the never-panic property (SplitMix64; the
+/// vendored proptest shim has no byte-vector strategy).
+fn pseudo_random_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut x = state;
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+            (x ^ (x >> 31)) as u8
+        })
+        .collect()
 }
 
 proptest! {
@@ -132,5 +160,99 @@ proptest! {
             telemetry: None,
         };
         prop_assert_eq!(round_trip(&result), result);
+    }
+
+    #[test]
+    fn arbitrary_byte_streams_never_panic_the_reader(
+        seed in any::<u64>(),
+        len in 0usize..256,
+    ) {
+        let bytes = pseudo_random_bytes(seed, len);
+        // Whatever a sabotaged worker leaves on the pipe, the reader
+        // answers with a typed io::Error — EOF for a stream that ended
+        // early, InvalidData for everything structurally wrong. (Random
+        // bytes parsing as a valid frame is beyond astronomically
+        // unlikely, but tolerated: only panics and other error kinds are
+        // contract violations.)
+        if let Err(err) = read_frame::<WireRequest, _>(&mut bytes.as_slice()) {
+            prop_assert!(
+                matches!(err.kind(), io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof),
+                "unexpected error kind {:?} for {:?}", err.kind(), bytes
+            );
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_of_a_valid_frame_never_panics(
+        seed in any::<u64>(),
+        position in 0usize..64,
+        replacement in any::<u8>(),
+    ) {
+        // Flip one byte anywhere in a real frame (header or payload):
+        // the reader must either still parse a frame or fail cleanly.
+        let config = config(0, 4, seed);
+        let spec = plan_shards(&config, 1)[0];
+        let job = ShardJob {
+            config: config.clone(),
+            spec,
+            segment: 2,
+            finish: false,
+            checkpoint: None,
+            process_slots: 1,
+            telemetry: false,
+        };
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &WireRequest::Job(Box::new(job))).expect("frame encodes");
+        let position = position % bytes.len();
+        bytes[position] = replacement;
+        if let Err(err) = read_frame::<WireRequest, _>(&mut bytes.as_slice()) {
+            prop_assert!(
+                matches!(err.kind(), io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof),
+                "unexpected error kind {:?} after corrupting byte {}", err.kind(), position
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_errors_not_panics(
+        seed in any::<u64>(),
+        cut in any::<u64>(),
+    ) {
+        // A worker that dies mid-write leaves a prefix of a valid frame.
+        // Every prefix must read as a clean error (almost always EOF;
+        // a prefix that cuts inside the header is InvalidData).
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &WireRequest::Job(Box::new(ShardJob {
+            config: config(1, 6, seed).clone(),
+            spec: plan_shards(&config(1, 6, seed), 2)[1],
+            segment: 3,
+            finish: true,
+            checkpoint: None,
+            process_slots: 2,
+            telemetry: true,
+        }))).expect("frame encodes");
+        let keep = (cut % bytes.len() as u64) as usize;
+        let err = read_frame::<WireRequest, _>(&mut &bytes[..keep])
+            .expect_err("a strict prefix is never a whole frame");
+        prop_assert!(
+            matches!(err.kind(), io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof),
+            "unexpected error kind {:?} at {} of {} bytes", err.kind(), keep, bytes.len()
+        );
+    }
+
+    #[test]
+    fn oversized_headers_are_rejected_before_allocating(
+        excess in 1u64..1_000_000_000,
+    ) {
+        // Any header demanding more than MAX_FRAME_LEN is refused as a
+        // typed bad frame *before* the payload buffer is allocated — the
+        // whole point of the cap (and this test would OOM without it).
+        // MAX_FRAME_LEN + 1e9 still fits the 10-digit header.
+        let demanded = MAX_FRAME_LEN as u64 + excess;
+        let mut bytes = format!("{demanded:010}\n").into_bytes();
+        bytes.extend_from_slice(b"{}");
+        let err = read_frame::<WireRequest, _>(&mut bytes.as_slice()).unwrap_err();
+        prop_assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        prop_assert!(err.to_string().contains("MAX_FRAME_LEN"), "{}", err);
     }
 }

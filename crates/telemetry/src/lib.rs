@@ -83,6 +83,12 @@ pub mod keys {
     /// Prefix for `ExtError` taxonomy counters: `extcc.err.<taxonomy>`
     /// (keyed by program hash).
     pub const EXTCC_ERR_PREFIX: &str = "extcc.err.";
+    /// Run-dir persistence failures — dropped shard progress lines and
+    /// failed artifact writes (keyed by shard and line ordinal so a
+    /// redispatched shard's retries collapse). Zero on healthy runs, so
+    /// the deterministic `metrics.json` stays byte-identical; the plain
+    /// count also surfaces as `persist_errors` in `summary.json`.
+    pub const PERSIST_ERRORS: &str = "persist.errors";
 
     /// Span: one program through generate + difftest (histogram/trace).
     pub const SPAN_PROGRAM: &str = "campaign.program";
