@@ -35,12 +35,26 @@
 //! * `--run-dir PATH` — persist the run (and its telemetry flight
 //!   recorders) into a resumable run directory (single-campaign binaries;
 //!   suite binaries schedule in memory);
-//! * `--executor in-process|process-pool` — the shard transport (default
-//!   `in-process`: a thread pool in this process; `process-pool` farms
-//!   shard segments to out-of-process `llm4fp-worker` daemons — results
-//!   are bit-identical either way);
-//! * `--worker-procs N` — worker daemon count for
-//!   `--executor process-pool` (default: available parallelism);
+//! * `--executor in-process|process-pool|remote` — the shard transport
+//!   (default `in-process`: a thread pool in this process;
+//!   `process-pool` farms shard segments to out-of-process
+//!   `llm4fp-worker` daemons over pipes; `remote` serves the same
+//!   workers over a TCP socket with leases, heartbeats and
+//!   reconnect-and-resume — results are bit-identical across all
+//!   three);
+//! * `--worker-procs N` — worker daemon count for `--executor
+//!   process-pool` and `--executor remote` (default: available
+//!   parallelism);
+//! * `--listen ADDR` (alias `--workers-addr ADDR`) — bind the
+//!   `--executor remote` coordinator to this address (default
+//!   `127.0.0.1:0`, an ephemeral loopback port for self-spawned
+//!   workers; use e.g. `0.0.0.0:7070` for workers dialing in from
+//!   elsewhere);
+//! * `--no-spawn-workers` — don't self-spawn loopback workers for
+//!   `--executor remote`; the run waits for external
+//!   `llm4fp-worker --connect` daemons to dial `--listen`;
+//! * `--max-frame-len BYTES` — cap on one wire frame's payload for the
+//!   out-of-process transports (default 256 MiB; `0` is rejected);
 //! * `--trace` — record span events; with `--run-dir` a Chrome
 //!   `trace_event`-compatible `trace.jsonl` is written (implies metrics);
 //! * `--no-metrics` — disable telemetry counters/histograms entirely
@@ -49,8 +63,9 @@
 //! * `--max-dispatch-attempts N` — per-shard-job dispatch budget for
 //!   `--executor process-pool` (default 3; crashes and timeouts consume
 //!   attempts, results stay bit-identical across redispatch);
-//! * `--shard-timeout-ms N` — straggler/stall timeout per shard job for
-//!   `--executor process-pool`;
+//! * `--shard-timeout-ms N` — straggler/stall timeout per shard job
+//!   (`--executor process-pool`'s kill deadline; `--executor remote`'s
+//!   dispatch lease — the remote analogue of the same bound);
 //! * `--on-shard-failure abort|quarantine` — what happens when a shard
 //!   job exhausts its dispatch budget (default `abort`; `quarantine`
 //!   completes the surviving shards and reports the casualties in the
@@ -74,7 +89,7 @@ use llm4fp::{
 };
 use llm4fp_orchestrator::{
     default_workers, FailurePolicy, FaultPlan, OrchestratedResult, Orchestrator,
-    OrchestratorOptions, ProcessPoolExecutor, Scheduler, ShardExecutor,
+    OrchestratorOptions, ProcessPoolExecutor, RemoteWorkerExecutor, Scheduler, ShardExecutor,
 };
 use llm4fp_telemetry::TelemetrySpec;
 
@@ -97,6 +112,10 @@ pub enum CliExecutor {
     /// Out-of-process `llm4fp-worker` daemons (`llm4fp-orchestrator`'s
     /// process-pool transport). Results are bit-identical to in-process.
     ProcessPool,
+    /// The same workers dialing a TCP coordinator
+    /// (`llm4fp-orchestrator`'s socket transport: leases, heartbeats,
+    /// reconnect-and-resume). Results are bit-identical to in-process.
+    Remote,
 }
 
 /// Command-line options shared by all experiment binaries.
@@ -125,11 +144,21 @@ pub struct ExpOptions {
     /// Persist single-campaign runs into this directory (`--run-dir`),
     /// including the `metrics.json`/`trace.jsonl` flight recorders.
     pub run_dir: Option<PathBuf>,
-    /// The shard transport (`--executor in-process|process-pool`).
+    /// The shard transport (`--executor in-process|process-pool|remote`).
     pub executor: CliExecutor,
-    /// Worker daemon count for `--executor process-pool`
+    /// Worker daemon count for `--executor process-pool` / `remote`
     /// (`--worker-procs`; 0 = available parallelism).
     pub worker_procs: usize,
+    /// Bind address for the `--executor remote` coordinator (`--listen`
+    /// / `--workers-addr`; `None` = `127.0.0.1:0`).
+    pub listen: Option<String>,
+    /// `false` (via `--no-spawn-workers`) makes `--executor remote`
+    /// wait for external workers instead of self-spawning loopback
+    /// daemons.
+    pub spawn_workers: bool,
+    /// Wire-frame payload cap for the out-of-process transports
+    /// (`--max-frame-len`; 0 = transport default of 256 MiB).
+    pub max_frame_len: usize,
     /// Dispatch budget per shard job for `--executor process-pool`
     /// (`--max-dispatch-attempts`; 0 = transport default).
     pub max_dispatch_attempts: u8,
@@ -165,6 +194,9 @@ impl Default for ExpOptions {
             run_dir: None,
             executor: CliExecutor::InProcess,
             worker_procs: 0,
+            listen: None,
+            spawn_workers: true,
+            max_frame_len: 0,
             max_dispatch_attempts: 0,
             shard_timeout_ms: 0,
             on_shard_failure: FailurePolicy::default(),
@@ -225,6 +257,7 @@ impl ExpOptions {
                     opts.executor = match v.as_str() {
                         "in-process" => CliExecutor::InProcess,
                         "process-pool" => CliExecutor::ProcessPool,
+                        "remote" => CliExecutor::Remote,
                         other => return Err(format!("invalid --executor `{other}`")),
                     };
                 }
@@ -232,6 +265,19 @@ impl ExpOptions {
                     let v = iter.next().ok_or("--worker-procs needs a value")?;
                     opts.worker_procs =
                         v.parse().map_err(|_| format!("invalid --worker-procs {v}"))?;
+                }
+                "--listen" | "--workers-addr" => {
+                    let v = iter.next().ok_or("--listen needs an address")?;
+                    opts.listen = Some(v);
+                }
+                "--no-spawn-workers" => opts.spawn_workers = false,
+                "--max-frame-len" => {
+                    let v = iter.next().ok_or("--max-frame-len needs a byte count")?;
+                    opts.max_frame_len =
+                        v.parse().map_err(|_| format!("invalid --max-frame-len {v}"))?;
+                    if opts.max_frame_len == 0 {
+                        return Err("--max-frame-len must be at least 1 byte".into());
+                    }
                 }
                 "--max-dispatch-attempts" => {
                     let v = iter.next().ok_or("--max-dispatch-attempts needs a value")?;
@@ -278,7 +324,8 @@ impl ExpOptions {
                          [--shards K] [--epochs E] [--workers W] \
                          [--backend virtual|extcc] [--process-slots P] [--no-seal-opt] \
                          [--run-dir PATH] [--trace] [--no-metrics] \
-                         [--executor in-process|process-pool] [--worker-procs N] \
+                         [--executor in-process|process-pool|remote] [--worker-procs N] \
+                         [--listen ADDR] [--no-spawn-workers] [--max-frame-len BYTES] \
                          [--max-dispatch-attempts N] [--shard-timeout-ms N] \
                          [--on-shard-failure abort|quarantine] [--fallback-in-process] \
                          [--fault-plan PATH]"
@@ -405,10 +452,11 @@ impl ExpOptions {
     }
 
     /// The shard transport these options select, or `None` for the
-    /// orchestrator's in-process default. The process-pool transport
-    /// picks up the supervision knobs (`--max-dispatch-attempts`,
-    /// `--shard-timeout-ms`, `--on-shard-failure`) and the worker half
-    /// of any `--fault-plan`.
+    /// orchestrator's in-process default. The out-of-process transports
+    /// pick up the supervision knobs (`--max-dispatch-attempts`,
+    /// `--shard-timeout-ms`, `--on-shard-failure`, `--max-frame-len`)
+    /// and the worker half of any `--fault-plan`; `--shard-timeout-ms`
+    /// doubles as the remote transport's dispatch lease.
     pub fn shard_executor(&self) -> Option<Arc<dyn ShardExecutor>> {
         match self.executor {
             CliExecutor::InProcess => None,
@@ -423,6 +471,37 @@ impl ExpOptions {
                 if self.shard_timeout_ms != 0 {
                     executor =
                         executor.with_shard_timeout(Duration::from_millis(self.shard_timeout_ms));
+                }
+                if self.max_frame_len != 0 {
+                    executor = executor.with_max_frame_len(self.max_frame_len);
+                }
+                if let Some(plan) = &self.fault_plan {
+                    executor = executor.with_fault_plan(plan.clone());
+                }
+                Some(Arc::new(executor))
+            }
+            CliExecutor::Remote => {
+                let procs = if !self.spawn_workers {
+                    0
+                } else if self.worker_procs == 0 {
+                    default_workers()
+                } else {
+                    self.worker_procs
+                };
+                let mut executor =
+                    RemoteWorkerExecutor::new(procs).on_shard_failure(self.on_shard_failure);
+                if let Some(addr) = &self.listen {
+                    executor = executor.listen(addr.clone());
+                }
+                if self.max_dispatch_attempts != 0 {
+                    executor = executor.max_dispatch_attempts(self.max_dispatch_attempts);
+                }
+                if self.shard_timeout_ms != 0 {
+                    executor =
+                        executor.with_lease_timeout(Duration::from_millis(self.shard_timeout_ms));
+                }
+                if self.max_frame_len != 0 {
+                    executor = executor.with_max_frame_len(self.max_frame_len);
                 }
                 if let Some(plan) = &self.fault_plan {
                     executor = executor.with_fault_plan(plan.clone());
@@ -571,6 +650,11 @@ mod tests {
                 "--fallback-in-process",
                 "--fault-plan",
                 plan_path.to_str().unwrap(),
+                "--listen",
+                "127.0.0.1:9911",
+                "--no-spawn-workers",
+                "--max-frame-len",
+                "1048576",
             ]
             .map(String::from),
         )
@@ -603,6 +687,9 @@ mod tests {
                 on_shard_failure: FailurePolicy::Quarantine,
                 fallback_in_process: true,
                 fault_plan: Some(expected_plan.clone()),
+                listen: Some("127.0.0.1:9911".to_string()),
+                spawn_workers: false,
+                max_frame_len: 1 << 20,
             }
         );
         let options = opts.orchestrator_options();
@@ -611,6 +698,21 @@ mod tests {
         assert_eq!(opts.telemetry_spec(), TelemetrySpec::TRACE);
         assert!(opts.shard_executor().is_some(), "process-pool selects an executor");
         assert!(ExpOptions::default().shard_executor().is_none(), "in-process is the default");
+        let remote = ExpOptions::parse(
+            ["--executor", "remote", "--workers-addr", "127.0.0.1:0"].map(String::from),
+        )
+        .unwrap();
+        assert_eq!(remote.executor, CliExecutor::Remote);
+        assert_eq!(
+            remote.listen.as_deref(),
+            Some("127.0.0.1:0"),
+            "--workers-addr aliases --listen"
+        );
+        assert!(remote.shard_executor().is_some(), "remote selects an executor");
+        assert!(
+            ExpOptions::parse(["--max-frame-len".to_string(), "0".to_string()]).is_err(),
+            "a zero frame cap is rejected at the CLI boundary"
+        );
         assert!(ExpOptions::parse(["--executor".to_string(), "bogus".to_string()]).is_err());
         let quiet = ExpOptions::parse(["--no-metrics".to_string()]).unwrap();
         assert_eq!(quiet.telemetry_spec(), TelemetrySpec::OFF);

@@ -1,36 +1,56 @@
 //! The out-of-process shard worker daemon.
 //!
 //! Spawned by [`llm4fp_orchestrator::ProcessPoolExecutor`], one daemon
-//! per worker slot. The protocol is a loop of length-prefixed JSON
-//! frames on stdin/stdout (see [`llm4fp_orchestrator::wire`]): each
+//! per worker slot — or dialing a
+//! [`llm4fp_orchestrator::RemoteWorkerExecutor`] coordinator over TCP
+//! with `--connect HOST:PORT`. The protocol is identical on both
+//! transports: a loop of length-prefixed JSON frames (see
+//! [`llm4fp_orchestrator::wire`]), opened by a **versioned handshake**
+//! (the worker sends `WireReply::Hello` first; the coordinator accepts
+//! with `WireRequest::Hello` or refuses in words). Each
 //! [`WireRequest::Job`] restores (or freshly creates) a shard runner
 //! from the job's checkpoint, runs one segment, and answers with the
-//! updated checkpoint — or, on `finish`, the shard's final output.
-//! EOF on stdin or a [`WireRequest::Shutdown`] frame exits cleanly.
+//! updated checkpoint — or, on `finish`, the shard's final output. EOF
+//! on stdin or a [`WireRequest::Shutdown`] frame exits cleanly; idle
+//! [`WireRequest::Ping`]s are answered with `Pong`.
 //!
 //! The daemon holds **no state between jobs** — any job can be replayed
 //! on any worker with byte-identical results, which is what makes the
-//! coordinator's crash-redispatch and straggler duplication sound.
+//! coordinator's crash-redispatch, straggler duplication, and
+//! reconnect-and-resume sound. In `--connect` mode a dropped connection
+//! is redialed up to `--reconnect` times (spaced by
+//! `--reconnect-delay-ms`), and the same retry budget covers dialing a
+//! coordinator that has not bound its socket yet.
 //!
 //! Deterministic fault injection: the coordinator ships this spawn's
-//! effective [`WorkerFault`](llm4fp_orchestrator::WorkerFault) set as
-//! JSON in the `LLM4FP_FAULT_PLAN` environment variable (absent on
-//! production spawns — the per-job check is then a single branch). The
+//! effective fault set ([`WorkerFault`](llm4fp_orchestrator::WorkerFault)
+//! plus worker-side
+//! [`NetworkFault`](llm4fp_orchestrator::NetworkFault)s) as JSON in the
+//! `LLM4FP_FAULT_PLAN` environment variable (absent on production
+//! spawns — the per-job check is then a single branch). The
 //! [`WorkerFaultHarness`] decides per received job whether to crash,
-//! stall, simulate an external-compiler spawn error, or sabotage the
-//! answer frame (garbage bytes / a truncated frame).
+//! stall, sabotage the answer frame, drop the connection, delay or
+//! duplicate the answer, or tear the stream mid-frame.
 
-use std::io::{self, Write};
+use std::io::{self, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
 use llm4fp_difftest::ProcessBudget;
-use llm4fp_orchestrator::faults::{FrameSabotage, WorkerFaultHarness, EXIT_SABOTAGED_ANSWER};
-use llm4fp_orchestrator::wire::{self, ShardJob, ShardJobResult, WireRequest};
+use llm4fp_orchestrator::faults::{
+    FrameSabotage, WorkerFaultHarness, EXIT_DROPPED_CONN, EXIT_SABOTAGED_ANSWER,
+};
+use llm4fp_orchestrator::wire::{
+    self, Hello, ShardJob, ShardJobResult, WireReply, WireRequest, MAX_FRAME_LEN,
+};
 use llm4fp_orchestrator::ShardRunner;
 use llm4fp_telemetry::{TelemetryHub, TelemetrySpec};
 
 /// Run one job: restore-or-create the runner, run the segment, hand the
-/// state back. Pure — everything derives from the job's bytes.
+/// state back. Pure — everything derives from the job's bytes (the
+/// lease generation is echoed back verbatim for the coordinator's
+/// stale-result discard).
 fn run_job(job: ShardJob) -> ShardJobResult {
     let hub =
         TelemetryHub::new(if job.telemetry { TelemetrySpec::METRICS } else { TelemetrySpec::OFF });
@@ -52,6 +72,7 @@ fn run_job(job: ShardJob) -> ShardJobResult {
         checkpoint,
         output,
         telemetry: telemetry.export(),
+        lease: job.lease,
     }
 }
 
@@ -60,7 +81,7 @@ fn run_job(job: ShardJob) -> ShardJobResult {
 /// linger. `Corrupt` sends bytes that parse as no frame header at all;
 /// `Truncate` sends a header promising the full payload but only half of
 /// the bytes, so the coordinator sees a mid-frame EOF.
-fn sabotage_answer(writer: &mut impl Write, result: &ShardJobResult, how: FrameSabotage) -> ! {
+fn sabotage_answer(writer: &mut impl Write, result: &WireReply, how: FrameSabotage) -> ! {
     match how {
         FrameSabotage::Corrupt => {
             let _ = writer.write_all(b"!corrupt!!\n{\"not\":\"a frame\"}");
@@ -76,43 +97,234 @@ fn sabotage_answer(writer: &mut impl Write, result: &ShardJobResult, how: FrameS
     std::process::exit(EXIT_SABOTAGED_ANSWER);
 }
 
-fn main() {
-    let mut harness = WorkerFaultHarness::from_env();
-    let stdin = io::stdin();
-    let stdout = io::stdout();
-    let mut reader = stdin.lock();
-    let mut writer = stdout.lock();
+/// How one stream's service ended.
+enum ServeEnd {
+    /// The coordinator sent `Shutdown` — exit, never reconnect.
+    Shutdown,
+    /// Clean EOF from the peer (pipe closed / socket shut down).
+    Eof,
+    /// An injected fault closed the connection (the process survives and,
+    /// in `--connect` mode, reconnects).
+    Dropped,
+    /// The coordinator refused the handshake (and said why).
+    Refused(String),
+    /// A read or write on the stream failed.
+    Error(io::Error),
+}
+
+/// Serve one stream end to end: handshake first (the worker's `Hello`
+/// opens the stream; a version skew from either side is a typed refusal
+/// and terminal — the binary will not get newer by retrying), then the
+/// job/ping loop.
+fn serve<R: Read, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    harness: &mut WorkerFaultHarness,
+    max_frame_len: usize,
+) -> ServeEnd {
+    if let Err(e) =
+        wire::write_frame_limited(writer, &WireReply::Hello(Hello::current()), max_frame_len)
+    {
+        return ServeEnd::Error(e);
+    }
     loop {
-        let request: WireRequest = match wire::read_frame(&mut reader) {
+        let request: WireRequest = match wire::read_frame_limited(reader, max_frame_len) {
             Ok(request) => request,
-            // Coordinator closed our stdin: the clean shutdown signal.
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
-            Err(e) => {
-                eprintln!("llm4fp-worker: protocol error: {e}");
-                std::process::exit(2);
-            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return ServeEnd::Eof,
+            Err(e) => return ServeEnd::Error(e),
         };
         let job = match request {
-            WireRequest::Shutdown => break,
+            WireRequest::Shutdown => return ServeEnd::Shutdown,
+            WireRequest::Hello(hello) => {
+                if let Err(skew) = hello.check() {
+                    eprintln!("llm4fp-worker: {skew}");
+                    std::process::exit(2);
+                }
+                continue;
+            }
+            WireRequest::Refuse(reason) => return ServeEnd::Refused(reason),
+            WireRequest::Ping(token) => {
+                if let Err(e) =
+                    wire::write_frame_limited(writer, &WireReply::Pong(token), max_frame_len)
+                {
+                    return ServeEnd::Error(e);
+                }
+                continue;
+            }
             WireRequest::Job(job) => *job,
         };
-        let mut answer_sabotage = None;
+        let mut sabotage = Default::default();
         if !harness.is_empty() {
-            let sabotage = harness.on_job(job.spec.index, job.config.backend.is_external());
+            sabotage = harness.on_job(job.spec.index, job.config.backend.is_external());
             if let Some(code) = sabotage.exit_code {
                 std::process::exit(code);
+            }
+            if sabotage.drop_conn {
+                // The partition hits before any answer bytes; the
+                // coordinator re-dispatches under a fresh lease.
+                return ServeEnd::Dropped;
             }
             if let Some(stall) = sabotage.stall {
                 std::thread::sleep(stall);
             }
-            answer_sabotage = sabotage.answer;
         }
-        let result = run_job(job);
-        if let Some(how) = answer_sabotage {
-            sabotage_answer(&mut writer, &result, how);
+        let answer = WireReply::Result(Box::new(run_job(job)));
+        if let Some(how) = sabotage.answer {
+            sabotage_answer(writer, &answer, how);
         }
-        if let Err(e) = wire::write_frame(&mut writer, &result) {
-            eprintln!("llm4fp-worker: cannot answer: {e}");
+        if let Some(delay) = sabotage.delay {
+            std::thread::sleep(delay);
+        }
+        if sabotage.truncate_stream {
+            // Half a frame, then the stream tears: the coordinator sees
+            // a malformed frame / mid-frame EOF.
+            let payload = serde_json::to_string(&answer).expect("job results always serialize");
+            let bytes = payload.as_bytes();
+            let _ = writer.write_all(format!("{:010}\n", bytes.len()).as_bytes());
+            let _ = writer.write_all(&bytes[..bytes.len() / 2]);
+            let _ = writer.flush();
+            return ServeEnd::Dropped;
+        }
+        let copies = if sabotage.duplicate { 2 } else { 1 };
+        for _ in 0..copies {
+            if let Err(e) = wire::write_frame_limited(writer, &answer, max_frame_len) {
+                return ServeEnd::Error(e);
+            }
+        }
+    }
+}
+
+struct WorkerArgs {
+    /// Dial this coordinator address instead of serving stdin/stdout.
+    connect: Option<String>,
+    /// How many times to redial after a lost connection (or failed dial).
+    reconnect: u32,
+    /// Delay between redials.
+    reconnect_delay: Duration,
+    /// Frame cap (must match the coordinator's).
+    max_frame_len: usize,
+}
+
+fn parse_args() -> WorkerArgs {
+    let mut args = WorkerArgs {
+        connect: None,
+        reconnect: 16,
+        reconnect_delay: Duration::from_millis(100),
+        max_frame_len: MAX_FRAME_LEN,
+    };
+    let mut argv = std::env::args().skip(1);
+    let usage = "usage: llm4fp-worker [--connect HOST:PORT] [--reconnect N] \
+                 [--reconnect-delay-ms MS] [--max-frame-len BYTES]";
+    let value = |argv: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        argv.next().unwrap_or_else(|| {
+            eprintln!("llm4fp-worker: {flag} needs a value\n{usage}");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--connect" => args.connect = Some(value(&mut argv, "--connect")),
+            "--reconnect" => {
+                args.reconnect = value(&mut argv, "--reconnect").parse().unwrap_or_else(|_| {
+                    eprintln!("llm4fp-worker: --reconnect needs a number\n{usage}");
+                    std::process::exit(2);
+                });
+            }
+            "--reconnect-delay-ms" => {
+                let ms: u64 =
+                    value(&mut argv, "--reconnect-delay-ms").parse().unwrap_or_else(|_| {
+                        eprintln!("llm4fp-worker: --reconnect-delay-ms needs a number\n{usage}");
+                        std::process::exit(2);
+                    });
+                args.reconnect_delay = Duration::from_millis(ms);
+            }
+            "--max-frame-len" => {
+                args.max_frame_len =
+                    value(&mut argv, "--max-frame-len").parse().unwrap_or_else(|_| {
+                        eprintln!("llm4fp-worker: --max-frame-len needs a byte count\n{usage}");
+                        std::process::exit(2);
+                    });
+                if args.max_frame_len == 0 {
+                    eprintln!("llm4fp-worker: --max-frame-len must be at least 1 byte (got 0)");
+                    std::process::exit(2);
+                }
+            }
+            other => {
+                eprintln!("llm4fp-worker: unknown argument {other:?}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// `--connect` mode: dial the coordinator, serve the stream, and redial
+/// (within the `--reconnect` budget) after anything but a `Shutdown` —
+/// lost connections *and* refused handshakes both retry, because the
+/// coordinator's `RefuseHandshake` chaos fault heals on the next dial.
+fn serve_socket(args: &WorkerArgs, harness: &mut WorkerFaultHarness) -> ! {
+    let addr = args.connect.as_deref().expect("connect mode");
+    let mut redials_left = args.reconnect;
+    let fail = |redials_left: &mut u32, what: String| {
+        if *redials_left == 0 {
+            eprintln!("llm4fp-worker: {what}; reconnect budget exhausted");
+            std::process::exit(1);
+        }
+        *redials_left -= 1;
+        std::thread::sleep(args.reconnect_delay);
+    };
+    loop {
+        let stream = match TcpStream::connect(addr) {
+            Ok(stream) => stream,
+            Err(e) => {
+                fail(&mut redials_left, format!("cannot connect to {addr}: {e}"));
+                continue;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        let mut reader = match stream.try_clone() {
+            Ok(clone) => BufReader::new(clone),
+            Err(e) => {
+                fail(&mut redials_left, format!("cannot clone stream: {e}"));
+                continue;
+            }
+        };
+        let mut writer = stream;
+        match serve(&mut reader, &mut writer, harness, args.max_frame_len) {
+            ServeEnd::Shutdown => std::process::exit(0),
+            ServeEnd::Eof => {
+                fail(&mut redials_left, format!("coordinator {addr} closed the stream"))
+            }
+            ServeEnd::Dropped => fail(&mut redials_left, "injected connection drop".into()),
+            ServeEnd::Refused(reason) => {
+                fail(&mut redials_left, format!("handshake refused: {reason}"))
+            }
+            ServeEnd::Error(e) => fail(&mut redials_left, format!("stream error: {e}")),
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut harness = WorkerFaultHarness::from_env();
+    if args.connect.is_some() {
+        serve_socket(&args, &mut harness);
+    }
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut reader = stdin.lock();
+    let mut writer = stdout.lock();
+    match serve(&mut reader, &mut writer, &mut harness, args.max_frame_len) {
+        // Coordinator closed our stdin or asked us to exit: clean.
+        ServeEnd::Shutdown | ServeEnd::Eof => {}
+        // Over pipes, dropping the connection and dying are the same.
+        ServeEnd::Dropped => std::process::exit(EXIT_DROPPED_CONN),
+        ServeEnd::Refused(reason) => {
+            eprintln!("llm4fp-worker: handshake refused: {reason}");
+            std::process::exit(2);
+        }
+        ServeEnd::Error(e) => {
+            eprintln!("llm4fp-worker: protocol error: {e}");
             std::process::exit(2);
         }
     }

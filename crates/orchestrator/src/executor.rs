@@ -19,7 +19,7 @@
 //! Everything a transport needs to run one shard is a serializable
 //! [`ShardTask`]; everything it produces is the serializable
 //! [`crate::ShardOutput`] — the same contract the JSONL run directory
-//! already persists, promoted to a wire contract. Two implementations
+//! already persists, promoted to a wire contract. Three implementations
 //! share all merge/barrier logic in the coordinator:
 //!
 //! * [`InProcessExecutor`] — shard runners on a worker-thread pool inside
@@ -28,7 +28,10 @@
 //! * [`crate::ProcessPoolExecutor`] — `llm4fp-worker` daemon processes fed
 //!   length-prefixed JSON jobs over stdin/stdout (see [`crate::wire`]),
 //!   with per-shard timeouts, crash-and-redispatch and straggler
-//!   re-dispatch at epoch barriers.
+//!   re-dispatch at epoch barriers;
+//! * [`crate::RemoteWorkerExecutor`] — the same worker binary dialing a
+//!   TCP coordinator (`llm4fp-worker --connect`), supervised by leases,
+//!   heartbeats and reconnect-and-resume (see [`crate::remote`]).
 //!
 //! Determinism is preserved across transports because a shard segment is
 //! a pure function of `(config, spec, checkpoint, segment length)`:
@@ -57,6 +60,10 @@ pub enum OrchestratorError {
     /// would fail every job before its first dispatch. Validated at the
     /// API boundary like [`InvalidWorkers`](Self::InvalidWorkers).
     InvalidDispatchAttempts,
+    /// `max_frame_len == 0` was requested — a zero cap would refuse
+    /// every wire frame. Validated at the API boundary like
+    /// [`InvalidWorkers`](Self::InvalidWorkers).
+    InvalidFrameLen,
     /// The persistence layer failed (run-dir I/O, manifest mismatch,
     /// corrupt files).
     Persist(PersistError),
@@ -80,6 +87,9 @@ impl fmt::Display for OrchestratorError {
             }
             OrchestratorError::InvalidDispatchAttempts => {
                 write!(f, "max_dispatch_attempts must be at least 1 (got 0)")
+            }
+            OrchestratorError::InvalidFrameLen => {
+                write!(f, "max_frame_len must be at least 1 byte (got 0)")
             }
             OrchestratorError::Persist(e) => write!(f, "{e}"),
             OrchestratorError::WorkerUnavailable(msg) => {
@@ -488,6 +498,7 @@ mod tests {
     fn errors_render_and_convert() {
         assert!(OrchestratorError::InvalidWorkers.to_string().contains("at least 1"));
         assert!(OrchestratorError::InvalidDispatchAttempts.to_string().contains("at least 1"));
+        assert!(OrchestratorError::InvalidFrameLen.to_string().contains("max_frame_len"));
         assert!(OrchestratorError::Executor("boom".into()).to_string().contains("boom"));
         assert!(OrchestratorError::WorkerUnavailable("no binary".into())
             .to_string()

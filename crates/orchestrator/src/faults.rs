@@ -33,8 +33,9 @@ use std::time::Duration;
 
 use serde::{Deserialize, Error, Serialize, Value};
 
-/// Environment variable carrying a JSON `Vec<WorkerFault>` to a worker
-/// daemon (set by the coordinator per spawn; absent = no faults).
+/// Environment variable carrying a JSON [`WorkerFaultSet`] to a worker
+/// daemon (set by the coordinator per spawn; absent = no faults). For
+/// backward compatibility a bare JSON `Vec<WorkerFault>` still parses.
 pub const FAULT_PLAN_ENV: &str = "LLM4FP_FAULT_PLAN";
 
 /// Exit code a worker uses for an injected crash.
@@ -44,6 +45,10 @@ pub const EXIT_EXTCC_SPAWN: i32 = 102;
 /// Exit code a worker uses after deliberately sabotaging an answer frame
 /// (the stream is unusable afterwards, so the daemon does not linger).
 pub const EXIT_SABOTAGED_ANSWER: i32 = 103;
+/// Exit code a *pipe-mode* worker uses for an injected connection drop
+/// (over pipes, dropping the connection and dying are the same thing; a
+/// socket-mode worker closes the stream and reconnects instead).
+pub const EXIT_DROPPED_CONN: i32 = 104;
 
 /// One injected worker-daemon failure. Job ordinals count the jobs *this
 /// daemon process* received, starting at 1 — a respawned daemon starts
@@ -72,6 +77,37 @@ pub enum WorkerFault {
     /// uses an external backend (simulates the external toolchain
     /// disappearing out from under a worker).
     ExtccSpawnError,
+}
+
+/// One injected *network* failure for the socket transport. Worker-side
+/// variants ship (like [`WorkerFault`]s) to the **first worker
+/// connection's process** only, so a chaos run breaks in exactly one
+/// deterministic place and the supervisor's recovery — lease expiry,
+/// reconnect-and-resume, stale-result discard — must heal it without
+/// changing a single result bit. `RefuseHandshake` is coordinator-side:
+/// the acceptor refuses the first handshake it sees, and the refused
+/// worker's dial-retry gets accepted afterwards.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetworkFault {
+    /// Close the connection upon receiving the n-th job, *before*
+    /// answering (a mid-epoch partition; the worker process survives and
+    /// reconnects).
+    DropConnAtJob(u64),
+    /// Sleep this long before every answer frame (network latency; long
+    /// enough delays expire the lease and exercise the stale-result
+    /// discard).
+    DelayFrameMs(u64),
+    /// Answer the n-th job twice — two byte-identical result frames
+    /// (a retransmission; the second copy must be discarded as stale).
+    DuplicateResultAtJob(u64),
+    /// Answer the n-th job with a frame header promising more bytes
+    /// than are sent, then close the connection (a stream torn
+    /// mid-frame; the coordinator sees a malformed frame / EOF).
+    TruncateStreamAtJob(u64),
+    /// The coordinator refuses the first incoming handshake with a
+    /// typed [`crate::wire::WireRequest::Refuse`]; the worker must
+    /// retry its dial and be accepted on the next attempt.
+    RefuseHandshake,
 }
 
 /// One injected persistence failure.
@@ -106,6 +142,10 @@ pub struct FaultPlan {
     pub respawn_failures: u32,
     /// Persistence-layer faults (see [`PersistFault`]).
     pub persist: Vec<PersistFault>,
+    /// Network faults for the socket transport (see [`NetworkFault`]).
+    /// Worker-side variants apply to the first worker process only;
+    /// `RefuseHandshake` arms the coordinator's acceptor.
+    pub network: Vec<NetworkFault>,
 }
 
 /// Missing fields deserialize as their defaults so partial JSON plan
@@ -124,6 +164,7 @@ impl Deserialize for FaultPlan {
             every_worker: field(m, "every_worker")?,
             respawn_failures: field(m, "respawn_failures")?,
             persist: field(m, "persist")?,
+            network: field(m, "network")?,
         })
     }
 }
@@ -140,6 +181,7 @@ impl FaultPlan {
             && self.every_worker.is_empty()
             && self.respawn_failures == 0
             && self.persist.is_empty()
+            && self.network.is_empty()
     }
 
     /// The effective fault set for one worker spawn: `every_worker`
@@ -153,21 +195,73 @@ impl FaultPlan {
         faults
     }
 
+    /// The worker-side network faults for one worker spawn: everything
+    /// but [`NetworkFault::RefuseHandshake`] (which the coordinator's
+    /// acceptor applies), on the first spawn only — one deterministic
+    /// breakage site, like `first_worker`.
+    pub fn network_faults(&self, first_spawn_of_slot0: bool) -> Vec<NetworkFault> {
+        if !first_spawn_of_slot0 {
+            return Vec::new();
+        }
+        self.network
+            .iter()
+            .filter(|fault| !matches!(fault, NetworkFault::RefuseHandshake))
+            .cloned()
+            .collect()
+    }
+
+    /// How many incoming handshakes the coordinator's acceptor should
+    /// refuse (one per [`NetworkFault::RefuseHandshake`] in the plan).
+    pub fn refuse_handshakes(&self) -> u32 {
+        self.network.iter().filter(|f| matches!(f, NetworkFault::RefuseHandshake)).count() as u32
+    }
+
     /// The [`FAULT_PLAN_ENV`] value for one worker spawn, or `None` when
     /// the spawn has no faults (the variable is then not set at all — the
     /// zero-cost path).
     pub fn worker_env(&self, first_spawn_of_slot0: bool) -> Option<String> {
-        let faults = self.worker_faults(first_spawn_of_slot0);
-        if faults.is_empty() {
+        let set = WorkerFaultSet {
+            worker: self.worker_faults(first_spawn_of_slot0),
+            network: self.network_faults(first_spawn_of_slot0),
+        };
+        if set.worker.is_empty() && set.network.is_empty() {
             return None;
         }
-        Some(serde_json::to_string(&faults).expect("worker faults always serialize"))
+        Some(serde_json::to_string(&set).expect("worker faults always serialize"))
+    }
+}
+
+/// The per-spawn fault payload shipped to a worker via
+/// [`FAULT_PLAN_ENV`]: the process faults plus the worker-side network
+/// faults. (The worker also accepts a bare `Vec<WorkerFault>`, the
+/// pre-network payload shape.)
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
+pub struct WorkerFaultSet {
+    /// Process-level faults (crash, stall, frame sabotage).
+    pub worker: Vec<WorkerFault>,
+    /// Worker-side network faults (drop, delay, duplicate, truncate).
+    pub network: Vec<NetworkFault>,
+}
+
+/// Missing fields deserialize as their defaults, like [`FaultPlan`].
+impl Deserialize for WorkerFaultSet {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v.as_obj().ok_or_else(|| Error::msg("expected object for WorkerFaultSet"))?;
+        fn field<T: Deserialize + Default>(m: &serde::Map, name: &str) -> Result<T, Error> {
+            match m.get(name) {
+                None | Some(Value::Null) => Ok(T::default()),
+                Some(v) => T::from_value(v),
+            }
+        }
+        Ok(WorkerFaultSet { worker: field(m, "worker")?, network: field(m, "network")? })
     }
 }
 
 /// What [`WorkerFaultHarness::on_job`] tells the daemon to do to the
-/// current job. `exit_code` wins over everything; `stall` applies before
-/// computing; `answer` replaces the result frame.
+/// current job. `exit_code` wins over everything; `drop_conn` wins over
+/// answering; `stall` applies before computing; `delay` applies before
+/// writing; `answer` replaces the result frame; `duplicate` and
+/// `truncate_stream` sabotage how (many times) it is written.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct JobSabotage {
     /// Exit with this code instead of answering.
@@ -176,6 +270,18 @@ pub struct JobSabotage {
     pub stall: Option<Duration>,
     /// Sabotage the answer frame instead of writing it properly.
     pub answer: Option<FrameSabotage>,
+    /// Close the connection without answering ([`NetworkFault::
+    /// DropConnAtJob`]); over pipes this exits with
+    /// [`EXIT_DROPPED_CONN`], over sockets the process reconnects.
+    pub drop_conn: bool,
+    /// Sleep this long *after* computing, before writing the answer
+    /// frame ([`NetworkFault::DelayFrameMs`]).
+    pub delay: Option<Duration>,
+    /// Write the answer frame twice ([`NetworkFault::DuplicateResultAtJob`]).
+    pub duplicate: bool,
+    /// Write half the answer frame, then close the connection
+    /// ([`NetworkFault::TruncateStreamAtJob`]).
+    pub truncate_stream: bool,
 }
 
 /// How a worker sabotages one answer frame.
@@ -189,10 +295,13 @@ pub enum FrameSabotage {
 
 /// The worker daemon's side of the fault plan: parses [`FAULT_PLAN_ENV`]
 /// once at startup and answers, per received job, what (if anything) to
-/// sabotage. Counts jobs from 1 in arrival order.
+/// sabotage. Counts jobs from 1 in arrival order — across reconnects,
+/// since the process (not the connection) owns the count, which is what
+/// makes "drop at job 1, then heal" deterministic.
 #[derive(Debug, Default)]
 pub struct WorkerFaultHarness {
     faults: Vec<WorkerFault>,
+    network: Vec<NetworkFault>,
     handled: u64,
 }
 
@@ -202,21 +311,30 @@ impl WorkerFaultHarness {
     /// fault plan was malformed — that would fault the *coordinator's*
     /// contract, not the planned failpoint).
     pub fn from_env() -> Self {
-        let faults = std::env::var(FAULT_PLAN_ENV)
-            .ok()
-            .and_then(|text| serde_json::from_str(&text).ok())
-            .unwrap_or_default();
-        WorkerFaultHarness { faults, handled: 0 }
+        let Ok(text) = std::env::var(FAULT_PLAN_ENV) else {
+            return WorkerFaultHarness::default();
+        };
+        if let Ok(set) = serde_json::from_str::<WorkerFaultSet>(&text) {
+            return WorkerFaultHarness { faults: set.worker, network: set.network, handled: 0 };
+        }
+        // Pre-network payload shape: a bare worker-fault list.
+        let faults = serde_json::from_str(&text).unwrap_or_default();
+        WorkerFaultHarness { faults, network: Vec::new(), handled: 0 }
     }
 
     /// A harness over an explicit fault list (tests).
     pub fn new(faults: Vec<WorkerFault>) -> Self {
-        WorkerFaultHarness { faults, handled: 0 }
+        WorkerFaultHarness { faults, network: Vec::new(), handled: 0 }
+    }
+
+    /// A harness over worker and network fault lists (tests).
+    pub fn with_network(faults: Vec<WorkerFault>, network: Vec<NetworkFault>) -> Self {
+        WorkerFaultHarness { faults, network, handled: 0 }
     }
 
     /// Whether any faults are armed (the daemon's single branch per job).
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+        self.faults.is_empty() && self.network.is_empty()
     }
 
     /// Record the arrival of a job for `shard` (with `external` saying
@@ -248,22 +366,56 @@ impl WorkerFaultHarness {
                 _ => {}
             }
         }
+        for fault in &self.network {
+            match *fault {
+                NetworkFault::DropConnAtJob(n) if n == self.handled => {
+                    sabotage.drop_conn = true;
+                }
+                NetworkFault::DelayFrameMs(ms) => {
+                    sabotage.delay = Some(Duration::from_millis(ms));
+                }
+                NetworkFault::DuplicateResultAtJob(n) if n == self.handled => {
+                    sabotage.duplicate = true;
+                }
+                NetworkFault::TruncateStreamAtJob(n) if n == self.handled => {
+                    sabotage.truncate_stream = true;
+                }
+                // Coordinator-side; never ships to a worker.
+                NetworkFault::RefuseHandshake => {}
+                _ => {}
+            }
+        }
         sabotage
     }
 }
 
+/// The respawn backoff's documented saturation point: the delay doubles
+/// at most this many times, capping at `2^MAX_BACKOFF_DOUBLINGS * base`
+/// (64x). The cap exists for two reasons: a worker slot that has failed
+/// this often is waiting on an operator, not on more patience, and an
+/// unclamped `base << failures` would be a shift overflow once the
+/// failure count (bounded only by the dispatch budget times epochs, not
+/// by 32) reaches the width of the type.
+pub const MAX_BACKOFF_DOUBLINGS: u32 = 6;
+
 /// Deterministic exponential backoff before the `failures`-th consecutive
 /// respawn attempt of worker slot `slot` (`failures >= 1`): doubles from
-/// `base` up to `64 * base`, plus a seed-derived jitter in `[0, base)` so
-/// slots retrying in lockstep fan out — without any wall-clock or RNG
-/// dependence, keeping chaos runs reproducible.
+/// `base` up to [`MAX_BACKOFF_DOUBLINGS`] times (64x), plus a
+/// seed-derived jitter in `[0, base)` so slots retrying in lockstep fan
+/// out — without any wall-clock or RNG dependence, keeping chaos runs
+/// reproducible. Saturates (never shift-overflows) for any `failures`
+/// up to `u32::MAX`.
 pub fn respawn_backoff(seed: u64, slot: usize, failures: u32, base: Duration) -> Duration {
-    let exponent = failures.saturating_sub(1).min(6);
+    let exponent = failures.saturating_sub(1).min(MAX_BACKOFF_DOUBLINGS);
+    // The clamp above keeps the shift in range for any conceivable cap;
+    // `checked_shl` documents that even a misconfigured cap saturates
+    // instead of overflowing.
+    let factor = 1u32.checked_shl(exponent).unwrap_or(u32::MAX);
     let jitter_unit =
         splitmix(seed ^ (slot as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ failures as u64);
     let base_nanos = base.as_nanos() as u64;
     let jitter = if base_nanos == 0 { 0 } else { jitter_unit % base_nanos };
-    base.saturating_mul(1 << exponent) + Duration::from_nanos(jitter)
+    base.saturating_mul(factor) + Duration::from_nanos(jitter)
 }
 
 /// SplitMix64 finalizer — the same style of golden-ratio mixing the shard
@@ -286,6 +438,13 @@ mod tests {
             every_worker: vec![WorkerFault::CrashOnShard(2), WorkerFault::ExtccSpawnError],
             respawn_failures: 3,
             persist: vec![PersistFault::TornWrite("checkpoint".into())],
+            network: vec![
+                NetworkFault::DropConnAtJob(1),
+                NetworkFault::DelayFrameMs(40),
+                NetworkFault::DuplicateResultAtJob(2),
+                NetworkFault::TruncateStreamAtJob(3),
+                NetworkFault::RefuseHandshake,
+            ],
         };
         let text = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&text).unwrap();
@@ -297,6 +456,16 @@ mod tests {
         assert!(partial.every_worker.is_empty());
         assert_eq!(partial.respawn_failures, 0);
         assert!(partial.persist.is_empty());
+        assert!(partial.network.is_empty());
+        let net_only: FaultPlan =
+            serde_json::from_str(r#"{"network": [{"DropConnAtJob": 1}, "RefuseHandshake"]}"#)
+                .unwrap();
+        assert_eq!(
+            net_only.network,
+            vec![NetworkFault::DropConnAtJob(1), NetworkFault::RefuseHandshake]
+        );
+        assert!(!net_only.is_empty());
+        assert_eq!(net_only.refuse_handshakes(), 1);
         let empty: FaultPlan = serde_json::from_str("{}").unwrap();
         assert!(empty.is_empty());
         assert!(FaultPlan::none().is_empty());
@@ -308,14 +477,65 @@ mod tests {
         let plan =
             FaultPlan { first_worker: vec![WorkerFault::CrashAtJob(1)], ..FaultPlan::default() };
         let first = plan.worker_env(true).expect("slot 0 first spawn is faulted");
-        let parsed: Vec<WorkerFault> = serde_json::from_str(&first).unwrap();
-        assert_eq!(parsed, vec![WorkerFault::CrashAtJob(1)]);
+        let parsed: WorkerFaultSet = serde_json::from_str(&first).unwrap();
+        assert_eq!(parsed.worker, vec![WorkerFault::CrashAtJob(1)]);
+        assert!(parsed.network.is_empty());
         // Respawns (and other slots) see no faults at all — the variable
         // is not even set, so the worker's branch stays zero-cost.
         assert_eq!(plan.worker_env(false), None);
         let poison =
             FaultPlan { every_worker: vec![WorkerFault::CrashOnShard(1)], ..FaultPlan::default() };
         assert!(poison.worker_env(false).is_some());
+    }
+
+    #[test]
+    fn network_faults_ship_to_the_first_worker_without_refuse() {
+        let plan = FaultPlan {
+            network: vec![NetworkFault::DropConnAtJob(2), NetworkFault::RefuseHandshake],
+            ..FaultPlan::default()
+        };
+        // RefuseHandshake stays coordinator-side; the drop ships to the
+        // first worker only.
+        assert_eq!(plan.network_faults(true), vec![NetworkFault::DropConnAtJob(2)]);
+        assert!(plan.network_faults(false).is_empty());
+        assert_eq!(plan.refuse_handshakes(), 1);
+        let env = plan.worker_env(true).expect("network faults set the env");
+        let parsed: WorkerFaultSet = serde_json::from_str(&env).unwrap();
+        assert_eq!(parsed.network, vec![NetworkFault::DropConnAtJob(2)]);
+        assert!(parsed.worker.is_empty());
+        // A refuse-only plan ships nothing to workers at all.
+        let refuse_only =
+            FaultPlan { network: vec![NetworkFault::RefuseHandshake], ..FaultPlan::default() };
+        assert_eq!(refuse_only.worker_env(true), None);
+    }
+
+    #[test]
+    fn harness_applies_network_sabotage_and_legacy_payloads() {
+        let mut h = WorkerFaultHarness::with_network(
+            Vec::new(),
+            vec![
+                NetworkFault::DropConnAtJob(1),
+                NetworkFault::DelayFrameMs(30),
+                NetworkFault::DuplicateResultAtJob(2),
+                NetworkFault::TruncateStreamAtJob(3),
+                NetworkFault::RefuseHandshake,
+            ],
+        );
+        assert!(!h.is_empty());
+        let first = h.on_job(0, false);
+        assert!(first.drop_conn);
+        assert_eq!(first.delay, Some(Duration::from_millis(30)));
+        assert!(!first.duplicate && !first.truncate_stream);
+        let second = h.on_job(0, false);
+        assert!(!second.drop_conn && second.duplicate);
+        assert_eq!(second.delay, Some(Duration::from_millis(30)));
+        let third = h.on_job(0, false);
+        assert!(third.truncate_stream && !third.duplicate);
+        // The legacy bare-list payload still parses (round-trip through
+        // the set shape is covered by worker_env tests above).
+        let legacy: WorkerFaultSet =
+            serde_json::from_str(r#"{"worker": [{"CrashAtJob": 1}], "network": []}"#).unwrap();
+        assert_eq!(legacy.worker, vec![WorkerFault::CrashAtJob(1)]);
     }
 
     #[test]
@@ -365,6 +585,11 @@ mod tests {
             respawn_backoff(42, 0, 7, base).as_millis() / 25,
             "caps at 64x"
         );
+        // The documented saturation point: even a pathological failure
+        // count never shifts past the cap (and never overflows).
+        let cap = base.saturating_mul(1 << MAX_BACKOFF_DOUBLINGS);
+        let extreme = respawn_backoff(42, 0, u32::MAX, base);
+        assert!(extreme >= cap && extreme < cap + base, "{extreme:?}");
         // Different slots fan out (jitter decorrelates lockstep retries).
         assert_ne!(respawn_backoff(42, 0, 1, base), respawn_backoff(42, 1, 1, base));
         // Zero base degenerates to zero without dividing by it.

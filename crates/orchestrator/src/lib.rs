@@ -15,10 +15,11 @@
 //!      |                   |                      |
 //!      |        ShardExecutor::begin(tasks, sink) |
 //!      |                   |                      |
-//!      |     InProcessExecutor    ProcessPoolExecutor
-//!      |     (thread pool +       (llm4fp-worker daemons,
-//!      |      shared cache)        length-prefixed JSON jobs,
-//!      |                           crash/straggler redispatch)
+//!      |   InProcessExecutor  ProcessPoolExecutor  RemoteWorkerExecutor
+//!      |   (thread pool +     (llm4fp-worker        (llm4fp-worker
+//!      |    shared cache)      daemons over pipes,   --connect over TCP,
+//!      |                       crash/straggler       leases + heartbeats +
+//!      |                       redispatch)           reconnect-and-resume)
 //!      |                   |                      |
 //!   ShardOutput       ShardOutput            ShardOutput   --> JSONL run dir
 //!      +---------------- merge (shard order) ----------------+  (optional)
@@ -66,6 +67,14 @@
 //!   ([`ProcessPoolExecutor`]) farming [`wire`] jobs to `llm4fp-worker`
 //!   daemons with per-shard timeouts, crash-and-redispatch and straggler
 //!   re-dispatch;
+//! * [`remote`] — the socket transport ([`RemoteWorkerExecutor`]):
+//!   workers dial a TCP coordinator (`llm4fp-worker --connect`) behind a
+//!   versioned handshake, supervised by deadline leases, idle heartbeats
+//!   and reconnect-and-resume;
+//! * [`supervisor`] — the transport-shared supervision core: lease-based
+//!   dispatch ledgers ([`supervisor::EpochState`]) and the session half
+//!   both pool transports fold epochs through
+//!   ([`supervisor::SessionCore`]);
 //! * [`Scheduler`] — multi-campaign suites (all four Table 2 approaches)
 //!   over one shared worker budget, with per-campaign exchange;
 //! * [`shard`] — the shard planning/merging primitives and the
@@ -77,7 +86,9 @@
 //!   torn-tail tolerance, schema-versioned manifests);
 //! * [`faults`] — deterministic fault injection ([`FaultPlan`]) for
 //!   chaos-testing the supervisor: worker crashes/stalls/frame sabotage,
-//!   respawn failures, torn run-dir writes.
+//!   respawn failures, torn run-dir writes, and network faults for the
+//!   socket transport (dropped connections, delayed/duplicated/torn
+//!   result frames, refused handshakes).
 //!
 //! **Failure model.** Supervision is configurable per transport: a job
 //! that exhausts its dispatch budget either aborts the run (default —
@@ -106,23 +117,29 @@ pub mod orchestrate;
 pub mod persist;
 pub mod pool;
 pub mod process_pool;
+pub mod remote;
 pub mod scheduler;
 pub mod shard;
+pub mod supervisor;
 pub mod wire;
 
 pub use executor::{
     FailurePolicy, InProcessExecutor, NullSink, OrchestratorError, RecordSink, SessionOutcome,
     ShardExecutor, ShardSession, ShardTask,
 };
-pub use faults::{FaultPlan, PersistFault, WorkerFault};
+pub use faults::{
+    FaultPlan, NetworkFault, PersistFault, WorkerFault, WorkerFaultSet, MAX_BACKOFF_DOUBLINGS,
+};
 pub use orchestrate::{
     default_workers, matches_sequential, OrchestratedResult, Orchestrator, OrchestratorOptions,
     RunStats,
 };
 pub use persist::{Artifact, PersistError, RunDir, RunManifest, MANIFEST_SCHEMA};
 pub use process_pool::ProcessPoolExecutor;
+pub use remote::RemoteWorkerExecutor;
 pub use scheduler::Scheduler;
 pub use shard::{
     merge_shards, plan_epoch_segments, plan_shards, run_shard, shard_seed, ShardCtx,
     ShardFailureReport, ShardOutput, ShardRunner, ShardSpec,
 };
+pub use wire::{Hello, WireError, PROTOCOL_VERSION};

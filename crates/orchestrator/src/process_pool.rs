@@ -48,7 +48,6 @@
 //!
 //! [`max_dispatch_attempts`]: ProcessPoolExecutor::max_dispatch_attempts
 
-use std::collections::VecDeque;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, Command, Stdio};
@@ -66,8 +65,8 @@ use crate::executor::{
     ShardTask,
 };
 use crate::faults::{self, FaultPlan};
-use crate::shard::{ShardFailureReport, ShardOutput};
-use crate::wire::{self, ShardJob, ShardJobResult, WireRequest};
+use crate::supervisor::{EpochState, SessionCore};
+use crate::wire::{self, Hello, ShardJobResult, WireReply, WireRequest, MAX_FRAME_LEN};
 
 /// Default dispatch-attempt budget per job (crash, hang, spawn failure all
 /// count). Override per executor with
@@ -91,6 +90,7 @@ pub struct ProcessPoolExecutor {
     backoff_base: Duration,
     policy: FailurePolicy,
     faults: FaultPlan,
+    max_frame_len: usize,
 }
 
 impl ProcessPoolExecutor {
@@ -108,6 +108,7 @@ impl ProcessPoolExecutor {
             backoff_base: DEFAULT_RESPAWN_BACKOFF,
             policy: FailurePolicy::default(),
             faults: FaultPlan::none(),
+            max_frame_len: MAX_FRAME_LEN,
         }
     }
 
@@ -163,33 +164,50 @@ impl ProcessPoolExecutor {
         self
     }
 
+    /// Cap on one wire frame's payload, for both directions of every
+    /// worker stream (the cap is forwarded to spawned workers via
+    /// `--max-frame-len`). Defaults to [`MAX_FRAME_LEN`] (256 MiB);
+    /// `0` is rejected at [`begin`](ShardExecutor::begin) with
+    /// [`OrchestratorError::InvalidFrameLen`].
+    pub fn with_max_frame_len(mut self, max_frame_len: usize) -> Self {
+        self.max_frame_len = max_frame_len;
+        self
+    }
+
     fn resolve_worker_bin(&self) -> Result<PathBuf, OrchestratorError> {
-        if let Some(bin) = &self.worker_bin {
-            return Ok(bin.clone());
-        }
-        if let Some(bin) = std::env::var_os(WORKER_BIN_ENV) {
-            return Ok(PathBuf::from(bin));
-        }
-        let exe = std::env::current_exe().map_err(|e| {
-            OrchestratorError::WorkerUnavailable(format!("cannot locate current executable: {e}"))
-        })?;
-        let mut dir = exe.parent().unwrap_or_else(|| Path::new(".")).to_path_buf();
-        // Test binaries live in target/<profile>/deps/; the worker bin
-        // sits one level up in target/<profile>/.
-        if dir.file_name().is_some_and(|name| name == "deps") {
-            dir.pop();
-        }
-        let bin = dir.join(format!("llm4fp-worker{}", std::env::consts::EXE_SUFFIX));
-        if bin.exists() {
-            Ok(bin)
-        } else {
-            Err(OrchestratorError::WorkerUnavailable(format!(
-                "worker binary not found at {} (build it with `cargo build -p \
-                 llm4fp-orchestrator --bin llm4fp-worker`, set {WORKER_BIN_ENV}, or use \
-                 with_worker_bin)",
-                bin.display()
-            )))
-        }
+        resolve_worker_bin(self.worker_bin.as_deref())
+    }
+}
+
+/// Resolve the `llm4fp-worker` binary for a pool transport: the explicit
+/// override, then [`WORKER_BIN_ENV`], then `llm4fp-worker` next to the
+/// current executable.
+pub(crate) fn resolve_worker_bin(explicit: Option<&Path>) -> Result<PathBuf, OrchestratorError> {
+    if let Some(bin) = explicit {
+        return Ok(bin.to_path_buf());
+    }
+    if let Some(bin) = std::env::var_os(WORKER_BIN_ENV) {
+        return Ok(PathBuf::from(bin));
+    }
+    let exe = std::env::current_exe().map_err(|e| {
+        OrchestratorError::WorkerUnavailable(format!("cannot locate current executable: {e}"))
+    })?;
+    let mut dir = exe.parent().unwrap_or_else(|| Path::new(".")).to_path_buf();
+    // Test binaries live in target/<profile>/deps/; the worker bin
+    // sits one level up in target/<profile>/.
+    if dir.file_name().is_some_and(|name| name == "deps") {
+        dir.pop();
+    }
+    let bin = dir.join(format!("llm4fp-worker{}", std::env::consts::EXE_SUFFIX));
+    if bin.exists() {
+        Ok(bin)
+    } else {
+        Err(OrchestratorError::WorkerUnavailable(format!(
+            "worker binary not found at {} (build it with `cargo build -p \
+             llm4fp-orchestrator --bin llm4fp-worker`, set {WORKER_BIN_ENV}, or use \
+             with_worker_bin)",
+            bin.display()
+        )))
     }
 }
 
@@ -212,39 +230,25 @@ impl ShardExecutor for ProcessPoolExecutor {
         if self.max_dispatch_attempts == 0 {
             return Err(OrchestratorError::InvalidDispatchAttempts);
         }
+        if self.max_frame_len == 0 {
+            return Err(OrchestratorError::InvalidFrameLen);
+        }
         let bin = self.resolve_worker_bin()?;
-        let checkpoints: Vec<Option<RunnerCheckpoint>> =
-            tasks.iter().map(|task| task.checkpoint.clone()).collect();
-        // On resume, records up to the restored barrier are already
-        // accounted for (they live in the checkpoint, not the fresh
-        // shard file) — mirror the in-process writer behavior of
-        // streaming only newly computed segments.
-        let streamed = checkpoints
-            .iter()
-            .map(|checkpoint| checkpoint.as_ref().map_or(0, |c| c.records.len()))
-            .collect();
         let workers = (0..self.worker_procs.max(1).min(tasks.len().max(1))).map(|_| None).collect();
         // Backoff jitter derives from the campaign seed so chaos runs
         // replay identically (any fixed seed preserves determinism; the
         // campaign's makes runs distinguishable in traces).
         let backoff_seed = tasks.first().map_or(0, |task| task.config.seed);
         Ok(Box::new(ProcessPoolSession {
+            core: SessionCore::new(tasks, sink, self.max_dispatch_attempts, self.policy),
             bin,
             shard_timeout: self.shard_timeout,
-            max_dispatch_attempts: self.max_dispatch_attempts,
             backoff_base: self.backoff_base,
             backoff_seed,
-            policy: self.policy,
             faults: self.faults.clone(),
             respawn_budget: AtomicU32::new(self.faults.respawn_failures),
-            quarantined: vec![false; tasks.len()],
-            failures: tasks.iter().map(|_| None).collect(),
-            tasks,
-            sink,
+            max_frame_len: self.max_frame_len,
             workers,
-            checkpoints,
-            streamed,
-            outputs: Vec::new(),
             pool_start: Instant::now(),
         }))
     }
@@ -260,29 +264,69 @@ struct Worker {
 }
 
 impl Worker {
-    fn spawn(bin: &Path, fault_env: Option<&str>) -> io::Result<Worker> {
+    fn spawn(bin: &Path, fault_env: Option<&str>, max_frame_len: usize) -> io::Result<Worker> {
         let mut cmd = Command::new(bin);
         cmd.stdin(Stdio::piped()).stdout(Stdio::piped()).stderr(Stdio::inherit());
         group_spawn(&mut cmd);
         if let Some(value) = fault_env {
             cmd.env(faults::FAULT_PLAN_ENV, value);
         }
+        if max_frame_len != MAX_FRAME_LEN {
+            cmd.arg("--max-frame-len").arg(max_frame_len.to_string());
+        }
         let mut child = cmd.spawn()?;
-        let stdin = child.stdin.take().expect("stdin piped");
+        let mut stdin = child.stdin.take().expect("stdin piped");
         let mut stdout = child.stdout.take().expect("stdout piped");
+        // Coordinator's half of the versioned handshake; the worker's
+        // half is the first frame the reader thread sees below.
+        wire::write_frame_limited(
+            &mut stdin,
+            &WireRequest::Hello(Hello::current()),
+            max_frame_len,
+        )?;
         let (tx, results) = std::sync::mpsc::channel();
         // Detached reader: exits when the pipe closes (worker death or
-        // shutdown) or when the session drops the receiver.
-        std::thread::spawn(move || loop {
-            match wire::read_frame::<ShardJobResult, _>(&mut stdout) {
-                Ok(result) => {
-                    if tx.send(Ok(result)).is_err() {
-                        break;
+        // shutdown) or when the session drops the receiver. The first
+        // frame must be the worker's `Hello`; a version skew surfaces
+        // as a typed `WireError::VersionMismatch`, never a parse error.
+        std::thread::spawn(move || {
+            match wire::read_frame_limited::<WireReply, _>(&mut stdout, max_frame_len) {
+                Ok(WireReply::Hello(hello)) => {
+                    if let Err(skew) = hello.check() {
+                        let _ = tx.send(Err(skew.into()));
+                        return;
                     }
+                }
+                Ok(_) => {
+                    let _ = tx.send(Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "protocol violation: worker's first frame was not Hello",
+                    )));
+                    return;
                 }
                 Err(e) => {
                     let _ = tx.send(Err(e));
-                    break;
+                    return;
+                }
+            }
+            loop {
+                match wire::read_frame_limited::<WireReply, _>(&mut stdout, max_frame_len) {
+                    Ok(WireReply::Result(result)) => {
+                        if tx.send(Ok(*result)).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(other) => {
+                        let _ = tx.send(Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("protocol violation: unexpected frame {other:?}"),
+                        )));
+                        break;
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        break;
+                    }
                 }
             }
         });
@@ -311,143 +355,21 @@ impl Drop for Worker {
     }
 }
 
-/// Why an epoch gave up, and whether the terminal failure was the
-/// spawn-the-worker class (which maps to
-/// [`OrchestratorError::WorkerUnavailable`] — the in-process fallback's
-/// trigger) rather than a job-execution failure.
-struct EpochFailure {
-    message: String,
-    worker_unavailable: bool,
-}
-
-/// Shared per-epoch dispatch state (one lock, held only for bookkeeping).
-struct EpochState {
-    /// Jobs not currently running anywhere (fresh or requeued).
-    queue: VecDeque<usize>,
-    /// Concurrent dispatches per job (straggler duplication allows 2).
-    running: Vec<u8>,
-    /// Failed attempts per job.
-    attempts: Vec<u8>,
-    /// Last failure per job, for quarantine reports.
-    last_error: Vec<Option<String>>,
-    done: Vec<bool>,
-    remaining: usize,
-    results: Vec<Option<ShardJobResult>>,
-    /// Jobs that exhausted their budget under the quarantine policy this
-    /// epoch (sticky `done`, no result, no requeue).
-    quarantined: Vec<bool>,
-    failed: Option<EpochFailure>,
-    max_attempts: u8,
-    policy: FailurePolicy,
-}
-
-impl EpochState {
-    /// Dispatch state over `jobs` jobs, skipping the ones already
-    /// quarantined in earlier epochs.
-    fn new(
-        jobs: usize,
-        already_quarantined: &[bool],
-        max_attempts: u8,
-        policy: FailurePolicy,
-    ) -> Self {
-        debug_assert_eq!(already_quarantined.len(), jobs);
-        let queue: VecDeque<usize> = (0..jobs).filter(|&job| !already_quarantined[job]).collect();
-        let remaining = queue.len();
-        EpochState {
-            queue,
-            running: vec![0; jobs],
-            attempts: vec![0; jobs],
-            last_error: (0..jobs).map(|_| None).collect(),
-            done: already_quarantined.to_vec(),
-            remaining,
-            results: (0..jobs).map(|_| None).collect(),
-            quarantined: vec![false; jobs],
-            failed: None,
-            max_attempts,
-            policy,
-        }
-    }
-
-    /// The next job for an idle worker: queued work first, then a
-    /// straggler duplicate (first still-running job without one).
-    fn next_job(&mut self) -> Option<usize> {
-        let job = self.queue.pop_front().or_else(|| {
-            (0..self.done.len()).find(|&job| !self.done[job] && self.running[job] == 1)
-        })?;
-        self.running[job] += 1;
-        Some(job)
-    }
-
-    /// A dispatch answered. First answer wins; duplicates are discarded.
-    fn complete(&mut self, job: usize, result: ShardJobResult) {
-        self.running[job] -= 1;
-        if !self.done[job] {
-            self.done[job] = true;
-            self.remaining -= 1;
-            self.results[job] = Some(result);
-        }
-    }
-
-    /// A dispatch failed (crash, hang, protocol violation, spawn
-    /// failure). Requeue unless the job already completed elsewhere or
-    /// ran out of attempts — then the failure policy decides between
-    /// failing the epoch and quarantining the job. `spawn_failure` marks
-    /// the cannot-even-spawn class for the degradation ladder.
-    fn abandon(&mut self, job: usize, why: String, spawn_failure: bool) {
-        self.running[job] -= 1;
-        if self.done[job] {
-            return;
-        }
-        self.attempts[job] += 1;
-        if self.attempts[job] >= self.max_attempts {
-            let budget = self.max_attempts;
-            match self.policy {
-                FailurePolicy::Abort => {
-                    self.failed = Some(EpochFailure {
-                        message: format!(
-                            "shard job {job} failed {budget} time(s); last error: {why}"
-                        ),
-                        worker_unavailable: spawn_failure,
-                    });
-                }
-                FailurePolicy::Quarantine => {
-                    self.quarantined[job] = true;
-                    self.done[job] = true;
-                    self.remaining -= 1;
-                }
-            }
-            self.last_error[job] = Some(why);
-        } else {
-            self.last_error[job] = Some(why);
-            self.queue.push_front(job);
-        }
-    }
-}
-
 struct ProcessPoolSession<'s> {
+    /// The transport-independent session half (tasks, checkpoints,
+    /// quarantine ledger, epoch folding) — see [`crate::supervisor`].
+    core: SessionCore<'s>,
     bin: PathBuf,
     shard_timeout: Duration,
-    max_dispatch_attempts: u8,
     backoff_base: Duration,
     backoff_seed: u64,
-    policy: FailurePolicy,
     faults: FaultPlan,
     /// Remaining injected spawn failures ([`FaultPlan::respawn_failures`]).
     respawn_budget: AtomicU32,
-    /// Tasks quarantined in *any* epoch so far (sticky for the session).
-    quarantined: Vec<bool>,
-    /// Failure report per quarantined task.
-    failures: Vec<Option<ShardFailureReport>>,
-    tasks: Vec<ShardTask>,
-    sink: &'s dyn RecordSink,
+    max_frame_len: usize,
     /// Worker slots; `None` until a slot's coordinator thread first needs
     /// a daemon (and after a kill, until the respawn).
     workers: Vec<Option<Worker>>,
-    /// Coordinator-side shard state between epochs.
-    checkpoints: Vec<Option<RunnerCheckpoint>>,
-    /// How many of each task's records already reached the sink.
-    streamed: Vec<usize>,
-    outputs: Vec<Option<ShardOutput>>,
     pool_start: Instant,
 }
 
@@ -455,31 +377,22 @@ struct ProcessPoolSession<'s> {
 /// worker slots themselves are `!Sync` — each thread exclusively owns
 /// its own slot).
 struct PumpCtx<'a> {
+    core: &'a SessionCore<'a>,
     bin: &'a Path,
     shard_timeout: Duration,
     backoff_base: Duration,
     backoff_seed: u64,
     faults: &'a FaultPlan,
     respawn_budget: &'a AtomicU32,
-    tasks: &'a [ShardTask],
-    checkpoints: &'a [Option<RunnerCheckpoint>],
+    max_frame_len: usize,
     segments: &'a [usize],
     last: bool,
     pool_start: Instant,
 }
 
 impl PumpCtx<'_> {
-    fn build_job(&self, job: usize) -> WireRequest {
-        let task = &self.tasks[job];
-        WireRequest::Job(Box::new(ShardJob {
-            config: task.config.clone(),
-            spec: task.spec,
-            segment: self.segments[job],
-            finish: self.last,
-            checkpoint: self.checkpoints[job].clone(),
-            process_slots: task.process_slots,
-            telemetry: task.telemetry.is_enabled(),
-        }))
+    fn build_job(&self, job: usize, lease: u64) -> WireRequest {
+        WireRequest::Job(Box::new(self.core.build_job(job, self.segments[job], self.last, lease)))
     }
 
     /// Whether this spawn attempt is sacrificed to the fault plan's
@@ -508,13 +421,13 @@ fn pump_worker(
     // Consecutive failed spawn attempts of this slot, for the backoff.
     let mut spawn_failures: u32 = 0;
     loop {
-        let job = {
+        let (job, lease) = {
             let mut state = state.lock().unwrap();
-            if state.failed.is_some() || state.remaining == 0 {
+            if state.is_settled() {
                 return;
             }
             match state.next_job() {
-                Some(job) => job,
+                Some(leased) => leased,
                 None => {
                     drop(state);
                     std::thread::sleep(Duration::from_millis(2));
@@ -527,7 +440,7 @@ fn pump_worker(
                 Err(io::Error::other("injected respawn failure"))
             } else {
                 let env = session.faults.worker_env(slot_index == 0 && first_spawn);
-                Worker::spawn(session.bin, env.as_deref())
+                Worker::spawn(session.bin, env.as_deref(), session.max_frame_len)
             };
             match spawned {
                 Ok(worker) => {
@@ -539,6 +452,7 @@ fn pump_worker(
                     spawn_failures += 1;
                     state.lock().unwrap().abandon(
                         job,
+                        lease,
                         format!("cannot spawn worker {}: {e}", session.bin.display()),
                         true,
                     );
@@ -556,27 +470,36 @@ fn pump_worker(
             }
         }
         let worker = slot.as_mut().expect("worker spawned");
-        let telemetry = &session.tasks[job].telemetry;
+        let telemetry = &session.core.tasks[job].telemetry;
         telemetry.observe(keys::QUEUE_WAIT, session.pool_start.elapsed());
         let span = telemetry.span(keys::SPAN_SHARD_RUN);
-        let request = session.build_job(job);
-        let answer = match wire::write_frame(&mut worker.stdin, &request) {
-            Err(e) => Err(format!("write to worker failed: {e}")),
-            Ok(()) => match worker.results.recv_timeout(session.shard_timeout) {
-                Ok(Ok(result)) if result.index == session.tasks[job].spec.index => Ok(result),
-                Ok(Ok(result)) => {
-                    Err(format!("protocol violation: answer for shard {}", result.index))
-                }
-                Ok(Err(e)) => Err(format!("worker died: {e}")),
-                Err(RecvTimeoutError::Timeout) => {
-                    Err(format!("shard timeout after {:.1}s", session.shard_timeout.as_secs_f64()))
-                }
-                Err(RecvTimeoutError::Disconnected) => Err("worker stream closed".into()),
-            },
-        };
+        let request = session.build_job(job, lease);
+        let answer =
+            match wire::write_frame_limited(&mut worker.stdin, &request, session.max_frame_len) {
+                Err(e) => Err(format!("write to worker failed: {e}")),
+                Ok(()) => match worker.results.recv_timeout(session.shard_timeout) {
+                    Ok(Ok(result)) if result.index == session.core.tasks[job].spec.index => {
+                        Ok(result)
+                    }
+                    Ok(Ok(result)) => {
+                        Err(format!("protocol violation: answer for shard {}", result.index))
+                    }
+                    Ok(Err(e)) => Err(format!("worker died: {e}")),
+                    Err(RecvTimeoutError::Timeout) => Err(format!(
+                        "shard timeout after {:.1}s",
+                        session.shard_timeout.as_secs_f64()
+                    )),
+                    Err(RecvTimeoutError::Disconnected) => Err("worker stream closed".into()),
+                },
+            };
         drop(span);
         match answer {
-            Ok(result) => state.lock().unwrap().complete(job, result),
+            Ok(result) => {
+                // One job in flight per pipe worker, so the lease is
+                // always still live here (the return value only matters
+                // to the socket transport's late-answer path).
+                let _ = state.lock().unwrap().complete(job, lease, result);
+            }
             Err(why) => {
                 // Kill the whole process group (the worker may have
                 // compiler children) and let the slot respawn lazily.
@@ -584,7 +507,7 @@ fn pump_worker(
                     kill_group(&mut dead.child);
                     dead.reaped = true;
                 }
-                state.lock().unwrap().abandon(job, why, false);
+                state.lock().unwrap().abandon(job, lease, why, false);
             }
         }
     }
@@ -613,26 +536,21 @@ impl ShardSession for ProcessPoolSession<'_> {
         segments: &[usize],
         last: bool,
     ) -> Result<Vec<Vec<String>>, OrchestratorError> {
-        debug_assert_eq!(segments.len(), self.tasks.len());
+        debug_assert_eq!(segments.len(), self.core.tasks.len());
         self.sweep_dead_workers();
-        let state = Mutex::new(EpochState::new(
-            self.tasks.len(),
-            &self.quarantined,
-            self.max_dispatch_attempts,
-            self.policy,
-        ));
+        let state = Mutex::new(self.core.epoch_state());
         {
             // Split-borrow: each dispatch thread exclusively owns its
             // worker slot; everything else is shared read-only.
             let ctx = PumpCtx {
+                core: &self.core,
                 bin: &self.bin,
                 shard_timeout: self.shard_timeout,
                 backoff_base: self.backoff_base,
                 backoff_seed: self.backoff_seed,
                 faults: &self.faults,
                 respawn_budget: &self.respawn_budget,
-                tasks: &self.tasks,
-                checkpoints: &self.checkpoints,
+                max_frame_len: self.max_frame_len,
                 segments,
                 last,
                 pool_start: self.pool_start,
@@ -645,220 +563,29 @@ impl ShardSession for ProcessPoolSession<'_> {
                 }
             });
         }
-        let mut state = state.into_inner().unwrap();
-        if let Some(failure) = state.failed.take() {
-            return Err(if failure.worker_unavailable {
-                OrchestratorError::WorkerUnavailable(failure.message)
-            } else {
-                OrchestratorError::Executor(failure.message)
-            });
-        }
-        // Fold this epoch's quarantine decisions into the session; the
-        // reports surface through `finish` and `RunStats::failures`.
-        for job in 0..self.tasks.len() {
-            if state.quarantined[job] && !self.quarantined[job] {
-                self.quarantined[job] = true;
-                self.failures[job] = Some(ShardFailureReport {
-                    shard: self.tasks[job].spec.index,
-                    attempts: u32::from(state.attempts[job]),
-                    last_error: state.last_error[job].clone().unwrap_or_default(),
-                });
-            }
-        }
-        // Single-threaded post-processing in task order: absorb worker
-        // counters (exactly once per job — duplicates were discarded),
-        // replay newly computed records into the sink, store barrier
-        // state or final outputs. Quarantined jobs contribute an empty
-        // delta and nothing else.
-        let mut deltas = Vec::with_capacity(self.tasks.len());
-        if last {
-            self.outputs = (0..self.tasks.len()).map(|_| None).collect();
-        }
-        for (job, result) in state.results.iter_mut().enumerate() {
-            if self.quarantined[job] {
-                deltas.push(Vec::new());
-                continue;
-            }
-            let result = result.take().ok_or_else(|| {
-                OrchestratorError::Executor(format!("shard job {job} never completed"))
-            })?;
-            if let Some(snapshot) = &result.telemetry {
-                if !snapshot.is_empty() {
-                    self.tasks[job].telemetry.absorb(snapshot);
-                }
-            }
-            deltas.push(result.delta);
-            if last {
-                let output = result.output.ok_or_else(|| {
-                    OrchestratorError::Executor(format!(
-                        "protocol violation: no output for finished shard job {job}"
-                    ))
-                })?;
-                for record in &output.records[self.streamed[job]..] {
-                    self.sink.record(job, record);
-                }
-                self.sink.complete(job, &output);
-                self.outputs[job] = Some(output);
-            } else {
-                let checkpoint = result.checkpoint.ok_or_else(|| {
-                    OrchestratorError::Executor(format!(
-                        "protocol violation: no checkpoint for paused shard job {job}"
-                    ))
-                })?;
-                for record in &checkpoint.records[self.streamed[job]..] {
-                    self.sink.record(job, record);
-                }
-                self.streamed[job] = checkpoint.records.len();
-                self.checkpoints[job] = Some(checkpoint);
-            }
-        }
-        Ok(deltas)
+        let state = state.into_inner().unwrap();
+        self.core.fold_epoch(state, last)
     }
 
     fn inject(&mut self, pools: &[&[String]]) -> Result<(), OrchestratorError> {
-        debug_assert_eq!(pools.len(), self.checkpoints.len());
-        for (job, pool) in pools.iter().enumerate() {
-            if self.quarantined[job] {
-                continue;
-            }
-            let checkpoint = self.checkpoints[job].as_mut().ok_or_else(|| {
-                OrchestratorError::Executor(format!(
-                    "inject before shard job {job} ever ran an epoch"
-                ))
-            })?;
-            checkpoint.inject_successful(pool);
-        }
-        Ok(())
+        self.core.inject(pools)
     }
 
     fn checkpoints(&mut self) -> Result<Vec<Option<RunnerCheckpoint>>, OrchestratorError> {
-        self.checkpoints
-            .iter()
-            .enumerate()
-            .map(|(job, checkpoint)| {
-                if self.quarantined[job] {
-                    // A quarantined job has no live barrier state; its
-                    // stale checkpoint (if any) must not be persisted as
-                    // if the barrier were complete.
-                    return Ok(None);
-                }
-                checkpoint.clone().map(Some).ok_or_else(|| {
-                    OrchestratorError::Executor(format!(
-                        "checkpoint requested before shard job {job} ever ran"
-                    ))
-                })
-            })
-            .collect()
+        self.core.checkpoints()
     }
 
     fn finish(mut self: Box<Self>) -> Result<SessionOutcome, OrchestratorError> {
         for worker in self.workers.iter_mut().filter_map(Option::take) {
             worker.shutdown();
         }
-        let outputs = std::mem::take(&mut self.outputs);
-        if outputs.len() != self.tasks.len() {
-            return Err(OrchestratorError::Executor(
-                "finish called before the final epoch ran".into(),
-            ));
-        }
-        let shards = outputs
-            .into_iter()
-            .zip(std::mem::take(&mut self.failures))
-            .enumerate()
-            .map(|(job, (output, failure))| match (output, failure) {
-                (Some(output), _) => Ok(Ok(output)),
-                (None, Some(report)) => Ok(Err(report)),
-                (None, None) => {
-                    Err(OrchestratorError::Executor(format!("shard job {job} has no output")))
-                }
-            })
-            .collect::<Result<Vec<_>, OrchestratorError>>()?;
-        Ok(SessionOutcome { shards })
+        self.core.outcome()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn abort_state(jobs: usize) -> EpochState {
-        EpochState::new(jobs, &vec![false; jobs], MAX_DISPATCH_ATTEMPTS, FailurePolicy::Abort)
-    }
-
-    #[test]
-    fn dispatch_state_requeues_failures_and_caps_attempts() {
-        let mut state = abort_state(2);
-        assert_eq!(state.next_job(), Some(0));
-        assert_eq!(state.next_job(), Some(1));
-        // Worker holding job 0 crashes twice; job re-enters the queue.
-        state.abandon(0, "crash".into(), false);
-        assert!(state.failed.is_none());
-        assert_eq!(state.next_job(), Some(0));
-        state.abandon(0, "crash".into(), false);
-        assert_eq!(state.next_job(), Some(0));
-        // Third failure exhausts the attempt budget.
-        state.abandon(0, "crash".into(), false);
-        let failure = state.failed.as_ref().unwrap();
-        assert!(failure.message.contains("3 time(s)"));
-        assert!(!failure.worker_unavailable);
-    }
-
-    #[test]
-    fn spawn_class_failures_mark_worker_unavailable() {
-        let mut state = EpochState::new(1, &[false], 1, FailurePolicy::Abort);
-        assert_eq!(state.next_job(), Some(0));
-        state.abandon(0, "cannot spawn worker".into(), true);
-        assert!(state.failed.as_ref().unwrap().worker_unavailable);
-    }
-
-    #[test]
-    fn quarantine_policy_retires_the_job_instead_of_failing_the_epoch() {
-        let mut state = EpochState::new(2, &[false, false], 2, FailurePolicy::Quarantine);
-        assert_eq!(state.next_job(), Some(0));
-        state.abandon(0, "crash".into(), false);
-        assert_eq!(state.next_job(), Some(0));
-        state.abandon(0, "crash again".into(), false);
-        // Budget exhausted: quarantined, not failed; the epoch continues
-        // with the surviving job.
-        assert!(state.failed.is_none());
-        assert!(state.quarantined[0]);
-        assert!(state.done[0]);
-        assert_eq!(state.remaining, 1);
-        assert_eq!(state.last_error[0].as_deref(), Some("crash again"));
-        assert_eq!(state.attempts[0], 2);
-        assert_eq!(state.next_job(), Some(1));
-        // Later epochs skip quarantined jobs entirely.
-        let later = EpochState::new(2, &[true, false], 2, FailurePolicy::Quarantine);
-        assert_eq!(later.remaining, 1);
-        assert!(later.done[0]);
-        assert_eq!(later.queue, VecDeque::from([1]));
-    }
-
-    #[test]
-    fn stragglers_get_one_duplicate_and_first_answer_wins() {
-        let mut state = abort_state(1);
-        assert_eq!(state.next_job(), Some(0));
-        // Queue empty, job 0 still running: an idle worker duplicates it.
-        assert_eq!(state.next_job(), Some(0));
-        assert_eq!(state.running[0], 2);
-        // No third concurrent attempt.
-        assert_eq!(state.next_job(), None);
-        let answer = ShardJobResult {
-            index: 0,
-            delta: vec!["a".into()],
-            checkpoint: None,
-            output: None,
-            telemetry: None,
-        };
-        state.complete(0, answer.clone());
-        assert_eq!(state.remaining, 0);
-        // The loser's answer (identical anyway) is discarded, and a
-        // late failure of the duplicate no longer requeues anything.
-        state.complete(0, answer);
-        assert_eq!(state.remaining, 0);
-        assert!(state.results[0].is_some());
-        assert!(state.queue.is_empty());
-    }
 
     #[test]
     fn missing_worker_binary_is_a_clean_error() {
@@ -883,5 +610,18 @@ mod tests {
             Err(err) => err,
         };
         assert!(matches!(err, OrchestratorError::InvalidDispatchAttempts), "got {err}");
+    }
+
+    #[test]
+    fn zero_max_frame_len_is_rejected_at_begin() {
+        let executor = ProcessPoolExecutor::new(1)
+            .with_worker_bin("/nonexistent/llm4fp-worker")
+            .with_max_frame_len(0);
+        let err = match executor.begin(Vec::new(), &crate::executor::NullSink) {
+            Ok(_) => panic!("begin must reject a zero frame cap"),
+            Err(err) => err,
+        };
+        assert!(matches!(err, OrchestratorError::InvalidFrameLen), "got {err}");
+        assert!(err.to_string().contains("max_frame_len"), "{err}");
     }
 }

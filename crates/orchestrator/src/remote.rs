@@ -1,0 +1,812 @@
+//! The socket transport: `llm4fp-worker --connect` daemons supervised
+//! over TCP by leases, heartbeats and reconnect-and-resume.
+//!
+//! [`RemoteWorkerExecutor`] implements [`ShardExecutor`] with the same
+//! wire vocabulary as the pipe transport ([`crate::wire`]) served over a
+//! TCP socket: the coordinator binds a listener, workers dial in, each
+//! stream opens with the versioned handshake (worker
+//! [`WireReply::Hello`] first, coordinator [`WireRequest::Hello`] or a
+//! typed [`WireRequest::Refuse`]), and then jobs flow exactly as over
+//! pipes. In CI and tests the socket is loopback with self-spawned
+//! workers; the same executor accepts external workers dialing from
+//! anywhere (`worker_procs = 0` spawns nothing and waits).
+//!
+//! Supervision is built for a transport that can *lose the network*, on
+//! the shared [`crate::supervisor`] machinery:
+//!
+//! * **Leases** — every dispatch holds a deadline lease
+//!   ([`with_lease_timeout`](RemoteWorkerExecutor::with_lease_timeout))
+//!   identified by a generation number stamped into the job. A worker
+//!   that neither answers nor disconnects within the deadline loses the
+//!   lease: the job re-enters the queue for any connection, and the late
+//!   answer — should it ever arrive — is discarded by generation
+//!   ([`EpochState::complete`]), never merged. Results stay a pure
+//!   function of `(config, K, E)` no matter how late the network
+//!   delivers stale bytes.
+//! * **Heartbeats** — an idle connection is probed with
+//!   [`WireRequest::Ping`] every
+//!   [`with_heartbeat`](RemoteWorkerExecutor::with_heartbeat) interval;
+//!   a missed [`WireReply::Pong`] retires the connection, so a silent
+//!   half-open socket cannot hold a future lease forever.
+//! * **Reconnect-and-resume** — a dropped worker redials (the worker
+//!   binary's `--reconnect` budget), passes the handshake again, and is
+//!   simply handed the next queued job: shard state lives
+//!   coordinator-side between epochs (checkpoints in the
+//!   [`SessionCore`]), so the resumed job carries everything the fresh
+//!   connection needs. Worker processes hold no state between jobs.
+//! * **Worker starvation** — an epoch with no connected workers for
+//!   [`with_worker_wait`](RemoteWorkerExecutor::with_worker_wait)
+//!   surfaces [`OrchestratorError::WorkerUnavailable`], the trigger for
+//!   the in-process fallback rung of the degradation ladder.
+//!
+//! Deterministic network chaos drives all of this through the
+//! [`FaultPlan::network`] section
+//! ([`with_fault_plan`](RemoteWorkerExecutor::with_fault_plan)):
+//! worker-side [`NetworkFault`](crate::faults::NetworkFault)s ship to
+//! the first worker process via the fault env, and `RefuseHandshake`
+//! arms the coordinator's acceptor. A fault may cost time, never bits —
+//! Abort-mode results under every network fault are bit-identical to
+//! the fault-free in-process run.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use llm4fp::RunnerCheckpoint;
+use llm4fp_extcc::{group_spawn, kill_group};
+use llm4fp_telemetry::{keys, Telemetry};
+
+use crate::executor::{
+    FailurePolicy, OrchestratorError, RecordSink, SessionOutcome, ShardExecutor, ShardSession,
+    ShardTask,
+};
+use crate::faults::{self, FaultPlan};
+use crate::process_pool::{resolve_worker_bin, MAX_DISPATCH_ATTEMPTS};
+use crate::supervisor::{EpochFailure, EpochState, SessionCore};
+use crate::wire::{self, Hello, ShardJob, ShardJobResult, WireReply, WireRequest, MAX_FRAME_LEN};
+
+/// How long an accepted connection gets to present its `Hello` before
+/// the handler gives up on it (keeps a port-scanner's silent connection
+/// from pinning a handler thread forever).
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The [`ShardExecutor`] backed by workers dialing in over TCP.
+#[derive(Debug, Clone)]
+pub struct RemoteWorkerExecutor {
+    listen_addr: String,
+    worker_procs: usize,
+    worker_bin: Option<PathBuf>,
+    lease_timeout: Duration,
+    heartbeat: Duration,
+    worker_wait: Duration,
+    max_dispatch_attempts: u8,
+    policy: FailurePolicy,
+    faults: FaultPlan,
+    max_frame_len: usize,
+    /// The address actually bound at [`begin`](ShardExecutor::begin)
+    /// (resolves `:0` to the kernel-assigned port), shared across clones
+    /// so callers can tell external workers where to dial.
+    bound: Arc<Mutex<Option<SocketAddr>>>,
+}
+
+impl RemoteWorkerExecutor {
+    /// An executor listening on loopback (`127.0.0.1:0`, kernel-assigned
+    /// port) that self-spawns `worker_procs` loopback worker daemons at
+    /// session start (`llm4fp-worker --connect`). `0` spawns nothing —
+    /// the session then serves whatever external workers dial
+    /// [`bound_addr`](Self::bound_addr).
+    pub fn new(worker_procs: usize) -> Self {
+        RemoteWorkerExecutor {
+            listen_addr: "127.0.0.1:0".into(),
+            worker_procs,
+            worker_bin: None,
+            lease_timeout: Duration::from_secs(300),
+            heartbeat: Duration::from_secs(2),
+            worker_wait: Duration::from_secs(30),
+            max_dispatch_attempts: MAX_DISPATCH_ATTEMPTS,
+            policy: FailurePolicy::default(),
+            faults: FaultPlan::none(),
+            max_frame_len: MAX_FRAME_LEN,
+            bound: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Listen on an explicit address (e.g. `0.0.0.0:7070` to accept
+    /// workers from other machines) instead of an ephemeral loopback
+    /// port.
+    pub fn listen(mut self, addr: impl Into<String>) -> Self {
+        self.listen_addr = addr.into();
+        self
+    }
+
+    /// Pin the self-spawned worker daemon binary path explicitly
+    /// (ignored with `worker_procs == 0`).
+    pub fn with_worker_bin(mut self, bin: impl Into<PathBuf>) -> Self {
+        self.worker_bin = Some(bin.into());
+        self
+    }
+
+    /// The deadline lease on one dispatched segment. A worker that
+    /// neither answers nor disconnects within it loses the lease — the
+    /// job re-dispatches and the late answer is discarded by lease
+    /// generation. The remote analogue of
+    /// [`ProcessPoolExecutor::with_shard_timeout`](crate::ProcessPoolExecutor::with_shard_timeout).
+    pub fn with_lease_timeout(mut self, lease: Duration) -> Self {
+        self.lease_timeout = lease;
+        self
+    }
+
+    /// How long a connection may sit idle before the coordinator probes
+    /// it with a ping; a missed pong retires the connection.
+    pub fn with_heartbeat(mut self, heartbeat: Duration) -> Self {
+        self.heartbeat = heartbeat;
+        self
+    }
+
+    /// How long an epoch tolerates *zero connected workers* before
+    /// failing with [`OrchestratorError::WorkerUnavailable`] (the
+    /// degradation ladder's trigger). The clock resets whenever any
+    /// worker is connected.
+    pub fn with_worker_wait(mut self, wait: Duration) -> Self {
+        self.worker_wait = wait;
+        self
+    }
+
+    /// How many times one job may fail (lease expiry, dropped
+    /// connection, protocol violation) before the
+    /// [`on_shard_failure`](Self::on_shard_failure) policy applies.
+    pub fn max_dispatch_attempts(mut self, attempts: u8) -> Self {
+        self.max_dispatch_attempts = attempts;
+        self
+    }
+
+    /// What happens when a shard job exhausts its dispatch budget — see
+    /// [`FailurePolicy`].
+    pub fn on_shard_failure(mut self, policy: FailurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Arm a deterministic [`FaultPlan`]: worker faults and worker-side
+    /// [`network`](FaultPlan::network) faults ship to the first
+    /// self-spawned worker via [`faults::FAULT_PLAN_ENV`];
+    /// [`RefuseHandshake`](crate::faults::NetworkFault::RefuseHandshake)
+    /// arms the acceptor to refuse the first incoming handshake.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Cap on one wire frame's payload, both directions of every
+    /// connection (forwarded to self-spawned workers via
+    /// `--max-frame-len`). Defaults to [`MAX_FRAME_LEN`] (256 MiB); `0`
+    /// is rejected at [`begin`](ShardExecutor::begin) with
+    /// [`OrchestratorError::InvalidFrameLen`].
+    pub fn with_max_frame_len(mut self, max_frame_len: usize) -> Self {
+        self.max_frame_len = max_frame_len;
+        self
+    }
+
+    /// The socket address the live session actually bound (`None`
+    /// before [`begin`](ShardExecutor::begin)). With `listen("…:0")`
+    /// this is where external workers must dial.
+    pub fn bound_addr(&self) -> Option<SocketAddr> {
+        *self.bound.lock().unwrap()
+    }
+}
+
+impl ShardExecutor for RemoteWorkerExecutor {
+    fn name(&self) -> &'static str {
+        "remote"
+    }
+
+    /// Workers run in other processes (possibly other machines) and
+    /// never see the coordinator's result cache.
+    fn shares_cache(&self) -> bool {
+        false
+    }
+
+    fn begin<'s>(
+        &self,
+        tasks: Vec<ShardTask>,
+        sink: &'s dyn RecordSink,
+    ) -> Result<Box<dyn ShardSession + 's>, OrchestratorError> {
+        if self.max_dispatch_attempts == 0 {
+            return Err(OrchestratorError::InvalidDispatchAttempts);
+        }
+        if self.max_frame_len == 0 {
+            return Err(OrchestratorError::InvalidFrameLen);
+        }
+        // A coordinator that cannot even bind has no transport at all —
+        // the WorkerUnavailable class, so the degradation ladder applies.
+        let listener = TcpListener::bind(&self.listen_addr).map_err(|e| {
+            OrchestratorError::WorkerUnavailable(format!(
+                "cannot bind coordinator socket {}: {e}",
+                self.listen_addr
+            ))
+        })?;
+        let addr = listener.local_addr().map_err(|e| {
+            OrchestratorError::WorkerUnavailable(format!("cannot resolve bound address: {e}"))
+        })?;
+        listener.set_nonblocking(true).map_err(|e| {
+            OrchestratorError::WorkerUnavailable(format!("cannot configure listener: {e}"))
+        })?;
+        *self.bound.lock().unwrap() = Some(addr);
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(EpochSlot { epoch_id: 0, active: None }),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            workers_live: AtomicUsize::new(0),
+            refuse_budget: AtomicU32::new(self.faults.refuse_handshakes()),
+            lease_timeout: self.lease_timeout,
+            heartbeat: self.heartbeat,
+            max_frame_len: self.max_frame_len,
+        });
+        let acceptor = thread::spawn({
+            let shared = Arc::clone(&shared);
+            move || accept_loop(&listener, &shared)
+        });
+        let mut session = RemoteSession {
+            core: SessionCore::new(tasks, sink, self.max_dispatch_attempts, self.policy),
+            shared,
+            acceptor: Some(acceptor),
+            children: Vec::new(),
+            addr,
+            worker_wait: self.worker_wait,
+            pool_start: Instant::now(),
+        };
+        if self.worker_procs > 0 {
+            let bin = resolve_worker_bin(self.worker_bin.as_deref())?;
+            for slot in 0..self.worker_procs {
+                let mut cmd = Command::new(&bin);
+                cmd.arg("--connect")
+                    .arg(addr.to_string())
+                    .arg("--reconnect")
+                    .arg("64")
+                    .arg("--reconnect-delay-ms")
+                    .arg("50")
+                    .stdin(Stdio::null())
+                    .stdout(Stdio::null())
+                    .stderr(Stdio::inherit());
+                if self.max_frame_len != MAX_FRAME_LEN {
+                    cmd.arg("--max-frame-len").arg(self.max_frame_len.to_string());
+                }
+                // Fault payloads ship to the first worker *process* only;
+                // job ordinals count across its reconnects, so "drop at
+                // job 1, then heal" stays deterministic.
+                if let Some(value) = self.faults.worker_env(slot == 0) {
+                    cmd.env(faults::FAULT_PLAN_ENV, value);
+                }
+                group_spawn(&mut cmd);
+                match cmd.spawn() {
+                    Ok(child) => session.children.push(child),
+                    Err(e) => {
+                        // `session` drops here: transport shut down, any
+                        // already-spawned siblings reaped.
+                        return Err(OrchestratorError::WorkerUnavailable(format!(
+                            "cannot spawn loopback worker {}: {e}",
+                            bin.display()
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(Box::new(session))
+    }
+}
+
+/// Coordinator state every connection thread shares.
+struct Shared {
+    slot: Mutex<EpochSlot>,
+    /// Notified on: epoch installed, job completed/abandoned, shutdown.
+    cv: Condvar,
+    shutdown: AtomicBool,
+    /// Connections that passed the handshake and are serving (feeds the
+    /// session's worker-starvation clock).
+    workers_live: AtomicUsize,
+    /// Remaining injected handshake refusals
+    /// ([`crate::faults::NetworkFault::RefuseHandshake`]).
+    refuse_budget: AtomicU32,
+    lease_timeout: Duration,
+    heartbeat: Duration,
+    max_frame_len: usize,
+}
+
+/// The one live epoch (or none, between epochs), versioned by
+/// `epoch_id` so a result or abandonment that outlives its epoch can
+/// never touch the next epoch's ledger.
+struct EpochSlot {
+    epoch_id: u64,
+    active: Option<ActiveEpoch>,
+}
+
+struct ActiveEpoch {
+    state: EpochState,
+    /// Pre-built wire jobs (lease 0); a dispatch clones one and stamps
+    /// the live lease generation.
+    jobs: Vec<ShardJob>,
+    /// Each job's telemetry lane, cloned out of the session's tasks so
+    /// connection threads can observe without borrowing the session.
+    telemetry: Vec<Telemetry>,
+    pool_start: Instant,
+}
+
+/// One dispatch this connection made, so a stray result frame (a
+/// duplicate, or a late answer after lease expiry) can be routed to the
+/// ledger for stale-discard accounting. Entries are only trusted within
+/// their own epoch.
+struct Dispatch {
+    epoch_id: u64,
+    job: usize,
+    lease: u64,
+}
+
+fn settle(shared: &Shared, epoch_id: u64, job: usize, lease: u64, result: ShardJobResult) {
+    {
+        let mut slot = shared.slot.lock().unwrap();
+        if slot.epoch_id == epoch_id {
+            if let Some(epoch) = slot.active.as_mut() {
+                // `false` means the lease was no longer live — the result
+                // is discarded and counted, exactly as leases promise.
+                let _ = epoch.state.complete(job, lease, result);
+            }
+        }
+    }
+    shared.cv.notify_all();
+}
+
+fn abandon(shared: &Shared, epoch_id: u64, job: usize, lease: u64, why: String) {
+    {
+        let mut slot = shared.slot.lock().unwrap();
+        if slot.epoch_id == epoch_id {
+            if let Some(epoch) = slot.active.as_mut() {
+                epoch.state.abandon(job, lease, why, false);
+            }
+        }
+    }
+    shared.cv.notify_all();
+}
+
+/// Route a result frame that is not the currently awaited answer: if it
+/// matches a dispatch this connection made *in the current epoch*, feed
+/// it to the ledger (which discards it by generation); anything else —
+/// a leftover from a folded epoch — is dropped on the floor.
+fn feed_stray(shared: &Shared, sent: &[Dispatch], result: ShardJobResult) {
+    if let Some(d) = sent.iter().find(|d| d.lease == result.lease) {
+        settle(shared, d.epoch_id, d.job, d.lease, result);
+    }
+}
+
+/// The accept loop: non-blocking accept with a short poll so shutdown is
+/// honored promptly; every accepted stream gets its own handler thread.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                thread::spawn(move || drive_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// Decrements the live-worker count (and wakes the starvation clock)
+/// when a connection handler exits, however it exits.
+struct LiveGuard<'a>(&'a Shared);
+
+impl Drop for LiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.workers_live.fetch_sub(1, Ordering::SeqCst);
+        self.0.cv.notify_all();
+    }
+}
+
+/// Shuts the socket down (both directions, across all clones) when the
+/// handler exits, so the reader thread unblocks and the worker sees a
+/// closed stream instead of a silent half-open connection.
+struct SocketGuard(TcpStream);
+
+impl Drop for SocketGuard {
+    fn drop(&mut self) {
+        let _ = self.0.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// What one dispatch's wait ended with.
+enum Verdict {
+    Answered(Box<ShardJobResult>),
+    LeaseExpired,
+    Dead(String),
+}
+
+/// Serve one accepted connection end to end: handshake, then a loop of
+/// lease → dispatch → bounded wait, with heartbeat probes while idle.
+fn drive_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+    let Ok(mut reader_stream) = stream.try_clone() else { return };
+    let mut writer = stream;
+    let max = shared.max_frame_len;
+    // The worker opens: its Hello must be the stream's first frame.
+    let hello = match wire::read_frame_limited::<WireReply, _>(&mut reader_stream, max) {
+        Ok(WireReply::Hello(hello)) => hello,
+        // Not a worker (or a worker that never spoke): nothing to refuse
+        // in words, just hang up.
+        Ok(_) | Err(_) => return,
+    };
+    if let Err(skew) = hello.check() {
+        // A version skew is a refusal in words, never undefined framing.
+        let _ = wire::write_frame_limited(&mut writer, &WireRequest::Refuse(skew.to_string()), max);
+        return;
+    }
+    if shared
+        .refuse_budget
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+        .is_ok()
+    {
+        let _ = wire::write_frame_limited(
+            &mut writer,
+            &WireRequest::Refuse("injected handshake refusal (fault plan)".into()),
+            max,
+        );
+        return;
+    }
+    if wire::write_frame_limited(&mut writer, &WireRequest::Hello(Hello::current()), max).is_err() {
+        return;
+    }
+    let _ = writer.set_read_timeout(None);
+    let Ok(socket_guard) = writer.try_clone().map(SocketGuard) else { return };
+    let _socket_guard = socket_guard;
+    shared.workers_live.fetch_add(1, Ordering::SeqCst);
+    shared.cv.notify_all();
+    let _live = LiveGuard(shared);
+    // Detached reader: turns the blocking socket into a channel of
+    // frames the driver can wait on with deadlines. It exits when the
+    // socket closes (worker death, SocketGuard) or the driver drops `rx`.
+    let (tx, rx) = mpsc::channel::<io::Result<WireReply>>();
+    thread::spawn(move || loop {
+        match wire::read_frame_limited::<WireReply, _>(&mut reader_stream, max) {
+            Ok(frame) => {
+                if tx.send(Ok(frame)).is_err() {
+                    break;
+                }
+            }
+            Err(e) => {
+                let _ = tx.send(Err(e));
+                break;
+            }
+        }
+    });
+    let mut sent: Vec<Dispatch> = Vec::new();
+    let mut ping_token: u64 = 0;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let _ = wire::write_frame_limited(&mut writer, &WireRequest::Shutdown, max);
+            return;
+        }
+        let next = {
+            let mut slot = shared.slot.lock().unwrap();
+            let epoch_id = slot.epoch_id;
+            match slot.active.as_mut() {
+                Some(epoch) if !epoch.state.is_settled() => {
+                    epoch.state.next_job().map(|(job, lease)| {
+                        let mut wire_job = epoch.jobs[job].clone();
+                        wire_job.lease = lease;
+                        (
+                            epoch_id,
+                            job,
+                            lease,
+                            wire_job,
+                            epoch.telemetry[job].clone(),
+                            epoch.pool_start,
+                        )
+                    })
+                }
+                _ => None,
+            }
+        };
+        let Some((epoch_id, job, lease, wire_job, telemetry, pool_start)) = next else {
+            // Idle: park until new work arrives or the heartbeat is due.
+            {
+                let slot = shared.slot.lock().unwrap();
+                let (_slot, timeout) = shared.cv.wait_timeout(slot, shared.heartbeat).unwrap();
+                if !timeout.timed_out() {
+                    continue;
+                }
+            }
+            if shared.shutdown.load(Ordering::SeqCst) {
+                continue; // the top of the loop sends the Shutdown frame
+            }
+            ping_token += 1;
+            if wire::write_frame_limited(&mut writer, &WireRequest::Ping(ping_token), max).is_err()
+            {
+                return;
+            }
+            let deadline = Instant::now() + shared.heartbeat.max(Duration::from_secs(1));
+            loop {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return; // missed heartbeat: the connection is dead
+                }
+                match rx.recv_timeout(left) {
+                    Ok(Ok(WireReply::Pong(_))) => break,
+                    Ok(Ok(WireReply::Result(result))) => feed_stray(shared, &sent, *result),
+                    Ok(Ok(WireReply::Hello(_))) | Ok(Err(_)) | Err(_) => return,
+                }
+            }
+            continue;
+        };
+        // Dispatch records from folded epochs can never be trusted again
+        // (lease generations restart per epoch).
+        if sent.first().is_some_and(|d| d.epoch_id != epoch_id) {
+            sent.clear();
+        }
+        sent.push(Dispatch { epoch_id, job, lease });
+        let shard = wire_job.spec.index;
+        telemetry.observe(keys::QUEUE_WAIT, pool_start.elapsed());
+        let span = telemetry.span(keys::SPAN_SHARD_RUN);
+        if let Err(e) =
+            wire::write_frame_limited(&mut writer, &WireRequest::Job(Box::new(wire_job)), max)
+        {
+            drop(span);
+            abandon(shared, epoch_id, job, lease, format!("write to worker failed: {e}"));
+            return;
+        }
+        let deadline = Instant::now() + shared.lease_timeout;
+        let verdict = loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break Verdict::LeaseExpired;
+            }
+            match rx.recv_timeout(left) {
+                Ok(Ok(WireReply::Result(result))) if result.lease == lease => {
+                    break Verdict::Answered(result);
+                }
+                // A duplicate (or an even later straggler): route it to
+                // the ledger's stale-discard path and keep waiting.
+                Ok(Ok(WireReply::Result(result))) => feed_stray(shared, &sent, *result),
+                // A pong from an idle probe the worker answered late.
+                Ok(Ok(WireReply::Pong(_))) => {}
+                Ok(Ok(WireReply::Hello(_))) => {
+                    break Verdict::Dead("protocol violation: mid-stream Hello".into());
+                }
+                Ok(Err(e)) => break Verdict::Dead(format!("worker connection failed: {e}")),
+                Err(RecvTimeoutError::Timeout) => break Verdict::LeaseExpired,
+                Err(RecvTimeoutError::Disconnected) => {
+                    break Verdict::Dead("worker stream closed".into());
+                }
+            }
+        };
+        drop(span);
+        match verdict {
+            Verdict::Answered(result) => {
+                if result.index != shard {
+                    abandon(
+                        shared,
+                        epoch_id,
+                        job,
+                        lease,
+                        format!("protocol violation: answer for shard {}", result.index),
+                    );
+                    return;
+                }
+                settle(shared, epoch_id, job, lease, *result);
+            }
+            Verdict::LeaseExpired => {
+                // The lease dies first — the job re-dispatches right away
+                // — then the connection gets one more lease-length window
+                // to prove it was slow rather than dead: its late answer
+                // (discarded as stale by generation) lets the connection
+                // be reused; silence retires it.
+                abandon(
+                    shared,
+                    epoch_id,
+                    job,
+                    lease,
+                    format!("lease expired after {:.1}s", shared.lease_timeout.as_secs_f64()),
+                );
+                let drain = Instant::now() + shared.lease_timeout;
+                loop {
+                    let left = drain.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return;
+                    }
+                    match rx.recv_timeout(left) {
+                        Ok(Ok(WireReply::Result(result))) => {
+                            let late_answer = result.lease == lease;
+                            feed_stray(shared, &sent, *result);
+                            if late_answer {
+                                break;
+                            }
+                        }
+                        Ok(Ok(WireReply::Pong(_))) => {}
+                        Ok(Ok(WireReply::Hello(_))) | Ok(Err(_)) | Err(_) => return,
+                    }
+                }
+            }
+            Verdict::Dead(why) => {
+                abandon(shared, epoch_id, job, lease, why);
+                return;
+            }
+        }
+    }
+}
+
+struct RemoteSession<'s> {
+    /// The transport-independent session half (tasks, checkpoints,
+    /// quarantine ledger, epoch folding) — see [`crate::supervisor`].
+    core: SessionCore<'s>,
+    shared: Arc<Shared>,
+    acceptor: Option<thread::JoinHandle<()>>,
+    /// Self-spawned loopback worker daemons (empty with external
+    /// workers). Never respawned: a dead remote worker's recovery story
+    /// is lease expiry plus whatever redials — not coordinator forking.
+    children: Vec<Child>,
+    addr: SocketAddr,
+    worker_wait: Duration,
+    pool_start: Instant,
+}
+
+impl RemoteSession<'_> {
+    /// Idempotent transport teardown: flag shutdown (connection threads
+    /// forward `Shutdown` frames to their workers within a heartbeat),
+    /// give self-spawned workers a grace window to exit cleanly, then
+    /// kill the stragglers and join the acceptor.
+    fn shutdown_transport(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        let deadline = Instant::now() + Duration::from_secs(3);
+        while !self.children.is_empty() && Instant::now() < deadline {
+            self.children.retain_mut(|child| !matches!(child.try_wait(), Ok(Some(_))));
+            if self.children.is_empty() {
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        for child in self.children.iter_mut() {
+            kill_group(child);
+        }
+        self.children.clear();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for RemoteSession<'_> {
+    fn drop(&mut self) {
+        // Safety net for sessions abandoned mid-run (a failed epoch whose
+        // error aborted the campaign): no worker processes or acceptor
+        // threads may outlive the session.
+        self.shutdown_transport();
+    }
+}
+
+impl ShardSession for RemoteSession<'_> {
+    fn run_epoch(
+        &mut self,
+        segments: &[usize],
+        last: bool,
+    ) -> Result<Vec<Vec<String>>, OrchestratorError> {
+        debug_assert_eq!(segments.len(), self.core.tasks.len());
+        let state = self.core.epoch_state();
+        let jobs = (0..self.core.tasks.len())
+            .map(|job| self.core.build_job(job, segments[job], last, 0))
+            .collect();
+        let telemetry = self.core.tasks.iter().map(|task| task.telemetry.clone()).collect();
+        let epoch_id = {
+            let mut slot = self.shared.slot.lock().unwrap();
+            slot.epoch_id += 1;
+            slot.active = Some(ActiveEpoch { state, jobs, telemetry, pool_start: self.pool_start });
+            slot.epoch_id
+        };
+        self.shared.cv.notify_all();
+        // Wait (with a worker-starvation deadline) until the connection
+        // threads settle the epoch.
+        let mut starving_since = Instant::now();
+        let mut slot = self.shared.slot.lock().unwrap();
+        loop {
+            debug_assert_eq!(slot.epoch_id, epoch_id);
+            let epoch = slot.active.as_mut().expect("epoch installed above");
+            if epoch.state.is_settled() {
+                break;
+            }
+            if self.shared.workers_live.load(Ordering::SeqCst) > 0 {
+                starving_since = Instant::now();
+            } else if starving_since.elapsed() >= self.worker_wait {
+                epoch.state.fail(EpochFailure {
+                    message: format!(
+                        "no workers connected to {} within {:.1}s",
+                        self.addr,
+                        self.worker_wait.as_secs_f64()
+                    ),
+                    worker_unavailable: true,
+                });
+                break;
+            }
+            // Short tick: doubles as the starvation clock's resolution
+            // and a backstop against a missed notification.
+            let (reacquired, _) =
+                self.shared.cv.wait_timeout(slot, Duration::from_millis(50)).unwrap();
+            slot = reacquired;
+        }
+        let state = slot.active.take().expect("epoch installed above").state;
+        drop(slot);
+        self.core.fold_epoch(state, last)
+    }
+
+    fn inject(&mut self, pools: &[&[String]]) -> Result<(), OrchestratorError> {
+        self.core.inject(pools)
+    }
+
+    fn checkpoints(&mut self) -> Result<Vec<Option<RunnerCheckpoint>>, OrchestratorError> {
+        self.core.checkpoints()
+    }
+
+    fn finish(mut self: Box<Self>) -> Result<SessionOutcome, OrchestratorError> {
+        self.shutdown_transport();
+        self.core.outcome()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::NullSink;
+
+    #[test]
+    fn builder_knobs_are_validated_at_begin() {
+        let executor = RemoteWorkerExecutor::new(0).max_dispatch_attempts(0);
+        assert!(matches!(
+            executor.begin(Vec::new(), &NullSink),
+            Err(OrchestratorError::InvalidDispatchAttempts)
+        ));
+        let executor = RemoteWorkerExecutor::new(0).with_max_frame_len(0);
+        assert!(matches!(
+            executor.begin(Vec::new(), &NullSink),
+            Err(OrchestratorError::InvalidFrameLen)
+        ));
+        assert_eq!(RemoteWorkerExecutor::new(0).name(), "remote");
+        assert!(!RemoteWorkerExecutor::new(0).shares_cache());
+        assert_eq!(RemoteWorkerExecutor::new(0).bound_addr(), None);
+    }
+
+    #[test]
+    fn unbindable_listen_address_is_worker_unavailable() {
+        // An unroutable bind target: the transport cannot exist, which is
+        // exactly the degradation ladder's WorkerUnavailable class.
+        let executor = RemoteWorkerExecutor::new(0).listen("256.256.256.256:0");
+        match executor.begin(Vec::new(), &NullSink) {
+            Err(OrchestratorError::WorkerUnavailable(msg)) => {
+                assert!(msg.contains("cannot bind"), "{msg}");
+            }
+            other => panic!("expected WorkerUnavailable, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn empty_session_settles_without_any_workers() {
+        // Zero tasks settle instantly (remaining == 0), so no worker ever
+        // needs to connect and finish() yields an empty outcome.
+        let executor = RemoteWorkerExecutor::new(0).with_worker_wait(Duration::from_secs(30));
+        let mut session = executor.begin(Vec::new(), &NullSink).unwrap();
+        assert!(executor.bound_addr().is_some(), "begin records the bound address");
+        let deltas = session.run_epoch(&[], true).unwrap();
+        assert!(deltas.is_empty());
+        let outcome = session.finish().unwrap();
+        assert!(outcome.shards.is_empty());
+    }
+}

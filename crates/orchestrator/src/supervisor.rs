@@ -1,0 +1,555 @@
+//! Transport-shared supervision: lease-based dispatch state and the
+//! barrier bookkeeping every out-of-process transport folds results
+//! through.
+//!
+//! Both pool executors — [`crate::ProcessPoolExecutor`] over pipes and
+//! [`crate::RemoteWorkerExecutor`] over sockets — drive the same
+//! recovery machinery, extracted here so the dispatch budget, backoff,
+//! quarantine and fallback semantics cannot drift between transports:
+//!
+//! * [`EpochState`] is one epoch's dispatch ledger. Every dispatch holds
+//!   a **lease**: a monotonically increasing generation number stamped
+//!   into the job and echoed back in the result. A result is accepted
+//!   only while its lease generation is still live; an expired or
+//!   superseded lease's answer is *discarded*, never merged — which is
+//!   what keeps results a pure function of `(config, K, E)` when a slow
+//!   worker answers after its shard was re-dispatched elsewhere.
+//! * [`SessionCore`] is the transport-independent half of a
+//!   [`crate::executor::ShardSession`]: coordinator-side checkpoints,
+//!   record streaming offsets, quarantine reports, and the epoch fold
+//!   that turns accepted results into deltas, sink replays and barrier
+//!   state.
+//!
+//! The transports keep only what is genuinely theirs: process spawning
+//! and pipe pumping in `process_pool`, and sockets, handshakes,
+//! heartbeats and reconnect acceptance in `remote`.
+
+use std::collections::VecDeque;
+
+use llm4fp::RunnerCheckpoint;
+
+use crate::executor::{FailurePolicy, OrchestratorError, RecordSink, SessionOutcome, ShardTask};
+use crate::shard::{ShardFailureReport, ShardOutput};
+use crate::wire::{ShardJob, ShardJobResult};
+
+/// Why an epoch gave up, and whether the terminal failure was the
+/// spawn-the-worker class (which maps to
+/// [`OrchestratorError::WorkerUnavailable`] — the in-process fallback's
+/// trigger) rather than a job-execution failure.
+pub struct EpochFailure {
+    /// Human-readable description of the terminal failure.
+    pub message: String,
+    /// Whether the failure means "no worker can be had at all".
+    pub worker_unavailable: bool,
+}
+
+/// One epoch's dispatch ledger (one lock, held only for bookkeeping).
+///
+/// Jobs are indexed positions into the session's task list. Each
+/// dispatch is identified by its lease generation; at most two leases
+/// are live per job (the original plus one straggler duplicate), the
+/// first accepted answer wins, and everything else — duplicates, late
+/// answers from expired leases — is counted in
+/// [`stale_results`](EpochState::stale_results) and dropped.
+pub struct EpochState {
+    /// Jobs not currently leased anywhere (fresh or requeued).
+    queue: VecDeque<usize>,
+    /// Live lease generations per job (straggler duplication allows 2).
+    leases: Vec<Vec<u64>>,
+    /// Failed attempts per job.
+    attempts: Vec<u8>,
+    /// Last failure per job, for quarantine reports.
+    last_error: Vec<Option<String>>,
+    done: Vec<bool>,
+    remaining: usize,
+    results: Vec<Option<ShardJobResult>>,
+    /// Jobs that exhausted their budget under the quarantine policy this
+    /// epoch (sticky `done`, no result, no requeue).
+    quarantined: Vec<bool>,
+    failed: Option<EpochFailure>,
+    /// Results discarded because their lease was no longer live (late
+    /// answers after expiry, straggler-duplicate losers).
+    stale_results: u64,
+    /// The next lease generation to hand out (0 is never a live lease).
+    next_lease: u64,
+    max_attempts: u8,
+    policy: FailurePolicy,
+}
+
+impl EpochState {
+    /// Dispatch state over `jobs` jobs, skipping the ones already
+    /// quarantined in earlier epochs.
+    pub fn new(
+        jobs: usize,
+        already_quarantined: &[bool],
+        max_attempts: u8,
+        policy: FailurePolicy,
+    ) -> Self {
+        debug_assert_eq!(already_quarantined.len(), jobs);
+        let queue: VecDeque<usize> = (0..jobs).filter(|&job| !already_quarantined[job]).collect();
+        let remaining = queue.len();
+        EpochState {
+            queue,
+            leases: vec![Vec::new(); jobs],
+            attempts: vec![0; jobs],
+            last_error: (0..jobs).map(|_| None).collect(),
+            done: already_quarantined.to_vec(),
+            remaining,
+            results: (0..jobs).map(|_| None).collect(),
+            quarantined: vec![false; jobs],
+            failed: None,
+            stale_results: 0,
+            next_lease: 1,
+            max_attempts,
+            policy,
+        }
+    }
+
+    /// Whether the epoch is over (every job answered or the epoch
+    /// failed) — the dispatch loops' exit condition.
+    pub fn is_settled(&self) -> bool {
+        self.failed.is_some() || self.remaining == 0
+    }
+
+    /// Fail the whole epoch from outside the per-job budget accounting
+    /// (the remote transport's worker-starvation deadline uses this).
+    pub fn fail(&mut self, failure: EpochFailure) {
+        if self.failed.is_none() {
+            self.failed = Some(failure);
+        }
+    }
+
+    /// How many results arrived under a lease that was no longer live
+    /// and were therefore discarded.
+    pub fn stale_results(&self) -> u64 {
+        self.stale_results
+    }
+
+    /// Lease the next job to an idle worker: queued work first, then a
+    /// straggler duplicate (first still-running job without one).
+    /// Returns the job index and the new lease generation.
+    pub fn next_job(&mut self) -> Option<(usize, u64)> {
+        let job = self.queue.pop_front().or_else(|| {
+            (0..self.done.len()).find(|&job| !self.done[job] && self.leases[job].len() == 1)
+        })?;
+        let lease = self.next_lease;
+        self.next_lease += 1;
+        self.leases[job].push(lease);
+        Some((job, lease))
+    }
+
+    /// A dispatch answered under `lease`. The answer is accepted (and
+    /// `true` returned) only if that lease is still live and the job is
+    /// not already done; everything else is discarded as stale. First
+    /// answer wins; a duplicate's (identical) answer is dropped.
+    pub fn complete(&mut self, job: usize, lease: u64, result: ShardJobResult) -> bool {
+        let Some(position) = self.leases[job].iter().position(|&live| live == lease) else {
+            // The lease expired (or was abandoned) before the answer
+            // arrived — the job has been re-dispatched and this result
+            // must not race the recomputation.
+            self.stale_results += 1;
+            return false;
+        };
+        self.leases[job].swap_remove(position);
+        if self.done[job] {
+            self.stale_results += 1;
+            return false;
+        }
+        self.done[job] = true;
+        self.remaining -= 1;
+        self.results[job] = Some(result);
+        true
+    }
+
+    /// The dispatch under `lease` failed (crash, hang past the lease
+    /// deadline, protocol violation, spawn failure). The lease dies;
+    /// the job requeues unless it already completed elsewhere or ran
+    /// out of attempts — then the failure policy decides between
+    /// failing the epoch and quarantining the job. `spawn_failure`
+    /// marks the cannot-even-spawn class for the degradation ladder.
+    pub fn abandon(&mut self, job: usize, lease: u64, why: String, spawn_failure: bool) {
+        if let Some(position) = self.leases[job].iter().position(|&live| live == lease) {
+            self.leases[job].swap_remove(position);
+        }
+        if self.done[job] {
+            return;
+        }
+        self.attempts[job] += 1;
+        if self.attempts[job] >= self.max_attempts {
+            let budget = self.max_attempts;
+            match self.policy {
+                FailurePolicy::Abort => {
+                    self.failed = Some(EpochFailure {
+                        message: format!(
+                            "shard job {job} failed {budget} time(s); last error: {why}"
+                        ),
+                        worker_unavailable: spawn_failure,
+                    });
+                }
+                FailurePolicy::Quarantine => {
+                    self.quarantined[job] = true;
+                    self.done[job] = true;
+                    self.remaining -= 1;
+                }
+            }
+            self.last_error[job] = Some(why);
+        } else {
+            self.last_error[job] = Some(why);
+            self.queue.push_front(job);
+        }
+    }
+}
+
+/// The transport-independent half of an out-of-process shard session:
+/// the task list, coordinator-side barrier state, quarantine ledger and
+/// the epoch fold. A transport owns one [`SessionCore`], builds an
+/// [`EpochState`] per epoch, moves jobs and results however it likes,
+/// and folds the settled state back in.
+pub struct SessionCore<'s> {
+    /// The session's tasks, in task order.
+    pub tasks: Vec<ShardTask>,
+    sink: &'s dyn RecordSink,
+    max_attempts: u8,
+    policy: FailurePolicy,
+    /// Tasks quarantined in *any* epoch so far (sticky for the session).
+    quarantined: Vec<bool>,
+    /// Failure report per quarantined task.
+    failures: Vec<Option<ShardFailureReport>>,
+    /// Coordinator-side shard state between epochs.
+    checkpoints: Vec<Option<RunnerCheckpoint>>,
+    /// How many of each task's records already reached the sink.
+    streamed: Vec<usize>,
+    outputs: Vec<Option<ShardOutput>>,
+}
+
+impl<'s> SessionCore<'s> {
+    /// A core over `tasks`, streaming into `sink`. On resume, records up
+    /// to the restored barrier are already accounted for (they live in
+    /// the checkpoint, not the fresh shard file) — only newly computed
+    /// segments reach the sink, mirroring the in-process writer.
+    pub fn new(
+        tasks: Vec<ShardTask>,
+        sink: &'s dyn RecordSink,
+        max_attempts: u8,
+        policy: FailurePolicy,
+    ) -> Self {
+        let checkpoints: Vec<Option<RunnerCheckpoint>> =
+            tasks.iter().map(|task| task.checkpoint.clone()).collect();
+        let streamed = checkpoints
+            .iter()
+            .map(|checkpoint| checkpoint.as_ref().map_or(0, |c| c.records.len()))
+            .collect();
+        SessionCore {
+            quarantined: vec![false; tasks.len()],
+            failures: tasks.iter().map(|_| None).collect(),
+            checkpoints,
+            streamed,
+            outputs: Vec::new(),
+            tasks,
+            sink,
+            max_attempts,
+            policy,
+        }
+    }
+
+    /// A fresh dispatch ledger for the next epoch, skipping quarantined
+    /// tasks.
+    pub fn epoch_state(&self) -> EpochState {
+        EpochState::new(self.tasks.len(), &self.quarantined, self.max_attempts, self.policy)
+    }
+
+    /// The wire job for one dispatch of `job`, stamped with its lease.
+    pub fn build_job(&self, job: usize, segment: usize, finish: bool, lease: u64) -> ShardJob {
+        let task = &self.tasks[job];
+        ShardJob {
+            config: task.config.clone(),
+            spec: task.spec,
+            segment,
+            finish,
+            checkpoint: self.checkpoints[job].clone(),
+            process_slots: task.process_slots,
+            telemetry: task.telemetry.is_enabled(),
+            lease,
+        }
+    }
+
+    /// Fold one settled epoch back into the session: translate a failed
+    /// epoch into its typed error, absorb this epoch's quarantine
+    /// decisions, then — single-threaded, in task order — absorb worker
+    /// counters (exactly once per job; stale results were discarded),
+    /// replay newly computed records into the sink, and store barrier
+    /// state or final outputs. Returns each task's delta.
+    pub fn fold_epoch(
+        &mut self,
+        mut state: EpochState,
+        last: bool,
+    ) -> Result<Vec<Vec<String>>, OrchestratorError> {
+        if let Some(failure) = state.failed.take() {
+            return Err(if failure.worker_unavailable {
+                OrchestratorError::WorkerUnavailable(failure.message)
+            } else {
+                OrchestratorError::Executor(failure.message)
+            });
+        }
+        // Fold this epoch's quarantine decisions into the session; the
+        // reports surface through `outcome` and `RunStats::failures`.
+        for job in 0..self.tasks.len() {
+            if state.quarantined[job] && !self.quarantined[job] {
+                self.quarantined[job] = true;
+                self.failures[job] = Some(ShardFailureReport {
+                    shard: self.tasks[job].spec.index,
+                    attempts: u32::from(state.attempts[job]),
+                    last_error: state.last_error[job].clone().unwrap_or_default(),
+                });
+            }
+        }
+        let mut deltas = Vec::with_capacity(self.tasks.len());
+        if last {
+            self.outputs = (0..self.tasks.len()).map(|_| None).collect();
+        }
+        for (job, result) in state.results.iter_mut().enumerate() {
+            if self.quarantined[job] {
+                deltas.push(Vec::new());
+                continue;
+            }
+            let result = result.take().ok_or_else(|| {
+                OrchestratorError::Executor(format!("shard job {job} never completed"))
+            })?;
+            if let Some(snapshot) = &result.telemetry {
+                if !snapshot.is_empty() {
+                    self.tasks[job].telemetry.absorb(snapshot);
+                }
+            }
+            deltas.push(result.delta);
+            if last {
+                let output = result.output.ok_or_else(|| {
+                    OrchestratorError::Executor(format!(
+                        "protocol violation: no output for finished shard job {job}"
+                    ))
+                })?;
+                for record in &output.records[self.streamed[job]..] {
+                    self.sink.record(job, record);
+                }
+                self.sink.complete(job, &output);
+                self.outputs[job] = Some(output);
+            } else {
+                let checkpoint = result.checkpoint.ok_or_else(|| {
+                    OrchestratorError::Executor(format!(
+                        "protocol violation: no checkpoint for paused shard job {job}"
+                    ))
+                })?;
+                for record in &checkpoint.records[self.streamed[job]..] {
+                    self.sink.record(job, record);
+                }
+                self.streamed[job] = checkpoint.records.len();
+                self.checkpoints[job] = Some(checkpoint);
+            }
+        }
+        Ok(deltas)
+    }
+
+    /// Broadcast merged exchange pools into the stored checkpoints
+    /// (commutative with runner-side injection — see
+    /// `RunnerCheckpoint::inject_successful`).
+    pub fn inject(&mut self, pools: &[&[String]]) -> Result<(), OrchestratorError> {
+        debug_assert_eq!(pools.len(), self.checkpoints.len());
+        for (job, pool) in pools.iter().enumerate() {
+            if self.quarantined[job] {
+                continue;
+            }
+            let checkpoint = self.checkpoints[job].as_mut().ok_or_else(|| {
+                OrchestratorError::Executor(format!(
+                    "inject before shard job {job} ever ran an epoch"
+                ))
+            })?;
+            checkpoint.inject_successful(pool);
+        }
+        Ok(())
+    }
+
+    /// Snapshot every paused task for barrier persistence (`None` for a
+    /// quarantined task — it has no live barrier state).
+    pub fn checkpoints(&mut self) -> Result<Vec<Option<RunnerCheckpoint>>, OrchestratorError> {
+        self.checkpoints
+            .iter()
+            .enumerate()
+            .map(|(job, checkpoint)| {
+                if self.quarantined[job] {
+                    // A quarantined job has no live barrier state; its
+                    // stale checkpoint (if any) must not be persisted as
+                    // if the barrier were complete.
+                    return Ok(None);
+                }
+                checkpoint.clone().map(Some).ok_or_else(|| {
+                    OrchestratorError::Executor(format!(
+                        "checkpoint requested before shard job {job} ever ran"
+                    ))
+                })
+            })
+            .collect()
+    }
+
+    /// Collect every task's outcome after the final epoch: its output,
+    /// or the quarantine report explaining why it has none.
+    pub fn outcome(&mut self) -> Result<SessionOutcome, OrchestratorError> {
+        let outputs = std::mem::take(&mut self.outputs);
+        if outputs.len() != self.tasks.len() {
+            return Err(OrchestratorError::Executor(
+                "finish called before the final epoch ran".into(),
+            ));
+        }
+        let shards = outputs
+            .into_iter()
+            .zip(std::mem::take(&mut self.failures))
+            .enumerate()
+            .map(|(job, (output, failure))| match (output, failure) {
+                (Some(output), _) => Ok(Ok(output)),
+                (None, Some(report)) => Ok(Err(report)),
+                (None, None) => {
+                    Err(OrchestratorError::Executor(format!("shard job {job} has no output")))
+                }
+            })
+            .collect::<Result<Vec<_>, OrchestratorError>>()?;
+        Ok(SessionOutcome { shards })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process_pool::MAX_DISPATCH_ATTEMPTS;
+
+    fn abort_state(jobs: usize) -> EpochState {
+        EpochState::new(jobs, &vec![false; jobs], MAX_DISPATCH_ATTEMPTS, FailurePolicy::Abort)
+    }
+
+    fn answer(index: usize, lease: u64) -> ShardJobResult {
+        ShardJobResult {
+            index,
+            delta: vec!["a".into()],
+            checkpoint: None,
+            output: None,
+            telemetry: None,
+            lease,
+        }
+    }
+
+    #[test]
+    fn dispatch_state_requeues_failures_and_caps_attempts() {
+        let mut state = abort_state(2);
+        let (job_a, lease_a) = state.next_job().unwrap();
+        assert_eq!(job_a, 0);
+        assert_eq!(state.next_job().map(|(job, _)| job), Some(1));
+        // Worker holding job 0 crashes twice; job re-enters the queue.
+        state.abandon(0, lease_a, "crash".into(), false);
+        assert!(state.failed.is_none());
+        let (job, lease) = state.next_job().unwrap();
+        assert_eq!(job, 0);
+        state.abandon(0, lease, "crash".into(), false);
+        let (job, lease) = state.next_job().unwrap();
+        assert_eq!(job, 0);
+        // Third failure exhausts the attempt budget.
+        state.abandon(0, lease, "crash".into(), false);
+        let failure = state.failed.as_ref().unwrap();
+        assert!(failure.message.contains("3 time(s)"));
+        assert!(!failure.worker_unavailable);
+        assert!(state.is_settled());
+    }
+
+    #[test]
+    fn spawn_class_failures_mark_worker_unavailable() {
+        let mut state = EpochState::new(1, &[false], 1, FailurePolicy::Abort);
+        let (job, lease) = state.next_job().unwrap();
+        assert_eq!(job, 0);
+        state.abandon(0, lease, "cannot spawn worker".into(), true);
+        assert!(state.failed.as_ref().unwrap().worker_unavailable);
+    }
+
+    #[test]
+    fn quarantine_policy_retires_the_job_instead_of_failing_the_epoch() {
+        let mut state = EpochState::new(2, &[false, false], 2, FailurePolicy::Quarantine);
+        let (job, lease) = state.next_job().unwrap();
+        assert_eq!(job, 0);
+        state.abandon(0, lease, "crash".into(), false);
+        let (job, lease) = state.next_job().unwrap();
+        assert_eq!(job, 0);
+        state.abandon(0, lease, "crash again".into(), false);
+        // Budget exhausted: quarantined, not failed; the epoch continues
+        // with the surviving job.
+        assert!(state.failed.is_none());
+        assert!(state.quarantined[0]);
+        assert!(state.done[0]);
+        assert_eq!(state.remaining, 1);
+        assert_eq!(state.last_error[0].as_deref(), Some("crash again"));
+        assert_eq!(state.attempts[0], 2);
+        assert_eq!(state.next_job().map(|(job, _)| job), Some(1));
+        // Later epochs skip quarantined jobs entirely.
+        let later = EpochState::new(2, &[true, false], 2, FailurePolicy::Quarantine);
+        assert_eq!(later.remaining, 1);
+        assert!(later.done[0]);
+        assert_eq!(later.queue, VecDeque::from([1]));
+    }
+
+    #[test]
+    fn stragglers_get_one_duplicate_and_first_answer_wins() {
+        let mut state = abort_state(1);
+        let (job, first_lease) = state.next_job().unwrap();
+        assert_eq!(job, 0);
+        // Queue empty, job 0 still running: an idle worker duplicates it.
+        let (job, second_lease) = state.next_job().unwrap();
+        assert_eq!(job, 0);
+        assert_ne!(first_lease, second_lease);
+        assert_eq!(state.leases[0].len(), 2);
+        // No third concurrent attempt.
+        assert_eq!(state.next_job(), None);
+        assert!(state.complete(0, first_lease, answer(0, first_lease)));
+        assert_eq!(state.remaining, 0);
+        // The loser's answer (identical anyway) is discarded, and a
+        // late failure of the duplicate no longer requeues anything.
+        assert!(!state.complete(0, second_lease, answer(0, second_lease)));
+        assert_eq!(state.remaining, 0);
+        assert_eq!(state.stale_results(), 1);
+        assert!(state.results[0].is_some());
+        assert!(state.queue.is_empty());
+    }
+
+    #[test]
+    fn late_results_after_lease_expiry_are_discarded_by_generation() {
+        // The network-transport scenario: a lease expires (the worker is
+        // slow, not dead), the job re-dispatches under a new generation,
+        // and only the new generation's answer may land — whichever
+        // order the two answers arrive in.
+        let mut state = abort_state(1);
+        let (job, expired) = state.next_job().unwrap();
+        assert_eq!(job, 0);
+        // Lease deadline passes: the supervisor abandons the dispatch.
+        state.abandon(0, expired, "lease expired after 0.2s".into(), false);
+        let (job, fresh) = state.next_job().unwrap();
+        assert_eq!(job, 0);
+        assert_ne!(expired, fresh);
+        // The slow worker's answer straggles in under the dead lease:
+        // provably discarded, not merged.
+        assert!(!state.complete(0, expired, answer(0, expired)));
+        assert_eq!(state.stale_results(), 1);
+        assert_eq!(state.remaining, 1, "the job still awaits its live lease");
+        assert!(state.results[0].is_none());
+        // The re-dispatch answers under the live lease and wins.
+        assert!(state.complete(0, fresh, answer(0, fresh)));
+        assert_eq!(state.remaining, 0);
+        assert_eq!(state.results[0].as_ref().unwrap().lease, fresh);
+        // And a *second* copy of the dead answer (duplicate-result
+        // fault) is still stale.
+        assert!(!state.complete(0, expired, answer(0, expired)));
+        assert_eq!(state.stale_results(), 2);
+    }
+
+    #[test]
+    fn external_failures_settle_the_epoch_once() {
+        let mut state = abort_state(1);
+        state.fail(EpochFailure { message: "no workers".into(), worker_unavailable: true });
+        state.fail(EpochFailure { message: "second".into(), worker_unavailable: false });
+        assert!(state.is_settled());
+        assert_eq!(state.failed.as_ref().unwrap().message, "no workers");
+        assert!(state.failed.as_ref().unwrap().worker_unavailable);
+    }
+}

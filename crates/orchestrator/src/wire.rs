@@ -23,7 +23,16 @@
 //! segment, and hand the updated state back. Statelessness is what makes
 //! crash-and-redispatch and straggler duplication sound — recomputing a
 //! job on another worker yields byte-identical results.
+//!
+//! Since the socket transport, every stream opens with a **versioned
+//! handshake**: the worker's first frame is [`WireReply::Hello`] and the
+//! coordinator answers [`WireRequest::Hello`] (or a typed
+//! [`WireRequest::Refuse`]). A version skew is a
+//! [`WireError::VersionMismatch`] — a refusal in words, never undefined
+//! framing — and the same handshake runs over pipes, so a stale worker
+//! binary on either transport fails loudly before any job is exchanged.
 
+use std::fmt;
 use std::io::{self, Read, Write};
 
 use serde::{Deserialize, Serialize};
@@ -32,6 +41,87 @@ use llm4fp::{CampaignConfig, RunnerCheckpoint};
 use llm4fp_telemetry::CounterSnapshot;
 
 use crate::shard::{ShardOutput, ShardSpec};
+
+/// The wire-protocol version this build speaks. Bump on any frame-shape
+/// change; the handshake refuses mismatches in words instead of letting
+/// two builds mis-parse each other's frames.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// The opening frame of every stream, sent by both ends (worker first).
+/// Carries the two version numbers whose skew could silently corrupt a
+/// run: the frame protocol itself and the run-dir manifest schema the
+/// checkpoints inside jobs are written against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hello {
+    /// The sender's [`PROTOCOL_VERSION`].
+    pub protocol: u32,
+    /// The sender's [`crate::persist::MANIFEST_SCHEMA`].
+    pub manifest_schema: u32,
+}
+
+impl Hello {
+    /// The handshake frame this build sends.
+    pub fn current() -> Self {
+        Hello { protocol: PROTOCOL_VERSION, manifest_schema: crate::persist::MANIFEST_SCHEMA }
+    }
+
+    /// Accept or refuse a peer's handshake. Any skew is a typed
+    /// [`WireError::VersionMismatch`] naming the disagreeing field.
+    pub fn check(&self) -> Result<(), WireError> {
+        let ours = Hello::current();
+        if self.protocol != ours.protocol {
+            return Err(WireError::VersionMismatch {
+                what: "wire protocol",
+                found: self.protocol,
+                supported: ours.protocol,
+            });
+        }
+        if self.manifest_schema != ours.manifest_schema {
+            return Err(WireError::VersionMismatch {
+                what: "manifest schema",
+                found: self.manifest_schema,
+                supported: ours.manifest_schema,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A typed wire-level refusal — the handshake's vocabulary for "we must
+/// not talk", distinct from malformed-frame I/O errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer speaks a different protocol or manifest-schema version.
+    VersionMismatch {
+        /// Which version disagreed ("wire protocol" or "manifest schema").
+        what: &'static str,
+        /// The peer's version.
+        found: u32,
+        /// The version this build supports.
+        supported: u32,
+    },
+    /// The peer refused the handshake and said why.
+    Refused(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::VersionMismatch { what, found, supported } => {
+                write!(f, "{what} version mismatch: peer speaks {found}, this build {supported}")
+            }
+            WireError::Refused(reason) => write!(f, "handshake refused by peer: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for io::Error {
+    fn from(err: WireError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, err.to_string())
+    }
+}
 
 /// One segment of one shard, self-contained: everything a stateless
 /// worker needs to produce the next barrier state.
@@ -55,6 +145,13 @@ pub struct ShardJob {
     pub process_slots: usize,
     /// Collect telemetry counters and return them in the result.
     pub telemetry: bool,
+    /// The lease generation under which this dispatch owns the shard.
+    /// The worker echoes it back verbatim in [`ShardJobResult::lease`];
+    /// the supervisor accepts a result only while that generation is
+    /// still live, so a late answer from an expired lease is discarded
+    /// rather than racing the re-dispatch. Pipes use it too (one more
+    /// reason results stay a pure function of the job, not the worker).
+    pub lease: u64,
 }
 
 /// A worker's answer to one [`ShardJob`].
@@ -74,15 +171,39 @@ pub struct ShardJobResult {
     /// counters sum across segments; keyed counters union first-writer-
     /// wins by id, so the merged `metrics.json` matches in-process runs.
     pub telemetry: Option<CounterSnapshot>,
+    /// The lease generation of the [`ShardJob`] this result answers,
+    /// echoed back verbatim (see [`ShardJob::lease`]).
+    pub lease: u64,
 }
 
 /// A frame from the coordinator to a worker.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WireRequest {
-    /// Run one shard segment and answer with a [`ShardJobResult`] frame.
+    /// The coordinator's half of the handshake, accepting the worker's
+    /// [`WireReply::Hello`].
+    Hello(Hello),
+    /// The coordinator refuses the handshake (version skew or injected
+    /// [`crate::faults::NetworkFault::RefuseHandshake`]); the worker must
+    /// not send jobsward frames on this stream.
+    Refuse(String),
+    /// Run one shard segment and answer with a [`WireReply::Result`].
     Job(Box<ShardJob>),
+    /// Liveness probe while idle; the worker answers [`WireReply::Pong`]
+    /// with the same token.
+    Ping(u64),
     /// Exit cleanly (EOF on stdin means the same).
     Shutdown,
+}
+
+/// A frame from a worker to the coordinator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireReply {
+    /// The worker's opening handshake — always the stream's first frame.
+    Hello(Hello),
+    /// The answer to one [`WireRequest::Job`].
+    Result(Box<ShardJobResult>),
+    /// The answer to one [`WireRequest::Ping`], echoing its token.
+    Pong(u64),
 }
 
 /// Byte length of the frame header: 10 ASCII digits + `\n`.
@@ -95,16 +216,27 @@ const HEADER_LEN: usize = 11;
 /// allocation or an OOM kill of the coordinator.
 pub const MAX_FRAME_LEN: usize = 256 << 20;
 
-/// Write `value` as one frame. Refuses (with
-/// [`io::ErrorKind::InvalidData`]) payloads over [`MAX_FRAME_LEN`] —
-/// the receiver would reject them anyway, so fail at the producer where
-/// the diagnosis is cheap.
+/// Write `value` as one frame under the default [`MAX_FRAME_LEN`] cap.
 pub fn write_frame<T: Serialize, W: Write>(writer: &mut W, value: &T) -> io::Result<()> {
+    write_frame_limited(writer, value, MAX_FRAME_LEN)
+}
+
+/// Write `value` as one frame. Refuses (with
+/// [`io::ErrorKind::InvalidData`]) payloads over `max_frame_len` — the
+/// receiver would reject them anyway, so fail at the producer where the
+/// diagnosis is cheap. Both ends of a stream must agree on the cap
+/// (the coordinator forwards a non-default cap to the workers it
+/// spawns via `--max-frame-len`).
+pub fn write_frame_limited<T: Serialize, W: Write>(
+    writer: &mut W,
+    value: &T,
+    max_frame_len: usize,
+) -> io::Result<()> {
     let payload = serde_json::to_string(value)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("encode frame: {e}")))?;
-    if payload.len() > MAX_FRAME_LEN {
+    if payload.len() > max_frame_len {
         return Err(bad_frame(&format!(
-            "payload of {} bytes exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN})",
+            "payload of {} bytes exceeds MAX_FRAME_LEN-class cap ({max_frame_len})",
             payload.len()
         )));
     }
@@ -113,11 +245,19 @@ pub fn write_frame<T: Serialize, W: Write>(writer: &mut W, value: &T) -> io::Res
     writer.flush()
 }
 
+/// Read one frame under the default [`MAX_FRAME_LEN`] cap.
+pub fn read_frame<T: serde::de::DeserializeOwned, R: Read>(reader: &mut R) -> io::Result<T> {
+    read_frame_limited(reader, MAX_FRAME_LEN)
+}
+
 /// Read one frame. An EOF *before the first header byte* surfaces as
 /// [`io::ErrorKind::UnexpectedEof`] (the clean end-of-stream signal);
-/// anything malformed — including a length over [`MAX_FRAME_LEN`] — is
+/// anything malformed — including a length over `max_frame_len` — is
 /// [`io::ErrorKind::InvalidData`].
-pub fn read_frame<T: serde::de::DeserializeOwned, R: Read>(reader: &mut R) -> io::Result<T> {
+pub fn read_frame_limited<T: serde::de::DeserializeOwned, R: Read>(
+    reader: &mut R,
+    max_frame_len: usize,
+) -> io::Result<T> {
     let mut header = [0u8; HEADER_LEN];
     reader.read_exact(&mut header)?;
     if header[HEADER_LEN - 1] != b'\n' {
@@ -126,9 +266,9 @@ pub fn read_frame<T: serde::de::DeserializeOwned, R: Read>(reader: &mut R) -> io
     let digits = std::str::from_utf8(&header[..HEADER_LEN - 1])
         .map_err(|_| bad_frame("header is not ASCII"))?;
     let len: usize = digits.parse().map_err(|_| bad_frame("header is not a decimal length"))?;
-    if len > MAX_FRAME_LEN {
+    if len > max_frame_len {
         return Err(bad_frame(&format!(
-            "header demands {len} bytes, over MAX_FRAME_LEN ({MAX_FRAME_LEN})"
+            "header demands {len} bytes, over MAX_FRAME_LEN-class cap ({max_frame_len})"
         )));
     }
     let mut payload = vec![0u8; len];
@@ -157,7 +297,72 @@ mod tests {
             checkpoint: None,
             process_slots: 3,
             telemetry: true,
+            lease: 0,
         }
+    }
+
+    #[test]
+    fn version_skew_is_a_typed_refusal_not_a_parse_error() {
+        assert_eq!(Hello::current().check(), Ok(()));
+        let old = Hello { protocol: PROTOCOL_VERSION + 9, ..Hello::current() };
+        let err = old.check().unwrap_err();
+        assert!(matches!(
+            err,
+            WireError::VersionMismatch { what: "wire protocol", found, supported }
+                if found == PROTOCOL_VERSION + 9 && supported == PROTOCOL_VERSION
+        ));
+        let io_err: io::Error = err.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
+        assert!(io_err.to_string().contains("version mismatch"), "{io_err}");
+        let schema = Hello { manifest_schema: 999, ..Hello::current() };
+        assert!(matches!(
+            schema.check(),
+            Err(WireError::VersionMismatch { what: "manifest schema", .. })
+        ));
+        let refused = WireError::Refused("down for maintenance".into());
+        assert!(refused.to_string().contains("down for maintenance"));
+    }
+
+    #[test]
+    fn handshake_and_liveness_frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &WireReply::Hello(Hello::current())).unwrap();
+        write_frame(&mut buf, &WireRequest::Hello(Hello::current())).unwrap();
+        write_frame(&mut buf, &WireRequest::Ping(42)).unwrap();
+        write_frame(&mut buf, &WireReply::Pong(42)).unwrap();
+        write_frame(&mut buf, &WireRequest::Refuse("too old".into())).unwrap();
+        let mut reader = buf.as_slice();
+        assert_eq!(
+            read_frame::<WireReply, _>(&mut reader).unwrap(),
+            WireReply::Hello(Hello::current())
+        );
+        assert_eq!(
+            read_frame::<WireRequest, _>(&mut reader).unwrap(),
+            WireRequest::Hello(Hello::current())
+        );
+        assert_eq!(read_frame::<WireRequest, _>(&mut reader).unwrap(), WireRequest::Ping(42));
+        assert_eq!(read_frame::<WireReply, _>(&mut reader).unwrap(), WireReply::Pong(42));
+        assert_eq!(
+            read_frame::<WireRequest, _>(&mut reader).unwrap(),
+            WireRequest::Refuse("too old".into())
+        );
+    }
+
+    #[test]
+    fn custom_frame_caps_bound_both_ends() {
+        let mut buf = Vec::new();
+        // A tiny cap refuses the write producer-side...
+        let err = write_frame_limited(&mut buf, &WireRequest::Shutdown, 3).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // ...and the read consumer-side, even for a well-formed frame.
+        buf.clear();
+        write_frame(&mut buf, &WireRequest::Shutdown).unwrap();
+        let err = read_frame_limited::<WireRequest, _>(&mut buf.as_slice(), 3).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("MAX_FRAME_LEN"), "{err}");
+        // A generous custom cap behaves like the default.
+        let back: WireRequest = read_frame_limited(&mut buf.as_slice(), MAX_FRAME_LEN).unwrap();
+        assert_eq!(back, WireRequest::Shutdown);
     }
 
     #[test]
@@ -218,6 +423,7 @@ mod tests {
             checkpoint: None,
             output: Some(output),
             telemetry: None,
+            lease: 5,
         };
         let mut buf = Vec::new();
         write_frame(&mut buf, &result).unwrap();

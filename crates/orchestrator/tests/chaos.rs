@@ -10,11 +10,13 @@
 //! the same recovery paths from the writing side.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 use llm4fp::{ApproachKind, CampaignConfig, CampaignResult};
 use llm4fp_orchestrator::{
-    OrchestratedResult, Orchestrator, OrchestratorError, PersistError, PersistFault, RunDir,
-    RunManifest, MANIFEST_SCHEMA,
+    FailurePolicy, FaultPlan, OrchestratedResult, Orchestrator, OrchestratorError, PersistError,
+    PersistFault, ProcessPoolExecutor, RunDir, RunManifest, WorkerFault, MANIFEST_SCHEMA,
 };
 use serde::{Number, Value};
 
@@ -201,6 +203,50 @@ fn torn_write_faults_are_counted_and_leave_results_bit_identical() {
     force_recompute(&root);
     let resumed = Orchestrator::resume(&root).unwrap();
     assert_results_identical(&resumed.result, &reference.result, "resume after torn write");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn quarantined_run_dirs_resume_bit_identically_once_faults_clear() {
+    // Quarantine-and-degrade meets crash-safe persistence: a shard
+    // poisoned by the fault plan is quarantined, the run dir records the
+    // partial campaign, and — once the faults clear — resuming the same
+    // dir recomputes exactly the casualty, reuses the survivors, and
+    // merges to the bit-identical never-faulted result. Degraded runs
+    // are a checkpoint, not a dead end.
+    let config = config(ApproachKind::Llm4Fp, 24, 59);
+    let reference = Orchestrator::new(config.clone()).shards(3).workers(2).run().unwrap();
+
+    let root = temp_dir("quarantine-resume");
+    let poisoned = ProcessPoolExecutor::new(2)
+        .with_worker_bin(PathBuf::from(env!("CARGO_BIN_EXE_llm4fp-worker")))
+        .respawn_backoff_base(Duration::from_millis(1))
+        .on_shard_failure(FailurePolicy::Quarantine)
+        .with_fault_plan(FaultPlan {
+            every_worker: vec![WorkerFault::CrashOnShard(1)],
+            ..FaultPlan::default()
+        });
+    let partial = Orchestrator::new(config.clone())
+        .shards(3)
+        .run_dir(root.clone())
+        .executor(Arc::new(poisoned))
+        .run()
+        .unwrap();
+    assert_eq!(partial.stats.failures.len(), 1, "the poisoned shard was quarantined");
+    assert_eq!(partial.stats.failures[0].shard, 1);
+    assert!(
+        partial.result.records.len() < reference.result.records.len(),
+        "the quarantined run is visibly partial"
+    );
+
+    // The faults clear (a resume runs in process, with no plan armed):
+    // the casualty recomputes from its spec, the survivors are reused.
+    force_recompute(&root);
+    let resumed = Orchestrator::resume(&root).unwrap();
+    assert!(resumed.stats.failures.is_empty(), "nothing left to quarantine");
+    assert_eq!(resumed.stats.shards_reused, 2, "the surviving shards are reused");
+    assert_eq!(resumed.stats.shards_computed, 1, "only the casualty recomputes");
+    assert_results_identical(&resumed.result, &reference.result, "post-quarantine resume");
     let _ = std::fs::remove_dir_all(&root);
 }
 

@@ -314,3 +314,53 @@ fn missing_worker_binary_is_a_typed_worker_unavailable_error() {
     let err = Orchestrator::new(config).shards(2).executor(Arc::new(executor)).run().unwrap_err();
     assert!(matches!(err, OrchestratorError::WorkerUnavailable(_)), "got {err}");
 }
+
+/// Satellite coverage for the versioned handshake on the *pipe*
+/// transport: the worker's first frame is its `Hello`, a current
+/// coordinator `Hello` plus `Shutdown` exits 0, and a coordinator from
+/// the future is refused in words (exit 2, the skew named on stderr) —
+/// never a hang or a parse error.
+#[test]
+fn pipe_transport_handshake_is_versioned_and_skew_is_refused_in_words() {
+    use llm4fp_orchestrator::wire::{self, Hello, WireReply, WireRequest, PROTOCOL_VERSION};
+    use std::process::{Command, Stdio};
+
+    let spawn = || {
+        let mut child = Command::new(worker_bin())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn pipe worker");
+        let mut stdout = child.stdout.take().expect("stdout piped");
+        let first: WireReply = wire::read_frame(&mut stdout).expect("worker's opening frame");
+        match first {
+            WireReply::Hello(hello) => {
+                assert!(hello.check().is_ok(), "worker advertises this build's versions")
+            }
+            other => panic!("worker's first frame was not Hello: {other:?}"),
+        }
+        child
+    };
+
+    // Matching versions: handshake accepted, Shutdown exits clean.
+    let mut child = spawn();
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    wire::write_frame(&mut stdin, &WireRequest::Hello(Hello::current())).expect("hello");
+    wire::write_frame(&mut stdin, &WireRequest::Shutdown).expect("shutdown");
+    let out = child.wait_with_output().expect("worker exit");
+    assert_eq!(out.status.code(), Some(0), "matched handshake exits clean");
+
+    // A coordinator from the future: typed refusal, named on stderr.
+    let mut child = spawn();
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    let skewed = Hello { protocol: PROTOCOL_VERSION + 1, ..Hello::current() };
+    wire::write_frame(&mut stdin, &WireRequest::Hello(skewed)).expect("skewed hello");
+    let out = child.wait_with_output().expect("worker exit");
+    assert_eq!(out.status.code(), Some(2), "version skew is a refusal, not a crash");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("version mismatch") && stderr.contains("protocol"),
+        "stderr names the disagreeing field: {stderr}"
+    );
+}

@@ -79,6 +79,7 @@ proptest! {
                 checkpoint: None,
                 process_slots: slots,
                 telemetry,
+                lease: seed,
             };
             let request = WireRequest::Job(Box::new(job));
             prop_assert_eq!(round_trip(&request), request);
@@ -106,6 +107,7 @@ proptest! {
             checkpoint: Some(runner.checkpoint()),
             process_slots: 1,
             telemetry: false,
+            lease: seed.wrapping_add(1),
         };
         let request = WireRequest::Job(Box::new(job));
         prop_assert_eq!(round_trip(&request), request);
@@ -134,6 +136,7 @@ proptest! {
             checkpoint: None,
             output: Some(output),
             telemetry: hub.lane(0).export(),
+            lease: seed,
         };
         prop_assert_eq!(with_telemetry, result.telemetry.is_some());
         prop_assert_eq!(round_trip(&result), result);
@@ -158,6 +161,7 @@ proptest! {
             checkpoint: Some(runner.checkpoint()),
             output: None,
             telemetry: None,
+            lease: seed.wrapping_add(2),
         };
         prop_assert_eq!(round_trip(&result), result);
     }
@@ -200,6 +204,7 @@ proptest! {
             checkpoint: None,
             process_slots: 1,
             telemetry: false,
+            lease: 1,
         };
         let mut bytes = Vec::new();
         write_frame(&mut bytes, &WireRequest::Job(Box::new(job))).expect("frame encodes");
@@ -230,6 +235,7 @@ proptest! {
             checkpoint: None,
             process_slots: 2,
             telemetry: true,
+            lease: 1,
         }))).expect("frame encodes");
         let keep = (cut % bytes.len() as u64) as usize;
         let err = read_frame::<WireRequest, _>(&mut &bytes[..keep])
